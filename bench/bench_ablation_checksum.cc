@@ -1,0 +1,73 @@
+// Ablation: end-to-end checksums (DAOS computes/verifies CRC-32C on every
+// extent, §2.4). Cost across block sizes, plus a functional proof that the
+// checksum path catches device corruption.
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "daos/vos.h"
+#include "perf/dfs_model.h"
+
+using namespace ros2;
+
+namespace {
+
+bool CorruptionCaughtCheck() {
+  storage::NvmeDeviceConfig dev_config;
+  dev_config.capacity_bytes = 64 * kMiB;
+  storage::NvmeDevice device(dev_config);
+  spdk::Bdev bdev(&device);
+  scm::PmemPool scm(8 * kMiB);
+  daos::Vos vos(&scm, &bdev);
+  const daos::ObjectId oid{1, 1};
+  Buffer data = MakePatternBuffer(256 * kKiB, 1);
+  if (!vos.UpdateArray(oid, "d", "a", 1, 0, data).ok()) return false;
+  // Corrupt the device behind the engine's back.
+  spdk::Bdev evil(&device);
+  Buffer junk = MakePatternBuffer(4096, 0xBAD);
+  if (!evil.Write(0, junk).ok()) return false;
+  Buffer out(data.size());
+  return vos.FetchArray(oid, "d", "a", daos::kEpochHead, 0, out).code() ==
+         ErrorCode::kDataLoss;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: end-to-end CRC-32C checksums ==\n\n");
+  std::printf("corruption-detection functional check: %s\n\n",
+              CorruptionCaughtCheck() ? "PASS (DATA_LOSS surfaced)"
+                                      : "FAIL");
+  std::printf(
+      "Timed: host RDMA deployment, 4 SSDs, 16 jobs, random reads.\n\n");
+  AsciiTable table({"block size", "checksums on", "checksums off",
+                    "overhead"});
+  for (std::uint64_t bs :
+       {std::uint64_t(4096), std::uint64_t(64) * kKiB, kMiB}) {
+    perf::DfsModel::Config config;
+    config.platform = perf::Platform::kServerHost;
+    config.transport = perf::Transport::kRdma;
+    config.num_ssds = 4;
+    config.num_jobs = 16;
+    config.op = perf::OpKind::kRandRead;
+    config.block_size = bs;
+    config.checksums = true;
+    perf::DfsModel on(config);
+    config.checksums = false;
+    perf::DfsModel off(config);
+    const double with_crc = on.Run(30000).bytes_per_sec;
+    const double without = off.Run(30000).bytes_per_sec;
+    char overhead[32];
+    std::snprintf(overhead, sizeof(overhead), "%.1f%%",
+                  (1.0 - with_crc / without) * 100.0);
+    table.AddRow({FormatBytes(bs), FormatBandwidth(with_crc),
+                  FormatBandwidth(without), overhead});
+  }
+  table.Print();
+  std::printf(
+      "\nChecksums ride the engine targets' per-byte budget; at DAOS's\n"
+      "defaults the tax is small next to transport costs - which is why\n"
+      "the paper leaves them on.\n");
+  return 0;
+}

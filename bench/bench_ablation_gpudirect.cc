@@ -1,0 +1,87 @@
+// Ablation: GPU placement (§3.5) — staged through DPU DRAM vs GPUDirect
+// RDMA straight into GPU HBM. The paper leaves GPUDirect as future work;
+// this bench quantifies what the extra staging copy costs and functionally
+// demonstrates the three-step GPUDirect recipe.
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "fio/fio.h"
+
+using namespace ros2;
+
+namespace {
+
+/// Runs the functional GPUDirect path end to end; returns staging copies
+/// observed (0 expected for gpudirect, >0 for staged).
+int FunctionalGpuRead(bool gpudirect) {
+  core::Ros2Cluster cluster;
+  core::TenantConfig tenant;
+  tenant.name = "gpu-bench";
+  tenant.auth_token = "k";
+  if (!cluster.tenants()->Register(tenant).ok()) return -1;
+  core::ClientConfig config;
+  config.platform = perf::Platform::kBlueField3;
+  config.transport = net::Transport::kRdma;
+  config.tenant_name = "gpu-bench";
+  config.tenant_token = "k";
+  auto client = core::Ros2Client::Connect(&cluster, config);
+  if (!client.ok()) return -1;
+  dfs::OpenFlags flags;
+  flags.create = true;
+  auto fd = (*client)->Open("/weights", flags);
+  if (!fd.ok()) return -1;
+  Buffer data = MakePatternBuffer(kMiB, 3);
+  if (!(*client)->Pwrite(*fd, 0, data).ok()) return -1;
+  const auto copies_before = (*client)->counters().staging_copies;
+  core::GpuBuffer gpu(kMiB);
+  auto n = (*client)->PreadGpu(*fd, 0, &gpu, 0, kMiB, gpudirect);
+  if (!n.ok() || VerifyPattern(gpu.bytes(), 3, 0) != -1) return -1;
+  return int((*client)->counters().staging_copies - copies_before);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Ablation: GPU placement - DPU-DRAM staging vs GPUDirect RDMA ==\n"
+      "Deployment: BlueField-3 + RDMA, 4 SSDs, sequential 1 MiB reads.\n\n");
+  const int staged_copies = FunctionalGpuRead(false);
+  const int direct_copies = FunctionalGpuRead(true);
+  std::printf("functional staged path:   %s (%d staging copies)\n",
+              staged_copies > 0 ? "PASS" : "FAIL", staged_copies);
+  std::printf("functional GPUDirect path: %s (%d staging copies)\n\n",
+              direct_copies == 0 ? "PASS" : "FAIL", direct_copies);
+
+  AsciiTable table(
+      {"jobs", "DPU DRAM sink", "GPU staged", "GPUDirect", "direct gain"});
+  for (std::uint32_t jobs : {1u, 4u, 8u, 16u}) {
+    double results[3];
+    int i = 0;
+    for (auto sink : {perf::DataSink::kDpuDram, perf::DataSink::kGpuStaged,
+                      perf::DataSink::kGpuDirect}) {
+      perf::DfsModel::Config config;
+      config.platform = perf::Platform::kBlueField3;
+      config.transport = net::Transport::kRdma;
+      config.num_ssds = 4;
+      config.num_jobs = jobs;
+      config.op = perf::OpKind::kRead;
+      config.block_size = kMiB;
+      config.sink = sink;
+      perf::DfsModel model(config);
+      results[i++] = model.Run(15000).bytes_per_sec;
+    }
+    char gain[32];
+    std::snprintf(gain, sizeof(gain), "%.2fx", results[2] / results[1]);
+    table.AddRow({std::to_string(jobs), FormatBandwidth(results[0]),
+                  FormatBandwidth(results[1]), FormatBandwidth(results[2]),
+                  gain});
+  }
+  table.Print();
+  std::printf(
+      "\nGPUDirect matches the DPU-DRAM sink (no extra copy) while the\n"
+      "staged GPU path pays the DPU->GPU copy - the minimal-copy argument\n"
+      "of Sec. 3.5/Sec. 5.\n");
+  return 0;
+}

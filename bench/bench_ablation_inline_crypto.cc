@@ -1,0 +1,98 @@
+// Ablation: DPU-resident inline encryption (ChaCha20) — the "inline
+// services close to the NIC" feature offload enables (§1, §5).
+//
+// Two parts: (1) timed DFS model with crypto on/off across block sizes on
+// the BlueField-3 deployment; (2) a functional sanity pass proving
+// ciphertext-at-rest through the real stack.
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "fio/fio.h"
+
+using namespace ros2;
+
+namespace {
+
+bool CiphertextAtRestCheck() {
+  core::Ros2Cluster cluster;
+  core::TenantConfig tenant;
+  tenant.name = "crypto-bench";
+  tenant.auth_token = "k";
+  if (!cluster.tenants()->Register(tenant).ok()) return false;
+  core::ClientConfig config;
+  config.platform = perf::Platform::kBlueField3;
+  config.transport = net::Transport::kRdma;
+  config.tenant_name = "crypto-bench";
+  config.tenant_token = "k";
+  config.inline_crypto = true;
+  auto client = core::Ros2Client::Connect(&cluster, config);
+  if (!client.ok()) return false;
+  dfs::OpenFlags flags;
+  flags.create = true;
+  auto fd = (*client)->Open("/blob", flags);
+  if (!fd.ok()) return false;
+  Buffer plain = MakePatternBuffer(64 * kKiB, 1);
+  if (!(*client)->Pwrite(*fd, 0, plain).ok()) return false;
+  Buffer roundtrip(plain.size());
+  auto n = (*client)->Pread(*fd, 0, roundtrip);
+  if (!n.ok() || roundtrip != plain) return false;
+  Buffer at_rest(plain.size());
+  if (!(*client)->dfs()->Read(*fd, 0, at_rest).ok()) return false;
+  return at_rest != plain;  // stored bytes must be ciphertext
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Ablation: inline DPU encryption (ChaCha20, per-tenant keys) ==\n"
+      "Deployment: BlueField-3 + RDMA, 4 SSDs, 8 jobs.\n\n");
+  std::printf("ciphertext-at-rest functional check: %s\n\n",
+              CiphertextAtRestCheck() ? "PASS" : "FAIL");
+
+  // Aggregate throughput barely moves (16 Arm cores push ~28 GiB/s of
+  // ChaCha20, above the link ceiling); the honest cost is per-op LATENCY,
+  // so both are reported — throughput at saturation, latency at low queue
+  // depth where service time dominates.
+  AsciiTable table({"block size", "plaintext", "inline crypto", "tput cost",
+                    "p99 plain (qd2)", "p99 crypto (qd2)"});
+  for (std::uint64_t bs : {std::uint64_t(4096), std::uint64_t(64) * kKiB,
+                           kMiB}) {
+    perf::DfsModel::Config config;
+    config.platform = perf::Platform::kBlueField3;
+    config.transport = net::Transport::kRdma;
+    config.num_ssds = 4;
+    config.num_jobs = 8;
+    config.op = perf::OpKind::kRead;
+    config.block_size = bs;
+    perf::DfsModel plain(config);
+    config.inline_crypto = true;
+    perf::DfsModel crypto(config);
+    const double p = plain.Run(20000).bytes_per_sec;
+    const double c = crypto.Run(20000).bytes_per_sec;
+
+    config.num_jobs = 1;
+    config.iodepth = 2;
+    config.inline_crypto = false;
+    perf::DfsModel plain_lowq(config);
+    config.inline_crypto = true;
+    perf::DfsModel crypto_lowq(config);
+    const double p99_plain = plain_lowq.Run(5000).latency.p99();
+    const double p99_crypto = crypto_lowq.Run(5000).latency.p99();
+
+    char overhead[32];
+    std::snprintf(overhead, sizeof(overhead), "%.1f%%",
+                  (1.0 - c / p) * 100.0);
+    table.AddRow({FormatBytes(bs), FormatBandwidth(p), FormatBandwidth(c),
+                  overhead, FormatDuration(p99_plain),
+                  FormatDuration(p99_crypto)});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: models the SOFTWARE ChaCha20 path on Arm cores; the real\n"
+      "BlueField-3 carries crypto accelerators, so these overheads are an\n"
+      "upper bound (DESIGN.md section 1).\n");
+  return 0;
+}

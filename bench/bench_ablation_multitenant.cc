@@ -1,0 +1,105 @@
+// Ablation: multi-tenant QoS on the DPU (§5 "per-tenant queues and rate
+// limits"). Shows (1) timed aggregate throughput under per-tenant caps and
+// (2) a functional demonstration that one tenant's rate limit does not
+// starve another.
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "fio/fio.h"
+
+using namespace ros2;
+
+namespace {
+
+bool FunctionalIsolationCheck() {
+  core::Ros2Cluster cluster;
+  core::TenantConfig capped;
+  capped.name = "capped";
+  capped.auth_token = "k";
+  capped.rate_limit_bps = 4096.0;  // tiny: exhausts immediately
+  capped.burst_bytes = 4096;
+  core::TenantConfig open;
+  open.name = "open";
+  open.auth_token = "k";
+  if (!cluster.tenants()->Register(capped).ok()) return false;
+  if (!cluster.tenants()->Register(open).ok()) return false;
+
+  auto connect = [&](const char* name, const char* cont) {
+    core::ClientConfig config;
+    config.platform = perf::Platform::kBlueField3;
+    config.transport = net::Transport::kRdma;
+    config.tenant_name = name;
+    config.tenant_token = "k";
+    config.container_label = cont;
+    return core::Ros2Client::Connect(&cluster, config);
+  };
+  auto capped_client = connect("capped", "cont-capped");
+  auto open_client = connect("open", "cont-open");
+  if (!capped_client.ok() || !open_client.ok()) return false;
+
+  dfs::OpenFlags flags;
+  flags.create = true;
+  auto cfd = (*capped_client)->Open("/f", flags);
+  auto ofd = (*open_client)->Open("/f", flags);
+  if (!cfd.ok() || !ofd.ok()) return false;
+  Buffer chunk(4096);
+  // Capped tenant: first write spends the burst, second is rejected.
+  if (!(*capped_client)->Pwrite(*cfd, 0, chunk).ok()) return false;
+  if ((*capped_client)->Pwrite(*cfd, 4096, chunk).code() !=
+      ErrorCode::kResourceExhausted) {
+    return false;
+  }
+  // Open tenant is unaffected (isolation).
+  for (int i = 0; i < 16; ++i) {
+    if (!(*open_client)->Pwrite(*ofd, i * 4096, chunk).ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Ablation: multi-tenant QoS (per-tenant rate limits on the DPU) "
+      "==\n\n");
+  std::printf("functional isolation check: %s\n\n",
+              FunctionalIsolationCheck() ? "PASS" : "FAIL");
+
+  std::printf(
+      "Timed: N tenants sharing a BlueField-3 RDMA deployment, each capped\n"
+      "at the listed rate; sequential 1 MiB reads, 16 jobs, 4 SSDs.\n\n");
+  AsciiTable table({"tenants", "per-tenant cap", "aggregate", "uncapped",
+                    "enforcement"});
+  for (std::uint32_t tenants : {2u, 4u, 8u}) {
+    for (double cap_gib : {0.5, 1.0, 2.0}) {
+      perf::DfsModel::Config config;
+      config.platform = perf::Platform::kBlueField3;
+      config.transport = net::Transport::kRdma;
+      config.num_ssds = 4;
+      config.num_jobs = 16;
+      config.op = perf::OpKind::kRead;
+      config.block_size = kMiB;
+      config.tenants = tenants;
+      config.per_tenant_bw = cap_gib * double(kGiB);
+      perf::DfsModel capped(config);
+      const double agg = capped.Run(20000).bytes_per_sec;
+
+      config.tenants = 1;
+      config.per_tenant_bw = 0.0;
+      perf::DfsModel uncapped(config);
+      const double free_run = uncapped.Run(20000).bytes_per_sec;
+
+      const double expected = std::min(tenants * cap_gib * double(kGiB),
+                                       free_run);
+      const bool enforced = agg < expected * 1.15;
+      table.AddRow({std::to_string(tenants),
+                    FormatBandwidth(cap_gib * double(kGiB)),
+                    FormatBandwidth(agg), FormatBandwidth(free_run),
+                    enforced ? "ok" : "VIOLATED"});
+    }
+  }
+  table.Print();
+  return 0;
+}

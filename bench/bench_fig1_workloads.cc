@@ -1,0 +1,44 @@
+// Fig. 1 reproduction: the LLM-pipeline storage-requirement taxonomy,
+// exercised as workloads. Fig. 1 itself is a requirements diagram; this
+// bench runs each stage's representative FIO template through the DFS
+// model (host RDMA deployment) and reports the measured profile next to
+// the paper's stated requirement.
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "fio/llm_workloads.h"
+#include "perf/dfs_model.h"
+
+using namespace ros2;
+
+int main() {
+  std::printf(
+      "== Fig. 1: storage requirements across the LLM pipeline ==\n"
+      "Each stage's template runs on the DFS model (host CPU, RDMA, 4\n"
+      "SSDs); the measured profile should match the stated requirement.\n\n");
+  AsciiTable table({"stage", "paper requirement", "workload", "throughput",
+                    "IOPS", "p99 latency"});
+  for (const auto& stage : fio::AllLlmStages()) {
+    perf::DfsModel::Config config;
+    config.platform = perf::Platform::kServerHost;
+    config.transport = net::Transport::kRdma;
+    config.num_ssds = 4;
+    config.num_jobs = stage.job.numjobs;
+    config.iodepth = stage.job.iodepth;
+    config.op = stage.job.rw;
+    config.block_size = stage.job.block_size;
+    perf::DfsModel model(config);
+    const auto result = model.Run(30000);
+    const std::string workload =
+        std::string(perf::OpKindName(stage.job.rw)) + " " +
+        FormatBytes(stage.job.block_size) + " x" +
+        std::to_string(stage.job.numjobs) + "j";
+    table.AddRow({stage.name, stage.requirement, workload,
+                  FormatBandwidth(result.bytes_per_sec),
+                  FormatCount(result.ops_per_sec),
+                  FormatDuration(result.latency.p99())});
+  }
+  table.Print();
+  return 0;
+}

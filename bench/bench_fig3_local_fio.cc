@@ -1,0 +1,83 @@
+// Fig. 3 reproduction: local FIO benchmark with the io_uring engine,
+// 1 and 4 NVMe SSDs, jobs in {1,2,4,8,16}, four POSIX workloads.
+//
+//   (a) 1 MiB throughput, 1 SSD     (b) 4 KiB IOPS, 1 SSD
+//   (c) 1 MiB throughput, 4 SSDs    (d) 4 KiB IOPS, 4 SSDs
+//
+// A small functional slice runs through the real io_uring ring + NVMe
+// device model with pattern verification; the reported numbers come from
+// the calibrated queueing model (see DESIGN.md section 1).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "fio/fio.h"
+
+using namespace ros2;
+
+namespace {
+
+constexpr std::uint32_t kJobSweep[] = {1, 2, 4, 8, 16};
+constexpr perf::OpKind kOps[] = {perf::OpKind::kRead, perf::OpKind::kWrite,
+                                 perf::OpKind::kRandRead,
+                                 perf::OpKind::kRandWrite};
+
+void RunPanel(const char* title, std::uint32_t num_ssds,
+              std::uint64_t block_size) {
+  std::printf("\n-- %s --\n", title);
+  std::vector<std::unique_ptr<storage::NvmeDevice>> devices;
+  std::vector<storage::NvmeDevice*> raw;
+  for (std::uint32_t i = 0; i < num_ssds; ++i) {
+    storage::NvmeDeviceConfig config;
+    config.capacity_bytes = 64 * kMiB;  // sparse; functional slice only
+    devices.push_back(std::make_unique<storage::NvmeDevice>(config));
+    raw.push_back(devices.back().get());
+  }
+  fio::LocalFio harness(raw);
+
+  const bool iops_panel = block_size == 4096;
+  std::vector<std::string> headers = {"workload"};
+  for (auto jobs : kJobSweep) {
+    headers.push_back("jobs=" + std::to_string(jobs));
+  }
+  AsciiTable table(headers);
+  for (auto op : kOps) {
+    std::vector<std::string> row = {std::string(perf::OpKindName(op))};
+    for (auto jobs : kJobSweep) {
+      fio::JobSpec spec;
+      spec.name = "fig3";
+      spec.rw = op;
+      spec.block_size = block_size;
+      spec.numjobs = jobs;
+      spec.total_ops = iops_panel ? 60000 : 20000;
+      spec.verify_ops = jobs == 1 ? 32 : 0;  // one functional pass per row
+      auto report = harness.Run(spec);
+      if (!report.ok()) {
+        row.push_back("ERR:" + report.status().ToString());
+        continue;
+      }
+      row.push_back(iops_panel ? FormatCount(report->iops) + "IOPS"
+                               : FormatBandwidth(report->bytes_per_sec));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Fig. 3: Local FIO benchmark (IO_URING engine), paper Sec. 4.2 ==\n"
+      "Expected shapes: (i) 1 MiB saturates per-device BW at 1 job\n"
+      "(reads ~5.4 GiB/s, writes ~2.7 GiB/s per SSD, ~4x with 4 SSDs);\n"
+      "(ii) 4 KiB IOPS grow with jobs ~80K -> ~600K regardless of drive\n"
+      "count (host software-path limit).\n");
+  RunPanel("(a) throughput, bs=1 MiB, 1 NVMe SSD", 1, kMiB);
+  RunPanel("(b) IOPS, bs=4 KiB, 1 NVMe SSD", 1, 4096);
+  RunPanel("(c) throughput, bs=1 MiB, 4 NVMe SSDs", 4, kMiB);
+  RunPanel("(d) IOPS, bs=4 KiB, 4 NVMe SSDs", 4, 4096);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// FIO jobfile runner: parse an FIO-style job file and run every job
+// through the end-to-end DFS harness (functional verification + timing).
+//
+//   build/examples/fio_jobfile [path/to/jobs.fio]
+//
+// Without an argument it runs a built-in job file that mirrors the
+// paper's Fig. 5 workload grammar.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "fio/fio.h"
+#include "fio/jobfile.h"
+
+using namespace ros2;
+
+namespace {
+
+constexpr const char* kDefaultJobFile = R"(# ROS2 default job file
+[global]
+bs=4k
+iodepth=16
+rw=randread
+ops=8000
+verify=64
+
+[dataloader]
+numjobs=16
+
+[checkpoint]
+rw=write
+bs=1m
+numjobs=8
+
+[paramload]
+rw=read
+bs=1m
+numjobs=4
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text = kDefaultJobFile;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << file.rdbuf();
+    text = ss.str();
+    std::printf("job file: %s\n", argv[1]);
+  } else {
+    std::printf("job file: <built-in default>\n");
+  }
+
+  auto jobs = fio::ParseJobFile(text);
+  if (!jobs.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 jobs.status().ToString().c_str());
+    return 1;
+  }
+
+  // One DPU-offloaded RDMA client over a 4-SSD cluster for all jobs.
+  core::Ros2Cluster::Config cluster_config;
+  cluster_config.num_ssds = 4;
+  core::Ros2Cluster cluster(cluster_config);
+  core::TenantConfig tenant;
+  tenant.name = "fio";
+  tenant.auth_token = "fio-key";
+  if (!cluster.tenants()->Register(tenant).ok()) return 1;
+  core::ClientConfig config;
+  config.platform = perf::Platform::kBlueField3;
+  config.transport = net::Transport::kRdma;
+  config.tenant_name = "fio";
+  config.tenant_token = "fio-key";
+  auto client = core::Ros2Client::Connect(&cluster, config);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  AsciiTable table({"job", "workload", "throughput", "IOPS", "p99",
+                    "verified"});
+  for (const fio::JobSpec& spec : *jobs) {
+    fio::DfsFio::Setup setup;
+    setup.num_ssds = 4;
+    setup.work_dir = "/fio-" + spec.name;
+    fio::DfsFio harness(client->get(), setup);
+    auto report = harness.Run(spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "job %s failed: %s\n", spec.name.c_str(),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    const std::string workload =
+        std::string(perf::OpKindName(spec.rw)) + " " +
+        FormatBytes(spec.block_size) + " x" + std::to_string(spec.numjobs) +
+        "j qd" + std::to_string(spec.iodepth);
+    table.AddRow({spec.name, workload,
+                  FormatBandwidth(report->bytes_per_sec),
+                  FormatCount(report->iops),
+                  FormatDuration(report->p99),
+                  std::to_string(report->verified_ops) + " ops"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// LLM dataloader scenario (paper Fig. 1, stage 3): high-concurrency random
+// 4 KiB reads of shuffled training samples — the access pattern that makes
+// TCP object storage a bottleneck and motivates RDMA-first (§2.1).
+//
+// Writes a sharded dataset through the ROS2 client, then replays a
+// shuffled-read epoch and compares host-TCP vs DPU-RDMA timing.
+#include <cstdio>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "fio/fio.h"
+
+using namespace ros2;
+
+namespace {
+
+constexpr std::uint64_t kSampleBytes = 4096;
+constexpr std::uint64_t kSamplesPerShard = 512;
+constexpr int kShards = 4;
+
+std::unique_ptr<core::Ros2Client> Connect(core::Ros2Cluster* cluster,
+                                          perf::Platform platform,
+                                          net::Transport transport) {
+  core::ClientConfig config;
+  config.platform = platform;
+  config.transport = transport;
+  config.tenant_name = "trainer";
+  config.tenant_token = "trainer-key";
+  auto client = core::Ros2Client::Connect(cluster, config);
+  return client.ok() ? std::move(*client) : nullptr;
+}
+
+}  // namespace
+
+int main() {
+  core::Ros2Cluster::Config cluster_config;
+  cluster_config.num_ssds = 4;
+  core::Ros2Cluster cluster(cluster_config);
+  core::TenantConfig tenant;
+  tenant.name = "trainer";
+  tenant.auth_token = "trainer-key";
+  if (!cluster.tenants()->Register(tenant).ok()) return 1;
+
+  auto writer = Connect(&cluster, perf::Platform::kServerHost,
+                        net::Transport::kRdma);
+  if (!writer) return 1;
+
+  // --- ingest: write the sharded dataset -------------------------------
+  if (!writer->Mkdir("/train").ok()) return 1;
+  std::vector<dfs::Fd> shards;
+  for (int s = 0; s < kShards; ++s) {
+    dfs::OpenFlags flags;
+    flags.create = true;
+    auto fd = writer->Open("/train/shard-" + std::to_string(s), flags);
+    if (!fd.ok()) return 1;
+    Buffer shard(kSamplesPerShard * kSampleBytes);
+    FillPattern(shard, std::uint64_t(s), 0);
+    if (!writer->Pwrite(*fd, 0, shard).ok()) return 1;
+    shards.push_back(*fd);
+  }
+  std::printf("ingested %d shards x %llu samples (%s total)\n", kShards,
+              (unsigned long long)kSamplesPerShard,
+              FormatBytes(kShards * kSamplesPerShard * kSampleBytes).c_str());
+
+  // --- one shuffled epoch, functionally verified ------------------------
+  Rng rng(7);
+  Buffer sample(kSampleBytes);
+  std::uint64_t verified = 0;
+  for (int step = 0; step < 256; ++step) {
+    const int shard = int(rng.Below(kShards));
+    const std::uint64_t index = rng.Below(kSamplesPerShard);
+    auto n = writer->Pread(shards[std::size_t(shard)],
+                           index * kSampleBytes, sample);
+    if (!n.ok() || *n != kSampleBytes) return 1;
+    if (VerifyPattern(sample, std::uint64_t(shard), index * kSampleBytes) !=
+        -1) {
+      std::fprintf(stderr, "sample corruption at shard %d index %llu\n",
+                   shard, (unsigned long long)index);
+      return 1;
+    }
+    ++verified;
+  }
+  std::printf("shuffled epoch: %llu samples verified\n",
+              (unsigned long long)verified);
+
+  // --- timing: what deployment should the dataloader use? ---------------
+  std::printf("\ndataloader timing (4 KiB randread, 16 jobs, 4 SSDs):\n");
+  struct Cell {
+    const char* label;
+    perf::Platform platform;
+    net::Transport transport;
+  };
+  const Cell cells[] = {
+      {"host  / TCP ", perf::Platform::kServerHost, net::Transport::kTcp},
+      {"host  / RDMA", perf::Platform::kServerHost, net::Transport::kRdma},
+      {"DPU   / TCP ", perf::Platform::kBlueField3, net::Transport::kTcp},
+      {"DPU   / RDMA", perf::Platform::kBlueField3, net::Transport::kRdma},
+  };
+  for (const auto& cell : cells) {
+    perf::DfsModel::Config config;
+    config.platform = cell.platform;
+    config.transport = cell.transport;
+    config.num_ssds = 4;
+    config.num_jobs = 16;
+    config.op = perf::OpKind::kRandRead;
+    config.block_size = kSampleBytes;
+    perf::DfsModel model(config);
+    const auto result = model.Run(40000);
+    std::printf("  %s : %9s samples/s   p99 %s\n", cell.label,
+                FormatCount(result.ops_per_sec).c_str(),
+                FormatDuration(result.latency.p99()).c_str());
+  }
+  std::printf(
+      "\ntakeaway: RDMA feeds the dataloader 2x+ faster than TCP, and the\n"
+      "offloaded client keeps the host out of the fast path (paper Sec. "
+      "4.4).\n");
+  return 0;
+}

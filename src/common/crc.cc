@@ -1,0 +1,80 @@
+#include "common/crc.h"
+
+#include <array>
+
+namespace ros2 {
+namespace {
+
+// Table-driven CRC32C (reflected, poly 0x1EDC6F41 -> reversed 0x82F63B78).
+constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;
+
+std::array<std::uint32_t, 256> BuildCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+// CRC-64/XZ (reflected, poly 0x42F0E1EBA9EA3693 -> reversed).
+constexpr std::uint64_t kCrc64Poly = 0xC96C5795D7870F42ull;
+
+std::array<std::uint64_t, 256> BuildCrc64Table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kCrc64Poly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Crc32cTable() {
+  static const auto table = BuildCrc32cTable();
+  return table;
+}
+
+const std::array<std::uint64_t, 256>& Crc64Table() {
+  static const auto table = BuildCrc64Table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t seed) {
+  const auto& table = Crc32cTable();
+  std::uint32_t crc = ~seed;
+  for (std::byte b : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  return Crc32c(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), size),
+      seed);
+}
+
+std::uint64_t Crc64(std::span<const std::byte> data, std::uint64_t seed) {
+  const auto& table = Crc64Table();
+  std::uint64_t crc = ~seed;
+  for (std::byte b : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint64_t Crc64(const void* data, std::size_t size, std::uint64_t seed) {
+  return Crc64(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), size),
+      seed);
+}
+
+}  // namespace ros2

@@ -1,0 +1,25 @@
+// End-to-end checksums: CRC-32C (Castagnoli) and CRC-64/XZ.
+//
+// DAOS uses end-to-end checksums on every extent; we mirror that with
+// software CRC-32C (the polynomial DAOS defaults to). CRC-64 is used for
+// superblock/metadata self-checks where a longer code is cheap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ros2 {
+
+/// CRC-32C over `data`, seeded with `seed` (pass the previous value to
+/// stream over multiple chunks; 0 for a fresh computation).
+std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+/// Convenience overload over raw memory.
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+/// CRC-64/XZ over `data`.
+std::uint64_t Crc64(std::span<const std::byte> data, std::uint64_t seed = 0);
+std::uint64_t Crc64(const void* data, std::size_t size, std::uint64_t seed = 0);
+
+}  // namespace ros2

@@ -1,0 +1,81 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ros2 {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(std::size_t(kExponents) * kSubBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(double seconds) {
+  const double units = std::max(seconds / kUnit, 1.0);
+  int exponent = std::min(int(std::floor(std::log2(units))), kExponents - 1);
+  // Linear position within [2^e, 2^(e+1)).
+  const double base = std::exp2(double(exponent));
+  int sub = int((units - base) / base * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return exponent * kSubBuckets + sub;
+}
+
+double LatencyHistogram::BucketValue(int index) {
+  const int exponent = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const double base = std::exp2(double(exponent));
+  // Midpoint of the sub-bucket, converted back to seconds.
+  const double units = base + base * (double(sub) + 0.5) / kSubBuckets;
+  return units * kUnit;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds <= 0.0) seconds = kUnit;
+  buckets_[std::size_t(BucketIndex(seconds))]++;
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double LatencyHistogram::min() const { return min_; }
+double LatencyHistogram::max() const { return max_; }
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::uint64_t(std::ceil(q * double(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && buckets_[i] > 0) return BucketValue(int(i));
+  }
+  return max_;
+}
+
+}  // namespace ros2

@@ -1,0 +1,49 @@
+// Log-bucketed latency histogram (HdrHistogram-style, base-2 with linear
+// sub-buckets) for per-op latency recording in the FIO harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ros2 {
+
+/// Records positive durations (seconds) with ~1.5% relative resolution.
+/// Memory footprint is fixed (~8 KiB); Record() is O(1).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(double seconds);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / double(count_); }
+
+  /// Quantile in [0,1]; returns the representative value of the bucket
+  /// containing that rank (0 when empty).
+  double Quantile(double q) const;
+
+  double p50() const { return Quantile(0.50); }
+  double p99() const { return Quantile(0.99); }
+  double p999() const { return Quantile(0.999); }
+
+ private:
+  // Buckets span [1ns, ~1000s): 40 powers of two, 32 linear sub-buckets each.
+  static constexpr int kExponents = 40;
+  static constexpr int kSubBuckets = 32;
+  static constexpr double kUnit = 1e-9;  // 1 ns granularity floor
+
+  static int BucketIndex(double seconds);
+  static double BucketValue(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ros2

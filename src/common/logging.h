@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The stack logs sparingly (control-plane events, engine lifecycle,
+// isolation violations); the data path never logs at Info or below.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ros2 {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Defaults to Warn
+/// so tests and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define ROS2_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::ros2::GetLogLevel())) { \
+  } else                                                     \
+    ::ros2::detail::LogLine(level)
+
+#define ROS2_DEBUG ROS2_LOG(::ros2::LogLevel::kDebug)
+#define ROS2_INFO ROS2_LOG(::ros2::LogLevel::kInfo)
+#define ROS2_WARN ROS2_LOG(::ros2::LogLevel::kWarn)
+#define ROS2_ERROR ROS2_LOG(::ros2::LogLevel::kError)
+
+}  // namespace ros2

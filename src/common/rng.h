@@ -1,0 +1,57 @@
+// Deterministic fast RNG (xoshiro256**) for workload generation.
+//
+// Workloads must be reproducible run-to-run (the bench tables are diffed
+// against EXPERIMENTS.md), so all randomness flows through seeded Rng
+// instances — never std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace ros2 {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free mapping (bias negligible for
+    // our bounds which are << 2^64).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return double(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace ros2

@@ -1,0 +1,142 @@
+// Error handling kit: ErrorCode, Status, and Result<T>.
+//
+// The storage stack is exception-free on the data path (per C++ Core
+// Guidelines E.besides: errors that are expected outcomes are values).
+// Every fallible public API returns Status or Result<T>.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ros2 {
+
+/// Canonical error space for the whole stack. Codes are stable and
+/// deliberately coarse; detail travels in the Status message.
+enum class ErrorCode : std::uint16_t {
+  kOk = 0,
+  kInvalidArgument,    ///< caller passed something malformed
+  kNotFound,           ///< object / file / key / target absent
+  kAlreadyExists,      ///< create collided with an existing entry
+  kOutOfRange,         ///< offset/length beyond device or object bounds
+  kPermissionDenied,   ///< auth / capability / tenant-isolation failure
+  kResourceExhausted,  ///< queue full, pool full, rate-limited
+  kFailedPrecondition, ///< op ordering violated (e.g. read before mount)
+  kUnavailable,        ///< endpoint not connected / engine stopped
+  kDataLoss,           ///< checksum mismatch, torn extent
+  kTimedOut,           ///< simulated deadline exceeded
+  kUnimplemented,      ///< feature intentionally absent
+  kInternal,           ///< invariant broken inside the stack
+};
+
+/// Human-readable name of a code ("NOT_FOUND" style).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// Status = code + optional message. Cheap to copy in the OK case.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NOT_FOUND: no such object" — for logs and test failure output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Constructor helpers, one per code, so call sites read naturally:
+//   return InvalidArgument("block size must be a power of two");
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status OutOfRange(std::string msg);
+Status PermissionDenied(std::string msg);
+Status ResourceExhausted(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status Unavailable(std::string msg);
+Status DataLoss(std::string msg);
+Status TimedOut(std::string msg);
+Status Unimplemented(std::string msg);
+Status Internal(std::string msg);
+
+/// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(state_).ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Status of the result; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(state_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define ROS2_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::ros2::Status _ros2_st = (expr);             \
+    if (!_ros2_st.ok()) return _ros2_st;          \
+  } while (0)
+
+/// Assign from a Result<T> or propagate its Status.
+/// Usage: ROS2_ASSIGN_OR_RETURN(auto v, SomeResultReturningCall());
+#define ROS2_ASSIGN_OR_RETURN(decl, expr)                   \
+  ROS2_ASSIGN_OR_RETURN_IMPL_(                              \
+      ROS2_CONCAT_(_ros2_res_, __LINE__), decl, expr)
+#define ROS2_CONCAT_INNER_(a, b) a##b
+#define ROS2_CONCAT_(a, b) ROS2_CONCAT_INNER_(a, b)
+#define ROS2_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  decl = std::move(tmp).value()
+
+}  // namespace ros2

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace ros2 {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  const char c = cell.front();
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+         c == '.';
+}
+
+std::string Pad(const std::string& text, std::size_t width, bool right) {
+  if (text.size() >= width) return text;
+  const std::string fill(width - text.size(), ' ');
+  return right ? fill + text : text + fill;
+}
+
+}  // namespace
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells, bool header) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = !header && LooksNumeric(cells[c]);
+      out << ' ' << Pad(cells[c], widths[c], right) << " |";
+    }
+    out << '\n';
+  };
+  emit_row(headers_, /*header=*/true);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row, /*header=*/false);
+  return out.str();
+}
+
+void AsciiTable::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace ros2

@@ -1,0 +1,31 @@
+// ASCII table printer for the benchmark binaries.
+//
+// Every bench regenerates a paper table/figure as rows and series; this
+// printer keeps their output uniform and diffable (EXPERIMENTS.md embeds
+// the output verbatim).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ros2 {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column alignment. Numeric-looking cells
+  /// are right-aligned, text left-aligned.
+  std::string Render() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ros2

@@ -1,0 +1,73 @@
+#include "common/units.h"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace ros2 {
+namespace {
+
+std::string FormatWithUnit(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(std::uint64_t bytes) {
+  if (bytes >= kTiB) return FormatWithUnit(double(bytes) / double(kTiB), "TiB");
+  if (bytes >= kGiB) return FormatWithUnit(double(bytes) / double(kGiB), "GiB");
+  if (bytes >= kMiB) return FormatWithUnit(double(bytes) / double(kMiB), "MiB");
+  if (bytes >= kKiB) return FormatWithUnit(double(bytes) / double(kKiB), "KiB");
+  return FormatWithUnit(double(bytes), "B");
+}
+
+std::string FormatBandwidth(double bytes_per_sec) {
+  if (bytes_per_sec >= double(kGiB)) {
+    return FormatWithUnit(bytes_per_sec / double(kGiB), "GiB/s");
+  }
+  if (bytes_per_sec >= double(kMiB)) {
+    return FormatWithUnit(bytes_per_sec / double(kMiB), "MiB/s");
+  }
+  return FormatWithUnit(bytes_per_sec / double(kKiB), "KiB/s");
+}
+
+std::string FormatCount(double count) {
+  if (count >= 1e6) return FormatWithUnit(count / 1e6, "M");
+  if (count >= 1e3) return FormatWithUnit(count / 1e3, "K");
+  return FormatWithUnit(count, "");
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds >= 1.0) return FormatWithUnit(seconds, "s");
+  if (seconds >= kMsec) return FormatWithUnit(seconds / kMsec, "ms");
+  return FormatWithUnit(seconds / kUsec, "us");
+}
+
+std::uint64_t ParseSize(const std::string& text) {
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const double base = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || base < 0) return 0;
+  std::uint64_t mult = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': mult = kKiB; break;
+      case 'm': mult = kMiB; break;
+      case 'g': mult = kGiB; break;
+      case 't': mult = kTiB; break;
+      default: return 0;
+    }
+  }
+  return static_cast<std::uint64_t>(std::llround(base * double(mult)));
+}
+
+}  // namespace ros2

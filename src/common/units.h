@@ -1,0 +1,41 @@
+// Byte-size and time units used throughout the stack.
+//
+// All simulated time is kept in double seconds (the discrete-event engine's
+// native unit); byte counts are std::uint64_t. Formatting helpers render
+// "5.42 GiB/s" / "612.3 KIOPS" style strings for the bench tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ros2 {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+/// Simulated durations, expressed in seconds.
+inline constexpr double kUsec = 1e-6;
+inline constexpr double kMsec = 1e-3;
+
+/// 100 Gbps expressed in bytes/second (decimal network units).
+inline constexpr double kGbps = 1e9 / 8.0;
+
+/// "4 KiB", "1 MiB", "6.25 GiB" — chooses the largest binary unit.
+std::string FormatBytes(std::uint64_t bytes);
+
+/// "5.42 GiB/s" from a bytes/second rate.
+std::string FormatBandwidth(double bytes_per_sec);
+
+/// "612.3 K" / "1.25 M" IOPS style; caller appends the unit label.
+std::string FormatCount(double count);
+
+/// "83.4 us" / "1.21 ms" from seconds.
+std::string FormatDuration(double seconds);
+
+/// Parses "4k", "1m", "64", "2g" (binary units, FIO-style). Returns 0 on
+/// malformed input; callers validate.
+std::uint64_t ParseSize(const std::string& text);
+
+}  // namespace ros2

@@ -1,0 +1,84 @@
+#include "core/chacha20.h"
+
+#include <cstring>
+
+namespace ros2::core {
+namespace {
+
+constexpr std::uint32_t Rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                  std::uint32_t& d) {
+  a += b; d ^= a; d = Rotl(d, 16);
+  c += d; b ^= c; b = Rotl(b, 12);
+  a += b; d ^= a; d = Rotl(d, 8);
+  c += d; b ^= c; b = Rotl(b, 7);
+}
+
+/// One 64-byte ChaCha20 block for (key, nonce, counter).
+void Block(const ChaChaKey& key, std::uint64_t nonce, std::uint64_t counter,
+           std::uint8_t out[64]) {
+  std::uint32_t state[16];
+  // "expand 32-byte k"
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    std::memcpy(&state[4 + i], key.data() + 4 * i, 4);
+  }
+  // 64-bit counter + 64-bit nonce variant (original ChaCha layout).
+  state[12] = std::uint32_t(counter);
+  state[13] = std::uint32_t(counter >> 32);
+  state[14] = std::uint32_t(nonce);
+  state[15] = std::uint32_t(nonce >> 32);
+
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {  // 20 rounds = 10 double rounds
+    QuarterRound(working[0], working[4], working[8], working[12]);
+    QuarterRound(working[1], working[5], working[9], working[13]);
+    QuarterRound(working[2], working[6], working[10], working[14]);
+    QuarterRound(working[3], working[7], working[11], working[15]);
+    QuarterRound(working[0], working[5], working[10], working[15]);
+    QuarterRound(working[1], working[6], working[11], working[12]);
+    QuarterRound(working[2], working[7], working[8], working[13]);
+    QuarterRound(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + state[i];
+    std::memcpy(out + 4 * i, &v, 4);
+  }
+}
+
+}  // namespace
+
+void ChaCha20Xor(const ChaChaKey& key, std::uint64_t nonce,
+                 std::uint64_t stream_offset, std::span<std::byte> data) {
+  std::uint8_t block[64];
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = stream_offset + done;
+    const std::uint64_t counter = pos / 64;
+    const std::uint64_t within = pos % 64;
+    Block(key, nonce, counter, block);
+    const std::size_t n =
+        std::min<std::size_t>(data.size() - done, 64 - within);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[done + i] ^= std::byte(block[within + i]);
+    }
+    done += n;
+  }
+}
+
+std::uint64_t DeriveNonce(std::uint64_t hi, std::uint64_t lo) {
+  std::uint64_t x = hi * 0x9E3779B97F4A7C15ull ^ (lo + 0xD1B54A32D192ED03ull);
+  x ^= x >> 32;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 29;
+  return x;
+}
+
+}  // namespace ros2::core

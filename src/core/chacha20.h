@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439 block function) for the DPU-resident
+// inline encryption service (§1: "DPU-resident features such as ...
+// inline services (e.g., encryption/decryption) close to the NIC").
+//
+// The keystream position is tied to the absolute file offset, so
+// chunk-split and unaligned writes encrypt consistently: byte i of a file
+// is always XORed with keystream byte i for that (key, nonce). Note the
+// documented trade-off: rewriting a byte range reuses keystream (fine for
+// a performance prototype; a production service would hash a version into
+// the nonce).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ros2::core {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+
+/// XORs `data` (in place) with the ChaCha20 keystream for `key`/`nonce`,
+/// starting at absolute keystream byte `stream_offset`. Encryption and
+/// decryption are the same operation.
+void ChaCha20Xor(const ChaChaKey& key, std::uint64_t nonce,
+                 std::uint64_t stream_offset, std::span<std::byte> data);
+
+/// Deterministic per-object nonce derivation (object id halves mixed).
+std::uint64_t DeriveNonce(std::uint64_t hi, std::uint64_t lo);
+
+}  // namespace ros2::core

@@ -1,0 +1,91 @@
+#include "core/control_plane.h"
+
+#include "rpc/wire.h"
+
+namespace ros2::core {
+
+Ros2ControlService::Ros2ControlService(TenantRegistry* tenants,
+                                       net::Fabric* fabric,
+                                       std::string pool_label,
+                                       std::string container_label)
+    : tenants_(tenants),
+      fabric_(fabric),
+      pool_label_(std::move(pool_label)),
+      container_label_(std::move(container_label)) {
+  service_.Register("ros2.auth", [this](const Buffer& req) {
+    return HandleAuth(req);
+  });
+  service_.Register("ros2.mount", [this](const Buffer& req) {
+    return HandleMount(req);
+  });
+  service_.Register("ros2.grant_qos", [this](const Buffer& req) {
+    return HandleGrantQos(req);
+  });
+  service_.Register("ros2.exchange_mr", [this](const Buffer& req) {
+    return HandleExchangeMr(req);
+  });
+}
+
+Result<SessionInfo> Ros2ControlService::FindSession(
+    std::uint64_t session) const {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return NotFound("unknown session");
+  return it->second;
+}
+
+const std::vector<ExchangedMr>* Ros2ControlService::SessionMrs(
+    std::uint64_t session) const {
+  auto it = session_mrs_.find(session);
+  return it == session_mrs_.end() ? nullptr : &it->second;
+}
+
+Result<Buffer> Ros2ControlService::HandleAuth(const Buffer& request) {
+  rpc::Decoder dec(request);
+  ROS2_ASSIGN_OR_RETURN(std::string name, dec.Str());
+  ROS2_ASSIGN_OR_RETURN(std::string token, dec.Str());
+  ROS2_ASSIGN_OR_RETURN(Tenant * tenant, tenants_->Authenticate(name, token));
+  SessionInfo session;
+  session.id = next_session_++;
+  session.tenant = tenant->id;
+  sessions_[session.id] = session;
+  rpc::Encoder enc;
+  enc.U64(session.id).U32(tenant->id);
+  return enc.Take();
+}
+
+Result<Buffer> Ros2ControlService::HandleMount(const Buffer& request) {
+  rpc::Decoder dec(request);
+  ROS2_ASSIGN_OR_RETURN(std::uint64_t session, dec.U64());
+  ROS2_RETURN_IF_ERROR(FindSession(session).status());
+  rpc::Encoder enc;
+  enc.Str(pool_label_).Str(container_label_);
+  return enc.Take();
+}
+
+Result<Buffer> Ros2ControlService::HandleGrantQos(const Buffer& request) {
+  rpc::Decoder dec(request);
+  ROS2_ASSIGN_OR_RETURN(std::uint64_t session, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(std::uint64_t bytes, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(SessionInfo info, FindSession(session));
+  ROS2_ASSIGN_OR_RETURN(Tenant * tenant, tenants_->Find(info.tenant));
+  ROS2_RETURN_IF_ERROR(tenant->bucket.Acquire(bytes, fabric_->now()));
+  rpc::Encoder enc;
+  enc.U8(1);
+  return enc.Take();
+}
+
+Result<Buffer> Ros2ControlService::HandleExchangeMr(const Buffer& request) {
+  rpc::Decoder dec(request);
+  ROS2_ASSIGN_OR_RETURN(std::uint64_t session, dec.U64());
+  ExchangedMr mr;
+  ROS2_ASSIGN_OR_RETURN(mr.addr, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(mr.len, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(mr.rkey, dec.U64());
+  ROS2_RETURN_IF_ERROR(FindSession(session).status());
+  session_mrs_[session].push_back(mr);
+  rpc::Encoder enc;
+  enc.U8(1);
+  return enc.Take();
+}
+
+}  // namespace ros2::core

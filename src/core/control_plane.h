@@ -1,0 +1,68 @@
+// ROS2 control plane (§3.2): session setup, authentication, namespace
+// metadata, and capability exchange over the gRPC-like channel.
+//
+// Control messages are few and small (the 64 KiB cap is enforced by the
+// channel); bulk data never appears here. Methods:
+//
+//   ros2.auth         (tenant, token)            -> session id
+//   ros2.mount        (session)                  -> pool/container labels
+//   ros2.grant_qos    (session, bytes)           -> admit / rate-limited
+//   ros2.exchange_mr  (session, addr, len, rkey) -> ack (GPU/host buffer
+//                                                  descriptors, §3.5 step 2)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/tenant.h"
+#include "net/fabric.h"
+#include "rpc/control_channel.h"
+
+namespace ros2::core {
+
+struct SessionInfo {
+  std::uint64_t id = 0;
+  net::TenantId tenant = 0;
+};
+
+/// Descriptor conveyed by capability exchange.
+struct ExchangedMr {
+  std::uint64_t addr = 0;
+  std::uint64_t len = 0;
+  std::uint64_t rkey = 0;
+};
+
+class Ros2ControlService {
+ public:
+  Ros2ControlService(TenantRegistry* tenants, net::Fabric* fabric,
+                     std::string pool_label, std::string container_label);
+
+  rpc::ControlService* service() { return &service_; }
+
+  /// Session lookup for data-plane components (DPU agent QoS checks).
+  Result<SessionInfo> FindSession(std::uint64_t session) const;
+
+  /// Descriptors a session has exchanged (most recent first is last).
+  const std::vector<ExchangedMr>* SessionMrs(std::uint64_t session) const;
+
+  std::uint64_t sessions_opened() const { return next_session_ - 1; }
+
+ private:
+  Result<Buffer> HandleAuth(const Buffer& request);
+  Result<Buffer> HandleMount(const Buffer& request);
+  Result<Buffer> HandleGrantQos(const Buffer& request);
+  Result<Buffer> HandleExchangeMr(const Buffer& request);
+
+  TenantRegistry* tenants_;
+  net::Fabric* fabric_;
+  std::string pool_label_;
+  std::string container_label_;
+  rpc::ControlService service_;
+  std::uint64_t next_session_ = 1;
+  std::map<std::uint64_t, SessionInfo> sessions_;
+  std::map<std::uint64_t, std::vector<ExchangedMr>> session_mrs_;
+};
+
+}  // namespace ros2::core

@@ -1,0 +1,47 @@
+// Simulated GPU memory for the GPUDirect RDMA extension (§3.5).
+//
+// A GpuBuffer is a distinct memory domain standing in for GPU HBM. The
+// nvidia-peermem step — making GPU pages registrable by the NIC — is
+// RegisterWithFabric(): it produces an ordinary fabric MR over the GPU
+// bytes, after which the storage server's one-sided writes land directly
+// in "GPU memory" with no DPU-DRAM staging (the paper's three-step recipe).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/fabric.h"
+
+namespace ros2::core {
+
+class GpuBuffer {
+ public:
+  explicit GpuBuffer(std::size_t size) : hbm_(size) {}
+
+  std::span<std::byte> bytes() { return hbm_; }
+  std::span<const std::byte> bytes() const { return hbm_; }
+  std::size_t size() const { return hbm_.size(); }
+
+  /// nvidia-peermem equivalent: expose the GPU pages to the NIC under
+  /// `pd` so RDMA ops can target them directly.
+  Result<net::MemoryRegion> RegisterWithFabric(net::Endpoint* endpoint,
+                                               net::PdId pd,
+                                               std::uint32_t access,
+                                               double ttl = 0.0) {
+    return endpoint->RegisterMemory(pd, hbm_, access, ttl);
+  }
+
+  /// Host-visible staging copy (the path GPUDirect removes). Counted by
+  /// callers that model the staging cost.
+  void CopyOut(std::span<std::byte> dst, std::size_t offset) const {
+    std::copy_n(hbm_.begin() + std::ptrdiff_t(offset), dst.size(),
+                dst.begin());
+  }
+
+ private:
+  Buffer hbm_;
+};
+
+}  // namespace ros2::core

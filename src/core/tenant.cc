@@ -1,0 +1,69 @@
+#include "core/tenant.h"
+
+#include <algorithm>
+
+#include "common/crc.h"
+
+namespace ros2::core {
+
+Status QosBucket::Acquire(std::uint64_t bytes, double now) {
+  if (rate_ <= 0.0) return Status::Ok();
+  if (now > last_refill_) {
+    tokens_ = std::min(double(burst_), tokens_ + (now - last_refill_) * rate_);
+    last_refill_ = now;
+  }
+  if (double(bytes) > tokens_) {
+    return ResourceExhausted("tenant rate limit exceeded");
+  }
+  tokens_ -= double(bytes);
+  return Status::Ok();
+}
+
+Result<net::TenantId> TenantRegistry::Register(TenantConfig config) {
+  if (config.name.empty()) return InvalidArgument("tenant name required");
+  if (by_name_.contains(config.name)) {
+    return AlreadyExists("tenant name in use: " + config.name);
+  }
+  const net::TenantId id = next_id_++;
+  // Deterministic per-tenant key: CRC64 of name|token expanded through a
+  // splitmix64 sequence. Not a KDF — key management is out of scope;
+  // per-tenant uniqueness is what matters. (CRC chaining would NOT work
+  // here: CRC is linear, and crc(m, seed=m) collapses to a constant.)
+  ChaChaKey key{};
+  const std::string seed = config.name + "|" + config.auth_token;
+  std::uint64_t h = Crc64(seed.data(), seed.size());
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    h += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = h;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    for (std::size_t j = 0; j < 8; ++j) {
+      key[i + j] = std::uint8_t(z >> (8 * j));
+    }
+  }
+  by_id_.emplace(id, Tenant(id, config, key));
+  by_name_[config.name] = id;
+  return id;
+}
+
+Result<Tenant*> TenantRegistry::Authenticate(const std::string& name,
+                                             const std::string& token) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return PermissionDenied("unknown tenant: " + name);
+  }
+  Tenant& tenant = by_id_.at(it->second);
+  if (tenant.config.auth_token != token) {
+    return PermissionDenied("bad credentials for tenant: " + name);
+  }
+  return &tenant;
+}
+
+Result<Tenant*> TenantRegistry::Find(net::TenantId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return NotFound("unknown tenant id");
+  return &it->second;
+}
+
+}  // namespace ros2::core

@@ -1,0 +1,78 @@
+// Multi-tenant registry and QoS enforcement for the DPU-resident client
+// stack (§2.3, §5: "per-tenant protection domains/QPs, short-lived scoped
+// rkeys, strict memory registration" + "per-tenant queues and rate limits").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "core/chacha20.h"
+#include "net/fabric.h"
+
+namespace ros2::core {
+
+struct TenantConfig {
+  std::string name;
+  std::string auth_token;
+  /// Data-plane rate limit in bytes/second (0 = unlimited).
+  double rate_limit_bps = 0.0;
+  /// Burst allowance for the token bucket.
+  std::uint64_t burst_bytes = 16ull * 1024 * 1024;
+  /// Lifetime of data-plane rkeys issued for this tenant (0 = no expiry).
+  double rkey_ttl_seconds = 0.0;
+};
+
+/// Token bucket driven by the fabric's logical clock.
+class QosBucket {
+ public:
+  QosBucket(double rate_bps, std::uint64_t burst)
+      : rate_(rate_bps), burst_(burst), tokens_(double(burst)) {}
+
+  /// Attempts to spend `bytes` at logical time `now`. Unlimited buckets
+  /// (rate 0) always admit.
+  Status Acquire(std::uint64_t bytes, double now);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  std::uint64_t burst_;
+  double tokens_;
+  double last_refill_ = 0.0;
+};
+
+struct Tenant {
+  net::TenantId id = 0;
+  TenantConfig config;
+  ChaChaKey crypto_key{};  ///< per-tenant inline-encryption key
+  QosBucket bucket;
+
+  Tenant(net::TenantId id_, TenantConfig config_, ChaChaKey key)
+      : id(id_),
+        config(std::move(config_)),
+        crypto_key(key),
+        bucket(config.rate_limit_bps, config.burst_bytes) {}
+};
+
+class TenantRegistry {
+ public:
+  /// Registers a tenant; the crypto key is derived from the name+token
+  /// (deterministic for test reproducibility).
+  Result<net::TenantId> Register(TenantConfig config);
+
+  /// Validates (name, token); PERMISSION_DENIED on mismatch.
+  Result<Tenant*> Authenticate(const std::string& name,
+                               const std::string& token);
+
+  Result<Tenant*> Find(net::TenantId id);
+  std::size_t size() const { return by_id_.size(); }
+
+ private:
+  net::TenantId next_id_ = 1;  // 0 is the system tenant
+  std::map<net::TenantId, Tenant> by_id_;
+  std::map<std::string, net::TenantId> by_name_;
+};
+
+}  // namespace ros2::core

@@ -1,0 +1,399 @@
+#include "daos/client.h"
+
+#include <set>
+
+#include "daos/placement.h"
+#include "rpc/wire.h"
+
+namespace ros2::daos {
+namespace {
+
+void EncodeObjAddr(rpc::Encoder& enc, ContainerId cont, const ObjectId& oid,
+                   const std::string& dkey, const std::string& akey) {
+  enc.U64(cont).U64(oid.hi).U64(oid.lo).Str(dkey).Str(akey);
+}
+
+Result<std::vector<std::string>> DecodeStringList(const Buffer& raw) {
+  rpc::Decoder dec(raw);
+  ROS2_ASSIGN_OR_RETURN(std::uint32_t count, dec.U32());
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ROS2_ASSIGN_OR_RETURN(std::string s, dec.Str());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- connect
+
+Result<std::unique_ptr<DaosClient>> DaosClient::Connect(
+    net::Fabric* fabric, DaosEngine* engine, const ConnectOptions& options) {
+  DaosEngine* engines[] = {engine};
+  return Connect(fabric, engines, options);
+}
+
+Result<std::unique_ptr<DaosClient>> DaosClient::Connect(
+    net::Fabric* fabric, std::span<DaosEngine* const> engines,
+    const ConnectOptions& options) {
+  if (engines.empty()) return Status(InvalidArgument("no engines"));
+  if (options.replicas == 0 || options.replicas > engines.size()) {
+    return Status(InvalidArgument("replicas must be in [1, engines]"));
+  }
+  ROS2_ASSIGN_OR_RETURN(net::Endpoint * client_ep,
+                        fabric->CreateEndpoint(options.client_address));
+  const net::PdId pd = client_ep->AllocPd(options.tenant);
+
+  auto client = std::unique_ptr<DaosClient>(new DaosClient());
+  client->transport_ = options.transport;
+  client->replicas_ = options.replicas;
+
+  for (DaosEngine* engine : engines) {
+    if (engine == nullptr || engine->endpoint() == nullptr) {
+      return Status(InvalidArgument("engine has no endpoint"));
+    }
+    ROS2_ASSIGN_OR_RETURN(
+        net::Qp * qp, client_ep->Connect(engine->endpoint(),
+                                         options.transport, pd,
+                                         engine->pd()));
+    rpc::RpcServer* server = engine->server();
+    net::Qp* server_qp = qp->peer();
+    EngineConn conn;
+    conn.rpc = std::make_unique<rpc::RpcClient>(
+        qp, client_ep,
+        [server, server_qp] { (void)server->Progress(server_qp); });
+    client->engines_.push_back(std::move(conn));
+  }
+
+  // Authenticate against every engine's pool service before handing the
+  // client out; target counts must agree (one homogeneous pool).
+  for (std::uint32_t e = 0; e < client->engines_.size(); ++e) {
+    rpc::Encoder enc;
+    enc.Str(options.pool_label).Str(options.access_token);
+    ROS2_ASSIGN_OR_RETURN(
+        rpc::RpcReply reply,
+        client->Call(e, std::uint32_t(DaosOpcode::kPoolConnect),
+                     enc.buffer()));
+    rpc::Decoder dec(reply.header);
+    ROS2_RETURN_IF_ERROR(dec.U64().status());  // pool id
+    ROS2_ASSIGN_OR_RETURN(std::uint32_t targets, dec.U32());
+    if (e == 0) {
+      client->pool_targets_ = targets;
+    } else if (targets != client->pool_targets_) {
+      return Status(FailedPrecondition(
+          "engines disagree on target count; not one pool"));
+    }
+  }
+  return client;
+}
+
+Status DaosClient::SetEngineDown(std::uint32_t engine_index, bool down) {
+  if (engine_index >= engines_.size()) {
+    return InvalidArgument("no such engine");
+  }
+  engines_[engine_index].down = down;
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- routing
+
+std::uint32_t DaosClient::PrimaryEngine(const ObjectId& oid,
+                                        const std::string& dkey) const {
+  if (engines_.size() == 1) return 0;
+  // Level 1 of placement: dkeys spread over engines (level 2, inside the
+  // engine, spreads over its targets). Salt differs from PlaceDkey so the
+  // two levels decorrelate.
+  std::uint64_t x = oid.lo ^ (oid.hi * 0xD1B54A32D192ED03ull) ^
+                    (HashKey(dkey) * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 31;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 29;
+  return std::uint32_t(x % engines_.size());
+}
+
+Result<std::uint32_t> DaosClient::ReadableEngine(
+    const ObjectId& oid, const std::string& dkey) const {
+  const std::uint32_t primary = PrimaryEngine(oid, dkey);
+  for (std::uint32_t r = 0; r < replicas_; ++r) {
+    const std::uint32_t e =
+        (primary + r) % std::uint32_t(engines_.size());
+    if (!engines_[e].down) return e;
+  }
+  return Status(
+      Unavailable("all replicas of this dkey are on down engines"));
+}
+
+Result<rpc::RpcReply> DaosClient::Call(std::uint32_t engine,
+                                       std::uint32_t opcode,
+                                       std::span<const std::byte> header,
+                                       const rpc::CallOptions& options) {
+  if (engines_[engine].down) {
+    return Status(Unavailable("engine " + std::to_string(engine) +
+                              " is down"));
+  }
+  return engines_[engine].rpc->Call(opcode, header, options);
+}
+
+Result<rpc::RpcReply> DaosClient::CallReplicas(
+    const ObjectId& oid, const std::string& dkey, std::uint32_t opcode,
+    std::span<const std::byte> header, const rpc::CallOptions& options) {
+  const std::uint32_t primary = PrimaryEngine(oid, dkey);
+  // Write-all: every replica must acknowledge, so a down engine fails the
+  // update rather than silently diverging replicas.
+  Result<rpc::RpcReply> first = Status(Internal("no replicas"));
+  for (std::uint32_t r = 0; r < replicas_; ++r) {
+    const std::uint32_t e =
+        (primary + r) % std::uint32_t(engines_.size());
+    auto reply = Call(e, opcode, header, options);
+    if (!reply.ok()) return reply;
+    if (r == 0) first = std::move(reply);
+  }
+  return first;
+}
+
+Result<rpc::RpcReply> DaosClient::CallAll(std::uint32_t opcode,
+                                          std::span<const std::byte> header) {
+  Result<rpc::RpcReply> first = Status(Internal("no engines"));
+  for (std::uint32_t e = 0; e < engines_.size(); ++e) {
+    auto reply = Call(e, opcode, header);
+    if (!reply.ok()) return reply;
+    if (e == 0) {
+      first = std::move(reply);
+    } else if (reply->header != first->header) {
+      return Status(Internal("engines returned divergent metadata"));
+    }
+  }
+  return first;
+}
+
+// ------------------------------------------------------------ containers
+
+Result<ContainerId> DaosClient::ContainerCreate(const std::string& label) {
+  rpc::Encoder enc;
+  enc.Str(label);
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      CallAll(std::uint32_t(DaosOpcode::kContCreate), enc.buffer()));
+  rpc::Decoder dec(reply.header);
+  return dec.U64();
+}
+
+Result<ContainerId> DaosClient::ContainerOpen(const std::string& label) {
+  rpc::Encoder enc;
+  enc.Str(label);
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      CallAll(std::uint32_t(DaosOpcode::kContOpen), enc.buffer()));
+  rpc::Decoder dec(reply.header);
+  return dec.U64();
+}
+
+Result<ObjectId> DaosClient::AllocOid(ContainerId cont) {
+  // Oids are allocated by engine 0 (the "pool service" in this model);
+  // the id only namespaces keys, so other engines never need the counter.
+  rpc::Encoder enc;
+  enc.U64(cont);
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      Call(0, std::uint32_t(DaosOpcode::kOidAlloc), enc.buffer()));
+  rpc::Decoder dec(reply.header);
+  ObjectId oid;
+  ROS2_ASSIGN_OR_RETURN(oid.hi, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(oid.lo, dec.U64());
+  return oid;
+}
+
+// --------------------------------------------------------------- arrays
+
+Result<Epoch> DaosClient::Update(ContainerId cont, const ObjectId& oid,
+                                 const std::string& dkey,
+                                 const std::string& akey,
+                                 std::uint64_t offset,
+                                 std::span<const std::byte> data) {
+  rpc::Encoder enc;
+  EncodeObjAddr(enc, cont, oid, dkey, akey);
+  enc.U64(offset);
+  rpc::CallOptions options;
+  options.send_bulk = data;
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kObjUpdate),
+                   enc.buffer(), options));
+  rpc::Decoder dec(reply.header);
+  return dec.U64();
+}
+
+Status DaosClient::Fetch(ContainerId cont, const ObjectId& oid,
+                         const std::string& dkey, const std::string& akey,
+                         std::uint64_t offset, std::span<std::byte> out,
+                         Epoch epoch) {
+  // Snapshot reads pin to the primary (epochs are per-engine); HEAD reads
+  // fail over across replicas.
+  std::uint32_t engine = 0;
+  if (epoch != kEpochHead) {
+    engine = PrimaryEngine(oid, dkey);
+  } else {
+    ROS2_ASSIGN_OR_RETURN(engine, ReadableEngine(oid, dkey));
+  }
+  rpc::Encoder enc;
+  EncodeObjAddr(enc, cont, oid, dkey, akey);
+  enc.U64(offset).U64(out.size()).U64(epoch);
+  rpc::CallOptions options;
+  options.recv_bulk = out;
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      Call(engine, std::uint32_t(DaosOpcode::kObjFetch), enc.buffer(),
+           options));
+  if (reply.bulk_received != out.size()) {
+    return DataLoss("short DAOS fetch");
+  }
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- singles
+
+Result<Epoch> DaosClient::UpdateSingle(ContainerId cont, const ObjectId& oid,
+                                       const std::string& dkey,
+                                       const std::string& akey,
+                                       std::span<const std::byte> value) {
+  rpc::Encoder enc;
+  EncodeObjAddr(enc, cont, oid, dkey, akey);
+  enc.Bytes(value);
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kSingleUpdate),
+                   enc.buffer()));
+  rpc::Decoder dec(reply.header);
+  return dec.U64();
+}
+
+Result<Buffer> DaosClient::FetchSingle(ContainerId cont, const ObjectId& oid,
+                                       const std::string& dkey,
+                                       const std::string& akey, Epoch epoch) {
+  std::uint32_t engine = 0;
+  if (epoch != kEpochHead) {
+    engine = PrimaryEngine(oid, dkey);
+  } else {
+    ROS2_ASSIGN_OR_RETURN(engine, ReadableEngine(oid, dkey));
+  }
+  rpc::Encoder enc;
+  EncodeObjAddr(enc, cont, oid, dkey, akey);
+  enc.U64(epoch);
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      Call(engine, std::uint32_t(DaosOpcode::kSingleFetch), enc.buffer()));
+  rpc::Decoder dec(reply.header);
+  return dec.Bytes();
+}
+
+// ---------------------------------------------------------------- punch
+
+Status DaosClient::Punch(ContainerId cont, const ObjectId& oid,
+                         const std::string& dkey, const std::string& akey,
+                         PunchScope scope) {
+  rpc::Encoder enc;
+  EncodeObjAddr(enc, cont, oid, dkey, akey);
+  enc.U8(std::uint8_t(scope));
+  if (scope == PunchScope::kObject) {
+    // The object's dkeys (and replicas) may live on every engine.
+    bool any = false;
+    for (std::uint32_t e = 0; e < engines_.size(); ++e) {
+      auto reply = Call(e, std::uint32_t(DaosOpcode::kObjPunch),
+                        enc.buffer());
+      if (reply.ok()) {
+        any = true;
+      } else if (reply.status().code() == ErrorCode::kUnavailable) {
+        return reply.status();  // down engine: fail loudly, not silently
+      } else if (reply.status().code() != ErrorCode::kNotFound) {
+        return reply.status();
+      }
+    }
+    return any ? Status::Ok() : NotFound("no such object");
+  }
+  return CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kObjPunch),
+                      enc.buffer())
+      .status();
+}
+
+Status DaosClient::PunchObject(ContainerId cont, const ObjectId& oid) {
+  return Punch(cont, oid, "", "", PunchScope::kObject);
+}
+Status DaosClient::PunchDkey(ContainerId cont, const ObjectId& oid,
+                             const std::string& dkey) {
+  return Punch(cont, oid, dkey, "", PunchScope::kDkey);
+}
+Status DaosClient::PunchAkey(ContainerId cont, const ObjectId& oid,
+                             const std::string& dkey,
+                             const std::string& akey) {
+  return Punch(cont, oid, dkey, akey, PunchScope::kAkey);
+}
+
+// ---------------------------------------------------------- enumeration
+
+Result<std::vector<std::string>> DaosClient::ListDkeys(ContainerId cont,
+                                                       const ObjectId& oid) {
+  // Dkeys spread across engines; merge and dedupe (replicas duplicate).
+  rpc::Encoder enc;
+  enc.U64(cont).U64(oid.hi).U64(oid.lo);
+  std::set<std::string> merged;
+  bool any_up = false;
+  for (std::uint32_t e = 0; e < engines_.size(); ++e) {
+    if (engines_[e].down) continue;
+    any_up = true;
+    ROS2_ASSIGN_OR_RETURN(
+        rpc::RpcReply reply,
+        Call(e, std::uint32_t(DaosOpcode::kListDkeys), enc.buffer()));
+    ROS2_ASSIGN_OR_RETURN(std::vector<std::string> dkeys,
+                          DecodeStringList(reply.header));
+    merged.insert(dkeys.begin(), dkeys.end());
+  }
+  if (!any_up) return Status(Unavailable("all engines are down"));
+  return std::vector<std::string>(merged.begin(), merged.end());
+}
+
+Result<std::vector<std::string>> DaosClient::ListAkeys(
+    ContainerId cont, const ObjectId& oid, const std::string& dkey) {
+  ROS2_ASSIGN_OR_RETURN(std::uint32_t engine, ReadableEngine(oid, dkey));
+  rpc::Encoder enc;
+  EncodeObjAddr(enc, cont, oid, dkey, "");
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      Call(engine, std::uint32_t(DaosOpcode::kListAkeys), enc.buffer()));
+  return DecodeStringList(reply.header);
+}
+
+Result<std::uint64_t> DaosClient::ArraySize(ContainerId cont,
+                                            const ObjectId& oid,
+                                            const std::string& dkey,
+                                            const std::string& akey,
+                                            Epoch epoch) {
+  std::uint32_t engine = 0;
+  if (epoch != kEpochHead) {
+    engine = PrimaryEngine(oid, dkey);
+  } else {
+    ROS2_ASSIGN_OR_RETURN(engine, ReadableEngine(oid, dkey));
+  }
+  rpc::Encoder enc;
+  EncodeObjAddr(enc, cont, oid, dkey, akey);
+  enc.U64(epoch);
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      Call(engine, std::uint32_t(DaosOpcode::kArraySize), enc.buffer()));
+  rpc::Decoder dec(reply.header);
+  return dec.U64();
+}
+
+Status DaosClient::Aggregate(ContainerId cont, const ObjectId& oid,
+                             const std::string& dkey, const std::string& akey,
+                             Epoch upto) {
+  rpc::Encoder enc;
+  EncodeObjAddr(enc, cont, oid, dkey, akey);
+  enc.U64(upto);
+  return CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kAggregate),
+                      enc.buffer())
+      .status();
+}
+
+}  // namespace ros2::daos

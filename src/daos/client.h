@@ -1,0 +1,151 @@
+// libdaos-equivalent client: pool/container handles and object I/O over
+// the data-plane RPC layer (§3.2 "the DFS client translates POSIX calls to
+// DAOS RPCs and bulk transfers").
+//
+// The client is transport-agnostic: over RDMA its buffers are registered
+// and the engine moves payloads with one-sided verbs; over TCP payloads
+// ride inline. Nothing above this class (DFS, ROS2 core) knows which.
+//
+// Scale-out (the paper's §5 "broaden device counts" follow-up): the client
+// can connect to SEVERAL engines forming one pool. Dkeys place onto an
+// engine first (then onto a target inside it), and updates optionally
+// replicate onto the next `replicas-1` engines. Fetches fail over to
+// replicas when an engine is marked down (failure injection via
+// SetEngineDown), giving DAOS-style redundancy semantics at HEAD.
+// Epoch stamps are per-engine, so snapshot reads pin to the engine that
+// issued the epoch (documented simplification).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "daos/engine.h"
+#include "daos/types.h"
+#include "net/fabric.h"
+#include "rpc/data_rpc.h"
+
+namespace ros2::daos {
+
+class DaosClient {
+ public:
+  struct ConnectOptions {
+    std::string client_address = "fabric://daos-client";
+    net::Transport transport = net::Transport::kRdma;
+    std::string pool_label = "pool0";
+    std::string access_token;
+    net::TenantId tenant = net::kSystemTenant;
+    /// Copies of every update, placed on consecutive engines (1 = none).
+    std::uint32_t replicas = 1;
+  };
+
+  /// Dials the engine, performs PoolConnect (auth), returns a live client.
+  static Result<std::unique_ptr<DaosClient>> Connect(
+      net::Fabric* fabric, DaosEngine* engine, const ConnectOptions& options);
+
+  /// Scale-out form: one pool spanning several engines (§5 follow-up).
+  /// All engines must share `pool_label` and credentials.
+  static Result<std::unique_ptr<DaosClient>> Connect(
+      net::Fabric* fabric, std::span<DaosEngine* const> engines,
+      const ConnectOptions& options);
+
+  /// Failure injection: a down engine rejects routing; fetches fail over
+  /// to the next replica, updates fail unless every replica is reachable.
+  Status SetEngineDown(std::uint32_t engine_index, bool down);
+  std::uint32_t engine_count() const {
+    return std::uint32_t(engines_.size());
+  }
+
+  // --- containers --------------------------------------------------------
+  Result<ContainerId> ContainerCreate(const std::string& label);
+  Result<ContainerId> ContainerOpen(const std::string& label);
+
+  // --- objects -----------------------------------------------------------
+  Result<ObjectId> AllocOid(ContainerId cont);
+
+  /// Array write; returns the stamped epoch.
+  Result<Epoch> Update(ContainerId cont, const ObjectId& oid,
+                       const std::string& dkey, const std::string& akey,
+                       std::uint64_t offset,
+                       std::span<const std::byte> data);
+
+  /// Array read at `epoch` (kEpochHead = latest); holes read as zeros.
+  Status Fetch(ContainerId cont, const ObjectId& oid, const std::string& dkey,
+               const std::string& akey, std::uint64_t offset,
+               std::span<std::byte> out, Epoch epoch = kEpochHead);
+
+  Result<Epoch> UpdateSingle(ContainerId cont, const ObjectId& oid,
+                             const std::string& dkey, const std::string& akey,
+                             std::span<const std::byte> value);
+  Result<Buffer> FetchSingle(ContainerId cont, const ObjectId& oid,
+                             const std::string& dkey, const std::string& akey,
+                             Epoch epoch = kEpochHead);
+
+  Status PunchObject(ContainerId cont, const ObjectId& oid);
+  Status PunchDkey(ContainerId cont, const ObjectId& oid,
+                   const std::string& dkey);
+  Status PunchAkey(ContainerId cont, const ObjectId& oid,
+                   const std::string& dkey, const std::string& akey);
+
+  Result<std::vector<std::string>> ListDkeys(ContainerId cont,
+                                             const ObjectId& oid);
+  Result<std::vector<std::string>> ListAkeys(ContainerId cont,
+                                             const ObjectId& oid,
+                                             const std::string& dkey);
+  Result<std::uint64_t> ArraySize(ContainerId cont, const ObjectId& oid,
+                                  const std::string& dkey,
+                                  const std::string& akey,
+                                  Epoch epoch = kEpochHead);
+  Status Aggregate(ContainerId cont, const ObjectId& oid,
+                   const std::string& dkey, const std::string& akey,
+                   Epoch upto);
+
+  net::Transport transport() const { return transport_; }
+  std::uint32_t pool_targets() const { return pool_targets_; }
+  net::Qp* qp() const {
+    return engines_.empty() ? nullptr : engines_[0].rpc->qp();
+  }
+
+ private:
+  struct EngineConn {
+    std::unique_ptr<rpc::RpcClient> rpc;
+    bool down = false;
+  };
+
+  DaosClient() = default;
+  Status Punch(ContainerId cont, const ObjectId& oid, const std::string& dkey,
+               const std::string& akey, PunchScope scope);
+
+  /// Primary engine index for (oid, dkey); replica i lives at
+  /// (primary + i) % engines.
+  std::uint32_t PrimaryEngine(const ObjectId& oid,
+                              const std::string& dkey) const;
+  /// First reachable replica for reads; error when all are down.
+  Result<std::uint32_t> ReadableEngine(const ObjectId& oid,
+                                       const std::string& dkey) const;
+  /// Unary call against a specific engine.
+  Result<rpc::RpcReply> Call(std::uint32_t engine, std::uint32_t opcode,
+                             std::span<const std::byte> header,
+                             const rpc::CallOptions& options = {});
+  /// Same call fanned out to every replica of (oid, dkey); first reply is
+  /// returned. Fails if ANY replica is down (write-all semantics).
+  Result<rpc::RpcReply> CallReplicas(const ObjectId& oid,
+                                     const std::string& dkey,
+                                     std::uint32_t opcode,
+                                     std::span<const std::byte> header,
+                                     const rpc::CallOptions& options = {});
+  /// Broadcast to every engine (container/namespace metadata).
+  Result<rpc::RpcReply> CallAll(std::uint32_t opcode,
+                                std::span<const std::byte> header);
+
+  std::vector<EngineConn> engines_;
+  net::Transport transport_ = net::Transport::kRdma;
+  std::uint32_t pool_targets_ = 0;
+  std::uint32_t replicas_ = 1;
+};
+
+}  // namespace ros2::daos

@@ -1,0 +1,344 @@
+#include "daos/engine.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "daos/placement.h"
+#include "rpc/wire.h"
+
+namespace ros2::daos {
+namespace {
+
+/// Common object-addressing prefix: cont, oid, dkey, akey.
+struct ObjAddr {
+  ContainerId cont = 0;
+  ObjectId oid;
+  std::string dkey;
+  std::string akey;
+};
+
+Status DecodeObjAddr(rpc::Decoder& dec, ObjAddr* out) {
+  ROS2_ASSIGN_OR_RETURN(out->cont, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(out->oid.hi, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(out->oid.lo, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(out->dkey, dec.Str());
+  ROS2_ASSIGN_OR_RETURN(out->akey, dec.Str());
+  return Status::Ok();
+}
+
+}  // namespace
+
+DaosEngine::DaosEngine(net::Fabric* fabric, EngineConfig config,
+                       std::span<storage::NvmeDevice* const> devices)
+    : fabric_(fabric), config_(std::move(config)) {
+  assert(!devices.empty() && "engine needs at least one NVMe device");
+  auto ep = fabric_->CreateEndpoint(config_.address);
+  assert(ep.ok() && "engine endpoint address collision");
+  endpoint_ = ep.value();
+  pd_ = endpoint_->AllocPd();
+
+  // Partition each device among the targets assigned to it.
+  const std::uint32_t n = config_.targets == 0 ? 1 : config_.targets;
+  std::vector<std::uint32_t> per_device(devices.size(), 0);
+  for (std::uint32_t t = 0; t < n; ++t) per_device[t % devices.size()]++;
+
+  for (std::uint32_t t = 0; t < n; ++t) {
+    const std::size_t dev_index = t % devices.size();
+    storage::NvmeDevice* device = devices[dev_index];
+    const std::uint32_t slot = t / std::uint32_t(devices.size());
+    const std::uint64_t share =
+        device->config().capacity_bytes / per_device[dev_index];
+    // Align the partition base to the LBA size.
+    const std::uint32_t lba = device->config().lba_size;
+    const std::uint64_t base = (share * slot) / lba * lba;
+
+    Target target;
+    target.scm = std::make_unique<scm::PmemPool>(config_.scm_per_target);
+    target.bdev = std::make_unique<spdk::Bdev>(device);
+    VosConfig vos_config;
+    vos_config.checksums = config_.checksums;
+    vos_config.nvme_base = base;
+    vos_config.nvme_capacity = share / lba * lba;
+    target.vos = std::make_unique<Vos>(target.scm.get(), target.bdev.get(),
+                                       vos_config);
+    targets_.push_back(std::move(target));
+  }
+  RegisterHandlers();
+  ROS2_INFO << "daos engine up at " << config_.address << " ("
+            << targets_.size() << " targets, " << devices.size()
+            << " devices)";
+}
+
+DaosEngine::~DaosEngine() = default;
+
+Vos* DaosEngine::target_vos(std::uint32_t target) {
+  return target < targets_.size() ? targets_[target].vos.get() : nullptr;
+}
+
+EngineStats DaosEngine::stats() const {
+  EngineStats s = stats_;
+  s.bulk_bytes_in = server_.bulk_bytes_in();
+  s.bulk_bytes_out = server_.bulk_bytes_out();
+  return s;
+}
+
+void DaosEngine::RegisterHandlers() {
+  auto bind = [this](DaosOpcode op,
+                     Result<Buffer> (DaosEngine::*fn)(const Buffer&)) {
+    server_.Register(std::uint32_t(op),
+                     [this, fn](const Buffer& h, rpc::BulkIo&) {
+                       return (this->*fn)(h);
+                     });
+  };
+  bind(DaosOpcode::kPoolConnect, &DaosEngine::HandlePoolConnect);
+  bind(DaosOpcode::kContCreate, &DaosEngine::HandleContCreate);
+  bind(DaosOpcode::kContOpen, &DaosEngine::HandleContOpen);
+  bind(DaosOpcode::kOidAlloc, &DaosEngine::HandleOidAlloc);
+  bind(DaosOpcode::kSingleUpdate, &DaosEngine::HandleSingleUpdate);
+  bind(DaosOpcode::kSingleFetch, &DaosEngine::HandleSingleFetch);
+  bind(DaosOpcode::kObjPunch, &DaosEngine::HandleObjPunch);
+  bind(DaosOpcode::kListDkeys, &DaosEngine::HandleListDkeys);
+  bind(DaosOpcode::kListAkeys, &DaosEngine::HandleListAkeys);
+  bind(DaosOpcode::kArraySize, &DaosEngine::HandleArraySize);
+  bind(DaosOpcode::kAggregate, &DaosEngine::HandleAggregate);
+  server_.Register(std::uint32_t(DaosOpcode::kObjUpdate),
+                   [this](const Buffer& h, rpc::BulkIo& b) {
+                     return HandleObjUpdate(h, b);
+                   });
+  server_.Register(std::uint32_t(DaosOpcode::kObjFetch),
+                   [this](const Buffer& h, rpc::BulkIo& b) {
+                     return HandleObjFetch(h, b);
+                   });
+}
+
+Result<DaosEngine::Container*> DaosEngine::FindContainer(ContainerId id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return NotFound("unknown container");
+  return &it->second;
+}
+
+Result<Vos*> DaosEngine::RouteDkey(const ObjectId& oid,
+                                   const std::string& dkey) {
+  const std::uint32_t t =
+      PlaceDkey(oid, dkey, std::uint32_t(targets_.size()));
+  return targets_[t].vos.get();
+}
+
+Result<Buffer> DaosEngine::HandlePoolConnect(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ROS2_ASSIGN_OR_RETURN(std::string label, dec.Str());
+  ROS2_ASSIGN_OR_RETURN(std::string token, dec.Str());
+  if (label != config_.pool_label) {
+    return Status(NotFound("unknown pool label: " + label));
+  }
+  if (!config_.access_token.empty() && token != config_.access_token) {
+    return Status(PermissionDenied("pool access token rejected"));
+  }
+  rpc::Encoder enc;
+  enc.U64(1 /*pool id*/).U32(std::uint32_t(targets_.size()));
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleContCreate(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ROS2_ASSIGN_OR_RETURN(std::string label, dec.Str());
+  if (containers_by_label_.contains(label)) {
+    return Status(AlreadyExists("container label in use: " + label));
+  }
+  Container cont;
+  cont.id = next_container_id_++;
+  cont.label = label;
+  containers_by_label_[label] = cont.id;
+  containers_[cont.id] = cont;
+  rpc::Encoder enc;
+  enc.U64(cont.id);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleContOpen(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ROS2_ASSIGN_OR_RETURN(std::string label, dec.Str());
+  auto it = containers_by_label_.find(label);
+  if (it == containers_by_label_.end()) {
+    return Status(NotFound("no container labeled " + label));
+  }
+  rpc::Encoder enc;
+  enc.U64(it->second);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleOidAlloc(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ROS2_ASSIGN_OR_RETURN(ContainerId cont_id, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(cont_id));
+  rpc::Encoder enc;
+  // hi = container id (namespacing), lo = per-container sequence.
+  enc.U64(cont_id).U64(cont->next_oid++);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleObjUpdate(const Buffer& header,
+                                           rpc::BulkIo& bulk) {
+  rpc::Decoder dec(header);
+  ObjAddr addr;
+  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+  ROS2_ASSIGN_OR_RETURN(std::uint64_t offset, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
+  if (bulk.in_size() == 0) {
+    return Status(InvalidArgument("update requires a bulk payload"));
+  }
+  Buffer data(bulk.in_size());
+  ROS2_RETURN_IF_ERROR(bulk.Pull(data));
+  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
+  const Epoch epoch = cont->next_epoch++;
+  ROS2_RETURN_IF_ERROR(
+      vos->UpdateArray(addr.oid, addr.dkey, addr.akey, epoch, offset, data));
+  ++stats_.updates;
+  rpc::Encoder enc;
+  enc.U64(epoch);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleObjFetch(const Buffer& header,
+                                          rpc::BulkIo& bulk) {
+  rpc::Decoder dec(header);
+  ObjAddr addr;
+  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+  ROS2_ASSIGN_OR_RETURN(std::uint64_t offset, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(std::uint64_t length, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(Epoch epoch, dec.U64());
+  ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
+  if (length != bulk.out_capacity()) {
+    return Status(InvalidArgument("fetch length != client bulk window"));
+  }
+  Buffer data(length);
+  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
+  ROS2_RETURN_IF_ERROR(
+      vos->FetchArray(addr.oid, addr.dkey, addr.akey, epoch, offset, data));
+  ROS2_RETURN_IF_ERROR(bulk.Push(data));
+  ++stats_.fetches;
+  return Buffer{};
+}
+
+Result<Buffer> DaosEngine::HandleSingleUpdate(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ObjAddr addr;
+  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+  ROS2_ASSIGN_OR_RETURN(Buffer value, dec.Bytes());
+  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
+  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
+  const Epoch epoch = cont->next_epoch++;
+  ROS2_RETURN_IF_ERROR(
+      vos->UpdateSingle(addr.oid, addr.dkey, addr.akey, epoch, value));
+  ++stats_.updates;
+  rpc::Encoder enc;
+  enc.U64(epoch);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleSingleFetch(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ObjAddr addr;
+  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+  ROS2_ASSIGN_OR_RETURN(Epoch epoch, dec.U64());
+  ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
+  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
+  ROS2_ASSIGN_OR_RETURN(Buffer value,
+                        vos->FetchSingle(addr.oid, addr.dkey, addr.akey,
+                                         epoch));
+  ++stats_.fetches;
+  rpc::Encoder enc;
+  enc.Bytes(value);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleObjPunch(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ObjAddr addr;
+  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+  ROS2_ASSIGN_OR_RETURN(std::uint8_t scope_raw, dec.U8());
+  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
+  const Epoch epoch = cont->next_epoch++;
+  const auto scope = PunchScope(scope_raw);
+  if (scope == PunchScope::kObject) {
+    // The object's dkeys may span every target; punch on each.
+    bool found = false;
+    for (auto& target : targets_) {
+      if (target.vos->ObjectExists(addr.oid)) {
+        ROS2_RETURN_IF_ERROR(target.vos->PunchObject(addr.oid, epoch));
+        found = true;
+      }
+    }
+    if (!found) return Status(NotFound("no such object"));
+    return Buffer{};
+  }
+  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
+  if (scope == PunchScope::kDkey) {
+    ROS2_RETURN_IF_ERROR(vos->PunchDkey(addr.oid, addr.dkey, epoch));
+  } else {
+    ROS2_RETURN_IF_ERROR(
+        vos->PunchAkey(addr.oid, addr.dkey, addr.akey, epoch));
+  }
+  return Buffer{};
+}
+
+Result<Buffer> DaosEngine::HandleListDkeys(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ROS2_ASSIGN_OR_RETURN(ContainerId cont_id, dec.U64());
+  ObjectId oid;
+  ROS2_ASSIGN_OR_RETURN(oid.hi, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(oid.lo, dec.U64());
+  ROS2_RETURN_IF_ERROR(FindContainer(cont_id).status());
+  rpc::Encoder enc;
+  std::vector<std::string> all;
+  for (auto& target : targets_) {
+    for (auto& dkey : target.vos->ListDkeys(oid)) {
+      all.push_back(std::move(dkey));
+    }
+  }
+  enc.U32(std::uint32_t(all.size()));
+  for (const auto& dkey : all) enc.Str(dkey);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleListAkeys(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ObjAddr addr;
+  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+  ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
+  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
+  rpc::Encoder enc;
+  const auto akeys = vos->ListAkeys(addr.oid, addr.dkey);
+  enc.U32(std::uint32_t(akeys.size()));
+  for (const auto& akey : akeys) enc.Str(akey);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleArraySize(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ObjAddr addr;
+  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+  ROS2_ASSIGN_OR_RETURN(Epoch epoch, dec.U64());
+  ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
+  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
+  ROS2_ASSIGN_OR_RETURN(
+      std::uint64_t size,
+      vos->ArraySize(addr.oid, addr.dkey, addr.akey, epoch));
+  rpc::Encoder enc;
+  enc.U64(size);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleAggregate(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ObjAddr addr;
+  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+  ROS2_ASSIGN_OR_RETURN(Epoch upto, dec.U64());
+  ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
+  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
+  ROS2_RETURN_IF_ERROR(
+      vos->AggregateArray(addr.oid, addr.dkey, addr.akey, upto));
+  return Buffer{};
+}
+
+}  // namespace ros2::daos

@@ -1,0 +1,37 @@
+// Object placement: (oid, dkey) -> engine target (§2.4 "objects are
+// distributed across a set of storage targets").
+//
+// DAOS places by jump-consistent-style hashing over the pool map; this
+// model keeps the property the evaluation depends on — distribution keys
+// spread uniformly across targets — with a mixed 64-bit hash.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "daos/types.h"
+
+namespace ros2::daos {
+
+inline std::uint64_t HashKey(std::string_view key) {
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : key) {
+    h ^= std::uint8_t(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Target index in [0, num_targets) for a (oid, dkey) pair. All akeys under
+/// one dkey colocate (DAOS's unit of distribution is the dkey).
+inline std::uint32_t PlaceDkey(const ObjectId& oid, std::string_view dkey,
+                               std::uint32_t num_targets) {
+  std::uint64_t x = oid.hi ^ (oid.lo * 0x9E3779B97F4A7C15ull) ^ HashKey(dkey);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 29;
+  return std::uint32_t(x % (num_targets == 0 ? 1 : num_targets));
+}
+
+}  // namespace ros2::daos

@@ -1,0 +1,56 @@
+// Core DAOS object-model types (§2.4): object ids, keys, epochs, extents.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ros2::daos {
+
+/// 128-bit object identifier (DAOS oid).
+struct ObjectId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  auto operator<=>(const ObjectId&) const = default;
+  bool valid() const { return hi != 0 || lo != 0; }
+};
+
+/// Monotonic version tag; every update is stamped with the container's
+/// next epoch, and fetches read "as of" an epoch (0 = HEAD).
+using Epoch = std::uint64_t;
+inline constexpr Epoch kEpochHead = 0;
+
+/// A byte range within an array value.
+struct Extent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  std::uint64_t end() const { return offset + length; }
+  bool Overlaps(const Extent& other) const {
+    return offset < other.end() && other.offset < end();
+  }
+};
+
+/// Value shape under an akey: a single atomic value (metadata-style) or a
+/// sparse byte array addressed by extents (file-data-style).
+enum class ValueType : std::uint8_t { kSingle = 0, kArray = 1 };
+
+/// Container-scoped ids are dense u64s in this model (real DAOS uses
+/// uuids; dense ids keep wire headers compact).
+using ContainerId = std::uint64_t;
+using PoolId = std::uint64_t;
+
+struct DaosKeyHash {
+  std::size_t operator()(const ObjectId& oid) const {
+    // Mix both halves (splitmix-style).
+    std::uint64_t x = oid.hi * 0x9E3779B97F4A7C15ull + oid.lo;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    return std::size_t(x);
+  }
+};
+
+}  // namespace ros2::daos

@@ -1,0 +1,376 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "rpc/wire.h"
+
+namespace ros2::dfs {
+namespace {
+
+// Reserved dkeys on file/root objects ('\x01' cannot collide with path
+// components, which never contain control characters after validation).
+const char* const kMetaDkey = "\x01meta";
+const char* const kSuperblockDkey = "\x01sb";
+const char* const kEntryAkey = "e";
+const char* const kSizeAkey = "size";
+const char* const kMagicAkey = "magic";
+constexpr std::uint64_t kDfsMagic = 0x524F53324446531Aull;  // "ROS2DFS\x1a"
+
+std::string ChunkDkey(std::uint64_t chunk_index) {
+  return "c" + std::to_string(chunk_index);
+}
+
+Buffer EncodeEntry(const DfsStat& stat) {
+  rpc::Encoder enc;
+  enc.U8(std::uint8_t(stat.type))
+      .U64(stat.oid.hi)
+      .U64(stat.oid.lo)
+      .U32(stat.mode);
+  return enc.Take();
+}
+
+Result<DfsStat> DecodeEntry(const Buffer& raw) {
+  rpc::Decoder dec(raw);
+  DfsStat stat;
+  ROS2_ASSIGN_OR_RETURN(std::uint8_t type, dec.U8());
+  stat.type = InodeType(type);
+  ROS2_ASSIGN_OR_RETURN(stat.oid.hi, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(stat.oid.lo, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(stat.mode, dec.U32());
+  return stat;
+}
+
+/// Splits "/a/b/c" into components; rejects empty and non-absolute paths
+/// and components with control characters.
+Result<std::vector<std::string>> SplitPath(const std::string& path) {
+  if (path.empty() || path.front() != '/') {
+    return Status(InvalidArgument("path must be absolute: " + path));
+  }
+  std::vector<std::string> parts;
+  std::size_t start = 1;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    if (end > start) {
+      const std::string part = path.substr(start, end - start);
+      if (part == "." || part == "..") {
+        return Status(InvalidArgument("'.'/'..' are not supported"));
+      }
+      for (char c : part) {
+        if (std::uint8_t(c) < 0x20) {
+          return Status(
+              InvalidArgument("control characters are not allowed in paths"));
+        }
+      }
+      parts.push_back(part);
+    }
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Dfs>> Dfs::Mount(daos::DaosClient* client,
+                                        daos::ContainerId cont, bool create,
+                                        DfsConfig config) {
+  if (client == nullptr) return Status(InvalidArgument("null client"));
+  if (config.chunk_size == 0) {
+    return Status(InvalidArgument("chunk size must be > 0"));
+  }
+  auto dfs = std::unique_ptr<Dfs>(new Dfs(client, cont, config));
+  if (create) {
+    ROS2_ASSIGN_OR_RETURN(dfs->root_, client->AllocOid(cont));
+    rpc::Encoder sb;
+    sb.U64(kDfsMagic).U64(config.chunk_size);
+    ROS2_RETURN_IF_ERROR(client
+                             ->UpdateSingle(cont, dfs->root_, kSuperblockDkey,
+                                            kMagicAkey, sb.buffer())
+                             .status());
+  } else {
+    // The root object is the container's first allocated oid.
+    dfs->root_ = daos::ObjectId{cont, 1};
+    auto sb = client->FetchSingle(cont, dfs->root_, kSuperblockDkey,
+                                  kMagicAkey);
+    if (!sb.ok()) {
+      return Status(FailedPrecondition("container holds no DFS superblock"));
+    }
+    rpc::Decoder dec(*sb);
+    ROS2_ASSIGN_OR_RETURN(std::uint64_t magic, dec.U64());
+    if (magic != kDfsMagic) {
+      return Status(DataLoss("DFS superblock magic mismatch"));
+    }
+    ROS2_ASSIGN_OR_RETURN(dfs->config_.chunk_size, dec.U64());
+  }
+  return dfs;
+}
+
+Status Dfs::ResolveParent(const std::string& path, daos::ObjectId* parent,
+                          std::string* leaf) {
+  ROS2_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) return InvalidArgument("path refers to the root");
+  daos::ObjectId dir = root_;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    ROS2_ASSIGN_OR_RETURN(DfsStat stat, LookupEntry(dir, parts[i]));
+    if (stat.type != InodeType::kDirectory) {
+      return InvalidArgument("path component is not a directory: " +
+                             parts[i]);
+    }
+    dir = stat.oid;
+  }
+  *parent = dir;
+  *leaf = parts.back();
+  return Status::Ok();
+}
+
+Result<DfsStat> Dfs::LookupEntry(const daos::ObjectId& dir,
+                                 const std::string& name) {
+  auto raw = client_->FetchSingle(cont_, dir, name, kEntryAkey);
+  if (!raw.ok()) return Status(NotFound("no such entry: " + name));
+  return DecodeEntry(*raw);
+}
+
+Status Dfs::WriteEntry(const daos::ObjectId& dir, const std::string& name,
+                       const DfsStat& stat) {
+  return client_->UpdateSingle(cont_, dir, name, kEntryAkey,
+                               EncodeEntry(stat))
+      .status();
+}
+
+Result<std::uint64_t> Dfs::LoadFileSize(const daos::ObjectId& oid) {
+  auto raw = client_->FetchSingle(cont_, oid, kMetaDkey, kSizeAkey);
+  if (!raw.ok()) return std::uint64_t(0);
+  rpc::Decoder dec(*raw);
+  return dec.U64();
+}
+
+Status Dfs::StoreFileSize(const daos::ObjectId& oid, std::uint64_t size) {
+  rpc::Encoder enc;
+  enc.U64(size);
+  return client_->UpdateSingle(cont_, oid, kMetaDkey, kSizeAkey, enc.buffer())
+      .status();
+}
+
+Status Dfs::Mkdir(const std::string& path, std::uint32_t mode) {
+  daos::ObjectId parent;
+  std::string leaf;
+  ROS2_RETURN_IF_ERROR(ResolveParent(path, &parent, &leaf));
+  if (LookupEntry(parent, leaf).ok()) {
+    return AlreadyExists("entry exists: " + path);
+  }
+  ROS2_ASSIGN_OR_RETURN(daos::ObjectId oid, client_->AllocOid(cont_));
+  DfsStat stat;
+  stat.type = InodeType::kDirectory;
+  stat.oid = oid;
+  stat.mode = mode;
+  return WriteEntry(parent, leaf, stat);
+}
+
+Result<Fd> Dfs::Open(const std::string& path, OpenFlags flags,
+                     std::uint32_t mode) {
+  daos::ObjectId parent;
+  std::string leaf;
+  ROS2_RETURN_IF_ERROR(ResolveParent(path, &parent, &leaf));
+  auto existing = LookupEntry(parent, leaf);
+  OpenFile file;
+  if (existing.ok()) {
+    if (existing->type != InodeType::kFile) {
+      return Status(InvalidArgument("not a file: " + path));
+    }
+    if (flags.create && flags.exclusive) {
+      return Status(AlreadyExists("O_EXCL: file exists: " + path));
+    }
+    file.oid = existing->oid;
+    if (flags.truncate) {
+      ROS2_RETURN_IF_ERROR(client_->PunchObject(cont_, file.oid));
+      ROS2_RETURN_IF_ERROR(StoreFileSize(file.oid, 0));
+      file.size = 0;
+    } else {
+      ROS2_ASSIGN_OR_RETURN(file.size, LoadFileSize(file.oid));
+    }
+  } else {
+    if (!flags.create) return Status(NotFound("no such file: " + path));
+    ROS2_ASSIGN_OR_RETURN(file.oid, client_->AllocOid(cont_));
+    DfsStat stat;
+    stat.type = InodeType::kFile;
+    stat.oid = file.oid;
+    stat.mode = mode;
+    ROS2_RETURN_IF_ERROR(WriteEntry(parent, leaf, stat));
+    ROS2_RETURN_IF_ERROR(StoreFileSize(file.oid, 0));
+    file.size = 0;
+  }
+  const Fd fd = next_fd_++;
+  open_files_[fd] = file;
+  return fd;
+}
+
+Status Dfs::Close(Fd fd) {
+  if (open_files_.erase(fd) == 0) return NotFound("bad file descriptor");
+  return Status::Ok();
+}
+
+Result<DfsStat> Dfs::Stat(const std::string& path) {
+  ROS2_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    DfsStat root;
+    root.type = InodeType::kDirectory;
+    root.oid = root_;
+    root.mode = 0755;
+    return root;
+  }
+  daos::ObjectId parent;
+  std::string leaf;
+  ROS2_RETURN_IF_ERROR(ResolveParent(path, &parent, &leaf));
+  ROS2_ASSIGN_OR_RETURN(DfsStat stat, LookupEntry(parent, leaf));
+  if (stat.type == InodeType::kFile) {
+    ROS2_ASSIGN_OR_RETURN(stat.size, LoadFileSize(stat.oid));
+  }
+  return stat;
+}
+
+Result<std::vector<DirEntry>> Dfs::Readdir(const std::string& path) {
+  ROS2_ASSIGN_OR_RETURN(DfsStat stat, Stat(path));
+  if (stat.type != InodeType::kDirectory) {
+    return Status(InvalidArgument("not a directory: " + path));
+  }
+  ROS2_ASSIGN_OR_RETURN(std::vector<std::string> dkeys,
+                        client_->ListDkeys(cont_, stat.oid));
+  std::vector<DirEntry> out;
+  for (auto& name : dkeys) {
+    if (!name.empty() && name.front() == '\x01') continue;  // reserved
+    auto entry = LookupEntry(stat.oid, name);
+    if (!entry.ok()) continue;  // punched entry
+    out.push_back({std::move(name), entry->type});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+Status Dfs::Unlink(const std::string& path) {
+  daos::ObjectId parent;
+  std::string leaf;
+  ROS2_RETURN_IF_ERROR(ResolveParent(path, &parent, &leaf));
+  ROS2_ASSIGN_OR_RETURN(DfsStat stat, LookupEntry(parent, leaf));
+  if (stat.type == InodeType::kDirectory) {
+    ROS2_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, Readdir(path));
+    if (!entries.empty()) {
+      return FailedPrecondition("directory not empty: " + path);
+    }
+  }
+  // Remove the name first, then reclaim the object (crash between the two
+  // leaks space but never dangles a name).
+  ROS2_RETURN_IF_ERROR(client_->PunchDkey(cont_, parent, leaf));
+  (void)client_->PunchObject(cont_, stat.oid);  // may hold no records yet
+  return Status::Ok();
+}
+
+Status Dfs::Rename(const std::string& from, const std::string& to) {
+  daos::ObjectId from_parent;
+  std::string from_leaf;
+  ROS2_RETURN_IF_ERROR(ResolveParent(from, &from_parent, &from_leaf));
+  ROS2_ASSIGN_OR_RETURN(DfsStat stat, LookupEntry(from_parent, from_leaf));
+  daos::ObjectId to_parent;
+  std::string to_leaf;
+  ROS2_RETURN_IF_ERROR(ResolveParent(to, &to_parent, &to_leaf));
+  auto existing = LookupEntry(to_parent, to_leaf);
+  if (existing.ok()) {
+    if (existing->type == InodeType::kDirectory) {
+      return InvalidArgument("rename onto a directory");
+    }
+    ROS2_RETURN_IF_ERROR(Unlink(to));
+  }
+  ROS2_RETURN_IF_ERROR(WriteEntry(to_parent, to_leaf, stat));
+  return client_->PunchDkey(cont_, from_parent, from_leaf);
+}
+
+Result<std::uint64_t> Dfs::Read(Fd fd, std::uint64_t offset,
+                                std::span<std::byte> out) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return Status(NotFound("bad file descriptor"));
+  const OpenFile& file = it->second;
+  if (offset >= file.size || out.empty()) return std::uint64_t(0);
+  const std::uint64_t n = std::min<std::uint64_t>(out.size(),
+                                                  file.size - offset);
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t chunk = pos / config_.chunk_size;
+    const std::uint64_t within = pos % config_.chunk_size;
+    const std::uint64_t take =
+        std::min(n - done, config_.chunk_size - within);
+    ROS2_RETURN_IF_ERROR(client_->Fetch(cont_, file.oid, ChunkDkey(chunk),
+                                        "d", within,
+                                        out.subspan(done, take)));
+    done += take;
+  }
+  return n;
+}
+
+Status Dfs::Write(Fd fd, std::uint64_t offset,
+                  std::span<const std::byte> data) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return NotFound("bad file descriptor");
+  OpenFile& file = it->second;
+  if (data.empty()) return Status::Ok();
+  std::uint64_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t chunk = pos / config_.chunk_size;
+    const std::uint64_t within = pos % config_.chunk_size;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(data.size() - done,
+                                config_.chunk_size - within);
+    ROS2_RETURN_IF_ERROR(client_
+                             ->Update(cont_, file.oid, ChunkDkey(chunk), "d",
+                                      within, data.subspan(done, take))
+                             .status());
+    done += take;
+  }
+  const std::uint64_t end = offset + data.size();
+  if (end > file.size) {
+    ROS2_RETURN_IF_ERROR(StoreFileSize(file.oid, end));
+    file.size = end;
+  }
+  return Status::Ok();
+}
+
+Result<daos::ObjectId> Dfs::Oid(Fd fd) const {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return Status(NotFound("bad file descriptor"));
+  return it->second.oid;
+}
+
+Result<std::uint64_t> Dfs::Size(Fd fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return Status(NotFound("bad file descriptor"));
+  return it->second.size;
+}
+
+Status Dfs::Truncate(Fd fd, std::uint64_t new_size) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return NotFound("bad file descriptor");
+  OpenFile& file = it->second;
+  if (new_size == 0 && file.size > 0) {
+    // Reclaim all chunk data; metadata object survives.
+    const std::uint64_t chunks =
+        (file.size + config_.chunk_size - 1) / config_.chunk_size;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      (void)client_->PunchDkey(cont_, file.oid, ChunkDkey(c));
+    }
+  }
+  // Extension is implicit (holes read as zeros); shrink-to-middle keeps
+  // stale extents but masks them with the logical size.
+  ROS2_RETURN_IF_ERROR(StoreFileSize(file.oid, new_size));
+  file.size = new_size;
+  return Status::Ok();
+}
+
+Status Dfs::Fsync(Fd fd) {
+  if (!open_files_.contains(fd)) return NotFound("bad file descriptor");
+  return Status::Ok();
+}
+
+}  // namespace ros2::dfs

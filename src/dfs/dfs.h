@@ -1,0 +1,123 @@
+// DFS: POSIX-style namespace over DAOS objects (§3.3 "DFS mapping").
+//
+// "The DFS layer maps POSIX files and directories to DAOS objects and
+// metadata entries." The mapping used here mirrors libdfs:
+//
+//  - every directory is an object; entries are dkeys (name -> single-value
+//    record {type, oid, mode});
+//  - every file is an object; data lives under per-chunk dkeys
+//    ("c<index>", chunk size 1 MiB by default) as array values, so large
+//    files stripe across engine targets;
+//  - file size is a single-value record on the file object, updated on
+//    extending writes;
+//  - the superblock (magic, chunk size) is a record on the root object,
+//    written at mount-create and verified at mount-open.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "daos/client.h"
+#include "daos/types.h"
+
+namespace ros2::dfs {
+
+struct DfsConfig {
+  std::uint64_t chunk_size = 1ull << 20;  // DAOS DFS default: 1 MiB
+};
+
+enum class InodeType : std::uint8_t { kDirectory = 0, kFile = 1 };
+
+struct DfsStat {
+  InodeType type = InodeType::kFile;
+  daos::ObjectId oid;
+  std::uint64_t size = 0;   ///< files only
+  std::uint32_t mode = 0644;
+};
+
+struct DirEntry {
+  std::string name;
+  InodeType type = InodeType::kFile;
+};
+
+/// Open flags (subset of O_*).
+struct OpenFlags {
+  bool create = false;
+  bool exclusive = false;  ///< with create: fail if the file exists
+  bool truncate = false;
+};
+
+using Fd = std::uint64_t;
+
+class Dfs {
+ public:
+  /// Mounts the DFS namespace in `cont`. With `create`, formats a fresh
+  /// namespace (root object + superblock); otherwise verifies the
+  /// superblock written by a previous mount.
+  static Result<std::unique_ptr<Dfs>> Mount(daos::DaosClient* client,
+                                            daos::ContainerId cont,
+                                            bool create,
+                                            DfsConfig config = {});
+
+  // --- namespace operations (control-plane traffic in ROS2) --------------
+  Status Mkdir(const std::string& path, std::uint32_t mode = 0755);
+  Result<Fd> Open(const std::string& path, OpenFlags flags,
+                  std::uint32_t mode = 0644);
+  Status Close(Fd fd);
+  Result<DfsStat> Stat(const std::string& path);
+  Result<std::vector<DirEntry>> Readdir(const std::string& path);
+  Status Unlink(const std::string& path);  ///< file or empty directory
+  Status Rename(const std::string& from, const std::string& to);
+
+  // --- file I/O (data-plane traffic) --------------------------------------
+  /// Returns bytes read (clamped at EOF). Chunk-spanning reads fan out to
+  /// per-chunk fetches.
+  Result<std::uint64_t> Read(Fd fd, std::uint64_t offset,
+                             std::span<std::byte> out);
+  Status Write(Fd fd, std::uint64_t offset, std::span<const std::byte> data);
+  Result<std::uint64_t> Size(Fd fd);
+  /// Backing object id of an open file (used by inline services that need
+  /// a stable per-file nonce).
+  Result<daos::ObjectId> Oid(Fd fd) const;
+  Status Truncate(Fd fd, std::uint64_t new_size);
+  /// Durability barrier. The model's tiers are immediately durable, so this
+  /// only validates the handle (kept for POSIX parity with FIO's fsync).
+  Status Fsync(Fd fd);
+
+  std::uint64_t chunk_size() const { return config_.chunk_size; }
+
+ private:
+  struct OpenFile {
+    daos::ObjectId oid;
+    std::uint64_t size = 0;
+  };
+
+  Dfs(daos::DaosClient* client, daos::ContainerId cont, DfsConfig config)
+      : client_(client), cont_(cont), config_(config) {}
+
+  /// Resolves `path` to its parent directory oid + leaf name.
+  Status ResolveParent(const std::string& path, daos::ObjectId* parent,
+                       std::string* leaf);
+  /// Looks up one entry in a directory.
+  Result<DfsStat> LookupEntry(const daos::ObjectId& dir,
+                              const std::string& name);
+  Status WriteEntry(const daos::ObjectId& dir, const std::string& name,
+                    const DfsStat& stat);
+
+  Result<std::uint64_t> LoadFileSize(const daos::ObjectId& oid);
+  Status StoreFileSize(const daos::ObjectId& oid, std::uint64_t size);
+
+  daos::DaosClient* client_;
+  daos::ContainerId cont_;
+  DfsConfig config_;
+  daos::ObjectId root_;
+  std::map<Fd, OpenFile> open_files_;
+  Fd next_fd_ = 3;  // 0/1/2 reserved, POSIX-style
+};
+
+}  // namespace ros2::dfs

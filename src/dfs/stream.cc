@@ -1,0 +1,75 @@
+#include "dfs/stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ros2::dfs {
+
+DfsOutputStream::DfsOutputStream(Dfs* dfs, Fd fd, std::size_t buffer_size)
+    : dfs_(dfs),
+      fd_(fd),
+      buffer_(buffer_size == 0 ? std::size_t(dfs->chunk_size())
+                               : buffer_size) {}
+
+DfsOutputStream::~DfsOutputStream() { (void)Flush(); }
+
+Status DfsOutputStream::Append(std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    if (fill_ == buffer_.size()) {
+      ROS2_RETURN_IF_ERROR(Flush());
+    }
+    const std::size_t n =
+        std::min(data.size() - done, buffer_.size() - fill_);
+    std::memcpy(buffer_.data() + fill_, data.data() + done, n);
+    fill_ += n;
+    done += n;
+    offset_ += n;
+  }
+  return Status::Ok();
+}
+
+Status DfsOutputStream::Flush() {
+  if (fill_ == 0) return Status::Ok();
+  ROS2_RETURN_IF_ERROR(dfs_->Write(
+      fd_, buffered_at_, std::span<const std::byte>(buffer_.data(), fill_)));
+  buffered_at_ += fill_;
+  fill_ = 0;
+  ++flushes_;
+  return Status::Ok();
+}
+
+DfsInputStream::DfsInputStream(Dfs* dfs, Fd fd, std::size_t readahead)
+    : dfs_(dfs),
+      fd_(fd),
+      window_(readahead == 0 ? std::size_t(dfs->chunk_size()) : readahead) {}
+
+Status DfsInputStream::Refill() {
+  window_at_ = offset_;
+  ROS2_ASSIGN_OR_RETURN(window_len_, dfs_->Read(fd_, window_at_, window_));
+  ++refills_;
+  return Status::Ok();
+}
+
+Result<std::uint64_t> DfsInputStream::Read(std::span<std::byte> out) {
+  std::uint64_t done = 0;
+  while (done < out.size()) {
+    const bool in_window =
+        offset_ >= window_at_ && offset_ < window_at_ + window_len_;
+    if (!in_window) {
+      ROS2_RETURN_IF_ERROR(Refill());
+      if (window_len_ == 0) break;  // EOF
+    }
+    const std::uint64_t within = offset_ - window_at_;
+    const std::uint64_t n = std::min<std::uint64_t>(
+        out.size() - done, window_len_ - within);
+    std::memcpy(out.data() + done, window_.data() + within, n);
+    done += n;
+    offset_ += n;
+  }
+  return done;
+}
+
+void DfsInputStream::Seek(std::uint64_t offset) { offset_ = offset; }
+
+}  // namespace ros2::dfs

@@ -1,0 +1,76 @@
+// Buffered sequential streams over DFS files (§3.3: "client-side batching
+// for large requests").
+//
+// FIO-style workloads issue aligned blocks, but real pipelines (checkpoint
+// writers, dataset ingesters) emit odd-sized appends. These adapters batch
+// them into chunk-sized DAOS updates / readahead fetches so the RPC count
+// scales with data volume, not call count.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dfs/dfs.h"
+
+namespace ros2::dfs {
+
+/// Append-oriented buffered writer. Not thread-safe (one stream per file
+/// writer, like std::ofstream). Data is visible after Flush()/destructor.
+class DfsOutputStream {
+ public:
+  /// Buffers up to `buffer_size` bytes (default: the mount's chunk size,
+  /// which makes each flushed update a single-chunk extent).
+  DfsOutputStream(Dfs* dfs, Fd fd, std::size_t buffer_size = 0);
+  ~DfsOutputStream();  ///< best-effort flush; call Flush() to check errors
+
+  DfsOutputStream(const DfsOutputStream&) = delete;
+  DfsOutputStream& operator=(const DfsOutputStream&) = delete;
+
+  /// Appends at the current stream offset, batching into the buffer.
+  Status Append(std::span<const std::byte> data);
+
+  /// Writes out any buffered bytes.
+  Status Flush();
+
+  /// Bytes appended so far (buffered + flushed).
+  std::uint64_t offset() const { return offset_; }
+  std::uint64_t flushes() const { return flushes_; }
+
+ private:
+  Dfs* dfs_;
+  Fd fd_;
+  std::uint64_t offset_ = 0;     ///< logical end of the stream
+  std::uint64_t buffered_at_ = 0;  ///< file offset of buffer_[0]
+  Buffer buffer_;
+  std::size_t fill_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+/// Sequential buffered reader with readahead.
+class DfsInputStream {
+ public:
+  DfsInputStream(Dfs* dfs, Fd fd, std::size_t readahead = 0);
+
+  /// Reads at the cursor; returns bytes read (0 at EOF).
+  Result<std::uint64_t> Read(std::span<std::byte> out);
+
+  /// Moves the cursor (keeps the window if it still covers the position).
+  void Seek(std::uint64_t offset);
+
+  std::uint64_t offset() const { return offset_; }
+  std::uint64_t refills() const { return refills_; }
+
+ private:
+  Status Refill();
+
+  Dfs* dfs_;
+  Fd fd_;
+  std::uint64_t offset_ = 0;   ///< cursor
+  std::uint64_t window_at_ = 0;
+  Buffer window_;
+  std::uint64_t window_len_ = 0;  ///< valid bytes in window_
+  std::uint64_t refills_ = 0;
+};
+
+}  // namespace ros2::dfs

@@ -1,0 +1,268 @@
+#include "fio/fio.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "iouring/io_ring.h"
+
+namespace ros2::fio {
+namespace {
+
+/// Functional verification window: offsets are confined to a prepared,
+/// pattern-filled prefix so every read is checkable.
+std::uint64_t VerifyRegion(const JobSpec& spec) {
+  const std::uint64_t cap = 8ull * 1024 * 1024;
+  std::uint64_t region = std::min(spec.file_size, cap);
+  region = region / spec.block_size * spec.block_size;
+  return std::max(region, spec.block_size);
+}
+
+std::uint64_t OffsetFor(const JobSpec& spec, std::uint64_t i,
+                        std::uint64_t region, Rng& rng) {
+  const std::uint64_t blocks = std::max<std::uint64_t>(
+      region / spec.block_size, 1);
+  if (perf::IsRandom(spec.rw)) {
+    return rng.Below(blocks) * spec.block_size;
+  }
+  return (i % blocks) * spec.block_size;
+}
+
+Status CheckSpec(const JobSpec& spec) {
+  if (spec.block_size == 0) return InvalidArgument("block_size must be > 0");
+  if (spec.numjobs == 0) return InvalidArgument("numjobs must be > 0");
+  if (spec.iodepth == 0) return InvalidArgument("iodepth must be > 0");
+  if (spec.total_ops == 0) return InvalidArgument("total_ops must be > 0");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Report MakeReport(const sim::ClosedLoopResult& sim_result,
+                  std::uint64_t verified_ops) {
+  Report report;
+  report.bytes_per_sec = sim_result.bytes_per_sec;
+  report.iops = sim_result.ops_per_sec;
+  report.mean_latency = sim_result.latency.mean();
+  report.p50 = sim_result.latency.p50();
+  report.p99 = sim_result.latency.p99();
+  report.p999 = sim_result.latency.p999();
+  report.simulated_ops = sim_result.completed_ops;
+  report.verified_ops = verified_ops;
+  return report;
+}
+
+// ---------------------------------------------------------------- LocalFio
+
+LocalFio::LocalFio(std::vector<storage::NvmeDevice*> devices)
+    : devices_(std::move(devices)) {}
+
+Status LocalFio::RunFunctional(const JobSpec& spec, std::uint64_t* verified) {
+  if (spec.verify_ops == 0 || devices_.empty()) return Status::Ok();
+  const std::uint64_t region = VerifyRegion(spec);
+  const std::uint64_t bs = spec.block_size;
+  Rng rng(spec.seed);
+
+  std::vector<std::unique_ptr<iouring::IoRing>> rings;
+  for (auto* dev : devices_) {
+    rings.push_back(std::make_unique<iouring::IoRing>(dev, 64));
+  }
+
+  Buffer io(bs);
+  Buffer expect(bs);
+  const bool read = perf::IsRead(spec.rw);
+
+  auto do_io = [&](std::size_t dev, iouring::RingOp op,
+                   std::uint64_t offset, std::span<std::byte> buf) -> Status {
+    iouring::Sqe sqe;
+    sqe.op = op;
+    sqe.offset = offset;
+    sqe.buf = buf.data();
+    sqe.len = buf.size();
+    ROS2_RETURN_IF_ERROR(rings[dev]->Prepare(sqe));
+    ROS2_ASSIGN_OR_RETURN(auto cqes, rings[dev]->SubmitAndWait(1));
+    if (cqes.empty()) return Internal("no completion");
+    return cqes.front().status;
+  };
+
+  // Pre-fill the verification window on every device for read workloads.
+  if (read) {
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      const std::uint64_t tag = spec.seed ^ (d + 1);
+      for (std::uint64_t off = 0; off < region; off += bs) {
+        FillPattern(io, tag, off);
+        ROS2_RETURN_IF_ERROR(do_io(d, iouring::RingOp::kWrite, off, io));
+      }
+    }
+  }
+
+  for (std::uint64_t i = 0; i < spec.verify_ops; ++i) {
+    const std::uint64_t offset = OffsetFor(spec, i, region, rng);
+    const std::size_t dev = std::size_t(i % devices_.size());
+    const std::uint64_t tag = spec.seed ^ (dev + 1);
+    if (read) {
+      ROS2_RETURN_IF_ERROR(do_io(dev, iouring::RingOp::kRead, offset, io));
+      if (VerifyPattern(io, tag, offset) != -1) {
+        return DataLoss("local fio read verification failed");
+      }
+    } else {
+      FillPattern(io, tag, offset);
+      ROS2_RETURN_IF_ERROR(do_io(dev, iouring::RingOp::kWrite, offset, io));
+      ROS2_RETURN_IF_ERROR(do_io(dev, iouring::RingOp::kRead, offset,
+                                 expect));
+      if (VerifyPattern(expect, tag, offset) != -1) {
+        return DataLoss("local fio write readback failed");
+      }
+    }
+    ++*verified;
+  }
+  return Status::Ok();
+}
+
+Result<Report> LocalFio::Run(const JobSpec& spec) {
+  ROS2_RETURN_IF_ERROR(CheckSpec(spec));
+  if (devices_.empty()) return Status(InvalidArgument("no devices"));
+  std::uint64_t verified = 0;
+  ROS2_RETURN_IF_ERROR(RunFunctional(spec, &verified));
+
+  perf::LocalFioModel::Config model;
+  model.num_ssds = std::uint32_t(devices_.size());
+  model.num_jobs = spec.numjobs;
+  model.iodepth = spec.iodepth;
+  model.op = spec.rw;
+  model.block_size = spec.block_size;
+  perf::LocalFioModel timing(model);
+  return MakeReport(timing.Run(spec.total_ops), verified);
+}
+
+// --------------------------------------------------------------- RemoteFio
+
+RemoteFio::RemoteFio(spdk::NvmfInitiator* initiator, Setup setup)
+    : initiator_(initiator), setup_(setup) {}
+
+Status RemoteFio::RunFunctional(const JobSpec& spec,
+                                std::uint64_t* verified) {
+  if (spec.verify_ops == 0 || initiator_ == nullptr) return Status::Ok();
+  const std::uint64_t region = VerifyRegion(spec);
+  const std::uint64_t bs = spec.block_size;
+  const std::uint64_t tag = spec.seed ^ 0x50D4ull;  // spdk harness tag
+  Rng rng(spec.seed);
+  Buffer io(bs);
+  const bool read = perf::IsRead(spec.rw);
+
+  if (read) {
+    for (std::uint64_t off = 0; off < region; off += bs) {
+      FillPattern(io, tag, off);
+      ROS2_RETURN_IF_ERROR(initiator_->Write(setup_.nsid, off, io));
+    }
+  }
+  for (std::uint64_t i = 0; i < spec.verify_ops; ++i) {
+    const std::uint64_t offset = OffsetFor(spec, i, region, rng);
+    if (read) {
+      ROS2_RETURN_IF_ERROR(initiator_->Read(setup_.nsid, offset, io));
+      if (VerifyPattern(io, tag, offset) != -1) {
+        return DataLoss("remote fio read verification failed");
+      }
+    } else {
+      FillPattern(io, tag, offset);
+      ROS2_RETURN_IF_ERROR(initiator_->Write(setup_.nsid, offset, io));
+      ROS2_RETURN_IF_ERROR(initiator_->Read(setup_.nsid, offset, io));
+      if (VerifyPattern(io, tag, offset) != -1) {
+        return DataLoss("remote fio write readback failed");
+      }
+    }
+    ++*verified;
+  }
+  return Status::Ok();
+}
+
+Result<Report> RemoteFio::Run(const JobSpec& spec) {
+  ROS2_RETURN_IF_ERROR(CheckSpec(spec));
+  std::uint64_t verified = 0;
+  ROS2_RETURN_IF_ERROR(RunFunctional(spec, &verified));
+
+  perf::RemoteSpdkModel::Config model;
+  model.transport = setup_.transport;
+  model.client_cores = setup_.client_cores;
+  model.server_cores = setup_.server_cores;
+  model.queue_depth = spec.iodepth;
+  model.op = spec.rw;
+  model.block_size = spec.block_size;
+  perf::RemoteSpdkModel timing(model);
+  return MakeReport(timing.Run(spec.total_ops), verified);
+}
+
+// ------------------------------------------------------------------ DfsFio
+
+DfsFio::DfsFio(core::Ros2Client* client, Setup setup)
+    : client_(client), setup_(std::move(setup)) {}
+
+Status DfsFio::RunFunctional(const JobSpec& spec, std::uint64_t* verified) {
+  if (spec.verify_ops == 0 || client_ == nullptr) return Status::Ok();
+  const std::uint64_t region = VerifyRegion(spec);
+  const std::uint64_t bs = spec.block_size;
+  const std::uint64_t tag = spec.seed ^ 0xDF5ull;
+  Rng rng(spec.seed);
+  Buffer io(bs);
+  const bool read = perf::IsRead(spec.rw);
+
+  auto mkdir = client_->Mkdir(setup_.work_dir);
+  if (!mkdir.ok() && mkdir.code() != ErrorCode::kAlreadyExists) return mkdir;
+  const std::string path = setup_.work_dir + "/" + spec.name;
+  dfs::OpenFlags flags;
+  flags.create = true;
+  ROS2_ASSIGN_OR_RETURN(dfs::Fd fd, client_->Open(path, flags));
+
+  // Pre-fill the window so reads (and short writes) are verifiable.
+  const std::uint64_t fill_step = std::max<std::uint64_t>(bs, 1u << 20);
+  Buffer fill(fill_step);
+  for (std::uint64_t off = 0; off < region; off += fill_step) {
+    const std::uint64_t n = std::min(fill_step, region - off);
+    FillPattern(std::span<std::byte>(fill.data(), n), tag, off);
+    ROS2_RETURN_IF_ERROR(
+        client_->Pwrite(fd, off, std::span<const std::byte>(fill.data(), n)));
+  }
+
+  for (std::uint64_t i = 0; i < spec.verify_ops; ++i) {
+    const std::uint64_t offset = OffsetFor(spec, i, region, rng);
+    if (read) {
+      ROS2_ASSIGN_OR_RETURN(std::uint64_t n, client_->Pread(fd, offset, io));
+      if (n != bs || VerifyPattern(io, tag, offset) != -1) {
+        return DataLoss("dfs fio read verification failed");
+      }
+    } else {
+      FillPattern(io, tag, offset);
+      ROS2_RETURN_IF_ERROR(client_->Pwrite(fd, offset, io));
+      ROS2_ASSIGN_OR_RETURN(std::uint64_t n, client_->Pread(fd, offset, io));
+      if (n != bs || VerifyPattern(io, tag, offset) != -1) {
+        return DataLoss("dfs fio write readback failed");
+      }
+    }
+    ++*verified;
+  }
+  return client_->Close(fd);
+}
+
+Result<Report> DfsFio::Run(const JobSpec& spec) {
+  ROS2_RETURN_IF_ERROR(CheckSpec(spec));
+  std::uint64_t verified = 0;
+  ROS2_RETURN_IF_ERROR(RunFunctional(spec, &verified));
+
+  perf::DfsModel::Config model;
+  model.platform = client_->platform();
+  model.transport = client_->transport();
+  model.num_ssds = setup_.num_ssds;
+  model.num_jobs = spec.numjobs;
+  model.iodepth = spec.iodepth;
+  model.op = spec.rw;
+  model.block_size = spec.block_size;
+  model.checksums = setup_.checksums;
+  model.inline_crypto = client_->inline_crypto();
+  model.sink = setup_.sink;
+  model.tenants = setup_.tenants;
+  model.per_tenant_bw = setup_.per_tenant_bw;
+  perf::DfsModel timing(model);
+  return MakeReport(timing.Run(spec.total_ops), verified);
+}
+
+}  // namespace ros2::fio

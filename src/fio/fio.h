@@ -1,0 +1,113 @@
+// FIO-like workload harness (§4 methodology).
+//
+// Every experiment in the paper is "FIO with engine X": the same job
+// grammar (rw mode, block size, numjobs, iodepth) driven against the local
+// io_uring ring (Fig. 3), a remote SPDK NVMe-oF namespace (Fig. 4), or the
+// end-to-end DFS client (Fig. 5).
+//
+// Each harness fuses two things per job:
+//   1. FUNCTIONAL execution — a capped number of ops really move bytes
+//      through the full stack and are pattern-verified (writes are read
+//      back), proving the data path is not theater;
+//   2. TIMED execution — the full op count runs through the calibrated
+//      queueing model (ros2::perf) to produce throughput/IOPS/latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ros2_client.h"
+#include "perf/dfs_model.h"
+#include "perf/local_fio_model.h"
+#include "perf/remote_spdk_model.h"
+#include "perf/types.h"
+#include "spdk/nvmf.h"
+#include "storage/nvme_device.h"
+
+namespace ros2::fio {
+
+struct JobSpec {
+  std::string name = "job";
+  perf::OpKind rw = perf::OpKind::kRead;
+  std::uint64_t block_size = 4096;
+  std::uint32_t numjobs = 1;
+  std::uint32_t iodepth = 16;
+  /// Logical working set per job (timing side).
+  std::uint64_t file_size = 256ull * 1024 * 1024;
+  /// Ops pushed through the queueing model.
+  std::uint64_t total_ops = 20000;
+  /// Ops executed functionally and verified (0 = timing only).
+  std::uint64_t verify_ops = 256;
+  std::uint64_t seed = 42;
+};
+
+struct Report {
+  double bytes_per_sec = 0.0;
+  double iops = 0.0;
+  double mean_latency = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  std::uint64_t simulated_ops = 0;
+  std::uint64_t verified_ops = 0;
+};
+
+/// Fig. 3 harness: FIO + io_uring directly on local NVMe devices.
+class LocalFio {
+ public:
+  explicit LocalFio(std::vector<storage::NvmeDevice*> devices);
+  Result<Report> Run(const JobSpec& spec);
+
+ private:
+  Status RunFunctional(const JobSpec& spec, std::uint64_t* verified);
+  std::vector<storage::NvmeDevice*> devices_;
+};
+
+/// Fig. 4 harness: FIO over an NVMe-oF namespace.
+class RemoteFio {
+ public:
+  struct Setup {
+    net::Transport transport = net::Transport::kRdma;
+    std::uint32_t client_cores = 1;
+    std::uint32_t server_cores = 1;
+    std::uint32_t nsid = 1;
+  };
+
+  RemoteFio(spdk::NvmfInitiator* initiator, Setup setup);
+  Result<Report> Run(const JobSpec& spec);
+
+ private:
+  Status RunFunctional(const JobSpec& spec, std::uint64_t* verified);
+  spdk::NvmfInitiator* initiator_;
+  Setup setup_;
+};
+
+/// Fig. 5 harness: FIO with the DFS engine through a ROS2 client
+/// (host-direct or DPU-offloaded).
+class DfsFio {
+ public:
+  struct Setup {
+    std::uint32_t num_ssds = 1;       ///< timing-side device count
+    bool checksums = true;
+    perf::DataSink sink = perf::DataSink::kDpuDram;
+    std::uint32_t tenants = 1;
+    double per_tenant_bw = 0.0;
+    std::string work_dir = "/fio";
+  };
+
+  DfsFio(core::Ros2Client* client, Setup setup);
+  Result<Report> Run(const JobSpec& spec);
+
+ private:
+  Status RunFunctional(const JobSpec& spec, std::uint64_t* verified);
+  core::Ros2Client* client_;
+  Setup setup_;
+};
+
+/// Converts a closed-loop simulation result into a Report.
+Report MakeReport(const sim::ClosedLoopResult& sim_result,
+                  std::uint64_t verified_ops);
+
+}  // namespace ros2::fio

@@ -1,0 +1,156 @@
+#include "fio/jobfile.h"
+
+#include <charconv>
+
+#include "common/units.h"
+
+namespace ros2::fio {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Result<std::uint64_t> ParseU64(std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    return Status(
+        InvalidArgument("expected integer, got '" + std::string(value) + "'"));
+  }
+  return out;
+}
+
+Result<std::uint64_t> ParseSizeValue(std::string_view value) {
+  const std::uint64_t size = ParseSize(std::string(value));
+  if (size == 0) {
+    return Status(
+        InvalidArgument("expected size, got '" + std::string(value) + "'"));
+  }
+  return size;
+}
+
+}  // namespace
+
+Status ApplyJobKey(JobSpec* spec, std::string_view key,
+                   std::string_view value) {
+  if (key == "rw") {
+    if (value == "read") {
+      spec->rw = perf::OpKind::kRead;
+    } else if (value == "write") {
+      spec->rw = perf::OpKind::kWrite;
+    } else if (value == "randread") {
+      spec->rw = perf::OpKind::kRandRead;
+    } else if (value == "randwrite") {
+      spec->rw = perf::OpKind::kRandWrite;
+    } else {
+      return InvalidArgument("unknown rw mode '" + std::string(value) + "'");
+    }
+    return Status::Ok();
+  }
+  if (key == "bs") {
+    ROS2_ASSIGN_OR_RETURN(spec->block_size, ParseSizeValue(value));
+    return Status::Ok();
+  }
+  if (key == "size") {
+    ROS2_ASSIGN_OR_RETURN(spec->file_size, ParseSizeValue(value));
+    return Status::Ok();
+  }
+  if (key == "numjobs") {
+    ROS2_ASSIGN_OR_RETURN(std::uint64_t n, ParseU64(value));
+    if (n == 0 || n > 4096) return InvalidArgument("numjobs out of range");
+    spec->numjobs = std::uint32_t(n);
+    return Status::Ok();
+  }
+  if (key == "iodepth") {
+    ROS2_ASSIGN_OR_RETURN(std::uint64_t n, ParseU64(value));
+    if (n == 0 || n > 65536) return InvalidArgument("iodepth out of range");
+    spec->iodepth = std::uint32_t(n);
+    return Status::Ok();
+  }
+  if (key == "ops") {
+    ROS2_ASSIGN_OR_RETURN(spec->total_ops, ParseU64(value));
+    if (spec->total_ops == 0) return InvalidArgument("ops must be > 0");
+    return Status::Ok();
+  }
+  if (key == "verify") {
+    ROS2_ASSIGN_OR_RETURN(spec->verify_ops, ParseU64(value));
+    return Status::Ok();
+  }
+  if (key == "seed") {
+    ROS2_ASSIGN_OR_RETURN(spec->seed, ParseU64(value));
+    return Status::Ok();
+  }
+  return InvalidArgument("unknown job-file key '" + std::string(key) + "'");
+}
+
+Result<std::vector<JobSpec>> ParseJobFile(std::string_view text) {
+  std::vector<JobSpec> jobs;
+  JobSpec global;
+  JobSpec* current = nullptr;  // null while in [global] / preamble
+  bool in_global = false;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    line = Trim(line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return Status(InvalidArgument("malformed section header at line " +
+                                      std::to_string(line_no)));
+      }
+      const std::string name(Trim(line.substr(1, line.size() - 2)));
+      if (name == "global") {
+        in_global = true;
+        current = nullptr;
+      } else {
+        in_global = false;
+        JobSpec spec = global;  // inherit global defaults
+        spec.name = name;
+        jobs.push_back(spec);
+        current = &jobs.back();
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status(InvalidArgument("expected key=value at line " +
+                                    std::to_string(line_no)));
+    }
+    const std::string_view key = Trim(line.substr(0, eq));
+    const std::string_view value = Trim(line.substr(eq + 1));
+    JobSpec* target = in_global ? &global : current;
+    if (target == nullptr) {
+      return Status(InvalidArgument(
+          "key outside any section at line " + std::to_string(line_no)));
+    }
+    Status applied = ApplyJobKey(target, key, value);
+    if (!applied.ok()) {
+      return Status(applied.code(), applied.message() + " (line " +
+                                        std::to_string(line_no) + ")");
+    }
+  }
+  if (jobs.empty()) {
+    return Status(InvalidArgument("job file defines no job sections"));
+  }
+  return jobs;
+}
+
+}  // namespace ros2::fio

@@ -1,0 +1,42 @@
+// FIO-style job-file parser.
+//
+// The paper's experiments are FIO invocations; this parser accepts the
+// familiar INI grammar so workloads can live in text files next to the
+// bench configs:
+//
+//   [global]
+//   bs=4k
+//   iodepth=16
+//   rw=randread
+//
+//   [dataloader]
+//   numjobs=16
+//
+//   [checkpoint]
+//   rw=write
+//   bs=1m
+//   numjobs=8
+//
+// Every non-global section becomes a JobSpec inheriting [global] defaults.
+// Supported keys: rw, bs, numjobs, iodepth, size, ops, verify, seed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "fio/fio.h"
+
+namespace ros2::fio {
+
+/// Parses a job file's text. Returns one JobSpec per non-global section,
+/// in file order. Unknown keys and malformed values are errors (a typo'd
+/// workload silently running the wrong experiment is worse than failing).
+Result<std::vector<JobSpec>> ParseJobFile(std::string_view text);
+
+/// Parses a single "key=value" pair into `spec` (exposed for tests).
+Status ApplyJobKey(JobSpec* spec, std::string_view key,
+                   std::string_view value);
+
+}  // namespace ros2::fio

@@ -1,0 +1,59 @@
+#include "fio/llm_workloads.h"
+
+namespace ros2::fio {
+
+LlmStage DataPreparationStage() {
+  LlmStage stage;
+  stage.name = "data-preparation";
+  stage.requirement = "high throughput, large capacity (ingest & filter)";
+  stage.job.name = "ingest";
+  stage.job.rw = perf::OpKind::kWrite;
+  stage.job.block_size = 1ull << 20;
+  stage.job.numjobs = 4;
+  stage.job.iodepth = 16;
+  stage.job.file_size = 1ull << 30;
+  return stage;
+}
+
+LlmStage ModelDevelopmentStage() {
+  LlmStage stage;
+  stage.name = "model-development";
+  stage.requirement = "POSIX compatible, sharable, high reliability";
+  stage.job.name = "workspace";
+  stage.job.rw = perf::OpKind::kRandRead;
+  stage.job.block_size = 64ull << 10;  // code/artifact mix
+  stage.job.numjobs = 2;
+  stage.job.iodepth = 4;
+  return stage;
+}
+
+LlmStage ModelTrainingStage() {
+  LlmStage stage;
+  stage.name = "model-training";
+  stage.requirement = "high throughput, low latency (dataset + checkpoint)";
+  stage.job.name = "dataloader";
+  stage.job.rw = perf::OpKind::kRandRead;
+  stage.job.block_size = 4096;  // shuffled-sample pressure
+  stage.job.numjobs = 16;
+  stage.job.iodepth = 16;
+  return stage;
+}
+
+LlmStage ModelInferenceStage() {
+  LlmStage stage;
+  stage.name = "model-inference";
+  stage.requirement = "high concurrency, high throughput (deployment)";
+  stage.job.name = "param-load";
+  stage.job.rw = perf::OpKind::kRead;
+  stage.job.block_size = 1ull << 20;  // sequential parameter loading
+  stage.job.numjobs = 8;
+  stage.job.iodepth = 16;
+  return stage;
+}
+
+std::vector<LlmStage> AllLlmStages() {
+  return {DataPreparationStage(), ModelDevelopmentStage(),
+          ModelTrainingStage(), ModelInferenceStage()};
+}
+
+}  // namespace ros2::fio

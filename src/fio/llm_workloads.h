@@ -1,0 +1,36 @@
+// LLM-pipeline workload taxonomy (Fig. 1): the four storage-facing stages
+// of an LLM lifecycle, encoded as FIO job templates.
+//
+// Fig. 1 is a requirements diagram, not a measurement; its reproduction is
+// this taxonomy plus `bench_fig1_workloads`, which runs each stage's
+// template through the DFS model and reports whether the measured profile
+// matches the stage's stated requirement (throughput-bound vs IOPS-bound
+// vs concurrency-bound).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fio/fio.h"
+
+namespace ros2::fio {
+
+struct LlmStage {
+  std::string name;         ///< Fig. 1 stage label
+  std::string requirement;  ///< the paper's stated storage requirement
+  JobSpec job;              ///< representative FIO template
+};
+
+/// Stage 1 — "Ingest & Filter: high throughput, large capacity".
+LlmStage DataPreparationStage();
+/// Stage 2 — "Collaboration workspace: POSIX compatible, sharable".
+LlmStage ModelDevelopmentStage();
+/// Stage 3 — "Dataset & checkpoint: high throughput, low latency".
+LlmStage ModelTrainingStage();
+/// Stage 4 — "Model deployment: high concurrency, high throughput".
+LlmStage ModelInferenceStage();
+
+/// All four stages in pipeline order.
+std::vector<LlmStage> AllLlmStages();
+
+}  // namespace ros2::fio

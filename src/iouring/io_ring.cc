@@ -1,0 +1,89 @@
+#include "iouring/io_ring.h"
+
+#include <cassert>
+
+namespace ros2::iouring {
+
+IoRing::IoRing(storage::NvmeDevice* device, std::uint32_t entries)
+    : device_(device), entries_(entries == 0 ? 1 : entries) {
+  auto qp = device_->CreateQueuePair();
+  assert(qp.ok() && "device out of queue pairs");
+  qpair_ = qp.value();
+  cid_map_.resize(device_->config().queue_depth);
+}
+
+Status IoRing::Prepare(const Sqe& sqe) {
+  if (sq_.size() >= entries_) return ResourceExhausted("submission ring full");
+  if (sqe.op != RingOp::kFsync) {
+    const std::uint32_t lba = device_->config().lba_size;
+    if (sqe.offset % lba != 0 || sqe.len % lba != 0 || sqe.len == 0) {
+      return InvalidArgument("offset/len must be LBA-aligned (O_DIRECT)");
+    }
+    if (sqe.buf == nullptr) return InvalidArgument("null buffer");
+  }
+  sq_.push_back(sqe);
+  return Status::Ok();
+}
+
+Result<std::uint32_t> IoRing::Submit() {
+  std::uint32_t submitted = 0;
+  const std::uint32_t lba = device_->config().lba_size;
+  while (!sq_.empty()) {
+    const Sqe& sqe = sq_.front();
+    storage::NvmeCommand cmd;
+    switch (sqe.op) {
+      case RingOp::kRead: cmd.opcode = storage::NvmeOpcode::kRead; break;
+      case RingOp::kWrite: cmd.opcode = storage::NvmeOpcode::kWrite; break;
+      case RingOp::kFsync: cmd.opcode = storage::NvmeOpcode::kFlush; break;
+    }
+    cmd.cid = next_cid_;
+    cmd.slba = sqe.offset / lba;
+    cmd.nlb = std::uint32_t(sqe.len / lba);
+    cmd.data = sqe.buf;
+    cmd.data_len = sqe.len;
+    ROS2_RETURN_IF_ERROR(qpair_->Submit(cmd));
+    cid_map_[next_cid_] = {sqe.user_data, std::int64_t(sqe.len)};
+    next_cid_ =
+        std::uint16_t((next_cid_ + 1) % device_->config().queue_depth);
+    sq_.pop_front();
+    ++inflight_;
+    ++submitted;
+  }
+  return submitted;
+}
+
+std::vector<Cqe> IoRing::Reap(std::uint32_t max) {
+  for (const auto& nc : qpair_->Poll()) {
+    const auto [user_data, len] = cid_map_[nc.cid];
+    Cqe cqe;
+    cqe.status = nc.status;
+    cqe.res = nc.status.ok() ? len : -1;
+    cqe.user_data = user_data;
+    cq_.push_back(std::move(cqe));
+    --inflight_;
+  }
+  std::vector<Cqe> out;
+  const std::uint32_t limit =
+      max == 0 ? std::uint32_t(cq_.size())
+               : std::min<std::uint32_t>(max, std::uint32_t(cq_.size()));
+  out.reserve(limit);
+  for (std::uint32_t i = 0; i < limit; ++i) {
+    out.push_back(std::move(cq_.front()));
+    cq_.pop_front();
+  }
+  return out;
+}
+
+Result<std::vector<Cqe>> IoRing::SubmitAndWait(std::uint32_t min_complete) {
+  ROS2_ASSIGN_OR_RETURN(std::uint32_t submitted, Submit());
+  (void)submitted;
+  // The simulated device completes at poll; one reap satisfies any
+  // min_complete that was actually in flight.
+  auto cqes = Reap();
+  if (cqes.size() < min_complete) {
+    return Status(TimedOut("fewer completions than requested"));
+  }
+  return cqes;
+}
+
+}  // namespace ros2::iouring

@@ -1,0 +1,76 @@
+// io_uring-like asynchronous I/O ring over an NVMe device.
+//
+// The paper's local baseline (§4.2) runs FIO with the IO_URING engine; this
+// is the equivalent substrate: a fixed-size submission ring, batched kernel
+// entry (Submit), and a completion ring reaped without syscalls. Offsets
+// are byte-granular but must be LBA-aligned (O_DIRECT semantics, which is
+// how FIO drives raw NVMe).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/nvme_device.h"
+
+namespace ros2::iouring {
+
+enum class RingOp : std::uint8_t { kRead, kWrite, kFsync };
+
+/// Submission queue entry.
+struct Sqe {
+  RingOp op = RingOp::kRead;
+  std::uint64_t offset = 0;      ///< byte offset, LBA-aligned
+  std::byte* buf = nullptr;      ///< LBA-aligned length required
+  std::size_t len = 0;
+  std::uint64_t user_data = 0;   ///< round-tripped to the Cqe
+};
+
+/// Completion queue entry. `res` is bytes transferred on success, else the
+/// status carries the error (mirroring cqe->res < 0).
+struct Cqe {
+  Status status;
+  std::int64_t res = 0;
+  std::uint64_t user_data = 0;
+};
+
+class IoRing {
+ public:
+  /// `entries` bounds both rings (power of two, like io_uring_setup).
+  IoRing(storage::NvmeDevice* device, std::uint32_t entries);
+
+  /// Queues an SQE; fails with RESOURCE_EXHAUSTED when the SQ is full.
+  Status Prepare(const Sqe& sqe);
+
+  /// Pushes all prepared SQEs to the device (the "syscall"). Returns the
+  /// number submitted.
+  Result<std::uint32_t> Submit();
+
+  /// Reaps up to `max` completions (0 = all available). Unsubmitted SQEs
+  /// are not visible here until Submit().
+  std::vector<Cqe> Reap(std::uint32_t max = 0);
+
+  /// Submit + busy-wait until at least `min_complete` CQEs are available,
+  /// then reap them (io_uring_enter(GETEVENTS) equivalent).
+  Result<std::vector<Cqe>> SubmitAndWait(std::uint32_t min_complete);
+
+  std::uint32_t sq_space() const {
+    return entries_ - std::uint32_t(sq_.size());
+  }
+  std::uint32_t inflight() const { return inflight_; }
+
+ private:
+  storage::NvmeDevice* device_;
+  storage::NvmeQueuePair* qpair_ = nullptr;
+  std::uint32_t entries_;
+  std::deque<Sqe> sq_;
+  std::deque<Cqe> cq_;
+  std::uint32_t inflight_ = 0;
+  std::uint16_t next_cid_ = 0;
+  // cid -> user_data/len for completion translation
+  std::vector<std::pair<std::uint64_t, std::int64_t>> cid_map_;
+};
+
+}  // namespace ros2::iouring

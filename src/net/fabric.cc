@@ -1,0 +1,169 @@
+#include "net/fabric.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ros2::net {
+
+// ----------------------------------------------------------------- Qp
+
+Status Qp::Send(std::span<const std::byte> payload) {
+  if (peer_ == nullptr) return Unavailable("qp not connected");
+  Message msg;
+  msg.payload.assign(payload.begin(), payload.end());
+  peer_->rx_queue_.push_back(std::move(msg));
+  bytes_sent_ += payload.size();
+  return Status::Ok();
+}
+
+Result<Message> Qp::Recv() {
+  if (rx_queue_.empty()) return NotFound("receive queue empty");
+  Message msg = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  return msg;
+}
+
+Status Qp::ValidateOneSided(std::uintptr_t remote_addr, std::size_t len,
+                            RKey rkey, std::uint32_t need_access,
+                            const MemoryRegion** out_mr) const {
+  if (peer_ == nullptr) return Unavailable("qp not connected");
+  if (transport_ != Transport::kRdma) {
+    return Unimplemented("one-sided operations require the RDMA transport");
+  }
+  const MemoryRegion* mr = peer_->owner_->FindMr(rkey);
+  if (mr == nullptr) {
+    return PermissionDenied("unknown rkey");
+  }
+  if (mr->revoked) {
+    return PermissionDenied("rkey has been revoked");
+  }
+  if (mr->expires_at > 0.0 &&
+      peer_->owner_->fabric()->now() >= mr->expires_at) {
+    return PermissionDenied("rkey has expired");
+  }
+  // PD scoping: the capability is only valid on connections bound to the
+  // same protection domain at the remote side (per-tenant isolation).
+  if (mr->pd != peer_->local_pd_) {
+    return PermissionDenied("rkey protection domain does not match qp");
+  }
+  if ((mr->access & need_access) != need_access) {
+    return PermissionDenied("memory region access mask forbids operation");
+  }
+  if (remote_addr < mr->addr || len > mr->length ||
+      remote_addr - mr->addr > mr->length - len) {
+    return PermissionDenied("one-sided access outside registered bounds");
+  }
+  *out_mr = mr;
+  return Status::Ok();
+}
+
+Status Qp::RdmaRead(std::span<std::byte> local, std::uintptr_t remote_addr,
+                    RKey rkey) {
+  const MemoryRegion* mr = nullptr;
+  ROS2_RETURN_IF_ERROR(
+      ValidateOneSided(remote_addr, local.size(), rkey, kRemoteRead, &mr));
+  std::memcpy(local.data(), reinterpret_cast<const void*>(remote_addr),
+              local.size());
+  bytes_one_sided_ += local.size();
+  return Status::Ok();
+}
+
+Status Qp::RdmaWrite(std::span<const std::byte> local,
+                     std::uintptr_t remote_addr, RKey rkey) {
+  const MemoryRegion* mr = nullptr;
+  ROS2_RETURN_IF_ERROR(
+      ValidateOneSided(remote_addr, local.size(), rkey, kRemoteWrite, &mr));
+  std::memcpy(reinterpret_cast<void*>(remote_addr), local.data(),
+              local.size());
+  bytes_one_sided_ += local.size();
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- Endpoint
+
+PdId Endpoint::AllocPd(TenantId tenant) {
+  const PdId id = next_pd_++;
+  pds_[id] = tenant;
+  return id;
+}
+
+Result<MemoryRegion> Endpoint::RegisterMemory(PdId pd,
+                                              std::span<std::byte> region,
+                                              std::uint32_t access,
+                                              double ttl) {
+  if (!pds_.contains(pd)) return NotFound("unknown protection domain");
+  if (region.empty()) return InvalidArgument("empty memory region");
+  MemoryRegion mr;
+  mr.rkey = fabric_->NextRKey();
+  mr.pd = pd;
+  mr.addr = reinterpret_cast<std::uintptr_t>(region.data());
+  mr.length = region.size();
+  mr.access = access;
+  mr.expires_at = ttl > 0.0 ? fabric_->now() + ttl : 0.0;
+  mrs_[mr.rkey] = mr;
+  return mr;
+}
+
+Status Endpoint::RevokeMemory(RKey rkey) {
+  auto it = mrs_.find(rkey);
+  if (it == mrs_.end()) return NotFound("unknown rkey");
+  it->second.revoked = true;
+  return Status::Ok();
+}
+
+Status Endpoint::DeregisterMemory(RKey rkey) {
+  if (mrs_.erase(rkey) == 0) return NotFound("unknown rkey");
+  return Status::Ok();
+}
+
+Result<TenantId> Endpoint::PdTenant(PdId pd) const {
+  auto it = pds_.find(pd);
+  if (it == pds_.end()) return NotFound("unknown protection domain");
+  return it->second;
+}
+
+const MemoryRegion* Endpoint::FindMr(RKey rkey) const {
+  auto it = mrs_.find(rkey);
+  return it == mrs_.end() ? nullptr : &it->second;
+}
+
+Result<Qp*> Endpoint::Connect(Endpoint* remote, Transport transport, PdId pd,
+                              PdId remote_pd) {
+  if (remote == nullptr) return InvalidArgument("null remote endpoint");
+  if (!pds_.contains(pd)) return NotFound("unknown local protection domain");
+  if (!remote->pds_.contains(remote_pd)) {
+    return NotFound("unknown remote protection domain");
+  }
+  auto local_qp = std::unique_ptr<Qp>(new Qp(this, transport, pd));
+  auto remote_qp =
+      std::unique_ptr<Qp>(new Qp(remote, transport, remote_pd));
+  local_qp->peer_ = remote_qp.get();
+  remote_qp->peer_ = local_qp.get();
+  Qp* out = local_qp.get();
+  qps_.push_back(std::move(local_qp));
+  remote->qps_.push_back(std::move(remote_qp));
+  ROS2_DEBUG << "qp connected " << address_ << " <-> " << remote->address_
+             << " (" << perf::TransportName(transport) << ")";
+  return out;
+}
+
+// --------------------------------------------------------------- Fabric
+
+Result<Endpoint*> Fabric::CreateEndpoint(const std::string& address) {
+  if (endpoints_.contains(address)) {
+    return AlreadyExists("endpoint address in use: " + address);
+  }
+  auto ep = std::unique_ptr<Endpoint>(new Endpoint(this, address));
+  Endpoint* raw = ep.get();
+  endpoints_[address] = std::move(ep);
+  return raw;
+}
+
+Result<Endpoint*> Fabric::Lookup(const std::string& address) const {
+  auto it = endpoints_.find(address);
+  if (it == endpoints_.end()) return NotFound("no endpoint at " + address);
+  return it->second.get();
+}
+
+}  // namespace ros2::net

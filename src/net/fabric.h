@@ -1,0 +1,188 @@
+// User-space fabric: UCX/libfabric-like endpoints with TCP and RDMA
+// semantics (§3.2, §3.4).
+//
+// The fabric is in-process, but the *mechanisms* are real:
+//
+//  - RDMA: protection domains, memory regions with rkeys (optionally
+//    scoped: TTL + revocation, §2.3's mitigations), queue pairs with
+//    two-sided SEND/RECV and one-sided READ/WRITE. One-sided ops validate
+//    {rkey known, not revoked, not expired, PD match, bounds, access mask}
+//    before touching memory — exactly the capability model whose abuse
+//    Pythia [39] demonstrated.
+//  - TCP: the same Qp handle but *without* one-sided ops: payloads can only
+//    move through send/recv streams (upper layers pay the copies, which is
+//    where the paper's TCP overhead lives).
+//
+// Time for rkey expiry is the fabric's logical clock, advanced by tests and
+// by the perf-model-driven harness.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "perf/types.h"
+
+namespace ros2::net {
+
+using perf::Transport;
+
+/// Access rights granted by a memory registration.
+enum AccessFlags : std::uint32_t {
+  kLocalOnly = 0,
+  kRemoteRead = 1u << 0,
+  kRemoteWrite = 1u << 1,
+};
+
+using PdId = std::uint32_t;
+using RKey = std::uint64_t;
+using TenantId = std::uint32_t;
+inline constexpr TenantId kSystemTenant = 0;
+
+/// A registered memory region (MR).
+struct MemoryRegion {
+  RKey rkey = 0;
+  PdId pd = 0;
+  std::uintptr_t addr = 0;
+  std::size_t length = 0;
+  std::uint32_t access = kLocalOnly;
+  double expires_at = 0.0;  ///< fabric-clock seconds; 0 = no expiry
+  bool revoked = false;
+};
+
+/// Two-sided message as delivered by Qp::Recv.
+struct Message {
+  Buffer payload;
+};
+
+class Endpoint;
+class Fabric;
+
+/// A connected queue pair. Obtained via Endpoint::Connect/Accept; always
+/// paired with exactly one remote Qp.
+class Qp {
+ public:
+  Transport transport() const { return transport_; }
+  PdId local_pd() const { return local_pd_; }
+  bool connected() const { return peer_ != nullptr; }
+  /// The remote half of this connection (in-process fabric convenience,
+  /// used to wire server progress loops).
+  Qp* peer() const { return peer_; }
+
+  /// Two-sided eager send: copies `payload` into the peer's receive queue.
+  /// Both transports support this (UCX active-message equivalent).
+  Status Send(std::span<const std::byte> payload);
+
+  /// Polls the receive queue; NOT_FOUND when empty.
+  Result<Message> Recv();
+  bool HasMessage() const { return !rx_queue_.empty(); }
+
+  /// One-sided RDMA READ: remote [remote_addr, +local.size()) -> local.
+  /// RDMA transport only; validates the rkey capability at the remote side.
+  Status RdmaRead(std::span<std::byte> local, std::uintptr_t remote_addr,
+                  RKey rkey);
+
+  /// One-sided RDMA WRITE: local -> remote [remote_addr, +local.size()).
+  Status RdmaWrite(std::span<const std::byte> local,
+                   std::uintptr_t remote_addr, RKey rkey);
+
+  // Traffic counters (bytes moved through this Qp, both directions).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_one_sided() const { return bytes_one_sided_; }
+
+ private:
+  friend class Endpoint;
+  Qp(Endpoint* owner, Transport transport, PdId pd)
+      : owner_(owner), transport_(transport), local_pd_(pd) {}
+
+  Status ValidateOneSided(std::uintptr_t remote_addr, std::size_t len,
+                          RKey rkey, std::uint32_t need_access,
+                          const MemoryRegion** out_mr) const;
+
+  Endpoint* owner_;
+  Transport transport_;
+  PdId local_pd_;
+  Qp* peer_ = nullptr;
+  std::deque<Message> rx_queue_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_one_sided_ = 0;
+};
+
+/// A fabric endpoint (one per node/process): owns PDs, MRs, and QPs.
+class Endpoint {
+ public:
+  const std::string& address() const { return address_; }
+  Fabric* fabric() const { return fabric_; }
+
+  /// Allocates a protection domain owned by `tenant`.
+  PdId AllocPd(TenantId tenant = kSystemTenant);
+
+  /// Registers `region` in `pd` with the given access and optional TTL
+  /// (seconds of fabric time; 0 = no expiry). Returns the MR (rkey inside).
+  Result<MemoryRegion> RegisterMemory(PdId pd, std::span<std::byte> region,
+                                      std::uint32_t access,
+                                      double ttl = 0.0);
+
+  /// Invalidate an rkey immediately (scoped-capability revocation).
+  Status RevokeMemory(RKey rkey);
+  Status DeregisterMemory(RKey rkey);
+
+  /// Tenant owning `pd` (NOT_FOUND if the PD does not exist).
+  Result<TenantId> PdTenant(PdId pd) const;
+
+  /// Connects to `remote`, creating a Qp pair (one here, one there).
+  /// `pd` scopes this side's one-sided operations.
+  Result<Qp*> Connect(Endpoint* remote, Transport transport, PdId pd,
+                      PdId remote_pd);
+
+  std::size_t qp_count() const { return qps_.size(); }
+  std::size_t mr_count() const { return mrs_.size(); }
+
+ private:
+  friend class Fabric;
+  friend class Qp;
+  Endpoint(Fabric* fabric, std::string address)
+      : fabric_(fabric), address_(std::move(address)) {}
+
+  const MemoryRegion* FindMr(RKey rkey) const;
+
+  Fabric* fabric_;
+  std::string address_;
+  std::uint32_t next_pd_ = 1;
+  std::map<PdId, TenantId> pds_;
+  std::unordered_map<RKey, MemoryRegion> mrs_;
+  std::vector<std::unique_ptr<Qp>> qps_;
+};
+
+/// The in-process fabric: endpoint registry + logical clock.
+class Fabric {
+ public:
+  Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Creates (or fails on duplicate address) an endpoint.
+  Result<Endpoint*> CreateEndpoint(const std::string& address);
+  Result<Endpoint*> Lookup(const std::string& address) const;
+
+  /// Logical time driving rkey TTLs.
+  double now() const { return now_; }
+  void AdvanceTime(double seconds) { now_ += seconds; }
+
+  /// Fresh, never-reused rkey (fabric-global so leaked rkeys can't collide).
+  RKey NextRKey() { return next_rkey_++; }
+
+ private:
+  std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+  double now_ = 0.0;
+  RKey next_rkey_ = 0x1000;
+};
+
+}  // namespace ros2::net

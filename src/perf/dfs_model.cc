@@ -1,0 +1,202 @@
+#include "perf/dfs_model.h"
+
+#include <string>
+
+namespace ros2::perf {
+namespace {
+
+/// CaRT RPC header/capsule size (no bulk payload).
+constexpr std::uint64_t kRpcBytes = 256;
+
+/// Deterministic per-op hash for cache-hit / placement decisions.
+constexpr std::uint64_t Mix(std::uint64_t x) {
+  x *= 0x9E3779B97F4A7C15ull;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace
+
+DfsModel::DfsModel(const Config& config)
+    : config_(config),
+      profile_(PlatformProfile::For(config.platform)),
+      link_bw_(cal::kLinkBw * (config.transport == Transport::kRdma
+                                   ? cal::kRdmaLinkEfficiency
+                                   : cal::kTcpLinkEfficiency)),
+      client_cores_("client-cores", profile_.cores),
+      cart_context_("cart-context", 1),
+      client_stack_("client-tcp-stack", 1),
+      dpu_rx_path_("dpu-tcp-rx", 1),
+      dpu_tx_path_("dpu-tcp-tx", 1),
+      request_link_("link-req", 1),
+      response_link_("link-resp", 1),
+      engine_targets_("daos-engine", cal::kDaosServerTargets),
+      scm_tier_("scm-tier", 1),
+      staging_copy_("dpu-staging-copy", 1) {
+  for (std::uint32_t j = 0; j < config_.num_jobs; ++j) {
+    job_threads_.push_back(
+        std::make_unique<sim::ServerPool>("fio-job-" + std::to_string(j), 1));
+  }
+  for (std::uint32_t d = 0; d < config_.num_ssds; ++d) {
+    ssd_channels_.push_back(
+        std::make_unique<sim::ServerPool>("ssd-" + std::to_string(d), 1));
+  }
+  if (config_.tenants > 1 && config_.per_tenant_bw > 0.0) {
+    for (std::uint32_t t = 0; t < config_.tenants; ++t) {
+      tenant_pipes_.push_back(std::make_unique<sim::ServerPool>(
+          "tenant-" + std::to_string(t), 1));
+    }
+  }
+}
+
+sim::OpPlan DfsModel::PlanOp(std::uint32_t context, std::uint64_t op_index) {
+  const bool read = IsRead(config_.op);
+  const bool tcp = config_.transport == Transport::kTcp;
+  const bool on_dpu = config_.platform == Platform::kBlueField3;
+  const std::uint64_t bs = config_.block_size;
+
+  sim::OpPlan plan;
+  plan.bytes = bs;
+
+  // --- FIO job thread (runs on the client platform) ---
+  const std::uint32_t job = context / config_.iodepth % config_.num_jobs;
+  plan.stages.push_back(
+      {job_threads_[job].get(), profile_.ScaleCost(cal::kFioJobPerIoCost)});
+
+  // --- DFS + DAOS client per-I/O work (single visit: submission and
+  // completion costs combined, see the remote model for why revisiting a
+  // pool inside one op plan is avoided) ---
+  const double client_per_io =
+      tcp ? cal::kDfsClientPerIoTcp : cal::kDfsClientPerIoRdma;
+  double client_cpu = 1.2 * profile_.ScaleCost(client_per_io);
+  if (tcp && !on_dpu) {
+    // Host TCP: the payload crosses the socket copy path on a client core
+    // (into the socket for writes, out of it for reads).
+    client_cpu += double(bs) / cal::kTcpCopyBwPerCore;
+  }
+  if (config_.inline_crypto) {
+    // Inline ChaCha20 close to the NIC: writes encrypt before transmission,
+    // reads decrypt on completion — either way one pass over the payload.
+    client_cpu += double(bs) / cal::kChaCha20BwPerCore;
+  }
+  plan.stages.push_back({&client_cores_, client_cpu});
+
+  // --- serialized CaRT network-context progress section ---
+  plan.stages.push_back(
+      {&cart_context_, profile_.ScaleCost(cal::kCartContextPerIo)});
+  if (tcp) {
+    // UCX/libfabric user-space TCP: lighter serialized section than the
+    // kernel-socket path of the NVMe-oF TCP experiment.
+    plan.stages.push_back(
+        {&client_stack_, profile_.ScaleCost(cal::kUcxTcpStackSerialPerIo)});
+  }
+
+  // --- DPU TCP transmit path (writes leaving the DPU, §4.4) ---
+  // TX per-packet processing serializes, but payload bytes move through
+  // the DMA-assisted egress engine ("good TX").
+  if (tcp && on_dpu && !read) {
+    double tx = profile_.tcp_tx_per_io;
+    if (profile_.tcp_tx_bw > 0.0) tx += double(bs) / profile_.tcp_tx_bw;
+    plan.stages.push_back({&dpu_tx_path_, tx});
+  }
+
+  // --- request leg ---
+  const std::uint64_t request_bytes = read ? kRpcBytes : kRpcBytes + bs;
+  plan.stages.push_back(
+      {&request_link_, cal::kNicPerMessage + double(request_bytes) / link_bw_});
+
+  // --- DAOS engine target ---
+  double server_work = cal::kDaosServerPerIo;
+  if (tcp) {
+    server_work += cal::kTcpPerIoCpu + double(bs) / cal::kTcpCopyBwPerCore;
+  }
+  if (config_.checksums) {
+    server_work += double(bs) / cal::kCrcBwPerCore;
+  }
+  plan.stages.push_back({&engine_targets_, server_work});
+
+  // --- media tier ---
+  // DAOS tiering: small updates land in SCM; reads hit the SCM/DRAM tier for
+  // a calibrated fraction of accesses (aggregation/caching), else NVMe.
+  bool scm = false;
+  if (read) {
+    scm = (Mix(op_index) % 100) <
+          std::uint64_t(cal::kDfsReadCacheFraction * 100.0);
+  } else {
+    scm = bs <= cal::kScmUpdateThreshold;
+  }
+  if (scm) {
+    const double scm_bw = read ? cal::kScmReadBw : cal::kScmWriteBw;
+    plan.stages.push_back({&scm_tier_, double(bs) / scm_bw});
+  } else {
+    const std::uint64_t ssd = IsRandom(config_.op)
+                                  ? Mix(op_index) % config_.num_ssds
+                                  : op_index % config_.num_ssds;
+    const double device_bw = read ? cal::kSsdReadBw : cal::kSsdWriteBw;
+    plan.stages.push_back(
+        {ssd_channels_[ssd].get(), double(bs) / device_bw});
+  }
+
+  // --- response leg ---
+  const std::uint64_t response_bytes = read ? kRpcBytes + bs : kRpcBytes;
+  plan.stages.push_back(
+      {&response_link_,
+       cal::kNicPerMessage + double(response_bytes) / link_bw_});
+
+  // --- DPU TCP receive path (reads arriving at the DPU) ---
+  // The paper's central finding: the DPU TCP receive path bottlenecks
+  // ("weak RX"). Bandwidth degrades with concurrency; a serialized
+  // per-I/O section caps small-block IOPS (§4.4 "TCP results").
+  if (tcp && on_dpu && read) {
+    const double rx_bw = profile_.TcpRxBwAt(config_.num_jobs);
+    plan.stages.push_back(
+        {&dpu_rx_path_, profile_.tcp_rx_per_io + double(bs) / rx_bw});
+  }
+
+  // --- data sink (GPUDirect ablation, §3.5) ---
+  if (read && config_.sink == DataSink::kGpuStaged) {
+    plan.stages.push_back(
+        {&staging_copy_, double(bs) / cal::kDpuStagingCopyBw});
+  }
+  // kGpuDirect and kDpuDram: payload already at its destination.
+
+  // --- tenant QoS (multi-tenant ablation) ---
+  if (!tenant_pipes_.empty()) {
+    const std::uint32_t tenant = context % config_.tenants;
+    plan.stages.push_back(
+        {tenant_pipes_[tenant].get(), double(bs) / config_.per_tenant_bw});
+  }
+
+  plan.fixed_latency =
+      2.0 * cal::kLinkPropagation +
+      (scm ? 0.0 : (read ? cal::kSsdReadLatency : cal::kSsdWriteLatency));
+  return plan;
+}
+
+DfsModel::Utilization DfsModel::UtilizationAfter(
+    const sim::ClosedLoopResult& result) const {
+  Utilization u;
+  if (result.makespan <= 0.0) return u;
+  // Job threads and the CaRT context run on client cores too; fold their
+  // busy time into the client account.
+  double client_busy = client_cores_.busy_time() + cart_context_.busy_time() +
+                       client_stack_.busy_time() + dpu_rx_path_.busy_time() +
+                       dpu_tx_path_.busy_time();
+  for (const auto& job : job_threads_) client_busy += job->busy_time();
+  u.client_core_seconds = client_busy;
+  u.client_cores = client_busy / (double(profile_.cores) * result.makespan);
+  u.engine_targets = engine_targets_.Utilization(result.makespan);
+  return u;
+}
+
+sim::ClosedLoopResult DfsModel::Run(std::uint64_t total_ops) {
+  sim::ClosedLoopConfig loop;
+  loop.contexts = config_.num_jobs * config_.iodepth;
+  loop.total_ops = total_ops;
+  return sim::RunClosedLoop(loop,
+                            [this](std::uint32_t ctx, std::uint64_t op) {
+                              return PlanOp(ctx, op);
+                            });
+}
+
+}  // namespace ros2::perf

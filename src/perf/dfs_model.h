@@ -1,0 +1,98 @@
+// Performance model for the END-TO-END DFS experiment (§4.4, Fig. 5):
+// FIO with the DFS engine, DAOS client on the host CPU or offloaded to
+// BlueField-3, over TCP or RDMA, against 1 or 4 NVMe SSDs.
+//
+// Queueing network (read path):
+//   FIO job thread (per-job serialization, platform-scaled)
+//     -> client cores: DFS + DAOS client per-I/O work (transport-dependent)
+//       -> serialized CaRT network-context section
+//         -> [TCP] serialized client stack
+//           -> request link leg
+//             -> DAOS engine targets (per-I/O + checksum per-byte)
+//               -> media: SCM tier (cache hits / small updates) or SSD channel
+//                 -> response link leg
+//                   -> [DPU+TCP] RX-path bottleneck (bandwidth + per-I/O)
+//                   -> [host TCP] per-core RX copy
+//                     -> [ablations] inline crypto, staging copy, tenant QoS
+//
+// Ablation knobs (all default off/paper-config) are part of the Config so
+// the ablation benches share this one model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "perf/calibration.h"
+#include "perf/profile.h"
+#include "perf/types.h"
+#include "sim/closed_loop.h"
+
+namespace ros2::perf {
+
+/// Where read payloads finally land (GPUDirect ablation, paper §3.5).
+enum class DataSink {
+  kDpuDram,    ///< paper's prototype: payload terminates in DPU DRAM
+  kGpuStaged,  ///< GPU consumer, staged through DPU DRAM (extra copy)
+  kGpuDirect,  ///< GPUDirect RDMA: server writes straight into GPU HBM
+};
+
+class DfsModel {
+ public:
+  struct Config {
+    Platform platform = Platform::kServerHost;
+    Transport transport = Transport::kRdma;
+    std::uint32_t num_ssds = 1;
+    std::uint32_t num_jobs = 1;
+    std::uint32_t iodepth = cal::kDefaultIoDepth;
+    OpKind op = OpKind::kRead;
+    std::uint64_t block_size = kMiB;
+
+    // --- ablation knobs ---
+    bool checksums = true;          ///< end-to-end CRC-32C (DAOS default on)
+    bool inline_crypto = false;     ///< DPU-resident ChaCha20 on payloads
+    DataSink sink = DataSink::kDpuDram;
+    std::uint32_t tenants = 1;      ///< >1 enables per-tenant QoS pipes
+    double per_tenant_bw = 0.0;     ///< bytes/s rate limit (0 = unlimited)
+  };
+
+  explicit DfsModel(const Config& config);
+
+  sim::ClosedLoopResult Run(std::uint64_t total_ops);
+
+  /// Resource utilizations over a completed run's makespan — used by the
+  /// host-resource-savings ablation (§5: "our study does not yet quantify
+  /// host-side resource savings"; this model does).
+  struct Utilization {
+    double client_cores = 0.0;   ///< busy fraction of the client platform
+    double engine_targets = 0.0; ///< busy fraction of the server targets
+    double client_core_seconds = 0.0;  ///< absolute CPU-seconds burned
+  };
+  Utilization UtilizationAfter(const sim::ClosedLoopResult& result) const;
+
+  const Config& config() const { return config_; }
+  const PlatformProfile& profile() const { return profile_; }
+
+ private:
+  sim::OpPlan PlanOp(std::uint32_t context, std::uint64_t op_index);
+
+  Config config_;
+  PlatformProfile profile_;
+  double link_bw_;
+
+  std::vector<std::unique_ptr<sim::ServerPool>> job_threads_;
+  sim::ServerPool client_cores_;
+  sim::ServerPool cart_context_;
+  sim::ServerPool client_stack_;
+  sim::ServerPool dpu_rx_path_;   ///< DPU TCP receive bottleneck (bandwidth+per-IO)
+  sim::ServerPool dpu_tx_path_;   ///< DPU TCP transmit staging
+  sim::ServerPool request_link_;
+  sim::ServerPool response_link_;
+  sim::ServerPool engine_targets_;
+  sim::ServerPool scm_tier_;
+  sim::ServerPool staging_copy_;  ///< DPU DRAM -> GPU copy (kGpuStaged)
+  std::vector<std::unique_ptr<sim::ServerPool>> ssd_channels_;
+  std::vector<std::unique_ptr<sim::ServerPool>> tenant_pipes_;
+};
+
+}  // namespace ros2::perf

@@ -1,0 +1,55 @@
+#include "perf/local_fio_model.h"
+
+#include <string>
+
+namespace ros2::perf {
+
+LocalFioModel::LocalFioModel(const Config& config)
+    : config_(config),
+      block_path_("host-block-path", cal::kHostBlockPathWays) {
+  for (std::uint32_t j = 0; j < config_.num_jobs; ++j) {
+    job_threads_.push_back(
+        std::make_unique<sim::ServerPool>("fio-job-" + std::to_string(j), 1));
+  }
+  for (std::uint32_t d = 0; d < config_.num_ssds; ++d) {
+    ssd_channels_.push_back(
+        std::make_unique<sim::ServerPool>("ssd-" + std::to_string(d), 1));
+  }
+}
+
+sim::OpPlan LocalFioModel::PlanOp(std::uint32_t context,
+                                  std::uint64_t op_index) {
+  sim::OpPlan plan;
+  plan.bytes = config_.block_size;
+
+  // Contexts are numjobs x iodepth; context / iodepth is the owning job.
+  const std::uint32_t job = context / config_.iodepth % config_.num_jobs;
+  plan.stages.push_back({job_threads_[job].get(), cal::kFioJobPerIoCost});
+
+  plan.stages.push_back({&block_path_, cal::kHostBlockPathPerIo});
+
+  // Sequential jobs stripe across devices; random jobs hash. Either way the
+  // load is balanced, which is what Fig. 3 measures (whole-array FIO).
+  const std::uint64_t ssd = IsRandom(config_.op)
+                                ? (op_index * 0x9E3779B97F4A7C15ull >> 32) %
+                                      config_.num_ssds
+                                : op_index % config_.num_ssds;
+  const bool read = IsRead(config_.op);
+  const double device_bw = read ? cal::kSsdReadBw : cal::kSsdWriteBw;
+  plan.stages.push_back(
+      {ssd_channels_[ssd].get(), double(config_.block_size) / device_bw});
+
+  plan.fixed_latency = read ? cal::kSsdReadLatency : cal::kSsdWriteLatency;
+  return plan;
+}
+
+sim::ClosedLoopResult LocalFioModel::Run(std::uint64_t total_ops) {
+  sim::ClosedLoopConfig loop;
+  loop.contexts = config_.num_jobs * config_.iodepth;
+  loop.total_ops = total_ops;
+  return sim::RunClosedLoop(loop, [this](std::uint32_t ctx, std::uint64_t op) {
+    return PlanOp(ctx, op);
+  });
+}
+
+}  // namespace ros2::perf

@@ -1,0 +1,47 @@
+// Performance model for the paper's LOCAL baseline (§4.2, Fig. 3):
+// FIO with the io_uring engine directly on the storage node's NVMe SSDs.
+//
+// Queueing network:
+//   job thread (1-server per job, submit+complete serialization)
+//     -> host block/completion path (shared, caps ~600 K IOPS; Fig. 3b/d)
+//       -> per-SSD bandwidth channel (+ fixed media latency)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "perf/calibration.h"
+#include "perf/types.h"
+#include "sim/closed_loop.h"
+
+namespace ros2::perf {
+
+class LocalFioModel {
+ public:
+  struct Config {
+    std::uint32_t num_ssds = 1;
+    std::uint32_t num_jobs = 1;
+    std::uint32_t iodepth = cal::kDefaultIoDepth;
+    OpKind op = OpKind::kRead;
+    std::uint64_t block_size = kMiB;
+  };
+
+  explicit LocalFioModel(const Config& config);
+
+  /// Runs `total_ops` operations through the network and reports
+  /// steady-state throughput/IOPS/latency.
+  sim::ClosedLoopResult Run(std::uint64_t total_ops);
+
+  const Config& config() const { return config_; }
+
+ private:
+  sim::OpPlan PlanOp(std::uint32_t context, std::uint64_t op_index);
+
+  Config config_;
+  std::vector<std::unique_ptr<sim::ServerPool>> job_threads_;
+  sim::ServerPool block_path_;
+  std::vector<std::unique_ptr<sim::ServerPool>> ssd_channels_;
+};
+
+}  // namespace ros2::perf

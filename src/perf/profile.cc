@@ -1,0 +1,41 @@
+#include "perf/profile.h"
+
+#include "perf/calibration.h"
+
+namespace ros2::perf {
+
+double PlatformProfile::TcpRxBwAt(std::uint32_t jobs) const {
+  if (tcp_rx_bw <= 0.0) return 0.0;
+  const double concurrency = jobs > 0 ? double(jobs) : 1.0;
+  return tcp_rx_bw / (1.0 + tcp_rx_degradation * (concurrency - 1.0));
+}
+
+PlatformProfile PlatformProfile::ServerHost() {
+  PlatformProfile p;
+  p.platform = Platform::kServerHost;
+  p.name = "host-cpu";
+  p.cores = cal::kHostCores;
+  p.core_speed = cal::kHostCoreSpeed;
+  // Host TCP RX rides the normal per-core copy costs; no extra bottleneck.
+  return p;
+}
+
+PlatformProfile PlatformProfile::BlueField3() {
+  PlatformProfile p;
+  p.platform = Platform::kBlueField3;
+  p.name = "bluefield3";
+  p.cores = cal::kBf3Cores;
+  p.core_speed = cal::kBf3CoreSpeed;
+  p.tcp_rx_bw = cal::kBf3TcpRxBw;
+  p.tcp_rx_degradation = cal::kBf3TcpRxDegradation;
+  p.tcp_rx_per_io = cal::kBf3TcpRxPerIo;
+  p.tcp_tx_per_io = cal::kBf3TcpTxPerIo;
+  p.tcp_tx_bw = cal::kBf3TcpTxBw;
+  return p;
+}
+
+PlatformProfile PlatformProfile::For(Platform p) {
+  return p == Platform::kServerHost ? ServerHost() : BlueField3();
+}
+
+}  // namespace ros2::perf

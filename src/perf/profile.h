@@ -1,0 +1,44 @@
+// Platform profiles: where the DAOS client stack runs (§4.1).
+//
+// A profile scales per-I/O CPU costs by core speed and defines the
+// platform-specific TCP receive-path behaviour that drives the paper's
+// central result (host TCP fine / DPU TCP RX-bottlenecked / RDMA equal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "perf/types.h"
+
+namespace ros2::perf {
+
+struct PlatformProfile {
+  Platform platform = Platform::kServerHost;
+  std::string name;
+  std::uint32_t cores = 48;
+  double core_speed = 1.0;  ///< relative to reference x86 server core
+
+  // TCP receive path. On the host this is effectively unconstrained beyond
+  // per-core costs; on BlueField-3 it is the bottleneck resource (§4.4,
+  // "the asymmetry (good TX, weak RX) indicates a DPU TCP receive-path
+  // bottleneck").
+  double tcp_rx_bw = 0.0;           ///< aggregate RX processing B/s (0 = uncapped)
+  double tcp_rx_degradation = 0.0;  ///< concurrency penalty alpha
+  double tcp_rx_per_io = 0.0;       ///< serialized RX per-I/O cost (s)
+  double tcp_tx_per_io = 0.0;       ///< serialized TX per-packet cost (s)
+  double tcp_tx_bw = 0.0;           ///< aggregate TX staging B/s (0 = uncapped)
+
+  /// Per-I/O cost (seconds) on this platform for a reference-core cost.
+  double ScaleCost(double reference_seconds) const {
+    return reference_seconds / core_speed;
+  }
+
+  /// Effective DPU TCP RX bandwidth at a given concurrency (jobs).
+  double TcpRxBwAt(std::uint32_t jobs) const;
+
+  static PlatformProfile ServerHost();
+  static PlatformProfile BlueField3();
+  static PlatformProfile For(Platform p);
+};
+
+}  // namespace ros2::perf

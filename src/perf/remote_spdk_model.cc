@@ -1,0 +1,89 @@
+#include "perf/remote_spdk_model.h"
+
+namespace ros2::perf {
+namespace {
+
+/// NVMe-oF command/response capsule size (no payload).
+constexpr std::uint64_t kCapsuleBytes = 64;
+
+}  // namespace
+
+RemoteSpdkModel::RemoteSpdkModel(const Config& config)
+    : config_(config),
+      link_bw_(cal::kLinkBw * (config.transport == Transport::kRdma
+                                   ? cal::kRdmaLinkEfficiency
+                                   : cal::kTcpLinkEfficiency)),
+      client_cores_("client-cores", config.client_cores),
+      client_stack_("client-tcp-stack", 1),
+      request_link_("link-req", 1),
+      server_cores_("server-cores", config.server_cores),
+      server_stack_("server-tcp-stack", 1),
+      ssd_channel_("ssd", 1),
+      response_link_("link-resp", 1) {}
+
+sim::OpPlan RemoteSpdkModel::PlanOp() {
+  const bool read = IsRead(config_.op);
+  const bool tcp = config_.transport == Transport::kTcp;
+  const std::uint64_t bs = config_.block_size;
+
+  sim::OpPlan plan;
+  plan.bytes = bs;
+
+  const double per_io_cpu = tcp ? cal::kTcpPerIoCpu : cal::kRdmaPerIoCpu;
+
+  // --- client CPU (submission + completion, one visit) ---
+  // The client pool is visited once per op with the combined cost: the
+  // activity-scanning DES plans a whole op at once, so a second visit to
+  // the same pool later in the chain would advance its free-time out of
+  // time order and artificially serialize subsequent submissions.
+  double client_cpu = 1.2 * per_io_cpu;  // submit + completion handling
+  if (tcp) {
+    // The payload crosses the socket copy path once per op.
+    client_cpu += double(bs) / cal::kTcpCopyBwPerCore;
+  }
+  plan.stages.push_back({&client_cores_, client_cpu});
+  if (tcp) {
+    plan.stages.push_back({&client_stack_, cal::kTcpStackSerialPerIo});
+  }
+
+  // --- request leg ---
+  const std::uint64_t request_bytes = read ? kCapsuleBytes : bs;
+  plan.stages.push_back(
+      {&request_link_, cal::kNicPerMessage + double(request_bytes) / link_bw_});
+
+  // --- server processing ---
+  double server_work = per_io_cpu + cal::kSpdkTargetPerIo;
+  if (tcp) {
+    // The target copies the payload between socket and bdev buffers.
+    server_work += double(bs) / cal::kTcpCopyBwPerCore;
+  }
+  plan.stages.push_back({&server_cores_, server_work});
+  if (tcp) {
+    plan.stages.push_back({&server_stack_, cal::kTcpStackSerialPerIo});
+  }
+
+  // --- media ---
+  const double device_bw = read ? cal::kSsdReadBw : cal::kSsdWriteBw;
+  plan.stages.push_back({&ssd_channel_, double(bs) / device_bw});
+
+  // --- response leg ---
+  const std::uint64_t response_bytes = read ? bs : kCapsuleBytes;
+  plan.stages.push_back(
+      {&response_link_,
+       cal::kNicPerMessage + double(response_bytes) / link_bw_});
+
+  plan.fixed_latency =
+      2.0 * cal::kLinkPropagation +
+      (read ? cal::kSsdReadLatency : cal::kSsdWriteLatency);
+  return plan;
+}
+
+sim::ClosedLoopResult RemoteSpdkModel::Run(std::uint64_t total_ops) {
+  sim::ClosedLoopConfig loop;
+  loop.contexts = config_.queue_depth * config_.client_cores;
+  loop.total_ops = total_ops;
+  return sim::RunClosedLoop(
+      loop, [this](std::uint32_t, std::uint64_t) { return PlanOp(); });
+}
+
+}  // namespace ros2::perf

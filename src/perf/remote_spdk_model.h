@@ -1,0 +1,58 @@
+// Performance model for the REMOTE SPDK experiment (§4.3, Fig. 4):
+// one NVMe SSD exported by an SPDK NVMe-oF target, driven over TCP or RDMA
+// while sweeping client and server core counts.
+//
+// Queueing network (read path; writes mirror it with the payload on the
+// request leg):
+//   client cores (k = client_cores; per-I/O transport cost, TCP adds copy)
+//     -> [TCP] serialized client stack section
+//       -> request link leg (eff. bandwidth x transport efficiency)
+//         -> server cores (transport + SPDK target per-I/O, TCP adds copy)
+//           -> [TCP] serialized server stack section
+//             -> SSD channel (+ media latency)
+//               -> response link leg
+//                 -> [TCP] client-side RX copy
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "perf/calibration.h"
+#include "perf/types.h"
+#include "sim/closed_loop.h"
+
+namespace ros2::perf {
+
+class RemoteSpdkModel {
+ public:
+  struct Config {
+    Transport transport = Transport::kRdma;
+    std::uint32_t client_cores = 1;
+    std::uint32_t server_cores = 1;
+    std::uint32_t queue_depth = cal::kSpdkDefaultQueueDepth;
+    OpKind op = OpKind::kRead;
+    std::uint64_t block_size = kMiB;
+  };
+
+  explicit RemoteSpdkModel(const Config& config);
+
+  sim::ClosedLoopResult Run(std::uint64_t total_ops);
+
+  const Config& config() const { return config_; }
+
+ private:
+  sim::OpPlan PlanOp();
+
+  Config config_;
+  double link_bw_;  ///< effective link rate for this transport
+
+  sim::ServerPool client_cores_;
+  sim::ServerPool client_stack_;  ///< serialized TCP section (unused for RDMA)
+  sim::ServerPool request_link_;
+  sim::ServerPool server_cores_;
+  sim::ServerPool server_stack_;
+  sim::ServerPool ssd_channel_;
+  sim::ServerPool response_link_;
+};
+
+}  // namespace ros2::perf

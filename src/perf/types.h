@@ -1,0 +1,42 @@
+// Shared enums for the performance models and the FIO harness.
+#pragma once
+
+#include <string_view>
+
+namespace ros2::perf {
+
+/// The four POSIX-style FIO workloads the paper sweeps (§4.2).
+enum class OpKind { kRead, kWrite, kRandRead, kRandWrite };
+
+constexpr bool IsRead(OpKind op) {
+  return op == OpKind::kRead || op == OpKind::kRandRead;
+}
+constexpr bool IsRandom(OpKind op) {
+  return op == OpKind::kRandRead || op == OpKind::kRandWrite;
+}
+
+constexpr std::string_view OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kRandRead: return "randread";
+    case OpKind::kRandWrite: return "randwrite";
+  }
+  return "?";
+}
+
+/// Where the DAOS client stack executes (§4.4).
+enum class Platform { kServerHost, kBlueField3 };
+
+constexpr std::string_view PlatformName(Platform p) {
+  return p == Platform::kServerHost ? "host-cpu" : "bluefield3";
+}
+
+/// Data-plane transport (§3.2): user-space TCP vs RDMA verbs.
+enum class Transport { kTcp, kRdma };
+
+constexpr std::string_view TransportName(Transport t) {
+  return t == Transport::kTcp ? "tcp" : "rdma";
+}
+
+}  // namespace ros2::perf

@@ -1,0 +1,37 @@
+#include "rpc/control_channel.h"
+
+namespace ros2::rpc {
+
+void ControlService::Register(const std::string& method, Handler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+Result<Buffer> ControlService::Dispatch(const std::string& method,
+                                        const Buffer& request) {
+  auto it = handlers_.find(method);
+  if (it == handlers_.end()) {
+    return NotFound("no control method: " + method);
+  }
+  ++calls_;
+  bytes_ += request.size();
+  auto reply = it->second(request);
+  if (reply.ok()) bytes_ += reply->size();
+  return reply;
+}
+
+Result<Buffer> ControlChannel::Call(const std::string& method,
+                                    const Buffer& request) {
+  if (service_ == nullptr) return Unavailable("channel not connected");
+  if (request.size() > kControlMessageLimit) {
+    return InvalidArgument(
+        "control-plane message exceeds 64 KiB cap (bulk data belongs on "
+        "the data plane)");
+  }
+  auto reply = service_->Dispatch(method, request);
+  if (reply.ok() && reply->size() > kControlMessageLimit) {
+    return Internal("control-plane reply exceeds 64 KiB cap");
+  }
+  return reply;
+}
+
+}  // namespace ros2::rpc

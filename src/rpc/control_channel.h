@@ -1,0 +1,58 @@
+// gRPC-like control plane channel (§3.1, §3.2).
+//
+// The control plane carries session setup, authentication, namespace and
+// capability-exchange traffic — few messages, latency-insensitive. The
+// separation from the data plane is *structural*: messages are capped at
+// 64 KiB, so bulk payloads physically cannot ride the control channel
+// ("no payload bytes traverse the host kernel in the fast path", §3.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ros2::rpc {
+
+/// Hard ceiling on control-plane message size.
+inline constexpr std::size_t kControlMessageLimit = 64 * 1024;
+
+/// Server side: a registry of named unary methods.
+class ControlService {
+ public:
+  using Handler = std::function<Result<Buffer>(const Buffer& request)>;
+
+  /// Registers `method`; overwrites silently (tests re-register stubs).
+  void Register(const std::string& method, Handler handler);
+
+  /// Dispatches one call (used by ControlChannel; exposed for tests).
+  Result<Buffer> Dispatch(const std::string& method, const Buffer& request);
+
+  // Call counters, visible to tests asserting control/data separation.
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t bytes_transferred() const { return bytes_; }
+
+ private:
+  std::map<std::string, Handler> handlers_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Client side: a channel bound to one ControlService.
+///
+/// The in-process "network" is synchronous: Call() validates the size cap,
+/// dispatches, and validates the response cap.
+class ControlChannel {
+ public:
+  explicit ControlChannel(ControlService* service) : service_(service) {}
+
+  Result<Buffer> Call(const std::string& method, const Buffer& request);
+
+ private:
+  ControlService* service_;
+};
+
+}  // namespace ros2::rpc

@@ -1,0 +1,233 @@
+#include "rpc/data_rpc.h"
+
+#include <cstring>
+
+#include "rpc/wire.h"
+
+namespace ros2::rpc {
+namespace {
+
+Status DecodeBulkDesc(Decoder& dec, BulkDesc* out) {
+  ROS2_ASSIGN_OR_RETURN(out->addr, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(out->len, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(out->rkey, dec.U64());
+  return Status::Ok();
+}
+
+void EncodeBulkDesc(Encoder& enc, const BulkDesc& desc) {
+  enc.U64(desc.addr).U64(desc.len).U64(desc.rkey);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- BulkIo
+
+Status BulkIo::Pull(std::span<std::byte> dst) {
+  if (dst.size() != in_size_) {
+    return InvalidArgument("bulk pull size mismatch");
+  }
+  if (in_size_ == 0) return Status::Ok();
+  if (tcp_) {
+    std::memcpy(dst.data(), inline_in_.data(), dst.size());
+    return Status::Ok();
+  }
+  return server_qp_->RdmaRead(dst, in_desc_.addr, in_desc_.rkey);
+}
+
+Status BulkIo::Push(std::span<const std::byte> src) {
+  if (pushed_ + src.size() > out_capacity_) {
+    return OutOfRange("bulk push exceeds client window");
+  }
+  if (tcp_) {
+    inline_out_.insert(inline_out_.end(), src.begin(), src.end());
+  } else {
+    ROS2_RETURN_IF_ERROR(qp_push_(src, pushed_));
+  }
+  pushed_ += src.size();
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- RpcServer
+
+void RpcServer::Register(std::uint32_t opcode, Handler handler) {
+  handlers_[opcode] = std::move(handler);
+}
+
+Status RpcServer::Progress(net::Qp* qp) {
+  while (qp->HasMessage()) {
+    ROS2_ASSIGN_OR_RETURN(net::Message msg, qp->Recv());
+    Decoder dec(msg.payload);
+    ROS2_ASSIGN_OR_RETURN(std::uint32_t opcode, dec.U32());
+    ROS2_ASSIGN_OR_RETURN(Buffer header, dec.Bytes());
+
+    const bool tcp = qp->transport() == net::Transport::kTcp;
+    BulkIo bulk;
+    bulk.tcp_ = tcp;
+    bulk.server_qp_ = qp;
+
+    ROS2_ASSIGN_OR_RETURN(std::uint8_t has_in, dec.U8());
+    if (has_in != 0) {
+      if (tcp) {
+        ROS2_ASSIGN_OR_RETURN(bulk.inline_in_, dec.Bytes());
+        bulk.in_size_ = bulk.inline_in_.size();
+      } else {
+        ROS2_RETURN_IF_ERROR(DecodeBulkDesc(dec, &bulk.in_desc_));
+        bulk.in_size_ = bulk.in_desc_.len;
+      }
+    }
+    ROS2_ASSIGN_OR_RETURN(std::uint8_t has_out, dec.U8());
+    if (has_out != 0) {
+      if (tcp) {
+        ROS2_ASSIGN_OR_RETURN(bulk.out_capacity_, dec.U64());
+      } else {
+        ROS2_RETURN_IF_ERROR(DecodeBulkDesc(dec, &bulk.out_desc_));
+        bulk.out_capacity_ = bulk.out_desc_.len;
+      }
+    }
+    if (!tcp) {
+      // Bind the one-sided push lambda to this request's descriptor.
+      const BulkDesc out_desc = bulk.out_desc_;
+      net::Qp* server_qp = qp;
+      bulk.qp_push_ = [server_qp, out_desc](std::span<const std::byte> src,
+                                            std::uint64_t at) {
+        return server_qp->RdmaWrite(src, out_desc.addr + at, out_desc.rkey);
+      };
+    }
+
+    Encoder reply;
+    auto it = handlers_.find(opcode);
+    if (it == handlers_.end()) {
+      reply.U16(std::uint16_t(ErrorCode::kNotFound))
+          .Str("unknown opcode")
+          .Bytes({});
+    } else {
+      auto result = it->second(header, bulk);
+      if (result.ok()) {
+        reply.U16(std::uint16_t(ErrorCode::kOk)).Str("").Bytes(*result);
+      } else {
+        reply.U16(std::uint16_t(result.status().code()))
+            .Str(result.status().message())
+            .Bytes({});
+      }
+    }
+    if (tcp) {
+      reply.Bytes(bulk.inline_out_);
+    }
+    reply.U64(bulk.pushed_);
+
+    ++served_;
+    bulk_in_ += bulk.in_size_;
+    bulk_out_ += bulk.pushed_;
+    ROS2_RETURN_IF_ERROR(qp->Send(reply.buffer()));
+  }
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- RpcClient
+
+Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
+                                 std::span<const std::byte> header,
+                                 const CallOptions& options) {
+  if (qp_ == nullptr || !qp_->connected()) {
+    return Status(Unavailable("rpc client not connected"));
+  }
+  const bool tcp = qp_->transport() == net::Transport::kTcp;
+
+  Encoder req;
+  req.U32(opcode).Bytes(header);
+
+  // Ad-hoc MRs for this call's bulk windows (RDMA rendezvous). Production
+  // DAOS pools registrations; correctness is identical.
+  net::RKey in_rkey = 0;
+  net::RKey out_rkey = 0;
+
+  if (!options.send_bulk.empty()) {
+    req.U8(1);
+    if (tcp) {
+      req.Bytes(options.send_bulk);
+    } else {
+      // Verbs registration is access-controlled but not const-aware; the
+      // server only reads through kRemoteRead.
+      auto mr = local_->RegisterMemory(
+          qp_->local_pd(),
+          std::span<std::byte>(
+              const_cast<std::byte*>(options.send_bulk.data()),
+              options.send_bulk.size()),
+          net::kRemoteRead);
+      if (!mr.ok()) return mr.status();
+      in_rkey = mr->rkey;
+      EncodeBulkDesc(req, {mr->addr, mr->length, mr->rkey});
+    }
+  } else {
+    req.U8(0);
+  }
+
+  if (!options.recv_bulk.empty()) {
+    req.U8(1);
+    if (tcp) {
+      req.U64(options.recv_bulk.size());
+    } else {
+      auto mr = local_->RegisterMemory(qp_->local_pd(), options.recv_bulk,
+                                       net::kRemoteWrite);
+      if (!mr.ok()) return mr.status();
+      out_rkey = mr->rkey;
+      EncodeBulkDesc(req, {mr->addr, mr->length, mr->rkey});
+    }
+  } else {
+    req.U8(0);
+  }
+
+  ROS2_RETURN_IF_ERROR(qp_->Send(req.buffer()));
+  if (progress_) progress_();
+
+  auto cleanup = [&] {
+    if (in_rkey != 0) (void)local_->DeregisterMemory(in_rkey);
+    if (out_rkey != 0) (void)local_->DeregisterMemory(out_rkey);
+  };
+
+  auto msg = qp_->Recv();
+  if (!msg.ok()) {
+    cleanup();
+    return Status(Unavailable("no reply from server"));
+  }
+
+  Decoder dec(msg->payload);
+  auto code = dec.U16();
+  auto err = dec.Str();
+  auto reply_header = dec.Bytes();
+  if (!code.ok() || !err.ok() || !reply_header.ok()) {
+    cleanup();
+    return Status(DataLoss("malformed rpc reply"));
+  }
+
+  RpcReply out;
+  out.header = std::move(*reply_header);
+
+  if (tcp) {
+    auto inline_out = dec.Bytes();
+    if (!inline_out.ok()) {
+      cleanup();
+      return inline_out.status();
+    }
+    if (inline_out->size() > options.recv_bulk.size()) {
+      cleanup();
+      return Status(OutOfRange("server pushed more than the recv window"));
+    }
+    std::memcpy(options.recv_bulk.data(), inline_out->data(),
+                inline_out->size());
+  }
+  auto pushed = dec.U64();
+  if (!pushed.ok()) {
+    cleanup();
+    return pushed.status();
+  }
+  out.bulk_received = *pushed;
+  cleanup();
+
+  if (ErrorCode(*code) != ErrorCode::kOk) {
+    return Status(ErrorCode(*code), *err);
+  }
+  return out;
+}
+
+}  // namespace ros2::rpc

@@ -1,0 +1,123 @@
+// CaRT/Mercury-like data-plane RPC over fabric queue pairs (§3.3).
+//
+// Unary RPCs carry an opcode + small header. Bulk payloads move
+// transport-appropriately:
+//
+//  - RDMA: the client registers its buffers and ships {addr, len, rkey}
+//    descriptors; the SERVER drives one-sided RdmaRead (pull client data)
+//    or RdmaWrite (push results) — rendezvous, zero client-side copies.
+//  - TCP: payloads are carried inline in the send/recv stream in both
+//    directions — the copy-heavy path the paper measures against.
+//
+// The server exposes Progress() (CaRT progress-loop equivalent); the
+// in-process client pumps it synchronously through a hook installed at
+// connection time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/fabric.h"
+
+namespace ros2::rpc {
+
+/// Bulk descriptor conveyed in RDMA requests (client-registered MR window).
+struct BulkDesc {
+  std::uintptr_t addr = 0;
+  std::uint64_t len = 0;
+  net::RKey rkey = 0;
+  bool valid() const { return len > 0; }
+};
+
+/// Server-side handle for moving bulk data for one request, hiding the
+/// transport (one-sided RDMA vs inline TCP bytes).
+class BulkIo {
+ public:
+  /// Bytes the client is offering (update/write payload). Size 0 if none.
+  std::uint64_t in_size() const { return in_size_; }
+  /// Capacity the client exposed for results (fetch/read payload).
+  std::uint64_t out_capacity() const { return out_capacity_; }
+
+  /// Pulls the client's payload into `dst` (must be exactly in_size()).
+  Status Pull(std::span<std::byte> dst);
+
+  /// Pushes `src` to the client's result buffer (<= out_capacity()).
+  Status Push(std::span<const std::byte> src);
+
+  /// Bytes actually pushed (travels back in the reply for TCP inline data).
+  std::uint64_t pushed() const { return pushed_; }
+  const Buffer& inline_out() const { return inline_out_; }
+
+ private:
+  friend class RpcServer;
+  net::Qp* server_qp_ = nullptr;  // RDMA: server side of the connection
+  BulkDesc in_desc_;
+  BulkDesc out_desc_;
+  // One-sided push bound to this request's out-descriptor (RDMA only).
+  std::function<Status(std::span<const std::byte>, std::uint64_t)> qp_push_;
+  Buffer inline_in_;    // TCP: payload that arrived with the request
+  Buffer inline_out_;   // TCP: payload to ship with the reply
+  std::uint64_t in_size_ = 0;
+  std::uint64_t out_capacity_ = 0;
+  std::uint64_t pushed_ = 0;
+  bool tcp_ = false;
+};
+
+/// Server: opcode registry + progress loop over accepted QPs.
+class RpcServer {
+ public:
+  using Handler =
+      std::function<Result<Buffer>(const Buffer& header, BulkIo& bulk)>;
+
+  void Register(std::uint32_t opcode, Handler handler);
+
+  /// Processes every queued request on `qp`, sending replies.
+  Status Progress(net::Qp* qp);
+
+  std::uint64_t requests_served() const { return served_; }
+  std::uint64_t bulk_bytes_in() const { return bulk_in_; }
+  std::uint64_t bulk_bytes_out() const { return bulk_out_; }
+
+ private:
+  std::map<std::uint32_t, Handler> handlers_;
+  std::uint64_t served_ = 0;
+  std::uint64_t bulk_in_ = 0;
+  std::uint64_t bulk_out_ = 0;
+};
+
+/// Client call options: at most one send payload and one receive window.
+struct CallOptions {
+  std::span<const std::byte> send_bulk;  ///< client -> server payload
+  std::span<std::byte> recv_bulk;        ///< server -> client window
+};
+
+struct RpcReply {
+  Buffer header;             ///< handler's reply header
+  std::uint64_t bulk_received = 0;  ///< bytes landed in recv_bulk
+};
+
+/// Client bound to one connected Qp. `progress` is invoked after sending a
+/// request to pump the in-process server (stands in for network+poll).
+class RpcClient {
+ public:
+  RpcClient(net::Qp* qp, net::Endpoint* local,
+            std::function<void()> progress)
+      : qp_(qp), local_(local), progress_(std::move(progress)) {}
+
+  Result<RpcReply> Call(std::uint32_t opcode,
+                        std::span<const std::byte> header,
+                        const CallOptions& options = {});
+
+  net::Qp* qp() const { return qp_; }
+
+ private:
+  net::Qp* qp_;
+  net::Endpoint* local_;
+  std::function<void()> progress_;
+};
+
+}  // namespace ros2::rpc

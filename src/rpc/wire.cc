@@ -1,0 +1,90 @@
+#include "rpc/wire.h"
+
+#include <cstring>
+
+namespace ros2::rpc {
+
+void Encoder::Append(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::byte*>(data);
+  buf_.insert(buf_.end(), bytes, bytes + size);
+}
+
+Encoder& Encoder::U8(std::uint8_t v) {
+  Append(&v, 1);
+  return *this;
+}
+Encoder& Encoder::U16(std::uint16_t v) {
+  Append(&v, 2);
+  return *this;
+}
+Encoder& Encoder::U32(std::uint32_t v) {
+  Append(&v, 4);
+  return *this;
+}
+Encoder& Encoder::U64(std::uint64_t v) {
+  Append(&v, 8);
+  return *this;
+}
+Encoder& Encoder::Str(std::string_view v) {
+  U32(std::uint32_t(v.size()));
+  Append(v.data(), v.size());
+  return *this;
+}
+Encoder& Encoder::Bytes(std::span<const std::byte> v) {
+  U32(std::uint32_t(v.size()));
+  Append(v.data(), v.size());
+  return *this;
+}
+
+Status Decoder::Need(std::size_t n) const {
+  if (data_.size() - pos_ < n) {
+    return DataLoss("truncated RPC message");
+  }
+  return Status::Ok();
+}
+
+Result<std::uint8_t> Decoder::U8() {
+  ROS2_RETURN_IF_ERROR(Need(1));
+  std::uint8_t v;
+  std::memcpy(&v, data_.data() + pos_, 1);
+  pos_ += 1;
+  return v;
+}
+Result<std::uint16_t> Decoder::U16() {
+  ROS2_RETURN_IF_ERROR(Need(2));
+  std::uint16_t v;
+  std::memcpy(&v, data_.data() + pos_, 2);
+  pos_ += 2;
+  return v;
+}
+Result<std::uint32_t> Decoder::U32() {
+  ROS2_RETURN_IF_ERROR(Need(4));
+  std::uint32_t v;
+  std::memcpy(&v, data_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+Result<std::uint64_t> Decoder::U64() {
+  ROS2_RETURN_IF_ERROR(Need(8));
+  std::uint64_t v;
+  std::memcpy(&v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+Result<std::string> Decoder::Str() {
+  ROS2_ASSIGN_OR_RETURN(std::uint32_t len, U32());
+  ROS2_RETURN_IF_ERROR(Need(len));
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+Result<Buffer> Decoder::Bytes() {
+  ROS2_ASSIGN_OR_RETURN(std::uint32_t len, U32());
+  ROS2_RETURN_IF_ERROR(Need(len));
+  Buffer out(data_.begin() + std::ptrdiff_t(pos_),
+             data_.begin() + std::ptrdiff_t(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+}  // namespace ros2::rpc

@@ -1,0 +1,54 @@
+// Wire codec: length-prefixed little-endian serialization for RPC headers.
+//
+// Deliberately tiny (no schema compiler); every RPC message in the stack is
+// built and parsed through Encoder/Decoder so framing bugs have one home.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ros2::rpc {
+
+class Encoder {
+ public:
+  Encoder& U8(std::uint8_t v);
+  Encoder& U16(std::uint16_t v);
+  Encoder& U32(std::uint32_t v);
+  Encoder& U64(std::uint64_t v);
+  Encoder& Str(std::string_view v);            ///< u32 length + bytes
+  Encoder& Bytes(std::span<const std::byte> v);  ///< u32 length + bytes
+
+  const Buffer& buffer() const { return buf_; }
+  Buffer Take() { return std::move(buf_); }
+
+ private:
+  void Append(const void* data, std::size_t size);
+  Buffer buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::byte> data) : data_(data) {}
+
+  Result<std::uint8_t> U8();
+  Result<std::uint16_t> U16();
+  Result<std::uint32_t> U32();
+  Result<std::uint64_t> U64();
+  Result<std::string> Str();
+  Result<Buffer> Bytes();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(std::size_t n) const;
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ros2::rpc

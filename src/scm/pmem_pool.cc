@@ -1,0 +1,144 @@
+#include "scm/pmem_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ros2::scm {
+
+PmemPool::PmemPool(std::uint64_t capacity)
+    : capacity_(capacity), arena_(capacity) {
+  free_list_[0] = capacity;
+}
+
+Result<PmemHandle> PmemPool::Alloc(std::uint64_t size) {
+  if (size == 0) return InvalidArgument("zero-size allocation");
+  // First fit.
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second >= size) {
+      const std::uint64_t offset = it->first;
+      const std::uint64_t remaining = it->second - size;
+      free_list_.erase(it);
+      if (remaining > 0) free_list_[offset + size] = remaining;
+      const PmemHandle handle = next_handle_++;
+      allocations_[handle] = {offset, size};
+      used_ += size;
+      std::memset(arena_.data() + offset, 0, size);
+      return handle;
+    }
+  }
+  return ResourceExhausted("pmem pool exhausted");
+}
+
+Status PmemPool::Free(PmemHandle handle) {
+  auto it = allocations_.find(handle);
+  if (it == allocations_.end()) return NotFound("unknown pmem handle");
+  auto [offset, size] = it->second;
+  allocations_.erase(it);
+  used_ -= size;
+  // Insert into the free list and coalesce with neighbours.
+  auto inserted = free_list_.emplace(offset, size).first;
+  if (inserted != free_list_.begin()) {
+    auto prev = std::prev(inserted);
+    if (prev->first + prev->second == inserted->first) {
+      prev->second += inserted->second;
+      free_list_.erase(inserted);
+      inserted = prev;
+    }
+  }
+  auto next = std::next(inserted);
+  if (next != free_list_.end() &&
+      inserted->first + inserted->second == next->first) {
+    inserted->second += next->second;
+    free_list_.erase(next);
+  }
+  return Status::Ok();
+}
+
+Result<std::span<std::byte>> PmemPool::Deref(PmemHandle handle) {
+  auto it = allocations_.find(handle);
+  if (it == allocations_.end()) return NotFound("unknown pmem handle");
+  return std::span<std::byte>(arena_.data() + it->second.first,
+                              it->second.second);
+}
+
+Result<std::span<const std::byte>> PmemPool::Deref(PmemHandle handle) const {
+  auto it = allocations_.find(handle);
+  if (it == allocations_.end()) return NotFound("unknown pmem handle");
+  return std::span<const std::byte>(arena_.data() + it->second.first,
+                                    it->second.second);
+}
+
+Status PmemPool::TxBegin() {
+  if (in_tx_) return FailedPrecondition("transaction already open");
+  in_tx_ = true;
+  return Status::Ok();
+}
+
+Status PmemPool::TxSnapshot(PmemHandle handle, std::uint64_t offset,
+                            std::uint64_t length) {
+  if (!in_tx_) return FailedPrecondition("no open transaction");
+  auto it = allocations_.find(handle);
+  if (it == allocations_.end()) return NotFound("unknown pmem handle");
+  if (offset > it->second.second || length > it->second.second - offset) {
+    return OutOfRange("snapshot range beyond allocation");
+  }
+  UndoRecord rec;
+  rec.handle = handle;
+  rec.offset = offset;
+  rec.old_bytes.resize(length);
+  std::memcpy(rec.old_bytes.data(),
+              arena_.data() + it->second.first + offset, length);
+  undo_log_.push_back(std::move(rec));
+  return Status::Ok();
+}
+
+Result<PmemHandle> PmemPool::TxAlloc(std::uint64_t size) {
+  if (!in_tx_) return Status(FailedPrecondition("no open transaction"));
+  auto res = Alloc(size);
+  if (res.ok()) tx_allocs_.push_back(res.value());
+  return res;
+}
+
+Status PmemPool::TxFree(PmemHandle handle) {
+  if (!in_tx_) return FailedPrecondition("no open transaction");
+  if (!allocations_.contains(handle)) return NotFound("unknown pmem handle");
+  tx_frees_.push_back(handle);
+  return Status::Ok();
+}
+
+Status PmemPool::TxCommit() {
+  if (!in_tx_) return FailedPrecondition("no open transaction");
+  for (PmemHandle h : tx_frees_) {
+    ROS2_RETURN_IF_ERROR(Free(h));
+  }
+  undo_log_.clear();
+  tx_allocs_.clear();
+  tx_frees_.clear();
+  in_tx_ = false;
+  return Status::Ok();
+}
+
+void PmemPool::TxAbort() {
+  if (!in_tx_) return;
+  // Undo data modifications in reverse order.
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    auto alloc = allocations_.find(it->handle);
+    if (alloc != allocations_.end()) {
+      std::memcpy(arena_.data() + alloc->second.first + it->offset,
+                  it->old_bytes.data(), it->old_bytes.size());
+    }
+  }
+  // Allocations made inside the tx never happened.
+  for (PmemHandle h : tx_allocs_) {
+    (void)Free(h);
+  }
+  // Deferred frees are dropped (the allocations survive).
+  undo_log_.clear();
+  tx_allocs_.clear();
+  tx_frees_.clear();
+  in_tx_ = false;
+}
+
+void PmemPool::SimulateCrash() { TxAbort(); }
+
+}  // namespace ros2::scm

@@ -1,0 +1,83 @@
+// PMDK-like persistent-memory pool (§2.4, §3.3).
+//
+// The DAOS engine keeps metadata and small records in SCM through PMDK;
+// this model provides the same contract: byte-addressable allocation from a
+// fixed pool, plus undo-log transactions so multi-word updates are
+// crash-atomic. "Persistence" is simulated — SimulateCrash() rolls back any
+// open transaction exactly as a power loss would under PMDK's undo log,
+// which is the property the DAOS metadata path depends on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ros2::scm {
+
+/// Pool-relative handle to an allocation (PMEMoid stand-in).
+using PmemHandle = std::uint64_t;
+inline constexpr PmemHandle kNullHandle = 0;
+
+class PmemPool {
+ public:
+  explicit PmemPool(std::uint64_t capacity);
+
+  /// Allocates `size` bytes; returns a stable handle. First-fit over a
+  /// free list, like pmemobj's transactional allocator (simplified).
+  Result<PmemHandle> Alloc(std::uint64_t size);
+  Status Free(PmemHandle handle);
+
+  /// Direct access to an allocation's bytes. The span is invalidated by
+  /// Free of the same handle (never by other allocations).
+  Result<std::span<std::byte>> Deref(PmemHandle handle);
+  Result<std::span<const std::byte>> Deref(PmemHandle handle) const;
+
+  // --- transactions (undo-log) -------------------------------------------
+  /// Opens a transaction; nesting is not supported (PMDK flattens).
+  Status TxBegin();
+  /// Snapshots [offset, offset+length) of `handle` so TxAbort (or a crash)
+  /// restores it. Must be called BEFORE modifying the range.
+  Status TxSnapshot(PmemHandle handle, std::uint64_t offset,
+                    std::uint64_t length);
+  /// Allocation inside a transaction: rolled back on abort.
+  Result<PmemHandle> TxAlloc(std::uint64_t size);
+  /// Free inside a transaction: deferred until commit.
+  Status TxFree(PmemHandle handle);
+  Status TxCommit();
+  void TxAbort();
+  bool InTx() const { return in_tx_; }
+
+  /// Power-loss simulation: any open transaction is rolled back via the
+  /// undo log; committed state is untouched.
+  void SimulateCrash();
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t allocation_count() const { return allocations_.size(); }
+
+ private:
+  struct UndoRecord {
+    PmemHandle handle;
+    std::uint64_t offset;
+    std::vector<std::byte> old_bytes;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::vector<std::byte> arena_;
+  PmemHandle next_handle_ = 1;
+  // handle -> (arena offset, size)
+  std::map<PmemHandle, std::pair<std::uint64_t, std::uint64_t>> allocations_;
+  // arena offset -> size of free block (coalesced on free)
+  std::map<std::uint64_t, std::uint64_t> free_list_;
+
+  bool in_tx_ = false;
+  std::vector<UndoRecord> undo_log_;
+  std::vector<PmemHandle> tx_allocs_;
+  std::vector<PmemHandle> tx_frees_;
+};
+
+}  // namespace ros2::scm

@@ -1,0 +1,80 @@
+#include "scm/scm_kv.h"
+
+#include <cstring>
+
+namespace ros2::scm {
+
+Status ScmKv::Put(std::string_view key, std::span<const std::byte> value) {
+  if (key.empty()) return InvalidArgument("empty key");
+  // Allocate-new-then-swap: the index flip is the commit point, so a crash
+  // mid-put leaves the old record intact (new allocation is rolled back).
+  ROS2_RETURN_IF_ERROR(pool_->TxBegin());
+  auto alloc = pool_->TxAlloc(value.empty() ? 1 : value.size());
+  if (!alloc.ok()) {
+    pool_->TxAbort();
+    return alloc.status();
+  }
+  if (!value.empty()) {
+    auto span = pool_->Deref(alloc.value());
+    if (!span.ok()) {
+      pool_->TxAbort();
+      return span.status();
+    }
+    std::memcpy(span->data(), value.data(), value.size());
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ROS2_RETURN_IF_ERROR(pool_->TxFree(it->second));
+  }
+  ROS2_RETURN_IF_ERROR(pool_->TxCommit());
+  if (it != index_.end()) {
+    it->second = alloc.value();
+  } else {
+    index_.emplace(std::string(key), alloc.value());
+  }
+  value_sizes_[alloc.value()] = value.size();
+  return Status::Ok();
+}
+
+Status ScmKv::Put(std::string_view key, std::string_view value) {
+  return Put(key, std::span<const std::byte>(
+                      reinterpret_cast<const std::byte*>(value.data()),
+                      value.size()));
+}
+
+Result<Buffer> ScmKv::Get(std::string_view key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return NotFound("key not found");
+  auto span = pool_->Deref(it->second);
+  if (!span.ok()) return span.status();
+  auto size_it = value_sizes_.find(it->second);
+  const std::size_t size =
+      size_it != value_sizes_.end() ? size_it->second : span->size();
+  Buffer out(size);
+  std::memcpy(out.data(), span->data(), size);
+  return out;
+}
+
+bool ScmKv::Contains(std::string_view key) const {
+  return index_.find(key) != index_.end();
+}
+
+Status ScmKv::Delete(std::string_view key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return NotFound("key not found");
+  ROS2_RETURN_IF_ERROR(pool_->Free(it->second));
+  value_sizes_.erase(it->second);
+  index_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::string> ScmKv::ListPrefix(std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace ros2::scm

@@ -1,0 +1,49 @@
+// Transactional key-value store over a PmemPool.
+//
+// Models the slice of DAOS's VOS metadata layer the engine needs: string
+// keys to opaque values, crash-atomic updates, ordered iteration (for
+// directory listings). Values live in pool allocations; the DRAM index is
+// rebuilt implicitly (here: kept consistent) the way VOS rebuilds from SCM
+// at open.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "scm/pmem_pool.h"
+
+namespace ros2::scm {
+
+class ScmKv {
+ public:
+  explicit ScmKv(PmemPool* pool) : pool_(pool) {}
+
+  /// Inserts or overwrites. Crash-atomic: either the old or new value
+  /// survives a crash, never a torn record.
+  Status Put(std::string_view key, std::span<const std::byte> value);
+  Status Put(std::string_view key, std::string_view value);
+
+  Result<Buffer> Get(std::string_view key) const;
+  bool Contains(std::string_view key) const;
+  Status Delete(std::string_view key);
+
+  /// Keys with the given prefix, in lexicographic order.
+  std::vector<std::string> ListPrefix(std::string_view prefix) const;
+
+  std::size_t size() const { return index_.size(); }
+
+ private:
+  PmemPool* pool_;
+  // key -> value allocation handle
+  std::map<std::string, PmemHandle, std::less<>> index_;
+  // handle -> logical value size (allocations round zero-length values up)
+  std::map<PmemHandle, std::size_t> value_sizes_;
+};
+
+}  // namespace ros2::scm

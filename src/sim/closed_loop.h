@@ -1,0 +1,64 @@
+// Closed-loop workload driver over the queueing network.
+//
+// Mirrors FIO's execution model: `contexts` independent I/O contexts
+// (numjobs x iodepth), each keeping exactly one operation in flight. When an
+// op completes the context immediately issues the next one. The driver is an
+// activity-scanning DES: a min-heap orders contexts by their next issue
+// time; each pop plans one op (via the OpSource callback), walks it through
+// its stages, and reschedules the context at the op's completion time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/histogram.h"
+#include "sim/resource.h"
+
+namespace ros2::sim {
+
+/// One visit in an op's path: occupy one server of `pool` for `service`
+/// seconds (for pipes, the caller pre-computes bytes/rate).
+struct Stage {
+  ServerPool* pool = nullptr;
+  double service = 0.0;
+};
+
+/// The planned path of a single operation through the network.
+struct OpPlan {
+  /// Visited in order; empty stages (null pool) contribute only fixed time.
+  std::vector<Stage> stages;
+  /// Unqueued latency added at the end (e.g. propagation, interrupt delay).
+  double fixed_latency = 0.0;
+  /// Payload size, counted toward byte throughput.
+  std::uint64_t bytes = 0;
+};
+
+/// Callback that plans op number `op_index` for context `context_id`.
+/// Called exactly once per issued op, in issue-time order.
+using OpSource = std::function<OpPlan(std::uint32_t context_id,
+                                      std::uint64_t op_index)>;
+
+struct ClosedLoopConfig {
+  /// Number of one-deep closed-loop contexts (numjobs * iodepth).
+  std::uint32_t contexts = 1;
+  /// Total operations to run across all contexts.
+  std::uint64_t total_ops = 10000;
+  /// Head/tail fraction excluded from the throughput window (warmup/drain).
+  double trim_fraction = 0.1;
+};
+
+struct ClosedLoopResult {
+  double makespan = 0.0;         ///< completion time of the last op
+  double ops_per_sec = 0.0;      ///< steady-state (trimmed-window) op rate
+  double bytes_per_sec = 0.0;    ///< steady-state byte rate
+  std::uint64_t completed_ops = 0;
+  LatencyHistogram latency;      ///< per-op end-to-end latency
+};
+
+/// Runs the closed loop to completion. Resources referenced by plans must
+/// have been Reset() by the caller if reused across runs.
+ClosedLoopResult RunClosedLoop(const ClosedLoopConfig& config,
+                               const OpSource& source);
+
+}  // namespace ros2::sim

@@ -1,0 +1,49 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ros2::sim {
+
+ServerPool::ServerPool(std::string name, std::uint32_t servers)
+    : name_(std::move(name)), servers_(std::max<std::uint32_t>(servers, 1)) {
+  for (std::uint32_t i = 0; i < servers_; ++i) free_at_.push(0.0);
+}
+
+SimTime ServerPool::Serve(SimTime arrival, double service) {
+  assert(service >= 0.0);
+  const SimTime earliest = free_at_.top();
+  free_at_.pop();
+  const SimTime start = std::max(arrival, earliest);
+  const SimTime done = start + service;
+  free_at_.push(done);
+  busy_time_ += service;
+  ++served_ops_;
+  return done;
+}
+
+double ServerPool::Utilization(SimTime horizon) const {
+  if (horizon <= 0.0) return 0.0;
+  return busy_time_ / (double(servers_) * horizon);
+}
+
+void ServerPool::Reset() {
+  free_at_ = {};
+  for (std::uint32_t i = 0; i < servers_; ++i) free_at_.push(0.0);
+  busy_time_ = 0.0;
+  served_ops_ = 0;
+}
+
+BandwidthPipe::BandwidthPipe(std::string name, double bytes_per_sec,
+                             double per_message_seconds)
+    : pool_(std::move(name), 1),
+      rate_(bytes_per_sec),
+      per_message_(per_message_seconds) {
+  assert(bytes_per_sec > 0.0);
+}
+
+SimTime BandwidthPipe::Serve(SimTime arrival, std::uint64_t bytes) {
+  return pool_.Serve(arrival, per_message_ + double(bytes) / rate_);
+}
+
+}  // namespace ros2::sim

@@ -1,0 +1,78 @@
+// Queueing-network resources for the performance model.
+//
+// The simulated testbed (CPU pools, NIC links, SSD channels, the DPU TCP
+// receive path) is modeled as a network of k-server FCFS stations. An
+// operation visits stations in sequence; each visit occupies one server for
+// a service time computed by the perf layer (per-op CPU cost, bytes/rate,
+// etc.). Stations keep only per-server next-free timestamps, so Serve() is
+// O(log k) and the whole simulation is allocation-free per op.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace ros2::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// A station with `servers` identical FCFS servers.
+///
+/// Serve(arrival, service) returns the completion time of a request that
+/// arrives at `arrival` and needs `service` seconds of one server:
+///   completion = max(arrival, earliest_free_server) + service.
+///
+/// A single-server pool models a serialized pipe (e.g. one SSD bandwidth
+/// channel: service = bytes / rate); a 48-server pool models a 48-core CPU.
+class ServerPool {
+ public:
+  ServerPool(std::string name, std::uint32_t servers);
+
+  SimTime Serve(SimTime arrival, double service);
+
+  /// Total busy time accumulated across servers (for utilization reports).
+  double busy_time() const { return busy_time_; }
+  std::uint64_t served_ops() const { return served_ops_; }
+  std::uint32_t servers() const { return servers_; }
+  const std::string& name() const { return name_; }
+
+  /// Utilization in [0,1] over a horizon (busy / (servers * horizon)).
+  double Utilization(SimTime horizon) const;
+
+  void Reset();
+
+ private:
+  std::string name_;
+  std::uint32_t servers_;
+  // Min-heap of per-server next-free times.
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> free_at_;
+  double busy_time_ = 0.0;
+  std::uint64_t served_ops_ = 0;
+};
+
+/// A bandwidth pipe: single logical channel serving bytes at `rate_bps`
+/// bytes/second with an optional per-message fixed cost. Thin wrapper over a
+/// 1-server pool that converts bytes to service time.
+class BandwidthPipe {
+ public:
+  BandwidthPipe(std::string name, double bytes_per_sec,
+                double per_message_seconds = 0.0);
+
+  SimTime Serve(SimTime arrival, std::uint64_t bytes);
+
+  double rate() const { return rate_; }
+  void set_rate(double bytes_per_sec) { rate_ = bytes_per_sec; }
+  const std::string& name() const { return pool_.name(); }
+  double busy_time() const { return pool_.busy_time(); }
+
+  void Reset() { pool_.Reset(); }
+
+ private:
+  ServerPool pool_;
+  double rate_;
+  double per_message_;
+};
+
+}  // namespace ros2::sim

@@ -1,0 +1,68 @@
+#include "spdk/bdev.h"
+
+#include <cassert>
+
+namespace ros2::spdk {
+
+Bdev::Bdev(storage::NvmeDevice* device) : device_(device) {
+  auto qp = device_->CreateQueuePair();
+  assert(qp.ok() && "device out of queue pairs");
+  qpair_ = qp.value();
+}
+
+Status Bdev::SubmitAndWait(storage::NvmeCommand cmd) {
+  cmd.cid = next_cid_++;
+  ROS2_RETURN_IF_ERROR(qpair_->Submit(cmd));
+  auto completions = qpair_->Poll(1);
+  if (completions.empty()) return Internal("device returned no completion");
+  return completions.front().status;
+}
+
+Status Bdev::Read(std::uint64_t offset, std::span<std::byte> out) {
+  const std::uint32_t lba = block_size();
+  if (offset % lba != 0 || out.size() % lba != 0 || out.empty()) {
+    return InvalidArgument("bdev read must be LBA-aligned and non-empty");
+  }
+  storage::NvmeCommand cmd;
+  cmd.opcode = storage::NvmeOpcode::kRead;
+  cmd.slba = offset / lba;
+  cmd.nlb = std::uint32_t(out.size() / lba);
+  cmd.data = out.data();
+  cmd.data_len = out.size();
+  return SubmitAndWait(cmd);
+}
+
+Status Bdev::Write(std::uint64_t offset, std::span<const std::byte> data) {
+  const std::uint32_t lba = block_size();
+  if (offset % lba != 0 || data.size() % lba != 0 || data.empty()) {
+    return InvalidArgument("bdev write must be LBA-aligned and non-empty");
+  }
+  storage::NvmeCommand cmd;
+  cmd.opcode = storage::NvmeOpcode::kWrite;
+  cmd.slba = offset / lba;
+  cmd.nlb = std::uint32_t(data.size() / lba);
+  // The device model only reads through this pointer for write commands.
+  cmd.data = const_cast<std::byte*>(data.data());
+  cmd.data_len = data.size();
+  return SubmitAndWait(cmd);
+}
+
+Status Bdev::Flush() {
+  storage::NvmeCommand cmd;
+  cmd.opcode = storage::NvmeOpcode::kFlush;
+  return SubmitAndWait(cmd);
+}
+
+Status Bdev::Unmap(std::uint64_t offset, std::uint64_t length) {
+  const std::uint32_t lba = block_size();
+  if (offset % lba != 0 || length % lba != 0 || length == 0) {
+    return InvalidArgument("bdev unmap must be LBA-aligned and non-empty");
+  }
+  storage::NvmeCommand cmd;
+  cmd.opcode = storage::NvmeOpcode::kDeallocate;
+  cmd.slba = offset / lba;
+  cmd.nlb = std::uint32_t(length / lba);
+  return SubmitAndWait(cmd);
+}
+
+}  // namespace ros2::spdk

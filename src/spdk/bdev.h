@@ -1,0 +1,42 @@
+// SPDK-like user-space block device layer (§2.4, §3.3).
+//
+// A Bdev wraps an NVMe device behind byte-offset synchronous I/O, the
+// abstraction the DAOS engine and the NVMe-oF target consume. Like SPDK it
+// lives entirely in user space: it owns a dedicated queue pair and performs
+// submit+poll cycles, never a kernel call.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "storage/nvme_device.h"
+
+namespace ros2::spdk {
+
+class Bdev {
+ public:
+  explicit Bdev(storage::NvmeDevice* device);
+
+  /// Byte-granular I/O; offset and size must be LBA-aligned.
+  Status Read(std::uint64_t offset, std::span<std::byte> out);
+  Status Write(std::uint64_t offset, std::span<const std::byte> data);
+  Status Flush();
+  /// TRIM the given aligned range.
+  Status Unmap(std::uint64_t offset, std::uint64_t length);
+
+  std::uint64_t size_bytes() const {
+    return device_->config().capacity_bytes;
+  }
+  std::uint32_t block_size() const { return device_->config().lba_size; }
+  storage::NvmeDevice* device() const { return device_; }
+
+ private:
+  Status SubmitAndWait(storage::NvmeCommand cmd);
+
+  storage::NvmeDevice* device_;
+  storage::NvmeQueuePair* qpair_;
+  std::uint16_t next_cid_ = 0;
+};
+
+}  // namespace ros2::spdk

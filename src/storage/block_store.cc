@@ -1,0 +1,84 @@
+#include "storage/block_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ros2::storage {
+
+BlockStore::BlockStore(std::uint64_t capacity, std::uint32_t chunk_size)
+    : capacity_(capacity), chunk_size_(chunk_size) {
+  assert(chunk_size_ > 0 && (chunk_size_ & (chunk_size_ - 1)) == 0 &&
+         "chunk_size must be a power of two");
+}
+
+Status BlockStore::CheckRange(std::uint64_t offset,
+                              std::uint64_t length) const {
+  if (offset > capacity_ || length > capacity_ - offset) {
+    return OutOfRange("block store access beyond capacity");
+  }
+  return Status::Ok();
+}
+
+Status BlockStore::Write(std::uint64_t offset,
+                         std::span<const std::byte> data) {
+  ROS2_RETURN_IF_ERROR(CheckRange(offset, data.size()));
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const std::uint64_t pos = offset + written;
+    const std::uint64_t chunk_index = pos / chunk_size_;
+    const std::uint64_t within = pos % chunk_size_;
+    const std::size_t n = std::min<std::size_t>(data.size() - written,
+                                                chunk_size_ - within);
+    auto& chunk = chunks_[chunk_index];
+    if (chunk.empty()) chunk.resize(chunk_size_);
+    std::memcpy(chunk.data() + within, data.data() + written, n);
+    written += n;
+  }
+  return Status::Ok();
+}
+
+Status BlockStore::Read(std::uint64_t offset, std::span<std::byte> out) const {
+  ROS2_RETURN_IF_ERROR(CheckRange(offset, out.size()));
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t chunk_index = pos / chunk_size_;
+    const std::uint64_t within = pos % chunk_size_;
+    const std::size_t n =
+        std::min<std::size_t>(out.size() - done, chunk_size_ - within);
+    auto it = chunks_.find(chunk_index);
+    if (it == chunks_.end() || it->second.empty()) {
+      std::memset(out.data() + done, 0, n);
+    } else {
+      std::memcpy(out.data() + done, it->second.data() + within, n);
+    }
+    done += n;
+  }
+  return Status::Ok();
+}
+
+Status BlockStore::Discard(std::uint64_t offset, std::uint64_t length) {
+  ROS2_RETURN_IF_ERROR(CheckRange(offset, length));
+  // Whole chunks are dropped; partial head/tail are zero-filled.
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + length;
+  while (pos < end) {
+    const std::uint64_t chunk_index = pos / chunk_size_;
+    const std::uint64_t within = pos % chunk_size_;
+    const std::uint64_t n = std::min<std::uint64_t>(end - pos,
+                                                    chunk_size_ - within);
+    auto it = chunks_.find(chunk_index);
+    if (it != chunks_.end()) {
+      if (within == 0 && n == chunk_size_) {
+        chunks_.erase(it);
+      } else {
+        std::memset(it->second.data() + within, 0, n);
+      }
+    }
+    pos += n;
+  }
+  return Status::Ok();
+}
+
+}  // namespace ros2::storage

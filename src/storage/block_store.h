@@ -1,0 +1,49 @@
+// Sparse in-memory block store backing the simulated NVMe devices.
+//
+// Stores only chunks that were ever written; unwritten ranges read back as
+// zeros (NVMe deallocated-block semantics). Chunked storage keeps a 6.4 TB
+// simulated device cheap to instantiate while letting tests address the
+// full LBA range.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ros2::storage {
+
+class BlockStore {
+ public:
+  /// `capacity` in bytes; `chunk_size` is the internal allocation unit
+  /// (power of two).
+  explicit BlockStore(std::uint64_t capacity,
+                      std::uint32_t chunk_size = 64 * 1024);
+
+  /// Copies `data` into [offset, offset + data.size()).
+  Status Write(std::uint64_t offset, std::span<const std::byte> data);
+
+  /// Fills `out` from [offset, offset + out.size()); unwritten bytes are 0.
+  Status Read(std::uint64_t offset, std::span<std::byte> out) const;
+
+  /// Discards (TRIM) the byte range; subsequent reads return zeros.
+  Status Discard(std::uint64_t offset, std::uint64_t length);
+
+  std::uint64_t capacity() const { return capacity_; }
+  /// Bytes of backing memory actually allocated (for memory accounting).
+  std::uint64_t allocated_bytes() const {
+    return chunks_.size() * chunk_size_;
+  }
+
+ private:
+  Status CheckRange(std::uint64_t offset, std::uint64_t length) const;
+
+  std::uint64_t capacity_;
+  std::uint32_t chunk_size_;
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> chunks_;
+};
+
+}  // namespace ros2::storage

@@ -1,0 +1,101 @@
+#include "storage/nvme_device.h"
+
+#include <algorithm>
+
+namespace ros2::storage {
+
+Status NvmeQueuePair::Submit(const NvmeCommand& cmd) {
+  if (pending_.size() >= device_->config().queue_depth) {
+    return ResourceExhausted("queue pair full");
+  }
+  const bool has_payload =
+      cmd.opcode == NvmeOpcode::kRead || cmd.opcode == NvmeOpcode::kWrite;
+  if (has_payload) {
+    if (cmd.nlb == 0) return InvalidArgument("nlb must be > 0");
+    const std::uint64_t expected =
+        std::uint64_t(cmd.nlb) * device_->config().lba_size;
+    if (cmd.data == nullptr || cmd.data_len != expected) {
+      return InvalidArgument("data buffer must cover nlb * lba_size bytes");
+    }
+  }
+  pending_.push_back(cmd);
+  return Status::Ok();
+}
+
+std::vector<NvmeCompletion> NvmeQueuePair::Poll(std::uint32_t max) {
+  std::vector<NvmeCompletion> out;
+  const std::uint32_t limit =
+      max == 0 ? std::uint32_t(pending_.size())
+               : std::min<std::uint32_t>(max, std::uint32_t(pending_.size()));
+  out.reserve(limit);
+  for (std::uint32_t i = 0; i < limit; ++i) {
+    const NvmeCommand cmd = pending_.front();
+    pending_.pop_front();
+    out.push_back({cmd.cid, device_->Execute(cmd)});
+  }
+  return out;
+}
+
+NvmeDevice::NvmeDevice(NvmeDeviceConfig config)
+    : config_(std::move(config)), store_(config_.capacity_bytes) {}
+
+Result<NvmeQueuePair*> NvmeDevice::CreateQueuePair() {
+  std::uint32_t live = 0;
+  for (const auto& qp : qpairs_) {
+    if (qp != nullptr) ++live;
+  }
+  if (live >= config_.max_queue_pairs) {
+    return ResourceExhausted("max queue pairs reached");
+  }
+  auto qp = std::unique_ptr<NvmeQueuePair>(
+      new NvmeQueuePair(this, next_qpair_id_++));
+  NvmeQueuePair* raw = qp.get();
+  qpairs_.push_back(std::move(qp));
+  return raw;
+}
+
+Status NvmeDevice::DestroyQueuePair(std::uint16_t id) {
+  for (auto& qp : qpairs_) {
+    if (qp != nullptr && qp->id() == id) {
+      qp.reset();
+      return Status::Ok();
+    }
+  }
+  return NotFound("no such queue pair");
+}
+
+Status NvmeDevice::Execute(const NvmeCommand& cmd) {
+  const std::uint64_t lba_size = config_.lba_size;
+  if (cmd.opcode == NvmeOpcode::kFlush) {
+    return Status::Ok();  // all writes are immediately durable in the model
+  }
+  if (cmd.slba >= capacity_blocks() ||
+      std::uint64_t(cmd.nlb) > capacity_blocks() - cmd.slba) {
+    return OutOfRange("LBA range beyond namespace");
+  }
+  const std::uint64_t offset = cmd.slba * lba_size;
+  const std::uint64_t length = std::uint64_t(cmd.nlb) * lba_size;
+  switch (cmd.opcode) {
+    case NvmeOpcode::kRead: {
+      ROS2_RETURN_IF_ERROR(
+          store_.Read(offset, std::span<std::byte>(cmd.data, length)));
+      ++reads_;
+      bytes_read_ += length;
+      return Status::Ok();
+    }
+    case NvmeOpcode::kWrite: {
+      ROS2_RETURN_IF_ERROR(store_.Write(
+          offset, std::span<const std::byte>(cmd.data, length)));
+      ++writes_;
+      bytes_written_ += length;
+      return Status::Ok();
+    }
+    case NvmeOpcode::kDeallocate:
+      return store_.Discard(offset, length);
+    case NvmeOpcode::kFlush:
+      break;
+  }
+  return Internal("unhandled NVMe opcode");
+}
+
+}  // namespace ros2::storage

@@ -1,0 +1,113 @@
+// NVMe device model: namespaces, queue pairs, LBA commands.
+//
+// Mirrors the slice of the NVMe command set the storage stack needs
+// (READ / WRITE / FLUSH / DSM-deallocate) behind a submission/completion
+// queue-pair interface, so the io_uring engine, SPDK bdev, and NVMe-oF
+// target all talk to devices the way user-space stacks do: post commands,
+// poll completions. Execution is synchronous-at-poll — the functional model
+// has no concurrency of its own; timing lives in ros2::perf.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block_store.h"
+
+namespace ros2::storage {
+
+enum class NvmeOpcode : std::uint8_t {
+  kRead,
+  kWrite,
+  kFlush,
+  kDeallocate,  ///< DSM / TRIM
+};
+
+struct NvmeCommand {
+  NvmeOpcode opcode = NvmeOpcode::kRead;
+  std::uint16_t cid = 0;       ///< caller-chosen command id
+  std::uint64_t slba = 0;      ///< starting LBA
+  std::uint32_t nlb = 0;       ///< number of logical blocks
+  std::byte* data = nullptr;   ///< PRP stand-in: caller buffer (read dst / write src)
+  std::size_t data_len = 0;    ///< must be nlb * lba_size for read/write
+};
+
+struct NvmeCompletion {
+  std::uint16_t cid = 0;
+  Status status;
+};
+
+struct NvmeDeviceConfig {
+  std::string model = "SIM-NVME-1T6";
+  std::uint64_t capacity_bytes = 1600ull * 1024 * 1024 * 1024;  // 1.6 TB
+  std::uint32_t lba_size = 4096;
+  std::uint32_t max_queue_pairs = 64;
+  std::uint32_t queue_depth = 1024;  ///< per queue pair
+};
+
+class NvmeDevice;
+
+/// One submission/completion queue pair. Obtained from NvmeDevice;
+/// lifetime is owned by the device.
+class NvmeQueuePair {
+ public:
+  /// Enqueues a command. Fails with RESOURCE_EXHAUSTED when `queue_depth`
+  /// commands are outstanding (not yet polled).
+  Status Submit(const NvmeCommand& cmd);
+
+  /// Executes and drains up to `max` completions (0 = all outstanding).
+  std::vector<NvmeCompletion> Poll(std::uint32_t max = 0);
+
+  std::uint32_t outstanding() const {
+    return std::uint32_t(pending_.size());
+  }
+  std::uint16_t id() const { return id_; }
+
+ private:
+  friend class NvmeDevice;
+  NvmeQueuePair(NvmeDevice* device, std::uint16_t id)
+      : device_(device), id_(id) {}
+
+  NvmeDevice* device_;
+  std::uint16_t id_;
+  std::deque<NvmeCommand> pending_;
+};
+
+/// A single-namespace NVMe device over a sparse block store.
+class NvmeDevice {
+ public:
+  explicit NvmeDevice(NvmeDeviceConfig config = {});
+
+  /// Creates a queue pair; fails once `max_queue_pairs` exist.
+  Result<NvmeQueuePair*> CreateQueuePair();
+  Status DestroyQueuePair(std::uint16_t id);
+
+  const NvmeDeviceConfig& config() const { return config_; }
+  std::uint64_t capacity_blocks() const {
+    return config_.capacity_bytes / config_.lba_size;
+  }
+
+  // Cumulative op counters (smart-log style).
+  std::uint64_t reads_completed() const { return reads_; }
+  std::uint64_t writes_completed() const { return writes_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  friend class NvmeQueuePair;
+  Status Execute(const NvmeCommand& cmd);
+
+  NvmeDeviceConfig config_;
+  BlockStore store_;
+  std::vector<std::unique_ptr<NvmeQueuePair>> qpairs_;
+  std::uint16_t next_qpair_id_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace ros2::storage

@@ -1,0 +1,88 @@
+#include "spdk/bdev.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/units.h"
+
+namespace ros2::spdk {
+namespace {
+
+storage::NvmeDeviceConfig SmallDevice() {
+  storage::NvmeDeviceConfig config;
+  config.capacity_bytes = 64 * kMiB;
+  config.lba_size = 4096;
+  return config;
+}
+
+TEST(BdevTest, ReadWriteRoundTrip) {
+  storage::NvmeDevice dev(SmallDevice());
+  Bdev bdev(&dev);
+  Buffer data = MakePatternBuffer(16384, 11);
+  ASSERT_TRUE(bdev.Write(4096, data).ok());
+  Buffer out(16384);
+  ASSERT_TRUE(bdev.Read(4096, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BdevTest, GeometryExposed) {
+  storage::NvmeDevice dev(SmallDevice());
+  Bdev bdev(&dev);
+  EXPECT_EQ(bdev.size_bytes(), 64 * kMiB);
+  EXPECT_EQ(bdev.block_size(), 4096u);
+}
+
+TEST(BdevTest, AlignmentEnforced) {
+  storage::NvmeDevice dev(SmallDevice());
+  Bdev bdev(&dev);
+  Buffer buf(4096);
+  EXPECT_EQ(bdev.Read(100, buf).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(bdev.Write(0, std::span<const std::byte>(buf.data(), 100)).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(bdev.Read(0, std::span<std::byte>(buf.data(), 0)).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(BdevTest, OutOfRangeSurfacesDeviceError) {
+  storage::NvmeDevice dev(SmallDevice());
+  Bdev bdev(&dev);
+  Buffer buf(4096);
+  EXPECT_EQ(bdev.Read(bdev.size_bytes(), buf).code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST(BdevTest, FlushSucceeds) {
+  storage::NvmeDevice dev(SmallDevice());
+  Bdev bdev(&dev);
+  EXPECT_TRUE(bdev.Flush().ok());
+}
+
+TEST(BdevTest, UnmapZeroesRange) {
+  storage::NvmeDevice dev(SmallDevice());
+  Bdev bdev(&dev);
+  Buffer data = MakePatternBuffer(8192, 5);
+  ASSERT_TRUE(bdev.Write(0, data).ok());
+  ASSERT_TRUE(bdev.Unmap(0, 4096).ok());
+  Buffer out(8192);
+  ASSERT_TRUE(bdev.Read(0, out).ok());
+  for (std::size_t i = 0; i < 4096; ++i) {
+    ASSERT_EQ(out[i], std::byte(0));
+  }
+  EXPECT_EQ(VerifyPattern(
+                std::span<const std::byte>(out.data() + 4096, 4096), 5, 4096),
+            -1);
+}
+
+TEST(BdevTest, MultipleBdevsShareDevice) {
+  storage::NvmeDevice dev(SmallDevice());
+  Bdev a(&dev);
+  Bdev b(&dev);
+  Buffer data = MakePatternBuffer(4096, 1);
+  ASSERT_TRUE(a.Write(0, data).ok());
+  Buffer out(4096);
+  ASSERT_TRUE(b.Read(0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+}  // namespace
+}  // namespace ros2::spdk

@@ -1,0 +1,109 @@
+#include "storage/block_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/units.h"
+
+namespace ros2::storage {
+namespace {
+
+TEST(BlockStoreTest, WriteThenReadRoundTrips) {
+  BlockStore store(kMiB);
+  Buffer data = MakePatternBuffer(4096, 1);
+  ASSERT_TRUE(store.Write(0, data).ok());
+  Buffer out(4096);
+  ASSERT_TRUE(store.Read(0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BlockStoreTest, UnwrittenRangesReadZero) {
+  BlockStore store(kMiB);
+  Buffer out = MakePatternBuffer(512, 9);  // non-zero garbage
+  ASSERT_TRUE(store.Read(1000, out).ok());
+  for (std::byte b : out) EXPECT_EQ(b, std::byte(0));
+}
+
+TEST(BlockStoreTest, UnalignedCrossChunkWrite) {
+  BlockStore store(kMiB, /*chunk_size=*/4096);
+  Buffer data = MakePatternBuffer(10000, 3);
+  ASSERT_TRUE(store.Write(1234, data).ok());
+  Buffer out(10000);
+  ASSERT_TRUE(store.Read(1234, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BlockStoreTest, PartialOverwrite) {
+  BlockStore store(kMiB);
+  ASSERT_TRUE(store.Write(0, MakePatternBuffer(8192, 1)).ok());
+  Buffer patch = MakePatternBuffer(100, 2);
+  ASSERT_TRUE(store.Write(4000, patch).ok());
+  Buffer out(100);
+  ASSERT_TRUE(store.Read(4000, out).ok());
+  EXPECT_EQ(out, patch);
+  // Neighbours keep the original pattern.
+  Buffer before(100);
+  ASSERT_TRUE(store.Read(3900, before).ok());
+  EXPECT_EQ(VerifyPattern(before, 1, 3900), -1);
+}
+
+TEST(BlockStoreTest, OutOfRangeRejected) {
+  BlockStore store(4096);
+  Buffer buf(100);
+  EXPECT_EQ(store.Write(4090, buf).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(store.Read(4097, std::span<std::byte>(buf.data(), 0)).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_TRUE(store.Write(4096 - 100, buf).ok());  // exactly at the edge
+}
+
+TEST(BlockStoreTest, SparseAllocationOnlyForTouchedChunks) {
+  BlockStore store(1ull * kTiB, /*chunk_size=*/64 * 1024);
+  EXPECT_EQ(store.allocated_bytes(), 0u);
+  Buffer data(100);
+  ASSERT_TRUE(store.Write(512ull * kGiB, data).ok());
+  EXPECT_EQ(store.allocated_bytes(), 64u * 1024);
+}
+
+TEST(BlockStoreTest, DiscardWholeChunksFreesMemory) {
+  BlockStore store(kMiB, 4096);
+  ASSERT_TRUE(store.Write(0, MakePatternBuffer(16384, 1)).ok());
+  EXPECT_EQ(store.allocated_bytes(), 16384u);
+  ASSERT_TRUE(store.Discard(0, 16384).ok());
+  EXPECT_EQ(store.allocated_bytes(), 0u);
+  Buffer out(16384);
+  ASSERT_TRUE(store.Read(0, out).ok());
+  for (std::byte b : out) EXPECT_EQ(b, std::byte(0));
+}
+
+TEST(BlockStoreTest, DiscardPartialChunkZeroes) {
+  BlockStore store(kMiB, 4096);
+  ASSERT_TRUE(store.Write(0, MakePatternBuffer(4096, 1)).ok());
+  ASSERT_TRUE(store.Discard(1000, 2000).ok());
+  Buffer out(4096);
+  ASSERT_TRUE(store.Read(0, out).ok());
+  EXPECT_EQ(VerifyPattern(std::span<const std::byte>(out.data(), 1000), 1, 0),
+            -1);
+  for (std::size_t i = 1000; i < 3000; ++i) {
+    ASSERT_EQ(out[i], std::byte(0)) << i;
+  }
+  EXPECT_EQ(VerifyPattern(
+                std::span<const std::byte>(out.data() + 3000, 1096), 1, 3000),
+            -1);
+}
+
+class BlockStoreSizeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BlockStoreSizeTest, RoundTripAcrossChunkSizes) {
+  BlockStore store(8 * kMiB, GetParam());
+  Buffer data = MakePatternBuffer(100000, 42);
+  ASSERT_TRUE(store.Write(777, data).ok());
+  Buffer out(100000);
+  ASSERT_TRUE(store.Read(777, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, BlockStoreSizeTest,
+                         ::testing::Values(512, 4096, 65536, 1 << 20));
+
+}  // namespace
+}  // namespace ros2::storage

@@ -1,0 +1,59 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace ros2 {
+namespace {
+
+TEST(BytesTest, FillThenVerifyMatches) {
+  Buffer buf(4096);
+  FillPattern(buf, /*tag=*/5, /*offset=*/0);
+  EXPECT_EQ(VerifyPattern(buf, 5, 0), -1);
+}
+
+TEST(BytesTest, SliceVerifiesIndependently) {
+  Buffer buf(8192);
+  FillPattern(buf, 9, 1000);
+  // Any sub-span re-verifies with the adjusted offset.
+  std::span<const std::byte> slice(buf.data() + 100, 200);
+  EXPECT_EQ(VerifyPattern(slice, 9, 1100), -1);
+}
+
+TEST(BytesTest, WrongTagFails) {
+  Buffer buf(256);
+  FillPattern(buf, 1, 0);
+  EXPECT_NE(VerifyPattern(buf, 2, 0), -1);
+}
+
+TEST(BytesTest, WrongOffsetFails) {
+  Buffer buf(256);
+  FillPattern(buf, 1, 0);
+  EXPECT_NE(VerifyPattern(buf, 1, 1), -1);
+}
+
+TEST(BytesTest, ReportsFirstMismatchIndex) {
+  Buffer buf(128);
+  FillPattern(buf, 3, 0);
+  buf[57] ^= std::byte(0xFF);
+  EXPECT_EQ(VerifyPattern(buf, 3, 0), 57);
+}
+
+TEST(BytesTest, MakePatternBufferEquivalent) {
+  Buffer a = MakePatternBuffer(512, 7, 64);
+  Buffer b(512);
+  FillPattern(b, 7, 64);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BytesTest, EmptySpanVerifies) {
+  EXPECT_EQ(VerifyPattern({}, 1, 0), -1);
+}
+
+TEST(BytesTest, PatternsDifferAcrossOffsets) {
+  Buffer a = MakePatternBuffer(64, 1, 0);
+  Buffer b = MakePatternBuffer(64, 1, 64);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ros2

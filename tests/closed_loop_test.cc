@@ -1,0 +1,161 @@
+#include "sim/closed_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ros2::sim {
+namespace {
+
+TEST(ClosedLoopTest, SingleContextSingleStage) {
+  ServerPool pool("p", 1);
+  ClosedLoopConfig config;
+  config.contexts = 1;
+  config.total_ops = 1000;
+  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
+    OpPlan plan;
+    plan.stages.push_back({&pool, 1e-3});
+    plan.bytes = 100;
+    return plan;
+  });
+  EXPECT_EQ(result.completed_ops, 1000u);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+  EXPECT_NEAR(result.ops_per_sec, 1000.0, 10.0);
+  EXPECT_NEAR(result.bytes_per_sec, 100'000.0, 1000.0);
+}
+
+TEST(ClosedLoopTest, LatencyEqualsServiceWhenUncontended) {
+  ServerPool pool("p", 8);
+  ClosedLoopConfig config;
+  config.contexts = 4;
+  config.total_ops = 400;
+  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
+    OpPlan plan;
+    plan.stages.push_back({&pool, 5e-4});
+    plan.fixed_latency = 5e-4;
+    return plan;
+  });
+  EXPECT_NEAR(result.latency.mean(), 1e-3, 5e-5);
+}
+
+TEST(ClosedLoopTest, PipeliningHidesLatency) {
+  // A single-server stage with service s and fixed latency L: one context
+  // yields 1/(s+L); enough contexts approach 1/s.
+  ServerPool pool1("a", 1);
+  ClosedLoopConfig one;
+  one.contexts = 1;
+  one.total_ops = 2000;
+  auto r1 = RunClosedLoop(one, [&](std::uint32_t, std::uint64_t) {
+    OpPlan plan;
+    plan.stages.push_back({&pool1, 1e-4});
+    plan.fixed_latency = 9e-4;
+    return plan;
+  });
+  EXPECT_NEAR(r1.ops_per_sec, 1000.0, 20.0);
+
+  ServerPool pool2("b", 1);
+  ClosedLoopConfig many;
+  many.contexts = 32;
+  many.total_ops = 20000;
+  auto r32 = RunClosedLoop(many, [&](std::uint32_t, std::uint64_t) {
+    OpPlan plan;
+    plan.stages.push_back({&pool2, 1e-4});
+    plan.fixed_latency = 9e-4;
+    return plan;
+  });
+  EXPECT_NEAR(r32.ops_per_sec, 10000.0, 300.0);
+}
+
+TEST(ClosedLoopTest, BottleneckStageGovernsThroughput) {
+  ServerPool fast("fast", 8);
+  ServerPool slow("slow", 1);
+  ClosedLoopConfig config;
+  config.contexts = 16;
+  config.total_ops = 10000;
+  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
+    OpPlan plan;
+    plan.stages.push_back({&fast, 1e-4});
+    plan.stages.push_back({&slow, 1e-3});  // the bottleneck: 1000 ops/s
+    return plan;
+  });
+  EXPECT_NEAR(result.ops_per_sec, 1000.0, 30.0);
+}
+
+TEST(ClosedLoopTest, LittlesLawHolds) {
+  // L = lambda * W for the closed system: contexts = throughput * latency.
+  ServerPool pool("p", 4);
+  ClosedLoopConfig config;
+  config.contexts = 12;
+  config.total_ops = 30000;
+  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
+    OpPlan plan;
+    plan.stages.push_back({&pool, 2e-4});
+    return plan;
+  });
+  const double concurrency = result.ops_per_sec * result.latency.mean();
+  EXPECT_NEAR(concurrency, 12.0, 1.0);
+}
+
+TEST(ClosedLoopTest, NullStagePoolAddsFixedTime) {
+  ClosedLoopConfig config;
+  config.contexts = 1;
+  config.total_ops = 100;
+  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
+    OpPlan plan;
+    plan.stages.push_back({nullptr, 1e-3});
+    return plan;
+  });
+  EXPECT_NEAR(result.makespan, 0.1, 1e-9);
+}
+
+TEST(ClosedLoopTest, ZeroOpsYieldsEmptyResult) {
+  ClosedLoopConfig config;
+  config.contexts = 4;
+  config.total_ops = 0;
+  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
+    return OpPlan{};
+  });
+  EXPECT_EQ(result.completed_ops, 0u);
+  EXPECT_DOUBLE_EQ(result.ops_per_sec, 0.0);
+}
+
+TEST(ClosedLoopTest, OpSourceSeesSequentialOpIndices) {
+  ServerPool pool("p", 1);
+  ClosedLoopConfig config;
+  config.contexts = 3;
+  config.total_ops = 50;
+  std::uint64_t expected = 0;
+  bool monotonic = true;
+  RunClosedLoop(config, [&](std::uint32_t, std::uint64_t op) {
+    if (op != expected++) monotonic = false;
+    OpPlan plan;
+    plan.stages.push_back({&pool, 1e-5});
+    return plan;
+  });
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(expected, 50u);
+}
+
+class ContextScalingTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ContextScalingTest, ThroughputCapsAtResourceCapacity) {
+  // Property: with a 4-server 1ms stage, throughput = min(contexts, 4)/1ms.
+  const std::uint32_t contexts = GetParam();
+  ServerPool pool("p", 4);
+  ClosedLoopConfig config;
+  config.contexts = contexts;
+  config.total_ops = 20000;
+  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
+    OpPlan plan;
+    plan.stages.push_back({&pool, 1e-3});
+    return plan;
+  });
+  const double expected = std::min<double>(contexts, 4) * 1000.0;
+  EXPECT_NEAR(result.ops_per_sec, expected, expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Contexts, ContextScalingTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 64));
+
+}  // namespace
+}  // namespace ros2::sim

@@ -1,0 +1,105 @@
+#include "rpc/control_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace ros2::rpc {
+namespace {
+
+Buffer Bytes(const std::string& s) {
+  return Buffer(reinterpret_cast<const std::byte*>(s.data()),
+                reinterpret_cast<const std::byte*>(s.data()) + s.size());
+}
+
+TEST(ControlChannelTest, CallDispatchesToHandler) {
+  ControlService service;
+  service.Register("echo", [](const Buffer& req) -> Result<Buffer> {
+    return req;
+  });
+  ControlChannel channel(&service);
+  auto reply = channel.Call("echo", Bytes("ping"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, Bytes("ping"));
+  EXPECT_EQ(service.calls(), 1u);
+}
+
+TEST(ControlChannelTest, UnknownMethod) {
+  ControlService service;
+  ControlChannel channel(&service);
+  EXPECT_EQ(channel.Call("nope", {}).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ControlChannelTest, HandlerErrorsPropagate) {
+  ControlService service;
+  service.Register("fail", [](const Buffer&) -> Result<Buffer> {
+    return Status(PermissionDenied("no"));
+  });
+  ControlChannel channel(&service);
+  EXPECT_EQ(channel.Call("fail", {}).status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(ControlChannelTest, BulkPayloadRejectedStructurally) {
+  // The 64 KiB cap is the control/data separation (§3.4): a 1 MiB payload
+  // cannot ride the control plane.
+  ControlService service;
+  service.Register("sink", [](const Buffer&) -> Result<Buffer> {
+    return Buffer{};
+  });
+  ControlChannel channel(&service);
+  Buffer bulk(kControlMessageLimit + 1);
+  EXPECT_EQ(channel.Call("sink", bulk).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(service.calls(), 0u);  // never reached the service
+}
+
+TEST(ControlChannelTest, ExactlyAtCapAccepted) {
+  ControlService service;
+  service.Register("sink", [](const Buffer&) -> Result<Buffer> {
+    return Buffer{};
+  });
+  ControlChannel channel(&service);
+  Buffer at_cap(kControlMessageLimit);
+  EXPECT_TRUE(channel.Call("sink", at_cap).ok());
+}
+
+TEST(ControlChannelTest, OversizeReplyRejected) {
+  ControlService service;
+  service.Register("blabber", [](const Buffer&) -> Result<Buffer> {
+    return Buffer(kControlMessageLimit + 1);
+  });
+  ControlChannel channel(&service);
+  EXPECT_EQ(channel.Call("blabber", {}).status().code(),
+            ErrorCode::kInternal);
+}
+
+TEST(ControlChannelTest, DisconnectedChannel) {
+  ControlChannel channel(nullptr);
+  EXPECT_EQ(channel.Call("x", {}).status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(ControlChannelTest, ByteAccountingCountsBothDirections) {
+  ControlService service;
+  service.Register("echo", [](const Buffer& req) -> Result<Buffer> {
+    return req;
+  });
+  ControlChannel channel(&service);
+  ASSERT_TRUE(channel.Call("echo", Bytes("12345")).ok());
+  EXPECT_EQ(service.bytes_transferred(), 10u);
+}
+
+TEST(ControlChannelTest, ReRegisterReplacesHandler) {
+  ControlService service;
+  service.Register("m", [](const Buffer&) -> Result<Buffer> {
+    return Bytes("v1");
+  });
+  service.Register("m", [](const Buffer&) -> Result<Buffer> {
+    return Bytes("v2");
+  });
+  ControlChannel channel(&service);
+  EXPECT_EQ(*channel.Call("m", {}), Bytes("v2"));
+}
+
+}  // namespace
+}  // namespace ros2::rpc

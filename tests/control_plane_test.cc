@@ -1,0 +1,120 @@
+#include "core/control_plane.h"
+
+#include <gtest/gtest.h>
+
+#include "rpc/wire.h"
+
+namespace ros2::core {
+namespace {
+
+class ControlPlaneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TenantConfig config;
+    config.name = "tenant";
+    config.auth_token = "tok";
+    config.rate_limit_bps = 1000.0;
+    config.burst_bytes = 500;
+    ASSERT_TRUE(tenants_.Register(config).ok());
+    control_ = std::make_unique<Ros2ControlService>(&tenants_, &fabric_,
+                                                    "pool0", "posix");
+    channel_ = std::make_unique<rpc::ControlChannel>(control_->service());
+  }
+
+  Result<std::uint64_t> Auth(const std::string& name,
+                             const std::string& token) {
+    rpc::Encoder enc;
+    enc.Str(name).Str(token);
+    auto reply = channel_->Call("ros2.auth", enc.buffer());
+    if (!reply.ok()) return reply.status();
+    rpc::Decoder dec(*reply);
+    return dec.U64();
+  }
+
+  core::TenantRegistry tenants_;
+  net::Fabric fabric_;
+  std::unique_ptr<Ros2ControlService> control_;
+  std::unique_ptr<rpc::ControlChannel> channel_;
+};
+
+TEST_F(ControlPlaneTest, AuthIssuesSession) {
+  auto session = Auth("tenant", "tok");
+  ASSERT_TRUE(session.ok());
+  auto info = control_->FindSession(*session);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->tenant, 1u);
+}
+
+TEST_F(ControlPlaneTest, AuthRejectsBadCredentials) {
+  EXPECT_EQ(Auth("tenant", "bad").status().code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(Auth("ghost", "tok").status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(ControlPlaneTest, SessionsAreDistinct) {
+  auto s1 = Auth("tenant", "tok");
+  auto s2 = Auth("tenant", "tok");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_NE(*s1, *s2);
+  EXPECT_EQ(control_->sessions_opened(), 2u);
+}
+
+TEST_F(ControlPlaneTest, MountReturnsLabels) {
+  auto session = Auth("tenant", "tok");
+  ASSERT_TRUE(session.ok());
+  rpc::Encoder enc;
+  enc.U64(*session);
+  auto reply = channel_->Call("ros2.mount", enc.buffer());
+  ASSERT_TRUE(reply.ok());
+  rpc::Decoder dec(*reply);
+  EXPECT_EQ(dec.Str().value(), "pool0");
+  EXPECT_EQ(dec.Str().value(), "posix");
+}
+
+TEST_F(ControlPlaneTest, MountNeedsValidSession) {
+  rpc::Encoder enc;
+  enc.U64(999);
+  EXPECT_EQ(channel_->Call("ros2.mount", enc.buffer()).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ControlPlaneTest, QosGrantEnforcesTenantBucket) {
+  auto session = Auth("tenant", "tok");
+  ASSERT_TRUE(session.ok());
+  auto grant = [&](std::uint64_t bytes) {
+    rpc::Encoder enc;
+    enc.U64(*session).U64(bytes);
+    return channel_->Call("ros2.grant_qos", enc.buffer()).status();
+  };
+  EXPECT_TRUE(grant(500).ok());  // burst
+  EXPECT_EQ(grant(100).code(), ErrorCode::kResourceExhausted);
+  fabric_.AdvanceTime(0.2);  // refill 200 tokens
+  EXPECT_TRUE(grant(100).ok());
+}
+
+TEST_F(ControlPlaneTest, ExchangeMrRecordsDescriptors) {
+  auto session = Auth("tenant", "tok");
+  ASSERT_TRUE(session.ok());
+  rpc::Encoder enc;
+  enc.U64(*session).U64(0x1000).U64(4096).U64(0xCAFE);
+  ASSERT_TRUE(channel_->Call("ros2.exchange_mr", enc.buffer()).ok());
+  const auto* mrs = control_->SessionMrs(*session);
+  ASSERT_NE(mrs, nullptr);
+  ASSERT_EQ(mrs->size(), 1u);
+  EXPECT_EQ((*mrs)[0].addr, 0x1000u);
+  EXPECT_EQ((*mrs)[0].len, 4096u);
+  EXPECT_EQ((*mrs)[0].rkey, 0xCAFEu);
+}
+
+TEST_F(ControlPlaneTest, ExchangeMrNeedsSession) {
+  rpc::Encoder enc;
+  enc.U64(12345).U64(0).U64(0).U64(0);
+  EXPECT_EQ(
+      channel_->Call("ros2.exchange_mr", enc.buffer()).status().code(),
+      ErrorCode::kNotFound);
+  EXPECT_EQ(control_->SessionMrs(12345), nullptr);
+}
+
+}  // namespace
+}  // namespace ros2::core

@@ -1,0 +1,76 @@
+#include "common/crc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace ros2 {
+namespace {
+
+std::span<const std::byte> AsBytes(const char* s, std::size_t n) {
+  return {reinterpret_cast<const std::byte*>(s), n};
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / iSCSI test vectors for CRC-32C.
+  std::uint8_t zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+
+  std::uint8_t ones[32];
+  for (auto& b : ones) b = 0xFF;
+  EXPECT_EQ(Crc32c(ones, sizeof(ones)), 0x62A8AB43u);
+
+  std::uint8_t ascending[32];
+  for (int i = 0; i < 32; ++i) ascending[i] = std::uint8_t(i);
+  EXPECT_EQ(Crc32c(ascending, sizeof(ascending)), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, StreamingMatchesOneShot) {
+  Buffer data = MakePatternBuffer(10000, /*tag=*/7);
+  const std::uint32_t whole = Crc32c(data);
+  std::uint32_t streamed = 0;
+  std::size_t pos = 0;
+  for (std::size_t chunk : {100u, 900u, 4096u, 4904u}) {
+    streamed = Crc32c(std::span<const std::byte>(data.data() + pos, chunk),
+                      streamed);
+    pos += chunk;
+  }
+  ASSERT_EQ(pos, data.size());
+  EXPECT_EQ(streamed, whole);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  Buffer data = MakePatternBuffer(4096, /*tag=*/3);
+  const std::uint32_t before = Crc32c(data);
+  data[2048] ^= std::byte(0x01);
+  EXPECT_NE(Crc32c(data), before);
+}
+
+TEST(Crc32cTest, DetectsSwappedBlocks) {
+  Buffer data = MakePatternBuffer(512, /*tag=*/9);
+  const std::uint32_t before = Crc32c(data);
+  std::swap(data[0], data[511]);
+  EXPECT_NE(Crc32c(data), before);
+}
+
+TEST(Crc64Test, KnownVector) {
+  // CRC-64/XZ("123456789") = 0x995DC9BBDF1939FA.
+  EXPECT_EQ(Crc64("123456789", 9), 0x995DC9BBDF1939FAull);
+}
+
+TEST(Crc64Test, SpanOverloadMatchesRaw) {
+  const char* s = "object-storage";
+  EXPECT_EQ(Crc64(AsBytes(s, 14)), Crc64(s, 14));
+}
+
+TEST(Crc64Test, DifferentSeedsDiffer) {
+  const char* s = "seed me";
+  EXPECT_NE(Crc64(s, 7, 0), Crc64(s, 7, 1));
+}
+
+}  // namespace
+}  // namespace ros2

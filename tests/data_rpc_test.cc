@@ -1,0 +1,228 @@
+// Data-plane RPC tests, parameterized over both transports: the same
+// handler code must move bulk payloads via one-sided RDMA (rendezvous) and
+// via inline TCP bytes.
+#include "rpc/data_rpc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "net/fabric.h"
+#include "rpc/wire.h"
+
+namespace ros2::rpc {
+namespace {
+
+class DataRpcTest : public ::testing::TestWithParam<net::Transport> {
+ protected:
+  void SetUp() override {
+    auto server_ep = fabric_.CreateEndpoint("fabric://server");
+    auto client_ep = fabric_.CreateEndpoint("fabric://client");
+    ASSERT_TRUE(server_ep.ok() && client_ep.ok());
+    server_ep_ = *server_ep;
+    client_ep_ = *client_ep;
+    const auto server_pd = server_ep_->AllocPd();
+    const auto client_pd = client_ep_->AllocPd();
+    auto qp = client_ep_->Connect(server_ep_, GetParam(), client_pd,
+                                  server_pd);
+    ASSERT_TRUE(qp.ok());
+    qp_ = *qp;
+    client_ = std::make_unique<RpcClient>(
+        qp_, client_ep_, [this] { (void)server_.Progress(qp_->peer()); });
+  }
+
+  net::Fabric fabric_;
+  net::Endpoint* server_ep_ = nullptr;
+  net::Endpoint* client_ep_ = nullptr;
+  net::Qp* qp_ = nullptr;
+  RpcServer server_;
+  std::unique_ptr<RpcClient> client_;
+};
+
+TEST_P(DataRpcTest, UnaryCallRoundTrip) {
+  server_.Register(1, [](const Buffer& header, BulkIo&) -> Result<Buffer> {
+    Buffer reply = header;
+    reply.push_back(std::byte(0xFF));
+    return reply;
+  });
+  Buffer header = MakePatternBuffer(16, 1);
+  auto reply = client_->Call(1, header, {});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->header.size(), 17u);
+}
+
+TEST_P(DataRpcTest, UnknownOpcode) {
+  EXPECT_EQ(client_->Call(42, {}, {}).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_P(DataRpcTest, HandlerErrorPropagatesWithMessage) {
+  server_.Register(2, [](const Buffer&, BulkIo&) -> Result<Buffer> {
+    return Status(OutOfRange("beyond eof"));
+  });
+  auto reply = client_->Call(2, {}, {});
+  EXPECT_EQ(reply.status().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(reply.status().message(), "beyond eof");
+}
+
+TEST_P(DataRpcTest, SendBulkReachesServer) {
+  Buffer received;
+  server_.Register(3, [&](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    received.resize(bulk.in_size());
+    ROS2_RETURN_IF_ERROR(bulk.Pull(received));
+    return Buffer{};
+  });
+  Buffer payload = MakePatternBuffer(256 * 1024, 7);
+  CallOptions options;
+  options.send_bulk = payload;
+  ASSERT_TRUE(client_->Call(3, {}, options).ok());
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(server_.bulk_bytes_in(), payload.size());
+}
+
+TEST_P(DataRpcTest, RecvBulkReachesClient) {
+  Buffer source = MakePatternBuffer(128 * 1024, 9);
+  server_.Register(4, [&](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    ROS2_RETURN_IF_ERROR(bulk.Push(source));
+    return Buffer{};
+  });
+  Buffer sink(source.size());
+  CallOptions options;
+  options.recv_bulk = sink;
+  auto reply = client_->Call(4, {}, options);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->bulk_received, source.size());
+  EXPECT_EQ(sink, source);
+}
+
+TEST_P(DataRpcTest, BothDirectionsInOneCall) {
+  server_.Register(5, [&](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    Buffer data(bulk.in_size());
+    ROS2_RETURN_IF_ERROR(bulk.Pull(data));
+    for (auto& b : data) b ^= std::byte(0xFF);  // transform
+    ROS2_RETURN_IF_ERROR(bulk.Push(data));
+    return Buffer{};
+  });
+  Buffer out = MakePatternBuffer(4096, 3);
+  Buffer in(4096);
+  CallOptions options;
+  options.send_bulk = out;
+  options.recv_bulk = in;
+  ASSERT_TRUE(client_->Call(5, {}, options).ok());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(in[i], out[i] ^ std::byte(0xFF));
+  }
+}
+
+TEST_P(DataRpcTest, PushBeyondWindowRejected) {
+  server_.Register(6, [](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    Buffer big(bulk.out_capacity() + 1);
+    ROS2_RETURN_IF_ERROR(bulk.Push(big));
+    return Buffer{};
+  });
+  Buffer window(64);
+  CallOptions options;
+  options.recv_bulk = window;
+  EXPECT_EQ(client_->Call(6, {}, options).status().code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST_P(DataRpcTest, IncrementalPushesAccumulate) {
+  server_.Register(7, [](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    Buffer chunk = MakePatternBuffer(100, 1);
+    ROS2_RETURN_IF_ERROR(bulk.Push(chunk));
+    Buffer chunk2 = MakePatternBuffer(100, 1, 100);
+    ROS2_RETURN_IF_ERROR(bulk.Push(chunk2));
+    return Buffer{};
+  });
+  Buffer window(200);
+  CallOptions options;
+  options.recv_bulk = window;
+  auto reply = client_->Call(7, {}, options);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->bulk_received, 200u);
+  EXPECT_EQ(VerifyPattern(window, 1, 0), -1);
+}
+
+TEST_P(DataRpcTest, PullSizeMismatchRejected) {
+  server_.Register(8, [](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    Buffer wrong(bulk.in_size() + 1);
+    ROS2_RETURN_IF_ERROR(bulk.Pull(wrong));
+    return Buffer{};
+  });
+  Buffer payload(64);
+  CallOptions options;
+  options.send_bulk = payload;
+  EXPECT_EQ(client_->Call(8, {}, options).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_P(DataRpcTest, AdHocMrsAreCleanedUp) {
+  server_.Register(9, [](const Buffer&, BulkIo&) -> Result<Buffer> {
+    return Buffer{};
+  });
+  Buffer payload(1024);
+  Buffer window(1024);
+  CallOptions options;
+  options.send_bulk = payload;
+  options.recv_bulk = window;
+  const auto before = client_ep_->mr_count();
+  ASSERT_TRUE(client_->Call(9, {}, options).ok());
+  EXPECT_EQ(client_ep_->mr_count(), before);  // no registration leak
+}
+
+TEST_P(DataRpcTest, ServerDrainsPipelinedRequestsInOrder) {
+  // CaRT progress-loop semantics: several requests queued on the QP before
+  // the server runs are all served, in arrival order.
+  std::vector<std::uint32_t> order;
+  server_.Register(11, [&](const Buffer& header, BulkIo&) -> Result<Buffer> {
+    rpc::Decoder dec(header);
+    order.push_back(dec.U32().value_or(0));
+    return Buffer{};
+  });
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    Encoder req;
+    req.U32(11).Bytes(Encoder().U32(i).buffer()).U8(0).U8(0);
+    ASSERT_TRUE(qp_->Send(req.buffer()).ok());
+  }
+  ASSERT_TRUE(server_.Progress(qp_->peer()).ok());
+  ASSERT_EQ(order.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+  // Five replies are waiting on the client QP.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(qp_->Recv().ok()) << i;
+  }
+  EXPECT_FALSE(qp_->HasMessage());
+}
+
+TEST_P(DataRpcTest, ZeroLengthBulkWindowsAreNoops) {
+  server_.Register(12, [](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    if (bulk.in_size() != 0 || bulk.out_capacity() != 0) {
+      return Status(Internal("unexpected bulk state"));
+    }
+    return Buffer{};
+  });
+  CallOptions options;  // both spans empty
+  EXPECT_TRUE(client_->Call(12, {}, options).ok());
+}
+
+TEST_P(DataRpcTest, ServedCounterTicks) {
+  server_.Register(10, [](const Buffer&, BulkIo&) -> Result<Buffer> {
+    return Buffer{};
+  });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client_->Call(10, {}, {}).ok());
+  }
+  EXPECT_EQ(server_.requests_served(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, DataRpcTest,
+                         ::testing::Values(net::Transport::kTcp,
+                                           net::Transport::kRdma),
+                         [](const auto& info) {
+                           return std::string(
+                               perf::TransportName(info.param));
+                         });
+
+}  // namespace
+}  // namespace ros2::rpc

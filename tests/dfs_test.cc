@@ -1,0 +1,308 @@
+// DFS POSIX-layer tests: namespace operations, chunked file I/O, rename,
+// truncate — the §3.3 "DFS mapping" contract, over both transports.
+#include "dfs/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "daos/client.h"
+
+namespace ros2::dfs {
+namespace {
+
+class DfsTest : public ::testing::TestWithParam<net::Transport> {
+ protected:
+  void SetUp() override {
+    storage::NvmeDeviceConfig dev;
+    dev.capacity_bytes = 512 * kMiB;
+    device_ = std::make_unique<storage::NvmeDevice>(dev);
+    storage::NvmeDevice* raw[] = {device_.get()};
+    daos::EngineConfig config;
+    config.targets = 8;
+    config.scm_per_target = 16 * kMiB;
+    engine_ = std::make_unique<daos::DaosEngine>(&fabric_, config, raw);
+    daos::DaosClient::ConnectOptions options;
+    options.transport = GetParam();
+    auto client = daos::DaosClient::Connect(&fabric_, engine_.get(), options);
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(*client);
+    auto cont = client_->ContainerCreate("posix");
+    ASSERT_TRUE(cont.ok());
+    auto dfs = Dfs::Mount(client_.get(), *cont, /*create=*/true);
+    ASSERT_TRUE(dfs.ok()) << dfs.status().ToString();
+    dfs_ = std::move(*dfs);
+  }
+
+  net::Fabric fabric_;
+  std::unique_ptr<storage::NvmeDevice> device_;
+  std::unique_ptr<daos::DaosEngine> engine_;
+  std::unique_ptr<daos::DaosClient> client_;
+  std::unique_ptr<Dfs> dfs_;
+};
+
+TEST_P(DfsTest, CreateWriteReadFile) {
+  OpenFlags flags;
+  flags.create = true;
+  auto fd = dfs_->Open("/hello.txt", flags);
+  ASSERT_TRUE(fd.ok());
+  Buffer data = MakePatternBuffer(1000, 1);
+  ASSERT_TRUE(dfs_->Write(*fd, 0, data).ok());
+  Buffer out(1000);
+  auto n = dfs_->Read(*fd, 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1000u);
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(dfs_->Close(*fd).ok());
+}
+
+TEST_P(DfsTest, ReadClampsAtEof) {
+  OpenFlags flags;
+  flags.create = true;
+  auto fd = dfs_->Open("/short", flags);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(dfs_->Write(*fd, 0, MakePatternBuffer(100, 1)).ok());
+  Buffer out(1000);
+  auto n = dfs_->Read(*fd, 50, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 50u);
+  auto past = dfs_->Read(*fd, 100, out);
+  ASSERT_TRUE(past.ok());
+  EXPECT_EQ(*past, 0u);
+}
+
+TEST_P(DfsTest, ChunkSpanningIo) {
+  OpenFlags flags;
+  flags.create = true;
+  auto fd = dfs_->Open("/big", flags);
+  ASSERT_TRUE(fd.ok());
+  // Write 3.5 MiB starting mid-chunk: spans 4+ chunks.
+  Buffer data = MakePatternBuffer(3 * kMiB + 512 * kKiB, 7);
+  const std::uint64_t offset = 512 * kKiB + 123;
+  ASSERT_TRUE(dfs_->Write(*fd, offset, data).ok());
+  Buffer out(data.size());
+  auto n = dfs_->Read(*fd, offset, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(dfs_->Size(*fd).value(), offset + data.size());
+}
+
+TEST_P(DfsTest, SparseFileReadsZerosInHoles) {
+  OpenFlags flags;
+  flags.create = true;
+  auto fd = dfs_->Open("/sparse", flags);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(dfs_->Write(*fd, 5 * kMiB, MakePatternBuffer(100, 3)).ok());
+  Buffer out(4096);
+  auto n = dfs_->Read(*fd, kMiB, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4096u);
+  for (std::byte b : out) EXPECT_EQ(b, std::byte(0));
+}
+
+TEST_P(DfsTest, OpenSemantics) {
+  OpenFlags none;
+  EXPECT_EQ(dfs_->Open("/missing", none).status().code(),
+            ErrorCode::kNotFound);
+  OpenFlags create;
+  create.create = true;
+  ASSERT_TRUE(dfs_->Open("/f", create).ok());
+  OpenFlags excl = create;
+  excl.exclusive = true;
+  EXPECT_EQ(dfs_->Open("/f", excl).status().code(),
+            ErrorCode::kAlreadyExists);
+  // Reopen without create works.
+  EXPECT_TRUE(dfs_->Open("/f", none).ok());
+}
+
+TEST_P(DfsTest, TruncateOnOpen) {
+  OpenFlags create;
+  create.create = true;
+  auto fd = dfs_->Open("/t", create);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(dfs_->Write(*fd, 0, MakePatternBuffer(1000, 1)).ok());
+  ASSERT_TRUE(dfs_->Close(*fd).ok());
+  OpenFlags trunc;
+  trunc.truncate = true;
+  auto fd2 = dfs_->Open("/t", trunc);
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_EQ(dfs_->Size(*fd2).value(), 0u);
+}
+
+TEST_P(DfsTest, MkdirAndNestedPaths) {
+  ASSERT_TRUE(dfs_->Mkdir("/a").ok());
+  ASSERT_TRUE(dfs_->Mkdir("/a/b").ok());
+  ASSERT_TRUE(dfs_->Mkdir("/a/b/c").ok());
+  EXPECT_EQ(dfs_->Mkdir("/a").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(dfs_->Mkdir("/x/y").code(), ErrorCode::kNotFound);
+  OpenFlags create;
+  create.create = true;
+  auto fd = dfs_->Open("/a/b/c/file", create);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(dfs_->Write(*fd, 0, MakePatternBuffer(64, 1)).ok());
+  auto stat = dfs_->Stat("/a/b/c/file");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->type, InodeType::kFile);
+  EXPECT_EQ(stat->size, 64u);
+}
+
+TEST_P(DfsTest, StatRootAndDirs) {
+  auto root = dfs_->Stat("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->type, InodeType::kDirectory);
+  ASSERT_TRUE(dfs_->Mkdir("/d").ok());
+  auto dir = dfs_->Stat("/d");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir->type, InodeType::kDirectory);
+}
+
+TEST_P(DfsTest, ReaddirSortedAndTyped) {
+  ASSERT_TRUE(dfs_->Mkdir("/dir").ok());
+  OpenFlags create;
+  create.create = true;
+  ASSERT_TRUE(dfs_->Open("/dir/zebra", create).ok());
+  ASSERT_TRUE(dfs_->Open("/dir/alpha", create).ok());
+  ASSERT_TRUE(dfs_->Mkdir("/dir/middle").ok());
+  auto entries = dfs_->Readdir("/dir");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "alpha");
+  EXPECT_EQ((*entries)[0].type, InodeType::kFile);
+  EXPECT_EQ((*entries)[1].name, "middle");
+  EXPECT_EQ((*entries)[1].type, InodeType::kDirectory);
+  EXPECT_EQ((*entries)[2].name, "zebra");
+}
+
+TEST_P(DfsTest, ReaddirOnFileRejected) {
+  OpenFlags create;
+  create.create = true;
+  ASSERT_TRUE(dfs_->Open("/plain", create).ok());
+  EXPECT_EQ(dfs_->Readdir("/plain").status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_P(DfsTest, UnlinkFileAndEmptyDirOnly) {
+  OpenFlags create;
+  create.create = true;
+  auto fd = dfs_->Open("/doomed", create);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(dfs_->Write(*fd, 0, MakePatternBuffer(kMiB, 1)).ok());
+  ASSERT_TRUE(dfs_->Close(*fd).ok());
+  ASSERT_TRUE(dfs_->Unlink("/doomed").ok());
+  EXPECT_EQ(dfs_->Stat("/doomed").status().code(), ErrorCode::kNotFound);
+
+  ASSERT_TRUE(dfs_->Mkdir("/full").ok());
+  ASSERT_TRUE(dfs_->Open("/full/kid", create).ok());
+  EXPECT_EQ(dfs_->Unlink("/full").code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(dfs_->Unlink("/full/kid").ok());
+  EXPECT_TRUE(dfs_->Unlink("/full").ok());
+}
+
+TEST_P(DfsTest, RenameMovesContent) {
+  ASSERT_TRUE(dfs_->Mkdir("/src").ok());
+  ASSERT_TRUE(dfs_->Mkdir("/dst").ok());
+  OpenFlags create;
+  create.create = true;
+  auto fd = dfs_->Open("/src/f", create);
+  ASSERT_TRUE(fd.ok());
+  Buffer data = MakePatternBuffer(2 * kMiB, 9);
+  ASSERT_TRUE(dfs_->Write(*fd, 0, data).ok());
+  ASSERT_TRUE(dfs_->Close(*fd).ok());
+
+  ASSERT_TRUE(dfs_->Rename("/src/f", "/dst/g").ok());
+  EXPECT_EQ(dfs_->Stat("/src/f").status().code(), ErrorCode::kNotFound);
+  auto fd2 = dfs_->Open("/dst/g", OpenFlags{});
+  ASSERT_TRUE(fd2.ok());
+  Buffer out(data.size());
+  auto n = dfs_->Read(*fd2, 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(DfsTest, RenameOverwritesFile) {
+  OpenFlags create;
+  create.create = true;
+  auto a = dfs_->Open("/a", create);
+  auto b = dfs_->Open("/b", create);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(dfs_->Write(*a, 0, MakePatternBuffer(10, 1)).ok());
+  ASSERT_TRUE(dfs_->Write(*b, 0, MakePatternBuffer(10, 2)).ok());
+  ASSERT_TRUE(dfs_->Rename("/a", "/b").ok());
+  auto fd = dfs_->Open("/b", OpenFlags{});
+  ASSERT_TRUE(fd.ok());
+  Buffer out(10);
+  ASSERT_TRUE(dfs_->Read(*fd, 0, out).ok());
+  EXPECT_EQ(VerifyPattern(out, 1, 0), -1);
+}
+
+TEST_P(DfsTest, TruncateShrinkAndExtend) {
+  OpenFlags create;
+  create.create = true;
+  auto fd = dfs_->Open("/trunc", create);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(dfs_->Write(*fd, 0, MakePatternBuffer(1000, 1)).ok());
+  ASSERT_TRUE(dfs_->Truncate(*fd, 0).ok());
+  EXPECT_EQ(dfs_->Size(*fd).value(), 0u);
+  Buffer out(100);
+  EXPECT_EQ(dfs_->Read(*fd, 0, out).value(), 0u);
+
+  ASSERT_TRUE(dfs_->Truncate(*fd, 5000).ok());
+  EXPECT_EQ(dfs_->Size(*fd).value(), 5000u);
+  auto n = dfs_->Read(*fd, 4900, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 100u);
+  for (std::byte b : out) EXPECT_EQ(b, std::byte(0));
+}
+
+TEST_P(DfsTest, MountOpenExistingNamespace) {
+  OpenFlags create;
+  create.create = true;
+  auto fd = dfs_->Open("/persisted", create);
+  ASSERT_TRUE(fd.ok());
+  Buffer data = MakePatternBuffer(123, 4);
+  ASSERT_TRUE(dfs_->Write(*fd, 0, data).ok());
+
+  // Re-mount the same container without create.
+  auto cont = client_->ContainerOpen("posix");
+  ASSERT_TRUE(cont.ok());
+  auto dfs2 = Dfs::Mount(client_.get(), *cont, /*create=*/false);
+  ASSERT_TRUE(dfs2.ok()) << dfs2.status().ToString();
+  auto fd2 = (*dfs2)->Open("/persisted", OpenFlags{});
+  ASSERT_TRUE(fd2.ok());
+  Buffer out(123);
+  ASSERT_TRUE((*dfs2)->Read(*fd2, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(DfsTest, MountRejectsForeignContainer) {
+  auto cont = client_->ContainerCreate("not-posix");
+  ASSERT_TRUE(cont.ok());
+  auto dfs = Dfs::Mount(client_.get(), *cont, /*create=*/false);
+  EXPECT_FALSE(dfs.ok());
+}
+
+TEST_P(DfsTest, PathValidation) {
+  EXPECT_EQ(dfs_->Mkdir("relative").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dfs_->Mkdir("/a/../b").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dfs_->Stat("").status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_P(DfsTest, BadFdRejected) {
+  Buffer out(10);
+  EXPECT_EQ(dfs_->Read(999, 0, out).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(dfs_->Write(999, 0, out).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(dfs_->Close(999).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(dfs_->Fsync(999).code(), ErrorCode::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, DfsTest,
+                         ::testing::Values(net::Transport::kTcp,
+                                           net::Transport::kRdma),
+                         [](const auto& info) {
+                           return std::string(
+                               perf::TransportName(info.param));
+                         });
+
+}  // namespace
+}  // namespace ros2::dfs

@@ -1,0 +1,180 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace ros2::net {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto a = fabric_.CreateEndpoint("fabric://a");
+    auto b = fabric_.CreateEndpoint("fabric://b");
+    ASSERT_TRUE(a.ok() && b.ok());
+    a_ = *a;
+    b_ = *b;
+    pd_a_ = a_->AllocPd();
+    pd_b_ = b_->AllocPd();
+  }
+
+  Qp* Connect(Transport transport) {
+    auto qp = a_->Connect(b_, transport, pd_a_, pd_b_);
+    EXPECT_TRUE(qp.ok());
+    return qp.ok() ? *qp : nullptr;
+  }
+
+  Fabric fabric_;
+  Endpoint* a_ = nullptr;
+  Endpoint* b_ = nullptr;
+  PdId pd_a_ = 0;
+  PdId pd_b_ = 0;
+};
+
+TEST_F(FabricTest, EndpointAddressesUnique) {
+  EXPECT_EQ(fabric_.CreateEndpoint("fabric://a").status().code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(fabric_.Lookup("fabric://a").ok());
+  EXPECT_EQ(fabric_.Lookup("fabric://zzz").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(FabricTest, SendRecvBothTransports) {
+  for (Transport t : {Transport::kTcp, Transport::kRdma}) {
+    Qp* qp = Connect(t);
+    ASSERT_NE(qp, nullptr);
+    Buffer msg = MakePatternBuffer(256, 1);
+    ASSERT_TRUE(qp->Send(msg).ok());
+    ASSERT_TRUE(qp->peer()->HasMessage());
+    auto received = qp->peer()->Recv();
+    ASSERT_TRUE(received.ok());
+    EXPECT_EQ(received->payload, msg);
+    // Reply direction.
+    ASSERT_TRUE(qp->peer()->Send(msg).ok());
+    EXPECT_TRUE(qp->Recv().ok());
+  }
+}
+
+TEST_F(FabricTest, RecvOnEmptyQueue) {
+  Qp* qp = Connect(Transport::kRdma);
+  EXPECT_EQ(qp->Recv().status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FabricTest, MessagesDeliveredInOrder) {
+  Qp* qp = Connect(Transport::kTcp);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    Buffer msg{std::byte(i)};
+    ASSERT_TRUE(qp->Send(msg).ok());
+  }
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    auto msg = qp->peer()->Recv();
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->payload[0], std::byte(i));
+  }
+}
+
+TEST_F(FabricTest, RdmaReadPullsRemoteMemory) {
+  Qp* qp = Connect(Transport::kRdma);
+  Buffer remote = MakePatternBuffer(4096, 9);
+  auto mr = b_->RegisterMemory(pd_b_, remote, kRemoteRead);
+  ASSERT_TRUE(mr.ok());
+
+  Buffer local(4096);
+  ASSERT_TRUE(qp->RdmaRead(local, mr->addr, mr->rkey).ok());
+  EXPECT_EQ(local, remote);
+  EXPECT_EQ(qp->bytes_one_sided(), 4096u);
+}
+
+TEST_F(FabricTest, RdmaWritePushesIntoRemoteMemory) {
+  Qp* qp = Connect(Transport::kRdma);
+  Buffer remote(4096);
+  auto mr = b_->RegisterMemory(pd_b_, remote, kRemoteWrite);
+  ASSERT_TRUE(mr.ok());
+
+  Buffer local = MakePatternBuffer(4096, 4);
+  ASSERT_TRUE(qp->RdmaWrite(local, mr->addr, mr->rkey).ok());
+  EXPECT_EQ(remote, local);
+}
+
+TEST_F(FabricTest, RdmaIntoSubrange) {
+  Qp* qp = Connect(Transport::kRdma);
+  Buffer remote = MakePatternBuffer(4096, 2);
+  auto mr = b_->RegisterMemory(pd_b_, remote, kRemoteRead);
+  ASSERT_TRUE(mr.ok());
+  Buffer local(100);
+  ASSERT_TRUE(qp->RdmaRead(local, mr->addr + 1000, mr->rkey).ok());
+  EXPECT_EQ(VerifyPattern(local, 2, 1000), -1);
+}
+
+TEST_F(FabricTest, OneSidedOpsRefusedOnTcp) {
+  Qp* qp = Connect(Transport::kTcp);
+  Buffer remote(128);
+  auto mr = b_->RegisterMemory(pd_b_, remote, kRemoteRead | kRemoteWrite);
+  ASSERT_TRUE(mr.ok());
+  Buffer local(128);
+  EXPECT_EQ(qp->RdmaRead(local, mr->addr, mr->rkey).code(),
+            ErrorCode::kUnimplemented);
+  EXPECT_EQ(qp->RdmaWrite(local, mr->addr, mr->rkey).code(),
+            ErrorCode::kUnimplemented);
+}
+
+TEST_F(FabricTest, ConnectValidatesPds) {
+  EXPECT_EQ(a_->Connect(b_, Transport::kRdma, 999, pd_b_).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(a_->Connect(b_, Transport::kRdma, pd_a_, 999).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(a_->Connect(nullptr, Transport::kRdma, pd_a_, pd_b_)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FabricTest, RegisterValidation) {
+  Buffer region(64);
+  EXPECT_EQ(a_->RegisterMemory(999, region, kRemoteRead).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(
+      a_->RegisterMemory(pd_a_, std::span<std::byte>(), kRemoteRead)
+          .status()
+          .code(),
+      ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FabricTest, DeregisterRemovesMr) {
+  Buffer region(64);
+  auto mr = a_->RegisterMemory(pd_a_, region, kRemoteRead);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(a_->mr_count(), 1u);
+  ASSERT_TRUE(a_->DeregisterMemory(mr->rkey).ok());
+  EXPECT_EQ(a_->mr_count(), 0u);
+  EXPECT_EQ(a_->DeregisterMemory(mr->rkey).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FabricTest, RkeysNeverReused) {
+  Buffer region(64);
+  auto mr1 = a_->RegisterMemory(pd_a_, region, kRemoteRead);
+  ASSERT_TRUE(mr1.ok());
+  ASSERT_TRUE(a_->DeregisterMemory(mr1->rkey).ok());
+  auto mr2 = a_->RegisterMemory(pd_a_, region, kRemoteRead);
+  ASSERT_TRUE(mr2.ok());
+  EXPECT_NE(mr1->rkey, mr2->rkey);
+}
+
+TEST_F(FabricTest, PdTenantTracked) {
+  const PdId pd = a_->AllocPd(/*tenant=*/7);
+  auto tenant = a_->PdTenant(pd);
+  ASSERT_TRUE(tenant.ok());
+  EXPECT_EQ(*tenant, 7u);
+  EXPECT_EQ(a_->PdTenant(12345).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FabricTest, LogicalClockAdvances) {
+  EXPECT_DOUBLE_EQ(fabric_.now(), 0.0);
+  fabric_.AdvanceTime(1.5);
+  fabric_.AdvanceTime(0.5);
+  EXPECT_DOUBLE_EQ(fabric_.now(), 2.0);
+}
+
+}  // namespace
+}  // namespace ros2::net

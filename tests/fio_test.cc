@@ -1,0 +1,221 @@
+// FIO-harness tests: each engine must (a) really move and verify bytes and
+// (b) produce timing reports with the right qualitative shape.
+#include "fio/fio.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ros2::fio {
+namespace {
+
+JobSpec SmallJob(perf::OpKind op, std::uint64_t bs) {
+  JobSpec spec;
+  spec.rw = op;
+  spec.block_size = bs;
+  spec.total_ops = 4000;
+  spec.verify_ops = 64;
+  return spec;
+}
+
+TEST(LocalFioTest, ReadJobVerifiesAndReports) {
+  storage::NvmeDeviceConfig config;
+  config.capacity_bytes = 64 * kMiB;
+  storage::NvmeDevice dev(config);
+  LocalFio fio({&dev});
+  auto report = fio.Run(SmallJob(perf::OpKind::kRead, 4096));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->verified_ops, 64u);
+  EXPECT_EQ(report->simulated_ops, 4000u);
+  EXPECT_GT(report->iops, 0.0);
+  EXPECT_GT(report->p99, report->p50 * 0.99);
+}
+
+TEST(LocalFioTest, AllFourWorkloadsRun) {
+  storage::NvmeDeviceConfig config;
+  config.capacity_bytes = 64 * kMiB;
+  storage::NvmeDevice dev(config);
+  LocalFio fio({&dev});
+  for (auto op : {perf::OpKind::kRead, perf::OpKind::kWrite,
+                  perf::OpKind::kRandRead, perf::OpKind::kRandWrite}) {
+    auto report = fio.Run(SmallJob(op, 4096));
+    ASSERT_TRUE(report.ok()) << perf::OpKindName(op);
+    EXPECT_EQ(report->verified_ops, 64u) << perf::OpKindName(op);
+  }
+}
+
+TEST(LocalFioTest, TimingOnlyModeSkipsFunctional) {
+  storage::NvmeDeviceConfig config;
+  storage::NvmeDevice dev(config);
+  LocalFio fio({&dev});
+  JobSpec spec = SmallJob(perf::OpKind::kRead, kMiB);
+  spec.verify_ops = 0;
+  auto report = fio.Run(spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->verified_ops, 0u);
+  EXPECT_EQ(dev.reads_completed(), 0u);  // nothing touched the device
+}
+
+TEST(LocalFioTest, SpecValidation) {
+  storage::NvmeDevice dev((storage::NvmeDeviceConfig()));
+  LocalFio fio({&dev});
+  JobSpec bad = SmallJob(perf::OpKind::kRead, 4096);
+  bad.block_size = 0;
+  EXPECT_FALSE(fio.Run(bad).ok());
+  bad = SmallJob(perf::OpKind::kRead, 4096);
+  bad.numjobs = 0;
+  EXPECT_FALSE(fio.Run(bad).ok());
+  LocalFio empty({});
+  EXPECT_FALSE(empty.Run(SmallJob(perf::OpKind::kRead, 4096)).ok());
+}
+
+TEST(RemoteFioTest, FunctionalOverBothTransports) {
+  for (auto transport : {net::Transport::kTcp, net::Transport::kRdma}) {
+    net::Fabric fabric;
+    storage::NvmeDeviceConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    storage::NvmeDevice dev(config);
+    spdk::Bdev bdev(&dev);
+    spdk::NvmfTarget target(&fabric, "fabric://t");
+    ASSERT_TRUE(target.AddNamespace(1, &bdev).ok());
+    auto initiator = spdk::NvmfConnect(&fabric, &target, transport,
+                                       "fabric://c");
+    ASSERT_TRUE(initiator.ok());
+
+    RemoteFio::Setup setup;
+    setup.transport = transport;
+    setup.client_cores = 4;
+    setup.server_cores = 4;
+    RemoteFio fio(initiator->get(), setup);
+    auto report = fio.Run(SmallJob(perf::OpKind::kRandRead, 4096));
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->verified_ops, 64u);
+    EXPECT_GT(report->iops, 0.0);
+  }
+}
+
+TEST(RemoteFioTest, RdmaReportsBeatTcpAtSmallBlocks) {
+  net::Fabric fabric;
+  storage::NvmeDevice dev((storage::NvmeDeviceConfig()));
+  spdk::Bdev bdev(&dev);
+  spdk::NvmfTarget target(&fabric, "fabric://t");
+  ASSERT_TRUE(target.AddNamespace(1, &bdev).ok());
+
+  double iops[2] = {0, 0};
+  int i = 0;
+  for (auto transport : {net::Transport::kTcp, net::Transport::kRdma}) {
+    auto initiator = spdk::NvmfConnect(
+        &fabric, &target, transport,
+        "fabric://c" + std::string(perf::TransportName(transport)));
+    ASSERT_TRUE(initiator.ok());
+    RemoteFio::Setup setup;
+    setup.transport = transport;
+    setup.client_cores = 8;
+    setup.server_cores = 8;
+    RemoteFio fio(initiator->get(), setup);
+    JobSpec spec = SmallJob(perf::OpKind::kRandRead, 4096);
+    spec.total_ops = 20000;
+    spec.verify_ops = 8;
+    auto report = fio.Run(spec);
+    ASSERT_TRUE(report.ok());
+    iops[i++] = report->iops;
+  }
+  EXPECT_GT(iops[1], iops[0] * 2.0);
+}
+
+class DfsFioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::Ros2Cluster::Config config;
+    config.num_ssds = 1;
+    config.engine_targets = 8;
+    config.scm_per_target = 16 * kMiB;
+    cluster_ = std::make_unique<core::Ros2Cluster>(config);
+    core::TenantConfig tenant;
+    tenant.name = "t";
+    tenant.auth_token = "k";
+    ASSERT_TRUE(cluster_->tenants()->Register(tenant).ok());
+  }
+
+  std::unique_ptr<core::Ros2Client> Connect(perf::Platform platform,
+                                            net::Transport transport) {
+    core::ClientConfig config;
+    config.platform = platform;
+    config.transport = transport;
+    config.tenant_name = "t";
+    config.tenant_token = "k";
+    auto client = core::Ros2Client::Connect(cluster_.get(), config);
+    EXPECT_TRUE(client.ok());
+    return client.ok() ? std::move(*client) : nullptr;
+  }
+
+  std::unique_ptr<core::Ros2Cluster> cluster_;
+};
+
+TEST_F(DfsFioTest, EndToEndVerifiedOverAllDeployments) {
+  int i = 0;
+  for (auto platform :
+       {perf::Platform::kServerHost, perf::Platform::kBlueField3}) {
+    for (auto transport : {net::Transport::kTcp, net::Transport::kRdma}) {
+      auto client = Connect(platform, transport);
+      ASSERT_NE(client, nullptr);
+      DfsFio::Setup setup;
+      setup.work_dir = "/fio" + std::to_string(i++);
+      DfsFio fio(client.get(), setup);
+      JobSpec spec = SmallJob(perf::OpKind::kRandRead, 4096);
+      spec.name = "rr";
+      auto report = fio.Run(spec);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_EQ(report->verified_ops, 64u);
+    }
+  }
+}
+
+TEST_F(DfsFioTest, WriteWorkloadReadsBack) {
+  auto client = Connect(perf::Platform::kServerHost, net::Transport::kRdma);
+  ASSERT_NE(client, nullptr);
+  DfsFio::Setup setup;
+  DfsFio fio(client.get(), setup);
+  JobSpec spec = SmallJob(perf::OpKind::kRandWrite, 4096);
+  spec.name = "rw";
+  auto report = fio.Run(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->verified_ops, 64u);
+}
+
+TEST_F(DfsFioTest, TimingShapeDpuTcpBelowDpuRdma) {
+  auto tcp = Connect(perf::Platform::kBlueField3, net::Transport::kTcp);
+  auto rdma = Connect(perf::Platform::kBlueField3, net::Transport::kRdma);
+  ASSERT_NE(tcp, nullptr);
+  ASSERT_NE(rdma, nullptr);
+  JobSpec spec;
+  spec.rw = perf::OpKind::kRead;
+  spec.block_size = kMiB;
+  spec.numjobs = 8;
+  spec.total_ops = 10000;
+  spec.verify_ops = 0;  // timing comparison only
+  DfsFio::Setup setup;
+  DfsFio tcp_fio(tcp.get(), setup);
+  DfsFio rdma_fio(rdma.get(), setup);
+  auto tcp_report = tcp_fio.Run(spec);
+  auto rdma_report = rdma_fio.Run(spec);
+  ASSERT_TRUE(tcp_report.ok() && rdma_report.ok());
+  EXPECT_GT(rdma_report->bytes_per_sec, 2.0 * tcp_report->bytes_per_sec);
+}
+
+TEST(ReportTest, MakeReportTranslatesSimResult) {
+  sim::ClosedLoopResult sim_result;
+  sim_result.bytes_per_sec = 100.0;
+  sim_result.ops_per_sec = 10.0;
+  sim_result.completed_ops = 5;
+  sim_result.latency.Record(1e-3);
+  const Report report = MakeReport(sim_result, 3);
+  EXPECT_DOUBLE_EQ(report.bytes_per_sec, 100.0);
+  EXPECT_DOUBLE_EQ(report.iops, 10.0);
+  EXPECT_EQ(report.simulated_ops, 5u);
+  EXPECT_EQ(report.verified_ops, 3u);
+  EXPECT_GT(report.p50, 0.0);
+}
+
+}  // namespace
+}  // namespace ros2::fio

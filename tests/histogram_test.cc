@@ -1,0 +1,120 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ros2 {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Record(100 * kUsec);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 100 * kUsec);
+  EXPECT_DOUBLE_EQ(h.max(), 100 * kUsec);
+  // Bucketed value within ~3.5% of the recorded one.
+  EXPECT_NEAR(h.p50(), 100 * kUsec, 3.5e-6);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  h.Record(1 * kUsec);
+  h.Record(3 * kUsec);
+  EXPECT_DOUBLE_EQ(h.mean(), 2 * kUsec);
+}
+
+TEST(HistogramTest, QuantilesAreOrdered) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record((1.0 + rng.NextDouble() * 999.0) * kUsec);
+  }
+  EXPECT_LE(h.p50(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), h.max() * 1.05);
+  EXPECT_GE(h.p50(), h.min() * 0.95);
+}
+
+TEST(HistogramTest, UniformQuantileAccuracy) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.NextDouble() * kMsec);  // U(0, 1ms)
+  }
+  EXPECT_NEAR(h.p50(), 0.5 * kMsec, 0.05 * kMsec);
+  EXPECT_NEAR(h.Quantile(0.9), 0.9 * kMsec, 0.05 * kMsec);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(10 * kUsec);
+  b.Record(20 * kUsec);
+  b.Record(30 * kUsec);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 10 * kUsec);
+  EXPECT_DOUBLE_EQ(a.max(), 30 * kUsec);
+  EXPECT_DOUBLE_EQ(a.mean(), 20 * kUsec);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.Record(5 * kUsec);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 5 * kUsec);
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(kMsec);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, NonPositiveClampedToFloor) {
+  LatencyHistogram h;
+  h.Record(0.0);
+  h.Record(-1.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.p50(), 0.0);
+}
+
+TEST(HistogramTest, WideDynamicRange) {
+  LatencyHistogram h;
+  h.Record(1e-9);   // 1 ns
+  h.Record(10.0);   // 10 s
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LT(h.Quantile(0.25), 1e-7);
+  EXPECT_GT(h.Quantile(0.99), 1.0);
+}
+
+class HistogramAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramAccuracyTest, RelativeErrorBounded) {
+  const double value = GetParam();
+  LatencyHistogram h;
+  h.Record(value);
+  // Log-bucketing with 32 sub-buckets: <= ~1/32 relative error plus
+  // midpoint rounding.
+  EXPECT_NEAR(h.p50(), value, value / 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HistogramAccuracyTest,
+                         ::testing::Values(2e-9, 1e-6, 12.5e-6, 83e-6,
+                                           1.7e-3, 0.42, 3.0));
+
+}  // namespace
+}  // namespace ros2

@@ -1,0 +1,167 @@
+#include "iouring/io_ring.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/units.h"
+
+namespace ros2::iouring {
+namespace {
+
+storage::NvmeDeviceConfig SmallDevice() {
+  storage::NvmeDeviceConfig config;
+  config.capacity_bytes = 64 * kMiB;
+  config.lba_size = 4096;
+  return config;
+}
+
+TEST(IoRingTest, WriteThenReadRoundTrip) {
+  storage::NvmeDevice dev(SmallDevice());
+  IoRing ring(&dev, 32);
+
+  Buffer data = MakePatternBuffer(8192, 7);
+  Sqe write;
+  write.op = RingOp::kWrite;
+  write.offset = 16384;
+  write.buf = data.data();
+  write.len = data.size();
+  write.user_data = 0xAA;
+  ASSERT_TRUE(ring.Prepare(write).ok());
+  auto cqes = ring.SubmitAndWait(1);
+  ASSERT_TRUE(cqes.ok());
+  ASSERT_EQ(cqes->size(), 1u);
+  EXPECT_EQ((*cqes)[0].user_data, 0xAAu);
+  EXPECT_EQ((*cqes)[0].res, 8192);
+
+  Buffer out(8192);
+  Sqe read = write;
+  read.op = RingOp::kRead;
+  read.buf = out.data();
+  read.user_data = 0xBB;
+  ASSERT_TRUE(ring.Prepare(read).ok());
+  cqes = ring.SubmitAndWait(1);
+  ASSERT_TRUE(cqes.ok());
+  EXPECT_EQ((*cqes)[0].user_data, 0xBBu);
+  EXPECT_EQ(out, data);
+}
+
+TEST(IoRingTest, BatchedSubmission) {
+  storage::NvmeDevice dev(SmallDevice());
+  IoRing ring(&dev, 32);
+  Buffer bufs[8];
+  for (int i = 0; i < 8; ++i) {
+    bufs[i] = MakePatternBuffer(4096, std::uint64_t(i));
+    Sqe sqe;
+    sqe.op = RingOp::kWrite;
+    sqe.offset = std::uint64_t(i) * 4096;
+    sqe.buf = bufs[i].data();
+    sqe.len = 4096;
+    sqe.user_data = std::uint64_t(i);
+    ASSERT_TRUE(ring.Prepare(sqe).ok());
+  }
+  auto submitted = ring.Submit();
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_EQ(*submitted, 8u);
+  auto cqes = ring.Reap();
+  EXPECT_EQ(cqes.size(), 8u);
+}
+
+TEST(IoRingTest, RingCapacityEnforced) {
+  storage::NvmeDevice dev(SmallDevice());
+  IoRing ring(&dev, 2);
+  Buffer buf(4096);
+  Sqe sqe;
+  sqe.op = RingOp::kWrite;
+  sqe.buf = buf.data();
+  sqe.len = 4096;
+  ASSERT_TRUE(ring.Prepare(sqe).ok());
+  ASSERT_TRUE(ring.Prepare(sqe).ok());
+  EXPECT_EQ(ring.Prepare(sqe).code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(ring.sq_space(), 0u);
+  ASSERT_TRUE(ring.Submit().ok());
+  EXPECT_EQ(ring.sq_space(), 2u);
+}
+
+TEST(IoRingTest, AlignmentEnforcedLikeODirect) {
+  storage::NvmeDevice dev(SmallDevice());
+  IoRing ring(&dev, 8);
+  Buffer buf(4096);
+  Sqe sqe;
+  sqe.op = RingOp::kRead;
+  sqe.buf = buf.data();
+  sqe.len = 4096;
+  sqe.offset = 100;  // unaligned
+  EXPECT_EQ(ring.Prepare(sqe).code(), ErrorCode::kInvalidArgument);
+  sqe.offset = 0;
+  sqe.len = 100;  // unaligned length
+  EXPECT_EQ(ring.Prepare(sqe).code(), ErrorCode::kInvalidArgument);
+  sqe.len = 0;
+  EXPECT_EQ(ring.Prepare(sqe).code(), ErrorCode::kInvalidArgument);
+  sqe.buf = nullptr;
+  sqe.len = 4096;
+  EXPECT_EQ(ring.Prepare(sqe).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(IoRingTest, FsyncNeedsNoBuffer) {
+  storage::NvmeDevice dev(SmallDevice());
+  IoRing ring(&dev, 8);
+  Sqe sqe;
+  sqe.op = RingOp::kFsync;
+  sqe.user_data = 42;
+  ASSERT_TRUE(ring.Prepare(sqe).ok());
+  auto cqes = ring.SubmitAndWait(1);
+  ASSERT_TRUE(cqes.ok());
+  EXPECT_TRUE((*cqes)[0].status.ok());
+  EXPECT_EQ((*cqes)[0].user_data, 42u);
+}
+
+TEST(IoRingTest, ErrorSurfacesInCqe) {
+  storage::NvmeDevice dev(SmallDevice());
+  IoRing ring(&dev, 8);
+  Buffer buf(4096);
+  Sqe sqe;
+  sqe.op = RingOp::kRead;
+  sqe.offset = dev.config().capacity_bytes;  // beyond the namespace
+  sqe.buf = buf.data();
+  sqe.len = 4096;
+  ASSERT_TRUE(ring.Prepare(sqe).ok());
+  auto cqes = ring.SubmitAndWait(1);
+  ASSERT_TRUE(cqes.ok());
+  EXPECT_EQ((*cqes)[0].status.code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ((*cqes)[0].res, -1);
+}
+
+TEST(IoRingTest, ReapMaxLimitsBatch) {
+  storage::NvmeDevice dev(SmallDevice());
+  IoRing ring(&dev, 8);
+  for (int i = 0; i < 4; ++i) {
+    Sqe sqe;
+    sqe.op = RingOp::kFsync;
+    ASSERT_TRUE(ring.Prepare(sqe).ok());
+  }
+  ASSERT_TRUE(ring.Submit().ok());
+  EXPECT_EQ(ring.Reap(2).size(), 2u);
+  EXPECT_EQ(ring.Reap().size(), 2u);
+}
+
+TEST(IoRingTest, CidWraparoundUnderChurn) {
+  storage::NvmeDevice dev(SmallDevice());
+  IoRing ring(&dev, 8);
+  Buffer buf = MakePatternBuffer(4096, 3);
+  // More ops than the device queue depth to exercise cid reuse.
+  for (int i = 0; i < 3000; ++i) {
+    Sqe sqe;
+    sqe.op = RingOp::kWrite;
+    sqe.offset = 4096 * std::uint64_t(i % 16);
+    sqe.buf = buf.data();
+    sqe.len = 4096;
+    sqe.user_data = std::uint64_t(i);
+    ASSERT_TRUE(ring.Prepare(sqe).ok());
+    auto cqes = ring.SubmitAndWait(1);
+    ASSERT_TRUE(cqes.ok());
+    ASSERT_EQ((*cqes)[0].user_data, std::uint64_t(i));
+  }
+}
+
+}  // namespace
+}  // namespace ros2::iouring

@@ -1,0 +1,130 @@
+#include "fio/jobfile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ros2::fio {
+namespace {
+
+TEST(JobFileTest, SingleJob) {
+  auto jobs = ParseJobFile(
+      "[dataloader]\n"
+      "rw=randread\n"
+      "bs=4k\n"
+      "numjobs=16\n"
+      "iodepth=32\n");
+  ASSERT_TRUE(jobs.ok()) << jobs.status().ToString();
+  ASSERT_EQ(jobs->size(), 1u);
+  const JobSpec& job = (*jobs)[0];
+  EXPECT_EQ(job.name, "dataloader");
+  EXPECT_EQ(job.rw, perf::OpKind::kRandRead);
+  EXPECT_EQ(job.block_size, 4 * kKiB);
+  EXPECT_EQ(job.numjobs, 16u);
+  EXPECT_EQ(job.iodepth, 32u);
+}
+
+TEST(JobFileTest, GlobalDefaultsInherited) {
+  auto jobs = ParseJobFile(
+      "[global]\n"
+      "bs=1m\n"
+      "iodepth=8\n"
+      "[a]\n"
+      "rw=write\n"
+      "[b]\n"
+      "bs=4k\n");
+  ASSERT_TRUE(jobs.ok());
+  ASSERT_EQ(jobs->size(), 2u);
+  EXPECT_EQ((*jobs)[0].block_size, kMiB);       // from global
+  EXPECT_EQ((*jobs)[0].rw, perf::OpKind::kWrite);
+  EXPECT_EQ((*jobs)[1].block_size, 4 * kKiB);   // override
+  EXPECT_EQ((*jobs)[1].iodepth, 8u);            // from global
+}
+
+TEST(JobFileTest, CommentsAndBlankLines) {
+  auto jobs = ParseJobFile(
+      "# a comment\n"
+      "; another style\n"
+      "\n"
+      "[job]\n"
+      "rw=read   \n"
+      "  bs = 64k\n");
+  ASSERT_TRUE(jobs.ok()) << jobs.status().ToString();
+  EXPECT_EQ((*jobs)[0].block_size, 64 * kKiB);
+}
+
+TEST(JobFileTest, AllRwModes) {
+  for (auto [text, kind] :
+       {std::pair{"read", perf::OpKind::kRead},
+        std::pair{"write", perf::OpKind::kWrite},
+        std::pair{"randread", perf::OpKind::kRandRead},
+        std::pair{"randwrite", perf::OpKind::kRandWrite}}) {
+    JobSpec spec;
+    ASSERT_TRUE(ApplyJobKey(&spec, "rw", text).ok());
+    EXPECT_EQ(spec.rw, kind);
+  }
+  JobSpec spec;
+  EXPECT_FALSE(ApplyJobKey(&spec, "rw", "trim").ok());
+}
+
+TEST(JobFileTest, SizeSuffixes) {
+  JobSpec spec;
+  ASSERT_TRUE(ApplyJobKey(&spec, "size", "2g").ok());
+  EXPECT_EQ(spec.file_size, 2 * kGiB);
+  ASSERT_TRUE(ApplyJobKey(&spec, "bs", "512").ok());
+  EXPECT_EQ(spec.block_size, 512u);
+}
+
+TEST(JobFileTest, OpsVerifySeed) {
+  JobSpec spec;
+  ASSERT_TRUE(ApplyJobKey(&spec, "ops", "12345").ok());
+  ASSERT_TRUE(ApplyJobKey(&spec, "verify", "99").ok());
+  ASSERT_TRUE(ApplyJobKey(&spec, "seed", "7").ok());
+  EXPECT_EQ(spec.total_ops, 12345u);
+  EXPECT_EQ(spec.verify_ops, 99u);
+  EXPECT_EQ(spec.seed, 7u);
+}
+
+TEST(JobFileTest, ErrorsCarryLineNumbers) {
+  auto bad_key = ParseJobFile("[j]\nbogus=1\n");
+  EXPECT_FALSE(bad_key.ok());
+  EXPECT_NE(bad_key.status().message().find("line 2"), std::string::npos);
+
+  auto bad_value = ParseJobFile("[j]\nrw=read\n\nnumjobs=zero\n");
+  EXPECT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(JobFileTest, StructuralErrors) {
+  EXPECT_FALSE(ParseJobFile("").ok());                 // no jobs
+  EXPECT_FALSE(ParseJobFile("[global]\nbs=4k\n").ok());  // only global
+  EXPECT_FALSE(ParseJobFile("bs=4k\n[j]\nrw=read\n").ok());  // preamble key
+  EXPECT_FALSE(ParseJobFile("[broken\nrw=read\n").ok());
+  EXPECT_FALSE(ParseJobFile("[j]\njust-a-line\n").ok());
+}
+
+TEST(JobFileTest, RangeValidation) {
+  JobSpec spec;
+  EXPECT_FALSE(ApplyJobKey(&spec, "numjobs", "0").ok());
+  EXPECT_FALSE(ApplyJobKey(&spec, "numjobs", "100000").ok());
+  EXPECT_FALSE(ApplyJobKey(&spec, "iodepth", "0").ok());
+  EXPECT_FALSE(ApplyJobKey(&spec, "ops", "0").ok());
+  EXPECT_FALSE(ApplyJobKey(&spec, "bs", "0").ok());
+}
+
+TEST(JobFileTest, PaperSweepAsJobFile) {
+  // The Fig. 3 grid expressed as a job file round-trips into runnable specs.
+  std::string text = "[global]\nbs=4k\niodepth=16\nrw=randread\n";
+  for (int jobs : {1, 2, 4, 8, 16}) {
+    text += "[jobs" + std::to_string(jobs) + "]\nnumjobs=" +
+            std::to_string(jobs) + "\n";
+  }
+  auto parsed = ParseJobFile(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 5u);
+  EXPECT_EQ((*parsed)[4].numjobs, 16u);
+  EXPECT_EQ((*parsed)[0].block_size, 4 * kKiB);
+}
+
+}  // namespace
+}  // namespace ros2::fio

@@ -1,0 +1,54 @@
+#include "fio/llm_workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ros2::fio {
+namespace {
+
+TEST(LlmWorkloadsTest, FourStagesInPipelineOrder) {
+  const auto stages = AllLlmStages();
+  ASSERT_EQ(stages.size(), 4u);
+  EXPECT_EQ(stages[0].name, "data-preparation");
+  EXPECT_EQ(stages[1].name, "model-development");
+  EXPECT_EQ(stages[2].name, "model-training");
+  EXPECT_EQ(stages[3].name, "model-inference");
+}
+
+TEST(LlmWorkloadsTest, IngestIsLargeBlockWrite) {
+  const auto stage = DataPreparationStage();
+  EXPECT_EQ(stage.job.rw, perf::OpKind::kWrite);
+  EXPECT_GE(stage.job.block_size, kMiB);
+}
+
+TEST(LlmWorkloadsTest, DataloaderIsHighConcurrencySmallRandomRead) {
+  const auto stage = ModelTrainingStage();
+  EXPECT_EQ(stage.job.rw, perf::OpKind::kRandRead);
+  EXPECT_LE(stage.job.block_size, 4096u);
+  EXPECT_GE(stage.job.numjobs * stage.job.iodepth, 128u);
+}
+
+TEST(LlmWorkloadsTest, InferenceIsSequentialParameterLoad) {
+  const auto stage = ModelInferenceStage();
+  EXPECT_EQ(stage.job.rw, perf::OpKind::kRead);
+  EXPECT_GE(stage.job.block_size, kMiB);
+}
+
+TEST(LlmWorkloadsTest, EveryStageCarriesRequirementText) {
+  for (const auto& stage : AllLlmStages()) {
+    EXPECT_FALSE(stage.requirement.empty()) << stage.name;
+    EXPECT_FALSE(stage.job.name.empty()) << stage.name;
+  }
+}
+
+TEST(LlmWorkloadsTest, StageJobsAreValidSpecs) {
+  for (const auto& stage : AllLlmStages()) {
+    EXPECT_GT(stage.job.block_size, 0u) << stage.name;
+    EXPECT_GT(stage.job.numjobs, 0u) << stage.name;
+    EXPECT_GT(stage.job.iodepth, 0u) << stage.name;
+  }
+}
+
+}  // namespace
+}  // namespace ros2::fio

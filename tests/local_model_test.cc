@@ -1,0 +1,133 @@
+// Shape tests for the Fig. 3 (local FIO/io_uring) model. Bands come from
+// the paper's §4.2 "Results" paragraph.
+#include "perf/local_fio_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ros2::perf {
+namespace {
+
+double GiBps(const sim::ClosedLoopResult& r) {
+  return r.bytes_per_sec / double(kGiB);
+}
+
+sim::ClosedLoopResult RunModel(std::uint32_t ssds, std::uint32_t jobs, OpKind op,
+                          std::uint64_t bs, std::uint64_t ops = 20000) {
+  LocalFioModel::Config config;
+  config.num_ssds = ssds;
+  config.num_jobs = jobs;
+  config.op = op;
+  config.block_size = bs;
+  LocalFioModel model(config);
+  return model.Run(ops);
+}
+
+TEST(LocalModelTest, OneSsdLargeReadSaturatesNearDeviceCeiling) {
+  // Fig. 3a: sequential reads plateau ~5-5.6 GiB/s with one job.
+  const auto r = RunModel(1, 1, OpKind::kRead, kMiB);
+  EXPECT_GE(GiBps(r), 5.0);
+  EXPECT_LE(GiBps(r), 5.7);
+}
+
+TEST(LocalModelTest, OneSsdLargeWritePlateau) {
+  // Fig. 3a: writes plateau ~2.7 GiB/s.
+  const auto r = RunModel(1, 1, OpKind::kWrite, kMiB);
+  EXPECT_NEAR(GiBps(r), 2.7, 0.2);
+}
+
+TEST(LocalModelTest, MoreJobsDoNotHelpLargeBlocks) {
+  // Fig. 3a: "additional jobs provide no gain" at 1 MiB.
+  const double one = GiBps(RunModel(1, 1, OpKind::kRead, kMiB));
+  const double sixteen = GiBps(RunModel(1, 16, OpKind::kRead, kMiB));
+  EXPECT_NEAR(one, sixteen, one * 0.05);
+}
+
+TEST(LocalModelTest, FourSsdsScaleNearLinearlyAtLargeBlocks) {
+  // Fig. 3c: reads ~20-22 GiB/s, writes ~10.6-10.7 GiB/s with 4 SSDs.
+  const auto reads = RunModel(4, 4, OpKind::kRead, kMiB);
+  EXPECT_GE(GiBps(reads), 20.0);
+  EXPECT_LE(GiBps(reads), 22.5);
+  const auto writes = RunModel(4, 4, OpKind::kWrite, kMiB);
+  EXPECT_NEAR(GiBps(writes), 10.7, 0.5);
+}
+
+TEST(LocalModelTest, RandomTracksSequentialAtLargeBlocks) {
+  // §4.2 (iii): at 1 MiB, random ~= sequential (transfer size dominates).
+  const double seq = GiBps(RunModel(1, 4, OpKind::kRead, kMiB));
+  const double rand = GiBps(RunModel(1, 4, OpKind::kRandRead, kMiB));
+  EXPECT_NEAR(seq, rand, seq * 0.05);
+}
+
+TEST(LocalModelTest, SmallBlockIopsStartNear80K) {
+  // Fig. 3b: ~80 K IOPS with one job.
+  const auto r = RunModel(1, 1, OpKind::kRandRead, 4096);
+  EXPECT_NEAR(r.ops_per_sec, 80'000, 8'000);
+}
+
+TEST(LocalModelTest, SmallBlockIopsScaleWithJobsToHostPathCap) {
+  // Fig. 3b: grows to ~600 K at 16 jobs.
+  const auto r16 = RunModel(1, 16, OpKind::kRandRead, 4096, 60000);
+  EXPECT_GE(r16.ops_per_sec, 520'000);
+  EXPECT_LE(r16.ops_per_sec, 680'000);
+}
+
+TEST(LocalModelTest, SmallBlockIopsMonotonicInJobs) {
+  double prev = 0.0;
+  for (std::uint32_t jobs : {1u, 2u, 4u, 8u, 16u}) {
+    const auto r = RunModel(1, jobs, OpKind::kRandRead, 4096, 40000);
+    EXPECT_GT(r.ops_per_sec, prev * 0.99);
+    prev = r.ops_per_sec;
+  }
+}
+
+TEST(LocalModelTest, DriveCountDoesNotLiftSmallBlockIops) {
+  // Fig. 3b vs 3d: same IOPS curve for 1 and 4 SSDs (host-path limit).
+  const auto one = RunModel(1, 16, OpKind::kRandRead, 4096, 60000);
+  const auto four = RunModel(4, 16, OpKind::kRandRead, 4096, 60000);
+  EXPECT_NEAR(one.ops_per_sec, four.ops_per_sec, one.ops_per_sec * 0.1);
+}
+
+TEST(LocalModelTest, ReadLatencyAboveMediaFloor) {
+  const auto r = RunModel(1, 1, OpKind::kRandRead, 4096);
+  EXPECT_GE(r.latency.mean(), 80e-6);
+  EXPECT_LE(r.latency.mean(), 400e-6);
+}
+
+struct GridCase {
+  OpKind op;
+  std::uint32_t ssds;
+};
+
+class LocalGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(LocalGridTest, ThroughputMonotonicInJobsFor4K) {
+  // Property over the paper's whole Fig. 3 grid: adding jobs never hurts
+  // 4 KiB IOPS (they saturate, not degrade).
+  const auto [op, ssds] = GetParam();
+  double prev = 0.0;
+  for (std::uint32_t jobs : {1u, 2u, 4u, 8u, 16u}) {
+    LocalFioModel::Config config;
+    config.num_ssds = ssds;
+    config.num_jobs = jobs;
+    config.op = op;
+    config.block_size = 4096;
+    LocalFioModel model(config);
+    const auto r = model.Run(30000);
+    EXPECT_GE(r.ops_per_sec, prev * 0.98)
+        << OpKindName(op) << " ssds=" << ssds << " jobs=" << jobs;
+    prev = r.ops_per_sec;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LocalGridTest,
+    ::testing::Values(GridCase{OpKind::kRead, 1}, GridCase{OpKind::kWrite, 1},
+                      GridCase{OpKind::kRandRead, 1},
+                      GridCase{OpKind::kRandWrite, 1},
+                      GridCase{OpKind::kRead, 4},
+                      GridCase{OpKind::kRandWrite, 4}));
+
+}  // namespace
+}  // namespace ros2::perf

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ros2 {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsWarn) {
+  // Tests and benches must be quiet by default.
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kWarn));
+}
+
+TEST(LoggingTest, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kDebug));
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kError));
+}
+
+TEST(LoggingTest, BelowThresholdDoesNotEvaluateStream) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  ROS2_DEBUG << expensive();
+  ROS2_INFO << expensive();
+  ROS2_WARN << expensive();
+  EXPECT_EQ(evaluations, 0) << "suppressed logs must not evaluate operands";
+  ROS2_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace ros2

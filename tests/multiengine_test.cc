@@ -1,0 +1,209 @@
+// Scale-out pool tests: one DAOS client spanning several engines, with
+// replication and failure injection (the paper's §5 "broaden device
+// counts" follow-up, plus DAOS-style redundancy semantics).
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "daos/client.h"
+#include "dfs/dfs.h"
+
+namespace ros2::daos {
+namespace {
+
+class MultiEngineTest : public ::testing::TestWithParam<net::Transport> {
+ protected:
+  static constexpr int kEngines = 3;
+
+  void SetUp() override {
+    for (int e = 0; e < kEngines; ++e) {
+      storage::NvmeDeviceConfig dev;
+      dev.capacity_bytes = 256 * kMiB;
+      devices_.push_back(std::make_unique<storage::NvmeDevice>(dev));
+      storage::NvmeDevice* raw[] = {devices_.back().get()};
+      EngineConfig config;
+      config.address = "fabric://engine-" + std::to_string(e);
+      config.targets = 4;
+      config.scm_per_target = 16 * kMiB;
+      engines_.push_back(
+          std::make_unique<DaosEngine>(&fabric_, config, raw));
+    }
+    for (auto& engine : engines_) raw_engines_.push_back(engine.get());
+  }
+
+  Result<std::unique_ptr<DaosClient>> Connect(std::uint32_t replicas,
+                                              const std::string& address) {
+    DaosClient::ConnectOptions options;
+    options.transport = GetParam();
+    options.client_address = address;
+    options.replicas = replicas;
+    return DaosClient::Connect(&fabric_, raw_engines_, options);
+  }
+
+  net::Fabric fabric_;
+  std::vector<std::unique_ptr<storage::NvmeDevice>> devices_;
+  std::vector<std::unique_ptr<DaosEngine>> engines_;
+  std::vector<DaosEngine*> raw_engines_;
+};
+
+TEST_P(MultiEngineTest, RoundTripAcrossEngines) {
+  auto client = Connect(1, "fabric://c1");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_EQ((*client)->engine_count(), 3u);
+  auto cont = (*client)->ContainerCreate("c");
+  ASSERT_TRUE(cont.ok());
+  auto oid = (*client)->AllocOid(*cont);
+  ASSERT_TRUE(oid.ok());
+  // Many dkeys: every engine should end up holding some.
+  for (int i = 0; i < 48; ++i) {
+    Buffer data = MakePatternBuffer(1024, std::uint64_t(i));
+    ASSERT_TRUE((*client)
+                    ->Update(*cont, *oid, "k" + std::to_string(i), "a", 0,
+                             data)
+                    .ok());
+  }
+  for (int i = 0; i < 48; ++i) {
+    Buffer out(1024);
+    ASSERT_TRUE(
+        (*client)->Fetch(*cont, *oid, "k" + std::to_string(i), "a", 0, out)
+            .ok());
+    EXPECT_EQ(VerifyPattern(out, std::uint64_t(i), 0), -1) << i;
+  }
+  int populated = 0;
+  for (auto& engine : engines_) {
+    std::uint64_t updates = engine->stats().updates;
+    if (updates > 0) ++populated;
+  }
+  EXPECT_EQ(populated, kEngines) << "placement failed to spread dkeys";
+
+  auto dkeys = (*client)->ListDkeys(*cont, *oid);
+  ASSERT_TRUE(dkeys.ok());
+  EXPECT_EQ(dkeys->size(), 48u);
+}
+
+TEST_P(MultiEngineTest, ReplicationSurvivesEngineFailure) {
+  auto client = Connect(/*replicas=*/2, "fabric://c2");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto cont = (*client)->ContainerCreate("c");
+  ASSERT_TRUE(cont.ok());
+  auto oid = (*client)->AllocOid(*cont);
+  ASSERT_TRUE(oid.ok());
+  Buffer data = MakePatternBuffer(64 * 1024, 7);
+  ASSERT_TRUE((*client)->Update(*cont, *oid, "dk", "a", 0, data).ok());
+
+  // Take each engine down in turn; the read must survive every single
+  // failure (2 replicas tolerate 1 fault).
+  for (std::uint32_t down = 0; down < kEngines; ++down) {
+    ASSERT_TRUE((*client)->SetEngineDown(down, true).ok());
+    Buffer out(data.size());
+    ASSERT_TRUE((*client)->Fetch(*cont, *oid, "dk", "a", 0, out).ok())
+        << "engine " << down << " down";
+    EXPECT_EQ(out, data);
+    ASSERT_TRUE((*client)->SetEngineDown(down, false).ok());
+  }
+}
+
+TEST_P(MultiEngineTest, UnreplicatedDataUnavailableWhenEngineDown) {
+  auto client = Connect(/*replicas=*/1, "fabric://c3");
+  ASSERT_TRUE(client.ok());
+  auto cont = (*client)->ContainerCreate("c");
+  ASSERT_TRUE(cont.ok());
+  auto oid = (*client)->AllocOid(*cont);
+  ASSERT_TRUE(oid.ok());
+  Buffer data = MakePatternBuffer(4096, 3);
+  ASSERT_TRUE((*client)->Update(*cont, *oid, "dk", "a", 0, data).ok());
+
+  // Find the engine holding "dk" by knocking them out one at a time.
+  int owner = -1;
+  for (std::uint32_t down = 0; down < kEngines; ++down) {
+    ASSERT_TRUE((*client)->SetEngineDown(down, true).ok());
+    Buffer out(data.size());
+    const Status status =
+        (*client)->Fetch(*cont, *oid, "dk", "a", 0, out);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+      owner = int(down);
+    }
+    ASSERT_TRUE((*client)->SetEngineDown(down, false).ok());
+  }
+  EXPECT_NE(owner, -1) << "some engine must own the only copy";
+}
+
+TEST_P(MultiEngineTest, WritesRequireAllReplicasUp) {
+  auto client = Connect(/*replicas=*/3, "fabric://c4");
+  ASSERT_TRUE(client.ok());
+  auto cont = (*client)->ContainerCreate("c");
+  ASSERT_TRUE(cont.ok());
+  auto oid = (*client)->AllocOid(*cont);
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE((*client)->SetEngineDown(1, true).ok());
+  Buffer data(128);
+  // With 3-way replication every engine is a replica; any down engine
+  // fails the write (write-all, no silent divergence).
+  EXPECT_EQ(
+      (*client)->Update(*cont, *oid, "dk", "a", 0, data).status().code(),
+      ErrorCode::kUnavailable);
+}
+
+TEST_P(MultiEngineTest, SnapshotReadsPinToPrimary) {
+  auto client = Connect(/*replicas=*/2, "fabric://c5");
+  ASSERT_TRUE(client.ok());
+  auto cont = (*client)->ContainerCreate("c");
+  ASSERT_TRUE(cont.ok());
+  auto oid = (*client)->AllocOid(*cont);
+  ASSERT_TRUE(oid.ok());
+  Buffer v1 = MakePatternBuffer(256, 1);
+  Buffer v2 = MakePatternBuffer(256, 2);
+  auto e1 = (*client)->Update(*cont, *oid, "dk", "a", 0, v1);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE((*client)->Update(*cont, *oid, "dk", "a", 0, v2).ok());
+  Buffer out(256);
+  ASSERT_TRUE((*client)->Fetch(*cont, *oid, "dk", "a", 0, out, *e1).ok());
+  EXPECT_EQ(out, v1);
+  ASSERT_TRUE((*client)->Fetch(*cont, *oid, "dk", "a", 0, out).ok());
+  EXPECT_EQ(out, v2);
+}
+
+TEST_P(MultiEngineTest, DfsRunsUnchangedOnScaleOutPool) {
+  // The POSIX layer is oblivious to pool topology: mount DFS over a
+  // replicated 3-engine pool, lose an engine, keep reading.
+  auto client = Connect(/*replicas=*/2, "fabric://c6");
+  ASSERT_TRUE(client.ok());
+  auto cont = (*client)->ContainerCreate("posix");
+  ASSERT_TRUE(cont.ok());
+  auto dfs = dfs::Dfs::Mount(client->get(), *cont, /*create=*/true);
+  ASSERT_TRUE(dfs.ok()) << dfs.status().ToString();
+  dfs::OpenFlags flags;
+  flags.create = true;
+  auto fd = (*dfs)->Open("/survivor.bin", flags);
+  ASSERT_TRUE(fd.ok());
+  Buffer data = MakePatternBuffer(3 * kMiB, 9);  // spans several chunks
+  ASSERT_TRUE((*dfs)->Write(*fd, 0, data).ok());
+
+  ASSERT_TRUE((*client)->SetEngineDown(2, true).ok());
+  Buffer out(data.size());
+  auto n = (*dfs)->Read(*fd, 0, out);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(out, data);
+  auto entries = (*dfs)->Readdir("/");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "survivor.bin");
+}
+
+TEST_P(MultiEngineTest, ReplicaCountValidated) {
+  EXPECT_FALSE(Connect(0, "fabric://c7a").ok());
+  EXPECT_FALSE(Connect(4, "fabric://c7b").ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, MultiEngineTest,
+                         ::testing::Values(net::Transport::kTcp,
+                                           net::Transport::kRdma),
+                         [](const auto& info) {
+                           return std::string(
+                               perf::TransportName(info.param));
+                         });
+
+}  // namespace
+}  // namespace ros2::daos

@@ -1,0 +1,71 @@
+#include "daos/nvme_alloc.h"
+
+#include <gtest/gtest.h>
+
+namespace ros2::daos {
+namespace {
+
+TEST(NvmeAllocTest, RoundsUpToBlocks) {
+  NvmeAllocator alloc(0, 1 << 20, 4096);
+  auto a = alloc.Alloc(100);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(alloc.used_bytes(), 4096u);
+  auto b = alloc.Alloc(4097);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(alloc.used_bytes(), 4096u + 8192u);
+}
+
+TEST(NvmeAllocTest, OffsetsAreBlockAligned) {
+  NvmeAllocator alloc(0, 1 << 20, 4096);
+  for (int i = 0; i < 10; ++i) {
+    auto offset = alloc.Alloc(1000);
+    ASSERT_TRUE(offset.ok());
+    EXPECT_EQ(*offset % 4096, 0u);
+  }
+}
+
+TEST(NvmeAllocTest, BaseOffsetPartitioning) {
+  NvmeAllocator alloc(1 << 20, 1 << 20, 4096);
+  auto offset = alloc.Alloc(4096);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_GE(*offset, std::uint64_t(1) << 20);
+  EXPECT_LT(*offset, std::uint64_t(2) << 20);
+}
+
+TEST(NvmeAllocTest, ExhaustionAndReuse) {
+  NvmeAllocator alloc(0, 8192, 4096);
+  auto a = alloc.Alloc(4096);
+  auto b = alloc.Alloc(4096);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(alloc.Alloc(1).status().code(), ErrorCode::kResourceExhausted);
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  auto c = alloc.Alloc(4096);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);
+}
+
+TEST(NvmeAllocTest, FreeUnknownRejected) {
+  NvmeAllocator alloc(0, 8192, 4096);
+  EXPECT_EQ(alloc.Free(4096).code(), ErrorCode::kNotFound);
+}
+
+TEST(NvmeAllocTest, CoalescingAllowsLargeRealloc) {
+  NvmeAllocator alloc(0, 16384, 4096);
+  auto a = alloc.Alloc(4096);
+  auto b = alloc.Alloc(4096);
+  auto c = alloc.Alloc(4096);
+  auto d = alloc.Alloc(4096);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  ASSERT_TRUE(alloc.Free(*b).ok());
+  ASSERT_TRUE(alloc.Free(*d).ok());
+  ASSERT_TRUE(alloc.Free(*c).ok());  // coalesce b..d
+  EXPECT_TRUE(alloc.Alloc(12288).ok());
+}
+
+TEST(NvmeAllocTest, ZeroSizeRejected) {
+  NvmeAllocator alloc(0, 8192, 4096);
+  EXPECT_EQ(alloc.Alloc(0).status().code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ros2::daos

@@ -1,0 +1,196 @@
+#include "storage/nvme_device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/units.h"
+
+namespace ros2::storage {
+namespace {
+
+NvmeDeviceConfig SmallDevice() {
+  NvmeDeviceConfig config;
+  config.capacity_bytes = 16 * kMiB;
+  config.lba_size = 4096;
+  config.max_queue_pairs = 4;
+  config.queue_depth = 8;
+  return config;
+}
+
+TEST(NvmeDeviceTest, WriteReadRoundTrip) {
+  NvmeDevice dev(SmallDevice());
+  auto qp = dev.CreateQueuePair();
+  ASSERT_TRUE(qp.ok());
+
+  Buffer data = MakePatternBuffer(8192, 1);
+  NvmeCommand write;
+  write.opcode = NvmeOpcode::kWrite;
+  write.cid = 1;
+  write.slba = 4;
+  write.nlb = 2;
+  write.data = data.data();
+  write.data_len = data.size();
+  ASSERT_TRUE((*qp)->Submit(write).ok());
+
+  Buffer out(8192);
+  NvmeCommand read = write;
+  read.opcode = NvmeOpcode::kRead;
+  read.cid = 2;
+  read.data = out.data();
+  ASSERT_TRUE((*qp)->Submit(read).ok());
+
+  auto completions = (*qp)->Poll();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0].cid, 1);
+  EXPECT_TRUE(completions[0].status.ok());
+  EXPECT_TRUE(completions[1].status.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(NvmeDeviceTest, QueueDepthEnforced) {
+  NvmeDevice dev(SmallDevice());
+  auto qp = dev.CreateQueuePair();
+  ASSERT_TRUE(qp.ok());
+  Buffer data(4096);
+  for (int i = 0; i < 8; ++i) {
+    NvmeCommand cmd;
+    cmd.opcode = NvmeOpcode::kWrite;
+    cmd.cid = std::uint16_t(i);
+    cmd.slba = std::uint64_t(i);
+    cmd.nlb = 1;
+    cmd.data = data.data();
+    cmd.data_len = data.size();
+    ASSERT_TRUE((*qp)->Submit(cmd).ok()) << i;
+  }
+  NvmeCommand extra;
+  extra.opcode = NvmeOpcode::kFlush;
+  EXPECT_EQ((*qp)->Submit(extra).code(), ErrorCode::kResourceExhausted);
+  (*qp)->Poll();
+  EXPECT_TRUE((*qp)->Submit(extra).ok());
+}
+
+TEST(NvmeDeviceTest, MaxQueuePairsEnforced) {
+  NvmeDevice dev(SmallDevice());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(dev.CreateQueuePair().ok()) << i;
+  }
+  EXPECT_EQ(dev.CreateQueuePair().status().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(NvmeDeviceTest, DestroyQueuePairFreesSlot) {
+  NvmeDevice dev(SmallDevice());
+  auto qp = dev.CreateQueuePair();
+  ASSERT_TRUE(qp.ok());
+  const std::uint16_t id = (*qp)->id();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(dev.CreateQueuePair().ok());
+  ASSERT_TRUE(dev.DestroyQueuePair(id).ok());
+  EXPECT_TRUE(dev.CreateQueuePair().ok());
+  EXPECT_EQ(dev.DestroyQueuePair(99).code(), ErrorCode::kNotFound);
+}
+
+TEST(NvmeDeviceTest, LbaRangeValidation) {
+  NvmeDevice dev(SmallDevice());  // 4096 blocks
+  auto qp = dev.CreateQueuePair();
+  ASSERT_TRUE(qp.ok());
+  Buffer data(4096);
+  NvmeCommand cmd;
+  cmd.opcode = NvmeOpcode::kRead;
+  cmd.slba = dev.capacity_blocks();  // one past the end
+  cmd.nlb = 1;
+  cmd.data = data.data();
+  cmd.data_len = data.size();
+  ASSERT_TRUE((*qp)->Submit(cmd).ok());
+  auto completions = (*qp)->Poll();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status.code(), ErrorCode::kOutOfRange);
+}
+
+TEST(NvmeDeviceTest, PayloadSizeValidation) {
+  NvmeDevice dev(SmallDevice());
+  auto qp = dev.CreateQueuePair();
+  ASSERT_TRUE(qp.ok());
+  Buffer data(4096);
+  NvmeCommand cmd;
+  cmd.opcode = NvmeOpcode::kWrite;
+  cmd.nlb = 2;  // needs 8192 bytes
+  cmd.data = data.data();
+  cmd.data_len = data.size();
+  EXPECT_EQ((*qp)->Submit(cmd).code(), ErrorCode::kInvalidArgument);
+  cmd.nlb = 0;
+  EXPECT_EQ((*qp)->Submit(cmd).code(), ErrorCode::kInvalidArgument);
+  cmd.nlb = 1;
+  cmd.data = nullptr;
+  EXPECT_EQ((*qp)->Submit(cmd).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(NvmeDeviceTest, FlushAndDeallocate) {
+  NvmeDevice dev(SmallDevice());
+  auto qp = dev.CreateQueuePair();
+  ASSERT_TRUE(qp.ok());
+  Buffer data = MakePatternBuffer(4096, 5);
+  NvmeCommand write;
+  write.opcode = NvmeOpcode::kWrite;
+  write.slba = 0;
+  write.nlb = 1;
+  write.data = data.data();
+  write.data_len = data.size();
+  ASSERT_TRUE((*qp)->Submit(write).ok());
+  NvmeCommand flush;
+  flush.opcode = NvmeOpcode::kFlush;
+  ASSERT_TRUE((*qp)->Submit(flush).ok());
+  NvmeCommand trim;
+  trim.opcode = NvmeOpcode::kDeallocate;
+  trim.slba = 0;
+  trim.nlb = 1;
+  ASSERT_TRUE((*qp)->Submit(trim).ok());
+  for (const auto& c : (*qp)->Poll()) {
+    EXPECT_TRUE(c.status.ok());
+  }
+  Buffer out(4096);
+  NvmeCommand read;
+  read.opcode = NvmeOpcode::kRead;
+  read.slba = 0;
+  read.nlb = 1;
+  read.data = out.data();
+  read.data_len = out.size();
+  ASSERT_TRUE((*qp)->Submit(read).ok());
+  (*qp)->Poll();
+  for (std::byte b : out) EXPECT_EQ(b, std::byte(0));
+}
+
+TEST(NvmeDeviceTest, SmartCountersAccumulate) {
+  NvmeDevice dev(SmallDevice());
+  auto qp = dev.CreateQueuePair();
+  ASSERT_TRUE(qp.ok());
+  Buffer data(8192);
+  NvmeCommand write;
+  write.opcode = NvmeOpcode::kWrite;
+  write.slba = 0;
+  write.nlb = 2;
+  write.data = data.data();
+  write.data_len = data.size();
+  ASSERT_TRUE((*qp)->Submit(write).ok());
+  (*qp)->Poll();
+  EXPECT_EQ(dev.writes_completed(), 1u);
+  EXPECT_EQ(dev.bytes_written(), 8192u);
+  EXPECT_EQ(dev.reads_completed(), 0u);
+}
+
+TEST(NvmeDeviceTest, PollMaxLimitsDrain) {
+  NvmeDevice dev(SmallDevice());
+  auto qp = dev.CreateQueuePair();
+  ASSERT_TRUE(qp.ok());
+  for (int i = 0; i < 4; ++i) {
+    NvmeCommand flush;
+    flush.opcode = NvmeOpcode::kFlush;
+    flush.cid = std::uint16_t(i);
+    ASSERT_TRUE((*qp)->Submit(flush).ok());
+  }
+  EXPECT_EQ((*qp)->Poll(3).size(), 3u);
+  EXPECT_EQ((*qp)->outstanding(), 1u);
+  EXPECT_EQ((*qp)->Poll().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ros2::storage

@@ -1,0 +1,119 @@
+// NVMe-oF target/initiator tests over both transports (§4.3 substrate).
+#include "spdk/nvmf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/units.h"
+
+namespace ros2::spdk {
+namespace {
+
+class NvmfTest : public ::testing::TestWithParam<net::Transport> {
+ protected:
+  void SetUp() override {
+    storage::NvmeDeviceConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    device_ = std::make_unique<storage::NvmeDevice>(config);
+    bdev_ = std::make_unique<Bdev>(device_.get());
+    target_ = std::make_unique<NvmfTarget>(&fabric_, "fabric://nvmf");
+    ASSERT_TRUE(target_->AddNamespace(1, bdev_.get()).ok());
+    auto initiator =
+        NvmfConnect(&fabric_, target_.get(), GetParam(), "fabric://init");
+    ASSERT_TRUE(initiator.ok());
+    initiator_ = std::move(*initiator);
+  }
+
+  net::Fabric fabric_;
+  std::unique_ptr<storage::NvmeDevice> device_;
+  std::unique_ptr<Bdev> bdev_;
+  std::unique_ptr<NvmfTarget> target_;
+  std::unique_ptr<NvmfInitiator> initiator_;
+};
+
+TEST_P(NvmfTest, IdentifyReportsGeometry) {
+  auto info = initiator_->Identify(1);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size_bytes, 64 * kMiB);
+  EXPECT_EQ(info->block_size, 4096u);
+}
+
+TEST_P(NvmfTest, IdentifyUnknownNamespace) {
+  EXPECT_EQ(initiator_->Identify(9).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_P(NvmfTest, RemoteWriteThenReadRoundTrip) {
+  Buffer data = MakePatternBuffer(64 * 1024, 21);
+  ASSERT_TRUE(initiator_->Write(1, 8192, data).ok());
+  Buffer out(64 * 1024);
+  ASSERT_TRUE(initiator_->Read(1, 8192, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(NvmfTest, DataLandsOnTheActualDevice) {
+  Buffer data = MakePatternBuffer(4096, 13);
+  ASSERT_TRUE(initiator_->Write(1, 0, data).ok());
+  // Verify through a separate local bdev, bypassing the network.
+  Bdev local(device_.get());
+  Buffer out(4096);
+  ASSERT_TRUE(local.Read(0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(NvmfTest, LargeTransfer) {
+  Buffer data = MakePatternBuffer(4 * kMiB, 17);
+  ASSERT_TRUE(initiator_->Write(1, 0, data).ok());
+  Buffer out(4 * kMiB);
+  ASSERT_TRUE(initiator_->Read(1, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(NvmfTest, MisalignedIoRejectedByBdev) {
+  Buffer buf(1000);
+  EXPECT_FALSE(initiator_->Write(1, 0, buf).ok());
+}
+
+TEST_P(NvmfTest, FlushSucceeds) {
+  EXPECT_TRUE(initiator_->Flush(1).ok());
+}
+
+TEST_P(NvmfTest, UnknownNamespaceIo) {
+  Buffer buf(4096);
+  EXPECT_EQ(initiator_->Read(7, 0, buf).code(), ErrorCode::kNotFound);
+}
+
+TEST_P(NvmfTest, CommandsServedCounter) {
+  Buffer buf(4096);
+  ASSERT_TRUE(initiator_->Write(1, 0, buf).ok());
+  ASSERT_TRUE(initiator_->Read(1, 0, buf).ok());
+  EXPECT_EQ(target_->commands_served(), 2u);
+}
+
+TEST_P(NvmfTest, MultipleInitiatorsShareTarget) {
+  auto second =
+      NvmfConnect(&fabric_, target_.get(), GetParam(), "fabric://init2");
+  ASSERT_TRUE(second.ok());
+  Buffer data = MakePatternBuffer(4096, 5);
+  ASSERT_TRUE(initiator_->Write(1, 0, data).ok());
+  Buffer out(4096);
+  ASSERT_TRUE((*second)->Read(1, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(NvmfTest, DuplicateNamespaceRejected) {
+  EXPECT_EQ(target_->AddNamespace(1, bdev_.get()).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(target_->AddNamespace(2, nullptr).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, NvmfTest,
+                         ::testing::Values(net::Transport::kTcp,
+                                           net::Transport::kRdma),
+                         [](const auto& info) {
+                           return std::string(
+                               perf::TransportName(info.param));
+                         });
+
+}  // namespace
+}  // namespace ros2::spdk

@@ -1,0 +1,58 @@
+#include "daos/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ros2::daos {
+namespace {
+
+TEST(PlacementTest, Deterministic) {
+  const ObjectId oid{1, 2};
+  EXPECT_EQ(PlaceDkey(oid, "chunk0", 16), PlaceDkey(oid, "chunk0", 16));
+}
+
+TEST(PlacementTest, InRange) {
+  const ObjectId oid{42, 7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(PlaceDkey(oid, "c" + std::to_string(i), 16), 16u);
+  }
+}
+
+TEST(PlacementTest, ZeroTargetsClampedToOne) {
+  EXPECT_EQ(PlaceDkey(ObjectId{1, 1}, "x", 0), 0u);
+}
+
+TEST(PlacementTest, DkeysSpreadAcrossTargets) {
+  // A file's chunks (dkeys c0..c255) must hit every target of a 16-target
+  // pool — that is what gives DFS its striping (§3.3).
+  const ObjectId oid{3, 9};
+  std::vector<int> hits(16, 0);
+  for (int i = 0; i < 256; ++i) {
+    hits[PlaceDkey(oid, "c" + std::to_string(i), 16)]++;
+  }
+  for (int t = 0; t < 16; ++t) {
+    EXPECT_GT(hits[t], 0) << "target " << t << " never used";
+    EXPECT_LT(hits[t], 64) << "target " << t << " is a hotspot";
+  }
+}
+
+TEST(PlacementTest, DifferentObjectsSpreadDifferently) {
+  // Identical dkeys of different objects should not all colocate.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    const ObjectId a{std::uint64_t(i), 1};
+    const ObjectId b{std::uint64_t(i), 2};
+    if (PlaceDkey(a, "c0", 16) == PlaceDkey(b, "c0", 16)) ++same;
+  }
+  EXPECT_LT(same, 16);
+}
+
+TEST(PlacementTest, HashKeyMatchesFnvProperties) {
+  EXPECT_NE(HashKey("a"), HashKey("b"));
+  EXPECT_NE(HashKey("ab"), HashKey("ba"));
+  EXPECT_EQ(HashKey(""), 0xcbf29ce484222325ull);
+}
+
+}  // namespace
+}  // namespace ros2::daos

@@ -1,0 +1,177 @@
+#include "scm/pmem_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace ros2::scm {
+namespace {
+
+TEST(PmemPoolTest, AllocDerefFree) {
+  PmemPool pool(4096);
+  auto h = pool.Alloc(100);
+  ASSERT_TRUE(h.ok());
+  auto span = pool.Deref(*h);
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ(span->size(), 100u);
+  EXPECT_EQ(pool.used_bytes(), 100u);
+  ASSERT_TRUE(pool.Free(*h).ok());
+  EXPECT_EQ(pool.used_bytes(), 0u);
+  EXPECT_EQ(pool.Deref(*h).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(PmemPoolTest, FreshAllocationIsZeroed) {
+  PmemPool pool(4096);
+  auto h1 = pool.Alloc(64);
+  ASSERT_TRUE(h1.ok());
+  auto s1 = pool.Deref(*h1);
+  std::memset(s1->data(), 0xAB, 64);
+  ASSERT_TRUE(pool.Free(*h1).ok());
+  auto h2 = pool.Alloc(64);
+  ASSERT_TRUE(h2.ok());
+  for (std::byte b : *pool.Deref(*h2)) {
+    EXPECT_EQ(b, std::byte(0));
+  }
+}
+
+TEST(PmemPoolTest, ExhaustionReported) {
+  PmemPool pool(256);
+  auto h = pool.Alloc(200);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(pool.Alloc(100).status().code(), ErrorCode::kResourceExhausted);
+  ASSERT_TRUE(pool.Free(*h).ok());
+  EXPECT_TRUE(pool.Alloc(100).ok());
+}
+
+TEST(PmemPoolTest, FreeListCoalesces) {
+  PmemPool pool(300);
+  auto a = pool.Alloc(100);
+  auto b = pool.Alloc(100);
+  auto c = pool.Alloc(100);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  // Free in an order that requires both-side coalescing.
+  ASSERT_TRUE(pool.Free(*a).ok());
+  ASSERT_TRUE(pool.Free(*c).ok());
+  ASSERT_TRUE(pool.Free(*b).ok());
+  // Whole pool must be one block again.
+  EXPECT_TRUE(pool.Alloc(300).ok());
+}
+
+TEST(PmemPoolTest, ZeroSizeAllocRejected) {
+  PmemPool pool(64);
+  EXPECT_EQ(pool.Alloc(0).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(PmemPoolTest, DoubleFreeRejected) {
+  PmemPool pool(64);
+  auto h = pool.Alloc(10);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(pool.Free(*h).ok());
+  EXPECT_EQ(pool.Free(*h).code(), ErrorCode::kNotFound);
+}
+
+TEST(PmemPoolTxTest, CommitKeepsChanges) {
+  PmemPool pool(4096);
+  auto h = pool.Alloc(16);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(pool.TxBegin().ok());
+  ASSERT_TRUE(pool.TxSnapshot(*h, 0, 16).ok());
+  std::memset(pool.Deref(*h)->data(), 0x42, 16);
+  ASSERT_TRUE(pool.TxCommit().ok());
+  for (std::byte b : *pool.Deref(*h)) {
+    EXPECT_EQ(b, std::byte(0x42));
+  }
+}
+
+TEST(PmemPoolTxTest, AbortRollsBackData) {
+  PmemPool pool(4096);
+  auto h = pool.Alloc(16);
+  ASSERT_TRUE(h.ok());
+  std::memset(pool.Deref(*h)->data(), 0x11, 16);
+  ASSERT_TRUE(pool.TxBegin().ok());
+  ASSERT_TRUE(pool.TxSnapshot(*h, 4, 8).ok());
+  std::memset(pool.Deref(*h)->data() + 4, 0x99, 8);
+  pool.TxAbort();
+  for (std::byte b : *pool.Deref(*h)) {
+    EXPECT_EQ(b, std::byte(0x11));
+  }
+}
+
+TEST(PmemPoolTxTest, CrashRollsBackAllocations) {
+  PmemPool pool(4096);
+  ASSERT_TRUE(pool.TxBegin().ok());
+  auto h = pool.TxAlloc(128);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(pool.used_bytes(), 128u);
+  pool.SimulateCrash();
+  EXPECT_EQ(pool.used_bytes(), 0u);
+  EXPECT_EQ(pool.Deref(*h).status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(pool.InTx());
+}
+
+TEST(PmemPoolTxTest, CrashPreservesDeferredFrees) {
+  PmemPool pool(4096);
+  auto h = pool.Alloc(64);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(pool.TxBegin().ok());
+  ASSERT_TRUE(pool.TxFree(*h).ok());
+  pool.SimulateCrash();
+  // The free never committed: the allocation must survive.
+  EXPECT_TRUE(pool.Deref(*h).ok());
+}
+
+TEST(PmemPoolTxTest, CommitAppliesDeferredFrees) {
+  PmemPool pool(4096);
+  auto h = pool.Alloc(64);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(pool.TxBegin().ok());
+  ASSERT_TRUE(pool.TxFree(*h).ok());
+  ASSERT_TRUE(pool.TxCommit().ok());
+  EXPECT_EQ(pool.Deref(*h).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(PmemPoolTxTest, NestedTxRejected) {
+  PmemPool pool(64);
+  ASSERT_TRUE(pool.TxBegin().ok());
+  EXPECT_EQ(pool.TxBegin().code(), ErrorCode::kFailedPrecondition);
+  pool.TxAbort();
+}
+
+TEST(PmemPoolTxTest, TxOpsOutsideTxRejected) {
+  PmemPool pool(64);
+  auto h = pool.Alloc(8);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(pool.TxSnapshot(*h, 0, 8).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(pool.TxAlloc(8).status().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(pool.TxCommit().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(PmemPoolTxTest, SnapshotRangeValidated) {
+  PmemPool pool(64);
+  auto h = pool.Alloc(8);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(pool.TxBegin().ok());
+  EXPECT_EQ(pool.TxSnapshot(*h, 4, 8).code(), ErrorCode::kOutOfRange);
+  pool.TxAbort();
+}
+
+TEST(PmemPoolTxTest, MultipleSnapshotsRollBackInReverseOrder) {
+  PmemPool pool(4096);
+  auto h = pool.Alloc(4);
+  ASSERT_TRUE(h.ok());
+  auto span = *pool.Deref(*h);
+  span[0] = std::byte(1);
+  ASSERT_TRUE(pool.TxBegin().ok());
+  ASSERT_TRUE(pool.TxSnapshot(*h, 0, 1).ok());
+  span[0] = std::byte(2);
+  ASSERT_TRUE(pool.TxSnapshot(*h, 0, 1).ok());
+  span[0] = std::byte(3);
+  pool.SimulateCrash();
+  EXPECT_EQ((*pool.Deref(*h))[0], std::byte(1));
+}
+
+}  // namespace
+}  // namespace ros2::scm

@@ -1,0 +1,71 @@
+#include "perf/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/calibration.h"
+
+namespace ros2::perf {
+namespace {
+
+TEST(ProfileTest, HostShape) {
+  const auto host = PlatformProfile::ServerHost();
+  EXPECT_EQ(host.platform, Platform::kServerHost);
+  EXPECT_EQ(host.cores, cal::kHostCores);
+  EXPECT_DOUBLE_EQ(host.core_speed, 1.0);
+  // No DPU-style RX bottleneck on the host.
+  EXPECT_DOUBLE_EQ(host.tcp_rx_bw, 0.0);
+  EXPECT_DOUBLE_EQ(host.TcpRxBwAt(16), 0.0);
+}
+
+TEST(ProfileTest, BlueField3Shape) {
+  const auto bf3 = PlatformProfile::BlueField3();
+  EXPECT_EQ(bf3.platform, Platform::kBlueField3);
+  EXPECT_EQ(bf3.cores, cal::kBf3Cores);
+  EXPECT_LT(bf3.core_speed, 1.0);
+  EXPECT_GT(bf3.tcp_rx_bw, 0.0);
+  EXPECT_GT(bf3.tcp_rx_per_io, 0.0);
+}
+
+TEST(ProfileTest, CostScalingInverseToSpeed) {
+  const auto bf3 = PlatformProfile::BlueField3();
+  EXPECT_DOUBLE_EQ(bf3.ScaleCost(6.0), 6.0 / cal::kBf3CoreSpeed);
+  const auto host = PlatformProfile::ServerHost();
+  EXPECT_DOUBLE_EQ(host.ScaleCost(6.0), 6.0);
+}
+
+TEST(ProfileTest, RxBandwidthDegradesWithConcurrency) {
+  const auto bf3 = PlatformProfile::BlueField3();
+  const double at1 = bf3.TcpRxBwAt(1);
+  const double at4 = bf3.TcpRxBwAt(4);
+  const double at16 = bf3.TcpRxBwAt(16);
+  EXPECT_DOUBLE_EQ(at1, cal::kBf3TcpRxBw);
+  EXPECT_GT(at1, at4);
+  EXPECT_GT(at4, at16);
+  // Paper band: ~3.1 GiB/s at low concurrency down to ~1.6 GiB/s at 16 jobs.
+  EXPECT_NEAR(at1 / double(kGiB), 3.2, 0.3);
+  EXPECT_NEAR(at16 / double(kGiB), 1.6, 0.25);
+}
+
+TEST(ProfileTest, ForSelectsProfile) {
+  EXPECT_EQ(PlatformProfile::For(Platform::kServerHost).platform,
+            Platform::kServerHost);
+  EXPECT_EQ(PlatformProfile::For(Platform::kBlueField3).platform,
+            Platform::kBlueField3);
+}
+
+TEST(TypesTest, OpKindPredicates) {
+  EXPECT_TRUE(IsRead(OpKind::kRead));
+  EXPECT_TRUE(IsRead(OpKind::kRandRead));
+  EXPECT_FALSE(IsRead(OpKind::kWrite));
+  EXPECT_TRUE(IsRandom(OpKind::kRandWrite));
+  EXPECT_FALSE(IsRandom(OpKind::kRead));
+}
+
+TEST(TypesTest, Names) {
+  EXPECT_EQ(OpKindName(OpKind::kRandRead), "randread");
+  EXPECT_EQ(TransportName(Transport::kRdma), "rdma");
+  EXPECT_EQ(PlatformName(Platform::kBlueField3), "bluefield3");
+}
+
+}  // namespace
+}  // namespace ros2::perf

@@ -1,0 +1,162 @@
+// Security-model tests for one-sided RDMA (§2.3): the capability risks the
+// paper catalogs (cross-tenant access, rkey leakage, weak isolation) and
+// the mitigations a DPU-resident client enables (per-tenant PDs, scoped
+// short-lived rkeys, strict registration bounds).
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "net/fabric.h"
+
+namespace ros2::net {
+namespace {
+
+class RdmaSecurityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto server = fabric_.CreateEndpoint("fabric://server");
+    auto tenant_a = fabric_.CreateEndpoint("fabric://tenant-a");
+    auto tenant_b = fabric_.CreateEndpoint("fabric://tenant-b");
+    ASSERT_TRUE(server.ok() && tenant_a.ok() && tenant_b.ok());
+    server_ = *server;
+    a_ = *tenant_a;
+    b_ = *tenant_b;
+
+    // The server scopes each tenant to its own protection domain.
+    pd_for_a_ = server_->AllocPd(/*tenant=*/1);
+    pd_for_b_ = server_->AllocPd(/*tenant=*/2);
+
+    auto qp_a = a_->Connect(server_, Transport::kRdma, a_->AllocPd(1),
+                            pd_for_a_);
+    auto qp_b = b_->Connect(server_, Transport::kRdma, b_->AllocPd(2),
+                            pd_for_b_);
+    ASSERT_TRUE(qp_a.ok() && qp_b.ok());
+    qp_a_ = *qp_a;
+    qp_b_ = *qp_b;
+  }
+
+  Fabric fabric_;
+  Endpoint* server_ = nullptr;
+  Endpoint* a_ = nullptr;
+  Endpoint* b_ = nullptr;
+  PdId pd_for_a_ = 0;
+  PdId pd_for_b_ = 0;
+  Qp* qp_a_ = nullptr;
+  Qp* qp_b_ = nullptr;
+};
+
+TEST_F(RdmaSecurityTest, CrossTenantRkeyRejectedByPdScoping) {
+  // Tenant A's data registered under A's PD on the server.
+  Buffer secret = MakePatternBuffer(1024, 0xA);
+  auto mr = server_->RegisterMemory(pd_for_a_, secret, kRemoteRead);
+  ASSERT_TRUE(mr.ok());
+
+  // Tenant A can read it...
+  Buffer out(1024);
+  EXPECT_TRUE(qp_a_->RdmaRead(out, mr->addr, mr->rkey).ok());
+
+  // ...tenant B, holding the LEAKED rkey, cannot: its QP is bound to B's
+  // PD (the §2.3 "cross-tenant access" scenario, blocked).
+  Buffer stolen(1024);
+  const Status denied = qp_b_->RdmaRead(stolen, mr->addr, mr->rkey);
+  EXPECT_EQ(denied.code(), ErrorCode::kPermissionDenied);
+  for (std::byte byte : stolen) EXPECT_EQ(byte, std::byte(0));
+}
+
+TEST_F(RdmaSecurityTest, UnknownRkeyRejected) {
+  Buffer out(64);
+  EXPECT_EQ(qp_a_->RdmaRead(out, 0xDEAD, 0xBEEF).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(RdmaSecurityTest, BoundsEnforcedAgainstPythiaStyleProbing) {
+  // A registration must not grant access to adjacent memory.
+  Buffer region = MakePatternBuffer(4096, 0xB);
+  auto mr = server_->RegisterMemory(pd_for_a_, region, kRemoteRead);
+  ASSERT_TRUE(mr.ok());
+  Buffer out(128);
+  // One byte past the end.
+  EXPECT_EQ(
+      qp_a_->RdmaRead(out, mr->addr + mr->length - 127, mr->rkey).code(),
+      ErrorCode::kPermissionDenied);
+  // Before the start.
+  EXPECT_EQ(qp_a_->RdmaRead(out, mr->addr - 1, mr->rkey).code(),
+            ErrorCode::kPermissionDenied);
+  // Length overflow across the whole region.
+  Buffer big(8192);
+  EXPECT_EQ(qp_a_->RdmaRead(big, mr->addr, mr->rkey).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(RdmaSecurityTest, AccessMaskSeparatesReadAndWrite) {
+  Buffer region(256);
+  auto read_only = server_->RegisterMemory(pd_for_a_, region, kRemoteRead);
+  ASSERT_TRUE(read_only.ok());
+  Buffer data = MakePatternBuffer(256, 1);
+  EXPECT_EQ(qp_a_->RdmaWrite(data, read_only->addr, read_only->rkey).code(),
+            ErrorCode::kPermissionDenied);
+
+  auto write_only = server_->RegisterMemory(pd_for_a_, region, kRemoteWrite);
+  ASSERT_TRUE(write_only.ok());
+  Buffer out(256);
+  EXPECT_EQ(qp_a_->RdmaRead(out, write_only->addr, write_only->rkey).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(qp_a_->RdmaWrite(data, write_only->addr, write_only->rkey).ok());
+}
+
+TEST_F(RdmaSecurityTest, ScopedRkeyExpires) {
+  Buffer region = MakePatternBuffer(512, 0xC);
+  // Short-lived capability: 10 seconds of fabric time.
+  auto mr = server_->RegisterMemory(pd_for_a_, region, kRemoteRead,
+                                    /*ttl=*/10.0);
+  ASSERT_TRUE(mr.ok());
+  Buffer out(512);
+  EXPECT_TRUE(qp_a_->RdmaRead(out, mr->addr, mr->rkey).ok());
+
+  fabric_.AdvanceTime(11.0);
+  EXPECT_EQ(qp_a_->RdmaRead(out, mr->addr, mr->rkey).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(RdmaSecurityTest, RevocationIsImmediate) {
+  Buffer region = MakePatternBuffer(512, 0xD);
+  auto mr = server_->RegisterMemory(pd_for_a_, region, kRemoteRead);
+  ASSERT_TRUE(mr.ok());
+  Buffer out(512);
+  EXPECT_TRUE(qp_a_->RdmaRead(out, mr->addr, mr->rkey).ok());
+  ASSERT_TRUE(server_->RevokeMemory(mr->rkey).ok());
+  EXPECT_EQ(qp_a_->RdmaRead(out, mr->addr, mr->rkey).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(RdmaSecurityTest, DeregisteredRkeyUnusable) {
+  Buffer region(512);
+  auto mr = server_->RegisterMemory(pd_for_a_, region, kRemoteWrite);
+  ASSERT_TRUE(mr.ok());
+  ASSERT_TRUE(server_->DeregisterMemory(mr->rkey).ok());
+  Buffer data(512);
+  EXPECT_EQ(qp_a_->RdmaWrite(data, mr->addr, mr->rkey).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(RdmaSecurityTest, TenantsIsolatedEvenWithIdenticalLayout) {
+  // Both tenants register identical-looking buffers; each can only touch
+  // its own.
+  Buffer buf_a = MakePatternBuffer(256, 0xAA);
+  Buffer buf_b = MakePatternBuffer(256, 0xBB);
+  auto mr_a = server_->RegisterMemory(pd_for_a_, buf_a,
+                                      kRemoteRead | kRemoteWrite);
+  auto mr_b = server_->RegisterMemory(pd_for_b_, buf_b,
+                                      kRemoteRead | kRemoteWrite);
+  ASSERT_TRUE(mr_a.ok() && mr_b.ok());
+
+  Buffer out(256);
+  EXPECT_TRUE(qp_a_->RdmaRead(out, mr_a->addr, mr_a->rkey).ok());
+  EXPECT_TRUE(qp_b_->RdmaRead(out, mr_b->addr, mr_b->rkey).ok());
+  EXPECT_EQ(qp_a_->RdmaRead(out, mr_b->addr, mr_b->rkey).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(qp_b_->RdmaWrite(out, mr_a->addr, mr_a->rkey).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace ros2::net

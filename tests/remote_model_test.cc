@@ -1,0 +1,115 @@
+// Shape tests for the Fig. 4 (remote SPDK NVMe-oF) model: §4.3 results.
+#include "perf/remote_spdk_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ros2::perf {
+namespace {
+
+double GiBps(const sim::ClosedLoopResult& r) {
+  return r.bytes_per_sec / double(kGiB);
+}
+
+sim::ClosedLoopResult RunModel(Transport t, std::uint32_t ccores,
+                          std::uint32_t scores, OpKind op, std::uint64_t bs,
+                          std::uint64_t ops = 20000) {
+  RemoteSpdkModel::Config config;
+  config.transport = t;
+  config.client_cores = ccores;
+  config.server_cores = scores;
+  config.op = op;
+  config.block_size = bs;
+  RemoteSpdkModel model(config);
+  return model.Run(ops);
+}
+
+TEST(RemoteModelTest, LargeBlocksPlateauAtMediaCeilingBothTransports) {
+  // §4.3: "The similarity between TCP and RDMA at 1 MiB indicates a
+  // media/network ceiling" once a few cores are available.
+  const double tcp = GiBps(RunModel(Transport::kTcp, 4, 4, OpKind::kRead, kMiB));
+  const double rdma = GiBps(RunModel(Transport::kRdma, 4, 4, OpKind::kRead, kMiB));
+  EXPECT_NEAR(tcp, 5.4, 0.4);
+  EXPECT_NEAR(rdma, 5.4, 0.4);
+}
+
+TEST(RemoteModelTest, TcpNeedsModestParallelismAtLargeBlocks) {
+  // TCP with one core is copy-bound below the media rate; it catches up
+  // with a couple of cores.
+  const double one = GiBps(RunModel(Transport::kTcp, 1, 1, OpKind::kRead, kMiB));
+  const double four = GiBps(RunModel(Transport::kTcp, 4, 4, OpKind::kRead, kMiB));
+  EXPECT_LT(one, 4.5);
+  EXPECT_GT(four, 5.0);
+}
+
+TEST(RemoteModelTest, RdmaSaturatesLargeReadsWithOneCore) {
+  const double r = GiBps(RunModel(Transport::kRdma, 1, 1, OpKind::kRead, kMiB));
+  EXPECT_NEAR(r, 5.4, 0.4);
+}
+
+TEST(RemoteModelTest, WritesBoundByMediaWriteRate) {
+  const double r = GiBps(RunModel(Transport::kRdma, 4, 4, OpKind::kWrite, kMiB));
+  EXPECT_NEAR(r, 2.7, 0.3);
+}
+
+TEST(RemoteModelTest, RdmaSmallBlockIopsBeatTcp) {
+  // §4.3: "RDMA delivers substantially higher IOPS".
+  const auto tcp = RunModel(Transport::kTcp, 4, 4, OpKind::kRandRead, 4096, 40000);
+  const auto rdma =
+      RunModel(Transport::kRdma, 4, 4, OpKind::kRandRead, 4096, 40000);
+  EXPECT_GT(rdma.ops_per_sec, 2.0 * tcp.ops_per_sec);
+}
+
+TEST(RemoteModelTest, TcpSmallBlockScalingFlattens) {
+  // §4.3: "TCP heatmaps show limited benefit from additional cores".
+  const auto c4 = RunModel(Transport::kTcp, 4, 4, OpKind::kRandRead, 4096, 40000);
+  const auto c16 =
+      RunModel(Transport::kTcp, 16, 16, OpKind::kRandRead, 4096, 60000);
+  EXPECT_LT(c16.ops_per_sec, c4.ops_per_sec * 1.5);
+  // Bounded by the serialized stack section (~250 K).
+  EXPECT_LT(c16.ops_per_sec, 300'000);
+}
+
+TEST(RemoteModelTest, RdmaSmallBlockKeepsScalingWithCores) {
+  // §4.3: "RDMA continues to gain, especially for reads/randreads".
+  const auto c1 = RunModel(Transport::kRdma, 1, 1, OpKind::kRandRead, 4096, 40000);
+  const auto c4 = RunModel(Transport::kRdma, 4, 4, OpKind::kRandRead, 4096, 60000);
+  const auto c16 =
+      RunModel(Transport::kRdma, 16, 16, OpKind::kRandRead, 4096, 80000);
+  EXPECT_GT(c4.ops_per_sec, c1.ops_per_sec * 2.5);
+  EXPECT_GT(c16.ops_per_sec, c4.ops_per_sec * 1.2);
+}
+
+TEST(RemoteModelTest, RdmaLatencyBelowTcpAtSmallBlocks) {
+  const auto tcp = RunModel(Transport::kTcp, 1, 1, OpKind::kRandRead, 4096);
+  const auto rdma = RunModel(Transport::kRdma, 1, 1, OpKind::kRandRead, 4096);
+  EXPECT_LT(rdma.latency.mean(), tcp.latency.mean());
+}
+
+class RemoteGridTest
+    : public ::testing::TestWithParam<std::tuple<Transport, OpKind>> {};
+
+TEST_P(RemoteGridTest, CoreSweepNeverDegrades) {
+  // Property over Fig. 4's heatmap axes: adding cores never reduces
+  // throughput (the heatmaps are monotone along both axes).
+  const auto [transport, op] = GetParam();
+  double prev = 0.0;
+  for (std::uint32_t cores : {1u, 2u, 4u, 8u, 16u}) {
+    const auto r = RunModel(transport, cores, cores, op, 4096, 40000);
+    EXPECT_GE(r.ops_per_sec, prev * 0.98)
+        << TransportName(transport) << "/" << OpKindName(op)
+        << " cores=" << cores;
+    prev = r.ops_per_sec;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RemoteGridTest,
+    ::testing::Combine(::testing::Values(Transport::kTcp, Transport::kRdma),
+                       ::testing::Values(OpKind::kRead, OpKind::kWrite,
+                                         OpKind::kRandRead,
+                                         OpKind::kRandWrite)));
+
+}  // namespace
+}  // namespace ros2::perf

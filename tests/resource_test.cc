@@ -1,0 +1,101 @@
+#include "sim/resource.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ros2::sim {
+namespace {
+
+TEST(ServerPoolTest, SingleServerSerializes) {
+  ServerPool pool("p", 1);
+  EXPECT_DOUBLE_EQ(pool.Serve(0.0, 1.0), 1.0);
+  // Arrives at 0.5 but the server is busy until 1.0.
+  EXPECT_DOUBLE_EQ(pool.Serve(0.5, 1.0), 2.0);
+  // Arrives after the server freed: starts at arrival.
+  EXPECT_DOUBLE_EQ(pool.Serve(5.0, 1.0), 6.0);
+}
+
+TEST(ServerPoolTest, TwoServersOverlap) {
+  ServerPool pool("p", 2);
+  EXPECT_DOUBLE_EQ(pool.Serve(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pool.Serve(0.0, 1.0), 1.0);  // second server
+  EXPECT_DOUBLE_EQ(pool.Serve(0.0, 1.0), 2.0);  // queues
+}
+
+TEST(ServerPoolTest, ZeroServiceIsPassThrough) {
+  ServerPool pool("p", 1);
+  EXPECT_DOUBLE_EQ(pool.Serve(3.0, 0.0), 3.0);
+}
+
+TEST(ServerPoolTest, TracksBusyTimeAndOps) {
+  ServerPool pool("p", 4);
+  pool.Serve(0.0, 2.0);
+  pool.Serve(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(pool.busy_time(), 5.0);
+  EXPECT_EQ(pool.served_ops(), 2u);
+  EXPECT_DOUBLE_EQ(pool.Utilization(10.0), 5.0 / 40.0);
+}
+
+TEST(ServerPoolTest, ResetRestoresIdle) {
+  ServerPool pool("p", 1);
+  pool.Serve(0.0, 100.0);
+  pool.Reset();
+  EXPECT_DOUBLE_EQ(pool.Serve(0.0, 1.0), 1.0);
+  EXPECT_EQ(pool.served_ops(), 1u);
+}
+
+TEST(ServerPoolTest, ZeroServersClampedToOne) {
+  ServerPool pool("p", 0);
+  EXPECT_EQ(pool.servers(), 1u);
+}
+
+TEST(ServerPoolTest, ThroughputMatchesCapacity) {
+  // k servers with service s sustain k/s ops/sec under saturation.
+  ServerPool pool("p", 4);
+  const double service = 0.01;
+  double last = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    last = std::max(last, pool.Serve(0.0, service));
+  }
+  const double throughput = n / last;
+  EXPECT_NEAR(throughput, 4.0 / service, 4.0 / service * 0.01);
+}
+
+TEST(BandwidthPipeTest, ServiceIsBytesOverRate) {
+  BandwidthPipe pipe("link", 1000.0);  // 1000 B/s
+  EXPECT_DOUBLE_EQ(pipe.Serve(0.0, 500), 0.5);
+  EXPECT_DOUBLE_EQ(pipe.Serve(0.0, 500), 1.0);  // queued behind first
+}
+
+TEST(BandwidthPipeTest, PerMessageOverheadAdds) {
+  BandwidthPipe pipe("link", 1000.0, 0.25);
+  EXPECT_DOUBLE_EQ(pipe.Serve(0.0, 500), 0.75);
+}
+
+TEST(BandwidthPipeTest, RateAdjustable) {
+  BandwidthPipe pipe("link", 1000.0);
+  pipe.set_rate(2000.0);
+  EXPECT_DOUBLE_EQ(pipe.Serve(0.0, 1000), 0.5);
+}
+
+class PoolCapacityTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PoolCapacityTest, SaturatedThroughputScalesWithServers) {
+  const std::uint32_t k = GetParam();
+  ServerPool pool("p", k);
+  const double service = 1e-3;
+  double makespan = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    makespan = std::max(makespan, pool.Serve(0.0, service));
+  }
+  EXPECT_NEAR(n / makespan, double(k) / service, double(k) / service * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Servers, PoolCapacityTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 48));
+
+}  // namespace
+}  // namespace ros2::sim

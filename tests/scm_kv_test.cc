@@ -1,0 +1,110 @@
+#include "scm/scm_kv.h"
+
+#include <gtest/gtest.h>
+
+namespace ros2::scm {
+namespace {
+
+class ScmKvTest : public ::testing::Test {
+ protected:
+  PmemPool pool_{1 << 20};
+  ScmKv kv_{&pool_};
+};
+
+TEST_F(ScmKvTest, PutGetRoundTrip) {
+  ASSERT_TRUE(kv_.Put("key", "value").ok());
+  auto v = kv_.Get("key");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(v->data()), v->size()),
+            "value");
+}
+
+TEST_F(ScmKvTest, OverwriteReplacesValue) {
+  ASSERT_TRUE(kv_.Put("k", "old").ok());
+  ASSERT_TRUE(kv_.Put("k", "newer-and-longer").ok());
+  auto v = kv_.Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 16u);
+  EXPECT_EQ(kv_.size(), 1u);
+}
+
+TEST_F(ScmKvTest, OverwriteFreesOldStorage) {
+  ASSERT_TRUE(kv_.Put("k", std::string(1000, 'x')).ok());
+  const auto used_before = pool_.used_bytes();
+  ASSERT_TRUE(kv_.Put("k", std::string(1000, 'y')).ok());
+  EXPECT_EQ(pool_.used_bytes(), used_before);
+}
+
+TEST_F(ScmKvTest, GetMissingKey) {
+  EXPECT_EQ(kv_.Get("nope").status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(kv_.Contains("nope"));
+}
+
+TEST_F(ScmKvTest, DeleteRemovesAndFrees) {
+  ASSERT_TRUE(kv_.Put("k", "v").ok());
+  const auto used = pool_.used_bytes();
+  ASSERT_TRUE(kv_.Delete("k").ok());
+  EXPECT_LT(pool_.used_bytes(), used);
+  EXPECT_EQ(kv_.Delete("k").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(kv_.size(), 0u);
+}
+
+TEST_F(ScmKvTest, EmptyValueSupported) {
+  ASSERT_TRUE(kv_.Put("empty", "").ok());
+  auto v = kv_.Get("empty");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->empty());
+}
+
+TEST_F(ScmKvTest, EmptyKeyRejected) {
+  EXPECT_EQ(kv_.Put("", "v").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ScmKvTest, ListPrefixOrdered) {
+  ASSERT_TRUE(kv_.Put("dir/b", "1").ok());
+  ASSERT_TRUE(kv_.Put("dir/a", "2").ok());
+  ASSERT_TRUE(kv_.Put("dir/c", "3").ok());
+  ASSERT_TRUE(kv_.Put("other", "4").ok());
+  const auto keys = kv_.ListPrefix("dir/");
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "dir/a");
+  EXPECT_EQ(keys[1], "dir/b");
+  EXPECT_EQ(keys[2], "dir/c");
+}
+
+TEST_F(ScmKvTest, ListPrefixEmptyMatchesAll) {
+  ASSERT_TRUE(kv_.Put("a", "1").ok());
+  ASSERT_TRUE(kv_.Put("b", "2").ok());
+  EXPECT_EQ(kv_.ListPrefix("").size(), 2u);
+}
+
+TEST_F(ScmKvTest, PoolExhaustionSurfacesAndKeepsOldValue) {
+  PmemPool tiny(128);
+  ScmKv kv(&tiny);
+  ASSERT_TRUE(kv.Put("k", std::string(64, 'a')).ok());
+  // The new value cannot fit alongside the old during allocate-then-swap.
+  EXPECT_EQ(kv.Put("k", std::string(100, 'b')).code(),
+            ErrorCode::kResourceExhausted);
+  auto v = kv.Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)[0], std::byte('a'));
+}
+
+TEST_F(ScmKvTest, ManyKeysSurviveChurn) {
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(kv_
+                      .Put("key" + std::to_string(i),
+                           "round" + std::to_string(round))
+                      .ok());
+    }
+  }
+  EXPECT_EQ(kv_.size(), 100u);
+  auto v = kv_.Get("key42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(v->data()), v->size()),
+            "round2");
+}
+
+}  // namespace
+}  // namespace ros2::scm

@@ -1,0 +1,102 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ros2 {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ConstructorHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(InvalidArgument("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NotFound("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(PermissionDenied("x").code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(ResourceExhausted("x").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(FailedPrecondition("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(Unavailable("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(DataLoss("x").code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(TimedOut("x").code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(Unimplemented("x").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(NotFound("no such file").ToString(), "NOT_FOUND: no such file");
+  EXPECT_EQ(DataLoss("crc").ToString(), "DATA_LOSS: crc");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(NotFound("a"), NotFound("b"));
+  EXPECT_FALSE(NotFound("a") == InvalidArgument("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(bool(r));
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  ROS2_RETURN_IF_ERROR(FailIfNegative(x));
+  return x * 2;
+}
+
+Result<int> ChainedCall(int x) {
+  ROS2_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(DoubleIfPositive(-1).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(DoubleIfPositive(21).value(), 42);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(ChainedCall(-5).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ChainedCall(10).value(), 21);
+}
+
+TEST(ErrorCodeTest, AllNamesDistinct) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kTimedOut), "TIMED_OUT");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kUnimplemented), "UNIMPLEMENTED");
+}
+
+}  // namespace
+}  // namespace ros2

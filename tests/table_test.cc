@@ -1,0 +1,55 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ros2 {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRule) {
+  AsciiTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("|------"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+TEST(TableTest, NumericCellsRightAligned) {
+  AsciiTable table({"metric", "count"});
+  table.AddRow({"ops", "5"});
+  table.AddRow({"bytes", "12345"});
+  const std::string out = table.Render();
+  // "5" should be padded on the left to the width of "12345".
+  EXPECT_NE(out.find("|     5 |"), std::string::npos);
+}
+
+TEST(TableTest, TextCellsLeftAligned) {
+  AsciiTable table({"aaaa", "bbbb"});
+  table.AddRow({"x", "y"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| x    |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  AsciiTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  const std::string out = table.Render();
+  // Three columns render even though the row had one cell.
+  int pipes = 0;
+  for (char ch : out) {
+    if (ch == '|') ++pipes;
+  }
+  // 3 lines x 4 pipes.
+  EXPECT_EQ(pipes, 12);
+}
+
+TEST(TableTest, ColumnWidthTracksWidestCell) {
+  AsciiTable table({"h"});
+  table.AddRow({"wide-cell-content"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| wide-cell-content |"), std::string::npos);
+  EXPECT_NE(out.find("| h                 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ros2

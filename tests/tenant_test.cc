@@ -1,0 +1,119 @@
+#include "core/tenant.h"
+
+#include <gtest/gtest.h>
+
+namespace ros2::core {
+namespace {
+
+TEST(QosBucketTest, UnlimitedAlwaysAdmits) {
+  QosBucket bucket(0.0, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(bucket.Acquire(1 << 30, 0.0).ok());
+  }
+}
+
+TEST(QosBucketTest, BurstThenRateLimited) {
+  QosBucket bucket(/*rate=*/1000.0, /*burst=*/500);
+  EXPECT_TRUE(bucket.Acquire(500, 0.0).ok());  // burst spent
+  EXPECT_EQ(bucket.Acquire(1, 0.0).code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(QosBucketTest, RefillsOverTime) {
+  QosBucket bucket(1000.0, 500);
+  ASSERT_TRUE(bucket.Acquire(500, 0.0).ok());
+  EXPECT_FALSE(bucket.Acquire(100, 0.0).ok());
+  // 0.2 s later: 200 tokens refilled.
+  EXPECT_TRUE(bucket.Acquire(100, 0.2).ok());
+  EXPECT_TRUE(bucket.Acquire(100, 0.2).ok());
+  EXPECT_FALSE(bucket.Acquire(100, 0.2).ok());
+}
+
+TEST(QosBucketTest, RefillCapsAtBurst) {
+  QosBucket bucket(1000.0, 500);
+  ASSERT_TRUE(bucket.Acquire(500, 0.0).ok());
+  // After 100 s only `burst` tokens are available, not 100 000.
+  EXPECT_TRUE(bucket.Acquire(500, 100.0).ok());
+  EXPECT_FALSE(bucket.Acquire(1, 100.0).ok());
+}
+
+TEST(TenantRegistryTest, RegisterAndAuthenticate) {
+  TenantRegistry registry;
+  TenantConfig config;
+  config.name = "team-llm";
+  config.auth_token = "s3cret";
+  auto id = registry.Register(config);
+  ASSERT_TRUE(id.ok());
+  EXPECT_GT(*id, 0u);  // 0 is the system tenant
+
+  auto tenant = registry.Authenticate("team-llm", "s3cret");
+  ASSERT_TRUE(tenant.ok());
+  EXPECT_EQ((*tenant)->id, *id);
+}
+
+TEST(TenantRegistryTest, BadCredentialsRejected) {
+  TenantRegistry registry;
+  TenantConfig config;
+  config.name = "t";
+  config.auth_token = "right";
+  ASSERT_TRUE(registry.Register(config).ok());
+  EXPECT_EQ(registry.Authenticate("t", "wrong").status().code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(registry.Authenticate("ghost", "right").status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(TenantRegistryTest, DuplicateNameRejected) {
+  TenantRegistry registry;
+  TenantConfig config;
+  config.name = "dup";
+  ASSERT_TRUE(registry.Register(config).ok());
+  EXPECT_EQ(registry.Register(config).status().code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(TenantRegistryTest, EmptyNameRejected) {
+  TenantRegistry registry;
+  EXPECT_EQ(registry.Register({}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(TenantRegistryTest, CryptoKeysUniquePerTenant) {
+  TenantRegistry registry;
+  TenantConfig a;
+  a.name = "a";
+  TenantConfig b;
+  b.name = "b";
+  auto id_a = registry.Register(a);
+  auto id_b = registry.Register(b);
+  ASSERT_TRUE(id_a.ok() && id_b.ok());
+  auto ta = registry.Find(*id_a);
+  auto tb = registry.Find(*id_b);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_NE((*ta)->crypto_key, (*tb)->crypto_key);
+}
+
+TEST(TenantRegistryTest, FindUnknown) {
+  TenantRegistry registry;
+  EXPECT_EQ(registry.Find(77).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(TenantRegistryTest, PerTenantBucketsIndependent) {
+  TenantRegistry registry;
+  TenantConfig limited;
+  limited.name = "limited";
+  limited.rate_limit_bps = 100.0;
+  limited.burst_bytes = 100;
+  TenantConfig open;
+  open.name = "open";
+  auto id_l = registry.Register(limited);
+  auto id_o = registry.Register(open);
+  ASSERT_TRUE(id_l.ok() && id_o.ok());
+  Tenant* l = *registry.Find(*id_l);
+  Tenant* o = *registry.Find(*id_o);
+  ASSERT_TRUE(l->bucket.Acquire(100, 0.0).ok());
+  EXPECT_FALSE(l->bucket.Acquire(100, 0.0).ok());
+  EXPECT_TRUE(o->bucket.Acquire(1 << 20, 0.0).ok());  // unaffected
+}
+
+}  // namespace
+}  // namespace ros2::core

@@ -1,0 +1,65 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace ros2 {
+namespace {
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024);
+  EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(kGbps * 8, 1e9);
+}
+
+TEST(UnitsTest, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(4 * kKiB), "4.00 KiB");
+  EXPECT_EQ(FormatBytes(kMiB), "1.00 MiB");
+  EXPECT_EQ(FormatBytes(5 * kGiB + kGiB / 2), "5.50 GiB");
+}
+
+TEST(UnitsTest, FormatBandwidth) {
+  EXPECT_EQ(FormatBandwidth(5.4 * double(kGiB)), "5.40 GiB/s");
+  EXPECT_EQ(FormatBandwidth(900 * double(kMiB)), "900 MiB/s");
+}
+
+TEST(UnitsTest, FormatCount) {
+  EXPECT_EQ(FormatCount(612'300), "612 K");
+  EXPECT_EQ(FormatCount(1'250'000), "1.25 M");
+  EXPECT_EQ(FormatCount(85), "85.0 ");
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(83.4e-6), "83.4 us");
+  EXPECT_EQ(FormatDuration(1.21e-3), "1.21 ms");
+  EXPECT_EQ(FormatDuration(2.5), "2.50 s");
+}
+
+TEST(ParseSizeTest, PlainNumbers) {
+  EXPECT_EQ(ParseSize("64"), 64u);
+  EXPECT_EQ(ParseSize("0"), 0u);
+}
+
+TEST(ParseSizeTest, Suffixes) {
+  EXPECT_EQ(ParseSize("4k"), 4 * kKiB);
+  EXPECT_EQ(ParseSize("4K"), 4 * kKiB);
+  EXPECT_EQ(ParseSize("1m"), kMiB);
+  EXPECT_EQ(ParseSize("2g"), 2 * kGiB);
+  EXPECT_EQ(ParseSize("1t"), kTiB);
+}
+
+TEST(ParseSizeTest, FractionalValues) {
+  EXPECT_EQ(ParseSize("1.5k"), 1536u);
+  EXPECT_EQ(ParseSize("0.5m"), 512 * kKiB);
+}
+
+TEST(ParseSizeTest, MalformedReturnsZero) {
+  EXPECT_EQ(ParseSize(""), 0u);
+  EXPECT_EQ(ParseSize("abc"), 0u);
+  EXPECT_EQ(ParseSize("4x"), 0u);
+  EXPECT_EQ(ParseSize("-4k"), 0u);
+}
+
+}  // namespace
+}  // namespace ros2

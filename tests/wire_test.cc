@@ -1,0 +1,97 @@
+#include "rpc/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace ros2::rpc {
+namespace {
+
+TEST(WireTest, ScalarRoundTrip) {
+  Encoder enc;
+  enc.U8(0xAB).U16(0xCDEF).U32(0xDEADBEEF).U64(0x0123456789ABCDEFull);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.U8().value(), 0xAB);
+  EXPECT_EQ(dec.U16().value(), 0xCDEF);
+  EXPECT_EQ(dec.U32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.U64().value(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(WireTest, StringRoundTrip) {
+  Encoder enc;
+  enc.Str("hello").Str("").Str("path/with/slashes");
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.Str().value(), "hello");
+  EXPECT_EQ(dec.Str().value(), "");
+  EXPECT_EQ(dec.Str().value(), "path/with/slashes");
+}
+
+TEST(WireTest, BytesRoundTrip) {
+  Buffer payload = MakePatternBuffer(1000, 3);
+  Encoder enc;
+  enc.Bytes(payload).Bytes({});
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.Bytes().value(), payload);
+  EXPECT_TRUE(dec.Bytes().value().empty());
+}
+
+TEST(WireTest, MixedMessage) {
+  Encoder enc;
+  enc.U32(7).Str("dkey").U64(4096).Bytes(MakePatternBuffer(64, 1)).U8(1);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.U32().value(), 7u);
+  EXPECT_EQ(dec.Str().value(), "dkey");
+  EXPECT_EQ(dec.U64().value(), 4096u);
+  EXPECT_EQ(dec.Bytes().value().size(), 64u);
+  EXPECT_EQ(dec.U8().value(), 1);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(WireTest, TruncatedScalarFails) {
+  Encoder enc;
+  enc.U16(42);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.U32().status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(WireTest, TruncatedStringFails) {
+  Encoder enc;
+  enc.U32(100);  // declares a 100-byte string with no payload
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.Str().status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(WireTest, EmptyBufferFailsCleanly) {
+  Decoder dec(std::span<const std::byte>{});
+  EXPECT_EQ(dec.U8().status().code(), ErrorCode::kDataLoss);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(WireTest, RemainingTracksPosition) {
+  Encoder enc;
+  enc.U32(1).U32(2);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.remaining(), 8u);
+  (void)dec.U32();
+  EXPECT_EQ(dec.remaining(), 4u);
+}
+
+TEST(WireTest, TakeMovesBuffer) {
+  Encoder enc;
+  enc.U64(99);
+  Buffer taken = enc.Take();
+  EXPECT_EQ(taken.size(), 8u);
+  EXPECT_TRUE(enc.buffer().empty());
+}
+
+TEST(WireTest, BinaryStringsWithEmbeddedNuls) {
+  std::string s("a\0b", 3);
+  Encoder enc;
+  enc.Str(s);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.Str().value(), s);
+}
+
+}  // namespace
+}  // namespace ros2::rpc
