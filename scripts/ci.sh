@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure -> build -> ctest. Keep this byte-for-byte in sync
+# with the one-liner in README.md; .github/workflows/ci.yml just calls it.
+#
+# Usage:
+#   scripts/ci.sh                 # vendored minigtest harness (offline)
+#   scripts/ci.sh --system-gtest  # same suite against an installed GoogleTest
+#   BUILD_DIR=out scripts/ci.sh   # custom build directory
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CMAKE_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --system-gtest)
+      CMAKE_ARGS+=(-DROS2_USE_SYSTEM_GTEST=ON)
+      BUILD_DIR="${BUILD_DIR}-sysgtest"
+      ;;
+    *)
+      echo "unknown argument: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

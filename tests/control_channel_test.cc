@@ -3,14 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
+#include "support/test_support.h"
 
 namespace ros2::rpc {
 namespace {
 
-Buffer Bytes(const std::string& s) {
-  return Buffer(reinterpret_cast<const std::byte*>(s.data()),
-                reinterpret_cast<const std::byte*>(s.data()) + s.size());
-}
+Buffer Bytes(const std::string& s) { return ros2::test::ToBuffer(s); }
 
 TEST(ControlChannelTest, CallDispatchesToHandler) {
   ControlService service;

@@ -3,13 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.h"
+#include "support/test_support.h"
 
 namespace ros2 {
 namespace {
 
-std::span<const std::byte> AsBytes(const char* s, std::size_t n) {
-  return {reinterpret_cast<const std::byte*>(s), n};
-}
+using ros2::test::AsBytes;
 
 TEST(Crc32cTest, KnownVectors) {
   // RFC 3720 / iSCSI test vectors for CRC-32C.

@@ -106,7 +106,9 @@ TEST_F(DfsStreamTest, InterleavedFlushKeepsOffsets) {
     Buffer piece(333);
     FillPattern(piece, 4, std::uint64_t(i) * 333);
     ASSERT_TRUE(out.Append(piece).ok());
-    if (i % 3 == 0) ASSERT_TRUE(out.Flush().ok());
+    if (i % 3 == 0) {
+      ASSERT_TRUE(out.Flush().ok());
+    }
   }
   ASSERT_TRUE(out.Flush().ok());
   Buffer all(3330);

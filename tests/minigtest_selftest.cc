@@ -1,0 +1,325 @@
+// Selftest for the vendored minigtest shim (third_party/minigtest).
+//
+// Always compiled against the shim — even when the rest of the suite uses a
+// system GoogleTest — because its job is to keep the shim honest: passing
+// and failing assertions, fixture lifecycle ordering, parameterized
+// expansion, and death-free failure capture (a failing assertion is recorded
+// and reported; it never aborts the process).
+#include <gtest/gtest.h>
+
+#ifndef MINIGTEST
+#error "minigtest_selftest must compile against the vendored shim"
+#endif
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+using ::testing::internal::ScopedFailureCapture;
+
+// ---------------------------------------------------------------------------
+// Passing assertions of every flavor the repo uses.
+// ---------------------------------------------------------------------------
+
+TEST(MinigtestAssertions, PassingAssertionsRecordNothing) {
+  ScopedFailureCapture capture;
+  EXPECT_TRUE(true);
+  EXPECT_FALSE(false);
+  EXPECT_EQ(2 + 2, 4);
+  EXPECT_NE(1, 2);
+  EXPECT_LT(1, 2);
+  EXPECT_LE(2, 2);
+  EXPECT_GT(3, 2);
+  EXPECT_GE(3, 3);
+  EXPECT_NEAR(1.0, 1.0 + 1e-9, 1e-6);
+  EXPECT_DOUBLE_EQ(0.3, 0.1 + 0.2);  // 1 ULP apart: DOUBLE_EQ must accept
+  EXPECT_STREQ("abc", "abc");
+  EXPECT_STRNE("abc", "abd");
+  capture.Release();
+  EXPECT_EQ(capture.count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failing assertions: captured, counted, never fatal to the process.
+// ---------------------------------------------------------------------------
+
+TEST(MinigtestAssertions, FailingExpectIsNonFatalAndCaptured) {
+  ScopedFailureCapture capture;
+  EXPECT_EQ(1, 2);
+  EXPECT_TRUE(false);
+  const bool reached_after_failures = true;  // EXPECT_* must not return
+  capture.Release();
+  EXPECT_TRUE(reached_after_failures);
+  EXPECT_EQ(capture.count(), 2u);
+  EXPECT_FALSE(capture.HasFatal());
+}
+
+TEST(MinigtestAssertions, FailureMessageCarriesOperandsAndTrailer) {
+  ScopedFailureCapture capture;
+  const int lhs = 41;
+  EXPECT_EQ(lhs, 42) << "trailer context " << 7;
+  capture.Release();
+  ASSERT_EQ(capture.count(), 1u);
+  const std::string& text = capture.records()[0].text;
+  EXPECT_NE(text.find("lhs"), std::string::npos);
+  EXPECT_NE(text.find("41"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("trailer context 7"), std::string::npos);
+}
+
+void HelperWithFatalAssert(bool* reached_after) {
+  ASSERT_EQ(1, 2);          // fatal: must return out of this helper...
+  *reached_after = true;    // ...so this line must never run
+}
+
+TEST(MinigtestAssertions, FailingAssertReturnsFromEnclosingFunction) {
+  bool reached_after = false;
+  {
+    ScopedFailureCapture capture;
+    HelperWithFatalAssert(&reached_after);
+    capture.Release();
+    EXPECT_EQ(capture.count(), 1u);
+    EXPECT_TRUE(capture.HasFatal());
+  }
+  EXPECT_FALSE(reached_after);
+}
+
+TEST(MinigtestAssertions, NearAndDoubleEqRejectOutOfToleranceValues) {
+  ScopedFailureCapture capture;
+  EXPECT_NEAR(1.0, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(1.0, 1.0001);
+  capture.Release();
+  EXPECT_EQ(capture.count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Fixture lifecycle: SetUp before body, TearDown after, fresh object per test.
+// ---------------------------------------------------------------------------
+
+class LifecycleFixture : public ::testing::Test {
+ public:
+  static inline std::vector<std::string> events;
+
+ protected:
+  void SetUp() override { events.push_back("SetUp"); }
+  void TearDown() override { events.push_back("TearDown"); }
+  int per_test_state_ = 0;
+};
+
+TEST_F(LifecycleFixture, FirstBodyRunsBetweenSetUpAndTearDown) {
+  events.push_back("Body1");
+  per_test_state_ = 99;
+  EXPECT_GE(events.size(), 2u);
+  EXPECT_EQ(events[events.size() - 2], "SetUp");
+  EXPECT_EQ(events.back(), "Body1");
+}
+
+TEST_F(LifecycleFixture, SecondBodyGetsAFreshFixtureObject) {
+  events.push_back("Body2");
+  // 99 was set by the previous test; a new fixture instance must not see it.
+  EXPECT_EQ(per_test_state_, 0);
+}
+
+TEST_F(LifecycleFixture, EventOrderIsSetUpBodyTearDown) {
+  // Isolation-safe (works under --gtest_filter running only this test):
+  // verify the lifecycle grammar of however many cycles actually ran —
+  // every cycle is SetUp [Body] TearDown, and this test's own SetUp is last.
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front(), "SetUp");
+  EXPECT_EQ(events.back(), "SetUp");
+  std::size_t setups = 0, teardowns = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i] == "SetUp") {
+      ++setups;
+      if (i > 0) {
+        EXPECT_EQ(events[i - 1], "TearDown") << "event index " << i;
+      }
+    } else if (events[i] == "TearDown") {
+      ++teardowns;
+      EXPECT_NE(events[i - 1], "TearDown") << "event index " << i;
+    } else {
+      EXPECT_EQ(events[i - 1], "SetUp") << "body must follow SetUp, index " << i;
+    }
+  }
+  EXPECT_EQ(setups, teardowns + 1);  // own SetUp has no TearDown yet
+  // When the whole file ran in order, additionally pin the exact sequence.
+  if (events.size() >= 7) {
+    const std::vector<std::string> expected = {"SetUp", "Body1", "TearDown",
+                                               "SetUp", "Body2", "TearDown",
+                                               "SetUp"};
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(events[i], expected[i]) << "event index " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized tests: Values expansion, GetParam, Combine cross product.
+// ---------------------------------------------------------------------------
+
+class ParamSelfTest : public ::testing::TestWithParam<int> {
+ public:
+  static inline std::vector<int> seen_params;
+};
+
+TEST_P(ParamSelfTest, RecordsEveryParam) {
+  seen_params.push_back(GetParam());
+  EXPECT_GE(GetParam(), 10);
+  EXPECT_LE(GetParam(), 30);
+  // Params expand in Values() order, so with the full suite running the
+  // 30-instance goes last and sees the whole sweep. Guarded on size so a
+  // --gtest_filter run of a single instance stays green; full expansion is
+  // pinned order-independently by MinigtestGenerators below.
+  if (GetParam() == 30 && seen_params.size() == 3) {
+    EXPECT_EQ(seen_params[0] + seen_params[1] + seen_params[2], 60);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParamSelfTest, ::testing::Values(10, 20, 30));
+
+class ComboSelfTest
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {
+ public:
+  static inline std::vector<std::tuple<int, std::string>> seen;
+};
+
+TEST_P(ComboSelfTest, RecordsCrossProduct) {
+  seen.push_back(GetParam());
+  const auto [number, text] = GetParam();
+  EXPECT_TRUE(number == 1 || number == 2);
+  EXPECT_TRUE(text == "a" || text == "b");
+  // The last tuple of the cross product verifies full coverage (guarded on
+  // size so a filtered single-instance run stays green; see
+  // MinigtestGenerators for the order-independent expansion checks).
+  if (number == 2 && text == "b" && seen.size() == 4) {
+    for (int want_number : {1, 2}) {
+      for (const char* want_text : {"a", "b"}) {
+        bool found = false;
+        for (const auto& t : seen) {
+          if (std::get<0>(t) == want_number && std::get<1>(t) == want_text) {
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found) << want_number << want_text;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ComboSelfTest,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Values(std::string("a"),
+                                                              std::string("b"))));
+
+// Order-independent pinning of the expansion machinery: materialize the
+// generators directly (shim-only API) instead of relying on which test
+// instances ran before this one.
+TEST(MinigtestGenerators, ValuesMaterializesInOrderWithConversions) {
+  const auto values =
+      ::testing::Values(10, 20u, 30ll).Materialize<std::uint64_t>();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], 10u);
+  EXPECT_EQ(values[1], 20u);
+  EXPECT_EQ(values[2], 30u);
+}
+
+TEST(MinigtestGenerators, CombineMaterializesTheFullCrossProduct) {
+  using Tuple = std::tuple<int, std::string>;
+  const auto tuples =
+      ::testing::Combine(::testing::Values(1, 2),
+                         ::testing::Values(std::string("a"), std::string("b")))
+          .Materialize<Tuple>();
+  ASSERT_EQ(tuples.size(), 4u);
+  // Last generator varies fastest.
+  EXPECT_EQ(tuples[0], Tuple(1, "a"));
+  EXPECT_EQ(tuples[1], Tuple(1, "b"));
+  EXPECT_EQ(tuples[2], Tuple(2, "a"));
+  EXPECT_EQ(tuples[3], Tuple(2, "b"));
+}
+
+TEST(MinigtestGenerators, BoolAndRangeCoverTheirDomains) {
+  const auto bools = ::testing::Bool().Materialize<bool>();
+  ASSERT_EQ(bools.size(), 2u);
+  EXPECT_FALSE(bools[0]);
+  EXPECT_TRUE(bools[1]);
+  const auto range = ::testing::Range(0, 10, 3).Materialize<int>();
+  ASSERT_EQ(range.size(), 4u);
+  EXPECT_EQ(range[3], 9);
+}
+
+// ---------------------------------------------------------------------------
+// Suite-level hooks: SetUpTestSuite runs before the first test of a suite,
+// TearDownTestSuite after its last (verified from the suite's own tests,
+// so it holds under filtering too).
+// ---------------------------------------------------------------------------
+
+class SuiteHookFixture : public ::testing::Test {
+ public:
+  static inline int suite_setups = 0;
+  static inline int suite_teardowns = 0;
+  static void SetUpTestSuite() { ++suite_setups; }
+  static void TearDownTestSuite() { ++suite_teardowns; }
+};
+
+TEST_F(SuiteHookFixture, SetUpTestSuiteRanExactlyOnceBeforeFirstTest) {
+  EXPECT_EQ(suite_setups, 1);
+  EXPECT_EQ(suite_teardowns, 0);
+}
+
+TEST_F(SuiteHookFixture, SetUpTestSuiteDidNotRunAgainForSecondTest) {
+  EXPECT_EQ(suite_setups, 1);
+  EXPECT_EQ(suite_teardowns, 0);
+}
+
+// Suites whose declarations interleave still get each hook exactly once
+// (GoogleTest semantics): setup before the suite's first test, teardown
+// after its last — not at every registration-order boundary.
+class InterleaveA : public ::testing::Test {
+ public:
+  static inline int setups = 0;
+  static inline int teardowns = 0;
+  static void SetUpTestSuite() { ++setups; }
+  static void TearDownTestSuite() { ++teardowns; }
+};
+
+class InterleaveB : public ::testing::Test {};
+
+TEST_F(InterleaveA, First) { EXPECT_EQ(setups, 1); }
+
+TEST_F(InterleaveB, Between) {
+  // A's last test hasn't run yet, so its teardown must not have fired.
+  EXPECT_EQ(InterleaveA::teardowns, 0);
+}
+
+TEST_F(InterleaveA, Second) {
+  EXPECT_EQ(setups, 1);  // not re-run at the B boundary
+  EXPECT_EQ(teardowns, 0);
+}
+
+// Custom namer lambda, as used by nvmf_test / daos_client_test.
+class NamedParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NamedParamTest, NamerCompiles) { EXPECT_GT(GetParam(), 0); }
+
+INSTANTIATE_TEST_SUITE_P(Named, NamedParamTest, ::testing::Values(1, 2),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// GTEST_SKIP marks the test skipped without failing it.
+// ---------------------------------------------------------------------------
+
+TEST(MinigtestSkip, SkipReturnsImmediately) {
+  GTEST_SKIP() << "intentional skip to exercise the skip path";
+  ADD_FAILURE() << "must be unreachable";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

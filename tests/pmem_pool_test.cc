@@ -27,11 +27,14 @@ TEST(PmemPoolTest, FreshAllocationIsZeroed) {
   auto h1 = pool.Alloc(64);
   ASSERT_TRUE(h1.ok());
   auto s1 = pool.Deref(*h1);
+  ASSERT_TRUE(s1.ok());
   std::memset(s1->data(), 0xAB, 64);
   ASSERT_TRUE(pool.Free(*h1).ok());
   auto h2 = pool.Alloc(64);
   ASSERT_TRUE(h2.ok());
-  for (std::byte b : *pool.Deref(*h2)) {
+  auto view = pool.Deref(*h2);
+  ASSERT_TRUE(view.ok());
+  for (std::byte b : *view) {
     EXPECT_EQ(b, std::byte(0));
   }
 }
@@ -78,9 +81,13 @@ TEST(PmemPoolTxTest, CommitKeepsChanges) {
   ASSERT_TRUE(h.ok());
   ASSERT_TRUE(pool.TxBegin().ok());
   ASSERT_TRUE(pool.TxSnapshot(*h, 0, 16).ok());
-  std::memset(pool.Deref(*h)->data(), 0x42, 16);
+  auto wview = pool.Deref(*h);
+  ASSERT_TRUE(wview.ok());
+  std::memset(wview->data(), 0x42, 16);
   ASSERT_TRUE(pool.TxCommit().ok());
-  for (std::byte b : *pool.Deref(*h)) {
+  auto view = pool.Deref(*h);
+  ASSERT_TRUE(view.ok());
+  for (std::byte b : *view) {
     EXPECT_EQ(b, std::byte(0x42));
   }
 }
@@ -89,12 +96,18 @@ TEST(PmemPoolTxTest, AbortRollsBackData) {
   PmemPool pool(4096);
   auto h = pool.Alloc(16);
   ASSERT_TRUE(h.ok());
-  std::memset(pool.Deref(*h)->data(), 0x11, 16);
+  auto wview = pool.Deref(*h);
+  ASSERT_TRUE(wview.ok());
+  std::memset(wview->data(), 0x11, 16);
   ASSERT_TRUE(pool.TxBegin().ok());
   ASSERT_TRUE(pool.TxSnapshot(*h, 4, 8).ok());
-  std::memset(pool.Deref(*h)->data() + 4, 0x99, 8);
+  auto wview2 = pool.Deref(*h);
+  ASSERT_TRUE(wview2.ok());
+  std::memset(wview2->data() + 4, 0x99, 8);
   pool.TxAbort();
-  for (std::byte b : *pool.Deref(*h)) {
+  auto view = pool.Deref(*h);
+  ASSERT_TRUE(view.ok());
+  for (std::byte b : *view) {
     EXPECT_EQ(b, std::byte(0x11));
   }
 }

@@ -1,0 +1,89 @@
+// Shared test helpers, so individual tests stop growing private copies of
+// byte-view casts, temp-dir plumbing, and RNG seeding policy.
+//
+// Pattern-buffer helpers (FillPattern / VerifyPattern / MakePatternBuffer)
+// live in src/common/bytes.h because the FIO harness uses them too; this
+// header re-exports them for tests alongside the test-only utilities.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ftw.h>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unistd.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace ros2::test {
+
+/// Views a C string (or any char array) as a byte span without copying.
+inline std::span<const std::byte> AsBytes(const char* data, std::size_t size) {
+  return {reinterpret_cast<const std::byte*>(data), size};
+}
+
+inline std::span<const std::byte> AsBytes(std::string_view text) {
+  return {reinterpret_cast<const std::byte*>(text.data()), text.size()};
+}
+
+/// Copies a string's characters into an owning Buffer (for APIs that take
+/// Buffer values, e.g. RPC payloads and VOS records).
+inline Buffer ToBuffer(std::string_view text) {
+  const auto* data = reinterpret_cast<const std::byte*>(text.data());
+  return Buffer(data, data + text.size());
+}
+
+/// All test randomness must flow through a fixed default seed (or an explicit
+/// per-test seed) so failures reproduce run-to-run; see src/common/rng.h.
+inline constexpr std::uint64_t kDefaultTestSeed = 0x5EEDBA5EBA11ull;
+
+inline Rng MakeTestRng(std::uint64_t seed = kDefaultTestSeed) {
+  return Rng(seed);
+}
+
+/// RAII temporary directory under $TMPDIR (default /tmp), recursively
+/// removed on destruction. For tests that need real files (e.g. pmem pool
+/// backing files or jobfile parsing from disk).
+class TempDir {
+ public:
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                       "/ros2_test_XXXXXX";
+    if (mkdtemp(tmpl.data()) != nullptr) path_ = tmpl;
+  }
+
+  ~TempDir() {
+    if (!path_.empty()) RemoveTree(path_);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  /// Empty when creation failed (disk full / unwritable TMPDIR).
+  const std::string& path() const { return path_; }
+  bool ok() const { return !path_.empty(); }
+
+  /// `name` joined onto the temp dir; no separator handling beyond '/'.
+  std::string File(std::string_view name) const {
+    return path_ + "/" + std::string(name);
+  }
+
+ private:
+  static void RemoveTree(const std::string& root) {
+    nftw(
+        root.c_str(),
+        [](const char* fpath, const struct stat*, int, struct FTW*) {
+          return ::remove(fpath);
+        },
+        /*nopenfd=*/16, FTW_DEPTH | FTW_PHYS);
+  }
+
+  std::string path_;
+};
+
+}  // namespace ros2::test

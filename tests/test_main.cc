@@ -1,0 +1,8 @@
+// Shared main for every test binary. Works unchanged against both the
+// vendored minigtest shim and a real GoogleTest (-DROS2_USE_SYSTEM_GTEST=ON).
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,89 @@
+// Keeps tests/support/test_support.h honest: these helpers underpin other
+// tests, so they get their own coverage instead of being trusted silently.
+#include "support/test_support.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sys/stat.h>
+
+#include "common/bytes.h"
+
+namespace ros2::test {
+namespace {
+
+TEST(AsBytesTest, PointerFormViewsWithoutCopying) {
+  const char* text = "hello";
+  auto view = AsBytes(text, 5);
+  EXPECT_EQ(view.size(), 5u);
+  EXPECT_EQ(static_cast<const void*>(view.data()),
+            static_cast<const void*>(text));
+  EXPECT_EQ(view[0], std::byte{'h'});
+  EXPECT_EQ(view[4], std::byte{'o'});
+}
+
+TEST(AsBytesTest, StringViewFormHandlesEmbeddedNul) {
+  const std::string s("a\0b", 3);
+  auto view = AsBytes(s);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[1], std::byte{0});
+  EXPECT_EQ(view[2], std::byte{'b'});
+}
+
+TEST(ToBufferTest, CopiesCharactersIntoOwningBuffer) {
+  const std::string s = "payload";
+  Buffer buffer = ToBuffer(s);
+  ASSERT_EQ(buffer.size(), s.size());
+  EXPECT_NE(static_cast<const void*>(buffer.data()),
+            static_cast<const void*>(s.data()));
+  EXPECT_EQ(buffer[0], std::byte{'p'});
+  EXPECT_EQ(buffer[6], std::byte{'d'});
+}
+
+TEST(MakeTestRngTest, DefaultSeedIsDeterministicAcrossInstances) {
+  Rng a = MakeTestRng();
+  Rng b = MakeTestRng();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.Next(), b.Next()) << "diverged at draw " << i;
+  }
+}
+
+TEST(MakeTestRngTest, DistinctSeedsDiverge) {
+  Rng a = MakeTestRng(1);
+  Rng b = MakeTestRng(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(TempDirTest, CreatesWritableDirectoryAndCleansUp) {
+  std::string path;
+  {
+    TempDir dir;
+    ASSERT_TRUE(dir.ok());
+    path = dir.path();
+    struct stat st{};
+    ASSERT_EQ(stat(path.c_str(), &st), 0);
+    EXPECT_TRUE(S_ISDIR(st.st_mode));
+
+    // Must be writable, including nested content.
+    const std::string file = dir.File("probe.txt");
+    {
+      std::ofstream out(file);
+      out << "x";
+      ASSERT_TRUE(out.good());
+    }
+    ASSERT_EQ(stat(file.c_str(), &st), 0);
+  }
+  // Destructor removes the tree, files included.
+  struct stat st{};
+  EXPECT_NE(stat(path.c_str(), &st), 0);
+}
+
+TEST(TempDirTest, TwoInstancesGetDistinctPaths) {
+  TempDir a, b;
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.path(), b.path());
+}
+
+}  // namespace
+}  // namespace ros2::test

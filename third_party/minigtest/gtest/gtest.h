@@ -1,0 +1,1085 @@
+// minigtest — a zero-dependency, single-header, GoogleTest-compatible test
+// harness vendored so the repo builds and tests offline.
+//
+// It implements the subset of the GoogleTest API this repository actually
+// uses (see tests/):
+//   * TEST, TEST_F, TEST_P + INSTANTIATE_TEST_SUITE_P
+//   * ::testing::Test fixtures with SetUp()/TearDown() and static
+//     SetUpTestSuite()/TearDownTestSuite() run at suite boundaries
+//     (TearDown always runs once SetUp has started, even on a throw)
+//   * ::testing::TestWithParam<T>, ::testing::Values, ::testing::Combine,
+//     ::testing::Bool, ::testing::Range, ::testing::TestParamInfo
+//   * EXPECT_/ASSERT_ {TRUE, FALSE, EQ, NE, LT, LE, GT, GE, NEAR,
+//     DOUBLE_EQ, FLOAT_EQ, STREQ, STRNE} with `<< "extra message"` streaming
+//   * ADD_FAILURE, FAIL, SUCCEED, GTEST_SKIP
+//   * ::testing::InitGoogleTest (--gtest_filter / --gtest_list_tests) and
+//     RUN_ALL_TESTS with gtest-style console output
+//
+// Failures are reported with file:line and the printed values of both
+// operands; ASSERT_* aborts the current test (by returning from it) while
+// EXPECT_* continues. Nothing here calls abort()/exit() on a test failure,
+// so one bad assertion can never take down the whole suite binary.
+//
+// Build with -DROS2_USE_SYSTEM_GTEST=ON to use a real GoogleTest install
+// instead; this header is API-compatible for everything under tests/.
+//
+// Extensions beyond GoogleTest (guarded by MINIGTEST so shim-only tests can
+// detect them): ::testing::internal::ScopedFailureCapture, which diverts
+// assertion failures into a buffer so the selftest can exercise failing
+// assertions without failing or killing the suite.
+#pragma once
+
+#define MINIGTEST 1
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+// ---------------------------------------------------------------------------
+// Value printing
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+struct IsTupleLike : std::false_type {};
+template <typename... Ts>
+struct IsTupleLike<std::tuple<Ts...>> : std::true_type {};
+template <typename A, typename B>
+struct IsTupleLike<std::pair<A, B>> : std::true_type {};
+
+template <typename T>
+void UniversalPrint(const T& value, std::ostream& os);
+
+template <typename Tuple, std::size_t... I>
+void PrintTupleTo(const Tuple& t, std::ostream& os, std::index_sequence<I...>) {
+  os << "(";
+  std::size_t n = 0;
+  ((os << (n++ ? ", " : ""), UniversalPrint(std::get<I>(t), os)), ...);
+  os << ")";
+}
+
+template <typename T>
+void UniversalPrint(const T& value, std::ostream& os) {
+  using D = std::remove_cv_t<std::remove_reference_t<T>>;
+  if constexpr (std::is_same_v<D, bool>) {
+    os << (value ? "true" : "false");
+  } else if constexpr (std::is_same_v<D, std::nullptr_t>) {
+    os << "nullptr";
+  } else if constexpr (std::is_same_v<D, std::byte>) {
+    os << static_cast<unsigned>(value);
+  } else if constexpr (IsStreamable<D>::value) {
+    os << value;
+  } else if constexpr (std::is_enum_v<D>) {
+    os << static_cast<long long>(static_cast<std::underlying_type_t<D>>(value));
+  } else if constexpr (IsTupleLike<D>::value) {
+    PrintTupleTo(value, os,
+                 std::make_index_sequence<std::tuple_size_v<D>>{});
+  } else {
+    // Fall back to a hex dump of the object representation, like gtest.
+    const auto* bytes = reinterpret_cast<const unsigned char*>(&value);
+    os << "<" << sizeof(D) << "-byte object:";
+    for (std::size_t i = 0; i < sizeof(D); ++i) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), " %02X", bytes[i]);
+      os << buf;
+    }
+    os << ">";
+  }
+}
+
+template <typename T>
+std::string PrintToString(const T& value) {
+  std::ostringstream os;
+  UniversalPrint(value, os);
+  return os.str();
+}
+
+}  // namespace internal
+
+template <typename T>
+std::string PrintToString(const T& value) {
+  return internal::PrintToString(value);
+}
+
+// ---------------------------------------------------------------------------
+// Messages and assertion results
+// ---------------------------------------------------------------------------
+
+/// Stream accumulator for `EXPECT_X(...) << "context"` trailers.
+class Message {
+ public:
+  Message() = default;
+  template <typename T>
+  Message& operator<<(const T& value) {
+    internal::UniversalPrint(value, ss_);
+    return *this;
+  }
+  std::string GetString() const { return ss_.str(); }
+
+ private:
+  std::ostringstream ss_;
+};
+
+/// Boolean verdict plus explanatory text, contextually convertible to bool.
+class AssertionResult {
+ public:
+  explicit AssertionResult(bool ok) : ok_(ok) {}
+  explicit operator bool() const { return ok_; }
+  const char* message() const { return message_.c_str(); }
+  const char* failure_message() const { return message_.c_str(); }
+  template <typename T>
+  AssertionResult& operator<<(const T& value) {
+    std::ostringstream os;
+    internal::UniversalPrint(value, os);
+    message_ += os.str();
+    return *this;
+  }
+
+ private:
+  bool ok_;
+  std::string message_;
+};
+
+inline AssertionResult AssertionSuccess() { return AssertionResult(true); }
+inline AssertionResult AssertionFailure() { return AssertionResult(false); }
+
+// ---------------------------------------------------------------------------
+// Test registry and results
+// ---------------------------------------------------------------------------
+
+class Test;
+
+namespace internal {
+
+struct TestResult {
+  bool failed = false;
+  bool fatal = false;
+  bool skipped = false;
+};
+
+/// Diverts failures during the capture's lifetime (selftest extension).
+struct FailureRecord {
+  std::string file;
+  int line = 0;
+  bool fatal = false;
+  std::string text;
+};
+
+struct RegisteredTest {
+  std::string suite;
+  std::string name;
+  std::function<Test*()> factory;
+  // Static SetUpTestSuite/TearDownTestSuite of the fixture (no-ops from
+  // ::testing::Test unless the fixture shadows them). Run at suite
+  // boundaries by the runner.
+  void (*suite_setup)() = nullptr;
+  void (*suite_teardown)() = nullptr;
+};
+
+class UnitTestImpl {
+ public:
+  static UnitTestImpl& Get() {
+    static UnitTestImpl instance;
+    return instance;
+  }
+
+  int AddTest(std::string suite, std::string name,
+              std::function<Test*()> factory, void (*suite_setup)() = nullptr,
+              void (*suite_teardown)() = nullptr) {
+    tests_.push_back({std::move(suite), std::move(name), std::move(factory),
+                      suite_setup, suite_teardown});
+    return 0;
+  }
+
+  // Parameterized suites expand lazily at RUN_ALL_TESTS time so the relative
+  // static-init order of TEST_P and INSTANTIATE_TEST_SUITE_P never matters.
+  void AddDeferredExpansion(std::function<void()> fn) {
+    deferred_.push_back(std::move(fn));
+  }
+
+  void RunDeferredExpansions() {
+    // Expansions may themselves be registered while others run; index loop.
+    for (std::size_t i = 0; i < deferred_.size(); ++i) deferred_[i]();
+    deferred_.clear();
+  }
+
+  std::vector<RegisteredTest>& tests() { return tests_; }
+
+  TestResult* current_result = nullptr;
+  std::vector<std::vector<FailureRecord>*> capture_stack;
+  std::string filter = "*";
+  bool list_only = false;
+  // Failures recorded outside any running test (e.g. from helpers invoked in
+  // static init) still fail the binary.
+  bool orphan_failure = false;
+
+ private:
+  std::vector<RegisteredTest> tests_;
+  std::vector<std::function<void()>> deferred_;
+};
+
+inline void RecordFailure(const char* file, int line, bool fatal,
+                          const std::string& summary,
+                          const std::string& user_message) {
+  auto& impl = UnitTestImpl::Get();
+  std::string text = summary;
+  if (!user_message.empty()) text += "\n" + user_message;
+  if (!impl.capture_stack.empty()) {
+    impl.capture_stack.back()->push_back({file, line, fatal, text});
+    return;
+  }
+  std::fprintf(stderr, "%s:%d: Failure\n%s\n", file, line, text.c_str());
+  if (impl.current_result != nullptr) {
+    impl.current_result->failed = true;
+    if (fatal) impl.current_result->fatal = true;
+  } else {
+    impl.orphan_failure = true;
+  }
+}
+
+/// RAII capture of assertion failures; while alive, EXPECT/ASSERT failures
+/// are appended to records() instead of failing the current test. ASSERT_*
+/// still returns out of the enclosing void function. minigtest-only.
+class ScopedFailureCapture {
+ public:
+  ScopedFailureCapture() { UnitTestImpl::Get().capture_stack.push_back(&records_); }
+  ~ScopedFailureCapture() { Release(); }
+  ScopedFailureCapture(const ScopedFailureCapture&) = delete;
+  ScopedFailureCapture& operator=(const ScopedFailureCapture&) = delete;
+
+  /// Stops capturing (idempotent); subsequent failures flow normally again.
+  void Release() {
+    auto& stack = UnitTestImpl::Get().capture_stack;
+    if (active_ && !stack.empty() && stack.back() == &records_) {
+      stack.pop_back();
+      active_ = false;
+    }
+  }
+
+  const std::vector<FailureRecord>& records() const { return records_; }
+  std::size_t count() const { return records_.size(); }
+  bool HasFatal() const {
+    for (const auto& r : records_) {
+      if (r.fatal) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<FailureRecord> records_;
+  bool active_ = true;
+};
+
+/// Records one failure when assigned a Message (gtest's AssertHelper shape:
+/// `helper = Message() << ...` makes the macro a single statement that can
+/// be prefixed with `return` for ASSERT_*).
+class AssertHelper {
+ public:
+  AssertHelper(bool fatal, const char* file, int line, std::string summary)
+      : fatal_(fatal), file_(file), line_(line), summary_(std::move(summary)) {}
+  void operator=(const Message& message) const {
+    RecordFailure(file_, line_, fatal_, summary_, message.GetString());
+  }
+
+ private:
+  bool fatal_;
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+/// Marks the current test skipped when assigned a Message (GTEST_SKIP()).
+class SkipHelper {
+ public:
+  SkipHelper(const char* file, int line) : file_(file), line_(line) {}
+  void operator=(const Message& message) const {
+    auto& impl = UnitTestImpl::Get();
+    if (impl.current_result != nullptr) impl.current_result->skipped = true;
+    const std::string text = message.GetString();
+    if (!text.empty()) {
+      std::fprintf(stderr, "%s:%d: Skipped\n%s\n", file_, line_, text.c_str());
+    }
+  }
+
+ private:
+  const char* file_;
+  int line_;
+};
+
+// ---------------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------------
+
+inline AssertionResult BoolResult(bool value, const char* expression,
+                                  bool expected) {
+  if (value == expected) return AssertionSuccess();
+  AssertionResult result = AssertionFailure();
+  result << "Value of: " << expression << "\n  Actual: "
+         << (value ? "true" : "false")
+         << "\nExpected: " << (expected ? "true" : "false");
+  return result;
+}
+
+template <typename A, typename B>
+AssertionResult CmpHelperEQ(const char* e1, const char* e2, const A& a,
+                            const B& b) {
+  if (a == b) return AssertionSuccess();
+  AssertionResult result = AssertionFailure();
+  result << "Expected equality of these values:\n  " << e1
+         << "\n    Which is: " << PrintToString(a) << "\n  " << e2
+         << "\n    Which is: " << PrintToString(b);
+  return result;
+}
+
+#define MINIGTEST_DEFINE_CMP_HELPER_(name, op)                              \
+  template <typename A, typename B>                                         \
+  AssertionResult CmpHelper##name(const char* e1, const char* e2,           \
+                                  const A& a, const B& b) {                 \
+    if (a op b) return AssertionSuccess();                                  \
+    AssertionResult result = AssertionFailure();                            \
+    result << "Expected: (" << e1 << ") " #op " (" << e2                    \
+           << "), actual: " << PrintToString(a) << " vs "                   \
+           << PrintToString(b);                                             \
+    return result;                                                          \
+  }
+
+MINIGTEST_DEFINE_CMP_HELPER_(NE, !=)
+MINIGTEST_DEFINE_CMP_HELPER_(LT, <)
+MINIGTEST_DEFINE_CMP_HELPER_(LE, <=)
+MINIGTEST_DEFINE_CMP_HELPER_(GT, >)
+MINIGTEST_DEFINE_CMP_HELPER_(GE, >=)
+#undef MINIGTEST_DEFINE_CMP_HELPER_
+
+inline AssertionResult CmpHelperNear(const char* e1, const char* e2,
+                                     const char* e3, double a, double b,
+                                     double tolerance) {
+  const double diff = std::fabs(a - b);
+  if (diff <= tolerance) return AssertionSuccess();
+  AssertionResult result = AssertionFailure();
+  result << "The difference between " << e1 << " and " << e2 << " is " << diff
+         << ", which exceeds " << e3 << ", where\n"
+         << e1 << " evaluates to " << a << ",\n"
+         << e2 << " evaluates to " << b << ", and\n"
+         << e3 << " evaluates to " << tolerance << ".";
+  return result;
+}
+
+/// ULP-distance equality for floating point, mirroring gtest's
+/// FloatingPoint<T>::AlmostEquals (4 ULPs).
+template <typename Raw, typename Bits>
+bool AlmostEqualUlps(Raw a, Raw b) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  auto biased = [](Bits bits) {
+    const Bits sign_mask = Bits(1) << (sizeof(Bits) * 8 - 1);
+    return (bits & sign_mask) ? ~bits + 1 : sign_mask | bits;
+  };
+  Bits ba, bb;
+  std::memcpy(&ba, &a, sizeof(Raw));
+  std::memcpy(&bb, &b, sizeof(Raw));
+  const Bits da = biased(ba), db = biased(bb);
+  const Bits dist = da >= db ? da - db : db - da;
+  return dist <= 4;
+}
+
+template <typename Raw, typename Bits>
+AssertionResult CmpHelperFloatingPointEQ(const char* e1, const char* e2,
+                                         Raw a, Raw b) {
+  if (AlmostEqualUlps<Raw, Bits>(a, b)) return AssertionSuccess();
+  AssertionResult result = AssertionFailure();
+  std::ostringstream os;
+  os.precision(17);
+  os << "Expected equality of these values:\n  " << e1
+     << "\n    Which is: " << a << "\n  " << e2 << "\n    Which is: " << b;
+  result << os.str();
+  return result;
+}
+
+inline AssertionResult CmpHelperSTREQ(const char* e1, const char* e2,
+                                      const char* a, const char* b) {
+  if (a == nullptr || b == nullptr) {
+    if (a == b) return AssertionSuccess();
+  } else if (std::strcmp(a, b) == 0) {
+    return AssertionSuccess();
+  }
+  AssertionResult result = AssertionFailure();
+  result << "Expected equality of these values:\n  " << e1
+         << "\n    Which is: " << (a ? a : "(null)") << "\n  " << e2
+         << "\n    Which is: " << (b ? b : "(null)");
+  return result;
+}
+
+inline AssertionResult CmpHelperSTRNE(const char* e1, const char* e2,
+                                      const char* a, const char* b) {
+  const bool equal =
+      (a == nullptr || b == nullptr) ? a == b : std::strcmp(a, b) == 0;
+  if (!equal) return AssertionSuccess();
+  AssertionResult result = AssertionFailure();
+  result << "Expected: (" << e1 << ") != (" << e2 << "), actual: both are \""
+         << (a ? a : "(null)") << "\"";
+  return result;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Test fixture base
+// ---------------------------------------------------------------------------
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  static void SetUpTestSuite() {}
+  static void TearDownTestSuite() {}
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+
+ protected:
+  Test() = default;
+};
+
+// ---------------------------------------------------------------------------
+// Parameterized tests
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct TestParamInfo {
+  T param;
+  std::size_t index = 0;
+};
+
+template <typename T>
+class WithParamInterface {
+ public:
+  using ParamType = T;
+  static const T& GetParam() { return *current_param_; }
+  static void SetParam(const T* param) { current_param_ = param; }
+
+ private:
+  static inline const T* current_param_ = nullptr;
+};
+
+template <typename T>
+class TestWithParam : public Test, public WithParamInterface<T> {};
+
+namespace internal {
+
+/// ::testing::Values(...) — holds heterogeneous literals and converts each to
+/// the suite's ParamType only at materialization time (so Values(0, 1u, 2ll)
+/// can instantiate a TestWithParam<uint64_t>).
+template <typename... Ts>
+class ValueArray {
+ public:
+  explicit ValueArray(Ts... values) : values_(std::move(values)...) {}
+
+  template <typename T>
+  std::vector<T> Materialize() const {
+    std::vector<T> out;
+    out.reserve(sizeof...(Ts));
+    std::apply(
+        [&out](const auto&... v) {
+          (out.push_back(static_cast<T>(v)), ...);
+        },
+        values_);
+    return out;
+  }
+
+ private:
+  std::tuple<Ts...> values_;
+};
+
+/// ::testing::Range(begin, end, step) — half-open arithmetic progression.
+template <typename T>
+class RangeGenerator {
+ public:
+  RangeGenerator(T begin, T end, T step)
+      : begin_(begin), end_(end), step_(step) {}
+
+  template <typename U>
+  std::vector<U> Materialize() const {
+    std::vector<U> out;
+    for (T v = begin_; v < end_; v = static_cast<T>(v + step_)) {
+      out.push_back(static_cast<U>(v));
+    }
+    return out;
+  }
+
+ private:
+  T begin_, end_, step_;
+};
+
+/// ::testing::Combine(g1, g2, ...) — cartesian product materialized to the
+/// suite's std::tuple ParamType; the last generator varies fastest.
+template <typename... Gens>
+class CartesianProductGenerator {
+ public:
+  explicit CartesianProductGenerator(Gens... gens)
+      : gens_(std::move(gens)...) {}
+
+  template <typename Tuple>
+  std::vector<Tuple> Materialize() const {
+    return MaterializeImpl<Tuple>(std::make_index_sequence<sizeof...(Gens)>{});
+  }
+
+ private:
+  template <typename Tuple, std::size_t... I>
+  std::vector<Tuple> MaterializeImpl(std::index_sequence<I...>) const {
+    constexpr std::size_t kArity = sizeof...(Gens);
+    static_assert(std::tuple_size_v<Tuple> == kArity,
+                  "Combine() arity must match the suite's tuple ParamType");
+    auto axes = std::make_tuple(
+        std::get<I>(gens_).template Materialize<std::tuple_element_t<I, Tuple>>()...);
+    const std::size_t sizes[kArity] = {std::get<I>(axes).size()...};
+    std::size_t strides[kArity];
+    std::size_t total = 1;
+    for (std::size_t i = kArity; i-- > 0;) {
+      strides[i] = total;
+      total *= sizes[i];
+    }
+    std::vector<Tuple> out;
+    out.reserve(total);
+    for (std::size_t k = 0; k < total; ++k) {
+      out.push_back(Tuple(std::get<I>(axes)[(k / strides[I]) % sizes[I]]...));
+    }
+    return out;
+  }
+
+  std::tuple<Gens...> gens_;
+};
+
+/// Per-suite registry joining TEST_P bodies with INSTANTIATE_TEST_SUITE_P
+/// param sets; the cross product is expanded lazily at RUN_ALL_TESTS.
+template <typename Suite>
+class ParamRegistry {
+ public:
+  using ParamType = typename Suite::ParamType;
+  using Namer = std::function<std::string(const TestParamInfo<ParamType>&)>;
+
+  static ParamRegistry& Instance() {
+    static ParamRegistry registry;
+    return registry;
+  }
+
+  int AddTest(const char* suite, const char* name,
+              std::function<Test*()> factory, void (*suite_setup)() = nullptr,
+              void (*suite_teardown)() = nullptr) {
+    EnsureDeferred();
+    tests_.push_back(
+        {suite, name, std::move(factory), suite_setup, suite_teardown});
+    return 0;
+  }
+
+  template <typename Gen>
+  int AddInstantiation(const char* prefix, const Gen& gen) {
+    return AddInstantiation(prefix, gen, [](const TestParamInfo<ParamType>& info) {
+      return std::to_string(info.index);
+    });
+  }
+
+  template <typename Gen>
+  int AddInstantiation(const char* prefix, const Gen& gen, Namer namer) {
+    EnsureDeferred();
+    instantiations_.push_back(
+        {prefix, gen.template Materialize<ParamType>(), std::move(namer)});
+    return 0;
+  }
+
+ private:
+  struct PTest {
+    std::string suite;
+    std::string name;
+    std::function<Test*()> factory;
+    void (*suite_setup)() = nullptr;
+    void (*suite_teardown)() = nullptr;
+  };
+  struct Instantiation {
+    std::string prefix;
+    std::vector<ParamType> params;
+    Namer namer;
+  };
+
+  void EnsureDeferred() {
+    if (deferred_registered_) return;
+    deferred_registered_ = true;
+    UnitTestImpl::Get().AddDeferredExpansion([this] { Expand(); });
+  }
+
+  void Expand() {
+    for (const auto& inst : instantiations_) {
+      for (std::size_t i = 0; i < inst.params.size(); ++i) {
+        const ParamType* param = &inst.params[i];
+        const std::string suffix = inst.namer({*param, i});
+        for (const auto& test : tests_) {
+          UnitTestImpl::Get().AddTest(
+              inst.prefix + "/" + test.suite, test.name + "/" + suffix,
+              [factory = test.factory, param]() -> Test* {
+                Suite::SetParam(param);
+                return factory();
+              },
+              test.suite_setup, test.suite_teardown);
+        }
+      }
+    }
+  }
+
+  std::vector<PTest> tests_;
+  // deque: materialized param vectors must stay address-stable because the
+  // expanded factories capture pointers into them.
+  std::deque<Instantiation> instantiations_;
+  bool deferred_registered_ = false;
+};
+
+}  // namespace internal
+
+template <typename... Ts>
+internal::ValueArray<Ts...> Values(Ts... values) {
+  return internal::ValueArray<Ts...>(std::move(values)...);
+}
+
+inline internal::ValueArray<bool, bool> Bool() {
+  return internal::ValueArray<bool, bool>(false, true);
+}
+
+template <typename T>
+internal::RangeGenerator<T> Range(T begin, T end, T step = 1) {
+  return internal::RangeGenerator<T>(begin, end, step);
+}
+
+template <typename... Gens>
+internal::CartesianProductGenerator<Gens...> Combine(Gens... gens) {
+  return internal::CartesianProductGenerator<Gens...>(std::move(gens)...);
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+/// One section of a --gtest_filter pattern: '*' and '?' wildcards.
+inline bool WildcardMatch(const char* pattern, const char* text) {
+  if (*pattern == '\0') return *text == '\0';
+  if (*pattern == '*') {
+    return WildcardMatch(pattern + 1, text) ||
+           (*text != '\0' && WildcardMatch(pattern, text + 1));
+  }
+  if (*text == '\0') return false;
+  if (*pattern == '?' || *pattern == *text) {
+    return WildcardMatch(pattern + 1, text + 1);
+  }
+  return false;
+}
+
+/// gtest filter syntax: positive patterns ':'-separated, then an optional
+/// '-' introducing ':'-separated negative patterns.
+inline bool MatchesFilter(const std::string& filter, const std::string& name) {
+  // Initialize (never reassign) the pattern strings: GCC 12's -Wrestrict
+  // false-positives on any string assignment after the substr copies at -O2.
+  const std::size_t dash = filter.find('-');
+  const std::string positive =
+      dash == std::string::npos ? filter : filter.substr(0, dash);
+  const std::string negative =
+      dash == std::string::npos ? std::string() : filter.substr(dash + 1);
+  auto any_section_matches = [&name](const std::string& patterns) {
+    std::size_t begin = 0;
+    while (begin <= patterns.size()) {
+      std::size_t end = patterns.find(':', begin);
+      if (end == std::string::npos) end = patterns.size();
+      const std::string pattern = patterns.substr(begin, end - begin);
+      if (!pattern.empty() && WildcardMatch(pattern.c_str(), name.c_str())) {
+        return true;
+      }
+      begin = end + 1;
+    }
+    return false;
+  };
+  // An empty positive section (e.g. filter "-Foo.*") means match-all.
+  if (!positive.empty() && !any_section_matches(positive)) return false;
+  return negative.empty() || !any_section_matches(negative);
+}
+
+inline int RunAllTestsImpl() {
+  auto& impl = UnitTestImpl::Get();
+  impl.RunDeferredExpansions();
+
+  std::vector<const RegisteredTest*> selected;
+  for (const auto& test : impl.tests()) {
+    if (MatchesFilter(impl.filter, test.suite + "." + test.name)) {
+      selected.push_back(&test);
+    }
+  }
+
+  if (impl.list_only) {
+    // Group by suite in registration order, gtest-style.
+    std::string last_suite;
+    for (const auto* test : selected) {
+      if (test->suite != last_suite) {
+        std::printf("%s.\n", test->suite.c_str());
+        last_suite = test->suite;
+      }
+      std::printf("  %s\n", test->name.c_str());
+    }
+    return 0;
+  }
+
+  std::size_t suite_count = 0;
+  {
+    std::vector<std::string> suites;
+    for (const auto* test : selected) suites.push_back(test->suite);
+    std::sort(suites.begin(), suites.end());
+    suite_count = std::unique(suites.begin(), suites.end()) - suites.begin();
+  }
+
+  std::printf("[==========] Running %zu tests from %zu test suites.\n",
+              selected.size(), suite_count);
+  const auto suite_start = std::chrono::steady_clock::now();
+  std::vector<std::string> failed, skipped;
+  // Suite-level hooks run exactly once per suite regardless of whether its
+  // tests are contiguous in registration order (GoogleTest semantics):
+  // SetUpTestSuite before a suite's first selected test, TearDownTestSuite
+  // after its last. Failures in them are reported outside any test and fail
+  // the binary via orphan_failure.
+  std::map<std::string, std::size_t> last_of_suite;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    last_of_suite[selected[i]->suite] = i;
+  }
+  std::set<std::string> started_suites;
+  auto run_hook = [](void (*hook)(), const char* what) {
+    if (hook == nullptr) return;
+    try {
+      hook();
+    } catch (const std::exception& e) {
+      RecordFailure("<suite>", 0, true,
+                    std::string(what) + " threw std::exception: " + e.what(),
+                    "");
+    } catch (...) {
+      RecordFailure("<suite>", 0, true,
+                    std::string(what) + " threw a non-standard exception", "");
+    }
+  };
+  for (std::size_t test_index = 0; test_index < selected.size();
+       ++test_index) {
+    const auto* test = selected[test_index];
+    if (started_suites.insert(test->suite).second) {
+      run_hook(test->suite_setup, "SetUpTestSuite");
+    }
+    const std::string full_name = test->suite + "." + test->name;
+    std::printf("[ RUN      ] %s\n", full_name.c_str());
+    std::fflush(stdout);
+    TestResult result;
+    impl.current_result = &result;
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_ptr<Test> instance;
+    try {
+      instance.reset(test->factory());
+    } catch (...) {
+      RecordFailure("<unknown>", 0, true, "fixture constructor threw", "");
+    }
+    if (instance != nullptr) {
+      // Each phase gets its own try block: once SetUp has started,
+      // TearDown always runs (matching GoogleTest), even if the body throws.
+      try {
+        instance->SetUp();
+      } catch (const std::exception& e) {
+        RecordFailure("<unknown>", 0, true,
+                      std::string("SetUp threw std::exception: ") + e.what(),
+                      "");
+      } catch (...) {
+        RecordFailure("<unknown>", 0, true, "SetUp threw a non-standard exception",
+                      "");
+      }
+      if (!result.fatal && !result.skipped) {
+        try {
+          instance->TestBody();
+        } catch (const std::exception& e) {
+          RecordFailure("<unknown>", 0, true,
+                        std::string("uncaught std::exception: ") + e.what(),
+                        "");
+        } catch (...) {
+          RecordFailure("<unknown>", 0, true, "uncaught non-standard exception",
+                        "");
+        }
+      }
+      try {
+        instance->TearDown();
+      } catch (const std::exception& e) {
+        RecordFailure("<unknown>", 0, true,
+                      std::string("TearDown threw std::exception: ") + e.what(),
+                      "");
+      } catch (...) {
+        RecordFailure("<unknown>", 0, true,
+                      "TearDown threw a non-standard exception", "");
+      }
+      instance.reset();
+    }
+    impl.current_result = nullptr;
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (result.failed) {
+      failed.push_back(full_name);
+      std::printf("[  FAILED  ] %s (%lld ms)\n", full_name.c_str(),
+                  static_cast<long long>(elapsed_ms));
+    } else if (result.skipped) {
+      skipped.push_back(full_name);
+      std::printf("[  SKIPPED ] %s (%lld ms)\n", full_name.c_str(),
+                  static_cast<long long>(elapsed_ms));
+    } else {
+      std::printf("[       OK ] %s (%lld ms)\n", full_name.c_str(),
+                  static_cast<long long>(elapsed_ms));
+    }
+    std::fflush(stdout);
+    if (last_of_suite[test->suite] == test_index) {
+      run_hook(test->suite_teardown, "TearDownTestSuite");
+    }
+  }
+  const auto total_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - suite_start)
+                            .count();
+  std::printf("[==========] %zu tests from %zu test suites ran. (%lld ms total)\n",
+              selected.size(), suite_count,
+              static_cast<long long>(total_ms));
+  std::printf("[  PASSED  ] %zu tests.\n",
+              selected.size() - failed.size() - skipped.size());
+  if (!skipped.empty()) {
+    std::printf("[  SKIPPED ] %zu tests, listed below:\n", skipped.size());
+    for (const auto& name : skipped) {
+      std::printf("[  SKIPPED ] %s\n", name.c_str());
+    }
+  }
+  if (!failed.empty()) {
+    std::printf("[  FAILED  ] %zu tests, listed below:\n", failed.size());
+    for (const auto& name : failed) {
+      std::printf("[  FAILED  ] %s\n", name.c_str());
+    }
+    std::printf("\n %zu FAILED %s\n", failed.size(),
+                failed.size() == 1 ? "TEST" : "TESTS");
+  }
+  std::fflush(stdout);
+  return (failed.empty() && !impl.orphan_failure) ? 0 : 1;
+}
+
+inline int RegisterTest(const char* suite, const char* name,
+                        std::function<Test*()> factory,
+                        void (*suite_setup)() = nullptr,
+                        void (*suite_teardown)() = nullptr) {
+  return UnitTestImpl::Get().AddTest(suite, name, std::move(factory),
+                                     suite_setup, suite_teardown);
+}
+
+}  // namespace internal
+
+/// Parses and strips --gtest_* flags. Unrecognized gtest flags are ignored
+/// (accepted but inert) so wrapper scripts written for real gtest still run.
+inline void InitGoogleTest(int* argc, char** argv) {
+  auto& impl = internal::UnitTestImpl::Get();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--gtest_filter=", 0) == 0) {
+      impl.filter = arg.substr(std::strlen("--gtest_filter="));
+    } else if (arg == "--gtest_list_tests") {
+      impl.list_only = true;
+    } else if (arg.rfind("--gtest_", 0) == 0) {
+      // recognized-but-ignored (color, brief, repeat, shuffle, ...)
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+inline void InitGoogleTest() {}
+
+}  // namespace testing
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#define MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_ \
+  switch (0)                              \
+  case 0:                                 \
+  default:
+
+// The `if (result) {} else helper = Message() << ...` shape makes every
+// assertion a single statement that accepts a streamed trailer message and,
+// for ASSERT_*, a leading `return`.
+#define MINIGTEST_TEST_RESULT_(expression, fail_prefix, fatal)            \
+  MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_                                       \
+  if (const ::testing::AssertionResult minigtest_ar = (expression)) {     \
+  } else                                                                  \
+    fail_prefix ::testing::internal::AssertHelper(fatal, __FILE__,        \
+                                                  __LINE__,               \
+                                                  minigtest_ar.message()) = \
+        ::testing::Message()
+
+#define MINIGTEST_EXPECT_(expression) MINIGTEST_TEST_RESULT_(expression, , false)
+#define MINIGTEST_ASSERT_(expression) \
+  MINIGTEST_TEST_RESULT_(expression, return, true)
+
+#define EXPECT_TRUE(condition) \
+  MINIGTEST_EXPECT_(           \
+      ::testing::internal::BoolResult(static_cast<bool>(condition), #condition, true))
+#define EXPECT_FALSE(condition) \
+  MINIGTEST_EXPECT_(            \
+      ::testing::internal::BoolResult(static_cast<bool>(condition), #condition, false))
+#define ASSERT_TRUE(condition) \
+  MINIGTEST_ASSERT_(           \
+      ::testing::internal::BoolResult(static_cast<bool>(condition), #condition, true))
+#define ASSERT_FALSE(condition) \
+  MINIGTEST_ASSERT_(            \
+      ::testing::internal::BoolResult(static_cast<bool>(condition), #condition, false))
+
+#define EXPECT_EQ(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperEQ(#a, #b, a, b))
+#define EXPECT_NE(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperNE(#a, #b, a, b))
+#define EXPECT_LT(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperLT(#a, #b, a, b))
+#define EXPECT_LE(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperLE(#a, #b, a, b))
+#define EXPECT_GT(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperGT(#a, #b, a, b))
+#define EXPECT_GE(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperGE(#a, #b, a, b))
+
+#define ASSERT_EQ(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperEQ(#a, #b, a, b))
+#define ASSERT_NE(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperNE(#a, #b, a, b))
+#define ASSERT_LT(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperLT(#a, #b, a, b))
+#define ASSERT_LE(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperLE(#a, #b, a, b))
+#define ASSERT_GT(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperGT(#a, #b, a, b))
+#define ASSERT_GE(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperGE(#a, #b, a, b))
+
+#define EXPECT_NEAR(a, b, tolerance) \
+  MINIGTEST_EXPECT_(                 \
+      ::testing::internal::CmpHelperNear(#a, #b, #tolerance, a, b, tolerance))
+#define ASSERT_NEAR(a, b, tolerance) \
+  MINIGTEST_ASSERT_(                 \
+      ::testing::internal::CmpHelperNear(#a, #b, #tolerance, a, b, tolerance))
+
+#define EXPECT_DOUBLE_EQ(a, b)                                            \
+  MINIGTEST_EXPECT_(                                                      \
+      (::testing::internal::CmpHelperFloatingPointEQ<double, std::uint64_t>( \
+          #a, #b, a, b)))
+#define ASSERT_DOUBLE_EQ(a, b)                                            \
+  MINIGTEST_ASSERT_(                                                      \
+      (::testing::internal::CmpHelperFloatingPointEQ<double, std::uint64_t>( \
+          #a, #b, a, b)))
+#define EXPECT_FLOAT_EQ(a, b)                                             \
+  MINIGTEST_EXPECT_(                                                      \
+      (::testing::internal::CmpHelperFloatingPointEQ<float, std::uint32_t>( \
+          #a, #b, a, b)))
+#define ASSERT_FLOAT_EQ(a, b)                                             \
+  MINIGTEST_ASSERT_(                                                      \
+      (::testing::internal::CmpHelperFloatingPointEQ<float, std::uint32_t>( \
+          #a, #b, a, b)))
+
+#define EXPECT_STREQ(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperSTREQ(#a, #b, a, b))
+#define ASSERT_STREQ(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperSTREQ(#a, #b, a, b))
+#define EXPECT_STRNE(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperSTRNE(#a, #b, a, b))
+#define ASSERT_STRNE(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperSTRNE(#a, #b, a, b))
+
+#define ADD_FAILURE()                                                    \
+  ::testing::internal::AssertHelper(false, __FILE__, __LINE__, "Failed") = \
+      ::testing::Message()
+#define FAIL()                                                               \
+  return ::testing::internal::AssertHelper(true, __FILE__, __LINE__,         \
+                                           "Failed") = ::testing::Message()
+#define SUCCEED() \
+  static_cast<void>(0), ::testing::Message()
+
+#define GTEST_SKIP() \
+  return ::testing::internal::SkipHelper(__FILE__, __LINE__) = ::testing::Message()
+
+// ---------------------------------------------------------------------------
+// Test definition macros
+// ---------------------------------------------------------------------------
+
+#define MINIGTEST_CLASS_NAME_(suite, name) suite##_##name##_Test
+
+#define MINIGTEST_TEST_(suite, name, base)                                    \
+  class MINIGTEST_CLASS_NAME_(suite, name) : public base {                    \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+                                                                              \
+   private:                                                                   \
+    static const int minigtest_registered_;                                   \
+  };                                                                          \
+  const int MINIGTEST_CLASS_NAME_(suite, name)::minigtest_registered_ =       \
+      ::testing::internal::RegisterTest(                                      \
+          #suite, #name,                                                      \
+          []() -> ::testing::Test* {                                          \
+            return new MINIGTEST_CLASS_NAME_(suite, name)();                  \
+          },                                                                  \
+          &MINIGTEST_CLASS_NAME_(suite, name)::SetUpTestSuite,                \
+          &MINIGTEST_CLASS_NAME_(suite, name)::TearDownTestSuite);            \
+  void MINIGTEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST(suite, name) MINIGTEST_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) MINIGTEST_TEST_(fixture, name, fixture)
+
+#define TEST_P(suite, name)                                                   \
+  class MINIGTEST_CLASS_NAME_(suite, name) : public suite {                   \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+                                                                              \
+   private:                                                                   \
+    static const int minigtest_registered_;                                   \
+  };                                                                          \
+  const int MINIGTEST_CLASS_NAME_(suite, name)::minigtest_registered_ =       \
+      ::testing::internal::ParamRegistry<suite>::Instance().AddTest(          \
+          #suite, #name,                                                      \
+          []() -> ::testing::Test* {                                          \
+            return new MINIGTEST_CLASS_NAME_(suite, name)();                  \
+          },                                                                  \
+          &MINIGTEST_CLASS_NAME_(suite, name)::SetUpTestSuite,                \
+          &MINIGTEST_CLASS_NAME_(suite, name)::TearDownTestSuite);            \
+  void MINIGTEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, suite, ...)                       \
+  static const int minigtest_inst_##prefix##_##suite##_ [[maybe_unused]] = \
+      ::testing::internal::ParamRegistry<suite>::Instance().AddInstantiation( \
+          #prefix, __VA_ARGS__)
+
+// Pre-suite-API spelling kept for source compatibility.
+#define INSTANTIATE_TEST_CASE_P INSTANTIATE_TEST_SUITE_P
+
+#define RUN_ALL_TESTS() ::testing::internal::RunAllTestsImpl()
