@@ -2,7 +2,9 @@
 // extent, §2.4). Cost across block sizes, plus a functional proof that the
 // checksum path catches device corruption.
 #include <cstdio>
+#include <string>
 
+#include "bench/registry.h"
 #include "common/bytes.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -34,15 +36,13 @@ bool CorruptionCaughtCheck() {
 
 }  // namespace
 
-int main() {
-  std::printf("== Ablation: end-to-end CRC-32C checksums ==\n\n");
-  std::printf("corruption-detection functional check: %s\n\n",
-              CorruptionCaughtCheck() ? "PASS (DATA_LOSS surfaced)"
-                                      : "FAIL");
-  std::printf(
-      "Timed: host RDMA deployment, 4 SSDs, 16 jobs, random reads.\n\n");
-  AsciiTable table({"block size", "checksums on", "checksums off",
-                    "overhead"});
+ROS2_BENCH_EXPERIMENT(ablation_checksum,
+                      "Ablation: end-to-end CRC-32C checksums") {
+  ctx.Check("corruption detection surfaces DATA_LOSS",
+            CorruptionCaughtCheck());
+  ctx.Note("Timed: host RDMA deployment, 4 SSDs, 16 jobs, random reads.");
+  AsciiTable table(
+      {"block size", "checksums on", "checksums off", "overhead"});
   for (std::uint64_t bs :
        {std::uint64_t(4096), std::uint64_t(64) * kKiB, kMiB}) {
     perf::DfsModel::Config config;
@@ -56,18 +56,23 @@ int main() {
     perf::DfsModel on(config);
     config.checksums = false;
     perf::DfsModel off(config);
-    const double with_crc = on.Run(30000).bytes_per_sec;
-    const double without = off.Run(30000).bytes_per_sec;
+    const double with_crc = on.Run(ctx.ops(30000)).bytes_per_sec;
+    const double without = off.Run(ctx.ops(30000)).bytes_per_sec;
+    const double overhead_pct = (1.0 - with_crc / without) * 100.0;
     char overhead[32];
-    std::snprintf(overhead, sizeof(overhead), "%.1f%%",
-                  (1.0 - with_crc / without) * 100.0);
+    std::snprintf(overhead, sizeof(overhead), "%.1f%%", overhead_pct);
     table.AddRow({FormatBytes(bs), FormatBandwidth(with_crc),
                   FormatBandwidth(without), overhead});
+    const bench::Params params = {{"block_size", FormatBytes(bs)}};
+    ctx.Metric("throughput_checksums_on", "bytes_per_sec", with_crc, params);
+    ctx.Metric("throughput_checksums_off", "bytes_per_sec", without, params);
+    ctx.Metric("checksum_overhead", "percent", overhead_pct, params);
   }
-  table.Print();
-  std::printf(
-      "\nChecksums ride the engine targets' per-byte budget; at DAOS's\n"
-      "defaults the tax is small next to transport costs - which is why\n"
-      "the paper leaves them on.\n");
-  return 0;
+  ctx.Table("Checksum cost across block sizes", table);
+  ctx.Note(
+      "Checksums ride the engine targets' per-byte budget; at DAOS's "
+      "defaults the tax is small next to transport costs - which is why "
+      "the paper leaves them on.");
 }
+
+ROS2_BENCH_MAIN()

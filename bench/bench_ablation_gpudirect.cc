@@ -3,7 +3,9 @@
 // this bench quantifies what the extra staging copy costs and functionally
 // demonstrates the three-step GPUDirect recipe.
 #include <cstdio>
+#include <string>
 
+#include "bench/registry.h"
 #include "common/bytes.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -43,16 +45,14 @@ int FunctionalGpuRead(bool gpudirect) {
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "== Ablation: GPU placement - DPU-DRAM staging vs GPUDirect RDMA ==\n"
-      "Deployment: BlueField-3 + RDMA, 4 SSDs, sequential 1 MiB reads.\n\n");
+ROS2_BENCH_EXPERIMENT(ablation_gpudirect,
+                      "Ablation: GPU placement - DPU-DRAM staging vs "
+                      "GPUDirect RDMA") {
+  ctx.Note("Deployment: BlueField-3 + RDMA, 4 SSDs, sequential 1 MiB reads.");
   const int staged_copies = FunctionalGpuRead(false);
   const int direct_copies = FunctionalGpuRead(true);
-  std::printf("functional staged path:   %s (%d staging copies)\n",
-              staged_copies > 0 ? "PASS" : "FAIL", staged_copies);
-  std::printf("functional GPUDirect path: %s (%d staging copies)\n\n",
-              direct_copies == 0 ? "PASS" : "FAIL", direct_copies);
+  ctx.Check("staged path pays >=1 staging copy", staged_copies > 0);
+  ctx.Check("GPUDirect path pays 0 staging copies", direct_copies == 0);
 
   AsciiTable table(
       {"jobs", "DPU DRAM sink", "GPU staged", "GPUDirect", "direct gain"});
@@ -70,18 +70,24 @@ int main() {
       config.block_size = kMiB;
       config.sink = sink;
       perf::DfsModel model(config);
-      results[i++] = model.Run(15000).bytes_per_sec;
+      results[i++] = model.Run(ctx.ops(15000)).bytes_per_sec;
     }
     char gain[32];
     std::snprintf(gain, sizeof(gain), "%.2fx", results[2] / results[1]);
     table.AddRow({std::to_string(jobs), FormatBandwidth(results[0]),
                   FormatBandwidth(results[1]), FormatBandwidth(results[2]),
                   gain});
+    const bench::Params params = {{"jobs", std::to_string(jobs)}};
+    ctx.Metric("throughput_dpu_dram", "bytes_per_sec", results[0], params);
+    ctx.Metric("throughput_gpu_staged", "bytes_per_sec", results[1], params);
+    ctx.Metric("throughput_gpudirect", "bytes_per_sec", results[2], params);
+    ctx.Metric("gpudirect_gain", "ratio", results[2] / results[1], params);
   }
-  table.Print();
-  std::printf(
-      "\nGPUDirect matches the DPU-DRAM sink (no extra copy) while the\n"
-      "staged GPU path pays the DPU->GPU copy - the minimal-copy argument\n"
-      "of Sec. 3.5/Sec. 5.\n");
-  return 0;
+  ctx.Table("GPU data placement across job counts", table);
+  ctx.Note(
+      "GPUDirect matches the DPU-DRAM sink (no extra copy) while the "
+      "staged GPU path pays the DPU->GPU copy - the minimal-copy argument "
+      "of Sec. 3.5/Sec. 5.");
 }
+
+ROS2_BENCH_MAIN()

@@ -7,7 +7,9 @@
 // removes (they move to the DPU's Arm cores, freeing the host for the
 // training job).
 #include <cstdio>
+#include <string>
 
+#include "bench/registry.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "perf/dfs_model.h"
@@ -22,8 +24,8 @@ struct Row {
   perf::DfsModel::Utilization util;
 };
 
-Row RunCell(perf::Platform platform, perf::Transport transport,
-            perf::OpKind op, std::uint64_t bs) {
+Row RunCell(bench::BenchContext& ctx, perf::Platform platform,
+            perf::Transport transport, perf::OpKind op, std::uint64_t bs) {
   Row row;
   row.config.platform = platform;
   row.config.transport = transport;
@@ -32,56 +34,69 @@ Row RunCell(perf::Platform platform, perf::Transport transport,
   row.config.op = op;
   row.config.block_size = bs;
   perf::DfsModel model(row.config);
-  row.result = model.Run(bs == 4096 ? 40000 : 15000);
+  row.result = model.Run(ctx.ops(bs == 4096 ? 40000 : 15000));
   row.util = model.UtilizationAfter(row.result);
   return row;
 }
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "== Ablation: host-side resource savings from DPU offload ==\n"
-      "(the follow-up the paper defers in Sec. 5, quantified on the model)\n"
-      "\nClient-side CPU work per delivered GiB, by deployment. In the\n"
-      "offloaded rows those core-seconds burn on the DPU's 16 Arm cores;\n"
-      "the HOST contribution is ~zero (it only launches jobs, Sec. 3.2).\n\n");
+ROS2_BENCH_EXPERIMENT(ablation_host_savings,
+                      "Ablation: host-side resource savings from DPU "
+                      "offload") {
+  ctx.Note(
+      "(the follow-up the paper defers in Sec. 5, quantified on the model) "
+      "Client-side CPU work per delivered GiB, by deployment. In the "
+      "offloaded rows those core-seconds burn on the DPU's 16 Arm cores; "
+      "the HOST contribution is ~zero (it only launches jobs, Sec. 3.2).");
   AsciiTable table({"workload", "transport", "deployment", "throughput",
-                    "client CPU util", "core-sec / GiB", "host core-sec / GiB"});
+                    "client CPU util", "core-sec / GiB",
+                    "host core-sec / GiB"});
   for (auto op : {perf::OpKind::kRead, perf::OpKind::kRandRead}) {
     const std::uint64_t bs = op == perf::OpKind::kRead ? kMiB : 4096;
     for (auto transport :
          {perf::Transport::kTcp, perf::Transport::kRdma}) {
       for (auto platform :
            {perf::Platform::kServerHost, perf::Platform::kBlueField3}) {
-        const Row row = RunCell(platform, transport, op, bs);
+        const Row row = RunCell(ctx, platform, transport, op, bs);
         const double gib =
             row.result.bytes_per_sec * row.result.makespan / double(kGiB);
         const double core_sec_per_gib =
             gib > 0 ? row.util.client_core_seconds / gib : 0.0;
         const bool offloaded = platform == perf::Platform::kBlueField3;
+        const double host_core_sec = offloaded ? 0.0 : core_sec_per_gib;
         char util[32];
         std::snprintf(util, sizeof(util), "%.1f%%",
                       row.util.client_cores * 100.0);
         char cspg[32];
         std::snprintf(cspg, sizeof(cspg), "%.4f", core_sec_per_gib);
         char host_cspg[32];
-        std::snprintf(host_cspg, sizeof(host_cspg), "%.4f",
-                      offloaded ? 0.0 : core_sec_per_gib);
+        std::snprintf(host_cspg, sizeof(host_cspg), "%.4f", host_core_sec);
         table.AddRow({std::string(perf::OpKindName(op)) + " " +
                           FormatBytes(bs),
                       std::string(perf::TransportName(transport)),
                       offloaded ? "DPU-offload" : "host-direct",
                       FormatBandwidth(row.result.bytes_per_sec), util, cspg,
                       host_cspg});
+        const bench::Params params = {
+            {"workload", std::string(perf::OpKindName(op))},
+            {"transport", std::string(perf::TransportName(transport))},
+            {"deployment", offloaded ? "dpu-offload" : "host-direct"}};
+        ctx.Metric("throughput", "bytes_per_sec", row.result.bytes_per_sec,
+                   params);
+        ctx.Metric("client_core_sec_per_gib", "core_sec_per_gib",
+                   core_sec_per_gib, params);
+        ctx.Metric("host_core_sec_per_gib", "core_sec_per_gib",
+                   host_core_sec, params);
       }
     }
   }
-  table.Print();
-  std::printf(
-      "\nReading: with RDMA the offload moves the whole client-side budget\n"
-      "off the host at equal throughput (paper takeaway (i)); with TCP the\n"
-      "DPU burns MORE cycles per GiB (RX bottleneck) while also delivering\n"
-      "less - reinforcing that offloaded deployments should be RDMA-first.\n");
-  return 0;
+  ctx.Table("Client-side CPU cost per delivered GiB", table);
+  ctx.Note(
+      "Reading: with RDMA the offload moves the whole client-side budget "
+      "off the host at equal throughput (paper takeaway (i)); with TCP the "
+      "DPU burns MORE cycles per GiB (RX bottleneck) while also delivering "
+      "less - reinforcing that offloaded deployments should be RDMA-first.");
 }
+
+ROS2_BENCH_MAIN()

@@ -5,7 +5,9 @@
 // the BlueField-3 deployment; (2) a functional sanity pass proving
 // ciphertext-at-rest through the real stack.
 #include <cstdio>
+#include <string>
 
+#include "bench/registry.h"
 #include "common/bytes.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -45,12 +47,12 @@ bool CiphertextAtRestCheck() {
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "== Ablation: inline DPU encryption (ChaCha20, per-tenant keys) ==\n"
-      "Deployment: BlueField-3 + RDMA, 4 SSDs, 8 jobs.\n\n");
-  std::printf("ciphertext-at-rest functional check: %s\n\n",
-              CiphertextAtRestCheck() ? "PASS" : "FAIL");
+ROS2_BENCH_EXPERIMENT(ablation_inline_crypto,
+                      "Ablation: inline DPU encryption (ChaCha20, "
+                      "per-tenant keys)") {
+  ctx.Note("Deployment: BlueField-3 + RDMA, 4 SSDs, 8 jobs.");
+  ctx.Check("ciphertext at rest through the real stack",
+            CiphertextAtRestCheck());
 
   // Aggregate throughput barely moves (16 Arm cores push ~28 GiB/s of
   // ChaCha20, above the link ceiling); the honest cost is per-op LATENCY,
@@ -70,8 +72,8 @@ int main() {
     perf::DfsModel plain(config);
     config.inline_crypto = true;
     perf::DfsModel crypto(config);
-    const double p = plain.Run(20000).bytes_per_sec;
-    const double c = crypto.Run(20000).bytes_per_sec;
+    const double p = plain.Run(ctx.ops(20000)).bytes_per_sec;
+    const double c = crypto.Run(ctx.ops(20000)).bytes_per_sec;
 
     config.num_jobs = 1;
     config.iodepth = 2;
@@ -79,20 +81,27 @@ int main() {
     perf::DfsModel plain_lowq(config);
     config.inline_crypto = true;
     perf::DfsModel crypto_lowq(config);
-    const double p99_plain = plain_lowq.Run(5000).latency.p99();
-    const double p99_crypto = crypto_lowq.Run(5000).latency.p99();
+    const double p99_plain = plain_lowq.Run(ctx.ops(5000)).latency.p99();
+    const double p99_crypto = crypto_lowq.Run(ctx.ops(5000)).latency.p99();
 
+    const double cost_pct = (1.0 - c / p) * 100.0;
     char overhead[32];
-    std::snprintf(overhead, sizeof(overhead), "%.1f%%",
-                  (1.0 - c / p) * 100.0);
+    std::snprintf(overhead, sizeof(overhead), "%.1f%%", cost_pct);
     table.AddRow({FormatBytes(bs), FormatBandwidth(p), FormatBandwidth(c),
                   overhead, FormatDuration(p99_plain),
                   FormatDuration(p99_crypto)});
+    const bench::Params params = {{"block_size", FormatBytes(bs)}};
+    ctx.Metric("throughput_plaintext", "bytes_per_sec", p, params);
+    ctx.Metric("throughput_inline_crypto", "bytes_per_sec", c, params);
+    ctx.Metric("crypto_tput_cost", "percent", cost_pct, params);
+    ctx.Metric("p99_plaintext_qd2", "seconds", p99_plain, params);
+    ctx.Metric("p99_crypto_qd2", "seconds", p99_crypto, params);
   }
-  table.Print();
-  std::printf(
-      "\nNote: models the SOFTWARE ChaCha20 path on Arm cores; the real\n"
-      "BlueField-3 carries crypto accelerators, so these overheads are an\n"
-      "upper bound (DESIGN.md section 1).\n");
-  return 0;
+  ctx.Table("Inline ChaCha20 cost across block sizes", table);
+  ctx.Note(
+      "Note: models the SOFTWARE ChaCha20 path on Arm cores; the real "
+      "BlueField-3 carries crypto accelerators, so these overheads are an "
+      "upper bound (DESIGN.md section 1).");
 }
+
+ROS2_BENCH_MAIN()

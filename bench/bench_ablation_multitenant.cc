@@ -2,8 +2,10 @@
 // limits"). Shows (1) timed aggregate throughput under per-tenant caps and
 // (2) a functional demonstration that one tenant's rate limit does not
 // starve another.
-#include <cstdio>
+#include <algorithm>
+#include <string>
 
+#include "bench/registry.h"
 #include "common/bytes.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -60,16 +62,14 @@ bool FunctionalIsolationCheck() {
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "== Ablation: multi-tenant QoS (per-tenant rate limits on the DPU) "
-      "==\n\n");
-  std::printf("functional isolation check: %s\n\n",
-              FunctionalIsolationCheck() ? "PASS" : "FAIL");
-
-  std::printf(
-      "Timed: N tenants sharing a BlueField-3 RDMA deployment, each capped\n"
-      "at the listed rate; sequential 1 MiB reads, 16 jobs, 4 SSDs.\n\n");
+ROS2_BENCH_EXPERIMENT(ablation_multitenant,
+                      "Ablation: multi-tenant QoS (per-tenant rate limits "
+                      "on the DPU)") {
+  ctx.Check("rate-limited tenant cannot starve an open tenant",
+            FunctionalIsolationCheck());
+  ctx.Note(
+      "Timed: N tenants sharing a BlueField-3 RDMA deployment, each capped "
+      "at the listed rate; sequential 1 MiB reads, 16 jobs, 4 SSDs.");
   AsciiTable table({"tenants", "per-tenant cap", "aggregate", "uncapped",
                     "enforcement"});
   for (std::uint32_t tenants : {2u, 4u, 8u}) {
@@ -84,12 +84,12 @@ int main() {
       config.tenants = tenants;
       config.per_tenant_bw = cap_gib * double(kGiB);
       perf::DfsModel capped(config);
-      const double agg = capped.Run(20000).bytes_per_sec;
+      const double agg = capped.Run(ctx.ops(20000)).bytes_per_sec;
 
       config.tenants = 1;
       config.per_tenant_bw = 0.0;
       perf::DfsModel uncapped(config);
-      const double free_run = uncapped.Run(20000).bytes_per_sec;
+      const double free_run = uncapped.Run(ctx.ops(20000)).bytes_per_sec;
 
       const double expected = std::min(tenants * cap_gib * double(kGiB),
                                        free_run);
@@ -98,8 +98,17 @@ int main() {
                     FormatBandwidth(cap_gib * double(kGiB)),
                     FormatBandwidth(agg), FormatBandwidth(free_run),
                     enforced ? "ok" : "VIOLATED"});
+      const bench::Params params = {
+          {"tenants", std::to_string(tenants)},
+          {"cap_gib", std::to_string(cap_gib)}};
+      ctx.Metric("aggregate_throughput", "bytes_per_sec", agg, params);
+      ctx.Metric("uncapped_throughput", "bytes_per_sec", free_run, params);
+      ctx.Check("cap enforced for tenants=" + std::to_string(tenants) +
+                    " cap=" + FormatBandwidth(cap_gib * double(kGiB)),
+                enforced);
     }
   }
-  table.Print();
-  return 0;
+  ctx.Table("Aggregate throughput under per-tenant caps", table);
 }
+
+ROS2_BENCH_MAIN()

@@ -3,8 +3,9 @@
 // bench runs each stage's representative FIO template through the DFS
 // model (host RDMA deployment) and reports the measured profile next to
 // the paper's stated requirement.
-#include <cstdio>
+#include <string>
 
+#include "bench/registry.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "fio/llm_workloads.h"
@@ -12,11 +13,11 @@
 
 using namespace ros2;
 
-int main() {
-  std::printf(
-      "== Fig. 1: storage requirements across the LLM pipeline ==\n"
-      "Each stage's template runs on the DFS model (host CPU, RDMA, 4\n"
-      "SSDs); the measured profile should match the stated requirement.\n\n");
+ROS2_BENCH_EXPERIMENT(fig1_workloads,
+                      "Fig. 1: storage requirements across the LLM pipeline") {
+  ctx.Note(
+      "Each stage's template runs on the DFS model (host CPU, RDMA, 4 SSDs); "
+      "the measured profile should match the stated requirement.");
   AsciiTable table({"stage", "paper requirement", "workload", "throughput",
                     "IOPS", "p99 latency"});
   for (const auto& stage : fio::AllLlmStages()) {
@@ -29,7 +30,7 @@ int main() {
     config.op = stage.job.rw;
     config.block_size = stage.job.block_size;
     perf::DfsModel model(config);
-    const auto result = model.Run(30000);
+    const auto result = model.Run(ctx.ops(30000));
     const std::string workload =
         std::string(perf::OpKindName(stage.job.rw)) + " " +
         FormatBytes(stage.job.block_size) + " x" +
@@ -38,7 +39,12 @@ int main() {
                   FormatBandwidth(result.bytes_per_sec),
                   FormatCount(result.ops_per_sec),
                   FormatDuration(result.latency.p99())});
+    const bench::Params params = {{"stage", stage.name}};
+    ctx.Metric("throughput", "bytes_per_sec", result.bytes_per_sec, params);
+    ctx.Metric("iops", "ops_per_sec", result.ops_per_sec, params);
+    ctx.Metric("p99_latency", "seconds", result.latency.p99(), params);
   }
-  table.Print();
-  return 0;
+  ctx.Table("Fig. 1: storage requirements across the LLM pipeline", table);
 }
+
+ROS2_BENCH_MAIN()

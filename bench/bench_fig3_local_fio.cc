@@ -7,10 +7,11 @@
 // A small functional slice runs through the real io_uring ring + NVMe
 // device model with pattern verification; the reported numbers come from
 // the calibrated queueing model (see DESIGN.md section 1).
-#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench/registry.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "fio/fio.h"
@@ -24,9 +25,8 @@ constexpr perf::OpKind kOps[] = {perf::OpKind::kRead, perf::OpKind::kWrite,
                                  perf::OpKind::kRandRead,
                                  perf::OpKind::kRandWrite};
 
-void RunPanel(const char* title, std::uint32_t num_ssds,
-              std::uint64_t block_size) {
-  std::printf("\n-- %s --\n", title);
+void RunPanel(bench::BenchContext& ctx, const char* title, const char* panel,
+              std::uint32_t num_ssds, std::uint64_t block_size) {
   std::vector<std::unique_ptr<storage::NvmeDevice>> devices;
   std::vector<storage::NvmeDevice*> raw;
   for (std::uint32_t i = 0; i < num_ssds; ++i) {
@@ -43,6 +43,7 @@ void RunPanel(const char* title, std::uint32_t num_ssds,
     headers.push_back("jobs=" + std::to_string(jobs));
   }
   AsciiTable table(headers);
+  bool all_rows_ok = true;
   for (auto op : kOps) {
     std::vector<std::string> row = {std::string(perf::OpKindName(op))};
     for (auto jobs : kJobSweep) {
@@ -51,33 +52,44 @@ void RunPanel(const char* title, std::uint32_t num_ssds,
       spec.rw = op;
       spec.block_size = block_size;
       spec.numjobs = jobs;
-      spec.total_ops = iops_panel ? 60000 : 20000;
+      spec.total_ops = ctx.ops(iops_panel ? 60000 : 20000);
       spec.verify_ops = jobs == 1 ? 32 : 0;  // one functional pass per row
       auto report = harness.Run(spec);
       if (!report.ok()) {
         row.push_back("ERR:" + report.status().ToString());
+        all_rows_ok = false;
         continue;
       }
       row.push_back(iops_panel ? FormatCount(report->iops) + "IOPS"
                                : FormatBandwidth(report->bytes_per_sec));
+      ctx.Metric(iops_panel ? "iops" : "throughput",
+                 iops_panel ? "ops_per_sec" : "bytes_per_sec",
+                 iops_panel ? report->iops : report->bytes_per_sec,
+                 {{"panel", panel},
+                  {"workload", std::string(perf::OpKindName(op))},
+                  {"jobs", std::to_string(jobs)}});
     }
     table.AddRow(std::move(row));
   }
-  table.Print();
+  ctx.Check(std::string("panel ") + panel + " jobs completed without error",
+            all_rows_ok);
+  ctx.Table(title, table);
 }
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "== Fig. 3: Local FIO benchmark (IO_URING engine), paper Sec. 4.2 ==\n"
-      "Expected shapes: (i) 1 MiB saturates per-device BW at 1 job\n"
-      "(reads ~5.4 GiB/s, writes ~2.7 GiB/s per SSD, ~4x with 4 SSDs);\n"
-      "(ii) 4 KiB IOPS grow with jobs ~80K -> ~600K regardless of drive\n"
-      "count (host software-path limit).\n");
-  RunPanel("(a) throughput, bs=1 MiB, 1 NVMe SSD", 1, kMiB);
-  RunPanel("(b) IOPS, bs=4 KiB, 1 NVMe SSD", 1, 4096);
-  RunPanel("(c) throughput, bs=1 MiB, 4 NVMe SSDs", 4, kMiB);
-  RunPanel("(d) IOPS, bs=4 KiB, 4 NVMe SSDs", 4, 4096);
-  return 0;
+ROS2_BENCH_EXPERIMENT(fig3_local_fio,
+                      "Fig. 3: Local FIO benchmark (IO_URING engine), "
+                      "paper Sec. 4.2") {
+  ctx.Note(
+      "Expected shapes: (i) 1 MiB saturates per-device BW at 1 job (reads "
+      "~5.4 GiB/s, writes ~2.7 GiB/s per SSD, ~4x with 4 SSDs); (ii) 4 KiB "
+      "IOPS grow with jobs ~80K -> ~600K regardless of drive count (host "
+      "software-path limit).");
+  RunPanel(ctx, "(a) throughput, bs=1 MiB, 1 NVMe SSD", "a", 1, kMiB);
+  RunPanel(ctx, "(b) IOPS, bs=4 KiB, 1 NVMe SSD", "b", 1, 4096);
+  RunPanel(ctx, "(c) throughput, bs=1 MiB, 4 NVMe SSDs", "c", 4, kMiB);
+  RunPanel(ctx, "(d) IOPS, bs=4 KiB, 4 NVMe SSDs", "d", 4, 4096);
 }
+
+ROS2_BENCH_MAIN()

@@ -6,8 +6,10 @@
 //
 // Functional verification runs once per transport through the real
 // NVMe-oF target/initiator; heatmap numbers come from the calibrated model.
-#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/registry.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "fio/fio.h"
@@ -18,9 +20,9 @@ namespace {
 
 constexpr std::uint32_t kCoreSweep[] = {1, 2, 4, 8, 16};
 
-void RunHeatmap(const char* title, net::Transport transport,
+void RunHeatmap(bench::BenchContext& ctx, const char* title,
+                const char* panel, net::Transport transport,
                 std::uint64_t block_size, perf::OpKind op) {
-  std::printf("\n-- %s (%s) --\n", title, perf::OpKindName(op).data());
   const bool iops_panel = block_size == 4096;
   std::vector<std::string> headers = {"client\\server"};
   for (auto cores : kCoreSweep) {
@@ -37,13 +39,22 @@ void RunHeatmap(const char* title, net::Transport transport,
       config.op = op;
       config.block_size = block_size;
       perf::RemoteSpdkModel model(config);
-      const auto result = model.Run(iops_panel ? 40000 : 15000);
+      const auto result = model.Run(ctx.ops(iops_panel ? 40000 : 15000));
       row.push_back(iops_panel ? FormatCount(result.ops_per_sec)
                                : FormatBandwidth(result.bytes_per_sec));
+      ctx.Metric(iops_panel ? "iops" : "throughput",
+                 iops_panel ? "ops_per_sec" : "bytes_per_sec",
+                 iops_panel ? result.ops_per_sec : result.bytes_per_sec,
+                 {{"panel", panel},
+                  {"workload", std::string(perf::OpKindName(op))},
+                  {"client_cores", std::to_string(client_cores)},
+                  {"server_cores", std::to_string(server_cores)}});
     }
     table.AddRow(std::move(row));
   }
-  table.Print();
+  ctx.Table(std::string(title) + " (" +
+                std::string(perf::OpKindName(op)) + ")",
+            table);
 }
 
 bool FunctionalCheck(net::Transport transport) {
@@ -73,35 +84,36 @@ bool FunctionalCheck(net::Transport transport) {
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "== Fig. 4: Remote SPDK benchmark (NVMe-oF, 1 SSD), paper Sec. 4.3 ==\n"
-      "Expected shapes: 1 MiB - both transports plateau at the media\n"
-      "ceiling (~5.4 GiB/s) after a few cores; 4 KiB - RDMA >> TCP and\n"
-      "keeps scaling with cores while TCP flattens (~250K serialized cap).\n");
+ROS2_BENCH_EXPERIMENT(fig4_remote_spdk,
+                      "Fig. 4: Remote SPDK benchmark (NVMe-oF, 1 SSD), "
+                      "paper Sec. 4.3") {
+  ctx.Note(
+      "Expected shapes: 1 MiB - both transports plateau at the media "
+      "ceiling (~5.4 GiB/s) after a few cores; 4 KiB - RDMA >> TCP and "
+      "keeps scaling with cores while TCP flattens (~250K serialized cap).");
   for (auto transport : {net::Transport::kTcp, net::Transport::kRdma}) {
-    std::printf("functional check (%s): %s\n",
-                perf::TransportName(transport).data(),
-                FunctionalCheck(transport) ? "PASS (128 ops verified)"
-                                           : "FAIL");
+    ctx.Check(std::string("NVMe-oF 128-op verified pass (") +
+                  std::string(perf::TransportName(transport)) + ")",
+              FunctionalCheck(transport));
   }
-  RunHeatmap("(a) throughput, bs=1 MiB, TCP", net::Transport::kTcp, kMiB,
-             perf::OpKind::kRead);
-  RunHeatmap("(b) throughput, bs=1 MiB, RDMA", net::Transport::kRdma, kMiB,
-             perf::OpKind::kRead);
-  RunHeatmap("(c) IOPS, bs=4 KiB, TCP", net::Transport::kTcp, 4096,
+  RunHeatmap(ctx, "(a) throughput, bs=1 MiB, TCP", "a", net::Transport::kTcp,
+             kMiB, perf::OpKind::kRead);
+  RunHeatmap(ctx, "(b) throughput, bs=1 MiB, RDMA", "b",
+             net::Transport::kRdma, kMiB, perf::OpKind::kRead);
+  RunHeatmap(ctx, "(c) IOPS, bs=4 KiB, TCP", "c", net::Transport::kTcp, 4096,
              perf::OpKind::kRandRead);
-  RunHeatmap("(d) IOPS, bs=4 KiB, RDMA", net::Transport::kRdma, 4096,
-             perf::OpKind::kRandRead);
+  RunHeatmap(ctx, "(d) IOPS, bs=4 KiB, RDMA", "d", net::Transport::kRdma,
+             4096, perf::OpKind::kRandRead);
   // Write-side panels (the paper sweeps all four workloads; reads shown
   // above as the headline, writes here for completeness).
-  RunHeatmap("(a') throughput, bs=1 MiB, TCP", net::Transport::kTcp, kMiB,
-             perf::OpKind::kWrite);
-  RunHeatmap("(b') throughput, bs=1 MiB, RDMA", net::Transport::kRdma, kMiB,
-             perf::OpKind::kWrite);
-  RunHeatmap("(c') IOPS, bs=4 KiB, TCP", net::Transport::kTcp, 4096,
-             perf::OpKind::kRandWrite);
-  RunHeatmap("(d') IOPS, bs=4 KiB, RDMA", net::Transport::kRdma, 4096,
-             perf::OpKind::kRandWrite);
-  return 0;
+  RunHeatmap(ctx, "(a') throughput, bs=1 MiB, TCP", "a2", net::Transport::kTcp,
+             kMiB, perf::OpKind::kWrite);
+  RunHeatmap(ctx, "(b') throughput, bs=1 MiB, RDMA", "b2",
+             net::Transport::kRdma, kMiB, perf::OpKind::kWrite);
+  RunHeatmap(ctx, "(c') IOPS, bs=4 KiB, TCP", "c2", net::Transport::kTcp,
+             4096, perf::OpKind::kRandWrite);
+  RunHeatmap(ctx, "(d') IOPS, bs=4 KiB, RDMA", "d2", net::Transport::kRdma,
+             4096, perf::OpKind::kRandWrite);
 }
+
+ROS2_BENCH_MAIN()

@@ -8,8 +8,10 @@
 // figure layout. One functional pass per deployment runs through the full
 // ROS2 stack (control plane, DAOS engine, DFS, tenant QoS) with pattern
 // verification.
-#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/registry.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "fio/fio.h"
@@ -33,16 +35,16 @@ const char* RowLabel(perf::OpKind op) {
   return "?";
 }
 
-void RunPanel(const char* title, net::Transport transport,
-              std::uint64_t block_size) {
-  std::printf("\n-- %s --\n", title);
+void RunPanel(bench::BenchContext& ctx, const char* title, const char* panel,
+              net::Transport transport, std::uint64_t block_size) {
   const bool iops_panel = block_size == 4096;
   for (auto platform :
        {perf::Platform::kServerHost, perf::Platform::kBlueField3}) {
     for (std::uint32_t ssds : {1u, 4u}) {
-      std::vector<std::string> headers = {
+      const std::string group =
           std::string(perf::PlatformName(platform)) + " " +
-          std::to_string(ssds) + "ssd"};
+          std::to_string(ssds) + "ssd";
+      std::vector<std::string> headers = {group};
       for (auto jobs : kJobSweep) {
         headers.push_back("jobs=" + std::to_string(jobs));
       }
@@ -58,14 +60,21 @@ void RunPanel(const char* title, net::Transport transport,
           config.op = op;
           config.block_size = block_size;
           perf::DfsModel model(config);
-          const auto result = model.Run(iops_panel ? 40000 : 15000);
+          const auto result = model.Run(ctx.ops(iops_panel ? 40000 : 15000));
           row.push_back(iops_panel ? FormatCount(result.ops_per_sec)
                                    : FormatBandwidth(result.bytes_per_sec));
+          ctx.Metric(iops_panel ? "iops" : "throughput",
+                     iops_panel ? "ops_per_sec" : "bytes_per_sec",
+                     iops_panel ? result.ops_per_sec : result.bytes_per_sec,
+                     {{"panel", panel},
+                      {"platform", std::string(perf::PlatformName(platform))},
+                      {"ssds", std::to_string(ssds)},
+                      {"workload", std::string(perf::OpKindName(op))},
+                      {"jobs", std::to_string(jobs)}});
         }
         table.AddRow(std::move(row));
       }
-      table.Print();
-      std::printf("\n");
+      ctx.Table(std::string(title) + " — " + group, table);
     }
   }
 }
@@ -103,28 +112,28 @@ bool FunctionalCheck(perf::Platform platform, net::Transport transport) {
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "== Fig. 5: DFS end-to-end, host vs BlueField-3, paper Sec. 4.4 ==\n"
-      "Expected shapes: (i) DPU RDMA ~= host at 1 MiB (~6.4 / ~10-11\n"
-      "GiB/s); (ii) DPU TCP reads collapse (~3.1 -> ~1.6 GiB/s with\n"
-      "concurrency) while writes stay ~10 GiB/s; (iii) 4 KiB: host TCP\n"
-      "~0.4-0.6M, DPU TCP ~0.18-0.23M, DPU RDMA >= 2x DPU TCP but trails\n"
-      "host RDMA by 20-40%%.\n\n");
+ROS2_BENCH_EXPERIMENT(fig5_dfs,
+                      "Fig. 5: DFS end-to-end, host vs BlueField-3, paper "
+                      "Sec. 4.4") {
+  ctx.Note(
+      "Expected shapes: (i) DPU RDMA ~= host at 1 MiB (~6.4 / ~10-11 "
+      "GiB/s); (ii) DPU TCP reads collapse (~3.1 -> ~1.6 GiB/s with "
+      "concurrency) while writes stay ~10 GiB/s; (iii) 4 KiB: host TCP "
+      "~0.4-0.6M, DPU TCP ~0.18-0.23M, DPU RDMA >= 2x DPU TCP but trails "
+      "host RDMA by 20-40%.");
   for (auto platform :
        {perf::Platform::kServerHost, perf::Platform::kBlueField3}) {
     for (auto transport : {net::Transport::kTcp, net::Transport::kRdma}) {
-      std::printf("functional check (%s/%s): %s\n",
-                  perf::PlatformName(platform).data(),
-                  perf::TransportName(transport).data(),
-                  FunctionalCheck(platform, transport)
-                      ? "PASS (64 ops verified)"
-                      : "FAIL");
+      ctx.Check(std::string("full-stack 64-op verified pass (") +
+                    std::string(perf::PlatformName(platform)) + "/" +
+                    std::string(perf::TransportName(transport)) + ")",
+                FunctionalCheck(platform, transport));
     }
   }
-  RunPanel("(a) DFS TCP 1M (GiB/s)", net::Transport::kTcp, kMiB);
-  RunPanel("(b) DFS RDMA 1M (GiB/s)", net::Transport::kRdma, kMiB);
-  RunPanel("(c) DFS TCP 4K (IOPS)", net::Transport::kTcp, 4096);
-  RunPanel("(d) DFS RDMA 4K (IOPS)", net::Transport::kRdma, 4096);
-  return 0;
+  RunPanel(ctx, "(a) DFS TCP 1M (GiB/s)", "a", net::Transport::kTcp, kMiB);
+  RunPanel(ctx, "(b) DFS RDMA 1M (GiB/s)", "b", net::Transport::kRdma, kMiB);
+  RunPanel(ctx, "(c) DFS TCP 4K (IOPS)", "c", net::Transport::kTcp, 4096);
+  RunPanel(ctx, "(d) DFS RDMA 4K (IOPS)", "d", net::Transport::kRdma, 4096);
 }
+
+ROS2_BENCH_MAIN()

@@ -4,10 +4,13 @@
 // The table is static (vendor datasheet numbers quoted by the paper); the
 // value added here is the derived per-node ingest requirement that
 // motivates the RDMA-first design, swept over the paper's parameters.
-#include <cstdio>
+#include <string>
 
+#include "bench/registry.h"
 #include "common/table.h"
 #include "common/units.h"
+
+using namespace ros2;
 
 namespace {
 
@@ -40,40 +43,47 @@ constexpr GpuSpec kGpus[] = {
 
 }  // namespace
 
-int main() {
-  std::printf("== Table 1: NVIDIA data center GPUs across generations ==\n\n");
-  ros2::AsciiTable table({"GPU", "Architecture", "Memory", "Mem BW",
-                          "NVLink (gen / per-GPU BW)", "FP16", "FP8", "FP4"});
+ROS2_BENCH_EXPERIMENT(table1_gpus,
+                      "Table 1: NVIDIA data center GPUs across generations") {
+  AsciiTable table({"GPU", "Architecture", "Memory", "Mem BW",
+                    "NVLink (gen / per-GPU BW)", "FP16", "FP8", "FP4"});
   for (const auto& gpu : kGpus) {
     table.AddRow({gpu.name, gpu.arch, gpu.memory, gpu.mem_bw, gpu.nvlink,
                   gpu.fp16, gpu.fp8, gpu.fp4});
+    ctx.Metric("mem_bandwidth", "tb_per_sec", gpu.mem_bw_tbps,
+               {{"gpu", gpu.name}});
   }
-  table.Print();
+  ctx.Table("Table 1: NVIDIA data center GPUs across generations", table);
+}
 
-  std::printf(
-      "\n== Ingest implication model (Sec. 2.1): B_node ~= G * r * s ==\n"
-      "G = GPUs per node, r = per-GPU sample rate (samples/s),\n"
-      "s = bytes fetched per sample after compression.\n\n");
-  ros2::AsciiTable ingest(
+ROS2_BENCH_EXPERIMENT(table1_ingest_model,
+                      "Ingest implication model (Sec. 2.1): B_node ~= G*r*s") {
+  ctx.Note(
+      "G = GPUs per node, r = per-GPU sample rate (samples/s), s = bytes "
+      "fetched per sample after compression.");
+  AsciiTable ingest(
       {"G", "r (samples/s)", "s (KiB)", "B_node", "fits 100 Gbps link?"});
   for (int gpus : {4, 8}) {
     for (double rate : {500.0, 2000.0, 8000.0}) {
       for (double sample_kib : {64.0, 256.0, 1024.0}) {
-        const double bytes_per_sec =
-            gpus * rate * sample_kib * double(ros2::kKiB);
-        const bool fits = bytes_per_sec < 100.0 * ros2::kGbps;
-        ingest.AddRow({std::to_string(gpus),
-                       std::to_string(int(rate)),
+        const double bytes_per_sec = gpus * rate * sample_kib * double(kKiB);
+        const bool fits = bytes_per_sec < 100.0 * kGbps;
+        ingest.AddRow({std::to_string(gpus), std::to_string(int(rate)),
                        std::to_string(int(sample_kib)),
-                       ros2::FormatBandwidth(bytes_per_sec),
+                       FormatBandwidth(bytes_per_sec),
                        fits ? "yes" : "NO - saturates fabric"});
+        ctx.Metric("node_ingest", "bytes_per_sec", bytes_per_sec,
+                   {{"gpus", std::to_string(gpus)},
+                    {"rate", std::to_string(int(rate))},
+                    {"sample_kib", std::to_string(int(sample_kib))}});
       }
     }
   }
-  ingest.Print();
-  std::printf(
-      "\nEven conservative choices yield multi-GiB/s per node plus heavy\n"
-      "small-I/O pressure from shuffling - the motivation for the\n"
-      "RDMA-first, SmartNIC-offloaded data path evaluated in Figs. 3-5.\n");
-  return 0;
+  ctx.Table("Ingest implication model (Sec. 2.1)", ingest);
+  ctx.Note(
+      "Even conservative choices yield multi-GiB/s per node plus heavy "
+      "small-I/O pressure from shuffling - the motivation for the "
+      "RDMA-first, SmartNIC-offloaded data path evaluated in Figs. 3-5.");
 }
+
+ROS2_BENCH_MAIN()

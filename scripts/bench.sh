@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Experiments harness: builds the bench binaries, runs all eleven offline,
+# aggregates their JSON into a single BENCH_<mode>.json, regenerates
+# EXPERIMENTS.md from the tables, and can diff the run against a committed
+# baseline aggregate (failing on out-of-tolerance regressions).
+#
+# Usage:
+#   scripts/bench.sh                       # quick mode (default, ~10 s)
+#   scripts/bench.sh --quick               # same, explicit
+#   scripts/bench.sh --full                # paper-scale op budgets
+#   scripts/bench.sh --system-benchmark    # micro bench vs system library
+#                                          # (uses build-sysbench/ unless
+#                                          # BUILD_DIR is set explicitly)
+#   scripts/bench.sh --diff <baseline>     # also diff against a baseline
+#   scripts/bench.sh --tolerance 0.25      # diff tolerance (relative)
+#   scripts/bench.sh --no-experiments-md   # never rewrite EXPERIMENTS.md
+#   scripts/bench.sh --experiments-md      # rewrite it even in --full mode
+#   BUILD_DIR=out scripts/bench.sh         # custom build directory
+#
+# EXPERIMENTS.md is the committed quick-mode baseline: quick runs rewrite
+# it by default, --full runs leave it alone unless --experiments-md.
+#
+# Artifacts land in <build>/bench-out/: one .json + .txt per bench binary
+# plus the merged BENCH_quick.json (or BENCH_full.json). Model numbers are
+# deterministic; bench_micro_transport sections are wall-clock and vary by
+# machine (benchctl diff skips them by default).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR_WAS_SET="${BUILD_DIR:+1}"
+BUILD_DIR="${BUILD_DIR:-build}"
+MODE=quick
+CMAKE_ARGS=()
+DIFF_BASELINE=""
+TOLERANCE=0.25
+# Empty = auto: EXPERIMENTS.md is the committed QUICK-mode baseline, so it
+# is only (re)written for quick runs; a --full run would otherwise replace
+# it with numbers a quick run can never reproduce.
+WRITE_EXPERIMENTS_MD=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) MODE=quick ;;
+    --full) MODE=full ;;
+    --system-benchmark)
+      CMAKE_ARGS+=(-DROS2_USE_SYSTEM_BENCHMARK=ON)
+      # Keep the system-library configure out of the default (vendored)
+      # build dir's CMake cache — unless the caller pinned BUILD_DIR
+      # (scripts/ci.sh does, with its own suffix scheme).
+      [[ -z "$BUILD_DIR_WAS_SET" ]] && BUILD_DIR="build-sysbench"
+      ;;
+    --diff)
+      shift
+      [[ $# -gt 0 ]] || { echo "--diff needs a baseline path" >&2; exit 2; }
+      DIFF_BASELINE="$1"
+      ;;
+    --tolerance)
+      shift
+      [[ $# -gt 0 ]] || { echo "--tolerance needs a value" >&2; exit 2; }
+      TOLERANCE="$1"
+      ;;
+    --no-experiments-md) WRITE_EXPERIMENTS_MD=0 ;;
+    --experiments-md) WRITE_EXPERIMENTS_MD=1 ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+if [[ -z "$WRITE_EXPERIMENTS_MD" ]]; then
+  [[ "$MODE" == quick ]] && WRITE_EXPERIMENTS_MD=1 || WRITE_EXPERIMENTS_MD=0
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+OUT_DIR="$BUILD_DIR/bench-out"
+mkdir -p "$OUT_DIR"
+
+# Canonical order: figures, table, ablations, then the real-time micro
+# bench — this is the section order of the regenerated EXPERIMENTS.md.
+MODEL_BENCHES=(
+  bench_fig1_workloads
+  bench_fig3_local_fio
+  bench_fig4_remote_spdk
+  bench_fig5_dfs
+  bench_table1_gpus
+  bench_ablation_checksum
+  bench_ablation_gpudirect
+  bench_ablation_host_savings
+  bench_ablation_inline_crypto
+  bench_ablation_multitenant
+)
+
+QUICK_FLAG=""
+[[ "$MODE" == quick ]] && QUICK_FLAG="--quick"
+
+for bench in "${MODEL_BENCHES[@]}"; do
+  echo "== running $bench ($MODE) =="
+  "$BUILD_DIR/bench/$bench" $QUICK_FLAG \
+      --json="$OUT_DIR/$bench.json" > "$OUT_DIR/$bench.txt"
+done
+
+# bench_micro_transport measures real CPU time; quick mode just shortens
+# the per-benchmark measurement window. Plain seconds (no "s" suffix):
+# google-benchmark < 1.8 rejects suffixed values, >= 1.8 and the vendored
+# shim accept both.
+MICRO_MIN_TIME="0.5"
+[[ "$MODE" == quick ]] && MICRO_MIN_TIME="0.02"
+echo "== running bench_micro_transport ($MODE, min_time=$MICRO_MIN_TIME) =="
+"$BUILD_DIR/bench/bench_micro_transport" \
+    "--benchmark_min_time=$MICRO_MIN_TIME" \
+    "--benchmark_out=$OUT_DIR/bench_micro_transport.json" \
+    --benchmark_out_format=json > "$OUT_DIR/bench_micro_transport.txt"
+
+AGGREGATE="$OUT_DIR/BENCH_${MODE}.json"
+MERGE_ARGS=(merge "--out=$AGGREGATE")
+if [[ "$WRITE_EXPERIMENTS_MD" == 1 ]]; then
+  MERGE_ARGS+=("--experiments-md=EXPERIMENTS.md")
+fi
+for bench in "${MODEL_BENCHES[@]}"; do
+  MERGE_ARGS+=("$OUT_DIR/$bench.json")
+done
+MERGE_ARGS+=("$OUT_DIR/bench_micro_transport.json")
+"$BUILD_DIR/src/bench/ros2_benchctl" "${MERGE_ARGS[@]}"
+echo "aggregate: $AGGREGATE"
+[[ "$WRITE_EXPERIMENTS_MD" == 1 ]] && echo "regenerated: EXPERIMENTS.md"
+
+if [[ -n "$DIFF_BASELINE" ]]; then
+  # A baseline that IS the fresh aggregate would diff the file against
+  # itself and always pass; save a copy of a previous run's aggregate
+  # (e.g. cp .../BENCH_quick.json /tmp/baseline.json) and diff that.
+  if [[ "$(realpath -m "$DIFF_BASELINE")" == "$(realpath -m "$AGGREGATE")" ]]; then
+    echo "--diff baseline resolves to the aggregate this run just wrote" \
+         "($AGGREGATE); diff a saved copy instead" >&2
+    exit 2
+  fi
+  "$BUILD_DIR/src/bench/ros2_benchctl" diff \
+      "--tolerance=$TOLERANCE" "$DIFF_BASELINE" "$AGGREGATE"
+fi

@@ -1,22 +1,42 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure -> build -> ctest. Keep this byte-for-byte in sync
-# with the one-liner in README.md; .github/workflows/ci.yml just calls it.
+# Tier-1 gate: configure -> build -> ctest -> bench smoke. Keep the
+# configure/build/ctest sequence byte-for-byte in sync with the one-liner
+# in README.md; .github/workflows/ci.yml just calls this script.
+#
+# CI turns -Werror ON (src/ and tests/ are warning-clean and stay that
+# way); local builds default it OFF so an unusual toolchain can't brick
+# the build.
 #
 # Usage:
-#   scripts/ci.sh                 # vendored minigtest harness (offline)
-#   scripts/ci.sh --system-gtest  # same suite against an installed GoogleTest
-#   BUILD_DIR=out scripts/ci.sh   # custom build directory
+#   scripts/ci.sh                     # vendored minigtest + minibenchmark
+#   scripts/ci.sh --system-gtest      # suite against installed GoogleTest
+#   scripts/ci.sh --system-benchmark  # micro bench against installed
+#                                     # google-benchmark
+#   scripts/ci.sh --no-bench          # skip the bench smoke stage
+#   BUILD_DIR=out scripts/ci.sh       # custom build directory
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-CMAKE_ARGS=()
+CMAKE_ARGS=(-DROS2_WERROR=ON)
+BENCH_ARGS=()
+RUN_BENCH=1
 for arg in "$@"; do
   case "$arg" in
     --system-gtest)
       CMAKE_ARGS+=(-DROS2_USE_SYSTEM_GTEST=ON)
       BUILD_DIR="${BUILD_DIR}-sysgtest"
+      ;;
+    --system-benchmark)
+      CMAKE_ARGS+=(-DROS2_USE_SYSTEM_BENCHMARK=ON)
+      BENCH_ARGS+=(--system-benchmark)
+      # Own build dir, like --system-gtest: otherwise the ON value would
+      # stick in the default dir's CMake cache and poison later plain runs.
+      BUILD_DIR="${BUILD_DIR}-sysbench"
+      ;;
+    --no-bench)
+      RUN_BENCH=0
       ;;
     *)
       echo "unknown argument: $arg" >&2
@@ -30,3 +50,12 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  # Bench smoke: every experiment binary runs quick-mode and its functional
+  # checks must pass; produces $BUILD_DIR/bench-out/BENCH_quick.json.
+  # EXPERIMENTS.md is left untouched here — regenerating it is a deliberate
+  # local act (scripts/bench.sh) whose diff rides the PR that changed perf.
+  BUILD_DIR="$BUILD_DIR" scripts/bench.sh --quick --no-experiments-md \
+      "${BENCH_ARGS[@]}"
+fi

@@ -1,0 +1,319 @@
+#include "bench/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ros2::bench {
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [name, value] : members_) {
+    if (name == key) return value;
+  }
+  members_.emplace_back(key, Json());
+  return members_.back().second;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Json::Append(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  elements_.push_back(std::move(value));
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", unsigned(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string NumberToString(double value) {
+  if (!std::isfinite(value)) return "0";  // JSON has no inf/nan
+  // Integral values print without an exponent or trailing ".0" so iteration
+  // counts and byte sizes stay readable in the emitted files.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(std::size_t(indent) * std::size_t(depth + 1), ' ')
+             : "";
+  const std::string close_pad =
+      pretty ? std::string(std::size_t(indent) * std::size_t(depth), ' ') : "";
+  const char* newline = pretty ? "\n" : "";
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: *out += NumberToString(number_); break;
+    case Type::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      break;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += newline;
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        *out += pad;
+        elements_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < elements_.size()) *out += ',';
+        *out += newline;
+        if (!pretty && i + 1 < elements_.size()) *out += ' ';
+      }
+      *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += newline;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        *out += pad;
+        *out += '"';
+        *out += JsonEscape(members_[i].first);
+        *out += pretty ? "\": " : "\":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < members_.size()) *out += ',';
+        *out += newline;
+        if (!pretty && i + 1 < members_.size()) *out += ' ';
+      }
+      *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser — recursive descent over the full JSON grammar (strings with the
+// common escapes incl. \uXXXX as raw codepoint bytes for ASCII).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    ROS2_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return InvalidArgument("JSON parse error at offset " +
+                           std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const std::size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      ROS2_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return Json(true);
+    if (ConsumeLiteral("false")) return Json(false);
+    if (ConsumeLiteral("null")) return Json();
+    return ParseNumber();
+  }
+
+  Result<Json> ParseObject() {
+    Consume('{');
+    Json object = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      ROS2_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      ROS2_ASSIGN_OR_RETURN(Json value, ParseValue());
+      object[key] = std::move(value);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    Consume('[');
+    Json array = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    for (;;) {
+      ROS2_ASSIGN_OR_RETURN(Json value, ParseValue());
+      array.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) return Error("bad \\u escape");
+          if (code < 0x80) {
+            out += char(code);
+          } else {  // 2/3-byte UTF-8; surrogate pairs out of scope
+            if (code < 0x800) {
+              out += char(0xC0 | (code >> 6));
+            } else {
+              out += char(0xE0 | (code >> 12));
+              out += char(0x80 | ((code >> 6) & 0x3F));
+            }
+            out += char(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace ros2::bench

@@ -1,0 +1,98 @@
+// Minimal ordered JSON document model for the experiments subsystem.
+//
+// The BenchReport emitter writes it, benchctl parses/merges/diffs it, and
+// scripts/bench.sh never needs jq or python. Objects preserve insertion
+// order so emitted files are byte-deterministic and diffable. Numbers are
+// stored as double (plenty for metric values; not a general-purpose
+// arbitrary-precision parser).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ros2::bench {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(int value) : Json(double(value)) {}  // NOLINT
+  Json(std::int64_t value) : Json(double(value)) {}  // NOLINT
+  Json(std::uint64_t value) : Json(double(value)) {}  // NOLINT
+  Json(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Object member access; inserts a null member (preserving order) when the
+  /// key is absent. Converts a null value into an object on first use.
+  Json& operator[](const std::string& key);
+
+  /// Const lookup: nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Array append. Converts a null value into an array on first use.
+  void Append(Json value);
+
+  const std::vector<Json>& elements() const { return elements_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  std::size_t size() const {
+    return is_array() ? elements_.size() : members_.size();
+  }
+
+  /// Serialize. indent < 0 renders compact single-line JSON; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escapes a string for embedding in JSON output (no surrounding quotes).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace ros2::bench

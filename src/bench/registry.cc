@@ -1,0 +1,131 @@
+#include "bench/registry.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ros2::bench {
+
+namespace {
+
+std::vector<Experiment>& MutableRegistry() {
+  static std::vector<Experiment> registry;
+  return registry;
+}
+
+std::string Basename(const char* path) {
+  const std::string text = path == nullptr ? "bench" : path;
+  const std::size_t slash = text.find_last_of('/');
+  return slash == std::string::npos ? text : text.substr(slash + 1);
+}
+
+}  // namespace
+
+bool RegisterExperiment(std::string name, std::string description,
+                        ExperimentFn fn) {
+  MutableRegistry().push_back(
+      {std::move(name), std::move(description), fn});
+  return true;
+}
+
+const std::vector<Experiment>& Experiments() { return MutableRegistry(); }
+
+bool WildcardMatch(const std::string& pattern, const std::string& text) {
+  const char* p = pattern.c_str();
+  const char* t = text.c_str();
+  // Iterative wildcard match with backtracking over the last '*'.
+  const char* star = nullptr;
+  const char* star_text = nullptr;
+  while (*t != '\0') {
+    if (*p == '*') {
+      star = p++;
+      star_text = t;
+    } else if (*p == '?' || *p == *t) {
+      ++p;
+      ++t;
+    } else if (star != nullptr) {
+      p = star + 1;
+      t = ++star_text;
+    } else {
+      return false;
+    }
+  }
+  while (*p == '*') ++p;
+  return *p == '\0';
+}
+
+int RunExperiments(const RunOptions& options, BenchReport* report) {
+  int run = 0;
+  for (const auto& experiment : Experiments()) {
+    if (!options.filter.empty() &&
+        !WildcardMatch(options.filter, experiment.name)) {
+      continue;
+    }
+    report->BeginExperiment(experiment.name, experiment.description);
+    BenchContext context(report, options.quick);
+    experiment.fn(context);
+    ++run;
+  }
+  return run;
+}
+
+int RunMain(int argc, char** argv) {
+  RunOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      options.filter = arg.substr(std::strlen("--filter="));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--quick] [--json=<path>] [--filter=<pattern>] "
+          "[--list]\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
+                   argv[0], arg.c_str());
+      return 2;
+    }
+  }
+
+  if (options.list) {
+    for (const auto& experiment : Experiments()) {
+      if (!options.filter.empty() &&
+          !WildcardMatch(options.filter, experiment.name)) {
+        continue;
+      }
+      std::printf("%s\t%s\n", experiment.name.c_str(),
+                  experiment.description.c_str());
+    }
+    return 0;
+  }
+
+  BenchReport report(Basename(argc > 0 ? argv[0] : nullptr), options.quick);
+  const int run = RunExperiments(options, &report);
+  std::fputs(report.RenderConsole().c_str(), stdout);
+  if (run == 0) {
+    std::fprintf(stderr, "%s: no experiment matched filter '%s'\n", argv[0],
+                 options.filter.c_str());
+    return 2;
+  }
+  if (!options.json_path.empty()) {
+    const Status status = report.WriteJsonFile(options.json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], status.ToString().c_str());
+      return 2;
+    }
+  }
+  if (!report.AllChecksPassed()) {
+    std::fprintf(stderr, "%s: one or more functional checks FAILED\n",
+                 argv[0]);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace ros2::bench

@@ -1,0 +1,106 @@
+// Experiment registry + shared main for the bench/ binaries.
+//
+// A bench binary defines one or more experiments with
+// ROS2_BENCH_EXPERIMENT(name, "description") { ... } and closes with
+// ROS2_BENCH_MAIN(). Every binary then speaks the same CLI:
+//
+//   --quick          scaled-down op budgets (CI smoke; still deterministic)
+//   --json=<path>    write the ros2-bench-report-v1 JSON document
+//   --filter=<pat>   run matching experiments ('*'/'?' wildcards)
+//   --list           print experiment names and exit
+//
+// Exit code: 0 when every functional check passed, 1 otherwise — so the CI
+// bench smoke stage catches functional regressions, not just build breaks.
+//
+// The registry is static-init populated (same pattern as minigtest's test
+// registry); experiments run in registration order, which keeps console,
+// markdown, and JSON output deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+
+namespace ros2::bench {
+
+class BenchContext {
+ public:
+  BenchContext(BenchReport* report, bool quick)
+      : report_(report), quick_(quick) {}
+
+  bool quick() const { return quick_; }
+
+  /// Scales a full-run op budget for quick mode. The floor keeps the
+  /// closed-loop models inside their trimmed-window steady state, so quick
+  /// numbers are still deterministic and diffable (just coarser).
+  std::uint64_t ops(std::uint64_t full) const {
+    return quick_ ? std::max<std::uint64_t>(full / 8, 2000) : full;
+  }
+
+  BenchReport& report() { return *report_; }
+
+  // Sugar so experiment bodies read like the old printf flow.
+  void Note(const std::string& text) { report_->AddNote(text); }
+  void Check(const std::string& name, bool pass) {
+    report_->AddCheck(name, pass);
+  }
+  void Table(const std::string& title, const AsciiTable& table) {
+    report_->AddTable(title, table);
+  }
+  void Metric(const std::string& metric, const std::string& unit, double value,
+              const Params& params = {}) {
+    report_->AddMetric(metric, unit, value, params);
+  }
+
+ private:
+  BenchReport* report_;
+  bool quick_;
+};
+
+using ExperimentFn = void (*)(BenchContext&);
+
+struct Experiment {
+  std::string name;
+  std::string description;
+  ExperimentFn fn;
+};
+
+/// Static-init registration hook; returns true so it can seed a bool.
+bool RegisterExperiment(std::string name, std::string description,
+                        ExperimentFn fn);
+
+const std::vector<Experiment>& Experiments();
+
+struct RunOptions {
+  bool quick = false;
+  bool list = false;
+  std::string json_path;
+  std::string filter;  // empty = all
+};
+
+/// gtest-style wildcard match ('*'/'?'), used for --filter.
+bool WildcardMatch(const std::string& pattern, const std::string& text);
+
+/// Runs registered experiments per options into `report`. Returns the
+/// number of experiments run.
+int RunExperiments(const RunOptions& options, BenchReport* report);
+
+/// The shared main: parse flags, run, print console output, write JSON.
+int RunMain(int argc, char** argv);
+
+}  // namespace ros2::bench
+
+#define ROS2_BENCH_EXPERIMENT(ident, description)                            \
+  static void RunBenchExperiment_##ident(::ros2::bench::BenchContext& ctx);  \
+  [[maybe_unused]] static const bool ros2_bench_registered_##ident =         \
+      ::ros2::bench::RegisterExperiment(#ident, description,                 \
+                                        &RunBenchExperiment_##ident);        \
+  static void RunBenchExperiment_##ident(::ros2::bench::BenchContext& ctx)
+
+#define ROS2_BENCH_MAIN()                                                    \
+  int main(int argc, char** argv) {                                          \
+    return ::ros2::bench::RunMain(argc, argv);                               \
+  }

@@ -1,0 +1,170 @@
+#include "bench/report.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ros2::bench {
+
+BenchReport::Experiment& BenchReport::Current() {
+  if (experiments_.empty()) {
+    experiments_.push_back({binary_, "", {}, {}, {}, {}});
+  }
+  return experiments_.back();
+}
+
+void BenchReport::BeginExperiment(const std::string& name,
+                                  const std::string& description) {
+  experiments_.push_back({name, description, {}, {}, {}, {}});
+}
+
+void BenchReport::AddNote(const std::string& text) {
+  Current().notes.push_back(text);
+}
+
+void BenchReport::AddCheck(const std::string& name, bool pass) {
+  Current().checks.push_back({name, pass});
+}
+
+void BenchReport::AddTable(const std::string& title, const AsciiTable& table) {
+  Current().tables.push_back({title, table.Render()});
+}
+
+void BenchReport::AddMetric(const std::string& metric, const std::string& unit,
+                            double value, const Params& params) {
+  Current().metrics.push_back({metric, unit, value, params});
+}
+
+bool BenchReport::AllChecksPassed() const {
+  for (const auto& experiment : experiments_) {
+    for (const auto& check : experiment.checks) {
+      if (!check.pass) return false;
+    }
+  }
+  return true;
+}
+
+Json BenchReport::ToJson() const {
+  Json root = Json::Object();
+  root["schema"] = "ros2-bench-report-v1";
+  root["binary"] = binary_;
+  root["quick"] = quick_;
+  Json experiments = Json::Array();
+  for (const auto& experiment : experiments_) {
+    Json e = Json::Object();
+    e["name"] = experiment.name;
+    e["description"] = experiment.description;
+    Json notes = Json::Array();
+    for (const auto& note : experiment.notes) notes.Append(note);
+    e["notes"] = std::move(notes);
+    Json checks = Json::Array();
+    for (const auto& check : experiment.checks) {
+      Json c = Json::Object();
+      c["name"] = check.name;
+      c["pass"] = check.pass;
+      checks.Append(std::move(c));
+    }
+    e["checks"] = std::move(checks);
+    Json tables = Json::Array();
+    for (const auto& table : experiment.tables) {
+      Json t = Json::Object();
+      t["title"] = table.title;
+      t["text"] = table.text;
+      tables.Append(std::move(t));
+    }
+    e["tables"] = std::move(tables);
+    Json metrics = Json::Array();
+    for (const auto& metric : experiment.metrics) {
+      Json m = Json::Object();
+      m["metric"] = metric.metric;
+      m["unit"] = metric.unit;
+      m["value"] = metric.value;
+      Json params = Json::Object();
+      for (const auto& [key, value] : metric.params) params[key] = value;
+      m["params"] = std::move(params);
+      metrics.Append(std::move(m));
+    }
+    e["metrics"] = std::move(metrics);
+    experiments.Append(std::move(e));
+  }
+  root["experiments"] = std::move(experiments);
+  return root;
+}
+
+std::string BenchReport::RenderConsole() const {
+  std::ostringstream out;
+  out << "== " << binary_ << (quick_ ? " (quick mode)" : "") << " ==\n";
+  for (const auto& experiment : experiments_) {
+    out << "\n-- " << experiment.name;
+    if (!experiment.description.empty()) {
+      out << ": " << experiment.description;
+    }
+    out << " --\n";
+    for (const auto& note : experiment.notes) out << note << "\n";
+    for (const auto& check : experiment.checks) {
+      out << "check: " << check.name << ": "
+          << (check.pass ? "PASS" : "FAIL") << "\n";
+    }
+    for (const auto& table : experiment.tables) {
+      out << "\n" << table.title << "\n" << table.text;
+    }
+  }
+  return out.str();
+}
+
+std::string BenchReport::RenderMarkdown() const {
+  return RenderReportMarkdown(ToJson());
+}
+
+std::string RenderReportMarkdown(const Json& report) {
+  std::ostringstream out;
+  const Json* binary = report.Find("binary");
+  out << "## " << (binary != nullptr ? binary->AsString() : "?") << "\n";
+  const Json* experiments = report.Find("experiments");
+  if (experiments == nullptr) return out.str();
+  for (const auto& experiment : experiments->elements()) {
+    const Json* name = experiment.Find("name");
+    out << "\n### " << (name != nullptr ? name->AsString() : "?") << "\n";
+    if (const Json* description = experiment.Find("description")) {
+      if (!description->AsString().empty()) {
+        out << "\n" << description->AsString() << "\n";
+      }
+    }
+    if (const Json* notes = experiment.Find("notes")) {
+      for (const auto& note : notes->elements()) {
+        out << "\n" << note.AsString() << "\n";
+      }
+    }
+    if (const Json* checks = experiment.Find("checks")) {
+      if (checks->size() > 0) out << "\n";
+      for (const auto& check : checks->elements()) {
+        const Json* pass = check.Find("pass");
+        const Json* check_name = check.Find("name");
+        out << "- "
+            << (pass != nullptr && pass->AsBool() ? "**PASS**" : "**FAIL**")
+            << " — "
+            << (check_name != nullptr ? check_name->AsString() : "?") << "\n";
+      }
+    }
+    if (const Json* tables = experiment.Find("tables")) {
+      for (const auto& table : tables->elements()) {
+        const Json* title = table.Find("title");
+        const Json* text = table.Find("text");
+        // AsciiTable renders GitHub-flavored pipe tables; embed verbatim.
+        out << "\n**" << (title != nullptr ? title->AsString() : "")
+            << "**\n\n" << (text != nullptr ? text->AsString() : "");
+      }
+    }
+  }
+  return out.str();
+}
+
+Status BenchReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Unavailable("cannot open '" + path + "' for writing");
+  file << ToJson().Dump(2) << "\n";
+  file.flush();  // surface buffered-write failures before the good() check
+  if (!file.good()) return Unavailable("short write to '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace ros2::bench

@@ -1,0 +1,109 @@
+// Determinism gate for the experiments subsystem: two --quick runs of a
+// model-based experiment must produce byte-identical JSON (metric values
+// included). This is what makes `scripts/bench.sh --diff` meaningful — the
+// calibrated simulator has no wall-clock or unseeded randomness, so any
+// drift between runs is a bug in the models or the report pipeline, not
+// noise. Exercises the real registration macro + registry + BenchContext
+// quick scaling end to end.
+#include <string>
+
+#include "bench/registry.h"
+#include "common/units.h"
+#include "gtest/gtest.h"
+#include "perf/dfs_model.h"
+
+namespace ros2 {
+namespace {
+
+// A miniature fig-5-style sweep, registered through the production macro.
+ROS2_BENCH_EXPERIMENT(determinism_probe,
+                      "DFS model sweep used by bench_determinism_test") {
+  AsciiTable table({"deployment", "throughput"});
+  for (auto platform :
+       {perf::Platform::kServerHost, perf::Platform::kBlueField3}) {
+    for (auto transport : {perf::Transport::kTcp, perf::Transport::kRdma}) {
+      perf::DfsModel::Config config;
+      config.platform = platform;
+      config.transport = transport;
+      config.num_ssds = 4;
+      config.num_jobs = 8;
+      config.op = perf::OpKind::kRandRead;
+      config.block_size = 64 * kKiB;
+      perf::DfsModel model(config);
+      const auto result = model.Run(ctx.ops(16000));
+      const std::string name =
+          std::string(perf::PlatformName(platform)) + "/" +
+          std::string(perf::TransportName(transport));
+      table.AddRow({name, FormatBandwidth(result.bytes_per_sec)});
+      ctx.Metric("throughput", "bytes_per_sec", result.bytes_per_sec,
+                 {{"deployment", name}});
+      ctx.Metric("p99_latency", "seconds", result.latency.p99(),
+                 {{"deployment", name}});
+    }
+  }
+  ctx.Table("determinism probe sweep", table);
+}
+
+bench::BenchReport RunQuickProbe() {
+  bench::RunOptions options;
+  options.quick = true;
+  options.filter = "determinism_probe";
+  bench::BenchReport report("bench_determinism", options.quick);
+  const int run = bench::RunExperiments(options, &report);
+  EXPECT_EQ(run, 1);
+  return report;
+}
+
+TEST(BenchDeterminismTest, ExperimentIsRegistered) {
+  bool found = false;
+  for (const auto& experiment : bench::Experiments()) {
+    if (experiment.name == "determinism_probe") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDeterminismTest, TwoQuickRunsProduceIdenticalJson) {
+  const std::string first = RunQuickProbe().ToJson().Dump(2);
+  const std::string second = RunQuickProbe().ToJson().Dump(2);
+  EXPECT_EQ(first, second);
+  // The run produced real metric payloads, not empty sections.
+  EXPECT_NE(first.find("\"metric\": \"throughput\""), std::string::npos);
+  EXPECT_NE(first.find("\"deployment\": \"host-cpu/rdma\""),
+            std::string::npos);
+}
+
+TEST(BenchDeterminismTest, QuickAndFullModeDiverge) {
+  // Sanity check that --quick actually scales the op budget: quick and full
+  // runs should disagree on at least the latency tail.
+  bench::RunOptions quick;
+  quick.quick = true;
+  quick.filter = "determinism_probe";
+  bench::RunOptions full;
+  full.quick = false;
+  full.filter = "determinism_probe";
+  bench::BenchReport quick_report("b", true);
+  bench::BenchReport full_report("b", false);
+  bench::RunExperiments(quick, &quick_report);
+  bench::RunExperiments(full, &full_report);
+  EXPECT_NE(quick_report.ToJson().Dump(), full_report.ToJson().Dump());
+}
+
+TEST(BenchDeterminismTest, FilterSelectsNothingWhenNoMatch) {
+  bench::RunOptions options;
+  options.filter = "no_such_experiment_*";
+  bench::BenchReport report("b", false);
+  EXPECT_EQ(bench::RunExperiments(options, &report), 0);
+}
+
+TEST(BenchDeterminismTest, WildcardMatching) {
+  EXPECT_TRUE(bench::WildcardMatch("determinism_*", "determinism_probe"));
+  EXPECT_TRUE(bench::WildcardMatch("*_probe", "determinism_probe"));
+  EXPECT_TRUE(bench::WildcardMatch("det?rminism_probe",
+                                   "determinism_probe"));
+  EXPECT_FALSE(bench::WildcardMatch("fig*", "determinism_probe"));
+  EXPECT_TRUE(bench::WildcardMatch("*", ""));
+  EXPECT_FALSE(bench::WildcardMatch("?", ""));
+}
+
+}  // namespace
+}  // namespace ros2

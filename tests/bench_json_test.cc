@@ -1,0 +1,135 @@
+// Tests for the experiments subsystem's ordered JSON model
+// (src/bench/json.h): construction, insertion-order preservation,
+// serialization, and the parser (round trips + malformed input).
+#include "bench/json.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace ros2::bench {
+namespace {
+
+TEST(BenchJsonTest, ScalarConstructionAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(true).AsBool());
+  EXPECT_TRUE(Json(3.5).is_number());
+  EXPECT_EQ(Json(3.5).AsNumber(), 3.5);
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_EQ(Json("hi").AsString(), "hi");
+  EXPECT_EQ(Json(std::int64_t(42)).AsNumber(), 42.0);
+}
+
+TEST(BenchJsonTest, ObjectPreservesInsertionOrder) {
+  Json object = Json::Object();
+  object["zulu"] = 1;
+  object["alpha"] = 2;
+  object["mike"] = 3;
+  ASSERT_EQ(object.members().size(), 3u);
+  EXPECT_EQ(object.members()[0].first, "zulu");
+  EXPECT_EQ(object.members()[1].first, "alpha");
+  EXPECT_EQ(object.members()[2].first, "mike");
+  // Compact dump preserves the same order.
+  EXPECT_EQ(object.Dump(), "{\"zulu\":1, \"alpha\":2, \"mike\":3}");
+}
+
+TEST(BenchJsonTest, OperatorBracketUpdatesExistingKey) {
+  Json object = Json::Object();
+  object["key"] = 1;
+  object["key"] = 2;
+  ASSERT_EQ(object.members().size(), 1u);
+  EXPECT_EQ(object.Find("key")->AsNumber(), 2.0);
+}
+
+TEST(BenchJsonTest, FindOnNonObjectReturnsNull) {
+  EXPECT_EQ(Json(3.0).Find("x"), nullptr);
+  EXPECT_EQ(Json::Array().Find("x"), nullptr);
+  Json object = Json::Object();
+  EXPECT_EQ(object.Find("absent"), nullptr);
+}
+
+TEST(BenchJsonTest, ArrayAppend) {
+  Json array = Json::Array();
+  array.Append(1);
+  array.Append("two");
+  array.Append(Json::Object());
+  ASSERT_EQ(array.size(), 3u);
+  EXPECT_EQ(array.elements()[1].AsString(), "two");
+  EXPECT_EQ(array.Dump(), "[1, \"two\", {}]");
+}
+
+TEST(BenchJsonTest, NumbersRenderIntegersWithoutExponent) {
+  EXPECT_EQ(Json(123456789.0).Dump(), "123456789");
+  EXPECT_EQ(Json(-4096).Dump(), "-4096");
+  EXPECT_EQ(Json(0.25).Dump(), "0.25");
+}
+
+TEST(BenchJsonTest, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").Dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(BenchJsonTest, PrettyDumpIndents) {
+  Json object = Json::Object();
+  object["a"] = Json::Array();
+  object["a"].Append(1);
+  EXPECT_EQ(object.Dump(2), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(BenchJsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->AsBool());
+  EXPECT_FALSE(Json::Parse("false")->AsBool());
+  EXPECT_EQ(Json::Parse("-12.5e2")->AsNumber(), -1250.0);
+  EXPECT_EQ(Json::Parse("\"text\"")->AsString(), "text");
+}
+
+TEST(BenchJsonTest, ParseNestedDocument) {
+  const std::string text =
+      R"({"schema": "v1", "values": [1, 2.5, {"deep": true}], "n": null})";
+  auto doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("schema")->AsString(), "v1");
+  const Json* values = doc->Find("values");
+  ASSERT_TRUE(values != nullptr);
+  ASSERT_EQ(values->size(), 3u);
+  EXPECT_EQ(values->elements()[1].AsNumber(), 2.5);
+  EXPECT_TRUE(values->elements()[2].Find("deep")->AsBool());
+  EXPECT_TRUE(doc->Find("n")->is_null());
+}
+
+TEST(BenchJsonTest, ParseStringEscapes) {
+  auto doc = Json::Parse(R"("tab\tquote\"uA")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "tab\tquote\"uA");
+}
+
+TEST(BenchJsonTest, RoundTripThroughDumpAndParse) {
+  Json object = Json::Object();
+  object["metrics"] = Json::Array();
+  Json metric = Json::Object();
+  metric["metric"] = "throughput";
+  metric["value"] = 11459498499.5;
+  metric["params"] = Json::Object();
+  metric["params"]["stage"] = "data-preparation";
+  object["metrics"].Append(std::move(metric));
+  for (int indent : {-1, 2}) {
+    auto reparsed = Json::Parse(object.Dump(indent));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->Dump(), object.Dump());
+  }
+}
+
+TEST(BenchJsonTest, ParseErrorsAreInvalidArgument) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "\"unterminated", "12..5", "{} trailing",
+        "{1: 2}"}) {
+    auto doc = Json::Parse(bad);
+    EXPECT_FALSE(doc.ok()) << "input: " << bad;
+    EXPECT_EQ(doc.status().code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace ros2::bench

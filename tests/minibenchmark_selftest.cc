@@ -1,0 +1,252 @@
+// Selftest for the vendored google-benchmark shim in
+// third_party/minibenchmark. Like minigtest_selftest, this always compiles
+// against the VENDORED header (its job is to keep the shim honest even
+// when bench_micro_transport links a system google-benchmark) and uses the
+// MINIBENCHMARK-only internal hooks to run registered benchmarks
+// in-process: registration/expansion, argument ranges, fixed-iteration
+// runs, counter flag math, filter semantics, flag parsing, and both report
+// formats.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#ifndef MINIBENCHMARK
+#error minibenchmark_selftest must compile against the vendored shim
+#endif
+
+namespace {
+
+void BM_Counting(benchmark::State& state) {
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++n);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.counters["plain"] = 5.0;
+  state.counters["inv"] =
+      benchmark::Counter(2.0, benchmark::Counter::kIsIterationInvariant);
+  state.counters["avg"] =
+      benchmark::Counter(100.0, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Counting)->Arg(16)->Arg(64);
+
+void BM_Ranged(benchmark::State& state) {
+  for (auto _ : state) {
+  }
+}
+BENCHMARK(BM_Ranged)->Range(4096, 1 << 20);
+
+void BM_TwoArgs(benchmark::State& state) {
+  for (auto _ : state) {
+  }
+  state.SetLabel("two-args");
+}
+BENCHMARK(BM_TwoArgs)->Args({8, 3});
+
+void BM_Captured(benchmark::State& state, int bonus) {
+  std::int64_t total = 0;
+  while (state.KeepRunning()) {
+    total += bonus;
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK_CAPTURE(BM_Captured, bonus7, 7);
+
+void BM_Skipped(benchmark::State& state) {
+  state.SkipWithError("deliberate skip");
+  for (auto _ : state) {
+  }
+}
+BENCHMARK(BM_Skipped);
+
+benchmark::internal::FlagState FixedIterationFlags(std::int64_t iters) {
+  benchmark::internal::FlagState flags;
+  flags.min_time_iters = iters;
+  return flags;
+}
+
+std::vector<benchmark::internal::RunResult> RunOnly(
+    const std::string& filter, std::int64_t iters = 50) {
+  benchmark::internal::FlagState flags = FixedIterationFlags(iters);
+  flags.filter = filter;
+  return benchmark::internal::RunFiltered(flags);
+}
+
+TEST(MinibenchmarkSelftest, RegistrationExpandsArgsIntoNames) {
+  std::vector<std::string> names;
+  for (const auto& spec : benchmark::internal::ExpandRegistry()) {
+    names.push_back(spec.name);
+  }
+  auto contains = [&names](const std::string& name) {
+    for (const auto& candidate : names) {
+      if (candidate == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("BM_Counting/16"));
+  EXPECT_TRUE(contains("BM_Counting/64"));
+  EXPECT_TRUE(contains("BM_TwoArgs/8/3"));
+  EXPECT_TRUE(contains("BM_Captured/bonus7"));
+  EXPECT_TRUE(contains("BM_Skipped"));
+  // Range(4096, 1<<20) with the default 8x multiplier.
+  EXPECT_TRUE(contains("BM_Ranged/4096"));
+  EXPECT_TRUE(contains("BM_Ranged/32768"));
+  EXPECT_TRUE(contains("BM_Ranged/262144"));
+  EXPECT_TRUE(contains("BM_Ranged/1048576"));
+  EXPECT_FALSE(contains("BM_Ranged/2097152"));
+}
+
+TEST(MinibenchmarkSelftest, RangeWithZeroLowerBoundTerminates) {
+  // Regression guard: lo=0 must not spin the power-of-multiplier loop
+  // forever; it fills in powers from 1 like google-benchmark.
+  benchmark::internal::Benchmark bench("BM_ZeroLo", [](benchmark::State&) {});
+  bench.Range(0, 64);
+  ASSERT_EQ(bench.args_list().size(), 4u);
+  EXPECT_EQ(bench.args_list()[0][0], 0);
+  EXPECT_EQ(bench.args_list()[1][0], 1);
+  EXPECT_EQ(bench.args_list()[2][0], 8);
+  EXPECT_EQ(bench.args_list()[3][0], 64);
+}
+
+TEST(MinibenchmarkSelftest, FixedIterationRunHonorsBudget) {
+  const auto results = RunOnly("^BM_Counting/16$", 50);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].name, "BM_Counting/16");
+  EXPECT_EQ(results[0].iterations, 50);
+  EXPECT_FALSE(results[0].skipped);
+  EXPECT_GE(results[0].real_time, 0.0);
+  EXPECT_GE(results[0].bytes_per_second, 0.0);
+  EXPECT_GE(results[0].items_per_second, 0.0);
+}
+
+TEST(MinibenchmarkSelftest, CounterFlagMath) {
+  const auto results = RunOnly("^BM_Counting/16$", 50);
+  ASSERT_EQ(results.size(), 1u);
+  double plain = -1.0, inv = -1.0, avg = -1.0;
+  for (const auto& [name, value] : results[0].counters) {
+    if (name == "plain") plain = value;
+    if (name == "inv") inv = value;
+    if (name == "avg") avg = value;
+  }
+  EXPECT_EQ(plain, 5.0);
+  EXPECT_EQ(inv, 2.0 * 50);    // iteration-invariant: scaled by iterations
+  EXPECT_EQ(avg, 100.0 / 50);  // averaged over iterations
+}
+
+TEST(MinibenchmarkSelftest, SkipWithErrorReports) {
+  const auto results = RunOnly("^BM_Skipped$");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].skipped);
+  EXPECT_EQ(results[0].error_message, "deliberate skip");
+}
+
+TEST(MinibenchmarkSelftest, KeepRunningPathMatchesIterationBudget) {
+  const auto results = RunOnly("^BM_Captured/bonus7$", 25);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].iterations, 25);
+}
+
+TEST(MinibenchmarkSelftest, AdaptiveTimingGrowsIterations) {
+  benchmark::internal::FlagState flags;
+  flags.min_time_s = 0.002;  // tiny but far beyond one trivial iteration
+  flags.filter = "^BM_Ranged/4096$";
+  const auto results = benchmark::internal::RunFiltered(flags);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].iterations, 1);
+}
+
+TEST(MinibenchmarkSelftest, FilterSemantics) {
+  using benchmark::internal::MatchesFilter;
+  EXPECT_TRUE(MatchesFilter("", "anything"));
+  EXPECT_TRUE(MatchesFilter("all", "anything"));
+  EXPECT_TRUE(MatchesFilter("Counting", "BM_Counting/16"));  // substring
+  EXPECT_TRUE(MatchesFilter("BM_*/16", "BM_Counting/16"));
+  EXPECT_TRUE(MatchesFilter("^BM_Counting", "BM_Counting/16"));
+  EXPECT_FALSE(MatchesFilter("^Counting", "BM_Counting/16"));
+  EXPECT_TRUE(MatchesFilter("16$", "BM_Counting/16"));
+  EXPECT_FALSE(MatchesFilter("BM_Counting$", "BM_Counting/16"));
+  EXPECT_FALSE(MatchesFilter("BM_Ranged", "BM_Counting/16"));
+  const auto results = RunOnly("BM_Counting");
+  EXPECT_EQ(results.size(), 2u);  // /16 and /64
+}
+
+TEST(MinibenchmarkSelftest, MinTimeFlagParsing) {
+  benchmark::internal::FlagState flags;
+  EXPECT_TRUE(benchmark::internal::ParseMinTime("0.25s", &flags));
+  EXPECT_EQ(flags.min_time_s, 0.25);
+  EXPECT_EQ(flags.min_time_iters, 0);
+  EXPECT_TRUE(benchmark::internal::ParseMinTime("2", &flags));
+  EXPECT_EQ(flags.min_time_s, 2.0);
+  EXPECT_TRUE(benchmark::internal::ParseMinTime("500x", &flags));
+  EXPECT_EQ(flags.min_time_iters, 500);
+  EXPECT_FALSE(benchmark::internal::ParseMinTime("junk", &flags));
+  EXPECT_FALSE(benchmark::internal::ParseMinTime("", &flags));
+}
+
+TEST(MinibenchmarkSelftest, InitializeParsesAndStripsBenchmarkFlags) {
+  benchmark::internal::GetFlags() = benchmark::internal::FlagState{};
+  const char* argv_init[] = {"selftest", "--benchmark_filter=BM_Counting",
+                             "--benchmark_format=json",
+                             "--benchmark_min_time=100x",
+                             "--benchmark_out=/tmp/x.json", "--keep-me"};
+  std::vector<char*> argv;
+  for (const char* arg : argv_init) argv.push_back(const_cast<char*>(arg));
+  int argc = int(argv.size());
+  benchmark::Initialize(&argc, argv.data());
+  const auto& flags = benchmark::internal::GetFlags();
+  EXPECT_EQ(flags.filter, "BM_Counting");
+  EXPECT_EQ(flags.format, "json");
+  EXPECT_EQ(flags.min_time_iters, 100);
+  EXPECT_EQ(flags.out, "/tmp/x.json");
+  // Recognized flags are consumed; unrecognized args are kept for the app.
+  ASSERT_EQ(argc, 2);
+  EXPECT_EQ(std::string(argv[1]), "--keep-me");
+  EXPECT_TRUE(benchmark::ReportUnrecognizedArguments(argc, argv.data()));
+  benchmark::internal::GetFlags() = benchmark::internal::FlagState{};
+}
+
+TEST(MinibenchmarkSelftest, JsonReportShape) {
+  auto results = RunOnly("^BM_TwoArgs/8/3$");
+  auto skipped = RunOnly("^BM_Skipped$");
+  results.insert(results.end(), skipped.begin(), skipped.end());
+  benchmark::internal::FlagState flags;
+  flags.executable = "selftest-binary";
+  std::ostringstream out;
+  benchmark::internal::WriteJsonReport(out, results, flags);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"context\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"executable\": \"selftest-binary\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"benchmarks\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"BM_TwoArgs/8/3\""), std::string::npos);
+  EXPECT_NE(json.find("\"run_type\": \"iteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"time_unit\": \"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"two-args\""), std::string::npos);
+  EXPECT_NE(json.find("\"error_occurred\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"error_message\": \"deliberate skip\""),
+            std::string::npos);
+}
+
+TEST(MinibenchmarkSelftest, ConsoleReportShape) {
+  auto results = RunOnly("^BM_Counting/16$");
+  auto skipped = RunOnly("^BM_Skipped$");
+  results.insert(results.end(), skipped.begin(), skipped.end());
+  std::ostringstream out;
+  benchmark::internal::WriteConsoleReport(out, results);
+  const std::string console = out.str();
+  EXPECT_NE(console.find("Benchmark"), std::string::npos);
+  EXPECT_NE(console.find("Iterations"), std::string::npos);
+  EXPECT_NE(console.find("BM_Counting/16"), std::string::npos);
+  EXPECT_NE(console.find("bytes_per_second="), std::string::npos);
+  EXPECT_NE(console.find("inv=100"), std::string::npos);
+  EXPECT_NE(console.find("ERROR: 'deliberate skip'"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,867 @@
+// minibenchmark — a single-header, zero-dependency google-benchmark
+// compatible harness, vendored so bench_micro_transport (and any future
+// real-time microbench) builds and runs on machines with no network and no
+// libbenchmark install. Mirrors third_party/minigtest's role for tests.
+//
+// Implemented subset (everything bench/ uses today, plus headroom):
+//   * BENCHMARK, BENCHMARK_CAPTURE, BENCHMARK_MAIN
+//   * benchmark::State: range-for + KeepRunning() iteration, range(i),
+//     SetBytesProcessed/SetItemsProcessed, SetLabel, counters (with
+//     Counter::kIsRate / kAvgIterations / kIsIterationInvariant flags),
+//     PauseTiming/ResumeTiming, SkipWithError
+//   * builder chain: Arg/Args/Range/RangeMultiplier/DenseRange/Ranges/
+//     Unit/MinTime/Iterations/Name (UseRealTime/Threads/Repetitions are
+//     accepted no-ops; the shim is single-threaded, repetitions = 1)
+//   * flags: --benchmark_filter, --benchmark_min_time (0.25s / 500x),
+//     --benchmark_format=console|json, --benchmark_out=<file>,
+//     --benchmark_out_format, --benchmark_list_tests
+//   * adaptive timing: iteration count grows until a run covers min_time,
+//     like google-benchmark's predict-and-retry loop
+//
+// Known divergences, chosen for zero dependencies:
+//   * --benchmark_filter uses gtest-style '*'/'?' wildcards (searched as a
+//     substring unless anchored with '^'/'$') instead of full regex.
+//   * JSON context omits host CPU scaling/cache probing; benchmark entries
+//     carry the same fields google-benchmark emits for single-repetition
+//     runs (name, run_name, run_type, iterations, real_time, cpu_time,
+//     time_unit, bytes_per_second, items_per_second, label, counters).
+//
+// Build with -DROS2_USE_SYSTEM_BENCHMARK=ON to use a real google-benchmark
+// install instead; this header is API-compatible for everything in bench/.
+//
+// Extensions beyond google-benchmark (guarded by MINIBENCHMARK so the
+// selftest can exercise the harness in-process): benchmark::internal::
+// GetFlags(), RunFiltered(), WriteConsoleReport(), WriteJsonReport().
+#pragma once
+
+#define MINIBENCHMARK 1
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  enum Flags : std::uint32_t {
+    kDefaults = 0,
+    /// Divided by the run's real elapsed time.
+    kIsRate = 1u << 0,
+    /// Accepted for source compatibility; the shim is single-threaded.
+    kAvgThreads = 1u << 1,
+    kAvgThreadsRate = kIsRate | kAvgThreads,
+    /// Multiplied by the iteration count (value is per-iteration).
+    kIsIterationInvariant = 1u << 2,
+    kIsIterationInvariantRate = kIsRate | kIsIterationInvariant,
+    /// Divided by the iteration count.
+    kAvgIterations = 1u << 3,
+    kAvgIterationsRate = kIsRate | kAvgIterations,
+  };
+
+  double value = 0.0;
+  Flags flags = kDefaults;
+
+  Counter(double v = 0.0, Flags f = kDefaults) : value(v), flags(f) {}
+  Counter& operator=(double v) {
+    value = v;
+    return *this;
+  }
+  operator double() const { return value; }
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+inline const char* GetTimeUnitString(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return "ns";
+    case kMicrosecond: return "us";
+    case kMillisecond: return "ms";
+    case kSecond: return "s";
+  }
+  return "ns";
+}
+
+inline double GetTimeUnitMultiplier(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return 1e9;
+    case kMicrosecond: return 1e6;
+    case kMillisecond: return 1e3;
+    case kSecond: return 1.0;
+  }
+  return 1e9;
+}
+
+// ---------------------------------------------------------------------------
+// DoNotOptimize / ClobberMemory
+// ---------------------------------------------------------------------------
+
+template <class T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+template <class T>
+inline void DoNotOptimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+inline void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+namespace internal {
+class BenchmarkRunner;
+
+inline double RealNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double CpuNow() {
+#if defined(__linux__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return double(std::clock()) / double(CLOCKS_PER_SEC);
+}
+}  // namespace internal
+
+class State {
+ public:
+  State(std::int64_t max_iterations, std::vector<std::int64_t> ranges)
+      : max_iterations(max_iterations), ranges_(std::move(ranges)) {}
+
+  struct StateIterator {
+    // The attribute keeps `for (auto _ : state)` clean under
+    // -Wunused-but-set-variable (same device as google-benchmark's
+    // BENCHMARK_UNUSED).
+    struct __attribute__((unused)) Value {};
+    explicit StateIterator(State* state)
+        : state_(state), remaining_(state ? state->max_iterations : 0) {}
+    Value operator*() const { return Value{}; }
+    StateIterator& operator++() {
+      --remaining_;
+      return *this;
+    }
+    bool operator!=(const StateIterator& /*end*/) const {
+      if (remaining_ != 0 && !state_->skipped_) return true;
+      state_->FinishKeepRunning(state_->max_iterations - remaining_);
+      return false;
+    }
+    State* state_;
+    std::int64_t remaining_;
+  };
+
+  StateIterator begin() {
+    StartKeepRunning();
+    return StateIterator(this);
+  }
+  StateIterator end() { return StateIterator(nullptr); }
+
+  bool KeepRunning() {
+    if (!started_) StartKeepRunning();
+    if (completed_ < max_iterations && !skipped_) {
+      ++completed_;
+      return true;
+    }
+    FinishKeepRunning(completed_);
+    return false;
+  }
+
+  void PauseTiming() {
+    real_elapsed_ += internal::RealNow() - real_start_;
+    cpu_elapsed_ += internal::CpuNow() - cpu_start_;
+  }
+
+  void ResumeTiming() {
+    real_start_ = internal::RealNow();
+    cpu_start_ = internal::CpuNow();
+  }
+
+  void SkipWithError(const char* message) {
+    skipped_ = true;
+    error_message_ = message == nullptr ? "" : message;
+  }
+
+  bool error_occurred() const { return skipped_; }
+
+  std::int64_t range(std::size_t index = 0) const {
+    return index < ranges_.size() ? ranges_[index] : 0;
+  }
+
+  void SetBytesProcessed(std::int64_t bytes) { bytes_processed_ = bytes; }
+  std::int64_t bytes_processed() const { return bytes_processed_; }
+
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  std::int64_t items_processed() const { return items_processed_; }
+
+  void SetLabel(const std::string& label) { label_ = label; }
+
+  /// Iterations completed: the full budget once the loop has finished (the
+  /// common post-loop use), the running count mid-loop under KeepRunning().
+  std::int64_t iterations() const {
+    return finished_ ? iterations_done_ : completed_;
+  }
+
+  const std::int64_t max_iterations;
+  UserCounters counters;
+
+ private:
+  friend struct StateIterator;
+  friend class internal::BenchmarkRunner;
+
+  void StartKeepRunning() {
+    started_ = true;
+    ResumeTiming();
+  }
+
+  void FinishKeepRunning(std::int64_t done) {
+    if (finished_) return;
+    PauseTiming();
+    finished_ = true;
+    iterations_done_ = done;
+  }
+
+  std::vector<std::int64_t> ranges_;
+  bool started_ = false;
+  bool finished_ = false;
+  bool skipped_ = false;
+  std::string error_message_;
+  std::int64_t completed_ = 0;
+  std::int64_t iterations_done_ = 0;
+  std::int64_t bytes_processed_ = -1;
+  std::int64_t items_processed_ = -1;
+  std::string label_;
+  double real_start_ = 0.0;
+  double cpu_start_ = 0.0;
+  double real_elapsed_ = 0.0;
+  double cpu_elapsed_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+class Benchmark {
+ public:
+  Benchmark(std::string name, std::function<void(State&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  Benchmark* Arg(std::int64_t x) {
+    args_list_.push_back({x});
+    return this;
+  }
+
+  Benchmark* Args(const std::vector<std::int64_t>& xs) {
+    args_list_.push_back(xs);
+    return this;
+  }
+
+  Benchmark* Range(std::int64_t lo, std::int64_t hi) {
+    std::vector<std::int64_t> values;
+    AddRange(&values, lo, hi, range_multiplier_);
+    for (std::int64_t v : values) Arg(v);
+    return this;
+  }
+
+  Benchmark* DenseRange(std::int64_t lo, std::int64_t hi,
+                        std::int64_t step = 1) {
+    for (std::int64_t v = lo; v <= hi; v += step) Arg(v);
+    return this;
+  }
+
+  /// Cartesian product of per-dimension Range() sequences.
+  Benchmark* Ranges(
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& ranges) {
+    std::vector<std::vector<std::int64_t>> dims;
+    for (const auto& [lo, hi] : ranges) {
+      dims.emplace_back();
+      AddRange(&dims.back(), lo, hi, range_multiplier_);
+    }
+    std::vector<std::size_t> index(dims.size(), 0);
+    for (;;) {
+      std::vector<std::int64_t> args;
+      for (std::size_t d = 0; d < dims.size(); ++d) {
+        args.push_back(dims[d][index[d]]);
+      }
+      args_list_.push_back(std::move(args));
+      std::size_t d = dims.size();
+      while (d > 0) {
+        --d;
+        if (++index[d] < dims[d].size()) break;
+        index[d] = 0;
+        if (d == 0) return this;
+      }
+    }
+  }
+
+  Benchmark* RangeMultiplier(int multiplier) {
+    range_multiplier_ = multiplier < 2 ? 2 : multiplier;
+    return this;
+  }
+
+  Benchmark* MinTime(double seconds) {
+    min_time_ = seconds;
+    return this;
+  }
+
+  Benchmark* Iterations(std::int64_t n) {
+    fixed_iterations_ = n;
+    return this;
+  }
+
+  Benchmark* Unit(TimeUnit unit) {
+    unit_ = unit;
+    return this;
+  }
+
+  Benchmark* Name(std::string name) {
+    name_ = std::move(name);
+    return this;
+  }
+
+  // Accepted no-ops (single-threaded, single-repetition shim).
+  Benchmark* UseRealTime() { return this; }
+  Benchmark* UseManualTime() { return this; }
+  Benchmark* Threads(int) { return this; }
+  Benchmark* ThreadRange(int, int) { return this; }
+  Benchmark* Repetitions(int) { return this; }
+  Benchmark* ReportAggregatesOnly(bool = true) { return this; }
+
+  const std::string& name() const { return name_; }
+  const std::function<void(State&)>& fn() const { return fn_; }
+  const std::vector<std::vector<std::int64_t>>& args_list() const {
+    return args_list_;
+  }
+  double min_time() const { return min_time_; }
+  std::int64_t fixed_iterations() const { return fixed_iterations_; }
+  TimeUnit unit() const { return unit_; }
+
+ private:
+  static void AddRange(std::vector<std::int64_t>* dst, std::int64_t lo,
+                       std::int64_t hi, int multiplier) {
+    dst->push_back(lo);
+    if (hi <= lo) return;
+    // lo <= 0 would make v *= multiplier loop forever; like
+    // google-benchmark, fill the gap with powers of the multiplier from 1.
+    for (std::int64_t v = lo > 0 ? lo * multiplier : 1; v < hi;
+         v *= multiplier) {
+      if (v > lo) dst->push_back(v);
+      if (v > hi / multiplier) break;  // overflow guard
+    }
+    dst->push_back(hi);
+  }
+
+  std::string name_;
+  std::function<void(State&)> fn_;
+  std::vector<std::vector<std::int64_t>> args_list_;
+  int range_multiplier_ = 8;
+  double min_time_ = 0.0;  // 0 = use the --benchmark_min_time flag
+  std::int64_t fixed_iterations_ = 0;
+  TimeUnit unit_ = kNanosecond;
+};
+
+inline std::vector<std::unique_ptr<Benchmark>>& Registry() {
+  static std::vector<std::unique_ptr<Benchmark>> registry;
+  return registry;
+}
+
+inline Benchmark* RegisterBenchmarkInternal(std::string name,
+                                            std::function<void(State&)> fn) {
+  Registry().push_back(
+      std::make_unique<Benchmark>(std::move(name), std::move(fn)));
+  return Registry().back().get();
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+struct FlagState {
+  std::string filter;  // empty = run everything
+  std::string format = "console";
+  std::string out;
+  std::string out_format = "json";
+  double min_time_s = 0.5;
+  std::int64_t min_time_iters = 0;  // from the "500x" form; 0 = time-based
+  bool list_tests = false;
+  std::string executable = "benchmark";
+};
+
+inline FlagState& GetFlags() {
+  static FlagState flags;
+  return flags;
+}
+
+/// "0.25s" / "0.25" -> seconds; "500x" -> fixed iteration count.
+inline bool ParseMinTime(const std::string& text, FlagState* flags) {
+  if (text.empty()) return false;
+  if (text.back() == 'x') {
+    flags->min_time_iters = std::atoll(text.c_str());
+    return flags->min_time_iters > 0;
+  }
+  const double seconds = std::atof(text.c_str());
+  if (seconds <= 0.0) return false;
+  flags->min_time_s = seconds;
+  flags->min_time_iters = 0;
+  return true;
+}
+
+// Wildcard ('*'/'?') match, full-string.
+inline bool WildcardMatch(const char* pattern, const char* text) {
+  if (*pattern == '\0') return *text == '\0';
+  if (*pattern == '*') {
+    return WildcardMatch(pattern + 1, text) ||
+           (*text != '\0' && WildcardMatch(pattern, text + 1));
+  }
+  if (*text == '\0') return false;
+  if (*pattern == '?' || *pattern == *text) {
+    return WildcardMatch(pattern + 1, text + 1);
+  }
+  return false;
+}
+
+/// google-benchmark filters are regexes applied as a search; the shim's
+/// subset: '*'/'?' wildcards, searched anywhere unless anchored with
+/// '^' / '$'.
+inline bool MatchesFilter(const std::string& filter, const std::string& name) {
+  if (filter.empty() || filter == "all") return true;
+  std::string pattern = filter;
+  bool anchor_front = false;
+  bool anchor_back = false;
+  if (!pattern.empty() && pattern.front() == '^') {
+    anchor_front = true;
+    pattern.erase(pattern.begin());
+  }
+  if (!pattern.empty() && pattern.back() == '$') {
+    anchor_back = true;
+    pattern.pop_back();
+  }
+  if (!anchor_front) pattern.insert(pattern.begin(), '*');
+  if (!anchor_back) pattern.push_back('*');
+  return WildcardMatch(pattern.c_str(), name.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Running
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  std::string name;
+  std::string time_unit = "ns";
+  std::int64_t iterations = 0;
+  double real_time = 0.0;  // per-iteration, in time_unit
+  double cpu_time = 0.0;   // per-iteration, in time_unit
+  double bytes_per_second = -1.0;  // < 0 = not reported
+  double items_per_second = -1.0;
+  std::string label;
+  bool skipped = false;
+  std::string error_message;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+struct RunSpec {
+  std::string name;
+  const Benchmark* benchmark = nullptr;
+  std::vector<std::int64_t> args;
+};
+
+inline std::vector<RunSpec> ExpandRegistry() {
+  std::vector<RunSpec> specs;
+  for (const auto& bench : Registry()) {
+    if (bench->args_list().empty()) {
+      specs.push_back({bench->name(), bench.get(), {}});
+      continue;
+    }
+    for (const auto& args : bench->args_list()) {
+      std::string name = bench->name();
+      for (std::int64_t arg : args) name += "/" + std::to_string(arg);
+      specs.push_back({std::move(name), bench.get(), args});
+    }
+  }
+  return specs;
+}
+
+class BenchmarkRunner {
+ public:
+  static RunResult Run(const RunSpec& spec, const FlagState& flags) {
+    const Benchmark& bench = *spec.benchmark;
+    const double min_time =
+        bench.min_time() > 0.0 ? bench.min_time() : flags.min_time_s;
+    std::int64_t iters = 1;
+    bool fixed = false;
+    if (bench.fixed_iterations() > 0) {
+      iters = bench.fixed_iterations();
+      fixed = true;
+    } else if (flags.min_time_iters > 0) {
+      iters = flags.min_time_iters;
+      fixed = true;
+    }
+    constexpr std::int64_t kMaxIters = std::int64_t(1) << 30;
+    for (;;) {
+      State state(iters, spec.args);
+      bench.fn()(state);
+      if (!state.finished_) state.FinishKeepRunning(state.completed_);
+      if (state.skipped_) {
+        RunResult result;
+        result.name = spec.name;
+        result.skipped = true;
+        result.error_message = state.error_message_;
+        return result;
+      }
+      if (fixed || state.real_elapsed_ >= min_time || iters >= kMaxIters) {
+        return Summarize(spec, bench, state);
+      }
+      // Predict the iteration count that covers min_time, with google-
+      // benchmark's safety margin and growth clamps.
+      double multiplier = 10.0;
+      if (state.real_elapsed_ > 1e-9) {
+        multiplier = min_time * 1.4 / state.real_elapsed_;
+        multiplier = std::min(10.0, std::max(2.0, multiplier));
+      }
+      iters = std::min<std::int64_t>(
+          kMaxIters, std::int64_t(double(iters) * multiplier) + 1);
+    }
+  }
+
+ private:
+  static RunResult Summarize(const RunSpec& spec, const Benchmark& bench,
+                             const State& state) {
+    RunResult result;
+    result.name = spec.name;
+    result.iterations = state.iterations_done_;
+    const double unit_scale = GetTimeUnitMultiplier(bench.unit());
+    result.time_unit = GetTimeUnitString(bench.unit());
+    const double iterations = double(std::max<std::int64_t>(
+        state.iterations_done_, 1));
+    result.real_time = state.real_elapsed_ / iterations * unit_scale;
+    result.cpu_time = state.cpu_elapsed_ / iterations * unit_scale;
+    const double elapsed =
+        state.real_elapsed_ > 0.0 ? state.real_elapsed_ : 1e-12;
+    if (state.bytes_processed_ >= 0) {
+      result.bytes_per_second = double(state.bytes_processed_) / elapsed;
+    }
+    if (state.items_processed_ >= 0) {
+      result.items_per_second = double(state.items_processed_) / elapsed;
+    }
+    result.label = state.label_;
+    for (const auto& [name, counter] : state.counters) {
+      double value = counter.value;
+      if (counter.flags & Counter::kIsIterationInvariant) value *= iterations;
+      if (counter.flags & Counter::kAvgIterations) value /= iterations;
+      if (counter.flags & Counter::kIsRate) value /= elapsed;
+      result.counters.emplace_back(name, value);
+    }
+    return result;
+  }
+};
+
+inline std::vector<RunResult> RunFiltered(const FlagState& flags) {
+  std::vector<RunResult> results;
+  for (const auto& spec : ExpandRegistry()) {
+    if (!MatchesFilter(flags.filter, spec.name)) continue;
+    results.push_back(BenchmarkRunner::Run(spec, flags));
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Reporters
+// ---------------------------------------------------------------------------
+
+/// "1.2345G/s"-style human bandwidth (binary units, like google-benchmark).
+inline std::string HumanRate(double per_second) {
+  static const char* kSuffixes[] = {"", "k", "M", "G", "T"};
+  int suffix = 0;
+  while (per_second >= 1024.0 && suffix < 4) {
+    per_second /= 1024.0;
+    ++suffix;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4g%s/s", per_second,
+                kSuffixes[suffix]);
+  return buffer;
+}
+
+inline std::string Pad(const std::string& text, std::size_t width,
+                       bool right) {
+  if (text.size() >= width) return text;
+  const std::string fill(width - text.size(), ' ');
+  return right ? fill + text : text + fill;
+}
+
+inline std::string FormatTimeCell(double value) {
+  char buffer[64];
+  if (value < 10.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  } else if (value < 100.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  }
+  return buffer;
+}
+
+inline void WriteConsoleReport(std::ostream& out,
+                               const std::vector<RunResult>& results) {
+  std::size_t name_width = std::strlen("Benchmark");
+  for (const auto& result : results) {
+    name_width = std::max(name_width, result.name.size());
+  }
+  const std::string rule(name_width + 44, '-');
+  out << rule << '\n';
+  out << Pad("Benchmark", name_width, false) << Pad("Time", 15, true)
+      << Pad("CPU", 16, true) << Pad("Iterations", 13, true) << '\n';
+  out << rule << '\n';
+  for (const auto& result : results) {
+    if (result.skipped) {
+      out << Pad(result.name, name_width, false) << " ERROR: '"
+          << result.error_message << "'\n";
+      continue;
+    }
+    out << Pad(result.name, name_width, false)
+        << Pad(FormatTimeCell(result.real_time) + " " + result.time_unit, 15,
+               true)
+        << Pad(FormatTimeCell(result.cpu_time) + " " + result.time_unit, 16,
+               true)
+        << Pad(std::to_string(result.iterations), 13, true);
+    if (result.bytes_per_second >= 0.0) {
+      out << " bytes_per_second=" << HumanRate(result.bytes_per_second);
+    }
+    if (result.items_per_second >= 0.0) {
+      out << " items_per_second=" << HumanRate(result.items_per_second);
+    }
+    for (const auto& [name, value] : result.counters) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+      out << ' ' << name << '=' << buffer;
+    }
+    if (!result.label.empty()) out << ' ' << result.label;
+    out << '\n';
+  }
+}
+
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string JsonNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// google-benchmark-shaped JSON: {"context": {...}, "benchmarks": [...]}.
+inline void WriteJsonReport(std::ostream& out,
+                            const std::vector<RunResult>& results,
+                            const FlagState& flags) {
+  out << "{\n  \"context\": {\n"
+      << "    \"executable\": \"" << JsonEscape(flags.executable) << "\",\n"
+      << "    \"library\": \"minibenchmark\",\n"
+      << "    \"library_version\": \"1.0\",\n"
+      << "    \"num_threads\": 1\n"
+      << "  },\n  \"benchmarks\": [";
+  bool first = true;
+  for (const auto& result : results) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n    {\n      \"name\": \"" << JsonEscape(result.name) << "\",\n"
+        << "      \"run_name\": \"" << JsonEscape(result.name) << "\",\n"
+        << "      \"run_type\": \"iteration\",\n"
+        << "      \"repetitions\": 1,\n"
+        << "      \"repetition_index\": 0,\n"
+        << "      \"threads\": 1,\n";
+    if (result.skipped) {
+      out << "      \"error_occurred\": true,\n"
+          << "      \"error_message\": \""
+          << JsonEscape(result.error_message) << "\",\n";
+    }
+    out << "      \"iterations\": " << result.iterations << ",\n"
+        << "      \"real_time\": " << JsonNumber(result.real_time) << ",\n"
+        << "      \"cpu_time\": " << JsonNumber(result.cpu_time) << ",\n"
+        << "      \"time_unit\": \"" << result.time_unit << "\"";
+    if (result.bytes_per_second >= 0.0) {
+      out << ",\n      \"bytes_per_second\": "
+          << JsonNumber(result.bytes_per_second);
+    }
+    if (result.items_per_second >= 0.0) {
+      out << ",\n      \"items_per_second\": "
+          << JsonNumber(result.items_per_second);
+    }
+    for (const auto& [name, value] : result.counters) {
+      out << ",\n      \"" << JsonEscape(name)
+          << "\": " << JsonNumber(value);
+    }
+    if (!result.label.empty()) {
+      out << ",\n      \"label\": \"" << JsonEscape(result.label) << "\"";
+    }
+    out << "\n    }";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+inline void Initialize(int* argc, char** argv) {
+  internal::FlagState& flags = internal::GetFlags();
+  if (argc == nullptr || argv == nullptr) return;
+  if (*argc > 0) flags.executable = argv[0];
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--benchmark_filter=", 0) == 0) {
+      flags.filter = value_of("--benchmark_filter=");
+    } else if (arg.rfind("--benchmark_min_time=", 0) == 0) {
+      if (!internal::ParseMinTime(value_of("--benchmark_min_time="),
+                                  &flags)) {
+        std::fprintf(stderr, "minibenchmark: bad --benchmark_min_time '%s'\n",
+                     arg.c_str());
+      }
+    } else if (arg.rfind("--benchmark_format=", 0) == 0) {
+      flags.format = value_of("--benchmark_format=");
+    } else if (arg.rfind("--benchmark_out_format=", 0) == 0) {
+      flags.out_format = value_of("--benchmark_out_format=");
+    } else if (arg.rfind("--benchmark_out=", 0) == 0) {
+      flags.out = value_of("--benchmark_out=");
+    } else if (arg == "--benchmark_list_tests" ||
+               arg == "--benchmark_list_tests=true") {
+      flags.list_tests = true;
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      // Recognized-family flag the shim doesn't implement: accept silently
+      // (google-benchmark also tolerates e.g. repetition flags it defaults).
+    } else {
+      argv[kept++] = argv[i];
+      continue;
+    }
+  }
+  *argc = kept;
+}
+
+inline bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "minibenchmark: unrecognized argument '%s'\n",
+                 argv[i]);
+  }
+  return argc > 1;
+}
+
+inline std::size_t RunSpecifiedBenchmarks() {
+  const internal::FlagState& flags = internal::GetFlags();
+  if (flags.list_tests) {
+    for (const auto& spec : internal::ExpandRegistry()) {
+      if (internal::MatchesFilter(flags.filter, spec.name)) {
+        std::printf("%s\n", spec.name.c_str());
+      }
+    }
+    return 0;
+  }
+  const auto results = internal::RunFiltered(flags);
+  std::ostringstream buffer;
+  if (flags.format == "json") {
+    internal::WriteJsonReport(buffer, results, flags);
+  } else {
+    internal::WriteConsoleReport(buffer, results);
+  }
+  std::fputs(buffer.str().c_str(), stdout);
+  if (!flags.out.empty()) {
+    std::ofstream file(flags.out);
+    if (!file) {
+      std::fprintf(stderr, "minibenchmark: cannot write '%s'\n",
+                   flags.out.c_str());
+    } else {
+      std::ostringstream file_buffer;
+      if (flags.out_format == "console") {
+        internal::WriteConsoleReport(file_buffer, results);
+      } else {
+        internal::WriteJsonReport(file_buffer, results, flags);
+      }
+      file << file_buffer.str();
+    }
+  }
+  return results.size();
+}
+
+inline void Shutdown() {}
+
+}  // namespace benchmark
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#define MINIBENCHMARK_CONCAT_(a, b) a##b
+#define MINIBENCHMARK_CONCAT(a, b) MINIBENCHMARK_CONCAT_(a, b)
+
+#define BENCHMARK(func)                                                \
+  [[maybe_unused]] static ::benchmark::internal::Benchmark*            \
+      MINIBENCHMARK_CONCAT(benchmark_uniq_, __LINE__) =                \
+          ::benchmark::internal::RegisterBenchmarkInternal(#func, func)
+
+#define BENCHMARK_CAPTURE(func, test_case_name, ...)                   \
+  [[maybe_unused]] static ::benchmark::internal::Benchmark*            \
+      MINIBENCHMARK_CONCAT(benchmark_uniq_, __LINE__) =                \
+          ::benchmark::internal::RegisterBenchmarkInternal(            \
+              #func "/" #test_case_name, [](::benchmark::State& st) {  \
+                func(st, __VA_ARGS__);                                 \
+              })
+
+#define BENCHMARK_MAIN()                                               \
+  int main(int argc, char** argv) {                                    \
+    ::benchmark::Initialize(&argc, argv);                              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                             \
+    ::benchmark::Shutdown();                                           \
+    return 0;                                                          \
+  }
