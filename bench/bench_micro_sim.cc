@@ -1,0 +1,95 @@
+// Wall-clock throughput of the simulation engine itself: how many
+// SIMULATED ops per REAL second the closed-loop DES sustains on the fig3
+// quick workloads. This is the regression gate for the allocation-free
+// engine (reused inline-capacity plans, streaming steady-state stats, the
+// ring+overflow issue queue, single-server ServerPool fast path): the
+// model NUMBERS are pinned bit-exactly by closed_loop_equivalence_test and
+// the bench baseline; this binary pins the SPEED those numbers are
+// computed at.
+//
+// The whole report is realtime-tagged: wall-clock rates churn by machine,
+// so benchctl keeps this section out of EXPERIMENTS.md and out of the
+// default `benchctl diff` — the metrics ride the BENCH JSON aggregate as
+// direction-hinted counters (higher is better).
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "bench/registry.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "perf/local_fio_model.h"
+
+using namespace ros2;
+
+namespace {
+
+struct EngineWorkload {
+  const char* name;        // fig3 panel this mirrors
+  std::uint32_t num_ssds;
+  std::uint32_t num_jobs;
+  std::uint64_t block_size;
+  std::uint64_t full_ops;  // fig3's full-mode budget (ctx.ops scales it)
+};
+
+// The fig3 sweep corners: (d) is the 256-context 4 KiB IOPS panel that
+// dominates simulated-op count; (c) is the bandwidth-bound 1 MiB panel.
+constexpr EngineWorkload kWorkloads[] = {
+    {"fig3d-randread-4k", 4, 16, 4096, 60000},
+    {"fig3c-read-1m", 4, 16, kMiB, 20000},
+};
+
+double BestRate(const EngineWorkload& workload, std::uint64_t ops,
+                int repetitions, std::uint64_t* completed) {
+  double best = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    perf::LocalFioModel::Config config;
+    config.num_ssds = workload.num_ssds;
+    config.num_jobs = workload.num_jobs;
+    config.op = workload.block_size == kMiB ? perf::OpKind::kRead
+                                            : perf::OpKind::kRandRead;
+    config.block_size = workload.block_size;
+    perf::LocalFioModel model(config);
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = model.Run(ops);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    *completed = result.completed_ops;
+    if (seconds > 0.0) {
+      best = std::max(best, double(result.completed_ops) / seconds);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ROS2_BENCH_EXPERIMENT(micro_sim_engine,
+                      "Simulation-engine wall-clock throughput on the fig3 "
+                      "quick workloads") {
+  ctx.report().MarkRealtime();
+  ctx.Note(
+      "Simulated ops per wall-clock second of sim::RunClosedLoop driving "
+      "the fig3 local-FIO model (fresh model per repetition, best of N — "
+      "the best run is the least-preempted one). Reported as realtime "
+      "counters: compare trajectories per machine, not across machines.");
+
+  const int repetitions = ctx.quick() ? 9 : 25;
+  AsciiTable table({"workload", "ops/run", "sim-ops per wall-second"});
+  bool all_completed = true;
+  for (const auto& workload : kWorkloads) {
+    const std::uint64_t ops = ctx.ops(workload.full_ops);
+    std::uint64_t completed = 0;
+    const double rate = BestRate(workload, ops, repetitions, &completed);
+    all_completed = all_completed && completed == ops;
+    table.AddRow({workload.name, std::to_string(ops),
+                  FormatCount(rate) + "ops/s"});
+    ctx.Metric("engine_sim_ops_per_wall_sec", "ops_per_wall_sec", rate,
+               {{"workload", workload.name}},
+               bench::MetricDirection::kHigherIsBetter);
+  }
+  ctx.Check("every timed run completed its full op budget", all_completed);
+  ctx.Table("Engine throughput (wall clock)", table);
+}
+
+ROS2_BENCH_MAIN()

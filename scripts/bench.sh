@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Experiments harness: builds the bench binaries, runs all eleven offline,
+# Experiments harness: builds the bench binaries, runs all twelve offline,
 # aggregates their JSON into a single BENCH_<mode>.json, regenerates
 # EXPERIMENTS.md from the tables, and can diff the run against a committed
-# baseline aggregate (failing on out-of-tolerance regressions).
+# baseline aggregate (failing on out-of-tolerance regressions; direction-
+# hinted metrics only fail when they drift the bad way).
 #
 # Usage:
 #   scripts/bench.sh                       # quick mode (default, ~10 s)
@@ -15,6 +16,10 @@
 #   scripts/bench.sh --tolerance 0.25      # diff tolerance (relative)
 #   scripts/bench.sh --no-experiments-md   # never rewrite EXPERIMENTS.md
 #   scripts/bench.sh --experiments-md      # rewrite it even in --full mode
+#   scripts/bench.sh --write-baseline      # refresh bench/BENCH_baseline.json
+#                                          # (quick aggregate, wall-clock
+#                                          # metrics stripped) — the file CI
+#                                          # diffs every run against
 #   BUILD_DIR=out scripts/bench.sh         # custom build directory
 #
 # EXPERIMENTS.md is the committed quick-mode baseline: quick runs rewrite
@@ -34,6 +39,7 @@ MODE=quick
 CMAKE_ARGS=()
 DIFF_BASELINE=""
 TOLERANCE=0.25
+WRITE_BASELINE=0
 # Empty = auto: EXPERIMENTS.md is the committed QUICK-mode baseline, so it
 # is only (re)written for quick runs; a --full run would otherwise replace
 # it with numbers a quick run can never reproduce.
@@ -62,6 +68,7 @@ while [[ $# -gt 0 ]]; do
       ;;
     --no-experiments-md) WRITE_EXPERIMENTS_MD=0 ;;
     --experiments-md) WRITE_EXPERIMENTS_MD=1 ;;
+    --write-baseline) WRITE_BASELINE=1 ;;
     *)
       echo "unknown argument: $1" >&2
       exit 2
@@ -72,6 +79,14 @@ done
 
 if [[ -z "$WRITE_EXPERIMENTS_MD" ]]; then
   [[ "$MODE" == quick ]] && WRITE_EXPERIMENTS_MD=1 || WRITE_EXPERIMENTS_MD=0
+fi
+
+if [[ "$WRITE_BASELINE" == 1 && "$MODE" != quick ]]; then
+  # Fail fast, before the (long) full-mode bench run: the committed
+  # baseline is the quick-mode aggregate by definition.
+  echo "--write-baseline requires quick mode (the committed baseline is" \
+       "the quick-mode aggregate)" >&2
+  exit 2
 fi
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
@@ -95,6 +110,7 @@ MODEL_BENCHES=(
   bench_ablation_host_savings
   bench_ablation_inline_crypto
   bench_ablation_multitenant
+  bench_micro_sim
 )
 
 QUICK_FLAG=""
@@ -118,19 +134,27 @@ echo "== running bench_micro_transport ($MODE, min_time=$MICRO_MIN_TIME) =="
     "--benchmark_out=$OUT_DIR/bench_micro_transport.json" \
     --benchmark_out_format=json > "$OUT_DIR/bench_micro_transport.txt"
 
+# The one list of merge inputs: the aggregate and the committed baseline
+# must always be built from the same reports.
+MERGE_INPUTS=()
+for bench in "${MODEL_BENCHES[@]}"; do
+  MERGE_INPUTS+=("$OUT_DIR/$bench.json")
+done
+MERGE_INPUTS+=("$OUT_DIR/bench_micro_transport.json")
+
 AGGREGATE="$OUT_DIR/BENCH_${MODE}.json"
 MERGE_ARGS=(merge "--out=$AGGREGATE")
 if [[ "$WRITE_EXPERIMENTS_MD" == 1 ]]; then
   MERGE_ARGS+=("--experiments-md=EXPERIMENTS.md")
 fi
-for bench in "${MODEL_BENCHES[@]}"; do
-  MERGE_ARGS+=("$OUT_DIR/$bench.json")
-done
-MERGE_ARGS+=("$OUT_DIR/bench_micro_transport.json")
-"$BUILD_DIR/src/bench/ros2_benchctl" "${MERGE_ARGS[@]}"
+"$BUILD_DIR/src/bench/ros2_benchctl" "${MERGE_ARGS[@]}" "${MERGE_INPUTS[@]}"
 echo "aggregate: $AGGREGATE"
 [[ "$WRITE_EXPERIMENTS_MD" == 1 ]] && echo "regenerated: EXPERIMENTS.md"
 
+# The diff runs BEFORE any baseline refresh, so `--write-baseline --diff
+# bench/BENCH_baseline.json` compares against the PREVIOUS committed
+# baseline (and, under set -e, a regression blocks the refresh) instead of
+# vacuously diffing the run against itself.
 if [[ -n "$DIFF_BASELINE" ]]; then
   # A baseline that IS the fresh aggregate would diff the file against
   # itself and always pass; save a copy of a previous run's aggregate
@@ -142,4 +166,12 @@ if [[ -n "$DIFF_BASELINE" ]]; then
   fi
   "$BUILD_DIR/src/bench/ros2_benchctl" diff \
       "--tolerance=$TOLERANCE" "$DIFF_BASELINE" "$AGGREGATE"
+fi
+
+if [[ "$WRITE_BASELINE" == 1 ]]; then
+  # The committed regression baseline: same inputs, wall-clock (realtime)
+  # reports/metrics stripped so the file is byte-stable across machines.
+  "$BUILD_DIR/src/bench/ros2_benchctl" merge \
+      "--out=bench/BENCH_baseline.json" --strip-realtime "${MERGE_INPUTS[@]}"
+  echo "baseline: bench/BENCH_baseline.json"
 fi

@@ -52,10 +52,14 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 if [[ "$RUN_BENCH" == 1 ]]; then
-  # Bench smoke: every experiment binary runs quick-mode and its functional
-  # checks must pass; produces $BUILD_DIR/bench-out/BENCH_quick.json.
+  # Bench gate: every experiment binary runs quick-mode, its functional
+  # checks must pass, and the aggregate is diffed against the committed
+  # model-number baseline (bench/BENCH_baseline.json; wall-clock metrics
+  # are excluded from it, and direction-hinted metrics only fail on
+  # bad-direction drift). A deliberate model change must refresh the
+  # baseline via `scripts/bench.sh --write-baseline` in the same PR.
   # EXPERIMENTS.md is left untouched here — regenerating it is a deliberate
   # local act (scripts/bench.sh) whose diff rides the PR that changed perf.
   BUILD_DIR="$BUILD_DIR" scripts/bench.sh --quick --no-experiments-md \
-      "${BENCH_ARGS[@]}"
+      --diff bench/BENCH_baseline.json "${BENCH_ARGS[@]}"
 fi

@@ -1,24 +1,31 @@
 // ros2_benchctl — offline aggregator/differ for the experiments subsystem.
 //
 //   ros2_benchctl merge --out=BENCH_quick.json [--experiments-md=PATH]
-//                       <report.json>...
+//                       [--strip-realtime] <report.json>...
 //   ros2_benchctl diff [--tolerance=0.25] [--include-realtime]
 //                       <baseline.json> <current.json>
 //
 // merge understands two input shapes:
 //   * ros2-bench-report-v1 (what the fig/ablation binaries emit via
-//     BenchReport) — embedded as-is;
+//     BenchReport) — embedded as-is; a report-level "realtime": true
+//     (e.g. bench_micro_sim) marks the whole report wall-clock-derived;
 //   * google-benchmark JSON (bench_micro_transport under either the
 //     vendored minibenchmark or a system libbenchmark: an object with a
 //     "benchmarks" array) — normalized into a synthetic report whose
 //     metrics are tagged "realtime": true, since wall-clock numbers are
 //     machine-dependent.
+// --strip-realtime drops realtime-tagged reports/metrics from the written
+// aggregate — that is how the committed bench/BENCH_baseline.json is
+// produced (wall-clock values would churn on every host).
 //
 // diff compares metric values between two aggregates with a relative
 // tolerance. Realtime-tagged metrics are skipped unless --include-realtime
-// (model metrics are bit-deterministic; wall-clock ones are not). A check
-// that passed in the baseline but fails in the current run always fails
-// the diff. Exit: 0 clean, 1 regressions, 2 usage/IO errors.
+// (model metrics are bit-deterministic; wall-clock ones are not). A metric
+// annotated "direction": "higher"/"lower" fails only when it drifts the
+// bad way beyond tolerance — improvements pass; un-annotated metrics fail
+// on any drift. A check that passed in the baseline but fails in the
+// current run always fails the diff. Exit: 0 clean, 1 regressions, 2
+// usage/IO errors.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -140,6 +147,7 @@ Json NormalizeGoogleBenchmark(const Json& doc, const std::string& binary) {
     metric["value"] = real_time;
     metric["params"] = Json::Object();
     metric["realtime"] = true;
+    metric["direction"] = "lower";
     metrics.Append(std::move(metric));
     if (bytes_per_second != nullptr) {
       Json rate = Json::Object();
@@ -148,6 +156,7 @@ Json NormalizeGoogleBenchmark(const Json& doc, const std::string& binary) {
       rate["value"] = bytes_per_second->AsNumber();
       rate["params"] = Json::Object();
       rate["realtime"] = true;
+      rate["direction"] = "higher";
       metrics.Append(std::move(rate));
     }
   }
@@ -170,6 +179,7 @@ struct MetricEntry {
   std::string key;  // binary / experiment / metric {params}
   double value = 0.0;
   bool realtime = false;
+  int direction = 0;  // 0 any-drift-fails, +1 higher-is-better, -1 lower
 };
 
 struct CheckEntry {
@@ -185,6 +195,13 @@ void CollectEntries(const Json& aggregate, std::vector<MetricEntry>* metrics,
     const Json* binary = report.Find("binary");
     const std::string binary_name =
         binary != nullptr ? binary->AsString() : "?";
+    // A report-level realtime tag (bench_micro_sim) covers every metric in
+    // the report — per-metric tags are not required to keep wall-clock
+    // values out of the default diff.
+    bool report_realtime = false;
+    if (const Json* realtime = report.Find("realtime")) {
+      report_realtime = realtime->AsBool();
+    }
     const Json* experiments = report.Find("experiments");
     if (experiments == nullptr) continue;
     for (const auto& experiment : experiments->elements()) {
@@ -209,8 +226,13 @@ void CollectEntries(const Json& aggregate, std::vector<MetricEntry>* metrics,
           if (const Json* value = metric.Find("value")) {
             entry.value = value->AsNumber();
           }
+          entry.realtime = report_realtime;
           if (const Json* realtime = metric.Find("realtime")) {
-            entry.realtime = realtime->AsBool();
+            entry.realtime = entry.realtime || realtime->AsBool();
+          }
+          if (const Json* direction = metric.Find("direction")) {
+            if (direction->AsString() == "higher") entry.direction = 1;
+            if (direction->AsString() == "lower") entry.direction = -1;
           }
           metrics->push_back(std::move(entry));
         }
@@ -228,15 +250,55 @@ void CollectEntries(const Json& aggregate, std::vector<MetricEntry>* metrics,
   }
 }
 
+/// Deep-copies a report with realtime-tagged metrics removed (for the
+/// committed baseline aggregate). Returns false — drop the whole report —
+/// when the report itself is realtime-tagged.
+bool StripRealtime(const Json& report, Json* stripped) {
+  if (const Json* realtime = report.Find("realtime")) {
+    if (realtime->AsBool()) return false;
+  }
+  Json out = Json::Object();
+  for (const auto& [key, value] : report.members()) {
+    if (key != "experiments") {
+      out[key] = value;
+      continue;
+    }
+    Json experiments = Json::Array();
+    for (const auto& experiment : value.elements()) {
+      Json e = Json::Object();
+      for (const auto& [ekey, evalue] : experiment.members()) {
+        if (ekey != "metrics") {
+          e[ekey] = evalue;
+          continue;
+        }
+        Json metrics = Json::Array();
+        for (const auto& metric : evalue.elements()) {
+          const Json* tag = metric.Find("realtime");
+          if (tag != nullptr && tag->AsBool()) continue;
+          metrics.Append(metric);
+        }
+        e["metrics"] = std::move(metrics);
+      }
+      experiments.Append(std::move(e));
+    }
+    out["experiments"] = std::move(experiments);
+  }
+  *stripped = std::move(out);
+  return true;
+}
+
 int RunMerge(const std::vector<std::string>& args) {
   std::string out_path;
   std::string experiments_md_path;
+  bool strip_realtime = false;
   std::vector<std::string> inputs;
   for (const auto& arg : args) {
     if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(std::strlen("--out="));
     } else if (arg.rfind("--experiments-md=", 0) == 0) {
       experiments_md_path = arg.substr(std::strlen("--experiments-md="));
+    } else if (arg == "--strip-realtime") {
+      strip_realtime = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "benchctl merge: unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -247,7 +309,8 @@ int RunMerge(const std::vector<std::string>& args) {
   if (out_path.empty() || inputs.empty()) {
     std::fprintf(stderr,
                  "usage: ros2_benchctl merge --out=<agg.json> "
-                 "[--experiments-md=<path>] <report.json>...\n");
+                 "[--experiments-md=<path>] [--strip-realtime] "
+                 "<report.json>...\n");
     return 2;
   }
 
@@ -276,6 +339,11 @@ int RunMerge(const std::vector<std::string>& args) {
     }
     if (const Json* quick = report.Find("quick")) {
       any_quick = any_quick || quick->AsBool();
+    }
+    if (strip_realtime) {
+      Json stripped;
+      if (!StripRealtime(report, &stripped)) continue;
+      report = std::move(stripped);
     }
     reports.Append(std::move(report));
   }
@@ -327,10 +395,10 @@ int RunMerge(const std::vector<std::string>& args) {
     }
     if (realtime_skipped > 0) {
       file << "\n## Real-time microbenchmarks\n\n"
-           << "Wall-clock sections (bench_micro_transport) are machine-"
-           << "dependent\nand deliberately excluded from this baseline; "
-           << "see the BENCH JSON\naggregate produced by `scripts/bench.sh`."
-           << "\n";
+           << "Wall-clock sections (bench_micro_transport, bench_micro_sim) "
+           << "are\nmachine-dependent and deliberately excluded from this "
+           << "baseline; see\nthe BENCH JSON aggregate produced by "
+           << "`scripts/bench.sh`.\n";
     }
     file.flush();
     if (!file.good()) {
@@ -428,7 +496,12 @@ int RunDiff(const std::vector<std::string>& args) {
     ++compared;
     const double denom = std::max(std::fabs(base.value), 1e-12);
     const double rel = (cur->value - base.value) / denom;
-    if (std::fabs(rel) > tolerance) {
+    // Direction hints (ROADMAP item): a hinted metric only regresses when
+    // it moves the bad way; an improvement beyond tolerance passes.
+    const bool regressed = base.direction > 0   ? rel < -tolerance
+                           : base.direction < 0 ? rel > tolerance
+                                                : std::fabs(rel) > tolerance;
+    if (regressed) {
       char base_cell[32], cur_cell[32], delta_cell[32];
       std::snprintf(base_cell, sizeof(base_cell), "%.6g", base.value);
       std::snprintf(cur_cell, sizeof(cur_cell), "%.6g", cur->value);
@@ -478,7 +551,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ros2_benchctl <merge|diff> [args...]\n"
                  "  merge --out=<agg.json> [--experiments-md=<path>] "
-                 "<report.json>...\n"
+                 "[--strip-realtime] <report.json>...\n"
                  "  diff [--tolerance=0.25] [--include-realtime] "
                  "<baseline.json> <current.json>\n");
     return 2;

@@ -51,8 +51,9 @@ class BenchContext {
     report_->AddTable(title, table);
   }
   void Metric(const std::string& metric, const std::string& unit, double value,
-              const Params& params = {}) {
-    report_->AddMetric(metric, unit, value, params);
+              const Params& params = {},
+              MetricDirection direction = MetricDirection::kNone) {
+    report_->AddMetric(metric, unit, value, params, direction);
   }
 
  private:

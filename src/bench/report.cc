@@ -30,8 +30,9 @@ void BenchReport::AddTable(const std::string& title, const AsciiTable& table) {
 }
 
 void BenchReport::AddMetric(const std::string& metric, const std::string& unit,
-                            double value, const Params& params) {
-  Current().metrics.push_back({metric, unit, value, params});
+                            double value, const Params& params,
+                            MetricDirection direction) {
+  Current().metrics.push_back({metric, unit, value, params, direction});
 }
 
 bool BenchReport::AllChecksPassed() const {
@@ -48,6 +49,8 @@ Json BenchReport::ToJson() const {
   root["schema"] = "ros2-bench-report-v1";
   root["binary"] = binary_;
   root["quick"] = quick_;
+  // Emitted only when set so pre-existing reports stay byte-identical.
+  if (realtime_) root["realtime"] = true;
   Json experiments = Json::Array();
   for (const auto& experiment : experiments_) {
     Json e = Json::Object();
@@ -81,6 +84,13 @@ Json BenchReport::ToJson() const {
       Json params = Json::Object();
       for (const auto& [key, value] : metric.params) params[key] = value;
       m["params"] = std::move(params);
+      // Emitted only when hinted so pre-existing reports stay
+      // byte-identical.
+      if (metric.direction == MetricDirection::kHigherIsBetter) {
+        m["direction"] = "higher";
+      } else if (metric.direction == MetricDirection::kLowerIsBetter) {
+        m["direction"] = "lower";
+      }
       metrics.Append(std::move(m));
     }
     e["metrics"] = std::move(metrics);

@@ -25,10 +25,27 @@ namespace ros2::bench {
 /// emit in the order the experiment states them and diffs stay stable.
 using Params = std::vector<std::pair<std::string, std::string>>;
 
+/// Which way a metric is allowed to drift: `benchctl diff` fails a
+/// direction-hinted metric only when it moves the BAD way beyond tolerance
+/// (improvements pass); un-hinted metrics fail on any drift. Deterministic
+/// model numbers should stay un-hinted — any drift there is a modeling
+/// change that must be acknowledged by moving the baseline.
+enum class MetricDirection {
+  kNone,            ///< any out-of-tolerance drift fails
+  kHigherIsBetter,  ///< only an out-of-tolerance drop fails
+  kLowerIsBetter,   ///< only an out-of-tolerance rise fails
+};
+
 class BenchReport {
  public:
   BenchReport(std::string binary, bool quick)
       : binary_(std::move(binary)), quick_(quick) {}
+
+  /// Tags the whole report as wall-clock-derived: benchctl keeps it out of
+  /// the regenerated EXPERIMENTS.md and its metrics out of the default
+  /// diff, exactly like normalized google-benchmark output.
+  void MarkRealtime() { realtime_ = true; }
+  bool realtime() const { return realtime_; }
 
   /// Starts a new experiment section; subsequent Add* calls land in it.
   void BeginExperiment(const std::string& name,
@@ -46,9 +63,11 @@ class BenchReport {
 
   /// Machine-readable scalar: metrics are what `benchctl diff` compares
   /// across runs. Units are spelled out ("bytes_per_sec", "seconds",
-  /// "ratio", "core_sec_per_gib", ...).
+  /// "ratio", "core_sec_per_gib", ...). `direction` annotates which way
+  /// the metric may drift (see MetricDirection).
   void AddMetric(const std::string& metric, const std::string& unit,
-                 double value, const Params& params = {});
+                 double value, const Params& params = {},
+                 MetricDirection direction = MetricDirection::kNone);
 
   const std::string& binary() const { return binary_; }
   bool quick() const { return quick_; }
@@ -75,6 +94,7 @@ class BenchReport {
     std::string unit;
     double value;
     Params params;
+    MetricDirection direction;
   };
   struct Experiment {
     std::string name;
@@ -89,6 +109,7 @@ class BenchReport {
 
   std::string binary_;
   bool quick_;
+  bool realtime_ = false;
   std::vector<Experiment> experiments_;
 };
 

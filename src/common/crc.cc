@@ -1,26 +1,98 @@
 #include "common/crc.h"
 
 #include <array>
+#include <cstring>
 
 namespace ros2 {
 namespace {
 
-// Table-driven CRC32C (reflected, poly 0x1EDC6F41 -> reversed 0x82F63B78).
+// CRC32C (reflected, poly 0x1EDC6F41 -> reversed 0x82F63B78). This is the
+// data-path checksum (charged per payload byte by the checksum ablation),
+// so the software path uses slicing-by-8 — eight table lookups consume
+// eight bytes per iteration with no inter-byte dependency chain — and
+// x86-64 hosts with SSE4.2 use the hardware crc32 instruction instead
+// (same polynomial, same running-remainder convention, picked once at
+// runtime via CPUID).
 constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;
 
-std::array<std::uint32_t, 256> BuildCrc32cTable() {
-  std::array<std::uint32_t, 256> table{};
+using Crc32cSlices = std::array<std::array<std::uint32_t, 256>, 8>;
+
+Crc32cSlices BuildCrc32cSlices() {
+  Crc32cSlices slices{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 1u) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
     }
-    table[i] = crc;
+    slices[0][i] = crc;
   }
-  return table;
+  for (std::size_t k = 1; k < slices.size(); ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = slices[k - 1][i];
+      slices[k][i] = slices[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return slices;
 }
 
-// CRC-64/XZ (reflected, poly 0x42F0E1EBA9EA3693 -> reversed).
+const Crc32cSlices& Crc32cTables() {
+  static const Crc32cSlices slices = BuildCrc32cSlices();
+  return slices;
+}
+
+/// Software slicing-by-8 over the running (pre-inversion) remainder.
+std::uint32_t Crc32cSoftware(std::uint32_t crc, const std::byte* data,
+                             std::size_t size) {
+  const Crc32cSlices& t = Crc32cTables();
+  while (size >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, data, sizeof(chunk));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    chunk = __builtin_bswap64(chunk);
+#endif
+    chunk ^= crc;
+    crc = t[7][chunk & 0xFFu] ^ t[6][(chunk >> 8) & 0xFFu] ^
+          t[5][(chunk >> 16) & 0xFFu] ^ t[4][(chunk >> 24) & 0xFFu] ^
+          t[3][(chunk >> 32) & 0xFFu] ^ t[2][(chunk >> 40) & 0xFFu] ^
+          t[1][(chunk >> 48) & 0xFFu] ^ t[0][chunk >> 56];
+    data += 8;
+    size -= 8;
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = t[0][(crc ^ std::uint32_t(data[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ROS2_CRC32C_HW 1
+
+/// SSE4.2 crc32 path; only called after the runtime CPUID check.
+__attribute__((target("sse4.2"))) std::uint32_t Crc32cHardware(
+    std::uint32_t crc, const std::byte* data, std::size_t size) {
+  std::uint64_t crc64 = crc;
+  while (size >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, data, sizeof(chunk));
+    crc64 = __builtin_ia32_crc32di(crc64, chunk);
+    data += 8;
+    size -= 8;
+  }
+  crc = std::uint32_t(crc64);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = __builtin_ia32_crc32qi(crc, std::uint8_t(data[i]));
+  }
+  return crc;
+}
+
+bool HaveSse42() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif  // __x86_64__
+
+// CRC-64/XZ (reflected, poly 0x42F0E1EBA9EA3693 -> reversed). Metadata
+// self-checks only — stays byte-at-a-time.
 constexpr std::uint64_t kCrc64Poly = 0xC96C5795D7870F42ull;
 
 std::array<std::uint64_t, 256> BuildCrc64Table() {
@@ -35,11 +107,6 @@ std::array<std::uint64_t, 256> BuildCrc64Table() {
   return table;
 }
 
-const std::array<std::uint32_t, 256>& Crc32cTable() {
-  static const auto table = BuildCrc32cTable();
-  return table;
-}
-
 const std::array<std::uint64_t, 256>& Crc64Table() {
   static const auto table = BuildCrc64Table();
   return table;
@@ -48,18 +115,24 @@ const std::array<std::uint64_t, 256>& Crc64Table() {
 }  // namespace
 
 std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t seed) {
-  const auto& table = Crc32cTable();
   std::uint32_t crc = ~seed;
-  for (std::byte b : data) {
-    crc = table[(crc ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (crc >> 8);
+#if defined(ROS2_CRC32C_HW)
+  if (HaveSse42()) {
+    return ~Crc32cHardware(crc, data.data(), data.size());
   }
-  return ~crc;
+#endif
+  return ~Crc32cSoftware(crc, data.data(), data.size());
 }
 
 std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) {
   return Crc32c(
       std::span<const std::byte>(static_cast<const std::byte*>(data), size),
       seed);
+}
+
+std::uint32_t Crc32cPortable(std::span<const std::byte> data,
+                             std::uint32_t seed) {
+  return ~Crc32cSoftware(~seed, data.data(), data.size());
 }
 
 std::uint64_t Crc64(std::span<const std::byte> data, std::uint64_t seed) {

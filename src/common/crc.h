@@ -12,11 +12,19 @@
 namespace ros2 {
 
 /// CRC-32C over `data`, seeded with `seed` (pass the previous value to
-/// stream over multiple chunks; 0 for a fresh computation).
+/// stream over multiple chunks; 0 for a fresh computation). Dispatches once
+/// at runtime: the SSE4.2 crc32 instruction where CPUID reports it,
+/// otherwise the portable slicing-by-8 table path.
 std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t seed = 0);
 
 /// Convenience overload over raw memory.
 std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+/// The portable slicing-by-8 path, bypassing the hardware dispatch. Always
+/// identical to Crc32c(); exposed so tests pin the software path even on
+/// hosts where Crc32c() takes the SSE4.2 instruction.
+std::uint32_t Crc32cPortable(std::span<const std::byte> data,
+                             std::uint32_t seed = 0);
 
 /// CRC-64/XZ over `data`.
 std::uint64_t Crc64(std::span<const std::byte> data, std::uint64_t seed = 0);

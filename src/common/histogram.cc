@@ -2,20 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace ros2 {
 
 LatencyHistogram::LatencyHistogram()
     : buckets_(std::size_t(kExponents) * kSubBuckets, 0) {}
 
-int LatencyHistogram::BucketIndex(double seconds) {
-  const double units = std::max(seconds / kUnit, 1.0);
-  int exponent = std::min(int(std::floor(std::log2(units))), kExponents - 1);
-  // Linear position within [2^e, 2^(e+1)).
-  const double base = std::exp2(double(exponent));
-  int sub = int((units - base) / base * kSubBuckets);
-  sub = std::clamp(sub, 0, kSubBuckets - 1);
-  return exponent * kSubBuckets + sub;
+const LatencyHistogram::BucketTables& LatencyHistogram::Tables() {
+  static const BucketTables tables = [] {
+    BucketTables t;
+    for (int e = 0; e < kExponents; ++e) {
+      t.base[e] = std::exp2(double(e));
+      t.scale[e] = std::exp2(double(kFusedScaleShift - e));
+      // Bisect (over the bit-ordered doubles of binade e) the first value
+      // whose floor(log2) — as THIS libm computes it — reaches e+1. Only
+      // the top few ulps of a binade can round up; most binades have none.
+      const double top = std::exp2(double(e + 1));
+      auto rounds_up = [e](double x) {
+        return int(std::floor(std::log2(x))) > e;
+      };
+      double hi = std::nextafter(top, 0.0);  // largest double in the binade
+      if (!rounds_up(hi)) {
+        t.round_up_at[e] = top;  // unreachable: binade is exact everywhere
+        continue;
+      }
+      double lo = t.base[e];  // log2(2^e) == e exactly: never rounds up
+      // Invariant: !rounds_up(lo), rounds_up(hi); narrow to adjacent bits.
+      while (std::nextafter(lo, top) < hi) {
+        std::uint64_t lo_bits, hi_bits;
+        std::memcpy(&lo_bits, &lo, sizeof(lo));
+        std::memcpy(&hi_bits, &hi, sizeof(hi));
+        const std::uint64_t mid_bits = lo_bits + (hi_bits - lo_bits) / 2;
+        double mid;
+        std::memcpy(&mid, &mid_bits, sizeof(mid));
+        (rounds_up(mid) ? hi : lo) = mid;
+      }
+      t.round_up_at[e] = hi;
+    }
+    return t;
+  }();
+  return tables;
 }
 
 double LatencyHistogram::BucketValue(int index) {
@@ -25,19 +52,6 @@ double LatencyHistogram::BucketValue(int index) {
   // Midpoint of the sub-bucket, converted back to seconds.
   const double units = base + base * (double(sub) + 0.5) / kSubBuckets;
   return units * kUnit;
-}
-
-void LatencyHistogram::Record(double seconds) {
-  if (seconds <= 0.0) seconds = kUnit;
-  buckets_[std::size_t(BucketIndex(seconds))]++;
-  if (count_ == 0) {
-    min_ = max_ = seconds;
-  } else {
-    min_ = std::min(min_, seconds);
-    max_ = std::max(max_, seconds);
-  }
-  ++count_;
-  sum_ += seconds;
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {

@@ -2,18 +2,33 @@
 // sub-buckets) for per-op latency recording in the FIO harness.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace ros2 {
 
 /// Records positive durations (seconds) with ~1.5% relative resolution.
-/// Memory footprint is fixed (~8 KiB); Record() is O(1).
+/// Memory footprint is fixed (~8 KiB); Record() is O(1) and defined inline
+/// — it sits on the simulator's per-op hot path.
 class LatencyHistogram {
  public:
   LatencyHistogram();
 
-  void Record(double seconds);
+  void Record(double seconds) {
+    if (seconds <= 0.0) seconds = kUnit;
+    buckets_[std::size_t(BucketIndex(seconds))]++;
+    if (count_ == 0) {
+      min_ = max_ = seconds;
+    } else {
+      min_ = std::min(min_, seconds);
+      max_ = std::max(max_, seconds);
+    }
+    ++count_;
+    sum_ += seconds;
+  }
+
   void Merge(const LatencyHistogram& other);
   void Reset();
 
@@ -30,13 +45,48 @@ class LatencyHistogram {
   double p99() const { return Quantile(0.99); }
   double p999() const { return Quantile(0.999); }
 
+  /// Bucketing, reference semantics: with units = max(seconds/kUnit, 1.0),
+  ///   exponent = min(int(floor(log2(units))), kExponents - 1)
+  ///   sub      = clamp(int((units - 2^exponent) / 2^exponent * 32), 0, 31)
+  /// Computed here without calling log2 per record: the IEEE exponent field
+  /// IS floor(log2) except for the top few doubles of each binade, where
+  /// libm's log2 rounds up to the next integer; BucketTables bisects those
+  /// per-binade round-up thresholds against this process's own libm once,
+  /// so the table-driven index is bit-for-bit the reference mapping. The
+  /// divide-then-scale is fused into one multiply by an exact power of two
+  /// (only exponent shifts — no rounding anywhere). Exposed publicly so the
+  /// unit test can pin it against the reference formula.
+  static int BucketIndex(double seconds) {
+    const double units = std::max(seconds / kUnit, 1.0);
+    std::uint64_t bits;
+    std::memcpy(&bits, &units, sizeof(bits));
+    int exponent = int(bits >> 52) - 1023;  // units >= 1.0: positive, normal
+    const BucketTables& tables = Tables();
+    if (exponent < kExponents && units >= tables.round_up_at[exponent]) {
+      ++exponent;
+    }
+    if (exponent > kExponents - 1) exponent = kExponents - 1;
+    int sub = int((units - tables.base[exponent]) * tables.scale[exponent]);
+    sub = std::clamp(sub, 0, kSubBuckets - 1);
+    return exponent * kSubBuckets + sub;
+  }
+
  private:
   // Buckets span [1ns, ~1000s): 40 powers of two, 32 linear sub-buckets each.
   static constexpr int kExponents = 40;
   static constexpr int kSubBuckets = 32;
+  static constexpr int kFusedScaleShift = 5;  // log2(kSubBuckets)
   static constexpr double kUnit = 1e-9;  // 1 ns granularity floor
 
-  static int BucketIndex(double seconds);
+  struct BucketTables {
+    /// Smallest double in binade e that libm log2 rounds up to e+1
+    /// (2^(e+1), i.e. unreachable, when there is none).
+    double round_up_at[kExponents];
+    double base[kExponents];   ///< 2^e
+    double scale[kExponents];  ///< 2^(5-e): fused "/2^e * 32", exact
+  };
+  static const BucketTables& Tables();
+
   static double BucketValue(int index);
 
   std::vector<std::uint64_t> buckets_;

@@ -47,19 +47,30 @@ DfsModel::DfsModel(const Config& config)
           "tenant-" + std::to_string(t), 1));
     }
   }
+  // Contexts are numjobs x iodepth; context / iodepth is the owning job.
+  job_of_context_.resize(std::size_t(config_.num_jobs) * config_.iodepth);
+  for (std::size_t c = 0; c < job_of_context_.size(); ++c) {
+    job_of_context_[c] =
+        std::uint32_t(c) / config_.iodepth % config_.num_jobs;
+  }
+  if (config_.num_ssds > 0 &&
+      (config_.num_ssds & (config_.num_ssds - 1)) == 0) {
+    ssd_is_pow2_ = true;
+    ssd_pow2_mask_ = config_.num_ssds - 1;
+  }
 }
 
-sim::OpPlan DfsModel::PlanOp(std::uint32_t context, std::uint64_t op_index) {
+void DfsModel::PlanInto(std::uint32_t context, std::uint64_t op_index,
+                        sim::OpPlan& plan) {
   const bool read = IsRead(config_.op);
   const bool tcp = config_.transport == Transport::kTcp;
   const bool on_dpu = config_.platform == Platform::kBlueField3;
   const std::uint64_t bs = config_.block_size;
 
-  sim::OpPlan plan;
   plan.bytes = bs;
 
   // --- FIO job thread (runs on the client platform) ---
-  const std::uint32_t job = context / config_.iodepth % config_.num_jobs;
+  const std::uint32_t job = job_of_context_[context];
   plan.stages.push_back(
       {job_threads_[job].get(), profile_.ScaleCost(cal::kFioJobPerIoCost)});
 
@@ -129,9 +140,10 @@ sim::OpPlan DfsModel::PlanOp(std::uint32_t context, std::uint64_t op_index) {
     const double scm_bw = read ? cal::kScmReadBw : cal::kScmWriteBw;
     plan.stages.push_back({&scm_tier_, double(bs) / scm_bw});
   } else {
-    const std::uint64_t ssd = IsRandom(config_.op)
-                                  ? Mix(op_index) % config_.num_ssds
-                                  : op_index % config_.num_ssds;
+    const std::uint64_t spread =
+        IsRandom(config_.op) ? Mix(op_index) : op_index;
+    const std::uint64_t ssd =
+        ssd_is_pow2_ ? spread & ssd_pow2_mask_ : spread % config_.num_ssds;
     const double device_bw = read ? cal::kSsdReadBw : cal::kSsdWriteBw;
     plan.stages.push_back(
         {ssd_channels_[ssd].get(), double(bs) / device_bw});
@@ -170,7 +182,6 @@ sim::OpPlan DfsModel::PlanOp(std::uint32_t context, std::uint64_t op_index) {
   plan.fixed_latency =
       2.0 * cal::kLinkPropagation +
       (scm ? 0.0 : (read ? cal::kSsdReadLatency : cal::kSsdWriteLatency));
-  return plan;
 }
 
 DfsModel::Utilization DfsModel::UtilizationAfter(
@@ -193,10 +204,10 @@ sim::ClosedLoopResult DfsModel::Run(std::uint64_t total_ops) {
   sim::ClosedLoopConfig loop;
   loop.contexts = config_.num_jobs * config_.iodepth;
   loop.total_ops = total_ops;
-  return sim::RunClosedLoop(loop,
-                            [this](std::uint32_t ctx, std::uint64_t op) {
-                              return PlanOp(ctx, op);
-                            });
+  return sim::RunClosedLoop(
+      loop, [this](std::uint32_t ctx, std::uint64_t op, sim::OpPlan& plan) {
+        PlanInto(ctx, op, plan);
+      });
 }
 
 }  // namespace ros2::perf

@@ -74,7 +74,10 @@ class DfsModel {
   const PlatformProfile& profile() const { return profile_; }
 
  private:
-  sim::OpPlan PlanOp(std::uint32_t context, std::uint64_t op_index);
+  /// Fills the caller-owned `plan` (handed over cleared) for one op —
+  /// allocation-free, so the closed loop can recycle a single plan object.
+  void PlanInto(std::uint32_t context, std::uint64_t op_index,
+                sim::OpPlan& plan);
 
   Config config_;
   PlatformProfile profile_;
@@ -93,6 +96,13 @@ class DfsModel {
   sim::ServerPool staging_copy_;  ///< DPU DRAM -> GPU copy (kGpuStaged)
   std::vector<std::unique_ptr<sim::ServerPool>> ssd_channels_;
   std::vector<std::unique_ptr<sim::ServerPool>> tenant_pipes_;
+  /// context -> owning job thread, precomputed so the per-op path does no
+  /// integer division (context / iodepth % num_jobs).
+  std::vector<std::uint32_t> job_of_context_;
+  /// num_ssds - 1 when num_ssds is a power of two — the common testbed
+  /// shapes (1 or 4 drives) — letting a mask replace the per-op modulo.
+  bool ssd_is_pow2_ = false;
+  std::uint64_t ssd_pow2_mask_ = 0;
 };
 
 }  // namespace ros2::perf

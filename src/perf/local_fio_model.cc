@@ -15,41 +15,51 @@ LocalFioModel::LocalFioModel(const Config& config)
     ssd_channels_.push_back(
         std::make_unique<sim::ServerPool>("ssd-" + std::to_string(d), 1));
   }
+  // Contexts are numjobs x iodepth; context / iodepth is the owning job.
+  job_of_context_.resize(std::size_t(config_.num_jobs) * config_.iodepth);
+  for (std::size_t c = 0; c < job_of_context_.size(); ++c) {
+    job_of_context_[c] =
+        std::uint32_t(c) / config_.iodepth % config_.num_jobs;
+  }
+  if (config_.num_ssds > 0 &&
+      (config_.num_ssds & (config_.num_ssds - 1)) == 0) {
+    ssd_is_pow2_ = true;
+    ssd_pow2_mask_ = config_.num_ssds - 1;
+  }
 }
 
-sim::OpPlan LocalFioModel::PlanOp(std::uint32_t context,
-                                  std::uint64_t op_index) {
-  sim::OpPlan plan;
+void LocalFioModel::PlanInto(std::uint32_t context, std::uint64_t op_index,
+                             sim::OpPlan& plan) {
   plan.bytes = config_.block_size;
 
-  // Contexts are numjobs x iodepth; context / iodepth is the owning job.
-  const std::uint32_t job = context / config_.iodepth % config_.num_jobs;
+  const std::uint32_t job = job_of_context_[context];
   plan.stages.push_back({job_threads_[job].get(), cal::kFioJobPerIoCost});
 
   plan.stages.push_back({&block_path_, cal::kHostBlockPathPerIo});
 
   // Sequential jobs stripe across devices; random jobs hash. Either way the
   // load is balanced, which is what Fig. 3 measures (whole-array FIO).
-  const std::uint64_t ssd = IsRandom(config_.op)
-                                ? (op_index * 0x9E3779B97F4A7C15ull >> 32) %
-                                      config_.num_ssds
-                                : op_index % config_.num_ssds;
+  const std::uint64_t spread = IsRandom(config_.op)
+                                   ? op_index * 0x9E3779B97F4A7C15ull >> 32
+                                   : op_index;
+  const std::uint64_t ssd =
+      ssd_is_pow2_ ? spread & ssd_pow2_mask_ : spread % config_.num_ssds;
   const bool read = IsRead(config_.op);
   const double device_bw = read ? cal::kSsdReadBw : cal::kSsdWriteBw;
   plan.stages.push_back(
       {ssd_channels_[ssd].get(), double(config_.block_size) / device_bw});
 
   plan.fixed_latency = read ? cal::kSsdReadLatency : cal::kSsdWriteLatency;
-  return plan;
 }
 
 sim::ClosedLoopResult LocalFioModel::Run(std::uint64_t total_ops) {
   sim::ClosedLoopConfig loop;
   loop.contexts = config_.num_jobs * config_.iodepth;
   loop.total_ops = total_ops;
-  return sim::RunClosedLoop(loop, [this](std::uint32_t ctx, std::uint64_t op) {
-    return PlanOp(ctx, op);
-  });
+  return sim::RunClosedLoop(
+      loop, [this](std::uint32_t ctx, std::uint64_t op, sim::OpPlan& plan) {
+        PlanInto(ctx, op, plan);
+      });
 }
 
 }  // namespace ros2::perf

@@ -21,12 +21,11 @@ RemoteSpdkModel::RemoteSpdkModel(const Config& config)
       ssd_channel_("ssd", 1),
       response_link_("link-resp", 1) {}
 
-sim::OpPlan RemoteSpdkModel::PlanOp() {
+void RemoteSpdkModel::PlanInto(sim::OpPlan& plan) {
   const bool read = IsRead(config_.op);
   const bool tcp = config_.transport == Transport::kTcp;
   const std::uint64_t bs = config_.block_size;
 
-  sim::OpPlan plan;
   plan.bytes = bs;
 
   const double per_io_cpu = tcp ? cal::kTcpPerIoCpu : cal::kRdmaPerIoCpu;
@@ -75,7 +74,6 @@ sim::OpPlan RemoteSpdkModel::PlanOp() {
   plan.fixed_latency =
       2.0 * cal::kLinkPropagation +
       (read ? cal::kSsdReadLatency : cal::kSsdWriteLatency);
-  return plan;
 }
 
 sim::ClosedLoopResult RemoteSpdkModel::Run(std::uint64_t total_ops) {
@@ -83,7 +81,9 @@ sim::ClosedLoopResult RemoteSpdkModel::Run(std::uint64_t total_ops) {
   loop.contexts = config_.queue_depth * config_.client_cores;
   loop.total_ops = total_ops;
   return sim::RunClosedLoop(
-      loop, [this](std::uint32_t, std::uint64_t) { return PlanOp(); });
+      loop, [this](std::uint32_t, std::uint64_t, sim::OpPlan& plan) {
+        PlanInto(plan);
+      });
 }
 
 }  // namespace ros2::perf

@@ -41,7 +41,10 @@ class RemoteSpdkModel {
   const Config& config() const { return config_; }
 
  private:
-  sim::OpPlan PlanOp();
+  /// Fills the caller-owned `plan` (handed over cleared) for one op —
+  /// allocation-free, so the closed loop can recycle a single plan object.
+  /// This model's path is identical for every op (no per-op placement).
+  void PlanInto(sim::OpPlan& plan);
 
   Config config_;
   double link_bw_;  ///< effective link rate for this transport

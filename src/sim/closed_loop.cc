@@ -1,99 +1,12 @@
 #include "sim/closed_loop.h"
 
-#include <algorithm>
-#include <cassert>
-#include <queue>
-
 namespace ros2::sim {
-namespace {
-
-struct ContextState {
-  std::uint32_t id = 0;
-  SimTime next_issue = 0.0;
-};
-
-struct IssueOrder {
-  bool operator()(const ContextState& a, const ContextState& b) const {
-    // Min-heap on time; tie-break on id for determinism.
-    if (a.next_issue != b.next_issue) return a.next_issue > b.next_issue;
-    return a.id > b.id;
-  }
-};
-
-struct Completion {
-  SimTime at = 0.0;
-  std::uint64_t bytes = 0;
-};
-
-}  // namespace
 
 ClosedLoopResult RunClosedLoop(const ClosedLoopConfig& config,
-                               const OpSource& source) {
-  assert(config.contexts > 0);
-  ClosedLoopResult result;
-  if (config.total_ops == 0) return result;
-
-  std::priority_queue<ContextState, std::vector<ContextState>, IssueOrder>
-      ready;
-  for (std::uint32_t c = 0; c < config.contexts; ++c) {
-    ready.push({c, 0.0});
-  }
-
-  std::vector<Completion> completions;
-  completions.reserve(config.total_ops);
-
-  std::uint64_t issued = 0;
-  while (issued < config.total_ops && !ready.empty()) {
-    ContextState ctx = ready.top();
-    ready.pop();
-
-    const OpPlan plan = source(ctx.id, issued);
-    ++issued;
-
-    SimTime t = ctx.next_issue;
-    for (const Stage& stage : plan.stages) {
-      if (stage.pool != nullptr) {
-        t = stage.pool->Serve(t, stage.service);
-      } else {
-        t += stage.service;
-      }
-    }
-    t += plan.fixed_latency;
-
-    result.latency.Record(t - ctx.next_issue);
-    completions.push_back({t, plan.bytes});
-
-    ctx.next_issue = t;
-    ready.push(ctx);
-  }
-
-  std::sort(completions.begin(), completions.end(),
-            [](const Completion& a, const Completion& b) { return a.at < b.at; });
-
-  result.completed_ops = completions.size();
-  result.makespan = completions.back().at;
-
-  // Steady-state window: trim the head and tail fractions.
-  const auto trim = std::uint64_t(double(completions.size()) *
-                                  std::clamp(config.trim_fraction, 0.0, 0.45));
-  const std::uint64_t lo = trim;
-  const std::uint64_t hi = completions.size() - 1 - trim;
-  if (hi > lo && completions[hi].at > completions[lo].at) {
-    const double window = completions[hi].at - completions[lo].at;
-    std::uint64_t window_bytes = 0;
-    for (std::uint64_t i = lo + 1; i <= hi; ++i) {
-      window_bytes += completions[i].bytes;
-    }
-    result.ops_per_sec = double(hi - lo) / window;
-    result.bytes_per_sec = double(window_bytes) / window;
-  } else {
-    // Degenerate (tiny op counts): fall back to makespan averages.
-    std::uint64_t total_bytes = 0;
-    for (const auto& c : completions) total_bytes += c.bytes;
-    result.ops_per_sec = double(completions.size()) / result.makespan;
-    result.bytes_per_sec = double(total_bytes) / result.makespan;
-  }
-  return result;
+                               OpSource source) {
+  // Explicit template argument: a bare call would prefer this overload and
+  // recurse.
+  return RunClosedLoop<OpSource&>(config, source);
 }
 
 }  // namespace ros2::sim

@@ -7,18 +7,18 @@ namespace ros2::sim {
 
 ServerPool::ServerPool(std::string name, std::uint32_t servers)
     : name_(std::move(name)), servers_(std::max<std::uint32_t>(servers, 1)) {
-  for (std::uint32_t i = 0; i < servers_; ++i) free_at_.push(0.0);
+  if (servers_ > kFlatServers) {
+    for (std::uint32_t i = 0; i < servers_; ++i) free_at_.push(0.0);
+  }
 }
 
-SimTime ServerPool::Serve(SimTime arrival, double service) {
-  assert(service >= 0.0);
+// Accounting already happened in the inline Serve() prologue.
+SimTime ServerPool::ServeWide(SimTime arrival, double service) {
   const SimTime earliest = free_at_.top();
   free_at_.pop();
   const SimTime start = std::max(arrival, earliest);
   const SimTime done = start + service;
   free_at_.push(done);
-  busy_time_ += service;
-  ++served_ops_;
   return done;
 }
 
@@ -28,8 +28,11 @@ double ServerPool::Utilization(SimTime horizon) const {
 }
 
 void ServerPool::Reset() {
-  free_at_ = {};
-  for (std::uint32_t i = 0; i < servers_; ++i) free_at_.push(0.0);
+  for (SimTime& t : flat_) t = 0.0;
+  if (servers_ > kFlatServers) {
+    free_at_ = {};
+    for (std::uint32_t i = 0; i < servers_; ++i) free_at_.push(0.0);
+  }
   busy_time_ = 0.0;
   served_ops_ = 0;
 }

@@ -4,10 +4,11 @@
 // receive path) is modeled as a network of k-server FCFS stations. An
 // operation visits stations in sequence; each visit occupies one server for
 // a service time computed by the perf layer (per-op CPU cost, bytes/rate,
-// etc.). Stations keep only per-server next-free timestamps, so Serve() is
-// O(log k) and the whole simulation is allocation-free per op.
+// etc.). Stations keep only per-server next-free timestamps, so the whole
+// simulation is allocation-free per op.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <queue>
 #include <string>
@@ -26,11 +27,43 @@ using SimTime = double;
 ///
 /// A single-server pool models a serialized pipe (e.g. one SSD bandwidth
 /// channel: service = bytes / rate); a 48-server pool models a 48-core CPU.
+///
+/// Small pools (<= kFlatServers servers — every pipe, serialized section,
+/// and most modeled CPU pools) keep their next-free times in a fixed inline
+/// array scanned linearly, which beats a binary heap at these sizes and
+/// never allocates; only genuinely wide pools (e.g. 48-core hosts) fall
+/// back to a priority queue. Both structures pick a server with the minimal
+/// next-free time, so completion times are identical.
 class ServerPool {
  public:
+  /// Widest pool served by the inline linear-scan path.
+  static constexpr std::uint32_t kFlatServers = 16;
+
   ServerPool(std::string name, std::uint32_t servers);
 
-  SimTime Serve(SimTime arrival, double service);
+  SimTime Serve(SimTime arrival, double service) {
+    assert(service >= 0.0);
+    busy_time_ += service;
+    ++served_ops_;
+    if (servers_ == 1) {  // pipes: branch + max + add, nothing else
+      const SimTime start = arrival > flat_[0] ? arrival : flat_[0];
+      flat_[0] = start + service;
+      return flat_[0];
+    }
+    if (servers_ <= kFlatServers) {
+      // Branchless min scan: which server frees first is unpredictable.
+      std::uint32_t best = 0;
+      for (std::uint32_t i = 1; i < servers_; ++i) {
+        best = flat_[i] < flat_[best] ? i : best;
+      }
+      const SimTime earliest = flat_[best];
+      const SimTime start = arrival > earliest ? arrival : earliest;
+      const SimTime done = start + service;
+      flat_[best] = done;
+      return done;
+    }
+    return ServeWide(arrival, service);
+  }
 
   /// Total busy time accumulated across servers (for utilization reports).
   double busy_time() const { return busy_time_; }
@@ -44,9 +77,13 @@ class ServerPool {
   void Reset();
 
  private:
+  SimTime ServeWide(SimTime arrival, double service);
+
   std::string name_;
   std::uint32_t servers_;
-  // Min-heap of per-server next-free times.
+  // Per-server next-free times, flat-path pools only.
+  SimTime flat_[kFlatServers] = {};
+  // Min-heap of per-server next-free times, wide pools only.
   std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> free_at_;
   double busy_time_ = 0.0;
   std::uint64_t served_ops_ = 0;
@@ -54,7 +91,8 @@ class ServerPool {
 
 /// A bandwidth pipe: single logical channel serving bytes at `rate_bps`
 /// bytes/second with an optional per-message fixed cost. Thin wrapper over a
-/// 1-server pool that converts bytes to service time.
+/// 1-server pool that converts bytes to service time; the pool's
+/// single-server scalar path means a pipe visit never touches a heap.
 class BandwidthPipe {
  public:
   BandwidthPipe(std::string name, double bytes_per_sec,

@@ -63,6 +63,29 @@ TEST(BenchReportTest, JsonDocumentShape) {
   EXPECT_EQ(params->members()[1].first, "alpha");
 }
 
+TEST(BenchReportTest, DirectionAndRealtimeEmitOnlyWhenSet) {
+  // Default: neither key appears, keeping pre-hint reports byte-identical.
+  const Json plain = MakeSampleReport().ToJson();
+  EXPECT_TRUE(plain.Find("realtime") == nullptr);
+  const Json& plain_metric =
+      plain.Find("experiments")->elements()[0].Find("metrics")->elements()[0];
+  EXPECT_TRUE(plain_metric.Find("direction") == nullptr);
+
+  BenchReport report("bench_rt", /*quick=*/false);
+  report.MarkRealtime();
+  report.BeginExperiment("exp", "wall-clock section");
+  report.AddMetric("rate", "ops_per_wall_sec", 1e6, {},
+                   MetricDirection::kHigherIsBetter);
+  report.AddMetric("stall", "seconds", 0.5, {},
+                   MetricDirection::kLowerIsBetter);
+  const Json doc = report.ToJson();
+  ASSERT_TRUE(doc.Find("realtime") != nullptr);
+  EXPECT_TRUE(doc.Find("realtime")->AsBool());
+  const Json* metrics = doc.Find("experiments")->elements()[0].Find("metrics");
+  EXPECT_EQ(metrics->elements()[0].Find("direction")->AsString(), "higher");
+  EXPECT_EQ(metrics->elements()[1].Find("direction")->AsString(), "lower");
+}
+
 TEST(BenchReportTest, MetricsBeforeAnyExperimentLandInDefaultSection) {
   BenchReport report("bench_default", /*quick=*/false);
   report.AddMetric("m", "unit", 1.0);

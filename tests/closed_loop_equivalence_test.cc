@@ -1,0 +1,147 @@
+// Bit-exactness gate for the allocation-free closed-loop engine.
+//
+// The engine refactor (reused inline-capacity plans, streaming steady-state
+// accumulator instead of buffer+sort, single-server ServerPool fast path)
+// carries a hard invariant: every model number is BYTE-IDENTICAL to the
+// pre-refactor engine. The expected values below are hexfloat captures from
+// the original buffer-and-sort implementation (commit 77916ec) running the
+// exact workloads defined here; EXPECT_EQ on doubles is bitwise equality
+// for these values. If an intentional engine change ever breaks them, the
+// whole bench baseline (bench/BENCH_baseline.json, EXPERIMENTS.md) moves
+// with it — recapture, don't loosen.
+#include <gtest/gtest.h>
+
+#include "perf/local_fio_model.h"
+#include "sim/closed_loop.h"
+
+namespace ros2::sim {
+namespace {
+
+TEST(ClosedLoopEquivalenceTest, MultiContextMultiStage) {
+  // 7 contexts over a 4-server pool + a contended single-server pool with
+  // op-dependent service, fixed latency, uniform payload.
+  ServerPool pool4("pool4", 4);
+  ServerPool pool1("pool1", 1);
+  ClosedLoopConfig config;
+  config.contexts = 7;
+  config.total_ops = 5000;
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t op, OpPlan& plan) {
+        plan.stages.push_back({&pool4, 2e-4});
+        plan.stages.push_back({&pool1, 1e-4 * double(1 + op % 3)});
+        plan.fixed_latency = 5e-5;
+        plan.bytes = 4096;
+      });
+  EXPECT_EQ(result.completed_ops, 5000u);
+  EXPECT_EQ(result.makespan, 0x1.0009d49518197p+0);
+  EXPECT_EQ(result.ops_per_sec, 0x1.388000000015cp+12);
+  EXPECT_EQ(result.bytes_per_sec, 0x1.388000000015cp+24);
+  EXPECT_EQ(result.latency.mean(), 0x1.6ed8d0bc1a76cp-10);
+  EXPECT_EQ(result.latency.p50(), 0x1.6d127d05394fep-10);
+  EXPECT_EQ(result.latency.p99(), 0x1.86d78ee17391cp-10);
+  // Resource accounting is part of the contract (utilization reports).
+  EXPECT_EQ(pool1.busy_time(), 0x1.fff2e48e8a4f7p-1);
+  EXPECT_EQ(pool1.served_ops(), 5000u);
+}
+
+TEST(ClosedLoopEquivalenceTest, SingleContext) {
+  ServerPool pool("p", 1);
+  ClosedLoopConfig config;
+  config.contexts = 1;
+  config.total_ops = 1000;
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
+        plan.stages.push_back({&pool, 1e-3});
+        plan.bytes = 100;
+      });
+  EXPECT_EQ(result.makespan, 0x1.0000000000003p+0);
+  EXPECT_EQ(result.ops_per_sec, 0x1.f3ffffffffff9p+9);
+  EXPECT_EQ(result.bytes_per_sec, 0x1.869fffffffffbp+16);
+  EXPECT_EQ(result.latency.mean(), 0x1.0624dd2f1a9ffp-10);
+  EXPECT_EQ(result.latency.p50(), 0x1.0823f71155233p-10);
+  EXPECT_EQ(result.latency.p99(), 0x1.0823f71155233p-10);
+}
+
+TEST(ClosedLoopEquivalenceTest, FewerOpsThanContexts) {
+  // Degenerate: 3 ops across 4 contexts — ids 0..2 issue exactly once and
+  // the trimmed window collapses to the makespan-average fallback.
+  ServerPool pool("p", 2);
+  ClosedLoopConfig config;
+  config.contexts = 4;
+  config.total_ops = 3;
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t c, std::uint64_t, OpPlan& plan) {
+        plan.stages.push_back({&pool, 1e-3 * double(c + 1)});
+        plan.bytes = 512;
+      });
+  EXPECT_EQ(result.completed_ops, 3u);
+  EXPECT_EQ(result.makespan, 0x1.0624dd2f1a9fcp-8);
+  EXPECT_EQ(result.ops_per_sec, 0x1.4d55555555555p+9);
+  EXPECT_EQ(result.bytes_per_sec, 0x1.4d55555555555p+18);
+  EXPECT_EQ(result.latency.mean(), 0x1.31d5acb6f4651p-9);
+  EXPECT_EQ(result.latency.p50(), 0x1.0823f71155233p-9);
+  EXPECT_EQ(result.latency.p99(), 0x1.0823f71155233p-8);
+}
+
+TEST(ClosedLoopEquivalenceTest, TrimWindowCollapse) {
+  // trim_fraction at the 0.45 clamp with 10 ops: lo == hi is avoided
+  // (trim = 4, window [4, 5]) but tiny windows stress boundary handling.
+  ServerPool pool("p", 1);
+  ClosedLoopConfig config;
+  config.contexts = 2;
+  config.total_ops = 10;
+  config.trim_fraction = 0.45;
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t op, OpPlan& plan) {
+        plan.stages.push_back({&pool, 1e-4 * double(1 + op % 2)});
+        plan.bytes = 256;
+      });
+  EXPECT_EQ(result.makespan, 0x1.89374bc6a7efbp-10);
+  EXPECT_EQ(result.ops_per_sec, 0x1.388p+12);
+  EXPECT_EQ(result.bytes_per_sec, 0x1.388p+20);
+  EXPECT_EQ(result.latency.mean(), 0x1.2599ed7c6fbd3p-12);
+}
+
+TEST(ClosedLoopEquivalenceTest, VaryingPayloadBytes) {
+  // Per-op payload sizes exercise the windowed byte sum (not just op
+  // counts); a single context keeps completion times distinct so the
+  // sorted-commit order is unambiguous.
+  ServerPool pool("p", 1);
+  ClosedLoopConfig config;
+  config.contexts = 1;
+  config.total_ops = 777;
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t op, OpPlan& plan) {
+        plan.stages.push_back({&pool, 1e-4 * double(1 + op % 7)});
+        plan.bytes = 100 * (op % 5 + 1);
+      });
+  EXPECT_EQ(result.makespan, 0x1.3e425aee631efp-2);
+  EXPECT_EQ(result.ops_per_sec, 0x1.381fa734ed31bp+11);
+  EXPECT_EQ(result.bytes_per_sec, 0x1.6e5ba2af5359p+19);
+  EXPECT_EQ(result.latency.mean(), 0x1.a36e2eb1c432p-12);
+  EXPECT_EQ(result.latency.p50(), 0x1.a09ca0bdadd3ap-12);
+  EXPECT_EQ(result.latency.p99(), 0x1.6d127d05394fep-11);
+}
+
+TEST(ClosedLoopEquivalenceTest, LocalFioModelFig3PanelD) {
+  // Full-stack reference: the fig3 panel (d) workload (4 SSDs, 16 jobs,
+  // 4 KiB random read) through perf::LocalFioModel. Also pins the
+  // calibration constants this workload touches.
+  perf::LocalFioModel::Config config;
+  config.num_ssds = 4;
+  config.num_jobs = 16;
+  config.op = perf::OpKind::kRandRead;
+  config.block_size = 4096;
+  perf::LocalFioModel model(config);
+  auto result = model.Run(60000);
+  EXPECT_EQ(result.completed_ops, 60000u);
+  EXPECT_EQ(result.makespan, 0x1.96800b5f28184p-4);
+  EXPECT_EQ(result.ops_per_sec, 0x1.27f04d5252387p+19);
+  EXPECT_EQ(result.bytes_per_sec, 0x1.27f04d5252387p+31);
+  EXPECT_EQ(result.latency.mean(), 0x1.bb125f10399fep-12);
+  EXPECT_EQ(result.latency.p50(), 0x1.ba61b299e8158p-12);
+  EXPECT_EQ(result.latency.p99(), 0x1.ba61b299e8158p-12);
+}
+
+}  // namespace
+}  // namespace ros2::sim

@@ -12,12 +12,11 @@ TEST(ClosedLoopTest, SingleContextSingleStage) {
   ClosedLoopConfig config;
   config.contexts = 1;
   config.total_ops = 1000;
-  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
-    OpPlan plan;
-    plan.stages.push_back({&pool, 1e-3});
-    plan.bytes = 100;
-    return plan;
-  });
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
+        plan.stages.push_back({&pool, 1e-3});
+        plan.bytes = 100;
+      });
   EXPECT_EQ(result.completed_ops, 1000u);
   EXPECT_NEAR(result.makespan, 1.0, 1e-9);
   EXPECT_NEAR(result.ops_per_sec, 1000.0, 10.0);
@@ -29,12 +28,11 @@ TEST(ClosedLoopTest, LatencyEqualsServiceWhenUncontended) {
   ClosedLoopConfig config;
   config.contexts = 4;
   config.total_ops = 400;
-  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
-    OpPlan plan;
-    plan.stages.push_back({&pool, 5e-4});
-    plan.fixed_latency = 5e-4;
-    return plan;
-  });
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
+        plan.stages.push_back({&pool, 5e-4});
+        plan.fixed_latency = 5e-4;
+      });
   EXPECT_NEAR(result.latency.mean(), 1e-3, 5e-5);
 }
 
@@ -45,11 +43,9 @@ TEST(ClosedLoopTest, PipeliningHidesLatency) {
   ClosedLoopConfig one;
   one.contexts = 1;
   one.total_ops = 2000;
-  auto r1 = RunClosedLoop(one, [&](std::uint32_t, std::uint64_t) {
-    OpPlan plan;
+  auto r1 = RunClosedLoop(one, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
     plan.stages.push_back({&pool1, 1e-4});
     plan.fixed_latency = 9e-4;
-    return plan;
   });
   EXPECT_NEAR(r1.ops_per_sec, 1000.0, 20.0);
 
@@ -57,12 +53,11 @@ TEST(ClosedLoopTest, PipeliningHidesLatency) {
   ClosedLoopConfig many;
   many.contexts = 32;
   many.total_ops = 20000;
-  auto r32 = RunClosedLoop(many, [&](std::uint32_t, std::uint64_t) {
-    OpPlan plan;
-    plan.stages.push_back({&pool2, 1e-4});
-    plan.fixed_latency = 9e-4;
-    return plan;
-  });
+  auto r32 =
+      RunClosedLoop(many, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
+        plan.stages.push_back({&pool2, 1e-4});
+        plan.fixed_latency = 9e-4;
+      });
   EXPECT_NEAR(r32.ops_per_sec, 10000.0, 300.0);
 }
 
@@ -72,12 +67,11 @@ TEST(ClosedLoopTest, BottleneckStageGovernsThroughput) {
   ClosedLoopConfig config;
   config.contexts = 16;
   config.total_ops = 10000;
-  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
-    OpPlan plan;
-    plan.stages.push_back({&fast, 1e-4});
-    plan.stages.push_back({&slow, 1e-3});  // the bottleneck: 1000 ops/s
-    return plan;
-  });
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
+        plan.stages.push_back({&fast, 1e-4});
+        plan.stages.push_back({&slow, 1e-3});  // the bottleneck: 1000 ops/s
+      });
   EXPECT_NEAR(result.ops_per_sec, 1000.0, 30.0);
 }
 
@@ -87,11 +81,10 @@ TEST(ClosedLoopTest, LittlesLawHolds) {
   ClosedLoopConfig config;
   config.contexts = 12;
   config.total_ops = 30000;
-  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
-    OpPlan plan;
-    plan.stages.push_back({&pool, 2e-4});
-    return plan;
-  });
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
+        plan.stages.push_back({&pool, 2e-4});
+      });
   const double concurrency = result.ops_per_sec * result.latency.mean();
   EXPECT_NEAR(concurrency, 12.0, 1.0);
 }
@@ -100,11 +93,10 @@ TEST(ClosedLoopTest, NullStagePoolAddsFixedTime) {
   ClosedLoopConfig config;
   config.contexts = 1;
   config.total_ops = 100;
-  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
-    OpPlan plan;
-    plan.stages.push_back({nullptr, 1e-3});
-    return plan;
-  });
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
+        plan.stages.push_back({nullptr, 1e-3});
+      });
   EXPECT_NEAR(result.makespan, 0.1, 1e-9);
 }
 
@@ -112,9 +104,8 @@ TEST(ClosedLoopTest, ZeroOpsYieldsEmptyResult) {
   ClosedLoopConfig config;
   config.contexts = 4;
   config.total_ops = 0;
-  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
-    return OpPlan{};
-  });
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t, OpPlan&) {});
   EXPECT_EQ(result.completed_ops, 0u);
   EXPECT_DOUBLE_EQ(result.ops_per_sec, 0.0);
 }
@@ -126,14 +117,48 @@ TEST(ClosedLoopTest, OpSourceSeesSequentialOpIndices) {
   config.total_ops = 50;
   std::uint64_t expected = 0;
   bool monotonic = true;
-  RunClosedLoop(config, [&](std::uint32_t, std::uint64_t op) {
+  RunClosedLoop(config, [&](std::uint32_t, std::uint64_t op, OpPlan& plan) {
     if (op != expected++) monotonic = false;
-    OpPlan plan;
     plan.stages.push_back({&pool, 1e-5});
-    return plan;
   });
   EXPECT_TRUE(monotonic);
   EXPECT_EQ(expected, 50u);
+}
+
+TEST(ClosedLoopTest, PlanArrivesCleared) {
+  // The engine recycles one plan object; the source must always see it
+  // empty, even after a deep/fat plan on the previous op.
+  ServerPool pool("p", 1);
+  ClosedLoopConfig config;
+  config.contexts = 2;
+  config.total_ops = 40;
+  bool always_cleared = true;
+  RunClosedLoop(config, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
+    if (!plan.stages.empty() || plan.fixed_latency != 0.0 || plan.bytes != 0) {
+      always_cleared = false;
+    }
+    for (int i = 0; i < 5; ++i) plan.stages.push_back({&pool, 1e-5});
+    plan.fixed_latency = 1e-6;
+    plan.bytes = 4096;
+  });
+  EXPECT_TRUE(always_cleared);
+}
+
+TEST(ClosedLoopTest, StageListInlineCapacity) {
+  StageList stages;
+  EXPECT_TRUE(stages.empty());
+  for (std::uint32_t i = 0; i < StageList::kCapacity; ++i) {
+    stages.push_back({nullptr, double(i)});
+  }
+  EXPECT_EQ(stages.size(), StageList::kCapacity);
+  std::uint32_t seen = 0;
+  for (const Stage& stage : stages) {
+    EXPECT_DOUBLE_EQ(stage.service, double(seen));
+    ++seen;
+  }
+  EXPECT_EQ(seen, StageList::kCapacity);
+  stages.clear();
+  EXPECT_TRUE(stages.empty());
 }
 
 class ContextScalingTest : public ::testing::TestWithParam<std::uint32_t> {};
@@ -145,11 +170,10 @@ TEST_P(ContextScalingTest, ThroughputCapsAtResourceCapacity) {
   ClosedLoopConfig config;
   config.contexts = contexts;
   config.total_ops = 20000;
-  auto result = RunClosedLoop(config, [&](std::uint32_t, std::uint64_t) {
-    OpPlan plan;
-    plan.stages.push_back({&pool, 1e-3});
-    return plan;
-  });
+  auto result =
+      RunClosedLoop(config, [&](std::uint32_t, std::uint64_t, OpPlan& plan) {
+        plan.stages.push_back({&pool, 1e-3});
+      });
   const double expected = std::min<double>(contexts, 4) * 1000.0;
   EXPECT_NEAR(result.ops_per_sec, expected, expected * 0.05);
 }

@@ -2,11 +2,58 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "common/units.h"
 
 namespace ros2 {
 namespace {
+
+/// Reference bucket mapping: the pre-optimization formula (libm log2 per
+/// record). The table-driven BucketIndex self-calibrates against this
+/// process's libm at init and must agree EVERYWHERE — including the top
+/// few ulps of each binade, where log2 rounds up to the next integer.
+int ReferenceBucketIndex(double seconds) {
+  constexpr int kExponents = 40;
+  constexpr int kSubBuckets = 32;
+  constexpr double kUnit = 1e-9;
+  const double units = std::max(seconds / kUnit, 1.0);
+  int exponent = std::min(int(std::floor(std::log2(units))), kExponents - 1);
+  const double base = std::exp2(double(exponent));
+  int sub = int((units - base) / base * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return exponent * kSubBuckets + sub;
+}
+
+TEST(HistogramTest, BucketIndexMatchesLog2Reference) {
+  Rng rng(42);
+  for (int e = 0; e <= 45; ++e) {
+    const double lo = std::exp2(double(e)) * 1e-9;
+    // Random interior points of the binade.
+    for (int i = 0; i < 200; ++i) {
+      const double s = lo * (1.0 + rng.NextDouble());
+      ASSERT_EQ(LatencyHistogram::BucketIndex(s), ReferenceBucketIndex(s))
+          << "interior seconds=" << s;
+    }
+    // The top ulps of the binade, where libm log2 may round up, and the
+    // exact binade boundary itself.
+    double s = std::nextafter(lo * 2.0, 0.0);
+    for (int i = 0; i < 80; ++i) {
+      ASSERT_EQ(LatencyHistogram::BucketIndex(s), ReferenceBucketIndex(s))
+          << "edge seconds=" << s;
+      s = std::nextafter(s, 0.0);
+    }
+    ASSERT_EQ(LatencyHistogram::BucketIndex(lo), ReferenceBucketIndex(lo));
+    ASSERT_EQ(LatencyHistogram::BucketIndex(lo * 2.0),
+              ReferenceBucketIndex(lo * 2.0));
+  }
+  // Below the 1ns floor and at the clamped top end.
+  ASSERT_EQ(LatencyHistogram::BucketIndex(1e-12),
+            ReferenceBucketIndex(1e-12));
+  ASSERT_EQ(LatencyHistogram::BucketIndex(5000.0),
+            ReferenceBucketIndex(5000.0));
+}
 
 TEST(HistogramTest, EmptyHistogram) {
   LatencyHistogram h;
