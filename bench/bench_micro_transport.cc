@@ -53,7 +53,7 @@ void BM_BulkFetch(benchmark::State& state, net::Transport transport) {
   for (auto _ : state) {
     rpc::CallOptions options;
     options.recv_bulk = window;
-    auto reply = pair.client->Call(1, {}, options);
+    auto reply = pair.client->Call(1, std::span<const std::byte>{}, options);
     benchmark::DoNotOptimize(reply);
   }
   state.SetBytesProcessed(std::int64_t(state.iterations()) *
@@ -67,7 +67,7 @@ void BM_BulkUpdate(benchmark::State& state, net::Transport transport) {
   for (auto _ : state) {
     rpc::CallOptions options;
     options.send_bulk = payload;
-    auto reply = pair.client->Call(1, {}, options);
+    auto reply = pair.client->Call(1, std::span<const std::byte>{}, options);
     benchmark::DoNotOptimize(reply);
   }
   state.SetBytesProcessed(std::int64_t(state.iterations()) *

@@ -66,7 +66,7 @@ Result<std::unique_ptr<Ros2Client>> Ros2Client::Connect(Ros2Cluster* cluster,
     rpc::Encoder enc;
     enc.Str(config.tenant_name).Str(config.tenant_token);
     ROS2_ASSIGN_OR_RETURN(Buffer reply,
-                          client->control_->Call("ros2.auth", enc.buffer()));
+                          client->control_->Call("ros2.auth", enc));
     rpc::Decoder dec(reply);
     ROS2_ASSIGN_OR_RETURN(client->session_, dec.U64());
     ROS2_ASSIGN_OR_RETURN(client->tenant_, dec.U32());
@@ -78,7 +78,7 @@ Result<std::unique_ptr<Ros2Client>> Ros2Client::Connect(Ros2Cluster* cluster,
     rpc::Encoder enc;
     enc.U64(client->session_);
     ROS2_ASSIGN_OR_RETURN(Buffer reply,
-                          client->control_->Call("ros2.mount", enc.buffer()));
+                          client->control_->Call("ros2.mount", enc));
     rpc::Decoder dec(reply);
     ROS2_ASSIGN_OR_RETURN(pool_label, dec.Str());
     ROS2_ASSIGN_OR_RETURN(container_label, dec.Str());
@@ -130,7 +130,7 @@ Status Ros2Client::AdmitBytes(std::uint64_t bytes) {
   rpc::Encoder enc;
   enc.U64(session_).U64(bytes);
   counters_.control_calls++;
-  return control_->Call("ros2.grant_qos", enc.buffer()).status();
+  return control_->Call("ros2.grant_qos", enc).status();
 }
 
 Status Ros2Client::CryptInPlace(dfs::Fd fd, std::uint64_t offset,
@@ -256,8 +256,9 @@ Result<std::uint64_t> Ros2Client::PreadGpu(dfs::Fd fd, std::uint64_t offset,
           "inline crypto decrypts on the DPU; incompatible with GPUDirect"));
     }
     // §3.5 step 2: convey the GPU buffer descriptor via the control plane
-    // (the data-plane RPC re-registers per op, as DAOS does; the exchange
-    // is what an out-of-band consumer — the storage server — keys on).
+    // (the data-plane RPC registers per op through the pooled MrCache, as
+    // DAOS does; the exchange is what an out-of-band consumer — the
+    // storage server — keys on).
     {
       rpc::Encoder enc;
       enc.U64(session_)
@@ -266,7 +267,7 @@ Result<std::uint64_t> Ros2Client::PreadGpu(dfs::Fd fd, std::uint64_t offset,
           .U64(length)
           .U64(0 /*rkey conveyed per-op by the data plane*/);
       ROS2_RETURN_IF_ERROR(
-          control_->Call("ros2.exchange_mr", enc.buffer()).status());
+          control_->Call("ros2.exchange_mr", enc).status());
       counters_.control_calls++;
     }
     // §3.5 step 3: the server's RDMA writes target GPU memory directly —

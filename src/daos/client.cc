@@ -75,7 +75,7 @@ Result<std::unique_ptr<DaosClient>> DaosClient::Connect(
     ROS2_ASSIGN_OR_RETURN(
         rpc::RpcReply reply,
         client->Call(e, std::uint32_t(DaosOpcode::kPoolConnect),
-                     enc.buffer()));
+                     enc));
     rpc::Decoder dec(reply.header);
     ROS2_RETURN_IF_ERROR(dec.U64().status());  // pool id
     ROS2_ASSIGN_OR_RETURN(std::uint32_t targets, dec.U32());
@@ -127,7 +127,7 @@ Result<std::uint32_t> DaosClient::ReadableEngine(
 
 Result<rpc::RpcReply> DaosClient::Call(std::uint32_t engine,
                                        std::uint32_t opcode,
-                                       std::span<const std::byte> header,
+                                       const rpc::Encoder& header,
                                        const rpc::CallOptions& options) {
   if (engines_[engine].down) {
     return Status(Unavailable("engine " + std::to_string(engine) +
@@ -138,7 +138,7 @@ Result<rpc::RpcReply> DaosClient::Call(std::uint32_t engine,
 
 Result<rpc::RpcReply> DaosClient::CallReplicas(
     const ObjectId& oid, const std::string& dkey, std::uint32_t opcode,
-    std::span<const std::byte> header, const rpc::CallOptions& options) {
+    const rpc::Encoder& header, const rpc::CallOptions& options) {
   const std::uint32_t primary = PrimaryEngine(oid, dkey);
   // Write-all: every replica must acknowledge, so a down engine fails the
   // update rather than silently diverging replicas.
@@ -154,7 +154,7 @@ Result<rpc::RpcReply> DaosClient::CallReplicas(
 }
 
 Result<rpc::RpcReply> DaosClient::CallAll(std::uint32_t opcode,
-                                          std::span<const std::byte> header) {
+                                          const rpc::Encoder& header) {
   Result<rpc::RpcReply> first = Status(Internal("no engines"));
   for (std::uint32_t e = 0; e < engines_.size(); ++e) {
     auto reply = Call(e, opcode, header);
@@ -175,7 +175,7 @@ Result<ContainerId> DaosClient::ContainerCreate(const std::string& label) {
   enc.Str(label);
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
-      CallAll(std::uint32_t(DaosOpcode::kContCreate), enc.buffer()));
+      CallAll(std::uint32_t(DaosOpcode::kContCreate), enc));
   rpc::Decoder dec(reply.header);
   return dec.U64();
 }
@@ -185,7 +185,7 @@ Result<ContainerId> DaosClient::ContainerOpen(const std::string& label) {
   enc.Str(label);
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
-      CallAll(std::uint32_t(DaosOpcode::kContOpen), enc.buffer()));
+      CallAll(std::uint32_t(DaosOpcode::kContOpen), enc));
   rpc::Decoder dec(reply.header);
   return dec.U64();
 }
@@ -197,7 +197,7 @@ Result<ObjectId> DaosClient::AllocOid(ContainerId cont) {
   enc.U64(cont);
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
-      Call(0, std::uint32_t(DaosOpcode::kOidAlloc), enc.buffer()));
+      Call(0, std::uint32_t(DaosOpcode::kOidAlloc), enc));
   rpc::Decoder dec(reply.header);
   ObjectId oid;
   ROS2_ASSIGN_OR_RETURN(oid.hi, dec.U64());
@@ -220,7 +220,7 @@ Result<Epoch> DaosClient::Update(ContainerId cont, const ObjectId& oid,
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
       CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kObjUpdate),
-                   enc.buffer(), options));
+                   enc, options));
   rpc::Decoder dec(reply.header);
   return dec.U64();
 }
@@ -244,7 +244,7 @@ Status DaosClient::Fetch(ContainerId cont, const ObjectId& oid,
   options.recv_bulk = out;
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
-      Call(engine, std::uint32_t(DaosOpcode::kObjFetch), enc.buffer(),
+      Call(engine, std::uint32_t(DaosOpcode::kObjFetch), enc,
            options));
   if (reply.bulk_received != out.size()) {
     return DataLoss("short DAOS fetch");
@@ -264,7 +264,7 @@ Result<Epoch> DaosClient::UpdateSingle(ContainerId cont, const ObjectId& oid,
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
       CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kSingleUpdate),
-                   enc.buffer()));
+                   enc));
   rpc::Decoder dec(reply.header);
   return dec.U64();
 }
@@ -283,7 +283,7 @@ Result<Buffer> DaosClient::FetchSingle(ContainerId cont, const ObjectId& oid,
   enc.U64(epoch);
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
-      Call(engine, std::uint32_t(DaosOpcode::kSingleFetch), enc.buffer()));
+      Call(engine, std::uint32_t(DaosOpcode::kSingleFetch), enc));
   rpc::Decoder dec(reply.header);
   return dec.Bytes();
 }
@@ -301,7 +301,7 @@ Status DaosClient::Punch(ContainerId cont, const ObjectId& oid,
     bool any = false;
     for (std::uint32_t e = 0; e < engines_.size(); ++e) {
       auto reply = Call(e, std::uint32_t(DaosOpcode::kObjPunch),
-                        enc.buffer());
+                        enc);
       if (reply.ok()) {
         any = true;
       } else if (reply.status().code() == ErrorCode::kUnavailable) {
@@ -313,7 +313,7 @@ Status DaosClient::Punch(ContainerId cont, const ObjectId& oid,
     return any ? Status::Ok() : NotFound("no such object");
   }
   return CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kObjPunch),
-                      enc.buffer())
+                      enc)
       .status();
 }
 
@@ -344,7 +344,7 @@ Result<std::vector<std::string>> DaosClient::ListDkeys(ContainerId cont,
     any_up = true;
     ROS2_ASSIGN_OR_RETURN(
         rpc::RpcReply reply,
-        Call(e, std::uint32_t(DaosOpcode::kListDkeys), enc.buffer()));
+        Call(e, std::uint32_t(DaosOpcode::kListDkeys), enc));
     ROS2_ASSIGN_OR_RETURN(std::vector<std::string> dkeys,
                           DecodeStringList(reply.header));
     merged.insert(dkeys.begin(), dkeys.end());
@@ -360,7 +360,7 @@ Result<std::vector<std::string>> DaosClient::ListAkeys(
   EncodeObjAddr(enc, cont, oid, dkey, "");
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
-      Call(engine, std::uint32_t(DaosOpcode::kListAkeys), enc.buffer()));
+      Call(engine, std::uint32_t(DaosOpcode::kListAkeys), enc));
   return DecodeStringList(reply.header);
 }
 
@@ -380,7 +380,7 @@ Result<std::uint64_t> DaosClient::ArraySize(ContainerId cont,
   enc.U64(epoch);
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
-      Call(engine, std::uint32_t(DaosOpcode::kArraySize), enc.buffer()));
+      Call(engine, std::uint32_t(DaosOpcode::kArraySize), enc));
   rpc::Decoder dec(reply.header);
   return dec.U64();
 }
@@ -392,7 +392,7 @@ Status DaosClient::Aggregate(ContainerId cont, const ObjectId& oid,
   EncodeObjAddr(enc, cont, oid, dkey, akey);
   enc.U64(upto);
   return CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kAggregate),
-                      enc.buffer())
+                      enc)
       .status();
 }
 

@@ -127,20 +127,21 @@ class DaosClient {
   /// First reachable replica for reads; error when all are down.
   Result<std::uint32_t> ReadableEngine(const ObjectId& oid,
                                        const std::string& dkey) const;
-  /// Unary call against a specific engine.
+  /// Unary call against a specific engine. Headers travel as the Encoder
+  /// that built them so the RPC layer can refuse overflowed encodes.
   Result<rpc::RpcReply> Call(std::uint32_t engine, std::uint32_t opcode,
-                             std::span<const std::byte> header,
+                             const rpc::Encoder& header,
                              const rpc::CallOptions& options = {});
   /// Same call fanned out to every replica of (oid, dkey); first reply is
   /// returned. Fails if ANY replica is down (write-all semantics).
   Result<rpc::RpcReply> CallReplicas(const ObjectId& oid,
                                      const std::string& dkey,
                                      std::uint32_t opcode,
-                                     std::span<const std::byte> header,
+                                     const rpc::Encoder& header,
                                      const rpc::CallOptions& options = {});
   /// Broadcast to every engine (container/namespace metadata).
   Result<rpc::RpcReply> CallAll(std::uint32_t opcode,
-                                std::span<const std::byte> header);
+                                const rpc::Encoder& header);
 
   std::vector<EngineConn> engines_;
   net::Transport transport_ = net::Transport::kRdma;

@@ -11,9 +11,15 @@ DfsOutputStream::DfsOutputStream(Dfs* dfs, Fd fd, std::size_t buffer_size)
       buffer_(buffer_size == 0 ? std::size_t(dfs->chunk_size())
                                : buffer_size) {}
 
-DfsOutputStream::~DfsOutputStream() { (void)Flush(); }
+DfsOutputStream::~DfsOutputStream() {
+  // Best-effort: the destructor has nowhere to surface a Status. Writers
+  // that care about durability must call Close() and check it.
+  (void)Close();
+}
 
 Status DfsOutputStream::Append(std::span<const std::byte> data) {
+  if (closed_) return FailedPrecondition("stream is closed");
+  if (!first_error_.ok()) return first_error_;
   std::size_t done = 0;
   while (done < data.size()) {
     if (fill_ == buffer_.size()) {
@@ -30,13 +36,26 @@ Status DfsOutputStream::Append(std::span<const std::byte> data) {
 }
 
 Status DfsOutputStream::Flush() {
+  if (closed_) return FailedPrecondition("stream is closed");
+  if (!first_error_.ok()) return first_error_;
   if (fill_ == 0) return Status::Ok();
-  ROS2_RETURN_IF_ERROR(dfs_->Write(
-      fd_, buffered_at_, std::span<const std::byte>(buffer_.data(), fill_)));
+  Status wrote = dfs_->Write(
+      fd_, buffered_at_, std::span<const std::byte>(buffer_.data(), fill_));
+  if (!wrote.ok()) {
+    first_error_ = wrote;  // latch: no further writes past the hole
+    return wrote;
+  }
   buffered_at_ += fill_;
   fill_ = 0;
   ++flushes_;
   return Status::Ok();
+}
+
+Status DfsOutputStream::Close() {
+  if (closed_) return first_error_;
+  (void)Flush();  // outcome (success or first failure) lands in status()
+  closed_ = true;
+  return first_error_;
 }
 
 DfsInputStream::DfsInputStream(Dfs* dfs, Fd fd, std::size_t readahead)

@@ -16,13 +16,19 @@
 namespace ros2::dfs {
 
 /// Append-oriented buffered writer. Not thread-safe (one stream per file
-/// writer, like std::ofstream). Data is visible after Flush()/destructor.
+/// writer, like std::ofstream). Data is visible after Flush()/Close().
+///
+/// Error model: the first failed write latches (status()); subsequent
+/// Append/Flush calls fail fast with it rather than writing out of order
+/// past a hole. Call Close() to drain the buffer AND observe any failure
+/// — the destructor closes best-effort and must discard the status, so a
+/// writer that never calls Close() can lose a write error silently.
 class DfsOutputStream {
  public:
   /// Buffers up to `buffer_size` bytes (default: the mount's chunk size,
   /// which makes each flushed update a single-chunk extent).
   DfsOutputStream(Dfs* dfs, Fd fd, std::size_t buffer_size = 0);
-  ~DfsOutputStream();  ///< best-effort flush; call Flush() to check errors
+  ~DfsOutputStream();  ///< best-effort Close(); call Close() to check errors
 
   DfsOutputStream(const DfsOutputStream&) = delete;
   DfsOutputStream& operator=(const DfsOutputStream&) = delete;
@@ -32,6 +38,16 @@ class DfsOutputStream {
 
   /// Writes out any buffered bytes.
   Status Flush();
+
+  /// Flushes and seals the stream: further Append/Flush calls fail with
+  /// FAILED_PRECONDITION. Returns the first write failure the stream hit
+  /// (including one during this Close); idempotent — closing again
+  /// returns the same status.
+  Status Close();
+  bool closed() const { return closed_; }
+
+  /// First write failure the stream latched (OK while healthy).
+  const Status& status() const { return first_error_; }
 
   /// Bytes appended so far (buffered + flushed).
   std::uint64_t offset() const { return offset_; }
@@ -45,6 +61,8 @@ class DfsOutputStream {
   Buffer buffer_;
   std::size_t fill_ = 0;
   std::uint64_t flushes_ = 0;
+  Status first_error_;
+  bool closed_ = false;
 };
 
 /// Sequential buffered reader with readahead.

@@ -2,14 +2,49 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define ROS2_HAVE_MLOCK 1
+#endif
+
 #include "common/logging.h"
+#include "net/mr_cache.h"
 
 namespace ros2::net {
+namespace {
+
+// Registration pins the region's pages, like ibv_reg_mr's get_user_pages
+// — this (not the bookkeeping) is why real NICs take microseconds per
+// registration and why data paths pool MRs. Best-effort: a denied mlock
+// (RLIMIT_MEMLOCK) still pays the syscall, which is the honest cost.
+void PinPages(std::uintptr_t addr, std::size_t len) {
+#ifdef ROS2_HAVE_MLOCK
+  (void)mlock(reinterpret_cast<void*>(addr), len);
+#else
+  (void)addr;
+  (void)len;
+#endif
+}
+
+void UnpinPages(std::uintptr_t addr, std::size_t len) {
+#ifdef ROS2_HAVE_MLOCK
+  (void)munlock(reinterpret_cast<void*>(addr), len);
+#else
+  (void)addr;
+  (void)len;
+#endif
+}
+
+}  // namespace
 
 // ----------------------------------------------------------------- Qp
 
 Status Qp::Send(std::span<const std::byte> payload) {
   if (peer_ == nullptr) return Unavailable("qp not connected");
+  if (send_faults_ > 0) {
+    --send_faults_;
+    return Unavailable("injected send fault");
+  }
   Message msg;
   msg.payload.assign(payload.begin(), payload.end());
   peer_->rx_queue_.push_back(std::move(msg));
@@ -82,6 +117,49 @@ Status Qp::RdmaWrite(std::span<const std::byte> local,
 
 // ------------------------------------------------------------- Endpoint
 
+Endpoint::Endpoint(Fabric* fabric, std::string address)
+    : fabric_(fabric),
+      address_(std::move(address)),
+      mr_cache_(std::make_unique<MrCache>(this)) {}
+
+Endpoint::~Endpoint() = default;
+
+void Endpoint::PinRegion(std::uintptr_t addr, std::size_t len) {
+  // One mlock for the whole region (idempotent per page), plus a per-page
+  // refcount so overlapping registrations each hold their pages — like
+  // get_user_pages under ibv_reg_mr, where the LAST release unpins.
+  PinPages(addr, len);
+  constexpr std::uintptr_t kPage = 4096;
+  for (std::uintptr_t page = addr & ~(kPage - 1); page < addr + len;
+       page += kPage) {
+    ++pin_counts_[page];
+  }
+}
+
+void Endpoint::UnpinRegion(std::uintptr_t addr, std::size_t len) {
+  constexpr std::uintptr_t kPage = 4096;
+  // munlock only the contiguous runs of pages whose refcount hits zero.
+  std::uintptr_t run_start = 0;
+  std::uintptr_t run_len = 0;
+  for (std::uintptr_t page = addr & ~(kPage - 1); page < addr + len;
+       page += kPage) {
+    bool free_page = false;
+    auto it = pin_counts_.find(page);
+    if (it != pin_counts_.end() && --it->second == 0) {
+      pin_counts_.erase(it);
+      free_page = true;
+    }
+    if (free_page) {
+      if (run_len == 0) run_start = page;
+      run_len += kPage;
+    } else if (run_len != 0) {
+      UnpinPages(run_start, run_len);
+      run_len = 0;
+    }
+  }
+  if (run_len != 0) UnpinPages(run_start, run_len);
+}
+
 PdId Endpoint::AllocPd(TenantId tenant) {
   const PdId id = next_pd_++;
   pds_[id] = tenant;
@@ -94,6 +172,12 @@ Result<MemoryRegion> Endpoint::RegisterMemory(PdId pd,
                                               double ttl) {
   if (!pds_.contains(pd)) return NotFound("unknown protection domain");
   if (region.empty()) return InvalidArgument("empty memory region");
+  if (register_fault_skip_ > 0) {
+    --register_fault_skip_;
+  } else if (register_faults_ > 0) {
+    --register_faults_;
+    return ResourceExhausted("injected registration fault (MR table full)");
+  }
   MemoryRegion mr;
   mr.rkey = fabric_->NextRKey();
   mr.pd = pd;
@@ -101,6 +185,7 @@ Result<MemoryRegion> Endpoint::RegisterMemory(PdId pd,
   mr.length = region.size();
   mr.access = access;
   mr.expires_at = ttl > 0.0 ? fabric_->now() + ttl : 0.0;
+  PinRegion(mr.addr, mr.length);
   mrs_[mr.rkey] = mr;
   return mr;
 }
@@ -113,7 +198,10 @@ Status Endpoint::RevokeMemory(RKey rkey) {
 }
 
 Status Endpoint::DeregisterMemory(RKey rkey) {
-  if (mrs_.erase(rkey) == 0) return NotFound("unknown rkey");
+  auto it = mrs_.find(rkey);
+  if (it == mrs_.end()) return NotFound("unknown rkey");
+  UnpinRegion(it->second.addr, it->second.length);
+  mrs_.erase(it);
   return Status::Ok();
 }
 

@@ -32,6 +32,8 @@
 
 namespace ros2::net {
 
+class MrCache;
+
 using perf::Transport;
 
 /// Access rights granted by a memory registration.
@@ -97,6 +99,11 @@ class Qp {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_one_sided() const { return bytes_one_sided_; }
 
+  /// Fault injection: the next `count` Send() calls fail with UNAVAILABLE
+  /// (a flapping link / blown send queue). Lets tests drive the
+  /// send-failed cleanup paths that are unreachable on a healthy fabric.
+  void InjectSendFaults(int count) { send_faults_ = count; }
+
  private:
   friend class Endpoint;
   Qp(Endpoint* owner, Transport transport, PdId pd)
@@ -113,11 +120,14 @@ class Qp {
   std::deque<Message> rx_queue_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_one_sided_ = 0;
+  int send_faults_ = 0;
 };
 
 /// A fabric endpoint (one per node/process): owns PDs, MRs, and QPs.
 class Endpoint {
  public:
+  ~Endpoint();
+
   const std::string& address() const { return address_; }
   Fabric* fabric() const { return fabric_; }
 
@@ -126,6 +136,10 @@ class Endpoint {
 
   /// Registers `region` in `pd` with the given access and optional TTL
   /// (seconds of fabric time; 0 = no expiry). Returns the MR (rkey inside).
+  ///
+  /// Pins the region's pages (best-effort mlock, like ibv_reg_mr's
+  /// get_user_pages) — registration is a genuinely expensive syscall path
+  /// here, exactly the cost the per-endpoint MrCache amortizes.
   Result<MemoryRegion> RegisterMemory(PdId pd, std::span<std::byte> region,
                                       std::uint32_t access,
                                       double ttl = 0.0);
@@ -145,20 +159,45 @@ class Endpoint {
   std::size_t qp_count() const { return qps_.size(); }
   std::size_t mr_count() const { return mrs_.size(); }
 
+  /// The endpoint's registered-memory pool (see net/mr_cache.h). Data
+  /// paths acquire leases from here instead of registering per call.
+  MrCache& mr_cache() { return *mr_cache_; }
+
+  /// Fault injection: after `skip` more successful registrations, the
+  /// next `count` RegisterMemory calls fail with RESOURCE_EXHAUSTED (MR
+  /// table full — a real verbs failure mode). Drives the
+  /// registration-failed cleanup paths in tests.
+  void InjectRegisterFaults(int skip, int count) {
+    register_fault_skip_ = skip;
+    register_faults_ = count;
+  }
+
  private:
   friend class Fabric;
   friend class Qp;
-  Endpoint(Fabric* fabric, std::string address)
-      : fabric_(fabric), address_(std::move(address)) {}
+  friend class MrCache;
+  Endpoint(Fabric* fabric, std::string address);
 
   const MemoryRegion* FindMr(RKey rkey) const;
+
+  // Refcounted page pinning (ibv_reg_mr semantics: overlapping MRs each
+  // hold their pages; the last deregistration unpins). Keyed by 4 KiB
+  // page base address.
+  void PinRegion(std::uintptr_t addr, std::size_t len);
+  void UnpinRegion(std::uintptr_t addr, std::size_t len);
 
   Fabric* fabric_;
   std::string address_;
   std::uint32_t next_pd_ = 1;
   std::map<PdId, TenantId> pds_;
   std::unordered_map<RKey, MemoryRegion> mrs_;
+  std::unordered_map<std::uintptr_t, std::uint32_t> pin_counts_;
   std::vector<std::unique_ptr<Qp>> qps_;
+  int register_fault_skip_ = 0;
+  int register_faults_ = 0;
+  // Declared last: destroyed first, while mrs_ is still alive to
+  // deregister the pooled entries into.
+  std::unique_ptr<MrCache> mr_cache_;
 };
 
 /// The in-process fabric: endpoint registry + logical clock.

@@ -1,0 +1,146 @@
+#include "net/mr_cache.h"
+
+#include <utility>
+
+namespace ros2::net {
+
+// ---------------------------------------------------------------- MrLease
+
+MrLease::MrLease(MrLease&& other) noexcept
+    : cache_(std::exchange(other.cache_, nullptr)),
+      entry_(std::exchange(other.entry_, nullptr)),
+      endpoint_(std::exchange(other.endpoint_, nullptr)),
+      mr_(other.mr_) {}
+
+MrLease& MrLease::operator=(MrLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = std::exchange(other.cache_, nullptr);
+    entry_ = std::exchange(other.entry_, nullptr);
+    endpoint_ = std::exchange(other.endpoint_, nullptr);
+    mr_ = other.mr_;
+  }
+  return *this;
+}
+
+Result<MrLease> MrLease::Register(Endpoint* endpoint, PdId pd,
+                                  std::span<std::byte> region,
+                                  std::uint32_t access) {
+  if (endpoint == nullptr) return Status(InvalidArgument("null endpoint"));
+  ROS2_ASSIGN_OR_RETURN(MemoryRegion mr,
+                        endpoint->RegisterMemory(pd, region, access));
+  return MrLease(nullptr, nullptr, endpoint, mr);
+}
+
+void MrLease::Release() {
+  if (endpoint_ == nullptr) return;
+  if (cache_ != nullptr) {
+    cache_->ReleaseEntry(entry_);
+  } else {
+    (void)endpoint_->DeregisterMemory(mr_.rkey);
+  }
+  cache_ = nullptr;
+  entry_ = nullptr;
+  endpoint_ = nullptr;
+}
+
+// ---------------------------------------------------------------- MrCache
+
+MrCache::~MrCache() { (void)Clear(); }
+
+bool MrCache::StillValid(const MemoryRegion& mr) const {
+  const MemoryRegion* live = endpoint_->FindMr(mr.rkey);
+  if (live == nullptr || live->revoked) return false;
+  if (live->expires_at > 0.0 &&
+      endpoint_->fabric()->now() >= live->expires_at) {
+    return false;
+  }
+  return true;
+}
+
+Result<MrLease> MrCache::Acquire(PdId pd, std::span<std::byte> region,
+                                 std::uint32_t access) {
+  const MrKey key{pd, reinterpret_cast<std::uintptr_t>(region.data()),
+                  region.size(), access};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (StillValid(it->second->mr)) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      MrCacheEntry& entry = *it->second;
+      ++entry.leases;
+      ++outstanding_;
+      return MrLease(this, &entry, endpoint_, entry.mr);
+    }
+    // Revoked/expired/externally-deregistered: drop and re-register. An
+    // entry with outstanding leases is PARKED (not freed) so those
+    // MrLease handles stay valid; it is reclaimed when the last one
+    // releases.
+    (void)endpoint_->DeregisterMemory(it->second->mr.rkey);
+    if (it->second->leases > 0) {
+      it->second->detached = true;
+      detached_.splice(detached_.begin(), lru_, it->second);
+    } else {
+      lru_.erase(it->second);
+    }
+    index_.erase(it);
+  }
+  ++misses_;
+  ROS2_ASSIGN_OR_RETURN(MemoryRegion mr,
+                        endpoint_->RegisterMemory(pd, region, access));
+  lru_.push_front(MrCacheEntry{key, mr, 1});
+  index_[key] = lru_.begin();
+  ++outstanding_;
+  if (lru_.size() > capacity_) EvictDownTo(capacity_);
+  return MrLease(this, &lru_.front(), endpoint_, mr);
+}
+
+void MrCache::ReleaseEntry(MrCacheEntry* entry) {
+  if (entry->leases > 0) --entry->leases;
+  if (outstanding_ > 0) --outstanding_;
+  if (entry->detached && entry->leases == 0) {
+    // Last lease on a parked stale entry: reclaim it (its MR was already
+    // deregistered when it was detached).
+    for (auto it = detached_.begin(); it != detached_.end(); ++it) {
+      if (&*it == entry) {
+        detached_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void MrCache::EvictDownTo(std::size_t target) {
+  // Walk from the LRU tail; entries with outstanding leases are pinned.
+  auto it = lru_.end();
+  while (lru_.size() > target && it != lru_.begin()) {
+    --it;
+    if (it->leases > 0) continue;
+    (void)endpoint_->DeregisterMemory(it->mr.rkey);
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++evictions_;
+  }
+}
+
+std::size_t MrCache::Clear() {
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->leases > 0) {
+      ++it;
+      continue;
+    }
+    (void)endpoint_->DeregisterMemory(it->mr.rkey);
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
+void MrCache::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (lru_.size() > capacity_) EvictDownTo(capacity_);
+}
+
+}  // namespace ros2::net

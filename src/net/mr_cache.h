@@ -1,0 +1,173 @@
+// Registered-memory pool: an LRU MrCache per Endpoint plus RAII MrLease
+// handles.
+//
+// Production RDMA stacks (DAOS, UCX, libfabric rails) never register
+// memory per I/O: ibv_reg_mr pins pages and programs the NIC's MTT, a
+// syscall-heavy path that costs microseconds while the data path costs
+// nanoseconds. They pool registrations keyed by the buffer identity and
+// reuse them across calls. This module is that pool for the in-process
+// fabric:
+//
+//  - MrCache: per-endpoint cache of MemoryRegions keyed by
+//    {pd, addr, len, access}. LRU-bounded (entries with outstanding
+//    leases are never evicted), with hit/miss/eviction counters so the
+//    bench and tests can see the pool working.
+//  - MrLease: RAII handle for one use of a registration. A lease from
+//    MrCache::Acquire returns the entry to the cache on release; a lease
+//    from MrLease::Register (the unpooled path, kept for comparison
+//    benches) deregisters on release. Either way every early-return path
+//    releases by construction — the leak class the ad-hoc
+//    RegisterMemory/DeregisterMemory pairs in RpcClient::Call suffered
+//    from is gone.
+//
+// Capability hygiene: pooled rkeys stay valid between calls (exactly like
+// DAOS's pooled registrations). The fabric's scoped-rkey mitigations
+// (TTL, revocation, PD scoping) still apply — a revoked or expired entry
+// is detected on the next Acquire, dropped, and re-registered.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/fabric.h"
+
+namespace ros2::net {
+
+/// Cache key: the identity of a registration request.
+struct MrKey {
+  PdId pd = 0;
+  std::uintptr_t addr = 0;
+  std::size_t len = 0;
+  std::uint32_t access = kLocalOnly;
+  bool operator==(const MrKey&) const = default;
+};
+
+struct MrKeyHash {
+  std::size_t operator()(const MrKey& key) const {
+    auto mix = [](std::uint64_t x) {
+      x ^= x >> 33;
+      x *= 0xFF51AFD7ED558CCDull;
+      x ^= x >> 33;
+      return x;
+    };
+    std::uint64_t h = mix(key.addr ^ (std::uint64_t(key.pd) << 48));
+    h = mix(h ^ key.len ^ (std::uint64_t(key.access) << 32));
+    return std::size_t(h);
+  }
+};
+
+/// One cached registration. Stable address (lives in MrCache's list) so
+/// leases can point at it.
+struct MrCacheEntry {
+  MrKey key;
+  MemoryRegion mr;
+  std::uint32_t leases = 0;  ///< outstanding MrLease handles
+  /// True once the entry was dropped from the index (revoked/expired
+  /// while leased): it lives on a side list until its leases drain, so
+  /// outstanding MrLease handles never dangle.
+  bool detached = false;
+};
+
+class MrCache;
+
+/// RAII handle for one use of a memory registration. Movable, not
+/// copyable; releasing is idempotent and happens at destruction on every
+/// path.
+class MrLease {
+ public:
+  MrLease() = default;
+  MrLease(MrLease&& other) noexcept;
+  MrLease& operator=(MrLease&& other) noexcept;
+  MrLease(const MrLease&) = delete;
+  MrLease& operator=(const MrLease&) = delete;
+  ~MrLease() { Release(); }
+
+  /// The UNPOOLED path: a fresh ad-hoc registration that deregisters on
+  /// release. Exists so the pooled-vs-unpooled comparison (bench_micro_rpc)
+  /// measures the old per-call cost without the old leak.
+  static Result<MrLease> Register(Endpoint* endpoint, PdId pd,
+                                  std::span<std::byte> region,
+                                  std::uint32_t access);
+
+  bool valid() const { return endpoint_ != nullptr; }
+  const MemoryRegion& mr() const { return mr_; }
+  RKey rkey() const { return mr_.rkey; }
+  std::uintptr_t addr() const { return mr_.addr; }
+  std::uint64_t length() const { return mr_.length; }
+
+  /// Returns the registration to its cache (pooled) or deregisters it
+  /// (unpooled). Safe to call on an empty/released lease.
+  void Release();
+
+ private:
+  friend class MrCache;
+  MrLease(MrCache* cache, MrCacheEntry* entry, Endpoint* endpoint,
+          const MemoryRegion& mr)
+      : cache_(cache), entry_(entry), endpoint_(endpoint), mr_(mr) {}
+
+  MrCache* cache_ = nullptr;       // null => owned (unpooled) lease
+  MrCacheEntry* entry_ = nullptr;  // cache-resident entry, pooled only
+  Endpoint* endpoint_ = nullptr;   // null => empty lease
+  MemoryRegion mr_{};
+};
+
+/// LRU-bounded pool of registrations for one Endpoint.
+class MrCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 128;
+
+  explicit MrCache(Endpoint* endpoint,
+                   std::size_t capacity = kDefaultCapacity)
+      : endpoint_(endpoint), capacity_(capacity) {}
+  ~MrCache();
+  MrCache(const MrCache&) = delete;
+  MrCache& operator=(const MrCache&) = delete;
+
+  /// Returns a lease on a registration of `region` in `pd` with `access`.
+  /// Cache hit: no fabric call at all. Miss: registers, caches, and (if
+  /// over capacity) evicts the least-recently-used unleased entry.
+  Result<MrLease> Acquire(PdId pd, std::span<std::byte> region,
+                          std::uint32_t access);
+
+  /// Drops (and deregisters) every unleased entry. Returns the count
+  /// dropped. Leased entries stay.
+  std::size_t Clear();
+
+  /// Shrinks/grows the bound; evicts down immediately if needed.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const { return lru_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  /// Outstanding MrLease handles across all entries.
+  std::uint32_t leased() const { return outstanding_; }
+
+ private:
+  friend class MrLease;
+  using LruList = std::list<MrCacheEntry>;
+
+  void ReleaseEntry(MrCacheEntry* entry);
+  /// Evicts unleased entries from the LRU tail until size() <= target.
+  void EvictDownTo(std::size_t target);
+  /// True if the cached MR is still usable (registered, not revoked, not
+  /// expired).
+  bool StillValid(const MemoryRegion& mr) const;
+
+  Endpoint* endpoint_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  // Stale-but-leased entries parked until their last lease releases.
+  LruList detached_;
+  std::unordered_map<MrKey, LruList::iterator, MrKeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint32_t outstanding_ = 0;
+};
+
+}  // namespace ros2::net

@@ -20,6 +20,12 @@ Result<Buffer> ControlService::Dispatch(const std::string& method,
 }
 
 Result<Buffer> ControlChannel::Call(const std::string& method,
+                                    const Encoder& request) {
+  if (!request.ok()) return Status(request.status());
+  return Call(method, request.buffer());
+}
+
+Result<Buffer> ControlChannel::Call(const std::string& method,
                                     const Buffer& request) {
   if (service_ == nullptr) return Unavailable("channel not connected");
   if (request.size() > kControlMessageLimit) {

@@ -14,6 +14,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "rpc/wire.h"
 
 namespace ros2::rpc {
 
@@ -50,6 +51,11 @@ class ControlChannel {
   explicit ControlChannel(ControlService* service) : service_(service) {}
 
   Result<Buffer> Call(const std::string& method, const Buffer& request);
+
+  /// Overload for callers that just built the request with an Encoder:
+  /// refuses frames whose encode overflowed the wire's length prefixes
+  /// (same bounds-checked-encode contract as RpcClient::Call).
+  Result<Buffer> Call(const std::string& method, const Encoder& request);
 
  private:
   ControlService* service_;

@@ -2,8 +2,6 @@
 
 #include <cstring>
 
-#include "rpc/wire.h"
-
 namespace ros2::rpc {
 namespace {
 
@@ -35,6 +33,11 @@ Status BulkIo::Pull(std::span<std::byte> dst) {
 }
 
 Status BulkIo::Push(std::span<const std::byte> src) {
+  // A zero-byte push is a no-op on every transport. (It used to reach
+  // RdmaWrite against the zero-initialized descriptor when the client
+  // exposed no window — rkey 0 -> PermissionDenied on RDMA while TCP
+  // succeeded.)
+  if (src.empty()) return Status::Ok();
   if (pushed_ + src.size() > out_capacity_) {
     return OutOfRange("bulk push exceeds client window");
   }
@@ -84,8 +87,11 @@ Status RpcServer::Progress(net::Qp* qp) {
         bulk.out_capacity_ = bulk.out_desc_.len;
       }
     }
-    if (!tcp) {
-      // Bind the one-sided push lambda to this request's descriptor.
+    if (!tcp && bulk.out_desc_.valid()) {
+      // Bind the one-sided push lambda to this request's descriptor —
+      // only when the client actually exposed a window; without one, any
+      // non-empty push fails the capacity check and empty pushes are
+      // no-ops, so the lambda must never be reachable.
       const BulkDesc out_desc = bulk.out_desc_;
       net::Qp* server_qp = qp;
       bulk.qp_push_ = [server_qp, out_desc](std::span<const std::byte> src,
@@ -95,6 +101,7 @@ Status RpcServer::Progress(net::Qp* qp) {
     }
 
     Encoder reply;
+    bool handler_ok = false;
     auto it = handlers_.find(opcode);
     if (it == handlers_.end()) {
       reply.U16(std::uint16_t(ErrorCode::kNotFound))
@@ -103,6 +110,7 @@ Status RpcServer::Progress(net::Qp* qp) {
     } else {
       auto result = it->second(header, bulk);
       if (result.ok()) {
+        handler_ok = true;
         reply.U16(std::uint16_t(ErrorCode::kOk)).Str("").Bytes(*result);
       } else {
         reply.U16(std::uint16_t(result.status().code()))
@@ -110,20 +118,51 @@ Status RpcServer::Progress(net::Qp* qp) {
             .Bytes({});
       }
     }
+    // Error replies carry no bulk and report pushed = 0: a failed handler
+    // must not hand the client partial output to copy into its buffer.
+    // (RDMA pushes that already landed one-sided can't be unwritten, but
+    // the reply tells the client to treat the window as undefined.)
     if (tcp) {
-      reply.Bytes(bulk.inline_out_);
+      reply.Bytes(handler_ok ? std::span<const std::byte>(bulk.inline_out_)
+                             : std::span<const std::byte>{});
     }
-    reply.U64(bulk.pushed_);
+    reply.U64(handler_ok ? bulk.pushed_ : 0);
+    if (!reply.ok()) {
+      // A handler produced output too large for the wire's length
+      // prefixes; send a well-formed error frame instead of a torn one.
+      Encoder oversize;
+      oversize.U16(std::uint16_t(ErrorCode::kOutOfRange))
+          .Str("reply exceeds wire limits")
+          .Bytes({});
+      if (tcp) oversize.Bytes({});
+      oversize.U64(0);
+      reply = std::move(oversize);
+      handler_ok = false;
+    }
 
     ++served_;
     bulk_in_ += bulk.in_size_;
-    bulk_out_ += bulk.pushed_;
+    bulk_out_ += handler_ok ? bulk.pushed_ : 0;
     ROS2_RETURN_IF_ERROR(qp->Send(reply.buffer()));
   }
   return Status::Ok();
 }
 
 // -------------------------------------------------------------- RpcClient
+
+Result<net::MrLease> RpcClient::AcquireMr(std::span<std::byte> region,
+                                          std::uint32_t access) {
+  if (mr_pooling_) {
+    return local_->mr_cache().Acquire(qp_->local_pd(), region, access);
+  }
+  return net::MrLease::Register(local_, qp_->local_pd(), region, access);
+}
+
+Result<RpcReply> RpcClient::Call(std::uint32_t opcode, const Encoder& header,
+                                 const CallOptions& options) {
+  if (!header.ok()) return Status(header.status());
+  return Call(opcode, header.buffer(), options);
+}
 
 Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
                                  std::span<const std::byte> header,
@@ -136,10 +175,11 @@ Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
   Encoder req;
   req.U32(opcode).Bytes(header);
 
-  // Ad-hoc MRs for this call's bulk windows (RDMA rendezvous). Production
-  // DAOS pools registrations; correctness is identical.
-  net::RKey in_rkey = 0;
-  net::RKey out_rkey = 0;
+  // Leases on this call's bulk windows (RDMA rendezvous). Pooled by
+  // default — the MrCache amortizes the page-pin cost across calls — and
+  // RAII either way, so every return below releases both registrations.
+  net::MrLease send_lease;
+  net::MrLease recv_lease;
 
   if (!options.send_bulk.empty()) {
     req.U8(1);
@@ -148,15 +188,15 @@ Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
     } else {
       // Verbs registration is access-controlled but not const-aware; the
       // server only reads through kRemoteRead.
-      auto mr = local_->RegisterMemory(
-          qp_->local_pd(),
+      auto lease = AcquireMr(
           std::span<std::byte>(
               const_cast<std::byte*>(options.send_bulk.data()),
               options.send_bulk.size()),
           net::kRemoteRead);
-      if (!mr.ok()) return mr.status();
-      in_rkey = mr->rkey;
-      EncodeBulkDesc(req, {mr->addr, mr->length, mr->rkey});
+      if (!lease.ok()) return lease.status();
+      send_lease = std::move(*lease);
+      EncodeBulkDesc(req, {send_lease.addr(), send_lease.length(),
+                           send_lease.rkey()});
     }
   } else {
     req.U8(0);
@@ -167,27 +207,22 @@ Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
     if (tcp) {
       req.U64(options.recv_bulk.size());
     } else {
-      auto mr = local_->RegisterMemory(qp_->local_pd(), options.recv_bulk,
-                                       net::kRemoteWrite);
-      if (!mr.ok()) return mr.status();
-      out_rkey = mr->rkey;
-      EncodeBulkDesc(req, {mr->addr, mr->length, mr->rkey});
+      auto lease = AcquireMr(options.recv_bulk, net::kRemoteWrite);
+      if (!lease.ok()) return lease.status();
+      recv_lease = std::move(*lease);
+      EncodeBulkDesc(req, {recv_lease.addr(), recv_lease.length(),
+                           recv_lease.rkey()});
     }
   } else {
     req.U8(0);
   }
 
+  if (!req.ok()) return Status(req.status());
   ROS2_RETURN_IF_ERROR(qp_->Send(req.buffer()));
   if (progress_) progress_();
 
-  auto cleanup = [&] {
-    if (in_rkey != 0) (void)local_->DeregisterMemory(in_rkey);
-    if (out_rkey != 0) (void)local_->DeregisterMemory(out_rkey);
-  };
-
   auto msg = qp_->Recv();
   if (!msg.ok()) {
-    cleanup();
     return Status(Unavailable("no reply from server"));
   }
 
@@ -196,9 +231,9 @@ Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
   auto err = dec.Str();
   auto reply_header = dec.Bytes();
   if (!code.ok() || !err.ok() || !reply_header.ok()) {
-    cleanup();
     return Status(DataLoss("malformed rpc reply"));
   }
+  const bool reply_ok = ErrorCode(*code) == ErrorCode::kOk;
 
   RpcReply out;
   out.header = std::move(*reply_header);
@@ -206,25 +241,25 @@ Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
   if (tcp) {
     auto inline_out = dec.Bytes();
     if (!inline_out.ok()) {
-      cleanup();
       return inline_out.status();
     }
-    if (inline_out->size() > options.recv_bulk.size()) {
-      cleanup();
-      return Status(OutOfRange("server pushed more than the recv window"));
+    if (reply_ok) {
+      // Only successful replies may land bytes in the caller's window;
+      // error replies carry no bulk (and any that claim to are ignored).
+      if (inline_out->size() > options.recv_bulk.size()) {
+        return Status(OutOfRange("server pushed more than the recv window"));
+      }
+      std::memcpy(options.recv_bulk.data(), inline_out->data(),
+                  inline_out->size());
     }
-    std::memcpy(options.recv_bulk.data(), inline_out->data(),
-                inline_out->size());
   }
   auto pushed = dec.U64();
   if (!pushed.ok()) {
-    cleanup();
     return pushed.status();
   }
   out.bulk_received = *pushed;
-  cleanup();
 
-  if (ErrorCode(*code) != ErrorCode::kOk) {
+  if (!reply_ok) {
     return Status(ErrorCode(*code), *err);
   }
   return out;

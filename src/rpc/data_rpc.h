@@ -22,6 +22,8 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "net/fabric.h"
+#include "net/mr_cache.h"
+#include "rpc/wire.h"
 
 namespace ros2::rpc {
 
@@ -102,6 +104,13 @@ struct RpcReply {
 
 /// Client bound to one connected Qp. `progress` is invoked after sending a
 /// request to pump the in-process server (stands in for network+poll).
+///
+/// RDMA bulk windows are registered through the endpoint's MrCache by
+/// default (pooled, DAOS-style): repeated calls on the same buffers cost a
+/// cache hit, not a registration, and every failure path releases its
+/// leases by construction. set_mr_pooling(false) selects per-call ad-hoc
+/// registrations (still leak-free via owned leases) — the comparison
+/// baseline bench_micro_rpc measures against.
 class RpcClient {
  public:
   RpcClient(net::Qp* qp, net::Endpoint* local,
@@ -112,12 +121,26 @@ class RpcClient {
                         std::span<const std::byte> header,
                         const CallOptions& options = {});
 
+  /// Overload for callers that just built the header with an Encoder:
+  /// refuses to send a frame whose encode overflowed the wire's length
+  /// prefixes (the bounds-checked-encode contract, threaded through every
+  /// consumer).
+  Result<RpcReply> Call(std::uint32_t opcode, const Encoder& header,
+                        const CallOptions& options = {});
+
+  void set_mr_pooling(bool pooled) { mr_pooling_ = pooled; }
+  bool mr_pooling() const { return mr_pooling_; }
+
   net::Qp* qp() const { return qp_; }
 
  private:
+  Result<net::MrLease> AcquireMr(std::span<std::byte> region,
+                                 std::uint32_t access);
+
   net::Qp* qp_;
   net::Endpoint* local_;
   std::function<void()> progress_;
+  bool mr_pooling_ = true;
 };
 
 }  // namespace ros2::rpc

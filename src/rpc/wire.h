@@ -1,7 +1,17 @@
-// Wire codec: length-prefixed little-endian serialization for RPC headers.
+// Wire codec: length-prefixed, explicitly little-endian serialization for
+// RPC messages.
 //
 // Deliberately tiny (no schema compiler); every RPC message in the stack is
 // built and parsed through Encoder/Decoder so framing bugs have one home.
+//
+// The byte layout is LITTLE-ENDIAN BY CONSTRUCTION — scalars are assembled
+// from / split into bytes with shifts, never memcpy'd through host integer
+// layout — so frames produced on any host decode identically on any other
+// (wire_test pins the layout with committed golden vectors). Both
+// directions are bounds-checked: Decoder never reads past the frame (every
+// accessor returns a Result), and Encoder latches a sticky error when a
+// length field would overflow its u32 prefix instead of silently
+// truncating; check ok()/status() before trusting buffer().
 #pragma once
 
 #include <cstdint>
@@ -20,8 +30,13 @@ class Encoder {
   Encoder& U16(std::uint16_t v);
   Encoder& U32(std::uint32_t v);
   Encoder& U64(std::uint64_t v);
-  Encoder& Str(std::string_view v);            ///< u32 length + bytes
+  Encoder& Str(std::string_view v);              ///< u32 length + bytes
   Encoder& Bytes(std::span<const std::byte> v);  ///< u32 length + bytes
+
+  /// False once any length field overflowed its u32 prefix. A frame from
+  /// an overflowed encoder is incomplete and must not be sent.
+  bool ok() const { return overflowed_ == false; }
+  Status status() const;
 
   const Buffer& buffer() const { return buf_; }
   Buffer Take() { return std::move(buf_); }
@@ -29,6 +44,7 @@ class Encoder {
  private:
   void Append(const void* data, std::size_t size);
   Buffer buf_;
+  bool overflowed_ = false;
 };
 
 class Decoder {

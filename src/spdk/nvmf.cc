@@ -12,10 +12,10 @@ struct IoHeader {
   std::uint64_t length = 0;
 };
 
-Buffer EncodeIoHeader(const IoHeader& h) {
+rpc::Encoder EncodeIoHeader(const IoHeader& h) {
   rpc::Encoder enc;
   enc.U32(h.nsid).U64(h.offset).U64(h.length);
-  return enc.Take();
+  return enc;
 }
 
 Result<IoHeader> DecodeIoHeader(const Buffer& raw) {
@@ -109,7 +109,7 @@ Result<Buffer> NvmfTarget::HandleFlush(const Buffer& header, rpc::BulkIo&) {
 }
 
 Result<NvmfNamespaceInfo> NvmfInitiator::Identify(std::uint32_t nsid) {
-  const Buffer header = EncodeIoHeader({nsid, 0, 0});
+  const rpc::Encoder header = EncodeIoHeader({nsid, 0, 0});
   auto reply =
       client_->Call(std::uint32_t(NvmfOpcode::kIdentify), header, {});
   if (!reply.ok()) return reply.status();
@@ -123,7 +123,7 @@ Result<NvmfNamespaceInfo> NvmfInitiator::Identify(std::uint32_t nsid) {
 
 Status NvmfInitiator::Read(std::uint32_t nsid, std::uint64_t offset,
                            std::span<std::byte> out) {
-  const Buffer header = EncodeIoHeader({nsid, offset, out.size()});
+  const rpc::Encoder header = EncodeIoHeader({nsid, offset, out.size()});
   rpc::CallOptions options;
   options.recv_bulk = out;
   auto reply = client_->Call(std::uint32_t(NvmfOpcode::kRead), header,
@@ -137,7 +137,7 @@ Status NvmfInitiator::Read(std::uint32_t nsid, std::uint64_t offset,
 
 Status NvmfInitiator::Write(std::uint32_t nsid, std::uint64_t offset,
                             std::span<const std::byte> data) {
-  const Buffer header = EncodeIoHeader({nsid, offset, data.size()});
+  const rpc::Encoder header = EncodeIoHeader({nsid, offset, data.size()});
   rpc::CallOptions options;
   options.send_bulk = data;
   return client_->Call(std::uint32_t(NvmfOpcode::kWrite), header, options)
@@ -145,7 +145,7 @@ Status NvmfInitiator::Write(std::uint32_t nsid, std::uint64_t offset,
 }
 
 Status NvmfInitiator::Flush(std::uint32_t nsid) {
-  const Buffer header = EncodeIoHeader({nsid, 0, 0});
+  const rpc::Encoder header = EncodeIoHeader({nsid, 0, 0});
   return client_->Call(std::uint32_t(NvmfOpcode::kFlush), header, {})
       .status();
 }

@@ -25,7 +25,7 @@ TEST(ControlChannelTest, CallDispatchesToHandler) {
 TEST(ControlChannelTest, UnknownMethod) {
   ControlService service;
   ControlChannel channel(&service);
-  EXPECT_EQ(channel.Call("nope", {}).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(channel.Call("nope", Buffer{}).status().code(), ErrorCode::kNotFound);
 }
 
 TEST(ControlChannelTest, HandlerErrorsPropagate) {
@@ -34,7 +34,7 @@ TEST(ControlChannelTest, HandlerErrorsPropagate) {
     return Status(PermissionDenied("no"));
   });
   ControlChannel channel(&service);
-  EXPECT_EQ(channel.Call("fail", {}).status().code(),
+  EXPECT_EQ(channel.Call("fail", Buffer{}).status().code(),
             ErrorCode::kPermissionDenied);
 }
 
@@ -68,13 +68,13 @@ TEST(ControlChannelTest, OversizeReplyRejected) {
     return Buffer(kControlMessageLimit + 1);
   });
   ControlChannel channel(&service);
-  EXPECT_EQ(channel.Call("blabber", {}).status().code(),
+  EXPECT_EQ(channel.Call("blabber", Buffer{}).status().code(),
             ErrorCode::kInternal);
 }
 
 TEST(ControlChannelTest, DisconnectedChannel) {
   ControlChannel channel(nullptr);
-  EXPECT_EQ(channel.Call("x", {}).status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(channel.Call("x", Buffer{}).status().code(), ErrorCode::kUnavailable);
 }
 
 TEST(ControlChannelTest, ByteAccountingCountsBothDirections) {
@@ -96,7 +96,7 @@ TEST(ControlChannelTest, ReRegisterReplacesHandler) {
     return Bytes("v2");
   });
   ControlChannel channel(&service);
-  EXPECT_EQ(*channel.Call("m", {}), Bytes("v2"));
+  EXPECT_EQ(*channel.Call("m", Buffer{}), Bytes("v2"));
 }
 
 }  // namespace

@@ -1,6 +1,11 @@
 // Data-plane RPC tests, parameterized over both transports: the same
 // handler code must move bulk payloads via one-sided RDMA (rendezvous) and
-// via inline TCP bytes.
+// via inline TCP bytes. RDMA bulk windows go through the endpoint's
+// pooled MrCache (leases, not ad-hoc registrations), so the MR-lifetime
+// tests assert pool invariants: bounded registrations, zero outstanding
+// leases after every call, and nothing left behind once the pool is
+// cleared — including after injected registration/send failures, the leak
+// paths the pre-pool code had.
 #include "rpc/data_rpc.h"
 
 #include <gtest/gtest.h>
@@ -11,6 +16,8 @@
 
 namespace ros2::rpc {
 namespace {
+
+constexpr std::span<const std::byte> kNoHeader{};
 
 class DataRpcTest : public ::testing::TestWithParam<net::Transport> {
  protected:
@@ -29,6 +36,8 @@ class DataRpcTest : public ::testing::TestWithParam<net::Transport> {
     client_ = std::make_unique<RpcClient>(
         qp_, client_ep_, [this] { (void)server_.Progress(qp_->peer()); });
   }
+
+  bool rdma() const { return GetParam() == net::Transport::kRdma; }
 
   net::Fabric fabric_;
   net::Endpoint* server_ep_ = nullptr;
@@ -51,16 +60,35 @@ TEST_P(DataRpcTest, UnaryCallRoundTrip) {
 }
 
 TEST_P(DataRpcTest, UnknownOpcode) {
-  EXPECT_EQ(client_->Call(42, {}, {}).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(client_->Call(42, kNoHeader, {}).status().code(),
+            ErrorCode::kNotFound);
 }
 
 TEST_P(DataRpcTest, HandlerErrorPropagatesWithMessage) {
   server_.Register(2, [](const Buffer&, BulkIo&) -> Result<Buffer> {
     return Status(OutOfRange("beyond eof"));
   });
-  auto reply = client_->Call(2, {}, {});
+  auto reply = client_->Call(2, kNoHeader, {});
   EXPECT_EQ(reply.status().code(), ErrorCode::kOutOfRange);
   EXPECT_EQ(reply.status().message(), "beyond eof");
+}
+
+TEST_P(DataRpcTest, EncoderOverloadRejectsOverflowedHeader) {
+  server_.Register(1, [](const Buffer& header, BulkIo&) -> Result<Buffer> {
+    return header;
+  });
+  Encoder good;
+  good.U32(7);
+  EXPECT_TRUE(client_->Call(1, good, {}).ok());
+
+  static const std::byte kByte{0x5A};
+  Encoder bad;
+  // A span whose size field overflows the u32 length prefix; the encoder
+  // latches the overflow without reading the (bogus) span contents.
+  bad.Bytes(std::span<const std::byte>(&kByte, std::size_t(1) << 33));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(client_->Call(1, bad, {}).status().code(),
+            ErrorCode::kOutOfRange);
 }
 
 TEST_P(DataRpcTest, SendBulkReachesServer) {
@@ -73,7 +101,7 @@ TEST_P(DataRpcTest, SendBulkReachesServer) {
   Buffer payload = MakePatternBuffer(256 * 1024, 7);
   CallOptions options;
   options.send_bulk = payload;
-  ASSERT_TRUE(client_->Call(3, {}, options).ok());
+  ASSERT_TRUE(client_->Call(3, kNoHeader, options).ok());
   EXPECT_EQ(received, payload);
   EXPECT_EQ(server_.bulk_bytes_in(), payload.size());
 }
@@ -87,7 +115,7 @@ TEST_P(DataRpcTest, RecvBulkReachesClient) {
   Buffer sink(source.size());
   CallOptions options;
   options.recv_bulk = sink;
-  auto reply = client_->Call(4, {}, options);
+  auto reply = client_->Call(4, kNoHeader, options);
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->bulk_received, source.size());
   EXPECT_EQ(sink, source);
@@ -106,7 +134,7 @@ TEST_P(DataRpcTest, BothDirectionsInOneCall) {
   CallOptions options;
   options.send_bulk = out;
   options.recv_bulk = in;
-  ASSERT_TRUE(client_->Call(5, {}, options).ok());
+  ASSERT_TRUE(client_->Call(5, kNoHeader, options).ok());
   for (std::size_t i = 0; i < in.size(); ++i) {
     ASSERT_EQ(in[i], out[i] ^ std::byte(0xFF));
   }
@@ -121,7 +149,7 @@ TEST_P(DataRpcTest, PushBeyondWindowRejected) {
   Buffer window(64);
   CallOptions options;
   options.recv_bulk = window;
-  EXPECT_EQ(client_->Call(6, {}, options).status().code(),
+  EXPECT_EQ(client_->Call(6, kNoHeader, options).status().code(),
             ErrorCode::kOutOfRange);
 }
 
@@ -136,7 +164,7 @@ TEST_P(DataRpcTest, IncrementalPushesAccumulate) {
   Buffer window(200);
   CallOptions options;
   options.recv_bulk = window;
-  auto reply = client_->Call(7, {}, options);
+  auto reply = client_->Call(7, kNoHeader, options);
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->bulk_received, 200u);
   EXPECT_EQ(VerifyPattern(window, 1, 0), -1);
@@ -151,11 +179,14 @@ TEST_P(DataRpcTest, PullSizeMismatchRejected) {
   Buffer payload(64);
   CallOptions options;
   options.send_bulk = payload;
-  EXPECT_EQ(client_->Call(8, {}, options).status().code(),
+  EXPECT_EQ(client_->Call(8, kNoHeader, options).status().code(),
             ErrorCode::kInvalidArgument);
 }
 
-TEST_P(DataRpcTest, AdHocMrsAreCleanedUp) {
+// The pre-pool code registered and destroyed MRs on every call; pooled
+// calls must instead converge to cache hits with a bounded MR count and
+// leave nothing behind once the pool is cleared.
+TEST_P(DataRpcTest, PooledMrsAreCachedBoundedAndReclaimable) {
   server_.Register(9, [](const Buffer&, BulkIo&) -> Result<Buffer> {
     return Buffer{};
   });
@@ -165,8 +196,84 @@ TEST_P(DataRpcTest, AdHocMrsAreCleanedUp) {
   options.send_bulk = payload;
   options.recv_bulk = window;
   const auto before = client_ep_->mr_count();
-  ASSERT_TRUE(client_->Call(9, {}, options).ok());
-  EXPECT_EQ(client_ep_->mr_count(), before);  // no registration leak
+  ASSERT_TRUE(client_->Call(9, kNoHeader, options).ok());
+  const auto after_first = client_ep_->mr_count();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client_->Call(9, kNoHeader, options).ok());
+  }
+  // Same buffers, same windows: no new registrations after the first call.
+  EXPECT_EQ(client_ep_->mr_count(), after_first);
+  EXPECT_EQ(client_ep_->mr_cache().leased(), 0u);
+  if (rdma()) {
+    EXPECT_EQ(after_first, before + 2);  // send + recv windows, cached
+    EXPECT_GE(client_ep_->mr_cache().hits(), 20u);  // 10 calls x 2 windows
+  } else {
+    EXPECT_EQ(after_first, before);  // TCP never registers
+  }
+  // Every registration the data path made is pool-owned: clearing the
+  // pool returns the endpoint to its pre-call MR census (leak == a
+  // registration the pool does NOT own == count stays elevated).
+  client_ep_->mr_cache().Clear();
+  EXPECT_EQ(client_ep_->mr_count(), before);
+}
+
+TEST_P(DataRpcTest, NoMrLeakWhenRecvRegistrationFails) {
+  if (!rdma()) GTEST_SKIP() << "registration is RDMA-only";
+  server_.Register(9, [](const Buffer&, BulkIo&) -> Result<Buffer> {
+    return Buffer{};
+  });
+  Buffer payload(2048);
+  Buffer window(2048);
+  CallOptions options;
+  options.send_bulk = payload;
+  options.recv_bulk = window;
+  const auto before = client_ep_->mr_count();
+
+  // Unpooled (the seed's per-call mode): the send MR is registered, then
+  // the recv registration fails — the seed leaked the send MR here.
+  client_->set_mr_pooling(false);
+  client_ep_->InjectRegisterFaults(/*skip=*/1, /*count=*/1);
+  EXPECT_EQ(client_->Call(9, kNoHeader, options).status().code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(client_ep_->mr_count(), before) << "send MR leaked";
+
+  // Pooled: same forced failure; the send registration stays CACHED (not
+  // leaked), no lease stays outstanding, and Clear() reclaims everything.
+  client_->set_mr_pooling(true);
+  client_ep_->InjectRegisterFaults(/*skip=*/1, /*count=*/1);
+  EXPECT_EQ(client_->Call(9, kNoHeader, options).status().code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(client_ep_->mr_cache().leased(), 0u);
+  client_ep_->mr_cache().Clear();
+  EXPECT_EQ(client_ep_->mr_count(), before);
+}
+
+TEST_P(DataRpcTest, NoMrLeakWhenSendFails) {
+  server_.Register(9, [](const Buffer&, BulkIo&) -> Result<Buffer> {
+    return Buffer{};
+  });
+  Buffer payload(2048);
+  Buffer window(2048);
+  CallOptions options;
+  options.send_bulk = payload;
+  options.recv_bulk = window;
+  const auto before = client_ep_->mr_count();
+
+  client_->set_mr_pooling(false);
+  qp_->InjectSendFaults(1);
+  EXPECT_EQ(client_->Call(9, kNoHeader, options).status().code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(client_ep_->mr_count(), before)
+      << "MRs leaked on the send-failed path";
+  EXPECT_EQ(client_ep_->mr_cache().leased(), 0u);
+
+  client_->set_mr_pooling(true);
+  qp_->InjectSendFaults(1);
+  EXPECT_EQ(client_->Call(9, kNoHeader, options).status().code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(client_ep_->mr_cache().leased(), 0u);
+  client_ep_->mr_cache().Clear();
+  EXPECT_EQ(client_ep_->mr_count(), before);
 }
 
 TEST_P(DataRpcTest, ServerDrainsPipelinedRequestsInOrder) {
@@ -203,7 +310,70 @@ TEST_P(DataRpcTest, ZeroLengthBulkWindowsAreNoops) {
     return Buffer{};
   });
   CallOptions options;  // both spans empty
-  EXPECT_TRUE(client_->Call(12, {}, options).ok());
+  EXPECT_TRUE(client_->Call(12, kNoHeader, options).ok());
+}
+
+// Transport parity: a zero-byte Push must succeed on BOTH transports,
+// with or without a client window. (It used to RdmaWrite against the
+// zero-initialized descriptor when the client exposed no window — rkey 0
+// -> PermissionDenied on RDMA while TCP succeeded.)
+TEST_P(DataRpcTest, EmptyPushIsANoopOnBothTransports) {
+  server_.Register(13, [](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    ROS2_RETURN_IF_ERROR(bulk.Push({}));
+    return Buffer{};
+  });
+  EXPECT_TRUE(client_->Call(13, kNoHeader, {}).ok()) << "no recv window";
+
+  Buffer window(64);
+  CallOptions options;
+  options.recv_bulk = window;
+  auto reply = client_->Call(13, kNoHeader, options);
+  ASSERT_TRUE(reply.ok()) << "with recv window";
+  EXPECT_EQ(reply->bulk_received, 0u);
+
+  // Empty pushes interleaved with real ones keep the offset intact.
+  server_.Register(14, [](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    ROS2_RETURN_IF_ERROR(bulk.Push({}));
+    Buffer chunk = MakePatternBuffer(32, 5);
+    ROS2_RETURN_IF_ERROR(bulk.Push(chunk));
+    ROS2_RETURN_IF_ERROR(bulk.Push({}));
+    return Buffer{};
+  });
+  reply = client_->Call(14, kNoHeader, options);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->bulk_received, 32u);
+  EXPECT_EQ(VerifyPattern(std::span<const std::byte>(window.data(), 32), 5,
+                          0),
+            -1);
+}
+
+// A handler that pushes bulk and THEN fails must not hand the client
+// partial output: error replies report pushed = 0, ship no inline bulk,
+// and leave the client's recv window untouched on TCP.
+TEST_P(DataRpcTest, FailedHandlerReportsNoBulk) {
+  server_.Register(15, [](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    Buffer partial = MakePatternBuffer(64, 2);
+    ROS2_RETURN_IF_ERROR(bulk.Push(partial));
+    return Status(Internal("handler failed after pushing"));
+  });
+  Buffer window(128, std::byte(0xEE));  // sentinel fill
+  CallOptions options;
+  options.recv_bulk = window;
+  const auto bulk_out_before = server_.bulk_bytes_out();
+  auto reply = client_->Call(15, kNoHeader, options);
+  EXPECT_EQ(reply.status().code(), ErrorCode::kInternal);
+  // The reply advertised zero pushed bytes (and the server's counter
+  // agrees: failed handlers contribute nothing).
+  EXPECT_EQ(server_.bulk_bytes_out(), bulk_out_before);
+  if (!rdma()) {
+    // TCP: the partial inline bulk was dropped server-side; the window
+    // still holds the sentinel. (RDMA pushes land one-sided before the
+    // handler returns, so the window is undefined there — that's what
+    // pushed = 0 tells the caller.)
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      ASSERT_EQ(window[i], std::byte(0xEE)) << "byte " << i;
+    }
+  }
 }
 
 TEST_P(DataRpcTest, ServedCounterTicks) {
@@ -211,7 +381,7 @@ TEST_P(DataRpcTest, ServedCounterTicks) {
     return Buffer{};
   });
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(client_->Call(10, {}, {}).ok());
+    ASSERT_TRUE(client_->Call(10, kNoHeader, {}).ok());
   }
   EXPECT_EQ(server_.requests_served(), 5u);
 }

@@ -118,6 +118,55 @@ TEST_F(DfsStreamTest, InterleavedFlushKeepsOffsets) {
   EXPECT_EQ(VerifyPattern(all, 4, 0), -1);
 }
 
+TEST_F(DfsStreamTest, CloseSurfacesSwallowedWriteFailure) {
+  const Fd fd = OpenFile("/close-error");
+  DfsOutputStream out(dfs_.get(), fd, 1024);
+  ASSERT_TRUE(out.Append(MakePatternBuffer(100, 7)).ok());
+  // Yank the fd out from under the stream: the deferred buffered write
+  // can no longer succeed. Before Close() existed this failure vanished
+  // in the destructor.
+  ASSERT_TRUE(dfs_->Close(fd).ok());
+  const Status closed = out.Close();
+  EXPECT_EQ(closed.code(), ErrorCode::kNotFound) << closed.ToString();
+  EXPECT_EQ(out.status().code(), ErrorCode::kNotFound);
+  // Idempotent: closing again reports the same first failure.
+  EXPECT_EQ(out.Close().code(), ErrorCode::kNotFound);
+  // The stream is sealed.
+  EXPECT_TRUE(out.closed());
+  EXPECT_EQ(out.Append(MakePatternBuffer(1, 1)).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(out.Flush().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(DfsStreamTest, FirstWriteErrorLatchesAndFailsFast) {
+  const Fd fd = OpenFile("/latch-error");
+  DfsOutputStream out(dfs_.get(), fd, 512);
+  ASSERT_TRUE(out.Append(MakePatternBuffer(100, 8)).ok());
+  ASSERT_TRUE(dfs_->Close(fd).ok());
+  // An Append large enough to force a flush hits the dead fd...
+  EXPECT_EQ(out.Append(MakePatternBuffer(2048, 8)).code(),
+            ErrorCode::kNotFound);
+  // ...and every later operation fails fast with the SAME latched status
+  // instead of writing out of order past the hole.
+  EXPECT_EQ(out.Append(MakePatternBuffer(1, 8)).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(out.Flush().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(out.Close().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(DfsStreamTest, CloseFlushesAndSucceedsOnHealthyStream) {
+  const Fd fd = OpenFile("/clean-close");
+  DfsOutputStream out(dfs_.get(), fd);
+  ASSERT_TRUE(out.Append(MakePatternBuffer(512, 9)).ok());
+  EXPECT_TRUE(out.Close().ok());
+  EXPECT_TRUE(out.closed());
+  Buffer back(512);
+  auto n = dfs_->Read(fd, 0, back);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 512u);
+  EXPECT_EQ(VerifyPattern(back, 9, 0), -1);
+}
+
 TEST_F(DfsStreamTest, InputStreamReadsSequentiallyWithFewRefills) {
   const Fd fd = OpenFile("/reader");
   Buffer content = MakePatternBuffer(400'000, 5);

@@ -7,6 +7,64 @@
 namespace ros2::rpc {
 namespace {
 
+// Golden vectors: the wire format is little-endian BY CONTRACT, not by
+// host accident. These committed bytes must match the encoder's output on
+// every host (and a decoder fed the committed bytes must yield the
+// original values), pinning cross-architecture frame compatibility.
+TEST(WireTest, GoldenLittleEndianScalars) {
+  Encoder enc;
+  enc.U8(0x01).U16(0x0203).U32(0x04050607).U64(0x08090A0B0C0D0E0Full);
+  const std::uint8_t expect[] = {
+      0x01,                                            // U8
+      0x03, 0x02,                                      // U16 LE
+      0x07, 0x06, 0x05, 0x04,                          // U32 LE
+      0x0F, 0x0E, 0x0D, 0x0C, 0x0B, 0x0A, 0x09, 0x08,  // U64 LE
+  };
+  ASSERT_EQ(enc.buffer().size(), sizeof(expect));
+  for (std::size_t i = 0; i < sizeof(expect); ++i) {
+    EXPECT_EQ(enc.buffer()[i], std::byte(expect[i])) << "byte " << i;
+  }
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.U8().value(), 0x01);
+  EXPECT_EQ(dec.U16().value(), 0x0203);
+  EXPECT_EQ(dec.U32().value(), 0x04050607u);
+  EXPECT_EQ(dec.U64().value(), 0x08090A0B0C0D0E0Full);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(WireTest, GoldenLittleEndianLengthPrefixes) {
+  Encoder enc;
+  enc.Str("Hi");
+  const std::byte two[] = {std::byte(0xAA), std::byte(0xBB)};
+  enc.Bytes(two);
+  const std::uint8_t expect[] = {
+      0x02, 0x00, 0x00, 0x00, 'H', 'i',     // u32 LE length + chars
+      0x02, 0x00, 0x00, 0x00, 0xAA, 0xBB,   // u32 LE length + bytes
+  };
+  ASSERT_EQ(enc.buffer().size(), sizeof(expect));
+  for (std::size_t i = 0; i < sizeof(expect); ++i) {
+    EXPECT_EQ(enc.buffer()[i], std::byte(expect[i])) << "byte " << i;
+  }
+}
+
+TEST(WireTest, EncoderLatchesLengthOverflow) {
+  static const std::byte kByte{0x42};
+  Encoder enc;
+  enc.U32(7);
+  EXPECT_TRUE(enc.ok());
+  const std::size_t before = enc.buffer().size();
+  // A span claiming 2^33 bytes: the length cannot fit the u32 prefix. The
+  // encoder must latch the overflow and append NOTHING (the span contents
+  // are never read), instead of silently truncating the length.
+  enc.Bytes(std::span<const std::byte>(&kByte, std::size_t(1) << 33));
+  EXPECT_FALSE(enc.ok());
+  EXPECT_EQ(enc.status().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(enc.buffer().size(), before);
+  // The latch is sticky across further (valid) appends.
+  enc.U8(1);
+  EXPECT_FALSE(enc.ok());
+}
+
 TEST(WireTest, ScalarRoundTrip) {
   Encoder enc;
   enc.U8(0xAB).U16(0xCDEF).U32(0xDEADBEEF).U64(0x0123456789ABCDEFull);
