@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Experiments harness: builds the bench binaries, runs all thirteen offline,
+# Experiments harness: builds the bench binaries, runs all fourteen offline,
 # aggregates their JSON into a single BENCH_<mode>.json, regenerates
 # EXPERIMENTS.md from the tables, and can diff the run against a committed
 # baseline aggregate (failing on out-of-tolerance regressions; direction-
@@ -112,6 +112,7 @@ MODEL_BENCHES=(
   bench_ablation_multitenant
   bench_micro_sim
   bench_micro_rpc
+  bench_micro_pipeline
 )
 
 QUICK_FLAG=""

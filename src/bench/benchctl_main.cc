@@ -381,24 +381,29 @@ int RunMerge(const std::vector<std::string>& args) {
          << "deterministic;\nreal-time microbenchmark sections vary by "
          << "machine.\n";
     const Json* merged = aggregate.Find("reports");
-    int realtime_skipped = 0;
+    std::vector<std::string> realtime_skipped;
     for (const auto& report : merged->elements()) {
       // Wall-clock sections would churn the committed baseline on every
       // host; they live in the JSON aggregate only.
       if (const Json* realtime = report.Find("realtime")) {
         if (realtime->AsBool()) {
-          ++realtime_skipped;
+          const Json* binary = report.Find("binary");
+          realtime_skipped.push_back(
+              binary != nullptr ? binary->AsString() : "?");
           continue;
         }
       }
       file << "\n" << RenderReportMarkdown(report);
     }
-    if (realtime_skipped > 0) {
+    if (!realtime_skipped.empty()) {
       file << "\n## Real-time microbenchmarks\n\n"
-           << "Wall-clock sections (bench_micro_transport, bench_micro_sim) "
-           << "are\nmachine-dependent and deliberately excluded from this "
-           << "baseline; see\nthe BENCH JSON aggregate produced by "
-           << "`scripts/bench.sh`.\n";
+           << "Wall-clock sections are machine-dependent and deliberately "
+           << "excluded\nfrom this baseline; see the BENCH JSON aggregate "
+           << "produced by\n`scripts/bench.sh`. Excluded here:\n";
+      for (const std::string& name : realtime_skipped) {
+        file << "\n- `" << name << "`";
+      }
+      file << "\n";
     }
     file.flush();
     if (!file.good()) {

@@ -58,12 +58,13 @@ Result<std::unique_ptr<DaosClient>> DaosClient::Connect(
         net::Qp * qp, client_ep->Connect(engine->endpoint(),
                                          options.transport, pd,
                                          engine->pd()));
-    rpc::RpcServer* server = engine->server();
-    net::Qp* server_qp = qp->peer();
     EngineConn conn;
+    // The pump is the engine's full progress tick (poll-set drain +
+    // xstream run queues), not a per-QP poke: one pump services every
+    // client of the engine and completes deferred requests — the fairness
+    // property multi-QP tests pin.
     conn.rpc = std::make_unique<rpc::RpcClient>(
-        qp, client_ep,
-        [server, server_qp] { (void)server->Progress(server_qp); });
+        qp, client_ep, [engine] { (void)engine->ProgressAll(); });
     client->engines_.push_back(std::move(conn));
   }
 
@@ -117,12 +118,23 @@ Result<std::uint32_t> DaosClient::ReadableEngine(
     const ObjectId& oid, const std::string& dkey) const {
   const std::uint32_t primary = PrimaryEngine(oid, dkey);
   for (std::uint32_t r = 0; r < replicas_; ++r) {
-    const std::uint32_t e =
-        (primary + r) % std::uint32_t(engines_.size());
+    const std::uint32_t e = ReplicaEngine(primary, r);
     if (!engines_[e].down) return e;
   }
   return Status(
       Unavailable("all replicas of this dkey are on down engines"));
+}
+
+Status DaosClient::CheckReplicasUp(const ObjectId& oid,
+                                   const std::string& dkey) const {
+  const std::uint32_t primary = PrimaryEngine(oid, dkey);
+  for (std::uint32_t r = 0; r < replicas_; ++r) {
+    const std::uint32_t e = ReplicaEngine(primary, r);
+    if (engines_[e].down) {
+      return Unavailable("engine " + std::to_string(e) + " is down");
+    }
+  }
+  return Status::Ok();
 }
 
 Result<rpc::RpcReply> DaosClient::Call(std::uint32_t engine,
@@ -136,20 +148,51 @@ Result<rpc::RpcReply> DaosClient::Call(std::uint32_t engine,
   return engines_[engine].rpc->Call(opcode, header, options);
 }
 
+Result<rpc::RpcClient::CallId> DaosClient::CallAsyncEngine(
+    std::uint32_t engine, std::uint32_t opcode, const rpc::Encoder& header,
+    const rpc::CallOptions& options) {
+  if (engines_[engine].down) {
+    return Status(Unavailable("engine " + std::to_string(engine) +
+                              " is down"));
+  }
+  return engines_[engine].rpc->CallAsync(opcode, header, options);
+}
+
 Result<rpc::RpcReply> DaosClient::CallReplicas(
     const ObjectId& oid, const std::string& dkey, std::uint32_t opcode,
     const rpc::Encoder& header, const rpc::CallOptions& options) {
   const std::uint32_t primary = PrimaryEngine(oid, dkey);
   // Write-all: every replica must acknowledge, so a down engine fails the
-  // update rather than silently diverging replicas.
-  Result<rpc::RpcReply> first = Status(Internal("no replicas"));
+  // update rather than silently diverging replicas — checked up front,
+  // before any copy is issued.
+  ROS2_RETURN_IF_ERROR(CheckReplicasUp(oid, dkey));
+  // Issue every copy concurrently, then await; the replica engines make
+  // progress independently instead of one blocking round trip per copy.
+  struct Issued {
+    std::uint32_t engine;
+    rpc::RpcClient::CallId id;
+  };
+  std::vector<Issued> issued;
+  issued.reserve(replicas_);
+  Status failure = Status::Ok();
   for (std::uint32_t r = 0; r < replicas_; ++r) {
-    const std::uint32_t e =
-        (primary + r) % std::uint32_t(engines_.size());
-    auto reply = Call(e, opcode, header, options);
-    if (!reply.ok()) return reply;
-    if (r == 0) first = std::move(reply);
+    const std::uint32_t e = ReplicaEngine(primary, r);
+    auto id = CallAsyncEngine(e, opcode, header, options);
+    if (!id.ok()) {
+      failure = id.status();
+      break;
+    }
+    issued.push_back({e, *id});
   }
+  Result<rpc::RpcReply> first = Status(Internal("no replicas"));
+  for (std::size_t i = 0; i < issued.size(); ++i) {
+    // Await every issued copy even after a failure: later replicas must
+    // not be left dangling in the pipeline.
+    auto reply = engines_[issued[i].engine].rpc->Await(issued[i].id);
+    if (!reply.ok() && failure.ok()) failure = reply.status();
+    if (i == 0) first = std::move(reply);
+  }
+  if (!failure.ok()) return failure;
   return first;
 }
 
@@ -250,6 +293,131 @@ Status DaosClient::Fetch(ContainerId cont, const ObjectId& oid,
     return DataLoss("short DAOS fetch");
   }
   return Status::Ok();
+}
+
+// -------------------------------------------------------------- batches
+
+Result<std::vector<Epoch>> DaosClient::UpdateBatch(
+    std::span<const UpdateOp> ops) {
+  // Write-all fail-fast: every replica of every op must be reachable
+  // before anything is issued (no partially-replicated batch on a KNOWN
+  // down engine).
+  for (const UpdateOp& op : ops) {
+    ROS2_RETURN_IF_ERROR(CheckReplicasUp(op.oid, op.dkey));
+  }
+  // Issue phase: every op, every replica — nothing awaited yet. The RPC
+  // layer's in-flight window applies backpressure by pumping progress,
+  // so arbitrarily large batches stream through bounded client state.
+  struct Issued {
+    std::uint32_t engine = 0;
+    rpc::RpcClient::CallId id = 0;
+  };
+  std::vector<Issued> primaries(ops.size());
+  std::vector<Issued> extras;
+  extras.reserve(replicas_ > 1 ? ops.size() * (replicas_ - 1) : 0);
+  Status failure = Status::Ok();
+  for (std::size_t i = 0; i < ops.size() && failure.ok(); ++i) {
+    const UpdateOp& op = ops[i];
+    rpc::Encoder enc;
+    EncodeObjAddr(enc, op.cont, op.oid, op.dkey, op.akey);
+    enc.U64(op.offset);
+    rpc::CallOptions options;
+    options.send_bulk = op.data;
+    const std::uint32_t primary = PrimaryEngine(op.oid, op.dkey);
+    for (std::uint32_t r = 0; r < replicas_; ++r) {
+      const std::uint32_t e = ReplicaEngine(primary, r);
+      auto id = CallAsyncEngine(e, std::uint32_t(DaosOpcode::kObjUpdate),
+                                enc, options);
+      if (!id.ok()) {
+        failure = id.status();
+        break;
+      }
+      if (r == 0) {
+        primaries[i] = {e, *id};
+      } else {
+        extras.push_back({e, *id});
+      }
+    }
+  }
+  // Await phase: drain everything that was issued, even past a failure —
+  // a batch error must not strand calls in the pipeline.
+  std::vector<Epoch> epochs(ops.size(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (primaries[i].id == 0) continue;  // never issued (failed fast)
+    auto reply = engines_[primaries[i].engine].rpc->Await(primaries[i].id);
+    if (!reply.ok()) {
+      if (failure.ok()) failure = reply.status();
+      continue;
+    }
+    rpc::Decoder dec(reply->header);
+    auto epoch = dec.U64();
+    if (!epoch.ok()) {
+      if (failure.ok()) failure = epoch.status();
+      continue;
+    }
+    epochs[i] = *epoch;
+  }
+  for (const Issued& extra : extras) {
+    auto reply = engines_[extra.engine].rpc->Await(extra.id);
+    if (!reply.ok() && failure.ok()) failure = reply.status();
+  }
+  if (!failure.ok()) return failure;
+  return epochs;
+}
+
+Status DaosClient::FetchBatch(std::span<const FetchOp> ops) {
+  struct Issued {
+    std::uint32_t engine = 0;
+    rpc::RpcClient::CallId id = 0;
+    bool issued = false;
+  };
+  std::vector<Issued> issued(ops.size());
+  Status failure = Status::Ok();
+  for (std::size_t i = 0; i < ops.size() && failure.ok(); ++i) {
+    const FetchOp& op = ops[i];
+    // Same engine selection as Fetch: snapshot reads pin to the primary
+    // (epochs are per-engine), HEAD reads fail over across replicas.
+    std::uint32_t engine = 0;
+    if (op.epoch != kEpochHead) {
+      engine = PrimaryEngine(op.oid, op.dkey);
+      if (engines_[engine].down) {
+        failure = Unavailable("engine " + std::to_string(engine) +
+                              " is down");
+        break;
+      }
+    } else {
+      auto readable = ReadableEngine(op.oid, op.dkey);
+      if (!readable.ok()) {
+        failure = readable.status();
+        break;
+      }
+      engine = *readable;
+    }
+    rpc::Encoder enc;
+    EncodeObjAddr(enc, op.cont, op.oid, op.dkey, op.akey);
+    enc.U64(op.offset).U64(op.out.size()).U64(op.epoch);
+    rpc::CallOptions options;
+    options.recv_bulk = op.out;
+    auto id = CallAsyncEngine(engine, std::uint32_t(DaosOpcode::kObjFetch),
+                              enc, options);
+    if (!id.ok()) {
+      failure = id.status();
+      break;
+    }
+    issued[i] = {engine, *id, true};
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!issued[i].issued) continue;
+    auto reply = engines_[issued[i].engine].rpc->Await(issued[i].id);
+    if (!reply.ok()) {
+      if (failure.ok()) failure = reply.status();
+      continue;
+    }
+    if (reply->bulk_received != ops[i].out.size() && failure.ok()) {
+      failure = DataLoss("short DAOS fetch");
+    }
+  }
+  return failure;
 }
 
 // -------------------------------------------------------------- singles

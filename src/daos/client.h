@@ -14,6 +14,13 @@
 // SetEngineDown), giving DAOS-style redundancy semantics at HEAD.
 // Epoch stamps are per-engine, so snapshot reads pin to the engine that
 // issued the epoch (documented simplification).
+//
+// Pipelining: replica updates are issued CONCURRENTLY to every replica
+// engine (CallAsync fan-out, then await) instead of serially, and the
+// batch APIs (UpdateBatch/FetchBatch) keep many data-plane RPCs in
+// flight at once — one engine progress tick then services the whole
+// window, which is where the paper's "heavy traffic" throughput comes
+// from (bench_micro_pipeline gates the win).
 #pragma once
 
 #include <cstdint>
@@ -78,6 +85,41 @@ class DaosClient {
                const std::string& akey, std::uint64_t offset,
                std::span<std::byte> out, Epoch epoch = kEpochHead);
 
+  // --- pipelined batches --------------------------------------------------
+  // One batch issues every op (and every replica copy) before awaiting any
+  // reply, so a single engine progress tick drains the whole window. The
+  // caller's data/out buffers must stay alive until the batch call
+  // returns. Ops on the same dkey keep their in-batch order (per-target
+  // FIFO); ops on different dkeys may execute interleaved.
+
+  struct UpdateOp {
+    ContainerId cont = 0;
+    ObjectId oid;
+    std::string dkey;
+    std::string akey;
+    std::uint64_t offset = 0;
+    std::span<const std::byte> data;
+  };
+  struct FetchOp {
+    ContainerId cont = 0;
+    ObjectId oid;
+    std::string dkey;
+    std::string akey;
+    std::uint64_t offset = 0;
+    std::span<std::byte> out;
+    Epoch epoch = kEpochHead;
+  };
+
+  /// Pipelined array writes; returns each op's stamped (primary) epoch.
+  /// Write-all replica semantics per op: fails if any replica is down or
+  /// any copy errors (remaining in-flight ops still drain).
+  Result<std::vector<Epoch>> UpdateBatch(std::span<const UpdateOp> ops);
+
+  /// Pipelined array reads into each op's `out` window (holes as zeros).
+  /// Fails on the first op error (short reads are DATA_LOSS), after
+  /// draining the whole batch.
+  Status FetchBatch(std::span<const FetchOp> ops);
+
   Result<Epoch> UpdateSingle(ContainerId cont, const ObjectId& oid,
                              const std::string& dkey, const std::string& akey,
                              std::span<const std::byte> value);
@@ -124,6 +166,13 @@ class DaosClient {
   /// (primary + i) % engines.
   std::uint32_t PrimaryEngine(const ObjectId& oid,
                               const std::string& dkey) const;
+  /// The r-th replica engine on the ring starting at `primary`.
+  std::uint32_t ReplicaEngine(std::uint32_t primary, std::uint32_t r) const {
+    return (primary + r) % std::uint32_t(engines_.size());
+  }
+  /// Write-all precondition: UNAVAILABLE if any replica of (oid, dkey)
+  /// is down — checked before anything is sent.
+  Status CheckReplicasUp(const ObjectId& oid, const std::string& dkey) const;
   /// First reachable replica for reads; error when all are down.
   Result<std::uint32_t> ReadableEngine(const ObjectId& oid,
                                        const std::string& dkey) const;
@@ -132,8 +181,14 @@ class DaosClient {
   Result<rpc::RpcReply> Call(std::uint32_t engine, std::uint32_t opcode,
                              const rpc::Encoder& header,
                              const rpc::CallOptions& options = {});
-  /// Same call fanned out to every replica of (oid, dkey); first reply is
-  /// returned. Fails if ANY replica is down (write-all semantics).
+  /// Async form of Call: issues without awaiting (down engines rejected).
+  Result<rpc::RpcClient::CallId> CallAsyncEngine(
+      std::uint32_t engine, std::uint32_t opcode,
+      const rpc::Encoder& header, const rpc::CallOptions& options = {});
+  /// Same call issued CONCURRENTLY to every replica of (oid, dkey) —
+  /// all requests go out before any reply is awaited; the primary's reply
+  /// is returned. Fails if ANY replica is down (write-all semantics,
+  /// checked before anything is sent) or any copy errors.
   Result<rpc::RpcReply> CallReplicas(const ObjectId& oid,
                                      const std::string& dkey,
                                      std::uint32_t opcode,

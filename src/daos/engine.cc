@@ -7,17 +7,16 @@
 #include "rpc/wire.h"
 
 namespace ros2::daos {
-namespace {
 
 /// Common object-addressing prefix: cont, oid, dkey, akey.
-struct ObjAddr {
+struct DaosEngine::ObjAddr {
   ContainerId cont = 0;
   ObjectId oid;
   std::string dkey;
   std::string akey;
 };
 
-Status DecodeObjAddr(rpc::Decoder& dec, ObjAddr* out) {
+Status DaosEngine::DecodeObjAddr(rpc::Decoder& dec, ObjAddr* out) {
   ROS2_ASSIGN_OR_RETURN(out->cont, dec.U64());
   ROS2_ASSIGN_OR_RETURN(out->oid.hi, dec.U64());
   ROS2_ASSIGN_OR_RETURN(out->oid.lo, dec.U64());
@@ -26,19 +25,42 @@ Status DecodeObjAddr(rpc::Decoder& dec, ObjAddr* out) {
   return Status::Ok();
 }
 
-}  // namespace
+Result<std::unique_ptr<DaosEngine>> DaosEngine::Create(
+    net::Fabric* fabric, EngineConfig config,
+    std::span<storage::NvmeDevice* const> devices) {
+  if (config.targets == 0) {
+    return Status(InvalidArgument(
+        "EngineConfig::targets must be >= 1: every engine needs at least "
+        "one target xstream"));
+  }
+  if (devices.empty()) {
+    return Status(InvalidArgument("engine needs at least one NVMe device"));
+  }
+  if (fabric->Lookup(config.address).ok()) {
+    return Status(AlreadyExists("engine address in use: " + config.address));
+  }
+  return std::unique_ptr<DaosEngine>(
+      new DaosEngine(fabric, std::move(config), devices));
+}
 
 DaosEngine::DaosEngine(net::Fabric* fabric, EngineConfig config,
                        std::span<storage::NvmeDevice* const> devices)
-    : fabric_(fabric), config_(std::move(config)) {
+    : fabric_(fabric),
+      config_(std::move(config)),
+      scheduler_(config_.targets) {
+  assert(config_.targets != 0 &&
+         "EngineConfig::targets must be >= 1 (DaosEngine::Create validates)");
   assert(!devices.empty() && "engine needs at least one NVMe device");
   auto ep = fabric_->CreateEndpoint(config_.address);
   assert(ep.ok() && "engine endpoint address collision");
   endpoint_ = ep.value();
   pd_ = endpoint_->AllocPd();
+  // Every QP this endpoint accepts reports into the engine's poll set, so
+  // one ProgressAll tick services all connections without per-QP scans.
+  endpoint_->set_accept_poll_set(&poll_set_);
 
   // Partition each device among the targets assigned to it.
-  const std::uint32_t n = config_.targets == 0 ? 1 : config_.targets;
+  const std::uint32_t n = config_.targets;
   std::vector<std::uint32_t> per_device(devices.size(), 0);
   for (std::uint32_t t = 0; t < n; ++t) per_device[t % devices.size()]++;
 
@@ -69,7 +91,21 @@ DaosEngine::DaosEngine(net::Fabric* fabric, EngineConfig config,
             << " devices)";
 }
 
-DaosEngine::~DaosEngine() = default;
+DaosEngine::~DaosEngine() {
+  // Detach the accept hook before poll_set_ dies; the endpoint (and its
+  // QPs) belong to the fabric and may outlive this engine.
+  if (endpoint_ != nullptr) endpoint_->set_accept_poll_set(nullptr);
+}
+
+Status DaosEngine::ProgressAll() {
+  // Decode + dispatch everything that arrived (inline handlers reply
+  // here; data ops park on their target's xstream), then run the
+  // xstreams dry — deferred contexts complete in round-robin target
+  // order, same-dkey ops in FIFO order.
+  Status s = server_.Progress(&poll_set_);
+  scheduler_.ProgressAll();
+  return s;
+}
 
 Vos* DaosEngine::target_vos(std::uint32_t target) {
   return target < targets_.size() ? targets_[target].vos.get() : nullptr;
@@ -83,6 +119,7 @@ EngineStats DaosEngine::stats() const {
 }
 
 void DaosEngine::RegisterHandlers() {
+  // Metadata / pool-service ops: answered inline from the dispatch step.
   auto bind = [this](DaosOpcode op,
                      Result<Buffer> (DaosEngine::*fn)(const Buffer&)) {
     server_.Register(std::uint32_t(op),
@@ -94,21 +131,31 @@ void DaosEngine::RegisterHandlers() {
   bind(DaosOpcode::kContCreate, &DaosEngine::HandleContCreate);
   bind(DaosOpcode::kContOpen, &DaosEngine::HandleContOpen);
   bind(DaosOpcode::kOidAlloc, &DaosEngine::HandleOidAlloc);
-  bind(DaosOpcode::kSingleUpdate, &DaosEngine::HandleSingleUpdate);
-  bind(DaosOpcode::kSingleFetch, &DaosEngine::HandleSingleFetch);
-  bind(DaosOpcode::kObjPunch, &DaosEngine::HandleObjPunch);
-  bind(DaosOpcode::kListDkeys, &DaosEngine::HandleListDkeys);
-  bind(DaosOpcode::kListAkeys, &DaosEngine::HandleListAkeys);
-  bind(DaosOpcode::kArraySize, &DaosEngine::HandleArraySize);
-  bind(DaosOpcode::kAggregate, &DaosEngine::HandleAggregate);
-  server_.Register(std::uint32_t(DaosOpcode::kObjUpdate),
-                   [this](const Buffer& h, rpc::BulkIo& b) {
-                     return HandleObjUpdate(h, b);
+  // kListDkeys enumerates every target: it is a BARRIER — the xstreams
+  // drain first so the listing observes every already-issued op.
+  server_.Register(std::uint32_t(DaosOpcode::kListDkeys),
+                   [this](const Buffer& h, rpc::BulkIo&) {
+                     scheduler_.ProgressAll();
+                     return HandleListDkeys(h);
                    });
-  server_.Register(std::uint32_t(DaosOpcode::kObjFetch),
-                   [this](const Buffer& h, rpc::BulkIo& b) {
-                     return HandleObjFetch(h, b);
-                   });
+
+  // Target-routed data ops: decode -> defer onto the dkey's xstream.
+  auto defer = [this](DaosOpcode op,
+                      rpc::HandlerVerdict (DaosEngine::*fn)(
+                          rpc::RpcContextPtr)) {
+    server_.RegisterAsync(std::uint32_t(op),
+                          [this, fn](rpc::RpcContextPtr ctx) {
+                            return (this->*fn)(std::move(ctx));
+                          });
+  };
+  defer(DaosOpcode::kObjUpdate, &DaosEngine::DeferObjUpdate);
+  defer(DaosOpcode::kObjFetch, &DaosEngine::DeferObjFetch);
+  defer(DaosOpcode::kSingleUpdate, &DaosEngine::DeferSingleUpdate);
+  defer(DaosOpcode::kSingleFetch, &DaosEngine::DeferSingleFetch);
+  defer(DaosOpcode::kObjPunch, &DaosEngine::DeferObjPunch);
+  defer(DaosOpcode::kListAkeys, &DaosEngine::DeferListAkeys);
+  defer(DaosOpcode::kArraySize, &DaosEngine::DeferArraySize);
+  defer(DaosOpcode::kAggregate, &DaosEngine::DeferAggregate);
 }
 
 Result<DaosEngine::Container*> DaosEngine::FindContainer(ContainerId id) {
@@ -117,12 +164,19 @@ Result<DaosEngine::Container*> DaosEngine::FindContainer(ContainerId id) {
   return &it->second;
 }
 
-Result<Vos*> DaosEngine::RouteDkey(const ObjectId& oid,
-                                   const std::string& dkey) {
-  const std::uint32_t t =
-      PlaceDkey(oid, dkey, std::uint32_t(targets_.size()));
-  return targets_[t].vos.get();
+std::uint32_t DaosEngine::TargetOf(const ObjectId& oid,
+                                   const std::string& dkey) const {
+  return PlaceDkey(oid, dkey, std::uint32_t(targets_.size()));
 }
+
+rpc::HandlerVerdict DaosEngine::Defer(std::uint32_t target,
+                                      rpc::RpcContextPtr ctx,
+                                      EngineScheduler::OpFn op) {
+  scheduler_.Enqueue(target, std::move(ctx), std::move(op));
+  return rpc::HandlerVerdict::kDeferred;
+}
+
+// ------------------------------------------------------ inline handlers
 
 Result<Buffer> DaosEngine::HandlePoolConnect(const Buffer& header) {
   rpc::Decoder dec(header);
@@ -177,108 +231,18 @@ Result<Buffer> DaosEngine::HandleOidAlloc(const Buffer& header) {
   return enc.Take();
 }
 
-Result<Buffer> DaosEngine::HandleObjUpdate(const Buffer& header,
-                                           rpc::BulkIo& bulk) {
-  rpc::Decoder dec(header);
-  ObjAddr addr;
-  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
-  ROS2_ASSIGN_OR_RETURN(std::uint64_t offset, dec.U64());
-  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
-  if (bulk.in_size() == 0) {
-    return Status(InvalidArgument("update requires a bulk payload"));
-  }
-  Buffer data(bulk.in_size());
-  ROS2_RETURN_IF_ERROR(bulk.Pull(data));
-  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
-  const Epoch epoch = cont->next_epoch++;
-  ROS2_RETURN_IF_ERROR(
-      vos->UpdateArray(addr.oid, addr.dkey, addr.akey, epoch, offset, data));
-  ++stats_.updates;
-  rpc::Encoder enc;
-  enc.U64(epoch);
-  return enc.Take();
-}
-
-Result<Buffer> DaosEngine::HandleObjFetch(const Buffer& header,
-                                          rpc::BulkIo& bulk) {
-  rpc::Decoder dec(header);
-  ObjAddr addr;
-  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
-  ROS2_ASSIGN_OR_RETURN(std::uint64_t offset, dec.U64());
-  ROS2_ASSIGN_OR_RETURN(std::uint64_t length, dec.U64());
-  ROS2_ASSIGN_OR_RETURN(Epoch epoch, dec.U64());
-  ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
-  if (length != bulk.out_capacity()) {
-    return Status(InvalidArgument("fetch length != client bulk window"));
-  }
-  Buffer data(length);
-  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
-  ROS2_RETURN_IF_ERROR(
-      vos->FetchArray(addr.oid, addr.dkey, addr.akey, epoch, offset, data));
-  ROS2_RETURN_IF_ERROR(bulk.Push(data));
-  ++stats_.fetches;
-  return Buffer{};
-}
-
-Result<Buffer> DaosEngine::HandleSingleUpdate(const Buffer& header) {
-  rpc::Decoder dec(header);
-  ObjAddr addr;
-  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
-  ROS2_ASSIGN_OR_RETURN(Buffer value, dec.Bytes());
-  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
-  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
-  const Epoch epoch = cont->next_epoch++;
-  ROS2_RETURN_IF_ERROR(
-      vos->UpdateSingle(addr.oid, addr.dkey, addr.akey, epoch, value));
-  ++stats_.updates;
-  rpc::Encoder enc;
-  enc.U64(epoch);
-  return enc.Take();
-}
-
-Result<Buffer> DaosEngine::HandleSingleFetch(const Buffer& header) {
-  rpc::Decoder dec(header);
-  ObjAddr addr;
-  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
-  ROS2_ASSIGN_OR_RETURN(Epoch epoch, dec.U64());
-  ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
-  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
-  ROS2_ASSIGN_OR_RETURN(Buffer value,
-                        vos->FetchSingle(addr.oid, addr.dkey, addr.akey,
-                                         epoch));
-  ++stats_.fetches;
-  rpc::Encoder enc;
-  enc.Bytes(value);
-  return enc.Take();
-}
-
-Result<Buffer> DaosEngine::HandleObjPunch(const Buffer& header) {
-  rpc::Decoder dec(header);
-  ObjAddr addr;
-  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
-  ROS2_ASSIGN_OR_RETURN(std::uint8_t scope_raw, dec.U8());
+Result<Buffer> DaosEngine::HandleObjectPunch(const ObjAddr& addr) {
   ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
   const Epoch epoch = cont->next_epoch++;
-  const auto scope = PunchScope(scope_raw);
-  if (scope == PunchScope::kObject) {
-    // The object's dkeys may span every target; punch on each.
-    bool found = false;
-    for (auto& target : targets_) {
-      if (target.vos->ObjectExists(addr.oid)) {
-        ROS2_RETURN_IF_ERROR(target.vos->PunchObject(addr.oid, epoch));
-        found = true;
-      }
+  // The object's dkeys may span every target; punch on each.
+  bool found = false;
+  for (auto& target : targets_) {
+    if (target.vos->ObjectExists(addr.oid)) {
+      ROS2_RETURN_IF_ERROR(target.vos->PunchObject(addr.oid, epoch));
+      found = true;
     }
-    if (!found) return Status(NotFound("no such object"));
-    return Buffer{};
   }
-  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
-  if (scope == PunchScope::kDkey) {
-    ROS2_RETURN_IF_ERROR(vos->PunchDkey(addr.oid, addr.dkey, epoch));
-  } else {
-    ROS2_RETURN_IF_ERROR(
-        vos->PunchAkey(addr.oid, addr.dkey, addr.akey, epoch));
-  }
+  if (!found) return Status(NotFound("no such object"));
   return Buffer{};
 }
 
@@ -301,43 +265,256 @@ Result<Buffer> DaosEngine::HandleListDkeys(const Buffer& header) {
   return enc.Take();
 }
 
-Result<Buffer> DaosEngine::HandleListAkeys(const Buffer& header) {
-  rpc::Decoder dec(header);
+// ------------------------------------------------- dispatch-step routing
+
+rpc::HandlerVerdict DaosEngine::CompleteWithError(rpc::RpcContextPtr ctx,
+                                                  Status error) {
+  (void)ctx->Complete(std::move(error));
+  return rpc::HandlerVerdict::kDone;
+}
+
+rpc::HandlerVerdict DaosEngine::DeferObjUpdate(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
   ObjAddr addr;
-  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
-  ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
-  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
+  std::uint64_t offset = 0;
+  Status s = [&]() -> Status {
+    ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+    ROS2_ASSIGN_OR_RETURN(offset, dec.U64());
+    return Status::Ok();
+  }();
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), offset,
+                target](rpc::RpcContext& c) {
+                 return ExecObjUpdate(addr, offset, target, c.bulk());
+               });
+}
+
+rpc::HandlerVerdict DaosEngine::DeferObjFetch(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
+  ObjAddr addr;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  Epoch epoch = 0;
+  Status s = [&]() -> Status {
+    ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+    ROS2_ASSIGN_OR_RETURN(offset, dec.U64());
+    ROS2_ASSIGN_OR_RETURN(length, dec.U64());
+    ROS2_ASSIGN_OR_RETURN(epoch, dec.U64());
+    return Status::Ok();
+  }();
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), offset, length, epoch,
+                target](rpc::RpcContext& c) {
+                 return ExecObjFetch(addr, offset, length, epoch, target,
+                                     c.bulk());
+               });
+}
+
+rpc::HandlerVerdict DaosEngine::DeferSingleUpdate(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
+  ObjAddr addr;
+  Buffer value;
+  Status s = [&]() -> Status {
+    ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+    ROS2_ASSIGN_OR_RETURN(value, dec.Bytes());
+    return Status::Ok();
+  }();
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), value = std::move(value),
+                target](rpc::RpcContext&) {
+                 return ExecSingleUpdate(addr, value, target);
+               });
+}
+
+rpc::HandlerVerdict DaosEngine::DeferSingleFetch(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
+  ObjAddr addr;
+  Epoch epoch = 0;
+  Status s = [&]() -> Status {
+    ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+    ROS2_ASSIGN_OR_RETURN(epoch, dec.U64());
+    return Status::Ok();
+  }();
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), epoch,
+                target](rpc::RpcContext&) {
+                 return ExecSingleFetch(addr, epoch, target);
+               });
+}
+
+rpc::HandlerVerdict DaosEngine::DeferObjPunch(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
+  ObjAddr addr;
+  std::uint8_t scope_raw = 0;
+  Status s = [&]() -> Status {
+    ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+    ROS2_ASSIGN_OR_RETURN(scope_raw, dec.U8());
+    return Status::Ok();
+  }();
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const auto scope = PunchScope(scope_raw);
+  if (scope == PunchScope::kObject) {
+    // Object punch touches every target: barrier, then answer inline.
+    scheduler_.ProgressAll();
+    (void)ctx->Complete(HandleObjectPunch(addr));
+    return rpc::HandlerVerdict::kDone;
+  }
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), scope,
+                target](rpc::RpcContext&) {
+                 return ExecKeyPunch(addr, scope, target);
+               });
+}
+
+rpc::HandlerVerdict DaosEngine::DeferListAkeys(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
+  ObjAddr addr;
+  Status s = DecodeObjAddr(dec, &addr);
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), target](rpc::RpcContext&)
+                   -> Result<Buffer> {
+                 ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
+                 rpc::Encoder enc;
+                 const auto akeys =
+                     targets_[target].vos->ListAkeys(addr.oid, addr.dkey);
+                 enc.U32(std::uint32_t(akeys.size()));
+                 for (const auto& akey : akeys) enc.Str(akey);
+                 return enc.Take();
+               });
+}
+
+rpc::HandlerVerdict DaosEngine::DeferArraySize(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
+  ObjAddr addr;
+  Epoch epoch = 0;
+  Status s = [&]() -> Status {
+    ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+    ROS2_ASSIGN_OR_RETURN(epoch, dec.U64());
+    return Status::Ok();
+  }();
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), epoch,
+                target](rpc::RpcContext&) -> Result<Buffer> {
+                 ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
+                 ROS2_ASSIGN_OR_RETURN(
+                     std::uint64_t size,
+                     targets_[target].vos->ArraySize(addr.oid, addr.dkey,
+                                                     addr.akey, epoch));
+                 rpc::Encoder enc;
+                 enc.U64(size);
+                 return enc.Take();
+               });
+}
+
+rpc::HandlerVerdict DaosEngine::DeferAggregate(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
+  ObjAddr addr;
+  Epoch upto = 0;
+  Status s = [&]() -> Status {
+    ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+    ROS2_ASSIGN_OR_RETURN(upto, dec.U64());
+    return Status::Ok();
+  }();
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), upto,
+                target](rpc::RpcContext&) -> Result<Buffer> {
+                 ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
+                 ROS2_RETURN_IF_ERROR(targets_[target].vos->AggregateArray(
+                     addr.oid, addr.dkey, addr.akey, upto));
+                 return Buffer{};
+               });
+}
+
+// ------------------------------------------------- xstream execution
+
+Result<Buffer> DaosEngine::ExecObjUpdate(const ObjAddr& addr,
+                                         std::uint64_t offset,
+                                         std::uint32_t target,
+                                         rpc::BulkIo& bulk) {
+  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
+  if (bulk.in_size() == 0) {
+    return Status(InvalidArgument("update requires a bulk payload"));
+  }
+  Buffer data(bulk.in_size());
+  ROS2_RETURN_IF_ERROR(bulk.Pull(data));
+  const Epoch epoch = cont->next_epoch++;
+  ROS2_RETURN_IF_ERROR(targets_[target].vos->UpdateArray(
+      addr.oid, addr.dkey, addr.akey, epoch, offset, data));
+  ++stats_.updates;
   rpc::Encoder enc;
-  const auto akeys = vos->ListAkeys(addr.oid, addr.dkey);
-  enc.U32(std::uint32_t(akeys.size()));
-  for (const auto& akey : akeys) enc.Str(akey);
+  enc.U64(epoch);
   return enc.Take();
 }
 
-Result<Buffer> DaosEngine::HandleArraySize(const Buffer& header) {
-  rpc::Decoder dec(header);
-  ObjAddr addr;
-  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
-  ROS2_ASSIGN_OR_RETURN(Epoch epoch, dec.U64());
+Result<Buffer> DaosEngine::ExecObjFetch(const ObjAddr& addr,
+                                        std::uint64_t offset,
+                                        std::uint64_t length, Epoch epoch,
+                                        std::uint32_t target,
+                                        rpc::BulkIo& bulk) {
   ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
-  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
-  ROS2_ASSIGN_OR_RETURN(
-      std::uint64_t size,
-      vos->ArraySize(addr.oid, addr.dkey, addr.akey, epoch));
+  if (length != bulk.out_capacity()) {
+    return Status(InvalidArgument("fetch length != client bulk window"));
+  }
+  Buffer data(length);
+  ROS2_RETURN_IF_ERROR(targets_[target].vos->FetchArray(
+      addr.oid, addr.dkey, addr.akey, epoch, offset, data));
+  ROS2_RETURN_IF_ERROR(bulk.Push(data));
+  ++stats_.fetches;
+  return Buffer{};
+}
+
+Result<Buffer> DaosEngine::ExecSingleUpdate(const ObjAddr& addr,
+                                            const Buffer& value,
+                                            std::uint32_t target) {
+  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
+  const Epoch epoch = cont->next_epoch++;
+  ROS2_RETURN_IF_ERROR(targets_[target].vos->UpdateSingle(
+      addr.oid, addr.dkey, addr.akey, epoch, value));
+  ++stats_.updates;
   rpc::Encoder enc;
-  enc.U64(size);
+  enc.U64(epoch);
   return enc.Take();
 }
 
-Result<Buffer> DaosEngine::HandleAggregate(const Buffer& header) {
-  rpc::Decoder dec(header);
-  ObjAddr addr;
-  ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
-  ROS2_ASSIGN_OR_RETURN(Epoch upto, dec.U64());
+Result<Buffer> DaosEngine::ExecSingleFetch(const ObjAddr& addr, Epoch epoch,
+                                           std::uint32_t target) {
   ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
-  ROS2_ASSIGN_OR_RETURN(Vos * vos, RouteDkey(addr.oid, addr.dkey));
-  ROS2_RETURN_IF_ERROR(
-      vos->AggregateArray(addr.oid, addr.dkey, addr.akey, upto));
+  ROS2_ASSIGN_OR_RETURN(Buffer value,
+                        targets_[target].vos->FetchSingle(
+                            addr.oid, addr.dkey, addr.akey, epoch));
+  ++stats_.fetches;
+  rpc::Encoder enc;
+  enc.Bytes(value);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::ExecKeyPunch(const ObjAddr& addr,
+                                        PunchScope scope,
+                                        std::uint32_t target) {
+  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
+  const Epoch epoch = cont->next_epoch++;
+  Vos* vos = targets_[target].vos.get();
+  if (scope == PunchScope::kDkey) {
+    ROS2_RETURN_IF_ERROR(vos->PunchDkey(addr.oid, addr.dkey, epoch));
+  } else {
+    ROS2_RETURN_IF_ERROR(
+        vos->PunchAkey(addr.oid, addr.dkey, addr.akey, epoch));
+  }
   return Buffer{};
 }
 

@@ -9,6 +9,16 @@
 // is the property the paper's offload leans on — the engine is UNCHANGED
 // between host-client and DPU-client deployments: it just answers CaRT
 // RPCs on its fabric endpoint.
+//
+// The request path is the paper's event-driven pipeline: every accepted QP
+// reports into the engine's net::PollSet; ProgressAll() drains ready QPs
+// (decode -> dispatch), data-plane ops defer onto their target's
+// EngineScheduler run queue, and the scheduler's round-robin drain
+// executes them — same-dkey ops stay FIFO on their target while different
+// targets interleave — completing each deferred RpcContext with its reply.
+// Metadata ops answer inline from dispatch; ops that touch every target
+// (object punch, dkey enumeration) drain the xstreams first (a barrier),
+// so they observe every previously-issued op.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +29,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "daos/scheduler.h"
 #include "daos/types.h"
 #include "daos/vos.h"
 #include "net/fabric.h"
@@ -69,8 +80,16 @@ struct EngineStats {
 
 class DaosEngine {
  public:
+  /// Validating factory: rejects a zero-target config (every engine needs
+  /// at least one xstream; the constructor would otherwise have to guess)
+  /// and an empty device span with INVALID_ARGUMENT.
+  static Result<std::unique_ptr<DaosEngine>> Create(
+      net::Fabric* fabric, EngineConfig config,
+      std::span<storage::NvmeDevice* const> devices);
+
   /// `devices` are the server's NVMe SSDs; targets partition them
   /// round-robin (target i -> device i % devices.size()).
+  /// Requires config.targets >= 1 (asserted; use Create for a Status).
   DaosEngine(net::Fabric* fabric, EngineConfig config,
              std::span<storage::NvmeDevice* const> devices);
   ~DaosEngine();
@@ -80,6 +99,17 @@ class DaosEngine {
   rpc::RpcServer* server() { return &server_; }
   const EngineConfig& config() const { return config_; }
   std::uint32_t num_targets() const { return std::uint32_t(targets_.size()); }
+
+  /// One engine progress call (the CaRT progress-loop tick): drains every
+  /// ready accepted QP through decode->dispatch, then runs the target
+  /// xstreams until their run queues are empty, completing deferred
+  /// requests. Clients pump this as their progress hook.
+  Status ProgressAll();
+
+  /// The engine's per-target run queues (telemetry + tests).
+  const EngineScheduler& scheduler() const { return scheduler_; }
+  /// The accepted-QP readiness set (telemetry + tests).
+  const net::PollSet& poll_set() const { return poll_set_; }
 
   /// Direct VOS access for white-box tests (target introspection).
   Vos* target_vos(std::uint32_t target);
@@ -100,30 +130,63 @@ class DaosEngine {
     std::uint64_t next_oid = 1;
   };
 
+  struct ObjAddr;  // common cont/oid/dkey/akey wire prefix (engine.cc)
+  static Status DecodeObjAddr(rpc::Decoder& dec, ObjAddr* out);
+
   void RegisterHandlers();
   Result<Container*> FindContainer(ContainerId id);
-  Result<Vos*> RouteDkey(const ObjectId& oid, const std::string& dkey);
+  std::uint32_t TargetOf(const ObjectId& oid, const std::string& dkey) const;
 
-  // RPC handlers.
+  /// Parks a decoded request on `target`'s xstream. Takes the precomputed
+  /// index, not (oid, dkey): callers move the decoded address into the op
+  /// closure, so re-deriving the target here would read moved-from keys.
+  rpc::HandlerVerdict Defer(std::uint32_t target, rpc::RpcContextPtr ctx,
+                            EngineScheduler::OpFn op);
+  /// Answers `ctx` with `error` at the dispatch step (shared malformed-
+  /// header funnel for the Defer* handlers).
+  static rpc::HandlerVerdict CompleteWithError(rpc::RpcContextPtr ctx,
+                                               Status error);
+
+  // Dispatch-step decoders for target-routed data ops: decode the header,
+  // then park the context on the owning xstream (decode errors complete
+  // the context immediately).
+  rpc::HandlerVerdict DeferObjUpdate(rpc::RpcContextPtr ctx);
+  rpc::HandlerVerdict DeferObjFetch(rpc::RpcContextPtr ctx);
+  rpc::HandlerVerdict DeferSingleUpdate(rpc::RpcContextPtr ctx);
+  rpc::HandlerVerdict DeferSingleFetch(rpc::RpcContextPtr ctx);
+  rpc::HandlerVerdict DeferObjPunch(rpc::RpcContextPtr ctx);
+  rpc::HandlerVerdict DeferListAkeys(rpc::RpcContextPtr ctx);
+  rpc::HandlerVerdict DeferArraySize(rpc::RpcContextPtr ctx);
+  rpc::HandlerVerdict DeferAggregate(rpc::RpcContextPtr ctx);
+
+  // Execution bodies (run on the target xstream at drain time).
+  Result<Buffer> ExecObjUpdate(const ObjAddr& addr, std::uint64_t offset,
+                               std::uint32_t target, rpc::BulkIo& bulk);
+  Result<Buffer> ExecObjFetch(const ObjAddr& addr, std::uint64_t offset,
+                              std::uint64_t length, Epoch epoch,
+                              std::uint32_t target, rpc::BulkIo& bulk);
+  Result<Buffer> ExecSingleUpdate(const ObjAddr& addr, const Buffer& value,
+                                  std::uint32_t target);
+  Result<Buffer> ExecSingleFetch(const ObjAddr& addr, Epoch epoch,
+                                 std::uint32_t target);
+  Result<Buffer> ExecKeyPunch(const ObjAddr& addr, PunchScope scope,
+                              std::uint32_t target);
+
+  // Inline (metadata / barrier) handlers.
   Result<Buffer> HandlePoolConnect(const Buffer& header);
   Result<Buffer> HandleContCreate(const Buffer& header);
   Result<Buffer> HandleContOpen(const Buffer& header);
   Result<Buffer> HandleOidAlloc(const Buffer& header);
-  Result<Buffer> HandleObjUpdate(const Buffer& header, rpc::BulkIo& bulk);
-  Result<Buffer> HandleObjFetch(const Buffer& header, rpc::BulkIo& bulk);
-  Result<Buffer> HandleSingleUpdate(const Buffer& header);
-  Result<Buffer> HandleSingleFetch(const Buffer& header);
-  Result<Buffer> HandleObjPunch(const Buffer& header);
+  Result<Buffer> HandleObjectPunch(const ObjAddr& addr);
   Result<Buffer> HandleListDkeys(const Buffer& header);
-  Result<Buffer> HandleListAkeys(const Buffer& header);
-  Result<Buffer> HandleArraySize(const Buffer& header);
-  Result<Buffer> HandleAggregate(const Buffer& header);
 
   net::Fabric* fabric_;
   EngineConfig config_;
   net::Endpoint* endpoint_ = nullptr;
   net::PdId pd_ = 0;
   rpc::RpcServer server_;
+  net::PollSet poll_set_;
+  EngineScheduler scheduler_;
   std::vector<Target> targets_;
   std::map<std::string, ContainerId> containers_by_label_;
   std::map<ContainerId, Container> containers_;

@@ -1,0 +1,50 @@
+#include "daos/scheduler.h"
+
+#include <cassert>
+
+namespace ros2::daos {
+
+EngineScheduler::EngineScheduler(std::uint32_t targets) {
+  assert(targets != 0 && "scheduler needs at least one target xstream");
+  queues_.resize(targets);
+}
+
+void EngineScheduler::Enqueue(std::uint32_t target, rpc::RpcContextPtr ctx,
+                              OpFn op) {
+  assert(target < queues_.size() && "target out of range");
+  queues_[target].push_back(QueuedOp{std::move(ctx), std::move(op)});
+  ++queued_total_;
+  if (queued_total_ > high_water_) high_water_ = queued_total_;
+}
+
+std::size_t EngineScheduler::ProgressOnce() {
+  const std::uint32_t n = num_targets();
+  std::size_t ran = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t t = (cursor_ + i) % n;
+    auto& queue = queues_[t];
+    if (queue.empty()) continue;
+    QueuedOp item = std::move(queue.front());
+    queue.pop_front();
+    --queued_total_;
+    Result<Buffer> reply = item.op(*item.ctx);
+    // A failed Complete (dead QP) is the transport's problem; the op ran.
+    (void)item.ctx->Complete(std::move(reply));
+    ++executed_;
+    ++ran;
+  }
+  // Rotate the pass's start so target `cursor_` is not structurally first
+  // every pass.
+  if (n > 0) cursor_ = (cursor_ + 1) % n;
+  return ran;
+}
+
+std::size_t EngineScheduler::ProgressAll() {
+  std::size_t total = 0;
+  while (!idle()) {
+    total += ProgressOnce();
+  }
+  return total;
+}
+
+}  // namespace ros2::daos

@@ -1,0 +1,72 @@
+// Per-target execution streams ("xstreams") for the DAOS engine (§3.3).
+//
+// "The engine spawns one xstream per target; the CaRT progress loop
+// decodes incoming RPCs and hands each one to the xstream owning its
+// dkey." This scheduler is that structure, single-threaded: every target
+// owns a FIFO run queue of deferred requests (rpc::RpcContext + the bound
+// VOS operation), and ProgressAll() drains the queues in round-robin
+// passes — one op per target per pass — so one hot target cannot starve
+// the others, while ops on the SAME target (and therefore the same dkey,
+// since placement is by dkey) execute strictly in arrival order.
+//
+// Epoch stamping, container lookup, and bulk movement all happen at
+// execution time on the target's stream, exactly like a ULT body; the
+// decode step only routed the request here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "rpc/data_rpc.h"
+
+namespace ros2::daos {
+
+class EngineScheduler {
+ public:
+  /// The deferred body: runs on the target's stream, returns the reply
+  /// (or error) for its context. Receives the context for bulk access.
+  using OpFn = std::function<Result<Buffer>(rpc::RpcContext& ctx)>;
+
+  explicit EngineScheduler(std::uint32_t targets);
+
+  /// Parks `ctx` on `target`'s run queue. FIFO per target.
+  void Enqueue(std::uint32_t target, rpc::RpcContextPtr ctx, OpFn op);
+
+  /// One round-robin pass: runs at most one queued op per target (the
+  /// pass's start target rotates so draining is fair under load).
+  /// Returns the number of ops executed.
+  std::size_t ProgressOnce();
+
+  /// Round-robin passes until every queue is empty. Returns ops executed.
+  std::size_t ProgressAll();
+
+  bool idle() const { return queued_total_ == 0; }
+  std::uint32_t num_targets() const {
+    return std::uint32_t(queues_.size());
+  }
+  std::size_t queued() const { return queued_total_; }
+  std::size_t queued(std::uint32_t target) const {
+    return target < queues_.size() ? queues_[target].size() : 0;
+  }
+  std::uint64_t executed() const { return executed_; }
+  /// High-water mark of total queued ops (pipeline depth telemetry).
+  std::size_t max_queue_depth() const { return high_water_; }
+
+ private:
+  struct QueuedOp {
+    rpc::RpcContextPtr ctx;
+    OpFn op;
+  };
+
+  std::vector<std::deque<QueuedOp>> queues_;
+  std::uint32_t cursor_ = 0;  // rotating start target for fairness
+  std::size_t queued_total_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ros2::daos

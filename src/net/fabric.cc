@@ -1,10 +1,15 @@
 #include "net/fabric.h"
 
+#include <algorithm>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/mman.h>
+#include <unistd.h>
 #define ROS2_HAVE_MLOCK 1
+#define ROS2_HAVE_POLL 1
 #endif
 
 #include "common/logging.h"
@@ -39,6 +44,10 @@ void UnpinPages(std::uintptr_t addr, std::size_t len) {
 
 // ----------------------------------------------------------------- Qp
 
+Qp::~Qp() {
+  if (poll_set_ != nullptr) poll_set_->Remove(this);
+}
+
 Status Qp::Send(std::span<const std::byte> payload) {
   if (peer_ == nullptr) return Unavailable("qp not connected");
   if (send_faults_ > 0) {
@@ -49,6 +58,7 @@ Status Qp::Send(std::span<const std::byte> payload) {
   msg.payload.assign(payload.begin(), payload.end());
   peer_->rx_queue_.push_back(std::move(msg));
   bytes_sent_ += payload.size();
+  if (peer_->poll_set_ != nullptr) peer_->poll_set_->MarkReady(peer_);
   return Status::Ok();
 }
 
@@ -113,6 +123,126 @@ Status Qp::RdmaWrite(std::span<const std::byte> local,
               local.size());
   bytes_one_sided_ += local.size();
   return Status::Ok();
+}
+
+// -------------------------------------------------------------- PollSet
+
+PollSet::PollSet() {
+#ifdef ROS2_HAVE_POLL
+  int fds[2];
+  if (::pipe(fds) == 0) {
+    pipe_rd_ = fds[0];
+    pipe_wr_ = fds[1];
+    (void)::fcntl(pipe_rd_, F_SETFL, O_NONBLOCK);
+    (void)::fcntl(pipe_wr_, F_SETFL, O_NONBLOCK);
+  }
+#endif
+}
+
+PollSet::~PollSet() {
+  for (Qp* qp : members_) {
+    qp->poll_set_ = nullptr;
+    qp->poll_ready_ = false;
+  }
+#ifdef ROS2_HAVE_POLL
+  if (pipe_rd_ >= 0) ::close(pipe_rd_);
+  if (pipe_wr_ >= 0) ::close(pipe_wr_);
+#endif
+}
+
+Status PollSet::Add(Qp* qp) {
+  if (qp == nullptr) return InvalidArgument("null qp");
+  if (qp->poll_set_ == this) return Status::Ok();  // idempotent
+  if (qp->poll_set_ != nullptr) {
+    return FailedPrecondition("qp already belongs to another poll set");
+  }
+  qp->poll_set_ = this;
+  members_.push_back(qp);
+  // Messages that arrived before registration must not be lost to the
+  // edge trigger: report them as an initial edge.
+  if (qp->HasMessage()) MarkReady(qp);
+  return Status::Ok();
+}
+
+void PollSet::Remove(Qp* qp) {
+  if (qp == nullptr || qp->poll_set_ != this) return;
+  qp->poll_set_ = nullptr;
+  qp->poll_ready_ = false;
+  members_.erase(std::remove(members_.begin(), members_.end(), qp),
+                 members_.end());
+  ready_.erase(std::remove(ready_.begin(), ready_.end(), qp), ready_.end());
+  // A drain callback may remove (or destroy, which removes) the very Qp
+  // being serviced; flag it so Drain skips the post-callback re-check.
+  if (qp == draining_) draining_removed_ = true;
+}
+
+void PollSet::MarkReady(Qp* qp) {
+  if (qp->poll_ready_) return;  // edge already pending
+  qp->poll_ready_ = true;
+  ready_.push_back(qp);
+#ifdef ROS2_HAVE_POLL
+  // Ring the doorbell once per arm cycle (eventfd semantics): the first
+  // message into an idle set wakes the progress loop; followers ride the
+  // same wakeup — that is the cost pipelining amortizes.
+  if (!doorbell_armed_ && pipe_wr_ >= 0) {
+    const char byte = 1;
+    if (::write(pipe_wr_, &byte, 1) == 1) {
+      doorbell_armed_ = true;
+      ++doorbells_;
+    }
+  }
+#endif
+}
+
+void PollSet::PollChannel() {
+#ifdef ROS2_HAVE_POLL
+  if (pipe_rd_ < 0) return;
+  // The real event-channel sequence, at zero timeout (a progress loop
+  // never blocks): poll the channel fd, then consume the doorbell.
+  struct pollfd pfd;
+  pfd.fd = pipe_rd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  if (::poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLIN) != 0) {
+    char drainbuf[16];
+    while (::read(pipe_rd_, drainbuf, sizeof(drainbuf)) > 0) {
+    }
+    doorbell_armed_ = false;
+  }
+#endif
+}
+
+std::size_t PollSet::Drain(FunctionRef<void(Qp*)> fn) {
+  ++drains_;
+  PollChannel();
+  // Service only the QPs ready at entry; edges raised by `fn` itself wait
+  // for the next drain (bounded work per call). The callback may Remove
+  // QPs (shrinking ready_), so re-check emptiness every iteration.
+  const std::size_t bound = ready_.size();
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < bound && !ready_.empty(); ++i) {
+    Qp* qp = ready_.front();
+    ready_.pop_front();
+    qp->poll_ready_ = false;
+    draining_ = qp;
+    draining_removed_ = false;
+    fn(qp);
+    // Liveness: a handler that bailed early (decode error) leaves bytes
+    // queued with the edge already consumed; re-raise it — unless the
+    // callback removed/destroyed the Qp, in which case touching it is UB.
+    if (!draining_removed_ && qp->HasMessage()) MarkReady(qp);
+    draining_ = nullptr;
+    ++n;
+  }
+  if (n > 0) {
+    // Re-arm/re-check: an edge-triggered channel consumer must look at
+    // the event queue again AFTER re-arming notification, or a doorbell
+    // that raced with the service loop is lost until the next external
+    // wakeup (the ibv_req_notify_cq-then-repoll discipline). One more
+    // zero-timeout poll per productive wakeup — also amortized by depth.
+    PollChannel();
+  }
+  return n;
 }
 
 // ------------------------------------------------------------- Endpoint
@@ -229,6 +359,11 @@ Result<Qp*> Endpoint::Connect(Endpoint* remote, Transport transport, PdId pd,
   local_qp->peer_ = remote_qp.get();
   remote_qp->peer_ = local_qp.get();
   Qp* out = local_qp.get();
+  // The accepting side's progress loop watches every accepted Qp through
+  // its poll set (CaRT progress-context accept hook).
+  if (remote->accept_poll_set_ != nullptr) {
+    (void)remote->accept_poll_set_->Add(remote_qp.get());
+  }
   qps_.push_back(std::move(local_qp));
   remote->qps_.push_back(std::move(remote_qp));
   ROS2_DEBUG << "qp connected " << address_ << " <-> " << remote->address_

@@ -27,12 +27,14 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/function_ref.h"
 #include "common/status.h"
 #include "perf/types.h"
 
 namespace ros2::net {
 
 class MrCache;
+class PollSet;
 
 using perf::Transport;
 
@@ -104,8 +106,11 @@ class Qp {
   /// send-failed cleanup paths that are unreachable on a healthy fabric.
   void InjectSendFaults(int count) { send_faults_ = count; }
 
+  ~Qp();
+
  private:
   friend class Endpoint;
+  friend class PollSet;
   Qp(Endpoint* owner, Transport transport, PdId pd)
       : owner_(owner), transport_(transport), local_pd_(pd) {}
 
@@ -121,6 +126,64 @@ class Qp {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_one_sided_ = 0;
   int send_faults_ = 0;
+  PollSet* poll_set_ = nullptr;  // readiness set this Qp reports into
+  bool poll_ready_ = false;      // already queued in the set's ready ring
+};
+
+/// Readiness set over queue pairs — the completion-channel analog of a
+/// CaRT/UCX progress context. A server adds every accepted Qp once;
+/// message arrival marks the Qp ready (edge-triggered), and one Drain()
+/// services exactly the ready QPs, so a progress call costs O(ready), not
+/// O(connections).
+///
+/// Each arm/drain cycle pays the honest event-channel cost: the first
+/// message into an idle set rings a doorbell (one byte written to a
+/// self-pipe, the eventfd a real CQ channel signals) and Drain poll()s the
+/// channel and reads the byte back — the syscalls a real progress loop
+/// pays per wakeup. Pipelined clients amortize that per-wakeup cost over
+/// every request serviced by the wakeup, which is exactly the win
+/// bench_micro_pipeline gates. (Same philosophy as RegisterMemory's page
+/// pinning: the stand-in pays the real mechanism's cost so batching wins
+/// honestly.) On platforms without pipes the set degrades to the pure
+/// in-memory ready ring.
+class PollSet {
+ public:
+  PollSet();
+  ~PollSet();  // detaches any still-registered QPs
+  PollSet(const PollSet&) = delete;
+  PollSet& operator=(const PollSet&) = delete;
+
+  /// Registers `qp`; messages already queued mark it ready immediately.
+  /// A Qp belongs to at most one set (re-adding is a no-op; adding a Qp
+  /// owned by another set is an error).
+  Status Add(Qp* qp);
+  void Remove(Qp* qp);
+
+  /// Polls the event channel, then hands each ready Qp to `fn` exactly
+  /// once. A Qp left with queued messages (e.g. a handler bailed early) is
+  /// re-marked ready for the next drain. Returns the number serviced.
+  std::size_t Drain(FunctionRef<void(Qp*)> fn);
+
+  bool has_ready() const { return !ready_.empty(); }
+  std::size_t member_count() const { return members_.size(); }
+  /// Event-channel telemetry: doorbell rings (arm cycles) and drains.
+  std::uint64_t doorbells() const { return doorbells_; }
+  std::uint64_t drains() const { return drains_; }
+
+ private:
+  friend class Qp;
+  void MarkReady(Qp* qp);
+  void PollChannel();  // zero-timeout poll + doorbell byte consumption
+
+  std::vector<Qp*> members_;
+  std::deque<Qp*> ready_;
+  Qp* draining_ = nullptr;        // qp currently inside Drain's callback
+  bool draining_removed_ = false; // callback removed/destroyed draining_
+  int pipe_rd_ = -1;
+  int pipe_wr_ = -1;
+  bool doorbell_armed_ = false;  // a byte is sitting in the pipe
+  std::uint64_t doorbells_ = 0;
+  std::uint64_t drains_ = 0;
 };
 
 /// A fabric endpoint (one per node/process): owns PDs, MRs, and QPs.
@@ -163,6 +226,12 @@ class Endpoint {
   /// paths acquire leases from here instead of registering per call.
   MrCache& mr_cache() { return *mr_cache_; }
 
+  /// Server-side accept hook: every Qp subsequently accepted by this
+  /// endpoint (the remote half of a peer's Connect) is added to `set`, so
+  /// one progress loop services all connections without per-QP scans.
+  /// Pass nullptr to stop auto-registering.
+  void set_accept_poll_set(PollSet* set) { accept_poll_set_ = set; }
+
   /// Fault injection: after `skip` more successful registrations, the
   /// next `count` RegisterMemory calls fail with RESOURCE_EXHAUSTED (MR
   /// table full — a real verbs failure mode). Drives the
@@ -193,6 +262,7 @@ class Endpoint {
   std::unordered_map<RKey, MemoryRegion> mrs_;
   std::unordered_map<std::uintptr_t, std::uint32_t> pin_counts_;
   std::vector<std::unique_ptr<Qp>> qps_;
+  PollSet* accept_poll_set_ = nullptr;
   int register_fault_skip_ = 0;
   int register_faults_ = 0;
   // Declared last: destroyed first, while mrs_ is still alive to

@@ -44,108 +44,154 @@ Status BulkIo::Push(std::span<const std::byte> src) {
   if (tcp_) {
     inline_out_.insert(inline_out_.end(), src.begin(), src.end());
   } else {
-    ROS2_RETURN_IF_ERROR(qp_push_(src, pushed_));
+    // Bound-state one-sided push: writes through this request's decoded
+    // out-descriptor at the running offset. out_capacity_ > 0 implies a
+    // valid descriptor, so this is unreachable without a client window.
+    ROS2_RETURN_IF_ERROR(
+        server_qp_->RdmaWrite(src, out_desc_.addr + pushed_, out_desc_.rkey));
   }
   pushed_ += src.size();
   return Status::Ok();
 }
 
+// ------------------------------------------------------------ RpcContext
+
+RpcContext::~RpcContext() {
+  // A context that was decoded but never answered (handler dropped it on
+  // an error path) must not strand the client: fail loudly.
+  if (server_ != nullptr && !completed_) {
+    (void)Complete(Status(Internal("request dropped without a reply")));
+  }
+}
+
+Status RpcContext::Complete(Result<Buffer> reply) {
+  if (completed_) {
+    return FailedPrecondition("rpc context already completed");
+  }
+  completed_ = true;
+
+  Encoder enc;
+  enc.U64(seq_);  // reply tag: lets the client match out-of-order replies
+  bool handler_ok = false;
+  if (reply.ok()) {
+    handler_ok = true;
+    enc.U16(std::uint16_t(ErrorCode::kOk)).Str("").Bytes(*reply);
+  } else {
+    enc.U16(std::uint16_t(reply.status().code()))
+        .Str(reply.status().message())
+        .Bytes({});
+  }
+  // Error replies carry no bulk and report pushed = 0: a failed handler
+  // must not hand the client partial output to copy into its buffer.
+  // (RDMA pushes that already landed one-sided can't be unwritten, but
+  // the reply tells the client to treat the window as undefined.)
+  if (bulk_.tcp_) {
+    enc.Bytes(handler_ok ? std::span<const std::byte>(bulk_.inline_out_)
+                         : std::span<const std::byte>{});
+  }
+  enc.U64(handler_ok ? bulk_.pushed_ : 0);
+  if (!enc.ok()) {
+    // A handler produced output too large for the wire's length
+    // prefixes; send a well-formed error frame instead of a torn one.
+    Encoder oversize;
+    oversize.U64(seq_);
+    oversize.U16(std::uint16_t(ErrorCode::kOutOfRange))
+        .Str("reply exceeds wire limits")
+        .Bytes({});
+    if (bulk_.tcp_) oversize.Bytes({});
+    oversize.U64(0);
+    enc = std::move(oversize);
+    handler_ok = false;
+  }
+
+  ++server_->served_;
+  server_->bulk_in_ += bulk_.in_size_;
+  server_->bulk_out_ += handler_ok ? bulk_.pushed_ : 0;
+  return qp_->Send(enc.buffer());
+}
+
 // -------------------------------------------------------------- RpcServer
 
 void RpcServer::Register(std::uint32_t opcode, Handler handler) {
+  RegisterAsync(opcode,
+                [handler = std::move(handler)](RpcContextPtr ctx) {
+                  Result<Buffer> result = handler(ctx->header(), ctx->bulk());
+                  (void)ctx->Complete(std::move(result));
+                  return HandlerVerdict::kDone;
+                });
+}
+
+void RpcServer::RegisterAsync(std::uint32_t opcode, AsyncHandler handler) {
   handlers_[opcode] = std::move(handler);
+}
+
+Result<RpcContextPtr> RpcServer::Decode(net::Qp* qp, Buffer frame) {
+  Decoder dec(frame);
+  auto ctx = RpcContextPtr(new RpcContext());
+  ctx->qp_ = qp;
+  ROS2_ASSIGN_OR_RETURN(ctx->opcode_, dec.U32());
+  ROS2_ASSIGN_OR_RETURN(ctx->seq_, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(ctx->header_, dec.Bytes());
+
+  const bool tcp = qp->transport() == net::Transport::kTcp;
+  BulkIo& bulk = ctx->bulk_;
+  bulk.tcp_ = tcp;
+  bulk.server_qp_ = qp;
+
+  ROS2_ASSIGN_OR_RETURN(std::uint8_t has_in, dec.U8());
+  if (has_in != 0) {
+    if (tcp) {
+      ROS2_ASSIGN_OR_RETURN(bulk.inline_in_, dec.Bytes());
+      bulk.in_size_ = bulk.inline_in_.size();
+    } else {
+      ROS2_RETURN_IF_ERROR(DecodeBulkDesc(dec, &bulk.in_desc_));
+      bulk.in_size_ = bulk.in_desc_.len;
+    }
+  }
+  ROS2_ASSIGN_OR_RETURN(std::uint8_t has_out, dec.U8());
+  if (has_out != 0) {
+    if (tcp) {
+      ROS2_ASSIGN_OR_RETURN(bulk.out_capacity_, dec.U64());
+    } else {
+      ROS2_RETURN_IF_ERROR(DecodeBulkDesc(dec, &bulk.out_desc_));
+      bulk.out_capacity_ = bulk.out_desc_.len;
+    }
+  }
+  // Armed last: only a fully-decoded context owes the client a reply (a
+  // decode failure above destroys the partial context silently, as the
+  // pre-pipeline server did).
+  ctx->server_ = this;
+  return ctx;
+}
+
+void RpcServer::Dispatch(RpcContextPtr ctx) {
+  auto it = handlers_.find(ctx->opcode());
+  if (it == handlers_.end()) {
+    (void)ctx->Complete(Status(NotFound("unknown opcode")));
+    return;
+  }
+  if (it->second(std::move(ctx)) == HandlerVerdict::kDeferred) {
+    ++deferred_;
+  }
 }
 
 Status RpcServer::Progress(net::Qp* qp) {
   while (qp->HasMessage()) {
     ROS2_ASSIGN_OR_RETURN(net::Message msg, qp->Recv());
-    Decoder dec(msg.payload);
-    ROS2_ASSIGN_OR_RETURN(std::uint32_t opcode, dec.U32());
-    ROS2_ASSIGN_OR_RETURN(Buffer header, dec.Bytes());
-
-    const bool tcp = qp->transport() == net::Transport::kTcp;
-    BulkIo bulk;
-    bulk.tcp_ = tcp;
-    bulk.server_qp_ = qp;
-
-    ROS2_ASSIGN_OR_RETURN(std::uint8_t has_in, dec.U8());
-    if (has_in != 0) {
-      if (tcp) {
-        ROS2_ASSIGN_OR_RETURN(bulk.inline_in_, dec.Bytes());
-        bulk.in_size_ = bulk.inline_in_.size();
-      } else {
-        ROS2_RETURN_IF_ERROR(DecodeBulkDesc(dec, &bulk.in_desc_));
-        bulk.in_size_ = bulk.in_desc_.len;
-      }
-    }
-    ROS2_ASSIGN_OR_RETURN(std::uint8_t has_out, dec.U8());
-    if (has_out != 0) {
-      if (tcp) {
-        ROS2_ASSIGN_OR_RETURN(bulk.out_capacity_, dec.U64());
-      } else {
-        ROS2_RETURN_IF_ERROR(DecodeBulkDesc(dec, &bulk.out_desc_));
-        bulk.out_capacity_ = bulk.out_desc_.len;
-      }
-    }
-    if (!tcp && bulk.out_desc_.valid()) {
-      // Bind the one-sided push lambda to this request's descriptor —
-      // only when the client actually exposed a window; without one, any
-      // non-empty push fails the capacity check and empty pushes are
-      // no-ops, so the lambda must never be reachable.
-      const BulkDesc out_desc = bulk.out_desc_;
-      net::Qp* server_qp = qp;
-      bulk.qp_push_ = [server_qp, out_desc](std::span<const std::byte> src,
-                                            std::uint64_t at) {
-        return server_qp->RdmaWrite(src, out_desc.addr + at, out_desc.rkey);
-      };
-    }
-
-    Encoder reply;
-    bool handler_ok = false;
-    auto it = handlers_.find(opcode);
-    if (it == handlers_.end()) {
-      reply.U16(std::uint16_t(ErrorCode::kNotFound))
-          .Str("unknown opcode")
-          .Bytes({});
-    } else {
-      auto result = it->second(header, bulk);
-      if (result.ok()) {
-        handler_ok = true;
-        reply.U16(std::uint16_t(ErrorCode::kOk)).Str("").Bytes(*result);
-      } else {
-        reply.U16(std::uint16_t(result.status().code()))
-            .Str(result.status().message())
-            .Bytes({});
-      }
-    }
-    // Error replies carry no bulk and report pushed = 0: a failed handler
-    // must not hand the client partial output to copy into its buffer.
-    // (RDMA pushes that already landed one-sided can't be unwritten, but
-    // the reply tells the client to treat the window as undefined.)
-    if (tcp) {
-      reply.Bytes(handler_ok ? std::span<const std::byte>(bulk.inline_out_)
-                             : std::span<const std::byte>{});
-    }
-    reply.U64(handler_ok ? bulk.pushed_ : 0);
-    if (!reply.ok()) {
-      // A handler produced output too large for the wire's length
-      // prefixes; send a well-formed error frame instead of a torn one.
-      Encoder oversize;
-      oversize.U16(std::uint16_t(ErrorCode::kOutOfRange))
-          .Str("reply exceeds wire limits")
-          .Bytes({});
-      if (tcp) oversize.Bytes({});
-      oversize.U64(0);
-      reply = std::move(oversize);
-      handler_ok = false;
-    }
-
-    ++served_;
-    bulk_in_ += bulk.in_size_;
-    bulk_out_ += handler_ok ? bulk.pushed_ : 0;
-    ROS2_RETURN_IF_ERROR(qp->Send(reply.buffer()));
+    ROS2_ASSIGN_OR_RETURN(RpcContextPtr ctx,
+                          Decode(qp, std::move(msg.payload)));
+    Dispatch(std::move(ctx));
   }
   return Status::Ok();
+}
+
+Status RpcServer::Progress(net::PollSet* set) {
+  Status first = Status::Ok();
+  set->Drain([&](net::Qp* qp) {
+    Status s = Progress(qp);
+    if (first.ok() && !s.ok()) first = s;
+  });
+  return first;
 }
 
 // -------------------------------------------------------------- RpcClient
@@ -158,28 +204,42 @@ Result<net::MrLease> RpcClient::AcquireMr(std::span<std::byte> region,
   return net::MrLease::Register(local_, qp_->local_pd(), region, access);
 }
 
-Result<RpcReply> RpcClient::Call(std::uint32_t opcode, const Encoder& header,
-                                 const CallOptions& options) {
+Result<RpcClient::CallId> RpcClient::CallAsync(std::uint32_t opcode,
+                                               const Encoder& header,
+                                               const CallOptions& options) {
   if (!header.ok()) return Status(header.status());
-  return Call(opcode, header.buffer(), options);
+  return CallAsync(opcode, header.buffer(), options);
 }
 
-Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
-                                 std::span<const std::byte> header,
-                                 const CallOptions& options) {
+Result<RpcClient::CallId> RpcClient::CallAsync(
+    std::uint32_t opcode, std::span<const std::byte> header,
+    const CallOptions& options) {
   if (qp_ == nullptr || !qp_->connected()) {
     return Status(Unavailable("rpc client not connected"));
   }
+  if (in_flight_ >= max_in_flight_) {
+    // Backpressure: one pump round to free window slots.
+    Poll();
+    if (in_flight_ >= max_in_flight_ && progress_) {
+      progress_();
+      Poll();
+    }
+    if (in_flight_ >= max_in_flight_) {
+      return Status(ResourceExhausted("rpc in-flight window full"));
+    }
+  }
   const bool tcp = qp_->transport() == net::Transport::kTcp;
 
+  const CallId id = next_seq_++;
   Encoder req;
-  req.U32(opcode).Bytes(header);
+  req.U32(opcode).U64(id).Bytes(header);
 
   // Leases on this call's bulk windows (RDMA rendezvous). Pooled by
   // default — the MrCache amortizes the page-pin cost across calls — and
-  // RAII either way, so every return below releases both registrations.
-  net::MrLease send_lease;
-  net::MrLease recv_lease;
+  // RAII either way: every return below releases both registrations, and
+  // a successfully issued call parks them in its pending entry until the
+  // reply is matched or the call abandoned.
+  PendingCall call;
 
   if (!options.send_bulk.empty()) {
     req.U8(1);
@@ -194,9 +254,9 @@ Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
               options.send_bulk.size()),
           net::kRemoteRead);
       if (!lease.ok()) return lease.status();
-      send_lease = std::move(*lease);
-      EncodeBulkDesc(req, {send_lease.addr(), send_lease.length(),
-                           send_lease.rkey()});
+      call.send_lease = std::move(*lease);
+      EncodeBulkDesc(req, {call.send_lease.addr(), call.send_lease.length(),
+                           call.send_lease.rkey()});
     }
   } else {
     req.U8(0);
@@ -209,9 +269,9 @@ Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
     } else {
       auto lease = AcquireMr(options.recv_bulk, net::kRemoteWrite);
       if (!lease.ok()) return lease.status();
-      recv_lease = std::move(*lease);
-      EncodeBulkDesc(req, {recv_lease.addr(), recv_lease.length(),
-                           recv_lease.rkey()});
+      call.recv_lease = std::move(*lease);
+      EncodeBulkDesc(req, {call.recv_lease.addr(), call.recv_lease.length(),
+                           call.recv_lease.rkey()});
     }
   } else {
     req.U8(0);
@@ -219,50 +279,189 @@ Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
 
   if (!req.ok()) return Status(req.status());
   ROS2_RETURN_IF_ERROR(qp_->Send(req.buffer()));
-  if (progress_) progress_();
+  call.id = id;
+  call.recv_bulk = options.recv_bulk;
+  pending_.push_back(std::move(call));
+  ++in_flight_;
+  return id;
+}
 
-  auto msg = qp_->Recv();
-  if (!msg.ok()) {
-    return Status(Unavailable("no reply from server"));
+RpcClient::PendingCall* RpcClient::FindPending(CallId id) {
+  for (PendingCall& call : pending_) {
+    if (call.id == id) return &call;
   }
+  return nullptr;
+}
 
-  Decoder dec(msg->payload);
+const RpcClient::PendingCall* RpcClient::FindPending(CallId id) const {
+  for (const PendingCall& call : pending_) {
+    if (call.id == id) return &call;
+  }
+  return nullptr;
+}
+
+void RpcClient::ErasePending(CallId id) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].id == id) {
+      if (i + 1 != pending_.size()) {
+        pending_[i] = std::move(pending_.back());
+      }
+      pending_.pop_back();
+      return;
+    }
+  }
+}
+
+void RpcClient::CompletePending(PendingCall& call, Result<RpcReply> result) {
+  call.done = true;
+  call.result = std::move(result);
+  // The server is finished with this call's windows; hand the leases back
+  // now rather than at Take() so batch pipelines recycle registrations.
+  call.send_lease.Release();
+  call.recv_lease.Release();
+  call.recv_bulk = {};
+  --in_flight_;
+}
+
+void RpcClient::MatchReply(const Buffer& frame) {
+  Decoder dec(frame);
+  auto seq = dec.U64();
+  if (!seq.ok()) {
+    ++unmatched_replies_;
+    return;
+  }
+  PendingCall* found = FindPending(*seq);
+  if (found == nullptr || found->done) {
+    // A tag we never issued (or already answered): drop the frame — the
+    // call it might have been meant for will surface as a stall, never as
+    // bytes landing in the wrong buffer.
+    ++unmatched_replies_;
+    return;
+  }
+  PendingCall& call = *found;
+
   auto code = dec.U16();
   auto err = dec.Str();
   auto reply_header = dec.Bytes();
   if (!code.ok() || !err.ok() || !reply_header.ok()) {
-    return Status(DataLoss("malformed rpc reply"));
+    CompletePending(call, Status(DataLoss("malformed rpc reply")));
+    return;
   }
   const bool reply_ok = ErrorCode(*code) == ErrorCode::kOk;
 
   RpcReply out;
   out.header = std::move(*reply_header);
 
-  if (tcp) {
+  if (qp_->transport() == net::Transport::kTcp) {
     auto inline_out = dec.Bytes();
     if (!inline_out.ok()) {
-      return inline_out.status();
+      CompletePending(call, inline_out.status());
+      return;
     }
     if (reply_ok) {
       // Only successful replies may land bytes in the caller's window;
       // error replies carry no bulk (and any that claim to are ignored).
-      if (inline_out->size() > options.recv_bulk.size()) {
-        return Status(OutOfRange("server pushed more than the recv window"));
+      if (inline_out->size() > call.recv_bulk.size()) {
+        CompletePending(
+            call, Status(OutOfRange("server pushed more than the recv "
+                                    "window")));
+        return;
       }
-      std::memcpy(options.recv_bulk.data(), inline_out->data(),
+      std::memcpy(call.recv_bulk.data(), inline_out->data(),
                   inline_out->size());
     }
   }
   auto pushed = dec.U64();
   if (!pushed.ok()) {
-    return pushed.status();
+    CompletePending(call, pushed.status());
+    return;
   }
   out.bulk_received = *pushed;
 
   if (!reply_ok) {
-    return Status(ErrorCode(*code), *err);
+    CompletePending(call, Status(ErrorCode(*code), *err));
+    return;
   }
-  return out;
+  CompletePending(call, std::move(out));
+}
+
+std::size_t RpcClient::Poll() {
+  std::size_t completed = 0;
+  while (qp_ != nullptr && qp_->HasMessage()) {
+    auto msg = qp_->Recv();
+    if (!msg.ok()) break;
+    const std::size_t before = in_flight_;
+    MatchReply(msg->payload);
+    if (in_flight_ < before) ++completed;
+  }
+  return completed;
+}
+
+bool RpcClient::Done(CallId id) const {
+  const PendingCall* call = FindPending(id);
+  return call != nullptr && call->done;
+}
+
+Result<RpcReply> RpcClient::Take(CallId id) {
+  PendingCall* call = FindPending(id);
+  if (call == nullptr) return Status(NotFound("unknown call handle"));
+  if (!call->done) {
+    return Status(Unavailable("call still in flight; Poll or Flush first"));
+  }
+  Result<RpcReply> result = std::move(call->result);
+  ErasePending(id);
+  return result;
+}
+
+Result<RpcReply> RpcClient::Await(CallId id) {
+  PendingCall* call = FindPending(id);
+  if (call == nullptr) return Status(NotFound("unknown call handle"));
+  while (!call->done) {
+    std::size_t completed = Poll();
+    call = FindPending(id);  // pumps may reshuffle the window table
+    if (call == nullptr || call->done) break;
+    if (progress_) progress_();
+    completed += Poll();
+    call = FindPending(id);
+    if (call == nullptr || call->done) break;
+    if (completed == 0) {
+      // A full pump round moved nothing: the server will never answer
+      // (dead hook, swallowed frame). Abandon the call — releasing its
+      // leases — exactly where the synchronous path used to fail.
+      ErasePending(id);
+      --in_flight_;
+      return Status(Unavailable("no reply from server"));
+    }
+  }
+  return Take(id);
+}
+
+Status RpcClient::Flush() {
+  while (in_flight_ > 0) {
+    std::size_t completed = Poll();
+    if (in_flight_ == 0) break;
+    if (progress_) progress_();
+    completed += Poll();
+    if (completed == 0 && in_flight_ > 0) {
+      in_flight_ -= std::size_t(std::erase_if(
+          pending_, [](const PendingCall& call) { return !call.done; }));
+      return Status(Unavailable("no reply from server"));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<RpcReply> RpcClient::Call(std::uint32_t opcode, const Encoder& header,
+                                 const CallOptions& options) {
+  if (!header.ok()) return Status(header.status());
+  return Call(opcode, header.buffer(), options);
+}
+
+Result<RpcReply> RpcClient::Call(std::uint32_t opcode,
+                                 std::span<const std::byte> header,
+                                 const CallOptions& options) {
+  ROS2_ASSIGN_OR_RETURN(CallId id, CallAsync(opcode, header, options));
+  return Await(id);
 }
 
 }  // namespace ros2::rpc

@@ -9,15 +9,31 @@
 //  - TCP: payloads are carried inline in the send/recv stream in both
 //    directions — the copy-heavy path the paper measures against.
 //
-// The server exposes Progress() (CaRT progress-loop equivalent); the
-// in-process client pumps it synchronously through a hook installed at
-// connection time.
+// The request path is an async pipeline, both sides:
+//
+//  - SERVER: Progress() splits into decode -> dispatch. Every request
+//    becomes a first-class RpcContext owning the decoded header, the
+//    request's BulkIo, and the reply slot. A handler may reply inline
+//    (RpcContext::Complete) or return kDeferred and park the context on a
+//    run queue (daos::EngineScheduler) to complete later — the CaRT
+//    ULT-per-request model. Requests are matched to replies by a per-call
+//    sequence tag on the wire, so deferred contexts may complete in any
+//    order.
+//  - CLIENT: CallAsync() returns a completion handle and keeps up to
+//    max_in_flight() calls outstanding; Poll() drains arrived replies,
+//    Flush() pumps until everything pending completed. The synchronous
+//    Call() is CallAsync + Await — same contract as before.
+//
+// The in-process client pumps the server synchronously through a hook
+// installed at connection time (stands in for network + progress thread).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -26,6 +42,8 @@
 #include "rpc/wire.h"
 
 namespace ros2::rpc {
+
+class RpcServer;
 
 /// Bulk descriptor conveyed in RDMA requests (client-registered MR window).
 struct BulkDesc {
@@ -36,7 +54,9 @@ struct BulkDesc {
 };
 
 /// Server-side handle for moving bulk data for one request, hiding the
-/// transport (one-sided RDMA vs inline TCP bytes).
+/// transport (one-sided RDMA vs inline TCP bytes). Push/Pull bind directly
+/// to the request's decoded descriptors — no per-request allocation on the
+/// data-movement path.
 class BulkIo {
  public:
   /// Bytes the client is offering (update/write payload). Size 0 if none.
@@ -56,11 +76,10 @@ class BulkIo {
 
  private:
   friend class RpcServer;
+  friend class RpcContext;
   net::Qp* server_qp_ = nullptr;  // RDMA: server side of the connection
   BulkDesc in_desc_;
   BulkDesc out_desc_;
-  // One-sided push bound to this request's out-descriptor (RDMA only).
-  std::function<Status(std::span<const std::byte>, std::uint64_t)> qp_push_;
   Buffer inline_in_;    // TCP: payload that arrived with the request
   Buffer inline_out_;   // TCP: payload to ship with the reply
   std::uint64_t in_size_ = 0;
@@ -69,24 +88,95 @@ class BulkIo {
   bool tcp_ = false;
 };
 
-/// Server: opcode registry + progress loop over accepted QPs.
+/// What a handler did with its request.
+enum class HandlerVerdict : std::uint8_t {
+  kDone,      ///< replied inline (RpcContext::Complete already ran)
+  kDeferred,  ///< context parked; someone completes it later
+};
+
+/// One in-flight request on the server: decoded header, bulk handle, and
+/// the reply slot. Owns everything needed to answer the client — a handler
+/// that defers moves the context onto its run queue and completes it from
+/// the progress loop. Destroying an uncompleted context sends an INTERNAL
+/// error reply (a dropped request must never hang the client).
+class RpcContext {
+ public:
+  ~RpcContext();
+  RpcContext(const RpcContext&) = delete;
+  RpcContext& operator=(const RpcContext&) = delete;
+
+  std::uint32_t opcode() const { return opcode_; }
+  std::uint64_t seq() const { return seq_; }
+  const Buffer& header() const { return header_; }
+  BulkIo& bulk() { return bulk_; }
+  net::Qp* qp() const { return qp_; }
+  bool completed() const { return completed_; }
+
+  /// Encodes and sends the reply frame for this request (exactly once;
+  /// FAILED_PRECONDITION on a second call) and updates the server's
+  /// served/bulk counters. An error `reply` reports pushed = 0 and ships
+  /// no partial bulk.
+  Status Complete(Result<Buffer> reply);
+
+ private:
+  friend class RpcServer;
+  RpcContext() = default;
+
+  RpcServer* server_ = nullptr;
+  net::Qp* qp_ = nullptr;
+  std::uint32_t opcode_ = 0;
+  std::uint64_t seq_ = 0;
+  Buffer header_;
+  BulkIo bulk_;
+  bool completed_ = false;
+};
+
+using RpcContextPtr = std::unique_ptr<RpcContext>;
+
+/// Server: opcode registry + decode->dispatch progress loop over accepted
+/// QPs (single poll-set drain or per-QP).
 class RpcServer {
  public:
+  /// Synchronous handler (run-to-completion): the return value is the
+  /// reply. Kept as the simple registration surface.
   using Handler =
       std::function<Result<Buffer>(const Buffer& header, BulkIo& bulk)>;
+  /// Async handler: receives ownership of the context. Reply inline via
+  /// ctx->Complete(...) and return kDone, or move the context somewhere
+  /// and return kDeferred.
+  using AsyncHandler = std::function<HandlerVerdict(RpcContextPtr ctx)>;
 
   void Register(std::uint32_t opcode, Handler handler);
+  void RegisterAsync(std::uint32_t opcode, AsyncHandler handler);
 
-  /// Processes every queued request on `qp`, sending replies.
+  /// Decodes and dispatches every queued request on `qp`. Inline handlers
+  /// reply before this returns; deferred contexts reply whenever their
+  /// owner completes them.
   Status Progress(net::Qp* qp);
 
+  /// Poll-set form: one call services every ready accepted Qp (no per-QP
+  /// scan); returns the first per-QP error but keeps draining.
+  Status Progress(net::PollSet* set);
+
+  /// Completed requests (replies sent), including deferred ones.
   std::uint64_t requests_served() const { return served_; }
+  /// Requests whose handler returned kDeferred.
+  std::uint64_t requests_deferred() const { return deferred_; }
   std::uint64_t bulk_bytes_in() const { return bulk_in_; }
   std::uint64_t bulk_bytes_out() const { return bulk_out_; }
 
  private:
-  std::map<std::uint32_t, Handler> handlers_;
+  friend class RpcContext;
+
+  /// Decode step: one wire frame -> an owned, dispatchable context.
+  Result<RpcContextPtr> Decode(net::Qp* qp, Buffer frame);
+  /// Dispatch step: routes to the opcode's handler (NOT_FOUND reply for
+  /// unknown opcodes).
+  void Dispatch(RpcContextPtr ctx);
+
+  std::map<std::uint32_t, AsyncHandler> handlers_;
   std::uint64_t served_ = 0;
+  std::uint64_t deferred_ = 0;
   std::uint64_t bulk_in_ = 0;
   std::uint64_t bulk_out_ = 0;
 };
@@ -102,21 +192,24 @@ struct RpcReply {
   std::uint64_t bulk_received = 0;  ///< bytes landed in recv_bulk
 };
 
-/// Client bound to one connected Qp. `progress` is invoked after sending a
-/// request to pump the in-process server (stands in for network+poll).
+/// Client bound to one connected Qp. `progress` is invoked while pumping
+/// to drive the in-process server (stands in for network+poll).
 ///
 /// RDMA bulk windows are registered through the endpoint's MrCache by
-/// default (pooled, DAOS-style): repeated calls on the same buffers cost a
-/// cache hit, not a registration, and every failure path releases its
-/// leases by construction. set_mr_pooling(false) selects per-call ad-hoc
-/// registrations (still leak-free via owned leases) — the comparison
-/// baseline bench_micro_rpc measures against.
+/// default (pooled, DAOS-style); set_mr_pooling(false) selects per-call
+/// ad-hoc registrations (still leak-free via owned leases). Every pending
+/// call owns its leases until its reply is matched or the call is
+/// abandoned, so no path leaks a registration.
 class RpcClient {
  public:
+  /// Completion handle for one async call (the wire sequence tag).
+  using CallId = std::uint64_t;
+
   RpcClient(net::Qp* qp, net::Endpoint* local,
             std::function<void()> progress)
       : qp_(qp), local_(local), progress_(std::move(progress)) {}
 
+  /// Synchronous call: CallAsync + Await. Public contract unchanged.
   Result<RpcReply> Call(std::uint32_t opcode,
                         std::span<const std::byte> header,
                         const CallOptions& options = {});
@@ -128,19 +221,83 @@ class RpcClient {
   Result<RpcReply> Call(std::uint32_t opcode, const Encoder& header,
                         const CallOptions& options = {});
 
+  /// Issues the request and returns immediately with a completion handle.
+  /// If the in-flight window is full, pumps progress once to free slots;
+  /// RESOURCE_EXHAUSTED if it stays full (a stalled server). The caller's
+  /// bulk buffers must stay alive until the call completes or is
+  /// abandoned.
+  Result<CallId> CallAsync(std::uint32_t opcode,
+                           std::span<const std::byte> header,
+                           const CallOptions& options = {});
+  Result<CallId> CallAsync(std::uint32_t opcode, const Encoder& header,
+                           const CallOptions& options = {});
+
+  /// Drains every reply already queued on the Qp (no progress pump),
+  /// matching replies to pending calls by sequence tag — out-of-order
+  /// completion is expected. Returns how many calls newly completed.
+  std::size_t Poll();
+
+  /// True once `id`'s reply arrived (result ready for Take).
+  bool Done(CallId id) const;
+
+  /// Takes the completed result (NOT_FOUND for an unknown/taken handle,
+  /// UNAVAILABLE if still pending — Poll/Flush first).
+  Result<RpcReply> Take(CallId id);
+
+  /// Pumps progress until `id` completes, then takes its result. If a
+  /// full pump round makes no progress the call is abandoned (leases
+  /// released) and UNAVAILABLE returned.
+  Result<RpcReply> Await(CallId id);
+
+  /// Pumps progress until every pending call completed (results remain
+  /// available via Take). Abandons still-pending calls and returns
+  /// UNAVAILABLE if a pump round makes no progress.
+  Status Flush();
+
+  /// Max calls outstanding before CallAsync applies backpressure.
+  void set_max_in_flight(std::uint32_t n) { max_in_flight_ = n ? n : 1; }
+  std::uint32_t max_in_flight() const { return max_in_flight_; }
+  /// Calls issued but not yet completed (excludes completed-not-taken).
+  std::size_t in_flight() const { return in_flight_; }
+  /// Replies whose sequence tag matched no pending call (dropped).
+  std::uint64_t unmatched_replies() const { return unmatched_replies_; }
+
   void set_mr_pooling(bool pooled) { mr_pooling_ = pooled; }
   bool mr_pooling() const { return mr_pooling_; }
 
   net::Qp* qp() const { return qp_; }
 
  private:
+  struct PendingCall {
+    CallId id = 0;
+    std::span<std::byte> recv_bulk;
+    net::MrLease send_lease;
+    net::MrLease recv_lease;
+    bool done = false;
+    Result<RpcReply> result = Status(Internal("call still in flight"));
+  };
+
   Result<net::MrLease> AcquireMr(std::span<std::byte> region,
                                  std::uint32_t access);
+  /// Parses one reply frame and completes the matching pending call.
+  void MatchReply(const Buffer& frame);
+  void CompletePending(PendingCall& call, Result<RpcReply> result);
+  PendingCall* FindPending(CallId id);
+  const PendingCall* FindPending(CallId id) const;
+  void ErasePending(CallId id);
 
   net::Qp* qp_;
   net::Endpoint* local_;
   std::function<void()> progress_;
   bool mr_pooling_ = true;
+  std::uint32_t max_in_flight_ = 32;
+  std::uint64_t next_seq_ = 1;
+  std::size_t in_flight_ = 0;
+  std::uint64_t unmatched_replies_ = 0;
+  // Flat window table, not a map: the in-flight window bounds the scan,
+  // linear find beats per-call node allocations on the hot path, and the
+  // vector's capacity is reused across calls.
+  std::vector<PendingCall> pending_;
 };
 
 }  // namespace ros2::rpc

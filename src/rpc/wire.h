@@ -26,6 +26,14 @@ namespace ros2::rpc {
 
 class Encoder {
  public:
+  /// Small RPC frames (headers, unary replies) fit this without a single
+  /// regrowth; encoding is on the per-call hot path of the async
+  /// pipeline, where incremental vector doubling showed up as several
+  /// reallocations per frame.
+  static constexpr std::size_t kInlineReserve = 112;
+
+  Encoder() { buf_.reserve(kInlineReserve); }
+
   Encoder& U8(std::uint8_t v);
   Encoder& U16(std::uint16_t v);
   Encoder& U32(std::uint32_t v);

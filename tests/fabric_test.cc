@@ -176,5 +176,141 @@ TEST_F(FabricTest, LogicalClockAdvances) {
   EXPECT_DOUBLE_EQ(fabric_.now(), 2.0);
 }
 
+// ------------------------------------------------------------- PollSet
+
+TEST_F(FabricTest, PollSetDrainServicesOnlyReadyQps) {
+  // Three server-side QPs in the set; messages on two of them.
+  std::vector<Qp*> server_qps;
+  for (int i = 0; i < 3; ++i) {
+    Qp* qp = Connect(Transport::kRdma);
+    ASSERT_NE(qp, nullptr);
+    server_qps.push_back(qp->peer());
+  }
+  PollSet set;
+  for (Qp* qp : server_qps) ASSERT_TRUE(set.Add(qp).ok());
+  EXPECT_EQ(set.member_count(), 3u);
+  EXPECT_FALSE(set.has_ready());
+
+  Buffer msg = MakePatternBuffer(16, 1);
+  ASSERT_TRUE(server_qps[0]->peer()->Send(msg).ok());
+  ASSERT_TRUE(server_qps[2]->peer()->Send(msg).ok());
+  ASSERT_TRUE(server_qps[2]->peer()->Send(msg).ok());  // same edge
+
+  std::vector<Qp*> drained;
+  EXPECT_EQ(set.Drain([&](Qp* qp) {
+              drained.push_back(qp);
+              while (qp->HasMessage()) (void)qp->Recv();
+            }),
+            2u)
+      << "only the two ready QPs get serviced — no per-QP scan semantics";
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0], server_qps[0]);
+  EXPECT_EQ(drained[1], server_qps[2]);
+  // Nothing ready: an idle drain services nobody.
+  EXPECT_EQ(set.Drain([&](Qp*) { FAIL() << "idle drain ran a qp"; }), 0u);
+}
+
+TEST_F(FabricTest, PollSetRearmsUndrainedQps) {
+  Qp* client = Connect(Transport::kTcp);
+  ASSERT_NE(client, nullptr);
+  PollSet set;
+  ASSERT_TRUE(set.Add(client->peer()).ok());
+  Buffer msg = MakePatternBuffer(8, 2);
+  ASSERT_TRUE(client->Send(msg).ok());
+  ASSERT_TRUE(client->Send(msg).ok());
+  // A handler that consumes only ONE message (bailed early): the edge was
+  // spent, but the set re-raises it so the leftover is not stranded.
+  EXPECT_EQ(set.Drain([](Qp* qp) { (void)qp->Recv(); }), 1u);
+  EXPECT_TRUE(set.has_ready());
+  EXPECT_EQ(set.Drain([](Qp* qp) { (void)qp->Recv(); }), 1u);
+  EXPECT_FALSE(set.has_ready());
+}
+
+TEST_F(FabricTest, PollSetAddWithQueuedMessagesIsReady) {
+  Qp* client = Connect(Transport::kRdma);
+  ASSERT_NE(client, nullptr);
+  Buffer msg = MakePatternBuffer(8, 3);
+  ASSERT_TRUE(client->Send(msg).ok());  // arrives BEFORE registration
+  PollSet set;
+  ASSERT_TRUE(set.Add(client->peer()).ok());
+  EXPECT_TRUE(set.has_ready());
+  EXPECT_EQ(set.Drain([](Qp* qp) {
+              while (qp->HasMessage()) (void)qp->Recv();
+            }),
+            1u);
+}
+
+TEST_F(FabricTest, PollSetMembershipIsExclusiveAndIdempotent) {
+  Qp* client = Connect(Transport::kRdma);
+  ASSERT_NE(client, nullptr);
+  Qp* server_qp = client->peer();
+  PollSet set_a;
+  PollSet set_b;
+  ASSERT_TRUE(set_a.Add(server_qp).ok());
+  EXPECT_TRUE(set_a.Add(server_qp).ok());  // idempotent re-add
+  EXPECT_EQ(set_a.member_count(), 1u);
+  EXPECT_EQ(set_b.Add(server_qp).code(), ErrorCode::kFailedPrecondition);
+  set_a.Remove(server_qp);
+  EXPECT_EQ(set_a.member_count(), 0u);
+  EXPECT_TRUE(set_b.Add(server_qp).ok());
+}
+
+TEST_F(FabricTest, PollSetDetachesOnDestruction) {
+  Qp* client = Connect(Transport::kRdma);
+  ASSERT_NE(client, nullptr);
+  {
+    PollSet set;
+    ASSERT_TRUE(set.Add(client->peer()).ok());
+  }
+  // The set died registered; sends must not touch the dead set.
+  Buffer msg = MakePatternBuffer(8, 4);
+  EXPECT_TRUE(client->Send(msg).ok());
+  EXPECT_TRUE(client->peer()->HasMessage());
+}
+
+TEST_F(FabricTest, PollSetAcceptHookAutoRegistersAcceptedQps) {
+  PollSet set;
+  b_->set_accept_poll_set(&set);
+  Qp* q1 = Connect(Transport::kRdma);
+  Qp* q2 = Connect(Transport::kTcp);
+  ASSERT_NE(q1, nullptr);
+  ASSERT_NE(q2, nullptr);
+  // Only b_'s accepted halves joined the set — not the initiator side.
+  EXPECT_EQ(set.member_count(), 2u);
+  Buffer msg = MakePatternBuffer(8, 5);
+  ASSERT_TRUE(q1->Send(msg).ok());
+  ASSERT_TRUE(q2->Send(msg).ok());
+  int serviced = 0;
+  set.Drain([&](Qp* qp) {
+    ++serviced;
+    while (qp->HasMessage()) (void)qp->Recv();
+  });
+  EXPECT_EQ(serviced, 2);
+  b_->set_accept_poll_set(nullptr);
+  Qp* q3 = Connect(Transport::kRdma);
+  ASSERT_NE(q3, nullptr);
+  EXPECT_EQ(set.member_count(), 2u) << "hook cleared; no auto-register";
+}
+
+TEST_F(FabricTest, PollSetDoorbellRingsOncePerArmCycle) {
+  Qp* client = Connect(Transport::kRdma);
+  ASSERT_NE(client, nullptr);
+  PollSet set;
+  ASSERT_TRUE(set.Add(client->peer()).ok());
+  const std::uint64_t doorbells_before = set.doorbells();
+  Buffer msg = MakePatternBuffer(8, 6);
+  // A burst of sends into an idle set: ONE doorbell (eventfd semantics) —
+  // the wakeup cost pipelining amortizes across the burst.
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(client->Send(msg).ok());
+  const std::uint64_t rung = set.doorbells() - doorbells_before;
+  EXPECT_LE(rung, 1u);
+  set.Drain([](Qp* qp) {
+    while (qp->HasMessage()) (void)qp->Recv();
+  });
+  // Next burst starts a new arm cycle.
+  ASSERT_TRUE(client->Send(msg).ok());
+  EXPECT_EQ(set.doorbells() - doorbells_before, rung * 2);
+}
+
 }  // namespace
 }  // namespace ros2::net

@@ -89,12 +89,13 @@ class RpcFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
     return qp.value_or(nullptr);
   }
 
-  /// Builds the exact frame RpcClient::Call would send, using REAL
+  /// Builds the exact frame RpcClient::CallAsync would send, using REAL
   /// registered descriptors on RDMA so mutations of addr/len/rkey exercise
   /// the fabric's capability and bounds validation against live MRs.
   Buffer BuildRequest(Rng& rng, bool tcp) {
     Encoder req;
     req.U32(std::uint32_t(rng.Below(4)));  // 0/3 unknown, 1 echo, 2 fail
+    req.U64(rng.Next());                   // sequence tag (echoed in reply)
     Buffer header = MakePatternBuffer(rng.Below(48), rng.Next());
     req.Bytes(header);
     if (rng.Below(2) != 0) {
@@ -124,9 +125,13 @@ class RpcFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
     return req.Take();
   }
 
-  /// Builds the exact frame RpcServer::Progress would reply with.
-  Buffer BuildReply(Rng& rng, bool tcp) {
+  /// Builds the exact frame RpcContext::Complete would reply with. `seq`
+  /// is the tag the client under test expects next, so unmutated frames
+  /// match a pending call and mutated ones exercise the unmatched-drop
+  /// path.
+  Buffer BuildReply(Rng& rng, bool tcp, std::uint64_t seq) {
     Encoder reply;
+    reply.U64(seq);
     reply.U16(std::uint16_t(rng.Below(14)));
     reply.Str(rng.Below(2) != 0 ? "fuzz error" : "");
     Buffer header = MakePatternBuffer(rng.Below(48), rng.Next());
@@ -203,6 +208,78 @@ TEST_P(RpcFuzzTest, ServerSurvivesMutatedRequests) {
   }
 }
 
+// The deferred-reply path under mutation: an async handler parks every
+// request it gets; contexts are completed only AFTER the next frame has
+// been decoded (interleaving deferral with decode, as the engine's
+// xstream drain does), sometimes dropped without a reply (the dtor must
+// auto-complete with an error), always without crashes or OOB reads.
+TEST_P(RpcFuzzTest, DeferredServerSurvivesMutatedRequests) {
+  Rng rng(GetParam() ^ 0xDEFE);
+  RegisterFuzzWindows();
+  std::vector<RpcContextPtr> parked;
+  RpcServer deferring;
+  deferring.RegisterAsync(1, [&](RpcContextPtr ctx) {
+    parked.push_back(std::move(ctx));
+    return HandlerVerdict::kDeferred;
+  });
+  // Opcode 2 stays synchronous so decode interleaves both handler kinds.
+  deferring.Register(2, [](const Buffer&, BulkIo& bulk) -> Result<Buffer> {
+    Buffer partial(std::min<std::uint64_t>(16, bulk.out_capacity()));
+    ROS2_RETURN_IF_ERROR(bulk.Push(partial));
+    return Status(Internal("fuzz handler failure"));
+  });
+  for (net::Transport transport :
+       {net::Transport::kTcp, net::Transport::kRdma}) {
+    net::Qp* qp = Connect(transport);
+    ASSERT_NE(qp, nullptr);
+    const bool tcp = transport == net::Transport::kTcp;
+    for (int iter = 0; iter < 300; ++iter) {
+      Buffer frame = BuildRequest(rng, tcp);
+      Mutate(rng, &frame);
+      ASSERT_TRUE(qp->Send(frame).ok());
+      (void)deferring.Progress(qp->peer());
+      // Contexts deferred by PREVIOUS frames complete here — after the
+      // decode of the next frame, the ordering the engine pipeline
+      // produces. A third of them are dropped instead: destroying an
+      // uncompleted context must auto-reply, never hang or crash.
+      if (iter % 2 == 1) {
+        for (auto& ctx : parked) {
+          switch (rng.Below(3)) {
+            case 0: {
+              // Like any real rendezvous handler: refuse absurd
+              // client-claimed bulk sizes BEFORE allocating.
+              if (ctx->bulk().in_size() > (1u << 20)) {
+                (void)ctx->Complete(
+                    Status(InvalidArgument("bulk too large")));
+                break;
+              }
+              Buffer data(ctx->bulk().in_size());
+              Status pull = ctx->bulk().Pull(data);
+              (void)ctx->Complete(pull.ok() ? Result<Buffer>(Buffer{})
+                                            : Result<Buffer>(pull));
+              break;
+            }
+            case 1:
+              (void)ctx->Complete(Status(Internal("deferred failure")));
+              break;
+            default:
+              ctx.reset();  // dropped: dtor sends the INTERNAL reply
+              break;
+          }
+        }
+        parked.clear();
+      }
+      while (qp->HasMessage()) (void)qp->Recv();   // drop replies
+    }
+    parked.clear();
+    while (qp->HasMessage()) (void)qp->Recv();
+    while (qp->peer()->HasMessage()) (void)qp->peer()->Recv();
+  }
+  // Every deferred context was eventually answered (Complete or the
+  // dtor's auto-reply), so none is missing from the served count.
+  EXPECT_GE(deferring.requests_served(), deferring.requests_deferred());
+}
+
 TEST_P(RpcFuzzTest, ClientSurvivesMutatedReplies) {
   Rng rng(GetParam() ^ 0xCA11);
   for (net::Transport transport :
@@ -213,7 +290,8 @@ TEST_P(RpcFuzzTest, ClientSurvivesMutatedReplies) {
     // No progress hook: the "server" is the mutated reply we pre-queue.
     RpcClient client(qp, client_ep_, nullptr);
     for (int iter = 0; iter < 300; ++iter) {
-      Buffer reply = BuildReply(rng, tcp);
+      // The client's next CallAsync takes sequence tag iter + 1.
+      Buffer reply = BuildReply(rng, tcp, std::uint64_t(iter) + 1);
       Mutate(rng, &reply);
       ASSERT_TRUE(qp->peer()->Send(reply).ok());
       CallOptions options;
