@@ -13,6 +13,8 @@
 #   scripts/ci.sh --system-benchmark  # micro bench against installed
 #                                     # google-benchmark
 #   scripts/ci.sh --no-bench          # skip the bench smoke stage
+#   scripts/ci.sh --no-tsan           # skip the ThreadSanitizer stage
+#   scripts/ci.sh --tsan-only        # ONLY the ThreadSanitizer stage
 #   BUILD_DIR=out scripts/ci.sh       # custom build directory
 set -euo pipefail
 
@@ -22,6 +24,8 @@ BUILD_DIR="${BUILD_DIR:-build}"
 CMAKE_ARGS=(-DROS2_WERROR=ON)
 BENCH_ARGS=()
 RUN_BENCH=1
+RUN_TSAN=1
+RUN_MAIN=1
 for arg in "$@"; do
   case "$arg" in
     --system-gtest)
@@ -38,6 +42,13 @@ for arg in "$@"; do
     --no-bench)
       RUN_BENCH=0
       ;;
+    --no-tsan)
+      RUN_TSAN=0
+      ;;
+    --tsan-only)
+      RUN_MAIN=0
+      RUN_BENCH=0
+      ;;
     *)
       echo "unknown argument: $arg" >&2
       exit 2
@@ -47,9 +58,29 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
-cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+if [[ "$RUN_MAIN" == 1 ]]; then
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  # ThreadSanitizer gate over the concurrency suites: the xstream workers,
+  # the poll-set doorbell, the MR cache, and the stall-deadline client are
+  # all multithreaded now, and TSan keeps their locking honest. Only the
+  # concurrency-relevant test binaries are built (benches/examples off) so
+  # the stage stays cheap; halt_on_error makes any report a hard failure.
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  TSAN_SUITES="engine_scheduler_mt_test|fabric_test|mr_cache_test"
+  TSAN_SUITES+="|rpc_pipeline_test|engine_scheduler_test|nvme_device_test"
+  cmake -B "$TSAN_DIR" -S . "${CMAKE_ARGS[@]}" -DROS2_SANITIZE=thread \
+      -DROS2_BUILD_BENCHES=OFF -DROS2_BUILD_EXAMPLES=OFF
+  # shellcheck disable=SC2086  # the | list is a ctest regex, not words
+  cmake --build "$TSAN_DIR" -j "$JOBS" \
+      --target ${TSAN_SUITES//|/ }
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" \
+      --output-on-failure -j "$JOBS" -R "^(${TSAN_SUITES})\$"
+fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   # Bench gate: every experiment binary runs quick-mode, its functional

@@ -7,6 +7,7 @@
 namespace ros2::core {
 
 Status QosBucket::Acquire(std::uint64_t bytes, double now) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (rate_ <= 0.0) return Status::Ok();
   if (now > last_refill_) {
     tokens_ = std::min(double(burst_), tokens_ + (now - last_refill_) * rate_);
@@ -42,8 +43,10 @@ Result<net::TenantId> TenantRegistry::Register(TenantConfig config) {
       key[i + j] = std::uint8_t(z >> (8 * j));
     }
   }
-  by_id_.emplace(id, Tenant(id, config, key));
+  // In-place construction: Tenant is immovable now that QosBucket owns a
+  // mutex. by_name_ first — config is consumed by the emplace.
   by_name_[config.name] = id;
+  by_id_.try_emplace(id, id, std::move(config), key);
   return id;
 }
 

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -24,7 +25,10 @@ struct TenantConfig {
   double rkey_ttl_seconds = 0.0;
 };
 
-/// Token bucket driven by the fabric's logical clock.
+/// Token bucket driven by the fabric's logical clock. Thread-safe: one
+/// tenant's data-plane ops may issue from multiple engine worker threads,
+/// so refill-and-spend is a single critical section (a torn read-modify-
+/// write would mint or lose tokens).
 class QosBucket {
  public:
   QosBucket(double rate_bps, std::uint64_t burst)
@@ -34,9 +38,13 @@ class QosBucket {
   /// (rate 0) always admit.
   Status Acquire(std::uint64_t bytes, double now);
 
-  double tokens() const { return tokens_; }
+  double tokens() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return tokens_;
+  }
 
  private:
+  mutable std::mutex mu_;
   double rate_;
   std::uint64_t burst_;
   double tokens_;

@@ -47,7 +47,9 @@ DaosEngine::DaosEngine(net::Fabric* fabric, EngineConfig config,
                        std::span<storage::NvmeDevice* const> devices)
     : fabric_(fabric),
       config_(std::move(config)),
-      scheduler_(config_.targets) {
+      scheduler_(config_.targets,
+                 EngineSchedulerOptions{config_.xstream_workers,
+                                        config_.xstream_queue_depth}) {
   assert(config_.targets != 0 &&
          "EngineConfig::targets must be >= 1 (DaosEngine::Create validates)");
   assert(!devices.empty() && "engine needs at least one NVMe device");
@@ -58,6 +60,11 @@ DaosEngine::DaosEngine(net::Fabric* fabric, EngineConfig config,
   // Every QP this endpoint accepts reports into the engine's poll set, so
   // one ProgressAll tick services all connections without per-QP scans.
   endpoint_->set_accept_poll_set(&poll_set_);
+  if (scheduler_.threaded()) {
+    // Worker-finished replies must wake a progress thread blocked in
+    // DrainWait: ring the poll set's doorbell from the completion push.
+    scheduler_.set_completion_wakeup([this] { poll_set_.Ring(); });
+  }
 
   // Partition each device among the targets assigned to it.
   const std::uint32_t n = config_.targets;
@@ -92,6 +99,11 @@ DaosEngine::DaosEngine(net::Fabric* fabric, EngineConfig config,
 }
 
 DaosEngine::~DaosEngine() {
+  StopProgressThread();
+  // Stop the workers BEFORE member destruction: targets_ (the VOS
+  // instances the ops touch) is destroyed before scheduler_ in reverse
+  // declaration order, so a still-running worker would use freed state.
+  scheduler_.Shutdown();
   // Detach the accept hook before poll_set_ dies; the endpoint (and its
   // QPs) belong to the fabric and may outlive this engine.
   if (endpoint_ != nullptr) endpoint_->set_accept_poll_set(nullptr);
@@ -99,12 +111,55 @@ DaosEngine::~DaosEngine() {
 
 Status DaosEngine::ProgressAll() {
   // Decode + dispatch everything that arrived (inline handlers reply
-  // here; data ops park on their target's xstream), then run the
-  // xstreams dry — deferred contexts complete in round-robin target
-  // order, same-dkey ops in FIFO order.
+  // here; data ops park on their target's xstream), then complete the
+  // deferred contexts: serial mode runs the queues dry (round-robin
+  // target order, same-dkey FIFO); threaded mode waits for the workers
+  // to finish what this tick dispatched and sends their replies, so the
+  // synchronous-pump contract (reply ready when ProgressAll returns)
+  // holds in both modes.
   Status s = server_.Progress(&poll_set_);
-  scheduler_.ProgressAll();
+  if (scheduler_.threaded()) {
+    scheduler_.Quiesce();
+  } else {
+    scheduler_.ProgressAll();
+  }
   return s;
+}
+
+void DaosEngine::DrainBarrier() {
+  if (scheduler_.threaded()) {
+    scheduler_.Quiesce();
+  } else {
+    scheduler_.ProgressAll();
+  }
+}
+
+void DaosEngine::ProgressThreadMain() {
+  while (!progress_stop_.load(std::memory_order_acquire)) {
+    // Block until a QP reports readiness or a worker completion rings the
+    // doorbell (bounded so a missed edge can't hang shutdown), then
+    // service both directions of the pipeline.
+    poll_set_.DrainWait(/*timeout_ms=*/10,
+                        [&](net::Qp* qp) { (void)server_.Progress(qp); });
+    scheduler_.ProgressOnce();
+  }
+  // Final sweep: everything decoded before stop was requested still gets
+  // its reply (tests rely on a clean drain, not dropped contexts).
+  (void)server_.Progress(&poll_set_);
+  DrainBarrier();
+}
+
+void DaosEngine::StartProgressThread() {
+  if (progress_thread_.joinable()) return;
+  progress_stop_.store(false, std::memory_order_release);
+  progress_thread_ = std::thread([this] { ProgressThreadMain(); });
+}
+
+void DaosEngine::StopProgressThread() {
+  if (!progress_thread_.joinable()) return;
+  progress_stop_.store(true, std::memory_order_release);
+  poll_set_.Ring();  // kick it out of DrainWait immediately
+  progress_thread_.join();
 }
 
 Vos* DaosEngine::target_vos(std::uint32_t target) {
@@ -112,7 +167,9 @@ Vos* DaosEngine::target_vos(std::uint32_t target) {
 }
 
 EngineStats DaosEngine::stats() const {
-  EngineStats s = stats_;
+  EngineStats s;
+  s.updates = updates_.load(std::memory_order_relaxed);
+  s.fetches = fetches_.load(std::memory_order_relaxed);
   s.bulk_bytes_in = server_.bulk_bytes_in();
   s.bulk_bytes_out = server_.bulk_bytes_out();
   return s;
@@ -135,7 +192,7 @@ void DaosEngine::RegisterHandlers() {
   // drain first so the listing observes every already-issued op.
   server_.Register(std::uint32_t(DaosOpcode::kListDkeys),
                    [this](const Buffer& h, rpc::BulkIo&) {
-                     scheduler_.ProgressAll();
+                     DrainBarrier();
                      return HandleListDkeys(h);
                    });
 
@@ -159,9 +216,10 @@ void DaosEngine::RegisterHandlers() {
 }
 
 Result<DaosEngine::Container*> DaosEngine::FindContainer(ContainerId id) {
+  std::lock_guard<std::mutex> lk(containers_mu_);
   auto it = containers_.find(id);
   if (it == containers_.end()) return NotFound("unknown container");
-  return &it->second;
+  return &it->second;  // node-stable; containers are never erased
 }
 
 std::uint32_t DaosEngine::TargetOf(const ObjectId& oid,
@@ -196,22 +254,24 @@ Result<Buffer> DaosEngine::HandlePoolConnect(const Buffer& header) {
 Result<Buffer> DaosEngine::HandleContCreate(const Buffer& header) {
   rpc::Decoder dec(header);
   ROS2_ASSIGN_OR_RETURN(std::string label, dec.Str());
+  std::lock_guard<std::mutex> lk(containers_mu_);
   if (containers_by_label_.contains(label)) {
     return Status(AlreadyExists("container label in use: " + label));
   }
-  Container cont;
-  cont.id = next_container_id_++;
+  const ContainerId id = next_container_id_++;
+  containers_by_label_[label] = id;
+  Container& cont = containers_[id];  // in-place: Container is immovable
+  cont.id = id;
   cont.label = label;
-  containers_by_label_[label] = cont.id;
-  containers_[cont.id] = cont;
   rpc::Encoder enc;
-  enc.U64(cont.id);
+  enc.U64(id);
   return enc.Take();
 }
 
 Result<Buffer> DaosEngine::HandleContOpen(const Buffer& header) {
   rpc::Decoder dec(header);
   ROS2_ASSIGN_OR_RETURN(std::string label, dec.Str());
+  std::lock_guard<std::mutex> lk(containers_mu_);
   auto it = containers_by_label_.find(label);
   if (it == containers_by_label_.end()) {
     return Status(NotFound("no container labeled " + label));
@@ -224,10 +284,13 @@ Result<Buffer> DaosEngine::HandleContOpen(const Buffer& header) {
 Result<Buffer> DaosEngine::HandleOidAlloc(const Buffer& header) {
   rpc::Decoder dec(header);
   ROS2_ASSIGN_OR_RETURN(ContainerId cont_id, dec.U64());
-  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(cont_id));
+  // next_oid is plain (not atomic): allocate under the table lock.
+  std::lock_guard<std::mutex> lk(containers_mu_);
+  auto it = containers_.find(cont_id);
+  if (it == containers_.end()) return Status(NotFound("unknown container"));
   rpc::Encoder enc;
   // hi = container id (namespacing), lo = per-container sequence.
-  enc.U64(cont_id).U64(cont->next_oid++);
+  enc.U64(cont_id).U64(it->second.next_oid++);
   return enc.Take();
 }
 
@@ -363,7 +426,7 @@ rpc::HandlerVerdict DaosEngine::DeferObjPunch(rpc::RpcContextPtr ctx) {
   const auto scope = PunchScope(scope_raw);
   if (scope == PunchScope::kObject) {
     // Object punch touches every target: barrier, then answer inline.
-    scheduler_.ProgressAll();
+    DrainBarrier();
     (void)ctx->Complete(HandleObjectPunch(addr));
     return rpc::HandlerVerdict::kDone;
   }
@@ -455,7 +518,7 @@ Result<Buffer> DaosEngine::ExecObjUpdate(const ObjAddr& addr,
   const Epoch epoch = cont->next_epoch++;
   ROS2_RETURN_IF_ERROR(targets_[target].vos->UpdateArray(
       addr.oid, addr.dkey, addr.akey, epoch, offset, data));
-  ++stats_.updates;
+  updates_.fetch_add(1, std::memory_order_relaxed);
   rpc::Encoder enc;
   enc.U64(epoch);
   return enc.Take();
@@ -474,7 +537,7 @@ Result<Buffer> DaosEngine::ExecObjFetch(const ObjAddr& addr,
   ROS2_RETURN_IF_ERROR(targets_[target].vos->FetchArray(
       addr.oid, addr.dkey, addr.akey, epoch, offset, data));
   ROS2_RETURN_IF_ERROR(bulk.Push(data));
-  ++stats_.fetches;
+  fetches_.fetch_add(1, std::memory_order_relaxed);
   return Buffer{};
 }
 
@@ -485,7 +548,7 @@ Result<Buffer> DaosEngine::ExecSingleUpdate(const ObjAddr& addr,
   const Epoch epoch = cont->next_epoch++;
   ROS2_RETURN_IF_ERROR(targets_[target].vos->UpdateSingle(
       addr.oid, addr.dkey, addr.akey, epoch, value));
-  ++stats_.updates;
+  updates_.fetch_add(1, std::memory_order_relaxed);
   rpc::Encoder enc;
   enc.U64(epoch);
   return enc.Take();
@@ -497,7 +560,7 @@ Result<Buffer> DaosEngine::ExecSingleFetch(const ObjAddr& addr, Epoch epoch,
   ROS2_ASSIGN_OR_RETURN(Buffer value,
                         targets_[target].vos->FetchSingle(
                             addr.oid, addr.dkey, addr.akey, epoch));
-  ++stats_.fetches;
+  fetches_.fetch_add(1, std::memory_order_relaxed);
   rpc::Encoder enc;
   enc.Bytes(value);
   return enc.Take();

@@ -21,11 +21,14 @@
 // so they observe every previously-issued op.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -69,6 +72,13 @@ struct EngineConfig {
   /// SCM arena per target (allocates real memory; sized for tests/benches).
   std::uint64_t scm_per_target = 64ull * 1024 * 1024;
   bool checksums = true;
+  /// True: each target is a real execution stream — a worker thread with a
+  /// bounded submit queue — and deferred ops execute on their target's
+  /// thread (replies still serialize on the progress path). False: the
+  /// deterministic single-threaded round-robin drain.
+  bool xstream_workers = false;
+  /// Per-target submit-queue bound (threaded mode only).
+  std::size_t xstream_queue_depth = 256;
 };
 
 struct EngineStats {
@@ -101,10 +111,25 @@ class DaosEngine {
   std::uint32_t num_targets() const { return std::uint32_t(targets_.size()); }
 
   /// One engine progress call (the CaRT progress-loop tick): drains every
-  /// ready accepted QP through decode->dispatch, then runs the target
-  /// xstreams until their run queues are empty, completing deferred
-  /// requests. Clients pump this as their progress hook.
+  /// ready accepted QP through decode->dispatch, then completes deferred
+  /// requests — serial mode runs the run queues dry; threaded mode waits
+  /// for the workers to finish what was handed to them (a synchronous
+  /// pump: replies for everything decodable are sent before returning).
+  /// Clients pump this as their progress hook.
   Status ProgressAll();
+
+  /// Starts the dedicated network progress thread: blocks in the poll
+  /// set's DrainWait (doorbell wakeups — QP sends and worker completions
+  /// both ring it), services ready QPs, and sends finished replies. With
+  /// this running, clients need no progress hook at all. No-op if already
+  /// running.
+  void StartProgressThread();
+  /// Stops and joins the progress thread (no-op if not running). The
+  /// destructor calls it.
+  void StopProgressThread();
+  bool progress_thread_running() const {
+    return progress_thread_.joinable();
+  }
 
   /// The engine's per-target run queues (telemetry + tests).
   const EngineScheduler& scheduler() const { return scheduler_; }
@@ -126,7 +151,10 @@ class DaosEngine {
   struct Container {
     ContainerId id = 0;
     std::string label;
-    Epoch next_epoch = 1;
+    /// Atomic: epoch stamping happens on target worker threads, and one
+    /// container's ops may span every target. (Makes Container pinned in
+    /// place — the map's node stability is what Container* leans on.)
+    std::atomic<Epoch> next_epoch{1};
     std::uint64_t next_oid = 1;
   };
 
@@ -180,6 +208,12 @@ class DaosEngine {
   Result<Buffer> HandleObjectPunch(const ObjAddr& addr);
   Result<Buffer> HandleListDkeys(const Buffer& header);
 
+  void ProgressThreadMain();
+  /// Barrier before ops that must observe every issued op (object punch,
+  /// dkey enumeration): serial = run the queues dry; threaded = quiesce
+  /// the workers and send their replies.
+  void DrainBarrier();
+
   net::Fabric* fabric_;
   EngineConfig config_;
   net::Endpoint* endpoint_ = nullptr;
@@ -188,10 +222,17 @@ class DaosEngine {
   net::PollSet poll_set_;
   EngineScheduler scheduler_;
   std::vector<Target> targets_;
+  /// Guards the container tables (created on the dispatch path, looked up
+  /// from worker threads). Map nodes are stable, so a Container* handed
+  /// out under the lock stays valid — containers are never erased.
+  mutable std::mutex containers_mu_;
   std::map<std::string, ContainerId> containers_by_label_;
   std::map<ContainerId, Container> containers_;
   ContainerId next_container_id_ = 1;
-  EngineStats stats_;
+  std::atomic<std::uint64_t> updates_{0};
+  std::atomic<std::uint64_t> fetches_{0};
+  std::thread progress_thread_;
+  std::atomic<bool> progress_stop_{false};
 };
 
 }  // namespace ros2::daos

@@ -1,24 +1,89 @@
 #include "daos/scheduler.h"
 
 #include <cassert>
+#include <utility>
 
 namespace ros2::daos {
 
-EngineScheduler::EngineScheduler(std::uint32_t targets) {
+EngineScheduler::EngineScheduler(std::uint32_t targets,
+                                 EngineSchedulerOptions options)
+    : threaded_(options.threaded), num_targets_(targets) {
   assert(targets != 0 && "scheduler needs at least one target xstream");
-  queues_.resize(targets);
+  if (threaded_) {
+    xstreams_.reserve(targets);
+    for (std::uint32_t t = 0; t < targets; ++t) {
+      xstreams_.push_back(std::make_unique<Xstream>(options.queue_capacity));
+    }
+  } else {
+    queues_.resize(targets);
+  }
+}
+
+EngineScheduler::~EngineScheduler() { Shutdown(); }
+
+void EngineScheduler::NoteQueued() {
+  const std::size_t depth =
+      queued_total_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::size_t seen = high_water_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !high_water_.compare_exchange_weak(seen, depth,
+                                            std::memory_order_relaxed)) {
+  }
 }
 
 void EngineScheduler::Enqueue(std::uint32_t target, rpc::RpcContextPtr ctx,
                               OpFn op) {
-  assert(target < queues_.size() && "target out of range");
-  queues_[target].push_back(QueuedOp{std::move(ctx), std::move(op)});
-  ++queued_total_;
-  if (queued_total_ > high_water_) high_water_ = queued_total_;
+  assert(target < num_targets_ && "target out of range");
+  if (!threaded_) {
+    queues_[target].push_back(QueuedOp{std::move(ctx), std::move(op)});
+    NoteQueued();
+    return;
+  }
+  // Workers need a copyable task closure (std::function), so ownership of
+  // the context goes shared at the submit boundary.
+  auto shared = std::shared_ptr<rpc::RpcContext>(ctx.release());
+  NoteQueued();
+  const bool accepted = xstreams_[target]->Submit(
+      [this, shared, op = std::move(op)]() mutable {
+        Result<Buffer> reply = op(*shared);
+        PushCompletion(std::move(shared), std::move(reply));
+      });
+  if (!accepted) {
+    // Stream already stopping: answer instead of dropping the request.
+    queued_total_.fetch_sub(1, std::memory_order_acq_rel);
+    (void)shared->Complete(Status(Unavailable("engine shutting down")));
+  }
+}
+
+void EngineScheduler::PushCompletion(std::shared_ptr<rpc::RpcContext> ctx,
+                                     Result<Buffer> reply) {
+  {
+    std::lock_guard<std::mutex> lk(completions_mu_);
+    completions_.push_back(Completion{std::move(ctx), std::move(reply)});
+  }
+  if (completion_wakeup_) completion_wakeup_();
+}
+
+std::size_t EngineScheduler::DrainCompletions() {
+  std::size_t n = 0;
+  std::unique_lock<std::mutex> lk(completions_mu_);
+  while (!completions_.empty()) {
+    Completion c = std::move(completions_.front());
+    completions_.pop_front();
+    lk.unlock();
+    // A failed Complete (dead QP) is the transport's problem; the op ran.
+    (void)c.ctx->Complete(std::move(c.reply));
+    executed_.fetch_add(1, std::memory_order_acq_rel);
+    queued_total_.fetch_sub(1, std::memory_order_acq_rel);
+    ++n;
+    lk.lock();
+  }
+  return n;
 }
 
 std::size_t EngineScheduler::ProgressOnce() {
-  const std::uint32_t n = num_targets();
+  if (threaded_) return DrainCompletions();
+  const std::uint32_t n = num_targets_;
   std::size_t ran = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t t = (cursor_ + i) % n;
@@ -26,11 +91,11 @@ std::size_t EngineScheduler::ProgressOnce() {
     if (queue.empty()) continue;
     QueuedOp item = std::move(queue.front());
     queue.pop_front();
-    --queued_total_;
+    queued_total_.fetch_sub(1, std::memory_order_acq_rel);
     Result<Buffer> reply = item.op(*item.ctx);
     // A failed Complete (dead QP) is the transport's problem; the op ran.
     (void)item.ctx->Complete(std::move(reply));
-    ++executed_;
+    executed_.fetch_add(1, std::memory_order_acq_rel);
     ++ran;
   }
   // Rotate the pass's start so target `cursor_` is not structurally first
@@ -40,11 +105,36 @@ std::size_t EngineScheduler::ProgressOnce() {
 }
 
 std::size_t EngineScheduler::ProgressAll() {
+  if (threaded_) return DrainCompletions();
   std::size_t total = 0;
   while (!idle()) {
     total += ProgressOnce();
   }
   return total;
+}
+
+std::size_t EngineScheduler::Quiesce() {
+  if (!threaded_) return ProgressAll();
+  // Every already-submitted op finishes executing (workers go idle), then
+  // every computed reply goes out. Workers only ever ADD completions, so
+  // once they are idle one drain empties the hand-off queue.
+  for (auto& xs : xstreams_) xs->Quiesce();
+  return DrainCompletions();
+}
+
+void EngineScheduler::Shutdown() {
+  if (!threaded_) return;
+  if (shut_down_.exchange(true)) return;
+  // Stop() runs everything still queued before joining, so no accepted
+  // request is lost; the final drain sends their replies.
+  for (auto& xs : xstreams_) xs->Stop();
+  DrainCompletions();
+}
+
+std::size_t EngineScheduler::queued(std::uint32_t target) const {
+  if (target >= num_targets_) return 0;
+  if (threaded_) return xstreams_[target]->queued();
+  return queues_[target].size();
 }
 
 }  // namespace ros2::daos

@@ -2,28 +2,53 @@
 //
 // "The engine spawns one xstream per target; the CaRT progress loop
 // decodes incoming RPCs and hands each one to the xstream owning its
-// dkey." This scheduler is that structure, single-threaded: every target
-// owns a FIFO run queue of deferred requests (rpc::RpcContext + the bound
-// VOS operation), and ProgressAll() drains the queues in round-robin
-// passes — one op per target per pass — so one hot target cannot starve
-// the others, while ops on the SAME target (and therefore the same dkey,
-// since placement is by dkey) execute strictly in arrival order.
+// dkey." This scheduler is that structure, in two modes:
+//
+//  - SERIAL (default): every target owns a FIFO run queue of deferred
+//    requests (rpc::RpcContext + the bound VOS operation), and
+//    ProgressAll() drains the queues in round-robin passes — one op per
+//    target per pass — so one hot target cannot starve the others, while
+//    ops on the SAME target (and therefore the same dkey, since placement
+//    is by dkey) execute strictly in arrival order. Deterministic; what
+//    the single-threaded tests and the perf model pin.
+//
+//  - THREADED: every target owns a real worker thread (daos::Xstream)
+//    with a bounded MPSC submit queue — the Argobots-xstream-per-target
+//    shape. Enqueue() hands the op to the target's worker; the op body
+//    (VOS access, bulk movement) runs on that thread, preserving per-dkey
+//    FIFO order because one thread drains one FIFO queue. The computed
+//    reply is NOT sent from the worker: it is pushed onto a completion
+//    queue and the next ProgressOnce()/ProgressAll() — the progress
+//    thread's tick — performs RpcContext::Complete there, so reply
+//    serialization stays on the network progress path (CaRT's rule).
 //
 // Epoch stamping, container lookup, and bulk movement all happen at
 // execution time on the target's stream, exactly like a ULT body; the
 // decode step only routed the request here.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "daos/xstream.h"
 #include "rpc/data_rpc.h"
 
 namespace ros2::daos {
+
+struct EngineSchedulerOptions {
+  /// false: single-threaded round-robin drain (deterministic).
+  /// true: one worker thread per target + completion hand-off.
+  bool threaded = false;
+  /// Per-target submit-queue bound (threaded mode; backpressures Enqueue).
+  std::size_t queue_capacity = Xstream::kDefaultQueueCapacity;
+};
 
 class EngineScheduler {
  public:
@@ -31,42 +56,97 @@ class EngineScheduler {
   /// (or error) for its context. Receives the context for bulk access.
   using OpFn = std::function<Result<Buffer>(rpc::RpcContext& ctx)>;
 
-  explicit EngineScheduler(std::uint32_t targets);
+  explicit EngineScheduler(std::uint32_t targets,
+                           EngineSchedulerOptions options = {});
+  ~EngineScheduler();
+  EngineScheduler(const EngineScheduler&) = delete;
+  EngineScheduler& operator=(const EngineScheduler&) = delete;
 
-  /// Parks `ctx` on `target`'s run queue. FIFO per target.
+  /// Parks `ctx` on `target`'s run queue. FIFO per target. In threaded
+  /// mode this blocks while the target's submit queue is full; after
+  /// Shutdown() the context is completed with UNAVAILABLE instead.
   void Enqueue(std::uint32_t target, rpc::RpcContextPtr ctx, OpFn op);
 
-  /// One round-robin pass: runs at most one queued op per target (the
+  /// Serial: one round-robin pass — at most one queued op per target (the
   /// pass's start target rotates so draining is fair under load).
-  /// Returns the number of ops executed.
+  /// Threaded: sends every reply the workers have finished computing
+  /// (RpcContext::Complete on the calling thread).
+  /// Returns ops completed.
   std::size_t ProgressOnce();
 
-  /// Round-robin passes until every queue is empty. Returns ops executed.
+  /// Serial: round-robin passes until every queue is empty. Threaded:
+  /// identical to ProgressOnce (non-blocking completion drain — workers
+  /// may still be executing). Returns ops completed.
   std::size_t ProgressAll();
 
-  bool idle() const { return queued_total_ == 0; }
-  std::uint32_t num_targets() const {
-    return std::uint32_t(queues_.size());
+  /// BARRIER: every op enqueued before this call has executed AND its
+  /// reply has been sent when it returns. Serial: ProgressAll. Threaded:
+  /// quiesces every worker, then drains the completion queue. Callers
+  /// must not Enqueue concurrently with a Quiesce they depend on.
+  std::size_t Quiesce();
+
+  /// Threaded: stops every worker (queued ops still execute — a clean
+  /// shutdown loses no requests), then sends the remaining replies.
+  /// Serial: no-op. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Invoked (from a worker thread) whenever a finished reply lands on
+  /// the completion queue — the engine points this at PollSet::Ring() so
+  /// a blocked progress thread wakes to send it. Set before any Enqueue.
+  void set_completion_wakeup(std::function<void()> fn) {
+    completion_wakeup_ = std::move(fn);
   }
-  std::size_t queued() const { return queued_total_; }
-  std::size_t queued(std::uint32_t target) const {
-    return target < queues_.size() ? queues_[target].size() : 0;
+
+  bool threaded() const { return threaded_; }
+  bool idle() const {
+    return queued_total_.load(std::memory_order_acquire) == 0;
   }
-  std::uint64_t executed() const { return executed_; }
+  std::uint32_t num_targets() const { return num_targets_; }
+  /// Ops accepted but not yet replied to.
+  std::size_t queued() const {
+    return queued_total_.load(std::memory_order_acquire);
+  }
+  std::size_t queued(std::uint32_t target) const;
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_acquire);
+  }
   /// High-water mark of total queued ops (pipeline depth telemetry).
-  std::size_t max_queue_depth() const { return high_water_; }
+  std::size_t max_queue_depth() const {
+    return high_water_.load(std::memory_order_acquire);
+  }
 
  private:
   struct QueuedOp {
     rpc::RpcContextPtr ctx;
     OpFn op;
   };
+  struct Completion {
+    std::shared_ptr<rpc::RpcContext> ctx;
+    Result<Buffer> reply;
+  };
 
+  void NoteQueued();
+  void PushCompletion(std::shared_ptr<rpc::RpcContext> ctx,
+                      Result<Buffer> reply);
+  std::size_t DrainCompletions();
+
+  const bool threaded_;
+  const std::uint32_t num_targets_;
+
+  // Serial mode state (owner: the single progress thread).
   std::vector<std::deque<QueuedOp>> queues_;
   std::uint32_t cursor_ = 0;  // rotating start target for fairness
-  std::size_t queued_total_ = 0;
-  std::size_t high_water_ = 0;
-  std::uint64_t executed_ = 0;
+
+  // Threaded mode state.
+  std::vector<std::unique_ptr<Xstream>> xstreams_;
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;
+  std::function<void()> completion_wakeup_;  // set once, before workers run
+  std::atomic<bool> shut_down_{false};
+
+  std::atomic<std::size_t> queued_total_{0};
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::uint64_t> executed_{0};
 };
 
 }  // namespace ros2::daos

@@ -1,0 +1,73 @@
+#include "daos/xstream.h"
+
+#include <utility>
+
+namespace ros2::daos {
+
+Xstream::Xstream(std::size_t queue_capacity)
+    : capacity_(queue_capacity ? queue_capacity : 1),
+      worker_([this] { Run(); }) {}
+
+Xstream::~Xstream() { Stop(); }
+
+bool Xstream::Submit(Task task) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [this] {
+      return queue_.size() < capacity_ || stopping_;
+    });
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+    if (queue_.size() > high_water_) high_water_ = queue_.size();
+  }
+  cv_nonempty_.notify_one();
+  return true;
+}
+
+void Xstream::Quiesce() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && !busy_; });
+}
+
+void Xstream::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ && !worker_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_nonempty_.notify_all();
+  cv_space_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::size_t Xstream::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+std::size_t Xstream::max_queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return high_water_;
+}
+
+void Xstream::Run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_nonempty_.wait(lk, [this] { return !queue_.empty() || stopping_; });
+    if (queue_.empty()) break;  // stopping with a drained queue: exit
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lk.unlock();
+    cv_space_.notify_one();
+    task();
+    task = nullptr;  // release captures before claiming idle
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    lk.lock();
+    busy_ = false;
+    if (queue_.empty()) cv_idle_.notify_all();
+  }
+  cv_idle_.notify_all();
+}
+
+}  // namespace ros2::daos

@@ -1,0 +1,77 @@
+// A real execution stream: one worker thread fed by a bounded MPSC queue
+// (the Argobots xstream the paper's engine spawns per target, §3.3).
+//
+// Upstream DAOS pins one Argobots xstream per target and a CaRT progress
+// thread feeds it ULTs; here the ULT body is a std::function and the
+// scheduler (daos::EngineScheduler) is the feeder. The queue is bounded so
+// a flooded target applies backpressure to the submitter instead of
+// growing without bound — the same reason DAOS bounds its per-xstream
+// ABT pools.
+//
+// Threading contract:
+//  - Submit() may be called from any thread; it blocks while the queue is
+//    full and returns false once the stream is stopping (the task was NOT
+//    accepted — the caller still owns whatever the closure captured).
+//  - Quiesce() blocks until every task submitted before the call has
+//    finished executing (queue empty AND worker idle) — the barrier the
+//    engine's all-target ops (object punch, dkey enumeration) stand on.
+//  - Stop() drains the queue (every accepted task executes; none are
+//    dropped) and joins the worker. Idempotent; the destructor calls it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ros2::daos {
+
+class Xstream {
+ public:
+  using Task = std::function<void()>;
+
+  static constexpr std::size_t kDefaultQueueCapacity = 256;
+
+  explicit Xstream(std::size_t queue_capacity = kDefaultQueueCapacity);
+  ~Xstream();
+  Xstream(const Xstream&) = delete;
+  Xstream& operator=(const Xstream&) = delete;
+
+  /// Enqueues `task` for the worker. Blocks while the queue is at
+  /// capacity; returns false (task not accepted) once Stop() began.
+  bool Submit(Task task);
+
+  /// Waits until the queue is empty and the worker is between tasks.
+  void Quiesce();
+
+  /// Stops accepting tasks, runs everything already queued, joins the
+  /// worker. Idempotent.
+  void Stop();
+
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  std::size_t queued() const;
+  /// High-water mark of queue depth (backpressure telemetry).
+  std::size_t max_queue_depth() const;
+
+ private:
+  void Run();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_nonempty_;  // worker waits for tasks
+  std::condition_variable cv_space_;     // submitters wait for room
+  std::condition_variable cv_idle_;      // Quiesce waits for drain
+  std::deque<Task> queue_;
+  std::size_t capacity_;
+  std::size_t high_water_ = 0;
+  bool stopping_ = false;
+  bool busy_ = false;  // worker currently inside a task body
+  std::atomic<std::uint64_t> executed_{0};
+  std::thread worker_;
+};
+
+}  // namespace ros2::daos

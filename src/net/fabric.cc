@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -45,24 +46,32 @@ void UnpinPages(std::uintptr_t addr, std::size_t len) {
 // ----------------------------------------------------------------- Qp
 
 Qp::~Qp() {
-  if (poll_set_ != nullptr) poll_set_->Remove(this);
+  PollSet* set = poll_set_.load(std::memory_order_acquire);
+  if (set != nullptr) set->Remove(this);
 }
 
 Status Qp::Send(std::span<const std::byte> payload) {
   if (peer_ == nullptr) return Unavailable("qp not connected");
-  if (send_faults_ > 0) {
-    --send_faults_;
+  if (send_faults_.load(std::memory_order_relaxed) > 0) {
+    send_faults_.fetch_sub(1, std::memory_order_relaxed);
     return Unavailable("injected send fault");
   }
   Message msg;
   msg.payload.assign(payload.begin(), payload.end());
-  peer_->rx_queue_.push_back(std::move(msg));
-  bytes_sent_ += payload.size();
-  if (peer_->poll_set_ != nullptr) peer_->poll_set_->MarkReady(peer_);
+  {
+    std::lock_guard<std::mutex> lk(peer_->mu_);
+    peer_->rx_queue_.push_back(std::move(msg));
+  }
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  // The peer's Qp lock is released before taking the poll set's (lock
+  // order: PollSet before Qp, never nested the other way).
+  PollSet* set = peer_->poll_set_.load(std::memory_order_acquire);
+  if (set != nullptr) set->MarkReady(peer_);
   return Status::Ok();
 }
 
 Result<Message> Qp::Recv() {
+  std::lock_guard<std::mutex> lk(mu_);
   if (rx_queue_.empty()) return NotFound("receive queue empty");
   Message msg = std::move(rx_queue_.front());
   rx_queue_.pop_front();
@@ -70,58 +79,54 @@ Result<Message> Qp::Recv() {
 }
 
 Status Qp::ValidateOneSided(std::uintptr_t remote_addr, std::size_t len,
-                            RKey rkey, std::uint32_t need_access,
-                            const MemoryRegion** out_mr) const {
+                            RKey rkey, std::uint32_t need_access) const {
   if (peer_ == nullptr) return Unavailable("qp not connected");
   if (transport_ != Transport::kRdma) {
     return Unimplemented("one-sided operations require the RDMA transport");
   }
-  const MemoryRegion* mr = peer_->owner_->FindMr(rkey);
-  if (mr == nullptr) {
+  MemoryRegion mr;
+  if (!peer_->owner_->FindMr(rkey, &mr)) {
     return PermissionDenied("unknown rkey");
   }
-  if (mr->revoked) {
+  if (mr.revoked) {
     return PermissionDenied("rkey has been revoked");
   }
-  if (mr->expires_at > 0.0 &&
-      peer_->owner_->fabric()->now() >= mr->expires_at) {
+  if (mr.expires_at > 0.0 &&
+      peer_->owner_->fabric()->now() >= mr.expires_at) {
     return PermissionDenied("rkey has expired");
   }
   // PD scoping: the capability is only valid on connections bound to the
   // same protection domain at the remote side (per-tenant isolation).
-  if (mr->pd != peer_->local_pd_) {
+  if (mr.pd != peer_->local_pd_) {
     return PermissionDenied("rkey protection domain does not match qp");
   }
-  if ((mr->access & need_access) != need_access) {
+  if ((mr.access & need_access) != need_access) {
     return PermissionDenied("memory region access mask forbids operation");
   }
-  if (remote_addr < mr->addr || len > mr->length ||
-      remote_addr - mr->addr > mr->length - len) {
+  if (remote_addr < mr.addr || len > mr.length ||
+      remote_addr - mr.addr > mr.length - len) {
     return PermissionDenied("one-sided access outside registered bounds");
   }
-  *out_mr = mr;
   return Status::Ok();
 }
 
 Status Qp::RdmaRead(std::span<std::byte> local, std::uintptr_t remote_addr,
                     RKey rkey) {
-  const MemoryRegion* mr = nullptr;
   ROS2_RETURN_IF_ERROR(
-      ValidateOneSided(remote_addr, local.size(), rkey, kRemoteRead, &mr));
+      ValidateOneSided(remote_addr, local.size(), rkey, kRemoteRead));
   std::memcpy(local.data(), reinterpret_cast<const void*>(remote_addr),
               local.size());
-  bytes_one_sided_ += local.size();
+  bytes_one_sided_.fetch_add(local.size(), std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status Qp::RdmaWrite(std::span<const std::byte> local,
                      std::uintptr_t remote_addr, RKey rkey) {
-  const MemoryRegion* mr = nullptr;
   ROS2_RETURN_IF_ERROR(
-      ValidateOneSided(remote_addr, local.size(), rkey, kRemoteWrite, &mr));
+      ValidateOneSided(remote_addr, local.size(), rkey, kRemoteWrite));
   std::memcpy(reinterpret_cast<void*>(remote_addr), local.data(),
               local.size());
-  bytes_one_sided_ += local.size();
+  bytes_one_sided_.fetch_add(local.size(), std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -140,9 +145,12 @@ PollSet::PollSet() {
 }
 
 PollSet::~PollSet() {
-  for (Qp* qp : members_) {
-    qp->poll_set_ = nullptr;
-    qp->poll_ready_ = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Qp* qp : members_) {
+      qp->poll_set_.store(nullptr, std::memory_order_release);
+      qp->poll_ready_ = false;
+    }
   }
 #ifdef ROS2_HAVE_POLL
   if (pipe_rd_ >= 0) ::close(pipe_rd_);
@@ -152,21 +160,25 @@ PollSet::~PollSet() {
 
 Status PollSet::Add(Qp* qp) {
   if (qp == nullptr) return InvalidArgument("null qp");
-  if (qp->poll_set_ == this) return Status::Ok();  // idempotent
-  if (qp->poll_set_ != nullptr) {
+  std::lock_guard<std::mutex> lk(mu_);
+  PollSet* current = qp->poll_set_.load(std::memory_order_acquire);
+  if (current == this) return Status::Ok();  // idempotent
+  if (current != nullptr) {
     return FailedPrecondition("qp already belongs to another poll set");
   }
-  qp->poll_set_ = this;
+  qp->poll_set_.store(this, std::memory_order_release);
   members_.push_back(qp);
   // Messages that arrived before registration must not be lost to the
   // edge trigger: report them as an initial edge.
-  if (qp->HasMessage()) MarkReady(qp);
+  if (qp->HasMessage()) MarkReadyLocked(qp);
   return Status::Ok();
 }
 
 void PollSet::Remove(Qp* qp) {
-  if (qp == nullptr || qp->poll_set_ != this) return;
-  qp->poll_set_ = nullptr;
+  if (qp == nullptr) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (qp->poll_set_.load(std::memory_order_acquire) != this) return;
+  qp->poll_set_.store(nullptr, std::memory_order_release);
   qp->poll_ready_ = false;
   members_.erase(std::remove(members_.begin(), members_.end(), qp),
                  members_.end());
@@ -176,22 +188,49 @@ void PollSet::Remove(Qp* qp) {
   if (qp == draining_) draining_removed_ = true;
 }
 
-void PollSet::MarkReady(Qp* qp) {
-  if (qp->poll_ready_) return;  // edge already pending
-  qp->poll_ready_ = true;
-  ready_.push_back(qp);
+void PollSet::RingDoorbell() {
 #ifdef ROS2_HAVE_POLL
-  // Ring the doorbell once per arm cycle (eventfd semantics): the first
-  // message into an idle set wakes the progress loop; followers ride the
-  // same wakeup — that is the cost pipelining amortizes.
-  if (!doorbell_armed_ && pipe_wr_ >= 0) {
+  // Ring once per arm cycle (eventfd semantics): the first event into an
+  // idle set wakes the progress loop; followers ride the same wakeup —
+  // that is the cost pipelining amortizes. The CAS makes the arm
+  // exactly-once under concurrent ringers.
+  if (pipe_wr_ < 0) return;
+  bool expected = false;
+  if (doorbell_armed_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
     const char byte = 1;
     if (::write(pipe_wr_, &byte, 1) == 1) {
-      doorbell_armed_ = true;
-      ++doorbells_;
+      doorbells_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      doorbell_armed_.store(false, std::memory_order_release);
     }
   }
 #endif
+}
+
+void PollSet::MarkReadyLocked(Qp* qp) {
+  if (qp->poll_ready_) return;  // edge already pending
+  qp->poll_ready_ = true;
+  ready_.push_back(qp);
+  RingDoorbell();
+  cv_.notify_all();
+}
+
+void PollSet::MarkReady(Qp* qp) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // The Qp may have been removed between the sender reading its set
+  // pointer and this call; membership is re-checked under the lock.
+  if (qp->poll_set_.load(std::memory_order_acquire) != this) return;
+  MarkReadyLocked(qp);
+}
+
+void PollSet::Ring() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ring_pending_ = true;
+    RingDoorbell();
+  }
+  cv_.notify_all();
 }
 
 void PollSet::PollChannel() {
@@ -199,6 +238,9 @@ void PollSet::PollChannel() {
   if (pipe_rd_ < 0) return;
   // The real event-channel sequence, at zero timeout (a progress loop
   // never blocks): poll the channel fd, then consume the doorbell.
+  // Consume-then-disarm: a concurrent ring that loses the CAS while the
+  // byte is still in flight was already pushed to ready_ (push happens
+  // before ring), so the drain that follows this call services it.
   struct pollfd pfd;
   pfd.fd = pipe_rd_;
   pfd.events = POLLIN;
@@ -207,17 +249,19 @@ void PollSet::PollChannel() {
     char drainbuf[16];
     while (::read(pipe_rd_, drainbuf, sizeof(drainbuf)) > 0) {
     }
-    doorbell_armed_ = false;
+    doorbell_armed_.store(false, std::memory_order_release);
   }
 #endif
 }
 
 std::size_t PollSet::Drain(FunctionRef<void(Qp*)> fn) {
-  ++drains_;
+  drains_.fetch_add(1, std::memory_order_relaxed);
   PollChannel();
   // Service only the QPs ready at entry; edges raised by `fn` itself wait
   // for the next drain (bounded work per call). The callback may Remove
-  // QPs (shrinking ready_), so re-check emptiness every iteration.
+  // QPs (shrinking ready_), so re-check emptiness every iteration. The
+  // lock drops around `fn` so handlers can Send/Recv/Remove freely.
+  std::unique_lock<std::mutex> lk(mu_);
   const std::size_t bound = ready_.size();
   std::size_t n = 0;
   for (std::size_t i = 0; i < bound && !ready_.empty(); ++i) {
@@ -226,14 +270,19 @@ std::size_t PollSet::Drain(FunctionRef<void(Qp*)> fn) {
     qp->poll_ready_ = false;
     draining_ = qp;
     draining_removed_ = false;
+    lk.unlock();
     fn(qp);
+    lk.lock();
+    const bool removed = draining_removed_;
+    draining_ = nullptr;
+    draining_removed_ = false;
     // Liveness: a handler that bailed early (decode error) leaves bytes
     // queued with the edge already consumed; re-raise it — unless the
     // callback removed/destroyed the Qp, in which case touching it is UB.
-    if (!draining_removed_ && qp->HasMessage()) MarkReady(qp);
-    draining_ = nullptr;
+    if (!removed && qp->HasMessage()) MarkReadyLocked(qp);
     ++n;
   }
+  lk.unlock();
   if (n > 0) {
     // Re-arm/re-check: an edge-triggered channel consumer must look at
     // the event queue again AFTER re-arming notification, or a doorbell
@@ -243,6 +292,40 @@ std::size_t PollSet::Drain(FunctionRef<void(Qp*)> fn) {
     PollChannel();
   }
   return n;
+}
+
+std::size_t PollSet::DrainWait(int timeout_ms, FunctionRef<void(Qp*)> fn) {
+  bool must_wait;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    must_wait = ready_.empty() && !ring_pending_;
+  }
+  if (must_wait) {
+#ifdef ROS2_HAVE_POLL
+    if (pipe_rd_ >= 0) {
+      // Block in poll() on the doorbell pipe — the byte a foreign-thread
+      // MarkReady/Ring writes ends the wait; Drain's PollChannel consumes
+      // it. A doorbell armed before we got here means the byte is already
+      // in the pipe, so poll() returns immediately: no lost wakeup.
+      struct pollfd pfd;
+      pfd.fd = pipe_rd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      (void)::poll(&pfd, 1, timeout_ms);
+    } else
+#endif
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), [this] {
+        return !ready_.empty() || ring_pending_;
+      });
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ring_pending_ = false;
+  }
+  return Drain(fn);
 }
 
 // ------------------------------------------------------------- Endpoint
@@ -291,6 +374,7 @@ void Endpoint::UnpinRegion(std::uintptr_t addr, std::size_t len) {
 }
 
 PdId Endpoint::AllocPd(TenantId tenant) {
+  std::lock_guard<std::mutex> lk(mu_);
   const PdId id = next_pd_++;
   pds_[id] = tenant;
   return id;
@@ -300,6 +384,7 @@ Result<MemoryRegion> Endpoint::RegisterMemory(PdId pd,
                                               std::span<std::byte> region,
                                               std::uint32_t access,
                                               double ttl) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (!pds_.contains(pd)) return NotFound("unknown protection domain");
   if (region.empty()) return InvalidArgument("empty memory region");
   if (register_fault_skip_ > 0) {
@@ -321,6 +406,7 @@ Result<MemoryRegion> Endpoint::RegisterMemory(PdId pd,
 }
 
 Status Endpoint::RevokeMemory(RKey rkey) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = mrs_.find(rkey);
   if (it == mrs_.end()) return NotFound("unknown rkey");
   it->second.revoked = true;
@@ -328,6 +414,7 @@ Status Endpoint::RevokeMemory(RKey rkey) {
 }
 
 Status Endpoint::DeregisterMemory(RKey rkey) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = mrs_.find(rkey);
   if (it == mrs_.end()) return NotFound("unknown rkey");
   UnpinRegion(it->second.addr, it->second.length);
@@ -336,36 +423,57 @@ Status Endpoint::DeregisterMemory(RKey rkey) {
 }
 
 Result<TenantId> Endpoint::PdTenant(PdId pd) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = pds_.find(pd);
   if (it == pds_.end()) return NotFound("unknown protection domain");
   return it->second;
 }
 
-const MemoryRegion* Endpoint::FindMr(RKey rkey) const {
+bool Endpoint::FindMr(RKey rkey, MemoryRegion* out) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = mrs_.find(rkey);
-  return it == mrs_.end() ? nullptr : &it->second;
+  if (it == mrs_.end()) return false;
+  *out = it->second;
+  return true;
 }
 
 Result<Qp*> Endpoint::Connect(Endpoint* remote, Transport transport, PdId pd,
                               PdId remote_pd) {
   if (remote == nullptr) return InvalidArgument("null remote endpoint");
-  if (!pds_.contains(pd)) return NotFound("unknown local protection domain");
-  if (!remote->pds_.contains(remote_pd)) {
-    return NotFound("unknown remote protection domain");
-  }
   auto local_qp = std::unique_ptr<Qp>(new Qp(this, transport, pd));
   auto remote_qp =
       std::unique_ptr<Qp>(new Qp(remote, transport, remote_pd));
   local_qp->peer_ = remote_qp.get();
   remote_qp->peer_ = local_qp.get();
   Qp* out = local_qp.get();
-  // The accepting side's progress loop watches every accepted Qp through
-  // its poll set (CaRT progress-context accept hook).
-  if (remote->accept_poll_set_ != nullptr) {
-    (void)remote->accept_poll_set_->Add(remote_qp.get());
+  PollSet* accept_set = nullptr;
+  {
+    // Two endpoints, one lock each; std::lock orders the acquisition so
+    // concurrent A->B / B->A connects cannot deadlock. Loopback connects
+    // (remote == this) take the single lock once.
+    std::unique_lock<std::mutex> lk_local(mu_, std::defer_lock);
+    std::unique_lock<std::mutex> lk_remote(remote->mu_, std::defer_lock);
+    if (remote == this) {
+      lk_local.lock();
+    } else {
+      std::lock(lk_local, lk_remote);
+    }
+    if (!pds_.contains(pd)) {
+      return NotFound("unknown local protection domain");
+    }
+    if (!remote->pds_.contains(remote_pd)) {
+      return NotFound("unknown remote protection domain");
+    }
+    accept_set = remote->accept_poll_set_;
+    qps_.push_back(std::move(local_qp));
+    remote->qps_.push_back(std::move(remote_qp));
   }
-  qps_.push_back(std::move(local_qp));
-  remote->qps_.push_back(std::move(remote_qp));
+  // The accepting side's progress loop watches every accepted Qp through
+  // its poll set (CaRT progress-context accept hook). Outside the
+  // endpoint locks: PollSet is below Endpoint in the lock order.
+  if (accept_set != nullptr) {
+    (void)accept_set->Add(out->peer_);
+  }
   ROS2_DEBUG << "qp connected " << address_ << " <-> " << remote->address_
              << " (" << perf::TransportName(transport) << ")";
   return out;
@@ -374,6 +482,7 @@ Result<Qp*> Endpoint::Connect(Endpoint* remote, Transport transport, PdId pd,
 // --------------------------------------------------------------- Fabric
 
 Result<Endpoint*> Fabric::CreateEndpoint(const std::string& address) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (endpoints_.contains(address)) {
     return AlreadyExists("endpoint address in use: " + address);
   }
@@ -384,6 +493,7 @@ Result<Endpoint*> Fabric::CreateEndpoint(const std::string& address) {
 }
 
 Result<Endpoint*> Fabric::Lookup(const std::string& address) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = endpoints_.find(address);
   if (it == endpoints_.end()) return NotFound("no endpoint at " + address);
   return it->second.get();

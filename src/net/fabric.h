@@ -15,12 +15,24 @@
 //
 // Time for rkey expiry is the fabric's logical clock, advanced by tests and
 // by the perf-model-driven harness.
+//
+// Threading: the engine now runs real xstream worker threads, so the data
+// path is thread-safe — Send/Recv/one-sided ops, memory registration, and
+// PollSet::MarkReady may be called from any thread. The locking order is
+// MrCache -> Endpoint -> PollSet -> Qp (each level may acquire the ones to
+// its right, never the reverse; PollSet drain callbacks run unlocked).
+// Control-plane setup/teardown (CreateEndpoint, Connect, destroying a Qp
+// or PollSet) must still be quiesced against concurrent data-path use of
+// the object being torn down.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -70,7 +82,8 @@ class Endpoint;
 class Fabric;
 
 /// A connected queue pair. Obtained via Endpoint::Connect/Accept; always
-/// paired with exactly one remote Qp.
+/// paired with exactly one remote Qp. Send/Recv/one-sided ops are
+/// thread-safe; destruction must be quiesced against concurrent use.
 class Qp {
  public:
   Transport transport() const { return transport_; }
@@ -86,7 +99,10 @@ class Qp {
 
   /// Polls the receive queue; NOT_FOUND when empty.
   Result<Message> Recv();
-  bool HasMessage() const { return !rx_queue_.empty(); }
+  bool HasMessage() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return !rx_queue_.empty();
+  }
 
   /// One-sided RDMA READ: remote [remote_addr, +local.size()) -> local.
   /// RDMA transport only; validates the rkey capability at the remote side.
@@ -98,13 +114,19 @@ class Qp {
                    std::uintptr_t remote_addr, RKey rkey);
 
   // Traffic counters (bytes moved through this Qp, both directions).
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
-  std::uint64_t bytes_one_sided() const { return bytes_one_sided_; }
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_one_sided() const {
+    return bytes_one_sided_.load(std::memory_order_relaxed);
+  }
 
   /// Fault injection: the next `count` Send() calls fail with UNAVAILABLE
   /// (a flapping link / blown send queue). Lets tests drive the
   /// send-failed cleanup paths that are unreachable on a healthy fabric.
-  void InjectSendFaults(int count) { send_faults_ = count; }
+  void InjectSendFaults(int count) {
+    send_faults_.store(count, std::memory_order_relaxed);
+  }
 
   ~Qp();
 
@@ -115,19 +137,21 @@ class Qp {
       : owner_(owner), transport_(transport), local_pd_(pd) {}
 
   Status ValidateOneSided(std::uintptr_t remote_addr, std::size_t len,
-                          RKey rkey, std::uint32_t need_access,
-                          const MemoryRegion** out_mr) const;
+                          RKey rkey, std::uint32_t need_access) const;
 
   Endpoint* owner_;
   Transport transport_;
   PdId local_pd_;
   Qp* peer_ = nullptr;
+  mutable std::mutex mu_;  // guards rx_queue_ (foreign threads Send here)
   std::deque<Message> rx_queue_;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t bytes_one_sided_ = 0;
-  int send_faults_ = 0;
-  PollSet* poll_set_ = nullptr;  // readiness set this Qp reports into
-  bool poll_ready_ = false;      // already queued in the set's ready ring
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_one_sided_{0};
+  std::atomic<int> send_faults_{0};
+  /// Readiness set this Qp reports into. Atomic: Send() reads it from
+  /// worker threads while Add/Remove swap it on the control path.
+  std::atomic<PollSet*> poll_set_{nullptr};
+  bool poll_ready_ = false;  // queued in the set's ready ring (set's lock)
 };
 
 /// Readiness set over queue pairs — the completion-channel analog of a
@@ -146,6 +170,12 @@ class Qp {
 /// pinning: the stand-in pays the real mechanism's cost so batching wins
 /// honestly.) On platforms without pipes the set degrades to the pure
 /// in-memory ready ring.
+///
+/// Thread-safety: MarkReady (via Qp::Send) and Ring() may come from any
+/// thread — the ready ring and doorbell arm state are mutex-guarded, and
+/// the armed flag is atomic, so a foreign-thread ring wakes a blocked
+/// DrainWait exactly once per arm cycle. Drain/DrainWait themselves are
+/// single-consumer: exactly one progress thread drains a given set.
 class PollSet {
  public:
   PollSet();
@@ -164,29 +194,59 @@ class PollSet {
   /// re-marked ready for the next drain. Returns the number serviced.
   std::size_t Drain(FunctionRef<void(Qp*)> fn);
 
-  bool has_ready() const { return !ready_.empty(); }
-  std::size_t member_count() const { return members_.size(); }
+  /// Blocking Drain for a dedicated progress thread: waits up to
+  /// `timeout_ms` for a doorbell (message arrival or Ring()), then drains.
+  /// May service zero QPs (timeout, or a bare Ring()).
+  std::size_t DrainWait(int timeout_ms, FunctionRef<void(Qp*)> fn);
+
+  /// Wakes a blocked DrainWait without marking any Qp ready — the hook
+  /// for foreign-thread events that the progress loop must notice (e.g. a
+  /// worker thread finishing an op whose reply the loop sends).
+  void Ring();
+
+  bool has_ready() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return !ready_.empty();
+  }
+  std::size_t member_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return members_.size();
+  }
   /// Event-channel telemetry: doorbell rings (arm cycles) and drains.
-  std::uint64_t doorbells() const { return doorbells_; }
-  std::uint64_t drains() const { return drains_; }
+  std::uint64_t doorbells() const {
+    return doorbells_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t drains() const {
+    return drains_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Qp;
   void MarkReady(Qp* qp);
+  void MarkReadyLocked(Qp* qp);  // requires mu_
+  void RingDoorbell();           // lock-free: atomic armed flag + pipe
   void PollChannel();  // zero-timeout poll + doorbell byte consumption
 
+  mutable std::mutex mu_;  // guards members_, ready_, flags, ring_pending_
+  std::condition_variable cv_;  // DrainWait fallback when pipes are absent
   std::vector<Qp*> members_;
   std::deque<Qp*> ready_;
   Qp* draining_ = nullptr;        // qp currently inside Drain's callback
   bool draining_removed_ = false; // callback removed/destroyed draining_
+  bool ring_pending_ = false;     // Ring() since the last DrainWait
   int pipe_rd_ = -1;
   int pipe_wr_ = -1;
-  bool doorbell_armed_ = false;  // a byte is sitting in the pipe
-  std::uint64_t doorbells_ = 0;
-  std::uint64_t drains_ = 0;
+  /// A byte is sitting in the pipe. Atomic so a worker-thread MarkReady
+  /// and the drain loop's consume can't double-ring or lose the wakeup.
+  std::atomic<bool> doorbell_armed_{false};
+  std::atomic<std::uint64_t> doorbells_{0};
+  std::atomic<std::uint64_t> drains_{0};
 };
 
 /// A fabric endpoint (one per node/process): owns PDs, MRs, and QPs.
+/// Registration/lookup paths are thread-safe (one mutex over the PD/MR/QP
+/// tables); MR data is handed out by value so readers never hold a
+/// pointer into the table.
 class Endpoint {
  public:
   ~Endpoint();
@@ -214,13 +274,23 @@ class Endpoint {
   /// Tenant owning `pd` (NOT_FOUND if the PD does not exist).
   Result<TenantId> PdTenant(PdId pd) const;
 
+  /// Copies the MR for `rkey` into `*out`; false if unknown. By-value so
+  /// no caller holds a pointer into the table across the lock.
+  bool FindMr(RKey rkey, MemoryRegion* out) const;
+
   /// Connects to `remote`, creating a Qp pair (one here, one there).
   /// `pd` scopes this side's one-sided operations.
   Result<Qp*> Connect(Endpoint* remote, Transport transport, PdId pd,
                       PdId remote_pd);
 
-  std::size_t qp_count() const { return qps_.size(); }
-  std::size_t mr_count() const { return mrs_.size(); }
+  std::size_t qp_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return qps_.size();
+  }
+  std::size_t mr_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return mrs_.size();
+  }
 
   /// The endpoint's registered-memory pool (see net/mr_cache.h). Data
   /// paths acquire leases from here instead of registering per call.
@@ -237,6 +307,7 @@ class Endpoint {
   /// table full — a real verbs failure mode). Drives the
   /// registration-failed cleanup paths in tests.
   void InjectRegisterFaults(int skip, int count) {
+    std::lock_guard<std::mutex> lk(mu_);
     register_fault_skip_ = skip;
     register_faults_ = count;
   }
@@ -247,16 +318,15 @@ class Endpoint {
   friend class MrCache;
   Endpoint(Fabric* fabric, std::string address);
 
-  const MemoryRegion* FindMr(RKey rkey) const;
-
   // Refcounted page pinning (ibv_reg_mr semantics: overlapping MRs each
   // hold their pages; the last deregistration unpins). Keyed by 4 KiB
-  // page base address.
+  // page base address. Callers hold mu_.
   void PinRegion(std::uintptr_t addr, std::size_t len);
   void UnpinRegion(std::uintptr_t addr, std::size_t len);
 
   Fabric* fabric_;
   std::string address_;
+  mutable std::mutex mu_;  // guards pds_, mrs_, pin_counts_, qps_, faults
   std::uint32_t next_pd_ = 1;
   std::map<PdId, TenantId> pds_;
   std::unordered_map<RKey, MemoryRegion> mrs_;
@@ -281,17 +351,26 @@ class Fabric {
   Result<Endpoint*> CreateEndpoint(const std::string& address);
   Result<Endpoint*> Lookup(const std::string& address) const;
 
-  /// Logical time driving rkey TTLs.
-  double now() const { return now_; }
-  void AdvanceTime(double seconds) { now_ += seconds; }
+  /// Logical time driving rkey TTLs. Read from worker threads (TTL
+  /// checks), so it is atomic; advancing still belongs to the harness.
+  double now() const { return now_.load(std::memory_order_relaxed); }
+  void AdvanceTime(double seconds) {
+    double cur = now_.load(std::memory_order_relaxed);
+    while (!now_.compare_exchange_weak(cur, cur + seconds,
+                                       std::memory_order_relaxed)) {
+    }
+  }
 
   /// Fresh, never-reused rkey (fabric-global so leaked rkeys can't collide).
-  RKey NextRKey() { return next_rkey_++; }
+  RKey NextRKey() {
+    return next_rkey_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
+  mutable std::mutex mu_;  // guards endpoints_
   std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
-  double now_ = 0.0;
-  RKey next_rkey_ = 0x1000;
+  std::atomic<double> now_{0.0};
+  std::atomic<RKey> next_rkey_{0x1000};
 };
 
 }  // namespace ros2::net

@@ -49,10 +49,10 @@ void MrLease::Release() {
 MrCache::~MrCache() { (void)Clear(); }
 
 bool MrCache::StillValid(const MemoryRegion& mr) const {
-  const MemoryRegion* live = endpoint_->FindMr(mr.rkey);
-  if (live == nullptr || live->revoked) return false;
-  if (live->expires_at > 0.0 &&
-      endpoint_->fabric()->now() >= live->expires_at) {
+  MemoryRegion live;
+  if (!endpoint_->FindMr(mr.rkey, &live) || live.revoked) return false;
+  if (live.expires_at > 0.0 &&
+      endpoint_->fabric()->now() >= live.expires_at) {
     return false;
   }
   return true;
@@ -62,14 +62,15 @@ Result<MrLease> MrCache::Acquire(PdId pd, std::span<std::byte> region,
                                  std::uint32_t access) {
   const MrKey key{pd, reinterpret_cast<std::uintptr_t>(region.data()),
                   region.size(), access};
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     if (StillValid(it->second->mr)) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
       MrCacheEntry& entry = *it->second;
       ++entry.leases;
-      ++outstanding_;
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
       return MrLease(this, &entry, endpoint_, entry.mr);
     }
     // Revoked/expired/externally-deregistered: drop and re-register. An
@@ -85,19 +86,22 @@ Result<MrLease> MrCache::Acquire(PdId pd, std::span<std::byte> region,
     }
     index_.erase(it);
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   ROS2_ASSIGN_OR_RETURN(MemoryRegion mr,
                         endpoint_->RegisterMemory(pd, region, access));
   lru_.push_front(MrCacheEntry{key, mr, 1});
   index_[key] = lru_.begin();
-  ++outstanding_;
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
   if (lru_.size() > capacity_) EvictDownTo(capacity_);
   return MrLease(this, &lru_.front(), endpoint_, mr);
 }
 
 void MrCache::ReleaseEntry(MrCacheEntry* entry) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (entry->leases > 0) --entry->leases;
-  if (outstanding_ > 0) --outstanding_;
+  if (outstanding_.load(std::memory_order_acquire) > 0) {
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
   if (entry->detached && entry->leases == 0) {
     // Last lease on a parked stale entry: reclaim it (its MR was already
     // deregistered when it was detached).
@@ -119,11 +123,12 @@ void MrCache::EvictDownTo(std::size_t target) {
     (void)endpoint_->DeregisterMemory(it->mr.rkey);
     index_.erase(it->key);
     it = lru_.erase(it);
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 std::size_t MrCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
   std::size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->leases > 0) {
@@ -139,6 +144,7 @@ std::size_t MrCache::Clear() {
 }
 
 void MrCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
   capacity_ = capacity;
   if (lru_.size() > capacity_) EvictDownTo(capacity_);
 }

@@ -24,10 +24,20 @@
 // DAOS's pooled registrations). The fabric's scoped-rkey mitigations
 // (TTL, revocation, PD scoping) still apply — a revoked or expired entry
 // is detected on the next Acquire, dropped, and re-registered.
+//
+// Thread-safety: worker threads share an Endpoint once the engine runs
+// real xstreams, so Acquire/Release and the LRU bookkeeping are guarded
+// by one cache mutex (lock order: MrCache before Endpoint — the cache
+// calls RegisterMemory/DeregisterMemory while holding its lock; the
+// endpoint never calls back into the cache under its own lock). The
+// hit/miss/eviction counters are atomic so telemetry reads don't block
+// the data path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 
@@ -138,14 +148,28 @@ class MrCache {
 
   /// Shrinks/grows the bound; evicts down immediately if needed.
   void set_capacity(std::size_t capacity);
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return capacity_;
+  }
 
-  std::size_t size() const { return lru_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t evictions() const { return evictions_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return lru_.size();
+  }
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   /// Outstanding MrLease handles across all entries.
-  std::uint32_t leased() const { return outstanding_; }
+  std::uint32_t leased() const {
+    return outstanding_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class MrLease;
@@ -153,21 +177,26 @@ class MrCache {
 
   void ReleaseEntry(MrCacheEntry* entry);
   /// Evicts unleased entries from the LRU tail until size() <= target.
+  /// Requires mu_.
   void EvictDownTo(std::size_t target);
   /// True if the cached MR is still usable (registered, not revoked, not
   /// expired).
   bool StillValid(const MemoryRegion& mr) const;
 
   Endpoint* endpoint_;
+  /// Guards capacity_, lru_, detached_, index_, and every entry's
+  /// leases/detached fields. Entry ADDRESSES are stable (list nodes), so
+  /// leases hold MrCacheEntry* across unlocked regions safely.
+  mutable std::mutex mu_;
   std::size_t capacity_;
   LruList lru_;  // front = most recently used
   // Stale-but-leased entries parked until their last lease releases.
   LruList detached_;
   std::unordered_map<MrKey, LruList::iterator, MrKeyHash> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint32_t outstanding_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint32_t> outstanding_{0};
 };
 
 }  // namespace ros2::net

@@ -1,9 +1,20 @@
 #include "rpc/data_rpc.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace ros2::rpc {
 namespace {
+
+/// Stall deadlines are wall-clock (steady), not round-count: with a
+/// threaded server the number of no-progress pump rounds before a reply
+/// lands depends on scheduling, so "one empty round = dead" misfires.
+std::chrono::steady_clock::time_point StallDeadline(double ms) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double, std::milli>(ms));
+}
 
 Status DecodeBulkDesc(Decoder& dec, BulkDesc* out) {
   ROS2_ASSIGN_OR_RETURN(out->addr, dec.U64());
@@ -59,16 +70,17 @@ Status BulkIo::Push(std::span<const std::byte> src) {
 RpcContext::~RpcContext() {
   // A context that was decoded but never answered (handler dropped it on
   // an error path) must not strand the client: fail loudly.
-  if (server_ != nullptr && !completed_) {
+  if (server_ != nullptr && !completed_.load(std::memory_order_acquire)) {
     (void)Complete(Status(Internal("request dropped without a reply")));
   }
 }
 
 Status RpcContext::Complete(Result<Buffer> reply) {
-  if (completed_) {
+  // Atomic exchange: exactly one caller wins even if a worker thread and
+  // the teardown path race to complete the same context.
+  if (completed_.exchange(true, std::memory_order_acq_rel)) {
     return FailedPrecondition("rpc context already completed");
   }
-  completed_ = true;
 
   Encoder enc;
   enc.U64(seq_);  // reply tag: lets the client match out-of-order replies
@@ -104,9 +116,10 @@ Status RpcContext::Complete(Result<Buffer> reply) {
     handler_ok = false;
   }
 
-  ++server_->served_;
-  server_->bulk_in_ += bulk_.in_size_;
-  server_->bulk_out_ += handler_ok ? bulk_.pushed_ : 0;
+  server_->served_.fetch_add(1, std::memory_order_relaxed);
+  server_->bulk_in_.fetch_add(bulk_.in_size_, std::memory_order_relaxed);
+  server_->bulk_out_.fetch_add(handler_ok ? bulk_.pushed_ : 0,
+                               std::memory_order_relaxed);
   return qp_->Send(enc.buffer());
 }
 
@@ -171,7 +184,7 @@ void RpcServer::Dispatch(RpcContextPtr ctx) {
     return;
   }
   if (it->second(std::move(ctx)) == HandlerVerdict::kDeferred) {
-    ++deferred_;
+    deferred_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -218,14 +231,26 @@ Result<RpcClient::CallId> RpcClient::CallAsync(
     return Status(Unavailable("rpc client not connected"));
   }
   if (in_flight_ >= max_in_flight_) {
-    // Backpressure: one pump round to free window slots.
+    // Backpressure: with a threaded server, replies arrive whenever its
+    // progress thread drains completions, so a full window is normally
+    // transient. Pump until a slot frees; fail only after a full stall
+    // window with ZERO completions (deadline resets on any progress).
+    const double timeout_ms = options.window_timeout_ms >= 0.0
+                                  ? options.window_timeout_ms
+                                  : stall_timeout_ms_;
+    auto deadline = StallDeadline(timeout_ms);
     Poll();
-    if (in_flight_ >= max_in_flight_ && progress_) {
-      progress_();
-      Poll();
-    }
-    if (in_flight_ >= max_in_flight_) {
-      return Status(ResourceExhausted("rpc in-flight window full"));
+    while (in_flight_ >= max_in_flight_) {
+      if (progress_) progress_();
+      if (Poll() > 0) {
+        deadline = StallDeadline(timeout_ms);
+        continue;
+      }
+      if (in_flight_ < max_in_flight_) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status(ResourceExhausted("rpc in-flight window full"));
+      }
+      std::this_thread::yield();
     }
   }
   const bool tcp = qp_->transport() == net::Transport::kTcp;
@@ -416,6 +441,7 @@ Result<RpcReply> RpcClient::Take(CallId id) {
 Result<RpcReply> RpcClient::Await(CallId id) {
   PendingCall* call = FindPending(id);
   if (call == nullptr) return Status(NotFound("unknown call handle"));
+  auto deadline = StallDeadline(stall_timeout_ms_);
   while (!call->done) {
     std::size_t completed = Poll();
     call = FindPending(id);  // pumps may reshuffle the window table
@@ -424,29 +450,41 @@ Result<RpcReply> RpcClient::Await(CallId id) {
     completed += Poll();
     call = FindPending(id);
     if (call == nullptr || call->done) break;
-    if (completed == 0) {
-      // A full pump round moved nothing: the server will never answer
-      // (dead hook, swallowed frame). Abandon the call — releasing its
-      // leases — exactly where the synchronous path used to fail.
+    if (completed > 0) {
+      deadline = StallDeadline(stall_timeout_ms_);  // server is live
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Zero completions for a full stall window: the server will never
+      // answer (dead hook, swallowed frame). Abandon the call — releasing
+      // its leases — exactly where the synchronous path used to fail.
       ErasePending(id);
       --in_flight_;
       return Status(Unavailable("no reply from server"));
     }
+    std::this_thread::yield();
   }
   return Take(id);
 }
 
 Status RpcClient::Flush() {
+  auto deadline = StallDeadline(stall_timeout_ms_);
   while (in_flight_ > 0) {
     std::size_t completed = Poll();
     if (in_flight_ == 0) break;
     if (progress_) progress_();
     completed += Poll();
-    if (completed == 0 && in_flight_ > 0) {
+    if (completed > 0) {
+      deadline = StallDeadline(stall_timeout_ms_);
+      continue;
+    }
+    if (in_flight_ > 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
       in_flight_ -= std::size_t(std::erase_if(
           pending_, [](const PendingCall& call) { return !call.done; }));
       return Status(Unavailable("no reply from server"));
     }
+    std::this_thread::yield();
   }
   return Status::Ok();
 }

@@ -28,6 +28,7 @@
 // installed at connection time (stands in for network + progress thread).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -110,12 +111,16 @@ class RpcContext {
   const Buffer& header() const { return header_; }
   BulkIo& bulk() { return bulk_; }
   net::Qp* qp() const { return qp_; }
-  bool completed() const { return completed_; }
+  bool completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
 
   /// Encodes and sends the reply frame for this request (exactly once;
-  /// FAILED_PRECONDITION on a second call) and updates the server's
-  /// served/bulk counters. An error `reply` reports pushed = 0 and ships
-  /// no partial bulk.
+  /// FAILED_PRECONDITION on a second call — the guard is an atomic
+  /// exchange, so a worker thread and the progress/teardown path racing
+  /// to complete cannot double-send) and updates the server's served/bulk
+  /// counters. An error `reply` reports pushed = 0 and ships no partial
+  /// bulk.
   Status Complete(Result<Buffer> reply);
 
  private:
@@ -128,7 +133,7 @@ class RpcContext {
   std::uint64_t seq_ = 0;
   Buffer header_;
   BulkIo bulk_;
-  bool completed_ = false;
+  std::atomic<bool> completed_{false};
 };
 
 using RpcContextPtr = std::unique_ptr<RpcContext>;
@@ -158,12 +163,22 @@ class RpcServer {
   /// scan); returns the first per-QP error but keeps draining.
   Status Progress(net::PollSet* set);
 
-  /// Completed requests (replies sent), including deferred ones.
-  std::uint64_t requests_served() const { return served_; }
+  /// Completed requests (replies sent), including deferred ones. The
+  /// counters are atomic: deferred contexts complete from worker-fed
+  /// completion drains while the progress thread keeps decoding.
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
   /// Requests whose handler returned kDeferred.
-  std::uint64_t requests_deferred() const { return deferred_; }
-  std::uint64_t bulk_bytes_in() const { return bulk_in_; }
-  std::uint64_t bulk_bytes_out() const { return bulk_out_; }
+  std::uint64_t requests_deferred() const {
+    return deferred_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bulk_bytes_in() const {
+    return bulk_in_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bulk_bytes_out() const {
+    return bulk_out_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class RpcContext;
@@ -175,16 +190,20 @@ class RpcServer {
   void Dispatch(RpcContextPtr ctx);
 
   std::map<std::uint32_t, AsyncHandler> handlers_;
-  std::uint64_t served_ = 0;
-  std::uint64_t deferred_ = 0;
-  std::uint64_t bulk_in_ = 0;
-  std::uint64_t bulk_out_ = 0;
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> deferred_{0};
+  std::atomic<std::uint64_t> bulk_in_{0};
+  std::atomic<std::uint64_t> bulk_out_{0};
 };
 
 /// Client call options: at most one send payload and one receive window.
 struct CallOptions {
   std::span<const std::byte> send_bulk;  ///< client -> server payload
   std::span<std::byte> recv_bulk;        ///< server -> client window
+  /// Per-call override for how long CallAsync may block pumping progress
+  /// when the in-flight window is full. Negative = use the client's
+  /// stall_timeout_ms(); 0 = fail after one no-progress pump round.
+  double window_timeout_ms = -1.0;
 };
 
 struct RpcReply {
@@ -222,9 +241,12 @@ class RpcClient {
                         const CallOptions& options = {});
 
   /// Issues the request and returns immediately with a completion handle.
-  /// If the in-flight window is full, pumps progress once to free slots;
-  /// RESOURCE_EXHAUSTED if it stays full (a stalled server). The caller's
-  /// bulk buffers must stay alive until the call completes or is
+  /// If the in-flight window is full, blocks pumping progress until a slot
+  /// frees or the stall deadline passes (options.window_timeout_ms, else
+  /// stall_timeout_ms()); RESOURCE_EXHAUSTED only on a genuine stall. With
+  /// a threaded server the replies arrive from the progress thread, so a
+  /// momentarily-full window is normal backpressure, not an error. The
+  /// caller's bulk buffers must stay alive until the call completes or is
   /// abandoned.
   Result<CallId> CallAsync(std::uint32_t opcode,
                            std::span<const std::byte> header,
@@ -244,14 +266,16 @@ class RpcClient {
   /// UNAVAILABLE if still pending — Poll/Flush first).
   Result<RpcReply> Take(CallId id);
 
-  /// Pumps progress until `id` completes, then takes its result. If a
-  /// full pump round makes no progress the call is abandoned (leases
-  /// released) and UNAVAILABLE returned.
+  /// Pumps progress until `id` completes, then takes its result. Keeps
+  /// pumping while replies keep arriving; only after stall_timeout_ms()
+  /// of zero completions is the call abandoned (leases released) and
+  /// UNAVAILABLE returned. A timeout of 0 keeps the old semantics: one
+  /// no-progress round fails.
   Result<RpcReply> Await(CallId id);
 
   /// Pumps progress until every pending call completed (results remain
   /// available via Take). Abandons still-pending calls and returns
-  /// UNAVAILABLE if a pump round makes no progress.
+  /// UNAVAILABLE after stall_timeout_ms() with zero completions.
   Status Flush();
 
   /// Max calls outstanding before CallAsync applies backpressure.
@@ -264,6 +288,15 @@ class RpcClient {
 
   void set_mr_pooling(bool pooled) { mr_pooling_ = pooled; }
   bool mr_pooling() const { return mr_pooling_; }
+
+  /// How long pump loops (CallAsync window-full, Await, Flush) tolerate
+  /// zero progress before declaring a stall. The deadline RESETS whenever
+  /// a reply completes, so a slow-but-live server never trips it. 0 =
+  /// fail after one no-progress round (the pre-threading behavior).
+  void set_stall_timeout_ms(double ms) {
+    stall_timeout_ms_ = ms < 0.0 ? 0.0 : ms;
+  }
+  double stall_timeout_ms() const { return stall_timeout_ms_; }
 
   net::Qp* qp() const { return qp_; }
 
@@ -290,6 +323,7 @@ class RpcClient {
   net::Endpoint* local_;
   std::function<void()> progress_;
   bool mr_pooling_ = true;
+  double stall_timeout_ms_ = 100.0;
   std::uint32_t max_in_flight_ = 32;
   std::uint64_t next_seq_ = 1;
   std::size_t in_flight_ = 0;

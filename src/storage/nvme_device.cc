@@ -40,6 +40,7 @@ NvmeDevice::NvmeDevice(NvmeDeviceConfig config)
     : config_(std::move(config)), store_(config_.capacity_bytes) {}
 
 Result<NvmeQueuePair*> NvmeDevice::CreateQueuePair() {
+  std::lock_guard<std::mutex> lk(mu_);
   std::uint32_t live = 0;
   for (const auto& qp : qpairs_) {
     if (qp != nullptr) ++live;
@@ -55,6 +56,7 @@ Result<NvmeQueuePair*> NvmeDevice::CreateQueuePair() {
 }
 
 Status NvmeDevice::DestroyQueuePair(std::uint16_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& qp : qpairs_) {
     if (qp != nullptr && qp->id() == id) {
       qp.reset();
@@ -75,19 +77,23 @@ Status NvmeDevice::Execute(const NvmeCommand& cmd) {
   }
   const std::uint64_t offset = cmd.slba * lba_size;
   const std::uint64_t length = std::uint64_t(cmd.nlb) * lba_size;
+  // Serialize block-store access: queue pairs on different target threads
+  // share one namespace (disjoint partitions, but the store's sparse page
+  // table is a single structure).
+  std::lock_guard<std::mutex> lk(mu_);
   switch (cmd.opcode) {
     case NvmeOpcode::kRead: {
       ROS2_RETURN_IF_ERROR(
           store_.Read(offset, std::span<std::byte>(cmd.data, length)));
-      ++reads_;
-      bytes_read_ += length;
+      reads_.fetch_add(1, std::memory_order_relaxed);
+      bytes_read_.fetch_add(length, std::memory_order_relaxed);
       return Status::Ok();
     }
     case NvmeOpcode::kWrite: {
       ROS2_RETURN_IF_ERROR(store_.Write(
           offset, std::span<const std::byte>(cmd.data, length)));
-      ++writes_;
-      bytes_written_ += length;
+      writes_.fetch_add(1, std::memory_order_relaxed);
+      bytes_written_.fetch_add(length, std::memory_order_relaxed);
       return Status::Ok();
     }
     case NvmeOpcode::kDeallocate:

@@ -6,11 +6,18 @@
 // target all talk to devices the way user-space stacks do: post commands,
 // poll completions. Execution is synchronous-at-poll — the functional model
 // has no concurrency of its own; timing lives in ros2::perf.
+// Thread-safety: one NvmeDevice is shared by every target partitioned
+// onto it, and targets may be real worker threads. The device serializes
+// Execute and queue-pair management with an internal mutex and keeps its
+// smart-log counters atomic. A QUEUE PAIR is still single-owner (one
+// thread submits and polls it) — exactly NVMe's contract.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -91,23 +98,34 @@ class NvmeDevice {
   }
 
   // Cumulative op counters (smart-log style).
-  std::uint64_t reads_completed() const { return reads_; }
-  std::uint64_t writes_completed() const { return writes_; }
-  std::uint64_t bytes_read() const { return bytes_read_; }
-  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t reads_completed() const {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t writes_completed() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class NvmeQueuePair;
   Status Execute(const NvmeCommand& cmd);
 
   NvmeDeviceConfig config_;
+  /// Guards store_ and qpairs_/next_qpair_id_ (Execute runs on whichever
+  /// thread polls a queue pair).
+  std::mutex mu_;
   BlockStore store_;
   std::vector<std::unique_ptr<NvmeQueuePair>> qpairs_;
   std::uint16_t next_qpair_id_ = 0;
-  std::uint64_t reads_ = 0;
-  std::uint64_t writes_ = 0;
-  std::uint64_t bytes_read_ = 0;
-  std::uint64_t bytes_written_ = 0;
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
 };
 
 }  // namespace ros2::storage

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "common/bytes.h"
 
 namespace ros2::net {
@@ -310,6 +315,75 @@ TEST_F(FabricTest, PollSetDoorbellRingsOncePerArmCycle) {
   // Next burst starts a new arm cycle.
   ASSERT_TRUE(client->Send(msg).ok());
   EXPECT_EQ(set.doorbells() - doorbells_before, rung * 2);
+}
+
+TEST_F(FabricTest, ForeignThreadRingWakesBlockedDrainWait) {
+  // The progress-thread wakeup path: a thread blocked in DrainWait must
+  // wake when ANOTHER thread rings the doorbell (worker completions use
+  // exactly this edge), and a consumed ring must not re-fire.
+  PollSet set;
+  std::atomic<int> wakeups{0};
+  std::thread waiter([&] {
+    // Generous timeout: the test fails on wakeups, not timing — a missed
+    // ring shows up as a 30 s hang converted into wakeups == 0.
+    set.DrainWait(30000, [](Qp*) {});
+    wakeups.fetch_add(1);
+  });
+  // Give the waiter time to park. Ordering is safe either way: a Ring
+  // BEFORE the wait latches ring_pending_, so the wait returns at once —
+  // the exact lost-wakeup hole the latch exists to close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  set.Ring();
+  waiter.join();
+  EXPECT_EQ(wakeups.load(), 1);
+  // The ring was consumed by that DrainWait: an immediate re-wait with a
+  // short timeout sees an idle set, not a stale doorbell edge.
+  EXPECT_EQ(set.DrainWait(1, [](Qp*) {
+    FAIL() << "stale ring delivered a qp";
+  }), 0u);
+}
+
+TEST_F(FabricTest, ConcurrentSendsMarkReadyWithoutLostWakeups) {
+  // Many threads send into one poll set while a drainer loops: every
+  // message must be serviced (no lost MarkReady edge, no torn ready set).
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 64;
+  std::vector<Qp*> qps;
+  for (int i = 0; i < kSenders; ++i) {
+    Qp* qp = Connect(Transport::kRdma);
+    ASSERT_NE(qp, nullptr);
+    qps.push_back(qp);
+  }
+  PollSet set;
+  for (Qp* qp : qps) ASSERT_TRUE(set.Add(qp->peer()).ok());
+
+  std::atomic<int> received{0};
+  std::atomic<bool> done{false};
+  std::thread drainer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      set.DrainWait(1, [&](Qp* qp) {
+        while (qp->HasMessage()) {
+          (void)qp->Recv();
+          received.fetch_add(1);
+        }
+      });
+    }
+  });
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      Buffer msg = MakePatternBuffer(16, std::uint64_t(s) + 1);
+      for (int i = 0; i < kPerSender; ++i) {
+        ASSERT_TRUE(qps[std::size_t(s)]->Send(msg).ok());
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  while (received.load() < kSenders * kPerSender) std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  set.Ring();  // unblock the drainer's final DrainWait
+  drainer.join();
+  EXPECT_EQ(received.load(), kSenders * kPerSender);
 }
 
 }  // namespace

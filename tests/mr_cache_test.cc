@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "common/bytes.h"
@@ -217,6 +219,53 @@ TEST_F(MrCacheTest, SetCapacityEvictsDown) {
   cache().set_capacity(3);
   EXPECT_EQ(cache().size(), 3u);
   EXPECT_EQ(ep_->mr_count(), 3u);
+}
+
+TEST_F(MrCacheTest, ConcurrentAcquireReleaseKeepsAccountsConsistent) {
+  // Contention storm: several threads acquire/release overlapping buffer
+  // sets through one cache while capacity pressure forces evictions. The
+  // invariants — every lease's MR is live while held, counters balance,
+  // no entry double-freed — must survive; TSan keeps the locking honest.
+  cache().set_capacity(4);
+  constexpr int kThreads = 4;
+  constexpr int kBuffersPerThread = 6;
+  constexpr int kRounds = 200;
+  std::vector<std::vector<Buffer>> buffers(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kBuffersPerThread; ++i) {
+      // Overlapping working sets: thread t uses buffers [t, t+3).
+      buffers[std::size_t(t)].emplace_back(64 * (std::size_t(i) + 1));
+    }
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& mine = buffers[std::size_t(t)];
+      for (int r = 0; r < kRounds; ++r) {
+        auto lease = cache().Acquire(
+            pd_, mine[std::size_t(r) % mine.size()], kRemoteRead);
+        if (!lease.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // While held, the lease's registration must be live: a pinned
+        // entry is never evicted out from under its holder.
+        MemoryRegion live;
+        if (!ep_->FindMr(lease->rkey(), &live) || live.revoked) {
+          failures.fetch_add(1);
+        }
+      }  // lease releases here
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache().leased(), 0u);
+  EXPECT_LE(cache().size(), 4u);
+  EXPECT_EQ(cache().hits() + cache().misses(),
+            std::uint64_t(kThreads) * kRounds);
+  // Every cached entry still registered exactly once.
+  EXPECT_EQ(ep_->mr_count(), cache().size());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // hygiene, and the exactly-once Complete contract.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -142,12 +143,18 @@ TEST_P(RpcPipelineTest, InFlightWindowAppliesBackpressure) {
     return HandlerVerdict::kDeferred;
   });
   client_->set_max_in_flight(2);
+  // Zero stall tolerance = the pre-threading semantics: one no-progress
+  // pump round fails fast (keeps this test instant).
+  client_->set_stall_timeout_ms(0.0);
   auto a = client_->CallAsync(2, kNoHeader);
   auto b = client_->CallAsync(2, kNoHeader);
   ASSERT_TRUE(a.ok() && b.ok());
   // Window full and the server only parks: the third call pumps, frees
-  // nothing, and reports exhaustion instead of deadlocking.
-  EXPECT_EQ(client_->CallAsync(2, kNoHeader).status().code(),
+  // nothing, and reports exhaustion instead of deadlocking. The per-call
+  // override pins the deadline regardless of the client-wide setting.
+  CallOptions fail_fast;
+  fail_fast.window_timeout_ms = 0.0;
+  EXPECT_EQ(client_->CallAsync(2, kNoHeader, fail_fast).status().code(),
             ErrorCode::kResourceExhausted);
   // Completing one parked context frees a slot.
   ASSERT_EQ(parked.size(), 2u);  // the failed CallAsync pumped decode
@@ -168,6 +175,7 @@ TEST_P(RpcPipelineTest, InFlightWindowAppliesBackpressure) {
 
 TEST_P(RpcPipelineTest, AwaitOnDeadServerAbandonsAndReleasesLeases) {
   RpcClient dead(qp_, client_ep_, nullptr);  // no progress hook
+  dead.set_stall_timeout_ms(0.0);  // genuinely dead: no need to linger
   Buffer payload = MakePatternBuffer(4096, 3);
   Buffer window(4096);
   CallOptions options;
@@ -297,6 +305,69 @@ TEST_P(RpcPipelineTest, PollSetProgressServicesAllClients) {
     }
   }
   server_ep_->set_accept_poll_set(nullptr);
+}
+
+TEST_P(RpcPipelineTest, FullWindowWaitsOutASlowServer) {
+  // The threaded-engine contract: a full in-flight window with a server
+  // that IS making progress (just slowly) must block-and-pump until a
+  // slot frees — the stall deadline resets on every completed reply, so
+  // only a genuine stall errors. The slow server here answers at most
+  // one parked request per client pump.
+  std::deque<RpcContextPtr> parked;
+  server_.RegisterAsync(11, [&](RpcContextPtr ctx) {
+    parked.push_back(std::move(ctx));
+    return HandlerVerdict::kDeferred;
+  });
+  RpcClient slow(qp_, client_ep_, [&] {
+    (void)server_.Progress(qp_->peer());
+    if (!parked.empty()) {
+      RpcContextPtr ctx = std::move(parked.front());
+      parked.pop_front();
+      Encoder reply;
+      reply.U32(7);
+      (void)ctx->Complete(reply.Take());
+    }
+  });
+  slow.set_max_in_flight(2);
+  std::vector<RpcClient::CallId> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = slow.CallAsync(11, kNoHeader);
+    ASSERT_TRUE(id.ok())
+        << "call " << i
+        << " must ride out backpressure, not fail: "
+        << id.status().ToString();
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(slow.Flush().ok());
+  for (auto id : ids) {
+    auto reply = slow.Take(id);
+    ASSERT_TRUE(reply.ok());
+    Decoder dec(reply->header);
+    EXPECT_EQ(dec.U32().value_or(0), 7u);
+  }
+  EXPECT_EQ(client_ep_->mr_cache().leased(), 0u);
+}
+
+TEST_P(RpcPipelineTest, StallDeadlineExpiresOnlyWithoutProgress) {
+  // A nonzero deadline against a server that never answers: the blocked
+  // CallAsync spins the real clock down and reports exhaustion — the
+  // wait is bounded, not forever.
+  std::vector<RpcContextPtr> parked;
+  server_.RegisterAsync(12, [&](RpcContextPtr ctx) {
+    parked.push_back(std::move(ctx));
+    return HandlerVerdict::kDeferred;
+  });
+  client_->set_max_in_flight(1);
+  client_->set_stall_timeout_ms(5.0);
+  ASSERT_TRUE(client_->CallAsync(12, kNoHeader).ok());
+  EXPECT_EQ(client_->CallAsync(12, kNoHeader).status().code(),
+            ErrorCode::kResourceExhausted);
+  // Cleanup: answer the parked request so leases and the window drain.
+  ASSERT_EQ(parked.size(), 1u);
+  ASSERT_TRUE(parked.front()->Complete(Buffer{}).ok());
+  parked.clear();
+  ASSERT_TRUE(client_->Flush().ok());
+  EXPECT_EQ(client_ep_->mr_cache().leased(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, RpcPipelineTest,
