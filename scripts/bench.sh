@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Experiments harness: builds the bench binaries, runs all fourteen offline,
+# Experiments harness: builds the bench binaries, runs them all offline,
 # aggregates their JSON into a single BENCH_<mode>.json, regenerates
 # EXPERIMENTS.md from the tables, and can diff the run against a committed
 # baseline aggregate (failing on out-of-tolerance regressions; direction-
@@ -114,6 +114,7 @@ MODEL_BENCHES=(
   bench_micro_rpc
   bench_micro_pipeline
   bench_micro_mt
+  bench_micro_telemetry
 )
 
 QUICK_FLAG=""

@@ -62,6 +62,11 @@ if [[ "$RUN_MAIN" == 1 ]]; then
   cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
   cmake --build "$BUILD_DIR" -j "$JOBS"
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+  # Telemetry smoke: boot a demo engine, drive a workload, and validate the
+  # end-to-end wiring (non-zero per-opcode latency histograms, per-target
+  # queue-depth gauges) over the kTelemetryQuery RPC. --check exits 1 on
+  # any missing metric.
+  "$BUILD_DIR/src/telemetry/ros2_telemetryctl" dump --check > /dev/null
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -73,6 +78,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   TSAN_SUITES="engine_scheduler_mt_test|fabric_test|mr_cache_test"
   TSAN_SUITES+="|rpc_pipeline_test|engine_scheduler_test|nvme_device_test"
+  TSAN_SUITES+="|telemetry_test"
   cmake -B "$TSAN_DIR" -S . "${CMAKE_ARGS[@]}" -DROS2_SANITIZE=thread \
       -DROS2_BUILD_BENCHES=OFF -DROS2_BUILD_EXAMPLES=OFF
   # shellcheck disable=SC2086  # the | list is a ctest regex, not words

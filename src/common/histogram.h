@@ -35,6 +35,7 @@ class LatencyHistogram {
   std::uint64_t count() const { return count_; }
   double min() const;
   double max() const;
+  double sum() const { return sum_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / double(count_); }
 
   /// Quantile in [0,1]; returns the representative value of the bucket

@@ -148,6 +148,20 @@ Result<rpc::RpcReply> DaosClient::Call(std::uint32_t engine,
   return engines_[engine].rpc->Call(opcode, header, options);
 }
 
+Result<telemetry::TelemetrySnapshot> DaosClient::TelemetryQuery(
+    std::uint32_t engine_index, const std::string& prefix, bool traces) {
+  if (engine_index >= engines_.size()) {
+    return Status(InvalidArgument("no such engine"));
+  }
+  rpc::Encoder enc;
+  enc.U8(traces ? kTelemetryQueryTraces : 0).Str(prefix);
+  ROS2_ASSIGN_OR_RETURN(
+      rpc::RpcReply reply,
+      Call(engine_index, std::uint32_t(DaosOpcode::kTelemetryQuery), enc));
+  rpc::Decoder dec(reply.header);
+  return telemetry::TelemetrySnapshot::DecodeFrom(dec);
+}
+
 Result<rpc::RpcClient::CallId> DaosClient::CallAsyncEngine(
     std::uint32_t engine, std::uint32_t opcode, const rpc::Encoder& header,
     const rpc::CallOptions& options) {

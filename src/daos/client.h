@@ -146,6 +146,14 @@ class DaosClient {
                    const std::string& dkey, const std::string& akey,
                    Epoch upto);
 
+  /// Control plane: one engine's telemetry snapshot — metrics whose path
+  /// starts with `prefix` (empty = all), plus the recent-request trace
+  /// ring when `traces`. Engines with telemetry disabled answer with an
+  /// empty snapshot.
+  Result<telemetry::TelemetrySnapshot> TelemetryQuery(
+      std::uint32_t engine_index = 0, const std::string& prefix = {},
+      bool traces = false);
+
   net::Transport transport() const { return transport_; }
   std::uint32_t pool_targets() const { return pool_targets_; }
   net::Qp* qp() const {

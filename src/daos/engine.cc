@@ -8,6 +8,26 @@
 
 namespace ros2::daos {
 
+std::string DaosOpcodeName(std::uint32_t opcode) {
+  switch (DaosOpcode(opcode)) {
+    case DaosOpcode::kPoolConnect: return "pool_connect";
+    case DaosOpcode::kContCreate: return "cont_create";
+    case DaosOpcode::kContOpen: return "cont_open";
+    case DaosOpcode::kOidAlloc: return "oid_alloc";
+    case DaosOpcode::kObjUpdate: return "obj_update";
+    case DaosOpcode::kObjFetch: return "obj_fetch";
+    case DaosOpcode::kSingleUpdate: return "single_update";
+    case DaosOpcode::kSingleFetch: return "single_fetch";
+    case DaosOpcode::kObjPunch: return "obj_punch";
+    case DaosOpcode::kListDkeys: return "list_dkeys";
+    case DaosOpcode::kListAkeys: return "list_akeys";
+    case DaosOpcode::kArraySize: return "array_size";
+    case DaosOpcode::kAggregate: return "aggregate";
+    case DaosOpcode::kTelemetryQuery: return "telemetry_query";
+  }
+  return "op" + std::to_string(opcode);
+}
+
 /// Common object-addressing prefix: cont, oid, dkey, akey.
 struct DaosEngine::ObjAddr {
   ContainerId cont = 0;
@@ -49,7 +69,11 @@ DaosEngine::DaosEngine(net::Fabric* fabric, EngineConfig config,
       config_(std::move(config)),
       scheduler_(config_.targets,
                  EngineSchedulerOptions{config_.xstream_workers,
-                                        config_.xstream_queue_depth}) {
+                                        config_.xstream_queue_depth,
+                                        /*time_ops=*/config_.telemetry}),
+      telemetry_(/*default_shards=*/config_.targets + 1),
+      updates_(config_.targets),
+      fetches_(config_.targets) {
   assert(config_.targets != 0 &&
          "EngineConfig::targets must be >= 1 (DaosEngine::Create validates)");
   assert(!devices.empty() && "engine needs at least one NVMe device");
@@ -92,6 +116,7 @@ DaosEngine::DaosEngine(net::Fabric* fabric, EngineConfig config,
                                        vos_config);
     targets_.push_back(std::move(target));
   }
+  SetupTelemetry();
   RegisterHandlers();
   ROS2_INFO << "daos engine up at " << config_.address << " ("
             << targets_.size() << " targets, " << devices.size()
@@ -147,6 +172,9 @@ void DaosEngine::ProgressThreadMain() {
   // its reply (tests rely on a clean drain, not dropped contexts).
   (void)server_.Progress(&poll_set_);
   DrainBarrier();
+  // Publish the totals as of thread exit so a post-mortem dump (after
+  // Stop(), when live queries are no longer pumped) is not all-zero.
+  PublishSnapshot();
 }
 
 void DaosEngine::StartProgressThread() {
@@ -167,12 +195,133 @@ Vos* DaosEngine::target_vos(std::uint32_t target) {
 }
 
 EngineStats DaosEngine::stats() const {
+  // A view over the telemetry counters — same objects the metric tree
+  // links, folded here instead of maintained twice.
   EngineStats s;
-  s.updates = updates_.load(std::memory_order_relaxed);
-  s.fetches = fetches_.load(std::memory_order_relaxed);
+  s.updates = updates_.value();
+  s.fetches = fetches_.value();
   s.bulk_bytes_in = server_.bulk_bytes_in();
   s.bulk_bytes_out = server_.bulk_bytes_out();
   return s;
+}
+
+void DaosEngine::SetupTelemetry() {
+  if (!config_.telemetry) return;
+  // Per-opcode request counters + decode->dispatch->execute->reply
+  // latency histograms, named after the DAOS opcodes.
+  server_.EnableTelemetry(
+      &telemetry_, [](std::uint32_t op) { return DaosOpcodeName(op); },
+      &traces_);
+  telemetry_.LinkCounter("engine/updates", &updates_);
+  telemetry_.LinkCounter("engine/fetches", &fetches_);
+  if (auto* ts = telemetry_.RegisterTimestamp("engine/started_at")) {
+    ts->Stamp();
+  }
+  queries_ = telemetry_.RegisterCounter("telemetry/queries", 1);
+  last_query_at_ = telemetry_.RegisterTimestamp("telemetry/last_query_at");
+
+  // Scheduler: aggregate + per-target queue depth and busy/idle split.
+  telemetry_.RegisterCallback("sched/queued", [this] {
+    return std::int64_t(scheduler_.queued());
+  });
+  telemetry_.RegisterCallback("sched/queue_high_water", [this] {
+    return std::int64_t(scheduler_.max_queue_depth());
+  });
+  telemetry_.RegisterCallback("sched/executed", [this] {
+    return std::int64_t(scheduler_.executed());
+  });
+  telemetry_.RegisterCallback("sched/busy_ns", [this] {
+    return std::int64_t(scheduler_.busy_ns());
+  });
+  for (std::uint32_t t = 0; t < config_.targets; ++t) {
+    const std::string base = "sched/target/" + std::to_string(t) + "/";
+    telemetry_.RegisterCallback(base + "queue_depth", [this, t] {
+      return std::int64_t(scheduler_.queued(t));
+    });
+    telemetry_.RegisterCallback(base + "executed", [this, t] {
+      return std::int64_t(scheduler_.executed(t));
+    });
+    telemetry_.RegisterCallback(base + "busy_ns", [this, t] {
+      return std::int64_t(scheduler_.busy_ns(t));
+    });
+    telemetry_.RegisterCallback(base + "idle_ns", [this, t] {
+      return std::int64_t(scheduler_.idle_ns(t));
+    });
+  }
+
+  // Network: doorbell wakeups, traffic, and the MR cache (linked — the
+  // cache keeps updating the same counter objects the snapshot reads).
+  telemetry_.RegisterCallback("net/doorbells", [this] {
+    return std::int64_t(poll_set_.doorbells());
+  });
+  telemetry_.RegisterCallback("net/drains", [this] {
+    return std::int64_t(poll_set_.drains());
+  });
+  telemetry_.RegisterCallback("net/qp_count", [this] {
+    return std::int64_t(endpoint_->qp_count());
+  });
+  telemetry_.RegisterCallback("net/bytes_sent", [this] {
+    return std::int64_t(endpoint_->TotalTraffic().bytes_sent);
+  });
+  telemetry_.RegisterCallback("net/bytes_one_sided", [this] {
+    return std::int64_t(endpoint_->TotalTraffic().bytes_one_sided);
+  });
+  const net::MrCache& mrc = endpoint_->mr_cache();
+  telemetry_.LinkCounter("net/mr_cache/hits", &mrc.hits_counter());
+  telemetry_.LinkCounter("net/mr_cache/misses", &mrc.misses_counter());
+  telemetry_.LinkCounter("net/mr_cache/evictions", &mrc.evictions_counter());
+  telemetry_.RegisterCallback("net/mr_cache/leased", [this] {
+    return std::int64_t(endpoint_->mr_cache().leased());
+  });
+
+  // Per-target VOS: op counts and tier placement (atomics readable while
+  // the target worker ticks them).
+  for (std::uint32_t t = 0; t < std::uint32_t(targets_.size()); ++t) {
+    const Vos* vos = targets_[t].vos.get();
+    const std::string base = "vos/target/" + std::to_string(t) + "/";
+    auto read = [](const std::atomic<std::uint64_t>& v) {
+      return std::int64_t(v.load(std::memory_order_relaxed));
+    };
+    telemetry_.RegisterCallback(base + "updates", [vos, read] {
+      return read(vos->stats().updates);
+    });
+    telemetry_.RegisterCallback(base + "fetches", [vos, read] {
+      return read(vos->stats().fetches);
+    });
+    telemetry_.RegisterCallback(base + "scm_records", [vos, read] {
+      return read(vos->stats().scm_records);
+    });
+    telemetry_.RegisterCallback(base + "nvme_records", [vos, read] {
+      return read(vos->stats().nvme_records);
+    });
+    telemetry_.RegisterCallback(base + "bytes_in_scm", [vos, read] {
+      return read(vos->stats().bytes_in_scm);
+    });
+    telemetry_.RegisterCallback(base + "bytes_in_nvme", [vos, read] {
+      return read(vos->stats().bytes_in_nvme);
+    });
+  }
+}
+
+void DaosEngine::PublishSnapshot() {
+  if (!config_.telemetry) return;
+  telemetry::TelemetrySnapshot snap = telemetry_.Snapshot();
+  snap.traces = traces_.Snapshot();
+  std::lock_guard<std::mutex> lk(published_mu_);
+  published_ = std::move(snap);
+  has_published_ = true;
+}
+
+Result<telemetry::TelemetrySnapshot> DaosEngine::published_snapshot() const {
+  if (!config_.telemetry) {
+    return Status(NotFound("telemetry disabled on this engine"));
+  }
+  std::lock_guard<std::mutex> lk(published_mu_);
+  if (!has_published_) {
+    return Status(FailedPrecondition(
+        "no published snapshot: progress thread has not stopped yet"));
+  }
+  return published_;
 }
 
 void DaosEngine::RegisterHandlers() {
@@ -188,6 +337,7 @@ void DaosEngine::RegisterHandlers() {
   bind(DaosOpcode::kContCreate, &DaosEngine::HandleContCreate);
   bind(DaosOpcode::kContOpen, &DaosEngine::HandleContOpen);
   bind(DaosOpcode::kOidAlloc, &DaosEngine::HandleOidAlloc);
+  bind(DaosOpcode::kTelemetryQuery, &DaosEngine::HandleTelemetryQuery);
   // kListDkeys enumerates every target: it is a BARRIER — the xstreams
   // drain first so the listing observes every already-issued op.
   server_.Register(std::uint32_t(DaosOpcode::kListDkeys),
@@ -263,6 +413,14 @@ Result<Buffer> DaosEngine::HandleContCreate(const Buffer& header) {
   Container& cont = containers_[id];  // in-place: Container is immovable
   cont.id = id;
   cont.label = label;
+  if (config_.telemetry) {
+    // Container* is node-stable and never erased; the callback only reads
+    // the epoch atomic, so no lock ordering issue with containers_mu_.
+    const Container* cp = &cont;
+    telemetry_.RegisterCallback(
+        "engine/cont/" + label + "/epoch",
+        [cp] { return std::int64_t(cp->next_epoch.load()); });
+  }
   rpc::Encoder enc;
   enc.U64(id);
   return enc.Take();
@@ -325,6 +483,22 @@ Result<Buffer> DaosEngine::HandleListDkeys(const Buffer& header) {
   }
   enc.U32(std::uint32_t(all.size()));
   for (const auto& dkey : all) enc.Str(dkey);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleTelemetryQuery(const Buffer& header) {
+  rpc::Decoder dec(header);
+  ROS2_ASSIGN_OR_RETURN(std::uint8_t flags, dec.U8());
+  ROS2_ASSIGN_OR_RETURN(std::string prefix, dec.Str());
+  if (queries_ != nullptr) queries_->Add(1);
+  if (last_query_at_ != nullptr) last_query_at_->Stamp();
+  // With telemetry disabled the tree is empty: the reply is a valid,
+  // empty snapshot rather than an error (readers can tell the modes
+  // apart by the absence of engine/started_at).
+  telemetry::TelemetrySnapshot snap = telemetry_.Snapshot(prefix);
+  if ((flags & kTelemetryQueryTraces) != 0) snap.traces = traces_.Snapshot();
+  rpc::Encoder enc;
+  snap.EncodeTo(enc);
   return enc.Take();
 }
 
@@ -518,7 +692,7 @@ Result<Buffer> DaosEngine::ExecObjUpdate(const ObjAddr& addr,
   const Epoch epoch = cont->next_epoch++;
   ROS2_RETURN_IF_ERROR(targets_[target].vos->UpdateArray(
       addr.oid, addr.dkey, addr.akey, epoch, offset, data));
-  updates_.fetch_add(1, std::memory_order_relaxed);
+  updates_.Add(1, target);
   rpc::Encoder enc;
   enc.U64(epoch);
   return enc.Take();
@@ -537,7 +711,7 @@ Result<Buffer> DaosEngine::ExecObjFetch(const ObjAddr& addr,
   ROS2_RETURN_IF_ERROR(targets_[target].vos->FetchArray(
       addr.oid, addr.dkey, addr.akey, epoch, offset, data));
   ROS2_RETURN_IF_ERROR(bulk.Push(data));
-  fetches_.fetch_add(1, std::memory_order_relaxed);
+  fetches_.Add(1, target);
   return Buffer{};
 }
 
@@ -548,7 +722,7 @@ Result<Buffer> DaosEngine::ExecSingleUpdate(const ObjAddr& addr,
   const Epoch epoch = cont->next_epoch++;
   ROS2_RETURN_IF_ERROR(targets_[target].vos->UpdateSingle(
       addr.oid, addr.dkey, addr.akey, epoch, value));
-  updates_.fetch_add(1, std::memory_order_relaxed);
+  updates_.Add(1, target);
   rpc::Encoder enc;
   enc.U64(epoch);
   return enc.Take();
@@ -560,7 +734,7 @@ Result<Buffer> DaosEngine::ExecSingleFetch(const ObjAddr& addr, Epoch epoch,
   ROS2_ASSIGN_OR_RETURN(Buffer value,
                         targets_[target].vos->FetchSingle(
                             addr.oid, addr.dkey, addr.akey, epoch));
-  fetches_.fetch_add(1, std::memory_order_relaxed);
+  fetches_.Add(1, target);
   rpc::Encoder enc;
   enc.Bytes(value);
   return enc.Take();

@@ -40,6 +40,8 @@
 #include "scm/pmem_pool.h"
 #include "spdk/bdev.h"
 #include "storage/nvme_device.h"
+#include "telemetry/metrics.h"
+#include "telemetry/snapshot.h"
 
 namespace ros2::daos {
 
@@ -58,7 +60,18 @@ enum class DaosOpcode : std::uint32_t {
   kListAkeys,
   kArraySize,
   kAggregate,
+  /// Control plane: export a telemetry snapshot (header = flags + path
+  /// prefix; reply = wire-encoded TelemetrySnapshot).
+  kTelemetryQuery,
 };
+
+/// Metric-path name for an opcode ("single_update"); "op<number>" for
+/// opcodes outside the enum.
+std::string DaosOpcodeName(std::uint32_t opcode);
+
+/// kTelemetryQuery header flag: include the engine's TraceRecord ring in
+/// the reply.
+inline constexpr std::uint8_t kTelemetryQueryTraces = 0x1;
 
 /// Punch scope selector on the wire.
 enum class PunchScope : std::uint8_t { kObject = 0, kDkey = 1, kAkey = 2 };
@@ -79,6 +92,10 @@ struct EngineConfig {
   bool xstream_workers = false;
   /// Per-target submit-queue bound (threaded mode only).
   std::size_t xstream_queue_depth = 256;
+  /// False: no metric tree, no per-op latency stamping, no scheduler
+  /// clock reads — the engine answers kTelemetryQuery with an empty
+  /// snapshot. The instrumentation-overhead bench's control arm.
+  bool telemetry = true;
 };
 
 struct EngineStats {
@@ -141,6 +158,20 @@ class DaosEngine {
 
   EngineStats stats() const;
 
+  /// The engine's metric tree (empty when config.telemetry is false).
+  /// Remote readers use kTelemetryQuery; in-process readers may snapshot
+  /// directly — the hot paths only touch atomics, so this is safe while
+  /// the engine is serving.
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
+  /// Recent per-request timing breakdowns (trace_id -> queue/exec/total).
+  const telemetry::TraceRing& traces() const { return traces_; }
+
+  /// The final snapshot published by the progress thread as it exits
+  /// (StopProgressThread), so post-mortem dumps see the real totals.
+  /// FAILED_PRECONDITION until the progress thread has stopped at least
+  /// once; NOT_FOUND when telemetry is disabled.
+  Result<telemetry::TelemetrySnapshot> published_snapshot() const;
+
  private:
   struct Target {
     std::unique_ptr<scm::PmemPool> scm;
@@ -162,6 +193,13 @@ class DaosEngine {
   static Status DecodeObjAddr(rpc::Decoder& dec, ObjAddr* out);
 
   void RegisterHandlers();
+  /// Builds the metric tree: links the engine/server/MR-cache counters,
+  /// registers callback gauges over scheduler, poll-set, endpoint, and
+  /// per-target VOS state. No-op when config.telemetry is false.
+  void SetupTelemetry();
+  /// Snapshots the whole tree (plus traces) into published_ — called by
+  /// the progress thread on its way out.
+  void PublishSnapshot();
   Result<Container*> FindContainer(ContainerId id);
   std::uint32_t TargetOf(const ObjectId& oid, const std::string& dkey) const;
 
@@ -207,6 +245,7 @@ class DaosEngine {
   Result<Buffer> HandleOidAlloc(const Buffer& header);
   Result<Buffer> HandleObjectPunch(const ObjAddr& addr);
   Result<Buffer> HandleListDkeys(const Buffer& header);
+  Result<Buffer> HandleTelemetryQuery(const Buffer& header);
 
   void ProgressThreadMain();
   /// Barrier before ops that must observe every issued op (object punch,
@@ -221,6 +260,9 @@ class DaosEngine {
   rpc::RpcServer server_;
   net::PollSet poll_set_;
   EngineScheduler scheduler_;
+  /// One counter shard per target plus one for the progress thread.
+  telemetry::Telemetry telemetry_;
+  telemetry::TraceRing traces_;
   std::vector<Target> targets_;
   /// Guards the container tables (created on the dispatch path, looked up
   /// from worker threads). Map nodes are stable, so a Container* handed
@@ -229,10 +271,20 @@ class DaosEngine {
   std::map<std::string, ContainerId> containers_by_label_;
   std::map<ContainerId, Container> containers_;
   ContainerId next_container_id_ = 1;
-  std::atomic<std::uint64_t> updates_{0};
-  std::atomic<std::uint64_t> fetches_{0};
+  /// Sharded per target: each worker ticks its own shard.
+  telemetry::Counter updates_;
+  telemetry::Counter fetches_;
+  /// Owned by the tree; cached here so the query handler can tick them
+  /// without a path lookup. Null when telemetry is disabled.
+  telemetry::Counter* queries_ = nullptr;
+  telemetry::Timestamp* last_query_at_ = nullptr;
   std::thread progress_thread_;
   std::atomic<bool> progress_stop_{false};
+  /// Satellite: the progress thread's exit publishes a final snapshot so
+  /// dumps after Stop() are not all-zero.
+  mutable std::mutex published_mu_;
+  telemetry::TelemetrySnapshot published_;
+  bool has_published_ = false;
 };
 
 }  // namespace ros2::daos

@@ -7,7 +7,11 @@ namespace ros2::daos {
 
 EngineScheduler::EngineScheduler(std::uint32_t targets,
                                  EngineSchedulerOptions options)
-    : threaded_(options.threaded), num_targets_(targets) {
+    : threaded_(options.threaded),
+      num_targets_(targets),
+      time_ops_(options.time_ops),
+      executed_(targets),
+      busy_ns_(targets) {
   assert(targets != 0 && "scheduler needs at least one target xstream");
   if (threaded_) {
     xstreams_.reserve(targets);
@@ -44,9 +48,19 @@ void EngineScheduler::Enqueue(std::uint32_t target, rpc::RpcContextPtr ctx,
   auto shared = std::shared_ptr<rpc::RpcContext>(ctx.release());
   NoteQueued();
   const bool accepted = xstreams_[target]->Submit(
-      [this, shared, op = std::move(op)]() mutable {
+      [this, target, shared, op = std::move(op)]() mutable {
+        std::uint64_t t0 = 0;
+        if (time_ops_) {
+          t0 = telemetry::NowNs();
+          shared->MarkExecStart(t0);
+        }
         Result<Buffer> reply = op(*shared);
-        PushCompletion(std::move(shared), std::move(reply));
+        if (time_ops_) {
+          const std::uint64_t t1 = telemetry::NowNs();
+          shared->MarkExecEnd(t1);
+          busy_ns_.Add(t1 - t0, target);
+        }
+        PushCompletion(target, std::move(shared), std::move(reply));
       });
   if (!accepted) {
     // Stream already stopping: answer instead of dropping the request.
@@ -55,11 +69,13 @@ void EngineScheduler::Enqueue(std::uint32_t target, rpc::RpcContextPtr ctx,
   }
 }
 
-void EngineScheduler::PushCompletion(std::shared_ptr<rpc::RpcContext> ctx,
+void EngineScheduler::PushCompletion(std::uint32_t target,
+                                     std::shared_ptr<rpc::RpcContext> ctx,
                                      Result<Buffer> reply) {
   {
     std::lock_guard<std::mutex> lk(completions_mu_);
-    completions_.push_back(Completion{std::move(ctx), std::move(reply)});
+    completions_.push_back(
+        Completion{std::move(ctx), std::move(reply), target});
   }
   if (completion_wakeup_) completion_wakeup_();
 }
@@ -73,7 +89,7 @@ std::size_t EngineScheduler::DrainCompletions() {
     lk.unlock();
     // A failed Complete (dead QP) is the transport's problem; the op ran.
     (void)c.ctx->Complete(std::move(c.reply));
-    executed_.fetch_add(1, std::memory_order_acq_rel);
+    executed_.Add(1, c.target);
     queued_total_.fetch_sub(1, std::memory_order_acq_rel);
     ++n;
     lk.lock();
@@ -92,10 +108,20 @@ std::size_t EngineScheduler::ProgressOnce() {
     QueuedOp item = std::move(queue.front());
     queue.pop_front();
     queued_total_.fetch_sub(1, std::memory_order_acq_rel);
+    std::uint64_t t0 = 0;
+    if (time_ops_) {
+      t0 = telemetry::NowNs();
+      item.ctx->MarkExecStart(t0);
+    }
     Result<Buffer> reply = item.op(*item.ctx);
+    if (time_ops_) {
+      const std::uint64_t t1 = telemetry::NowNs();
+      item.ctx->MarkExecEnd(t1);
+      busy_ns_.Add(t1 - t0, t);
+    }
     // A failed Complete (dead QP) is the transport's problem; the op ran.
     (void)item.ctx->Complete(std::move(reply));
-    executed_.fetch_add(1, std::memory_order_acq_rel);
+    executed_.Add(1, t);
     ++ran;
   }
   // Rotate the pass's start so target `cursor_` is not structurally first
@@ -135,6 +161,11 @@ std::size_t EngineScheduler::queued(std::uint32_t target) const {
   if (target >= num_targets_) return 0;
   if (threaded_) return xstreams_[target]->queued();
   return queues_[target].size();
+}
+
+std::uint64_t EngineScheduler::idle_ns(std::uint32_t target) const {
+  if (!threaded_ || target >= num_targets_) return 0;
+  return xstreams_[target]->idle_ns();
 }
 
 }  // namespace ros2::daos

@@ -39,6 +39,7 @@
 #include "common/status.h"
 #include "daos/xstream.h"
 #include "rpc/data_rpc.h"
+#include "telemetry/metrics.h"
 
 namespace ros2::daos {
 
@@ -48,6 +49,10 @@ struct EngineSchedulerOptions {
   bool threaded = false;
   /// Per-target submit-queue bound (threaded mode; backpressures Enqueue).
   std::size_t queue_capacity = Xstream::kDefaultQueueCapacity;
+  /// Stamp execution start/end on each context and accumulate per-target
+  /// busy time (two clock reads per op). The engine wires this to
+  /// EngineConfig::telemetry so an uninstrumented engine pays nothing.
+  bool time_ops = true;
 };
 
 class EngineScheduler {
@@ -107,9 +112,21 @@ class EngineScheduler {
     return queued_total_.load(std::memory_order_acquire);
   }
   std::size_t queued(std::uint32_t target) const;
-  std::uint64_t executed() const {
-    return executed_.load(std::memory_order_acquire);
+  std::uint64_t executed() const { return executed_.value(); }
+  /// Ops executed on one target (its counter shard).
+  std::uint64_t executed(std::uint32_t target) const {
+    return executed_.shard_value(target);
   }
+  /// Time spent executing op bodies, total and per target (0 unless
+  /// time_ops; accumulated by the executing thread into its own shard).
+  std::uint64_t busy_ns() const { return busy_ns_.value(); }
+  std::uint64_t busy_ns(std::uint32_t target) const {
+    return busy_ns_.shard_value(target);
+  }
+  /// Time a target's worker spent parked waiting for work (threaded mode
+  /// only; 0 in serial mode, where idleness belongs to the progress loop).
+  std::uint64_t idle_ns(std::uint32_t target) const;
+  bool time_ops() const { return time_ops_; }
   /// High-water mark of total queued ops (pipeline depth telemetry).
   std::size_t max_queue_depth() const {
     return high_water_.load(std::memory_order_acquire);
@@ -123,15 +140,18 @@ class EngineScheduler {
   struct Completion {
     std::shared_ptr<rpc::RpcContext> ctx;
     Result<Buffer> reply;
+    std::uint32_t target = 0;
   };
 
   void NoteQueued();
-  void PushCompletion(std::shared_ptr<rpc::RpcContext> ctx,
+  void PushCompletion(std::uint32_t target,
+                      std::shared_ptr<rpc::RpcContext> ctx,
                       Result<Buffer> reply);
   std::size_t DrainCompletions();
 
   const bool threaded_;
   const std::uint32_t num_targets_;
+  const bool time_ops_;
 
   // Serial mode state (owner: the single progress thread).
   std::vector<std::deque<QueuedOp>> queues_;
@@ -146,7 +166,9 @@ class EngineScheduler {
 
   std::atomic<std::size_t> queued_total_{0};
   std::atomic<std::size_t> high_water_{0};
-  std::atomic<std::uint64_t> executed_{0};
+  // One shard per target: workers tick their own shard, snapshots fold.
+  telemetry::Counter executed_;
+  telemetry::Counter busy_ns_;
 };
 
 }  // namespace ros2::daos

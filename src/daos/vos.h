@@ -15,6 +15,7 @@
 // the block allocator.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -39,13 +40,16 @@ struct VosConfig {
   std::uint64_t nvme_capacity = 0;
 };
 
+// Relaxed atomics, not plain integers: with xstream workers each target's
+// Vos is single-writer, but telemetry snapshots read these fields from the
+// progress thread while the owning worker keeps ticking them.
 struct VosStats {
-  std::uint64_t updates = 0;
-  std::uint64_t fetches = 0;
-  std::uint64_t scm_records = 0;
-  std::uint64_t nvme_records = 0;
-  std::uint64_t bytes_in_scm = 0;
-  std::uint64_t bytes_in_nvme = 0;
+  std::atomic<std::uint64_t> updates{0};
+  std::atomic<std::uint64_t> fetches{0};
+  std::atomic<std::uint64_t> scm_records{0};
+  std::atomic<std::uint64_t> nvme_records{0};
+  std::atomic<std::uint64_t> bytes_in_scm{0};
+  std::atomic<std::uint64_t> bytes_in_nvme{0};
 };
 
 class Vos {
@@ -56,7 +60,6 @@ class Vos {
 
   Vos(const Vos&) = delete;
   Vos& operator=(const Vos&) = delete;
-  Vos(Vos&&) = default;
 
   // --- array values ------------------------------------------------------
   /// Writes `data` at `offset` within the array under (oid, dkey, akey),

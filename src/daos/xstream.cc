@@ -1,5 +1,6 @@
 #include "daos/xstream.h"
 
+#include <chrono>
 #include <utility>
 
 namespace ros2::daos {
@@ -53,7 +54,17 @@ std::size_t Xstream::max_queue_depth() const {
 void Xstream::Run() {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    cv_nonempty_.wait(lk, [this] { return !queue_.empty() || stopping_; });
+    if (queue_.empty() && !stopping_) {
+      // Only an actually-parked worker pays the clock reads: a saturated
+      // stream (predicate already true) skips this branch entirely.
+      const auto idle_from = std::chrono::steady_clock::now();
+      cv_nonempty_.wait(lk, [this] { return !queue_.empty() || stopping_; });
+      idle_ns_.fetch_add(
+          std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - idle_from)
+                            .count()),
+          std::memory_order_relaxed);
+    }
     if (queue_.empty()) break;  // stopping with a drained queue: exit
     Task task = std::move(queue_.front());
     queue_.pop_front();

@@ -54,6 +54,13 @@ class Xstream {
   std::uint64_t executed() const {
     return executed_.load(std::memory_order_relaxed);
   }
+  /// Cumulative time the worker spent parked waiting for work (the
+  /// busy-idle split's idle half; busy time is accounted per-op by the
+  /// scheduler). Only ticks while the queue is empty, so the measurement
+  /// itself costs nothing on a saturated stream.
+  std::uint64_t idle_ns() const {
+    return idle_ns_.load(std::memory_order_relaxed);
+  }
   std::size_t queued() const;
   /// High-water mark of queue depth (backpressure telemetry).
   std::size_t max_queue_depth() const;
@@ -71,6 +78,7 @@ class Xstream {
   bool stopping_ = false;
   bool busy_ = false;  // worker currently inside a task body
   std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> idle_ns_{0};
   std::thread worker_;
 };
 

@@ -479,6 +479,16 @@ Result<Qp*> Endpoint::Connect(Endpoint* remote, Transport transport, PdId pd,
   return out;
 }
 
+Endpoint::Traffic Endpoint::TotalTraffic() const {
+  Traffic total;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& qp : qps_) {
+    total.bytes_sent += qp->bytes_sent();
+    total.bytes_one_sided += qp->bytes_one_sided();
+  }
+  return total;
+}
+
 // --------------------------------------------------------------- Fabric
 
 Result<Endpoint*> Fabric::CreateEndpoint(const std::string& address) {

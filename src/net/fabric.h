@@ -296,6 +296,15 @@ class Endpoint {
   /// paths acquire leases from here instead of registering per call.
   MrCache& mr_cache() { return *mr_cache_; }
 
+  /// Byte totals across every Qp this endpoint owns (two-sided sends and
+  /// one-sided RDMA), for telemetry gauges. Takes the endpoint lock; the
+  /// per-Qp counters themselves are relaxed atomics.
+  struct Traffic {
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_one_sided = 0;
+  };
+  Traffic TotalTraffic() const;
+
   /// Server-side accept hook: every Qp subsequently accepted by this
   /// endpoint (the remote half of a peer's Connect) is added to `set`, so
   /// one progress loop services all connections without per-QP scans.

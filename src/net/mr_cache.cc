@@ -66,7 +66,7 @@ Result<MrLease> MrCache::Acquire(PdId pd, std::span<std::byte> region,
   auto it = index_.find(key);
   if (it != index_.end()) {
     if (StillValid(it->second->mr)) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.Add(1);
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
       MrCacheEntry& entry = *it->second;
       ++entry.leases;
@@ -86,7 +86,7 @@ Result<MrLease> MrCache::Acquire(PdId pd, std::span<std::byte> region,
     }
     index_.erase(it);
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add(1);
   ROS2_ASSIGN_OR_RETURN(MemoryRegion mr,
                         endpoint_->RegisterMemory(pd, region, access));
   lru_.push_front(MrCacheEntry{key, mr, 1});
@@ -123,7 +123,7 @@ void MrCache::EvictDownTo(std::size_t target) {
     (void)endpoint_->DeregisterMemory(it->mr.rkey);
     index_.erase(it->key);
     it = lru_.erase(it);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.Add(1);
   }
 }
 

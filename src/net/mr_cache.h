@@ -43,6 +43,7 @@
 
 #include "common/status.h"
 #include "net/fabric.h"
+#include "telemetry/metrics.h"
 
 namespace ros2::net {
 
@@ -157,19 +158,20 @@ class MrCache {
     std::lock_guard<std::mutex> lk(mu_);
     return lru_.size();
   }
-  std::uint64_t hits() const {
-    return hits_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
+  std::uint64_t evictions() const { return evictions_.value(); }
   /// Outstanding MrLease handles across all entries.
   std::uint32_t leased() const {
     return outstanding_.load(std::memory_order_acquire);
   }
+
+  /// The counters behind hits()/misses()/evictions(), exposed so a
+  /// telemetry tree can link them as views (single source of truth — the
+  /// cache keeps updating the same objects the snapshot reads).
+  const telemetry::Counter& hits_counter() const { return hits_; }
+  const telemetry::Counter& misses_counter() const { return misses_; }
+  const telemetry::Counter& evictions_counter() const { return evictions_; }
 
  private:
   friend class MrLease;
@@ -193,9 +195,9 @@ class MrCache {
   // Stale-but-leased entries parked until their last lease releases.
   LruList detached_;
   std::unordered_map<MrKey, LruList::iterator, MrKeyHash> index_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
+  telemetry::Counter hits_{1};
+  telemetry::Counter misses_{1};
+  telemetry::Counter evictions_{1};
   std::atomic<std::uint32_t> outstanding_{0};
 };
 

@@ -83,7 +83,10 @@ Status RpcContext::Complete(Result<Buffer> reply) {
   }
 
   Encoder enc;
-  enc.U64(seq_);  // reply tag: lets the client match out-of-order replies
+  // Reply tag + echoed trace ID: the tag lets the client match
+  // out-of-order replies, the trace ID correlates the reply with the
+  // engine-side TraceRecord for this request.
+  enc.U64(seq_).U64(trace_id_);
   bool handler_ok = false;
   if (reply.ok()) {
     handler_ok = true;
@@ -106,7 +109,7 @@ Status RpcContext::Complete(Result<Buffer> reply) {
     // A handler produced output too large for the wire's length
     // prefixes; send a well-formed error frame instead of a torn one.
     Encoder oversize;
-    oversize.U64(seq_);
+    oversize.U64(seq_).U64(trace_id_);
     oversize.U16(std::uint16_t(ErrorCode::kOutOfRange))
         .Str("reply exceeds wire limits")
         .Bytes({});
@@ -116,10 +119,34 @@ Status RpcContext::Complete(Result<Buffer> reply) {
     handler_ok = false;
   }
 
-  server_->served_.fetch_add(1, std::memory_order_relaxed);
-  server_->bulk_in_.fetch_add(bulk_.in_size_, std::memory_order_relaxed);
-  server_->bulk_out_.fetch_add(handler_ok ? bulk_.pushed_ : 0,
-                               std::memory_order_relaxed);
+  server_->served_.Add(1);
+  server_->bulk_in_.Add(bulk_.in_size_);
+  server_->bulk_out_.Add(handler_ok ? bulk_.pushed_ : 0);
+
+  if (op_stats_ != nullptr && decode_ns_ != 0) {
+    // Latency breakdown. Complete always runs on the progress path (inline
+    // handlers and completion drains both do), so single-shard recording
+    // is uncontended. Inline handlers never saw the scheduler: their queue
+    // wait is zero and the whole span counts as execution.
+    const std::uint64_t now = telemetry::NowNs();
+    const std::uint64_t total = now > decode_ns_ ? now - decode_ns_ : 0;
+    std::uint64_t queue = 0;
+    std::uint64_t exec = total;
+    if (exec_start_ns_ >= decode_ns_) {
+      queue = exec_start_ns_ - decode_ns_;
+      if (exec_end_ns_ >= exec_start_ns_) {
+        exec = exec_end_ns_ - exec_start_ns_;
+      }
+    }
+    op_stats_->queue_latency.Record(double(queue) * 1e-9);
+    op_stats_->exec_latency.Record(double(exec) * 1e-9);
+    op_stats_->total_latency.Record(double(total) * 1e-9);
+    if (!handler_ok) op_stats_->errors.Add(1);
+    if (server_->trace_ring_ != nullptr) {
+      server_->trace_ring_->Push(
+          {trace_id_, opcode_, queue, exec, total});
+    }
+  }
   return qp_->Send(enc.buffer());
 }
 
@@ -135,7 +162,39 @@ void RpcServer::Register(std::uint32_t opcode, Handler handler) {
 }
 
 void RpcServer::RegisterAsync(std::uint32_t opcode, AsyncHandler handler) {
-  handlers_[opcode] = std::move(handler);
+  Registration& reg = handlers_[opcode];
+  reg.fn = std::move(handler);
+  if (tree_ != nullptr && reg.stats == nullptr) {
+    InstrumentOpcode(opcode, reg);
+  }
+}
+
+void RpcServer::EnableTelemetry(telemetry::Telemetry* tree, OpcodeNamer namer,
+                                telemetry::TraceRing* traces) {
+  tree_ = tree;
+  namer_ = std::move(namer);
+  trace_ring_ = traces;
+  if (tree_ == nullptr) return;
+  tree_->LinkCounter("rpc/requests_served", &served_);
+  tree_->LinkCounter("rpc/requests_deferred", &deferred_);
+  tree_->LinkCounter("rpc/bulk_bytes_in", &bulk_in_);
+  tree_->LinkCounter("rpc/bulk_bytes_out", &bulk_out_);
+  tree_->LinkCounter("rpc/unknown_opcodes", &unknown_);
+  for (auto& [opcode, reg] : handlers_) {
+    if (reg.stats == nullptr) InstrumentOpcode(opcode, reg);
+  }
+}
+
+void RpcServer::InstrumentOpcode(std::uint32_t opcode, Registration& reg) {
+  reg.stats = std::make_unique<RpcOpStats>();
+  std::string name =
+      namer_ ? namer_(opcode) : "op" + std::to_string(opcode);
+  const std::string base = "rpc/op/" + name + "/";
+  tree_->LinkCounter(base + "requests", &reg.stats->requests);
+  tree_->LinkCounter(base + "errors", &reg.stats->errors);
+  tree_->LinkHistogram(base + "latency/queue", &reg.stats->queue_latency);
+  tree_->LinkHistogram(base + "latency/exec", &reg.stats->exec_latency);
+  tree_->LinkHistogram(base + "latency/total", &reg.stats->total_latency);
 }
 
 Result<RpcContextPtr> RpcServer::Decode(net::Qp* qp, Buffer frame) {
@@ -144,7 +203,9 @@ Result<RpcContextPtr> RpcServer::Decode(net::Qp* qp, Buffer frame) {
   ctx->qp_ = qp;
   ROS2_ASSIGN_OR_RETURN(ctx->opcode_, dec.U32());
   ROS2_ASSIGN_OR_RETURN(ctx->seq_, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(ctx->trace_id_, dec.U64());
   ROS2_ASSIGN_OR_RETURN(ctx->header_, dec.Bytes());
+  if (tree_ != nullptr) ctx->decode_ns_ = telemetry::NowNs();
 
   const bool tcp = qp->transport() == net::Transport::kTcp;
   BulkIo& bulk = ctx->bulk_;
@@ -180,11 +241,17 @@ Result<RpcContextPtr> RpcServer::Decode(net::Qp* qp, Buffer frame) {
 void RpcServer::Dispatch(RpcContextPtr ctx) {
   auto it = handlers_.find(ctx->opcode());
   if (it == handlers_.end()) {
+    unknown_.Add(1);
     (void)ctx->Complete(Status(NotFound("unknown opcode")));
     return;
   }
-  if (it->second(std::move(ctx)) == HandlerVerdict::kDeferred) {
-    deferred_.fetch_add(1, std::memory_order_relaxed);
+  Registration& reg = it->second;
+  if (reg.stats != nullptr) {
+    reg.stats->requests.Add(1);
+    ctx->op_stats_ = reg.stats.get();
+  }
+  if (reg.fn(std::move(ctx)) == HandlerVerdict::kDeferred) {
+    deferred_.Add(1);
   }
 }
 
@@ -235,6 +302,7 @@ Result<RpcClient::CallId> RpcClient::CallAsync(
     // progress thread drains completions, so a full window is normally
     // transient. Pump until a slot frees; fail only after a full stall
     // window with ZERO completions (deadline resets on any progress).
+    window_waits_.Add(1);
     const double timeout_ms = options.window_timeout_ms >= 0.0
                                   ? options.window_timeout_ms
                                   : stall_timeout_ms_;
@@ -248,6 +316,7 @@ Result<RpcClient::CallId> RpcClient::CallAsync(
       }
       if (in_flight_ < max_in_flight_) break;
       if (std::chrono::steady_clock::now() >= deadline) {
+        stall_events_.Add(1);
         return Status(ResourceExhausted("rpc in-flight window full"));
       }
       std::this_thread::yield();
@@ -256,8 +325,9 @@ Result<RpcClient::CallId> RpcClient::CallAsync(
   const bool tcp = qp_->transport() == net::Transport::kTcp;
 
   const CallId id = next_seq_++;
+  const std::uint64_t trace = options.trace_id != 0 ? options.trace_id : id;
   Encoder req;
-  req.U32(opcode).U64(id).Bytes(header);
+  req.U32(opcode).U64(id).U64(trace).Bytes(header);
 
   // Leases on this call's bulk windows (RDMA rendezvous). Pooled by
   // default — the MrCache amortizes the page-pin cost across calls — and
@@ -308,6 +378,10 @@ Result<RpcClient::CallId> RpcClient::CallAsync(
   call.recv_bulk = options.recv_bulk;
   pending_.push_back(std::move(call));
   ++in_flight_;
+  calls_issued_.Add(1);
+  // Window occupancy at issue time, in calls (>= 1 so the histogram's
+  // positive-value floor never clamps it).
+  occupancy_.Record(double(in_flight_));
   return id;
 }
 
@@ -351,7 +425,8 @@ void RpcClient::CompletePending(PendingCall& call, Result<RpcReply> result) {
 void RpcClient::MatchReply(const Buffer& frame) {
   Decoder dec(frame);
   auto seq = dec.U64();
-  if (!seq.ok()) {
+  auto trace = dec.U64();
+  if (!seq.ok() || !trace.ok()) {
     ++unmatched_replies_;
     return;
   }
@@ -376,6 +451,7 @@ void RpcClient::MatchReply(const Buffer& frame) {
 
   RpcReply out;
   out.header = std::move(*reply_header);
+  out.trace_id = *trace;
 
   if (qp_->transport() == net::Transport::kTcp) {
     auto inline_out = dec.Bytes();
@@ -458,6 +534,7 @@ Result<RpcReply> RpcClient::Await(CallId id) {
       // Zero completions for a full stall window: the server will never
       // answer (dead hook, swallowed frame). Abandon the call — releasing
       // its leases — exactly where the synchronous path used to fail.
+      stall_events_.Add(1);
       ErasePending(id);
       --in_flight_;
       return Status(Unavailable("no reply from server"));
@@ -480,6 +557,7 @@ Status RpcClient::Flush() {
     }
     if (in_flight_ > 0 &&
         std::chrono::steady_clock::now() >= deadline) {
+      stall_events_.Add(1);
       in_flight_ -= std::size_t(std::erase_if(
           pending_, [](const PendingCall& call) { return !call.done; }));
       return Status(Unavailable("no reply from server"));

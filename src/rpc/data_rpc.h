@@ -41,10 +41,24 @@
 #include "net/fabric.h"
 #include "net/mr_cache.h"
 #include "rpc/wire.h"
+#include "telemetry/metrics.h"
 
 namespace ros2::rpc {
 
 class RpcServer;
+
+/// Per-opcode server-side telemetry: request/error counts plus the
+/// decode->dispatch->execute->reply latency breakdown. One instance per
+/// registered opcode, linked into the engine's telemetry tree under
+/// rpc/op/<name>/. All updates run on the progress path (Dispatch and
+/// Complete both do), so single-shard metrics suffice.
+struct RpcOpStats {
+  telemetry::Counter requests{1};
+  telemetry::Counter errors{1};
+  telemetry::Histogram queue_latency{1};  ///< decode -> execution start
+  telemetry::Histogram exec_latency{1};   ///< handler body
+  telemetry::Histogram total_latency{1};  ///< decode -> reply sent
+};
 
 /// Bulk descriptor conveyed in RDMA requests (client-registered MR window).
 struct BulkDesc {
@@ -108,12 +122,23 @@ class RpcContext {
 
   std::uint32_t opcode() const { return opcode_; }
   std::uint64_t seq() const { return seq_; }
+  /// Trace ID from the request frame: the client's correlation handle for
+  /// this request's engine-side timing breakdown (echoed in the reply).
+  std::uint64_t trace_id() const { return trace_id_; }
   const Buffer& header() const { return header_; }
   BulkIo& bulk() { return bulk_; }
   net::Qp* qp() const { return qp_; }
   bool completed() const {
     return completed_.load(std::memory_order_acquire);
   }
+
+  /// Timing stamps for the latency breakdown, set by the scheduler around
+  /// handler execution (monotonic ns from telemetry::NowNs). Written by
+  /// the executing thread before the completion hand-off, read at
+  /// Complete() on the progress path — the completion queue's mutex
+  /// orders the two.
+  void MarkExecStart(std::uint64_t ns) { exec_start_ns_ = ns; }
+  void MarkExecEnd(std::uint64_t ns) { exec_end_ns_ = ns; }
 
   /// Encodes and sends the reply frame for this request (exactly once;
   /// FAILED_PRECONDITION on a second call — the guard is an atomic
@@ -131,6 +156,11 @@ class RpcContext {
   net::Qp* qp_ = nullptr;
   std::uint32_t opcode_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t decode_ns_ = 0;  ///< nonzero only when telemetry is enabled
+  std::uint64_t exec_start_ns_ = 0;
+  std::uint64_t exec_end_ns_ = 0;
+  RpcOpStats* op_stats_ = nullptr;  ///< owned by the server's registration
   Buffer header_;
   BulkIo bulk_;
   std::atomic<bool> completed_{false};
@@ -154,6 +184,21 @@ class RpcServer {
   void Register(std::uint32_t opcode, Handler handler);
   void RegisterAsync(std::uint32_t opcode, AsyncHandler handler);
 
+  /// Names an opcode for metric paths ("single_update"); fallback is
+  /// "op<number>".
+  using OpcodeNamer = std::function<std::string(std::uint32_t)>;
+
+  /// Links the server's counters and per-opcode latency stats into `tree`
+  /// (paths under rpc/) and starts stamping decode timestamps so the
+  /// decode->dispatch->execute->reply breakdown is recorded per request.
+  /// Opcodes already registered are instrumented retroactively; later
+  /// registrations pick it up automatically. `traces`, when set, receives
+  /// one TraceRecord per completed request keyed by its wire trace ID.
+  /// Call before serving traffic (registration is not thread-safe).
+  void EnableTelemetry(telemetry::Telemetry* tree, OpcodeNamer namer = {},
+                       telemetry::TraceRing* traces = nullptr);
+  bool telemetry_enabled() const { return tree_ != nullptr; }
+
   /// Decodes and dispatches every queued request on `qp`. Inline handlers
   /// reply before this returns; deferred contexts reply whenever their
   /// owner completes them.
@@ -164,36 +209,43 @@ class RpcServer {
   Status Progress(net::PollSet* set);
 
   /// Completed requests (replies sent), including deferred ones. The
-  /// counters are atomic: deferred contexts complete from worker-fed
-  /// completion drains while the progress thread keeps decoding.
-  std::uint64_t requests_served() const {
-    return served_.load(std::memory_order_relaxed);
-  }
+  /// counters are telemetry counters now — the same objects the telemetry
+  /// tree links, so there is exactly one source of truth — and stay safe
+  /// to read while deferred contexts complete from worker-fed completion
+  /// drains and the progress thread keeps decoding.
+  std::uint64_t requests_served() const { return served_.value(); }
   /// Requests whose handler returned kDeferred.
-  std::uint64_t requests_deferred() const {
-    return deferred_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t bulk_bytes_in() const {
-    return bulk_in_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t bulk_bytes_out() const {
-    return bulk_out_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t requests_deferred() const { return deferred_.value(); }
+  std::uint64_t bulk_bytes_in() const { return bulk_in_.value(); }
+  std::uint64_t bulk_bytes_out() const { return bulk_out_.value(); }
+  /// Requests whose opcode had no registered handler.
+  std::uint64_t unknown_opcodes() const { return unknown_.value(); }
 
  private:
   friend class RpcContext;
+
+  struct Registration {
+    AsyncHandler fn;
+    std::unique_ptr<RpcOpStats> stats;  // non-null once telemetry enabled
+  };
 
   /// Decode step: one wire frame -> an owned, dispatchable context.
   Result<RpcContextPtr> Decode(net::Qp* qp, Buffer frame);
   /// Dispatch step: routes to the opcode's handler (NOT_FOUND reply for
   /// unknown opcodes).
   void Dispatch(RpcContextPtr ctx);
+  /// Creates + tree-links the per-opcode stats for one registration.
+  void InstrumentOpcode(std::uint32_t opcode, Registration& reg);
 
-  std::map<std::uint32_t, AsyncHandler> handlers_;
-  std::atomic<std::uint64_t> served_{0};
-  std::atomic<std::uint64_t> deferred_{0};
-  std::atomic<std::uint64_t> bulk_in_{0};
-  std::atomic<std::uint64_t> bulk_out_{0};
+  std::map<std::uint32_t, Registration> handlers_;
+  telemetry::Counter served_{1};
+  telemetry::Counter deferred_{1};
+  telemetry::Counter bulk_in_{1};
+  telemetry::Counter bulk_out_{1};
+  telemetry::Counter unknown_{1};
+  telemetry::Telemetry* tree_ = nullptr;
+  telemetry::TraceRing* trace_ring_ = nullptr;
+  OpcodeNamer namer_;
 };
 
 /// Client call options: at most one send payload and one receive window.
@@ -204,11 +256,16 @@ struct CallOptions {
   /// when the in-flight window is full. Negative = use the client's
   /// stall_timeout_ms(); 0 = fail after one no-progress pump round.
   double window_timeout_ms = -1.0;
+  /// Correlation tag carried in the wire header and echoed in the reply;
+  /// the engine keys its per-request timing breakdown (TraceRecord) by it.
+  /// 0 = derive from the call's sequence tag.
+  std::uint64_t trace_id = 0;
 };
 
 struct RpcReply {
   Buffer header;             ///< handler's reply header
   std::uint64_t bulk_received = 0;  ///< bytes landed in recv_bulk
+  std::uint64_t trace_id = 0;       ///< echoed from the request frame
 };
 
 /// Client bound to one connected Qp. `progress` is invoked while pumping
@@ -286,6 +343,24 @@ class RpcClient {
   /// Replies whose sequence tag matched no pending call (dropped).
   std::uint64_t unmatched_replies() const { return unmatched_replies_; }
 
+  /// Client-side telemetry: issued calls, window-full backpressure entries,
+  /// stall-deadline abandons, and the in-flight occupancy distribution
+  /// (histogram value axis is calls outstanding at issue time, not
+  /// seconds). The counters are the linkable single source of truth.
+  std::uint64_t calls_issued() const { return calls_issued_.value(); }
+  std::uint64_t window_waits() const { return window_waits_.value(); }
+  std::uint64_t stall_events() const { return stall_events_.value(); }
+  const telemetry::Counter& calls_issued_counter() const {
+    return calls_issued_;
+  }
+  const telemetry::Counter& window_waits_counter() const {
+    return window_waits_;
+  }
+  const telemetry::Counter& stall_events_counter() const {
+    return stall_events_;
+  }
+  const telemetry::Histogram& window_occupancy() const { return occupancy_; }
+
   void set_mr_pooling(bool pooled) { mr_pooling_ = pooled; }
   bool mr_pooling() const { return mr_pooling_; }
 
@@ -328,6 +403,10 @@ class RpcClient {
   std::uint64_t next_seq_ = 1;
   std::size_t in_flight_ = 0;
   std::uint64_t unmatched_replies_ = 0;
+  telemetry::Counter calls_issued_{1};
+  telemetry::Counter window_waits_{1};
+  telemetry::Counter stall_events_{1};
+  telemetry::Histogram occupancy_{1};
   // Flat window table, not a map: the in-flight window bounds the scan,
   // linear find beats per-call node allocations on the hot path, and the
   // vector's capacity is reused across calls.

@@ -1,0 +1,56 @@
+// Point-in-time export of a Telemetry tree: wire codec (for the
+// kTelemetryQuery control-plane RPC), JSON (for ros2_telemetryctl --json
+// and diff), and an ASCII table rendering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "common/status.h"
+#include "rpc/wire.h"
+#include "telemetry/metrics.h"
+
+namespace ros2::telemetry {
+
+/// One metric, flattened. Scalar kinds use `value` (counter count,
+/// timestamp ns) or `gauge`; histograms carry a fixed summary (full bucket
+/// arrays stay engine-side — the summary is what operators and gates read).
+struct MetricValue {
+  std::string path;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;
+  std::int64_t gauge = 0;
+  std::uint64_t count = 0;  // histogram samples
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+struct TelemetrySnapshot {
+  std::vector<MetricValue> metrics;  // path-ordered
+  std::vector<TraceRecord> traces;   // oldest -> newest
+
+  bool empty() const { return metrics.empty() && traces.empty(); }
+  const MetricValue* Find(const std::string& path) const;
+
+  /// Scalar read with a default: counter/timestamp value, gauge value, or
+  /// histogram sample count, depending on the metric's kind.
+  std::uint64_t ValueOr(const std::string& path, std::uint64_t fallback) const;
+
+  void EncodeTo(rpc::Encoder& enc) const;
+  static Result<TelemetrySnapshot> DecodeFrom(rpc::Decoder& dec);
+
+  bench::Json ToJson() const;
+  static Result<TelemetrySnapshot> FromJson(const bench::Json& json);
+
+  /// Metrics table (+ trace table when traces are present). Histogram
+  /// latencies render in microseconds.
+  std::string RenderTable() const;
+};
+
+}  // namespace ros2::telemetry

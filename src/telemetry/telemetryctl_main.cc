@@ -1,0 +1,440 @@
+// ros2_telemetryctl — operator CLI over the engine telemetry tree.
+//
+// The fabric is in-process, so the CLI self-hosts its subject: it boots a
+// demo engine, drives a mixed update/fetch workload through DaosClient,
+// and reads the metric tree back over the kTelemetryQuery control-plane
+// RPC — the exact path a remote operator tool would use against a real
+// deployment.
+//
+//   ros2_telemetryctl dump  [--targets=N] [--ops=N] [--serial] [--traces]
+//                           [--prefix=P] [--json[=PATH]] [--check]
+//                           [--post-mortem] [--no-telemetry]
+//       One workload pass, one snapshot, rendered as a table (or JSON).
+//       --check validates the end-to-end wiring (non-zero per-opcode
+//       latency histograms, per-target queue-depth gauges, op counters)
+//       and exits 1 on failure — ci.sh runs this as its smoke test.
+//       --post-mortem stops the progress thread first and dumps the
+//       snapshot it published on the way out (the after-Stop() view).
+//
+//   ros2_telemetryctl watch [--intervals=N] [--targets=N] [--ops=N]
+//                           [--serial] [--prefix=P]
+//       Repeats workload passes and prints, per interval, the counters
+//       and gauges that moved (value + delta).
+//
+//   ros2_telemetryctl diff <a.json> <b.json>
+//       Compares two --json dumps: scalar deltas and histogram count
+//       drift, table out. Exit 0 even when different (diff informs;
+//       --check gates).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "daos/client.h"
+#include "telemetry/snapshot.h"
+
+using namespace ros2;
+
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::uint32_t targets = 4;
+  std::uint64_t ops = 96;
+  std::uint32_t intervals = 3;
+  bool serial = false;
+  bool telemetry = true;
+  bool traces = false;
+  bool check = false;
+  bool post_mortem = false;
+  bool json = false;
+  std::string json_path;  // empty = stdout
+  std::string prefix;
+  std::vector<std::string> positional;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ros2_telemetryctl <dump|watch|diff> [options]\n"
+      "  dump   [--targets=N] [--ops=N] [--serial] [--traces]\n"
+      "         [--prefix=P] [--json[=PATH]] [--check] [--post-mortem]\n"
+      "         [--no-telemetry]\n"
+      "  watch  [--intervals=N] [--targets=N] [--ops=N] [--serial]\n"
+      "         [--prefix=P]\n"
+      "  diff   <a.json> <b.json>\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  if (argc < 2) return false;
+  out->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* flag) {
+      return arg.substr(std::strlen(flag));
+    };
+    if (arg.rfind("--targets=", 0) == 0) {
+      out->targets = std::uint32_t(std::strtoul(
+          value_of("--targets=").c_str(), nullptr, 10));
+      if (out->targets == 0) return false;
+    } else if (arg.rfind("--ops=", 0) == 0) {
+      out->ops = std::strtoull(value_of("--ops=").c_str(), nullptr, 10);
+      if (out->ops == 0) return false;
+    } else if (arg.rfind("--intervals=", 0) == 0) {
+      out->intervals = std::uint32_t(std::strtoul(
+          value_of("--intervals=").c_str(), nullptr, 10));
+      if (out->intervals == 0) return false;
+    } else if (arg.rfind("--prefix=", 0) == 0) {
+      out->prefix = value_of("--prefix=");
+    } else if (arg == "--serial") {
+      out->serial = true;
+    } else if (arg == "--no-telemetry") {
+      out->telemetry = false;
+    } else if (arg == "--traces") {
+      out->traces = true;
+    } else if (arg == "--check") {
+      out->check = true;
+    } else if (arg == "--post-mortem") {
+      out->post_mortem = true;
+    } else if (arg == "--json") {
+      out->json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      out->json = true;
+      out->json_path = value_of("--json=");
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else {
+      out->positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+/// The self-hosted subject: one engine, one client, one container. The
+/// client's progress hook pumps the engine (the standard DaosClient
+/// wiring), so nothing here races the snapshot reads — metric updates
+/// are atomics either way.
+struct Demo {
+  net::Fabric fabric;
+  std::unique_ptr<storage::NvmeDevice> device;
+  std::unique_ptr<daos::DaosEngine> engine;
+  std::unique_ptr<daos::DaosClient> client;
+  daos::ContainerId cont = 0;
+  daos::ObjectId oid;
+
+  static Result<std::unique_ptr<Demo>> Boot(const CliOptions& options) {
+    auto demo = std::make_unique<Demo>();
+    storage::NvmeDeviceConfig dev;
+    dev.capacity_bytes = 256 * kMiB;
+    demo->device = std::make_unique<storage::NvmeDevice>(dev);
+    storage::NvmeDevice* raw[] = {demo->device.get()};
+    daos::EngineConfig config;
+    config.address = "fabric://telemetryctl-engine";
+    config.targets = options.targets;
+    config.scm_per_target = 16 * kMiB;
+    config.xstream_workers = !options.serial;
+    config.telemetry = options.telemetry;
+    ROS2_ASSIGN_OR_RETURN(demo->engine,
+                          daos::DaosEngine::Create(&demo->fabric, config,
+                                                   raw));
+    daos::DaosClient::ConnectOptions connect;
+    connect.client_address = "fabric://telemetryctl-client";
+    ROS2_ASSIGN_OR_RETURN(
+        demo->client,
+        daos::DaosClient::Connect(&demo->fabric, demo->engine.get(),
+                                  connect));
+    ROS2_ASSIGN_OR_RETURN(demo->cont,
+                          demo->client->ContainerCreate("telemetryctl"));
+    ROS2_ASSIGN_OR_RETURN(demo->oid, demo->client->AllocOid(demo->cont));
+    return demo;
+  }
+
+  /// One mixed pass: pipelined array updates + fetches over `ops` dkeys
+  /// (spreads every target), a few singles, and a dkey enumeration so the
+  /// barrier path and several opcodes all light up.
+  Status RunWorkload(std::uint64_t ops) {
+    std::vector<Buffer> payloads;
+    std::vector<daos::DaosClient::UpdateOp> updates;
+    payloads.reserve(ops);
+    updates.reserve(ops);
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      payloads.push_back(MakePatternBuffer(2048, i + 1));
+      daos::DaosClient::UpdateOp op;
+      op.cont = cont;
+      op.oid = oid;
+      op.dkey = "dkey-" + std::to_string(i);
+      op.akey = "a";
+      op.data = payloads.back();
+      updates.push_back(std::move(op));
+    }
+    ROS2_RETURN_IF_ERROR(client->UpdateBatch(updates).status());
+
+    std::vector<Buffer> outs(ops, Buffer(2048));
+    std::vector<daos::DaosClient::FetchOp> fetches;
+    fetches.reserve(ops);
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      daos::DaosClient::FetchOp op;
+      op.cont = cont;
+      op.oid = oid;
+      op.dkey = "dkey-" + std::to_string(i);
+      op.akey = "a";
+      op.out = outs[i];
+      fetches.push_back(std::move(op));
+    }
+    ROS2_RETURN_IF_ERROR(client->FetchBatch(fetches));
+
+    Buffer small = MakePatternBuffer(64, 7);
+    for (int i = 0; i < 4; ++i) {
+      const std::string dkey = "meta-" + std::to_string(i);
+      ROS2_RETURN_IF_ERROR(
+          client->UpdateSingle(cont, oid, dkey, "a", small).status());
+      ROS2_RETURN_IF_ERROR(
+          client->FetchSingle(cont, oid, dkey, "a").status());
+    }
+    return client->ListDkeys(cont, oid).status();
+  }
+};
+
+Status WriteOut(const std::string& text, const std::string& path) {
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return Status::Ok();
+  }
+  std::ofstream file(path);
+  if (!file) return Internal("cannot write '" + path + "'");
+  file << text;
+  return Status::Ok();
+}
+
+Result<telemetry::TelemetrySnapshot> LoadSnapshotJson(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  ROS2_ASSIGN_OR_RETURN(bench::Json doc, bench::Json::Parse(buffer.str()));
+  return telemetry::TelemetrySnapshot::FromJson(doc);
+}
+
+/// --check: the acceptance wiring, end to end. Every failure prints; any
+/// failure flips the exit code.
+bool CheckSnapshot(const telemetry::TelemetrySnapshot& snap,
+                   std::uint32_t targets, std::uint64_t ops) {
+  bool ok = true;
+  auto require = [&ok](bool cond, const std::string& what) {
+    if (!cond) {
+      std::fprintf(stderr, "CHECK FAILED: %s\n", what.c_str());
+      ok = false;
+    }
+  };
+  require(snap.ValueOr("engine/updates", 0) >= ops,
+          "engine/updates >= workload updates");
+  require(snap.ValueOr("engine/fetches", 0) >= ops,
+          "engine/fetches >= workload fetches");
+  require(snap.ValueOr("rpc/requests_served", 0) > 0,
+          "rpc/requests_served > 0");
+  for (const char* op : {"obj_update", "obj_fetch", "single_update",
+                         "single_fetch"}) {
+    const std::string base = std::string("rpc/op/") + op;
+    const telemetry::MetricValue* total =
+        snap.Find(base + "/latency/total");
+    require(total != nullptr &&
+                total->kind == telemetry::MetricKind::kHistogram &&
+                total->count > 0,
+            base + "/latency/total has samples");
+    require(snap.ValueOr(base + "/requests", 0) > 0, base + "/requests > 0");
+  }
+  std::uint64_t executed = 0;
+  for (std::uint32_t t = 0; t < targets; ++t) {
+    const std::string base = "sched/target/" + std::to_string(t) + "/";
+    const telemetry::MetricValue* depth = snap.Find(base + "queue_depth");
+    require(depth != nullptr &&
+                depth->kind == telemetry::MetricKind::kGauge,
+            base + "queue_depth gauge present");
+    executed += snap.ValueOr(base + "executed", 0);
+  }
+  require(executed >= 2 * ops, "per-target executed covers the workload");
+  require(snap.ValueOr("engine/started_at", 0) > 0,
+          "engine/started_at stamped");
+  return ok;
+}
+
+int RunDump(const CliOptions& options) {
+  auto demo = Demo::Boot(options);
+  if (!demo.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n",
+                 demo.status().ToString().c_str());
+    return 2;
+  }
+  Status ran = (*demo)->RunWorkload(options.ops);
+  if (!ran.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n", ran.ToString().c_str());
+    return 2;
+  }
+
+  telemetry::TelemetrySnapshot snap;
+  if (options.post_mortem) {
+    // The progress thread publishes a final snapshot on its way out; a
+    // dump after Stop() reads that, not a live query.
+    (*demo)->engine->StartProgressThread();
+    (*demo)->engine->StopProgressThread();
+    auto published = (*demo)->engine->published_snapshot();
+    if (!published.ok()) {
+      std::fprintf(stderr, "no published snapshot: %s\n",
+                   published.status().ToString().c_str());
+      return 2;
+    }
+    snap = std::move(*published);
+  } else {
+    auto live = (*demo)->client->TelemetryQuery(0, options.prefix,
+                                               options.traces);
+    if (!live.ok()) {
+      std::fprintf(stderr, "telemetry query failed: %s\n",
+                   live.status().ToString().c_str());
+      return 2;
+    }
+    snap = std::move(*live);
+  }
+
+  if (options.json) {
+    Status wrote = WriteOut(snap.ToJson().Dump(2) + "\n", options.json_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 2;
+    }
+  } else {
+    std::fputs(snap.RenderTable().c_str(), stdout);
+  }
+  if (options.check &&
+      !CheckSnapshot(snap, options.targets, options.ops)) {
+    return 1;
+  }
+  return 0;
+}
+
+int RunWatch(const CliOptions& options) {
+  auto demo = Demo::Boot(options);
+  if (!demo.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n",
+                 demo.status().ToString().c_str());
+    return 2;
+  }
+  telemetry::TelemetrySnapshot prev;
+  for (std::uint32_t interval = 0; interval < options.intervals;
+       ++interval) {
+    Status ran = (*demo)->RunWorkload(options.ops);
+    if (!ran.ok()) {
+      std::fprintf(stderr, "workload failed: %s\n", ran.ToString().c_str());
+      return 2;
+    }
+    auto snap = (*demo)->client->TelemetryQuery(0, options.prefix, false);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "telemetry query failed: %s\n",
+                   snap.status().ToString().c_str());
+      return 2;
+    }
+    AsciiTable table({"metric", "value", "delta"});
+    for (const telemetry::MetricValue& m : snap->metrics) {
+      std::uint64_t now = 0;
+      if (m.kind == telemetry::MetricKind::kCounter) {
+        now = m.value;
+      } else if (m.kind == telemetry::MetricKind::kGauge) {
+        now = std::uint64_t(m.gauge);
+      } else if (m.kind == telemetry::MetricKind::kHistogram) {
+        now = m.count;
+      } else {
+        continue;  // timestamps churn by definition; skip in watch
+      }
+      const std::uint64_t before = prev.ValueOr(m.path, 0);
+      if (now == before) continue;
+      const std::int64_t delta = std::int64_t(now) - std::int64_t(before);
+      table.AddRow({m.path, std::to_string(now),
+                    (delta >= 0 ? "+" : "") + std::to_string(delta)});
+    }
+    std::printf("--- interval %u/%u\n", interval + 1, options.intervals);
+    table.Print();
+    prev = std::move(*snap);
+  }
+  return 0;
+}
+
+int RunDiff(const CliOptions& options) {
+  if (options.positional.size() != 2) {
+    Usage();
+    return 2;
+  }
+  auto a = LoadSnapshotJson(options.positional[0]);
+  auto b = LoadSnapshotJson(options.positional[1]);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return 2;
+  }
+  AsciiTable table({"metric", options.positional[0], options.positional[1],
+                    "delta"});
+  std::size_t differing = 0;
+  auto add_row = [&](const std::string& path, std::uint64_t va,
+                     std::uint64_t vb) {
+    if (va == vb) return;
+    ++differing;
+    const std::int64_t delta = std::int64_t(vb) - std::int64_t(va);
+    table.AddRow({path, std::to_string(va), std::to_string(vb),
+                  (delta >= 0 ? "+" : "") + std::to_string(delta)});
+  };
+  // Walk the union of paths (both metric lists are path-ordered).
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  auto scalar = [](const telemetry::MetricValue& m) {
+    if (m.kind == telemetry::MetricKind::kGauge) {
+      return std::uint64_t(m.gauge);
+    }
+    if (m.kind == telemetry::MetricKind::kHistogram) return m.count;
+    return m.value;
+  };
+  while (ia < a->metrics.size() || ib < b->metrics.size()) {
+    if (ib >= b->metrics.size() ||
+        (ia < a->metrics.size() &&
+         a->metrics[ia].path < b->metrics[ib].path)) {
+      add_row(a->metrics[ia].path, scalar(a->metrics[ia]), 0);
+      ++ia;
+    } else if (ia >= a->metrics.size() ||
+               b->metrics[ib].path < a->metrics[ia].path) {
+      add_row(b->metrics[ib].path, 0, scalar(b->metrics[ib]));
+      ++ib;
+    } else {
+      add_row(a->metrics[ia].path, scalar(a->metrics[ia]),
+              scalar(b->metrics[ib]));
+      ++ia;
+      ++ib;
+    }
+  }
+  if (differing == 0) {
+    std::printf("snapshots agree on every metric\n");
+  } else {
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    Usage();
+    return 2;
+  }
+  if (options.command == "dump") return RunDump(options);
+  if (options.command == "watch") return RunWatch(options);
+  if (options.command == "diff") return RunDiff(options);
+  Usage();
+  return 2;
+}

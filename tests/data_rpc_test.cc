@@ -287,8 +287,10 @@ TEST_P(DataRpcTest, ServerDrainsPipelinedRequestsInOrder) {
   });
   for (std::uint32_t i = 0; i < 5; ++i) {
     Encoder req;
-    // opcode, sequence tag, header, no-bulk flags (the CallAsync frame).
-    req.U32(11).U64(i + 1).Bytes(Encoder().U32(i).buffer()).U8(0).U8(0);
+    // opcode, sequence tag, trace id, header, no-bulk flags (the
+    // CallAsync frame).
+    req.U32(11).U64(i + 1).U64(i + 1).Bytes(Encoder().U32(i).buffer());
+    req.U8(0).U8(0);
     ASSERT_TRUE(qp_->Send(req.buffer()).ok());
   }
   ASSERT_TRUE(server_.Progress(qp_->peer()).ok());

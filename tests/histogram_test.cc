@@ -123,6 +123,34 @@ TEST(HistogramTest, MergeIntoEmpty) {
   EXPECT_DOUBLE_EQ(a.min(), 5 * kUsec);
 }
 
+TEST(HistogramTest, MergeIsBitExactAgainstSingleRecording) {
+  // The shard-fold contract telemetry::Histogram leans on: merging
+  // per-shard histograms must reproduce EXACTLY what one histogram fed
+  // the same samples reports — not approximately. Samples are multiples
+  // of 2^-20 with a total well inside the 53-bit mantissa, so every
+  // partial sum is exact under any association and bit-equality is a
+  // fair expectation (no tolerance hides a real fold bug).
+  Rng rng(7);
+  LatencyHistogram single;
+  LatencyHistogram shards[4];
+  constexpr double kStep = 0x1.0p-20;
+  for (int i = 0; i < 4096; ++i) {
+    const double v = double(1 + rng.Below(1u << 20)) * kStep;
+    single.Record(v);
+    shards[i % 4].Record(v);
+  }
+  LatencyHistogram merged;
+  for (const auto& shard : shards) merged.Merge(shard);
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_EQ(merged.sum(), single.sum());
+  EXPECT_EQ(merged.min(), single.min());
+  EXPECT_EQ(merged.max(), single.max());
+  EXPECT_EQ(merged.mean(), single.mean());
+  EXPECT_EQ(merged.p50(), single.p50());
+  EXPECT_EQ(merged.p99(), single.p99());
+  EXPECT_EQ(merged.p999(), single.p999());
+}
+
 TEST(HistogramTest, ResetClears) {
   LatencyHistogram h;
   h.Record(kMsec);

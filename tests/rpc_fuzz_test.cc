@@ -96,6 +96,7 @@ class RpcFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
     Encoder req;
     req.U32(std::uint32_t(rng.Below(4)));  // 0/3 unknown, 1 echo, 2 fail
     req.U64(rng.Next());                   // sequence tag (echoed in reply)
+    req.U64(rng.Next());                   // trace id (echoed in reply)
     Buffer header = MakePatternBuffer(rng.Below(48), rng.Next());
     req.Bytes(header);
     if (rng.Below(2) != 0) {
@@ -132,6 +133,7 @@ class RpcFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
   Buffer BuildReply(Rng& rng, bool tcp, std::uint64_t seq) {
     Encoder reply;
     reply.U64(seq);
+    reply.U64(rng.Next());  // trace id
     reply.U16(std::uint16_t(rng.Below(14)));
     reply.Str(rng.Below(2) != 0 ? "fuzz error" : "");
     Buffer header = MakePatternBuffer(rng.Below(48), rng.Next());

@@ -370,6 +370,60 @@ TEST_P(RpcPipelineTest, StallDeadlineExpiresOnlyWithoutProgress) {
   EXPECT_EQ(client_ep_->mr_cache().leased(), 0u);
 }
 
+TEST_P(RpcPipelineTest, TraceIdRoundTripsThroughTheWire) {
+  // The trace ID rides the request frame, is echoed in the reply, and
+  // keys the server's TraceRecord ring — a request's engine-side timing
+  // breakdown stays recoverable per call.
+  telemetry::Telemetry tree;
+  telemetry::TraceRing traces(8);
+  server_.EnableTelemetry(&tree, {}, &traces);
+  std::deque<RpcContextPtr> parked;
+  server_.RegisterAsync(21, [&](RpcContextPtr ctx) {
+    parked.push_back(std::move(ctx));
+    return HandlerVerdict::kDeferred;
+  });
+
+  // Explicit trace ID.
+  CallOptions options;
+  options.trace_id = 0xDEADBEEFCAFEull;
+  auto id = client_->CallAsync(21, kNoHeader, options);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(server_.Progress(qp_->peer()).ok());
+  ASSERT_EQ(parked.size(), 1u);
+  EXPECT_EQ(parked.front()->trace_id(), options.trace_id);
+  ASSERT_TRUE(parked.front()->Complete(Buffer{}).ok());
+  parked.pop_front();
+  ASSERT_TRUE(client_->Flush().ok());
+  auto reply = client_->Take(*id);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->trace_id, options.trace_id);
+
+  // Default: derived from the sequence tag — nonzero and echoed too.
+  auto id2 = client_->CallAsync(21, kNoHeader);
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(server_.Progress(qp_->peer()).ok());
+  ASSERT_EQ(parked.size(), 1u);
+  const std::uint64_t derived = parked.front()->trace_id();
+  EXPECT_NE(derived, 0u);
+  ASSERT_TRUE(parked.front()->Complete(Buffer{}).ok());
+  parked.pop_front();
+  ASSERT_TRUE(client_->Flush().ok());
+  auto reply2 = client_->Take(*id2);
+  ASSERT_TRUE(reply2.ok());
+  EXPECT_EQ(reply2->trace_id, derived);
+
+  // Both requests landed in the trace ring, oldest first, with a
+  // consistent breakdown (total covers exec).
+  auto records = traces.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, options.trace_id);
+  EXPECT_EQ(records[1].trace_id, derived);
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.opcode, 21u);
+    EXPECT_GE(rec.total_ns, rec.exec_ns);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Transports, RpcPipelineTest,
                          ::testing::Values(net::Transport::kTcp,
                                            net::Transport::kRdma),
