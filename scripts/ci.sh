@@ -67,6 +67,11 @@ if [[ "$RUN_MAIN" == 1 ]]; then
   # queue-depth gauges) over the kTelemetryQuery RPC. --check exits 1 on
   # any missing metric.
   "$BUILD_DIR/src/telemetry/ros2_telemetryctl" dump --check > /dev/null
+  # Self-healing smoke: 3 engines, kill one mid-workload, degrade, rebuild,
+  # resync. --check additionally gates the rebuild/<victim>/* counters,
+  # progress == 100, pool-map transitions, and a fully drained journal.
+  "$BUILD_DIR/src/telemetry/ros2_telemetryctl" dump --rebuild --check \
+      > /dev/null
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -78,7 +83,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   TSAN_SUITES="engine_scheduler_mt_test|fabric_test|mr_cache_test"
   TSAN_SUITES+="|rpc_pipeline_test|engine_scheduler_test|nvme_device_test"
-  TSAN_SUITES+="|telemetry_test"
+  TSAN_SUITES+="|telemetry_test|rebuild_mt_test"
   cmake -B "$TSAN_DIR" -S . "${CMAKE_ARGS[@]}" -DROS2_SANITIZE=thread \
       -DROS2_BUILD_BENCHES=OFF -DROS2_BUILD_EXAMPLES=OFF
   # shellcheck disable=SC2086  # the | list is a ctest regex, not words

@@ -1,0 +1,67 @@
+#include "common/fault.h"
+
+namespace ros2::common {
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kNetSend: return "net_send";
+    case FaultPoint::kNetRegister: return "net_register";
+    case FaultPoint::kRpcDrop: return "rpc_drop";
+    case FaultPoint::kRpcDelay: return "rpc_delay";
+    case FaultPoint::kEngineKill: return "engine_kill";
+  }
+  return "unknown";
+}
+
+void FaultPlan::Arm(FaultPoint p, FaultSpec spec) {
+  if (spec.count == 0) {
+    Disarm(p);
+    return;
+  }
+  Point& pt = point(p);
+  std::lock_guard<std::mutex> lk(pt.mu);
+  pt.spec = spec;
+  pt.skipped = 0;
+  pt.fires_dealt = 0;
+  pt.armed.store(true, std::memory_order_release);
+}
+
+void FaultPlan::Disarm(FaultPoint p) {
+  Point& pt = point(p);
+  std::lock_guard<std::mutex> lk(pt.mu);
+  pt.armed.store(false, std::memory_order_release);
+}
+
+bool FaultPlan::armed(FaultPoint p) const {
+  return point(p).armed.load(std::memory_order_acquire);
+}
+
+FaultDecision FaultPlan::Evaluate(FaultPoint p) {
+  Point& pt = point(p);
+  pt.arrivals.fetch_add(1, std::memory_order_relaxed);
+  if (!pt.armed.load(std::memory_order_acquire)) return {};
+  std::lock_guard<std::mutex> lk(pt.mu);
+  if (!pt.armed.load(std::memory_order_relaxed)) return {};  // raced Disarm
+  if (pt.skipped < pt.spec.skip) {
+    ++pt.skipped;
+    return {};
+  }
+  if (pt.fires_dealt >= pt.spec.count) return {};  // window exhausted
+  if (pt.spec.probability < 1.0) {
+    std::lock_guard<std::mutex> rlk(rng_mu_);
+    if (rng_.NextDouble() >= pt.spec.probability) return {};
+  }
+  ++pt.fires_dealt;
+  pt.fired.fetch_add(1, std::memory_order_relaxed);
+  return {true, pt.spec.delay_us};
+}
+
+std::uint64_t FaultPlan::arrivals(FaultPoint p) const {
+  return point(p).arrivals.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::fired(FaultPoint p) const {
+  return point(p).fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace ros2::common

@@ -24,6 +24,9 @@ Ros2ControlService::Ros2ControlService(TenantRegistry* tenants,
   service_.Register("ros2.exchange_mr", [this](const Buffer& req) {
     return HandleExchangeMr(req);
   });
+  service_.Register("ros2.pool_map", [this](const Buffer& req) {
+    return HandlePoolMap(req);
+  });
 }
 
 Result<SessionInfo> Ros2ControlService::FindSession(
@@ -85,6 +88,25 @@ Result<Buffer> Ros2ControlService::HandleExchangeMr(const Buffer& request) {
   session_mrs_[session].push_back(mr);
   rpc::Encoder enc;
   enc.U8(1);
+  return enc.Take();
+}
+
+Result<Buffer> Ros2ControlService::HandlePoolMap(const Buffer& request) {
+  rpc::Decoder dec(request);
+  ROS2_ASSIGN_OR_RETURN(std::uint64_t session, dec.U64());
+  ROS2_RETURN_IF_ERROR(FindSession(session).status());
+  if (pool_map_ == nullptr) {
+    return FailedPrecondition("control plane has no pool map attached");
+  }
+  // Version first so a client can cheaply diff against its cached map,
+  // then the per-engine states in engine order.
+  rpc::Encoder enc;
+  enc.U64(pool_map_->version());
+  const std::uint32_t engines = pool_map_->engine_count();
+  enc.U32(engines);
+  for (std::uint32_t e = 0; e < engines; ++e) {
+    enc.U8(std::uint8_t(pool_map_->state(e)));
+  }
   return enc.Take();
 }
 

@@ -9,6 +9,8 @@
 //   ros2.grant_qos    (session, bytes)           -> admit / rate-limited
 //   ros2.exchange_mr  (session, addr, len, rkey) -> ack (GPU/host buffer
 //                                                  descriptors, §3.5 step 2)
+//   ros2.pool_map     (session)                  -> map version + per-engine
+//                                                  UP/DOWN/REBUILDING states
 #pragma once
 
 #include <cstdint>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "core/tenant.h"
+#include "daos/pool_map.h"
 #include "net/fabric.h"
 #include "rpc/control_channel.h"
 
@@ -49,11 +52,19 @@ class Ros2ControlService {
 
   std::uint64_t sessions_opened() const { return next_session_ - 1; }
 
+  /// Publishes `map` over ros2.pool_map (clients poll engine health and
+  /// the map version through the control channel, DAOS's pool-map fetch).
+  /// nullptr (the default) makes the method fail FAILED_PRECONDITION.
+  /// The map must outlive this service.
+  void set_pool_map(const daos::PoolMap* map) { pool_map_ = map; }
+  const daos::PoolMap* pool_map() const { return pool_map_; }
+
  private:
   Result<Buffer> HandleAuth(const Buffer& request);
   Result<Buffer> HandleMount(const Buffer& request);
   Result<Buffer> HandleGrantQos(const Buffer& request);
   Result<Buffer> HandleExchangeMr(const Buffer& request);
+  Result<Buffer> HandlePoolMap(const Buffer& request);
 
   TenantRegistry* tenants_;
   net::Fabric* fabric_;
@@ -63,6 +74,7 @@ class Ros2ControlService {
   std::uint64_t next_session_ = 1;
   std::map<std::uint64_t, SessionInfo> sessions_;
   std::map<std::uint64_t, std::vector<ExchangedMr>> session_mrs_;
+  const daos::PoolMap* pool_map_ = nullptr;
 };
 
 }  // namespace ros2::core

@@ -49,6 +49,17 @@ Result<std::unique_ptr<DaosClient>> DaosClient::Connect(
   auto client = std::unique_ptr<DaosClient>(new DaosClient());
   client->transport_ = options.transport;
   client->replicas_ = options.replicas;
+  if (options.pool_map != nullptr) {
+    if (options.pool_map->engine_count() != engines.size()) {
+      return Status(InvalidArgument(
+          "pool map engine count does not match the engine list"));
+    }
+    client->map_ = options.pool_map;
+  } else {
+    client->owned_map_ =
+        std::make_unique<PoolMap>(std::uint32_t(engines.size()));
+    client->map_ = client->owned_map_.get();
+  }
 
   for (DaosEngine* engine : engines) {
     if (engine == nullptr || engine->endpoint() == nullptr) {
@@ -62,9 +73,16 @@ Result<std::unique_ptr<DaosClient>> DaosClient::Connect(
     // The pump is the engine's full progress tick (poll-set drain +
     // xstream run queues), not a per-QP poke: one pump services every
     // client of the engine and completes deferred requests — the fairness
-    // property multi-QP tests pin.
+    // property multi-QP tests pin. Pumpless clients (progress_pump ==
+    // false) rely on the engines' own progress threads instead — the
+    // poll-set drain is single-consumer, so concurrent clients must not
+    // pump it themselves.
     conn.rpc = std::make_unique<rpc::RpcClient>(
-        qp, client_ep, [engine] { (void)engine->ProgressAll(); });
+        qp, client_ep,
+        options.progress_pump
+            ? std::function<void()>([engine] { (void)engine->ProgressAll(); })
+            : std::function<void()>());
+    if (!options.progress_pump) conn.rpc->set_stall_timeout_ms(10000.0);
     client->engines_.push_back(std::move(conn));
   }
 
@@ -94,24 +112,17 @@ Status DaosClient::SetEngineDown(std::uint32_t engine_index, bool down) {
   if (engine_index >= engines_.size()) {
     return InvalidArgument("no such engine");
   }
-  engines_[engine_index].down = down;
-  return Status::Ok();
+  return map_->SetState(engine_index,
+                        down ? EngineState::kDown : EngineState::kUp);
 }
 
 // -------------------------------------------------------------- routing
 
 std::uint32_t DaosClient::PrimaryEngine(const ObjectId& oid,
                                         const std::string& dkey) const {
-  if (engines_.size() == 1) return 0;
   // Level 1 of placement: dkeys spread over engines (level 2, inside the
-  // engine, spreads over its targets). Salt differs from PlaceDkey so the
-  // two levels decorrelate.
-  std::uint64_t x = oid.lo ^ (oid.hi * 0xD1B54A32D192ED03ull) ^
-                    (HashKey(dkey) * 0x9E3779B97F4A7C15ull);
-  x ^= x >> 31;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 29;
-  return std::uint32_t(x % engines_.size());
+  // engine, spreads over its targets).
+  return PlaceEngine(oid, dkey, std::uint32_t(engines_.size()));
 }
 
 Result<std::uint32_t> DaosClient::ReadableEngine(
@@ -119,29 +130,30 @@ Result<std::uint32_t> DaosClient::ReadableEngine(
   const std::uint32_t primary = PrimaryEngine(oid, dkey);
   for (std::uint32_t r = 0; r < replicas_; ++r) {
     const std::uint32_t e = ReplicaEngine(primary, r);
-    if (!engines_[e].down) return e;
+    if (map_->readable(e)) return e;
   }
   return Status(
-      Unavailable("all replicas of this dkey are on down engines"));
+      Unavailable("no UP replica of this dkey (pool map v" +
+                  std::to_string(map_->version()) + ")"));
 }
 
-Status DaosClient::CheckReplicasUp(const ObjectId& oid,
-                                   const std::string& dkey) const {
-  const std::uint32_t primary = PrimaryEngine(oid, dkey);
-  for (std::uint32_t r = 0; r < replicas_; ++r) {
-    const std::uint32_t e = ReplicaEngine(primary, r);
-    if (engines_[e].down) {
-      return Unavailable("engine " + std::to_string(e) + " is down");
-    }
-  }
-  return Status::Ok();
+Status DaosClient::RequireUp(std::uint32_t engine) const {
+  if (map_->readable(engine)) return Status::Ok();
+  return Unavailable("engine " + std::to_string(engine) + " is " +
+                     EngineStateName(map_->state(engine)) +
+                     " (pool map v" + std::to_string(map_->version()) + ")");
+}
+
+void DaosClient::JournalMiss(std::uint32_t engine, ContainerId cont,
+                             const ObjectId& oid, const std::string& dkey) {
+  map_->journal().Record(engine, ResyncEntry{cont, oid, dkey});
 }
 
 Result<rpc::RpcReply> DaosClient::Call(std::uint32_t engine,
                                        std::uint32_t opcode,
                                        const rpc::Encoder& header,
                                        const rpc::CallOptions& options) {
-  if (engines_[engine].down) {
+  if (map_->state(engine) == EngineState::kDown) {
     return Status(Unavailable("engine " + std::to_string(engine) +
                               " is down"));
   }
@@ -165,7 +177,7 @@ Result<telemetry::TelemetrySnapshot> DaosClient::TelemetryQuery(
 Result<rpc::RpcClient::CallId> DaosClient::CallAsyncEngine(
     std::uint32_t engine, std::uint32_t opcode, const rpc::Encoder& header,
     const rpc::CallOptions& options) {
-  if (engines_[engine].down) {
+  if (map_->state(engine) == EngineState::kDown) {
     return Status(Unavailable("engine " + std::to_string(engine) +
                               " is down"));
   }
@@ -173,40 +185,79 @@ Result<rpc::RpcClient::CallId> DaosClient::CallAsyncEngine(
 }
 
 Result<rpc::RpcReply> DaosClient::CallReplicas(
-    const ObjectId& oid, const std::string& dkey, std::uint32_t opcode,
-    const rpc::Encoder& header, const rpc::CallOptions& options) {
+    ContainerId cont, const ObjectId& oid, const std::string& dkey,
+    std::uint32_t opcode, const rpc::Encoder& header,
+    const rpc::CallOptions& options) {
   const std::uint32_t primary = PrimaryEngine(oid, dkey);
-  // Write-all: every replica must acknowledge, so a down engine fails the
-  // update rather than silently diverging replicas — checked up front,
-  // before any copy is issued.
-  ROS2_RETURN_IF_ERROR(CheckReplicasUp(oid, dkey));
-  // Issue every copy concurrently, then await; the replica engines make
-  // progress independently instead of one blocking round trip per copy.
+  // Degraded write-all: issue every copy concurrently to the writable
+  // replicas, then await. There is deliberately NO up-front all-replicas
+  // check (the old CheckReplicasUp raced concurrent down-transitions) —
+  // the per-send outcome is authoritative: a DOWN replica, a send that
+  // fails UNAVAILABLE, or an UNAVAILABLE reply all degrade into resync-
+  // journal entries instead of failing the op.
   struct Issued {
     std::uint32_t engine;
     rpc::RpcClient::CallId id;
+    bool rebuilding;  // post-completion journal mark (see pool_map.h)
   };
   std::vector<Issued> issued;
   issued.reserve(replicas_);
-  Status failure = Status::Ok();
   for (std::uint32_t r = 0; r < replicas_; ++r) {
     const std::uint32_t e = ReplicaEngine(primary, r);
-    auto id = CallAsyncEngine(e, opcode, header, options);
-    if (!id.ok()) {
-      failure = id.status();
-      break;
+    const EngineState st = map_->state(e);
+    if (st == EngineState::kDown) {
+      JournalMiss(e, cont, oid, dkey);
+      continue;
     }
-    issued.push_back({e, *id});
+    auto id = engines_[e].rpc->CallAsync(opcode, header, options);
+    if (id.ok()) {
+      issued.push_back({e, *id, st == EngineState::kRebuilding});
+      continue;
+    }
+    if (id.status().code() == ErrorCode::kUnavailable) {
+      JournalMiss(e, cont, oid, dkey);  // raced the down-transition
+      continue;
+    }
+    // A hard issue error (window stall, encode overflow) is not a health
+    // event: drain what already went out, then surface it.
+    Status hard = id.status();
+    for (const Issued& is : issued) {
+      (void)engines_[is.engine].rpc->Await(is.id);
+    }
+    return hard;
   }
-  Result<rpc::RpcReply> first = Status(Internal("no replicas"));
-  for (std::size_t i = 0; i < issued.size(); ++i) {
-    // Await every issued copy even after a failure: later replicas must
+  std::uint32_t landed = 0;
+  Status hard = Status::Ok();
+  Result<rpc::RpcReply> first = Status(Internal("no replica copy landed"));
+  for (const Issued& is : issued) {
+    // Await every issued copy even past a failure: later replicas must
     // not be left dangling in the pipeline.
-    auto reply = engines_[issued[i].engine].rpc->Await(issued[i].id);
-    if (!reply.ok() && failure.ok()) failure = reply.status();
-    if (i == 0) first = std::move(reply);
+    auto reply = engines_[is.engine].rpc->Await(is.id);
+    if (reply.ok()) {
+      ++landed;
+      if (landed == 1) first = std::move(reply);
+      // A copy that landed on a REBUILDING engine may still be overwritten
+      // by an in-flight rebuild pass importing older survivor state at a
+      // higher epoch: journal it so the rebuild's journal-drain loop
+      // re-silvers survivor HEAD (which includes this completed write).
+      if (is.rebuilding) JournalMiss(is.engine, cont, oid, dkey);
+    } else if (reply.status().code() == ErrorCode::kUnavailable) {
+      JournalMiss(is.engine, cont, oid, dkey);
+    } else if (hard.ok()) {
+      hard = reply.status();
+    }
   }
-  if (!failure.ok()) return failure;
+  const std::string copies =
+      std::to_string(landed) + "/" + std::to_string(replicas_);
+  if (!hard.ok()) {
+    return Status(hard.code(), hard.message() + " (replica copy failed; " +
+                                   copies + " replica copies landed)");
+  }
+  if (landed == 0) {
+    return Status(Unavailable("no writable replica: " + copies +
+                              " replica copies landed (pool map v" +
+                              std::to_string(map_->version()) + ")"));
+  }
   return first;
 }
 
@@ -276,7 +327,7 @@ Result<Epoch> DaosClient::Update(ContainerId cont, const ObjectId& oid,
   options.send_bulk = data;
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
-      CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kObjUpdate),
+      CallReplicas(cont, oid, dkey, std::uint32_t(DaosOpcode::kObjUpdate),
                    enc, options));
   rpc::Decoder dec(reply.header);
   return dec.U64();
@@ -291,6 +342,7 @@ Status DaosClient::Fetch(ContainerId cont, const ObjectId& oid,
   std::uint32_t engine = 0;
   if (epoch != kEpochHead) {
     engine = PrimaryEngine(oid, dkey);
+    ROS2_RETURN_IF_ERROR(RequireUp(engine));
   } else {
     ROS2_ASSIGN_OR_RETURN(engine, ReadableEngine(oid, dkey));
   }
@@ -313,22 +365,17 @@ Status DaosClient::Fetch(ContainerId cont, const ObjectId& oid,
 
 Result<std::vector<Epoch>> DaosClient::UpdateBatch(
     std::span<const UpdateOp> ops) {
-  // Write-all fail-fast: every replica of every op must be reachable
-  // before anything is issued (no partially-replicated batch on a KNOWN
-  // down engine).
-  for (const UpdateOp& op : ops) {
-    ROS2_RETURN_IF_ERROR(CheckReplicasUp(op.oid, op.dkey));
-  }
-  // Issue phase: every op, every replica — nothing awaited yet. The RPC
-  // layer's in-flight window applies backpressure by pumping progress,
-  // so arbitrarily large batches stream through bounded client state.
+  // Issue phase: every op, every writable replica — nothing awaited yet.
+  // The RPC layer's in-flight window applies backpressure by pumping
+  // progress, so arbitrarily large batches stream through bounded client
+  // state. Same degraded semantics as CallReplicas, per op: DOWN (or
+  // racing-down) replicas journal instead of failing the batch.
   struct Issued {
     std::uint32_t engine = 0;
     rpc::RpcClient::CallId id = 0;
+    bool rebuilding = false;
   };
-  std::vector<Issued> primaries(ops.size());
-  std::vector<Issued> extras;
-  extras.reserve(replicas_ > 1 ? ops.size() * (replicas_ - 1) : 0);
+  std::vector<std::vector<Issued>> copies(ops.size());
   Status failure = Status::Ok();
   for (std::size_t i = 0; i < ops.size() && failure.ok(); ++i) {
     const UpdateOp& op = ops[i];
@@ -338,18 +385,23 @@ Result<std::vector<Epoch>> DaosClient::UpdateBatch(
     rpc::CallOptions options;
     options.send_bulk = op.data;
     const std::uint32_t primary = PrimaryEngine(op.oid, op.dkey);
+    copies[i].reserve(replicas_);
     for (std::uint32_t r = 0; r < replicas_; ++r) {
       const std::uint32_t e = ReplicaEngine(primary, r);
-      auto id = CallAsyncEngine(e, std::uint32_t(DaosOpcode::kObjUpdate),
-                                enc, options);
-      if (!id.ok()) {
-        failure = id.status();
-        break;
+      const EngineState st = map_->state(e);
+      if (st == EngineState::kDown) {
+        JournalMiss(e, op.cont, op.oid, op.dkey);
+        continue;
       }
-      if (r == 0) {
-        primaries[i] = {e, *id};
+      auto id = engines_[e].rpc->CallAsync(
+          std::uint32_t(DaosOpcode::kObjUpdate), enc, options);
+      if (id.ok()) {
+        copies[i].push_back({e, *id, st == EngineState::kRebuilding});
+      } else if (id.status().code() == ErrorCode::kUnavailable) {
+        JournalMiss(e, op.cont, op.oid, op.dkey);
       } else {
-        extras.push_back({e, *id});
+        failure = id.status();  // hard issue error: stop issuing, drain
+        break;
       }
     }
   }
@@ -357,23 +409,34 @@ Result<std::vector<Epoch>> DaosClient::UpdateBatch(
   // a batch error must not strand calls in the pipeline.
   std::vector<Epoch> epochs(ops.size(), 0);
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    if (primaries[i].id == 0) continue;  // never issued (failed fast)
-    auto reply = engines_[primaries[i].engine].rpc->Await(primaries[i].id);
-    if (!reply.ok()) {
-      if (failure.ok()) failure = reply.status();
-      continue;
+    std::uint32_t landed = 0;
+    for (const Issued& copy : copies[i]) {
+      auto reply = engines_[copy.engine].rpc->Await(copy.id);
+      if (reply.ok()) {
+        ++landed;
+        if (copy.rebuilding) {
+          JournalMiss(copy.engine, ops[i].cont, ops[i].oid, ops[i].dkey);
+        }
+        if (landed > 1) continue;
+        rpc::Decoder dec(reply->header);
+        auto epoch = dec.U64();
+        if (epoch.ok()) {
+          epochs[i] = *epoch;
+        } else if (failure.ok()) {
+          failure = epoch.status();
+        }
+      } else if (reply.status().code() == ErrorCode::kUnavailable) {
+        JournalMiss(copy.engine, ops[i].cont, ops[i].oid, ops[i].dkey);
+      } else if (failure.ok()) {
+        failure = reply.status();
+      }
     }
-    rpc::Decoder dec(reply->header);
-    auto epoch = dec.U64();
-    if (!epoch.ok()) {
-      if (failure.ok()) failure = epoch.status();
-      continue;
+    if (landed == 0 && failure.ok()) {
+      failure = Unavailable(
+          "no writable replica for batch op " + std::to_string(i) + ": 0/" +
+          std::to_string(replicas_) + " replica copies landed (pool map v" +
+          std::to_string(map_->version()) + ")");
     }
-    epochs[i] = *epoch;
-  }
-  for (const Issued& extra : extras) {
-    auto reply = engines_[extra.engine].rpc->Await(extra.id);
-    if (!reply.ok() && failure.ok()) failure = reply.status();
   }
   if (!failure.ok()) return failure;
   return epochs;
@@ -394,9 +457,9 @@ Status DaosClient::FetchBatch(std::span<const FetchOp> ops) {
     std::uint32_t engine = 0;
     if (op.epoch != kEpochHead) {
       engine = PrimaryEngine(op.oid, op.dkey);
-      if (engines_[engine].down) {
-        failure = Unavailable("engine " + std::to_string(engine) +
-                              " is down");
+      Status up = RequireUp(engine);
+      if (!up.ok()) {
+        failure = std::move(up);
         break;
       }
     } else {
@@ -445,7 +508,7 @@ Result<Epoch> DaosClient::UpdateSingle(ContainerId cont, const ObjectId& oid,
   enc.Bytes(value);
   ROS2_ASSIGN_OR_RETURN(
       rpc::RpcReply reply,
-      CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kSingleUpdate),
+      CallReplicas(cont, oid, dkey, std::uint32_t(DaosOpcode::kSingleUpdate),
                    enc));
   rpc::Decoder dec(reply.header);
   return dec.U64();
@@ -457,6 +520,7 @@ Result<Buffer> DaosClient::FetchSingle(ContainerId cont, const ObjectId& oid,
   std::uint32_t engine = 0;
   if (epoch != kEpochHead) {
     engine = PrimaryEngine(oid, dkey);
+    ROS2_RETURN_IF_ERROR(RequireUp(engine));
   } else {
     ROS2_ASSIGN_OR_RETURN(engine, ReadableEngine(oid, dkey));
   }
@@ -494,7 +558,7 @@ Status DaosClient::Punch(ContainerId cont, const ObjectId& oid,
     }
     return any ? Status::Ok() : NotFound("no such object");
   }
-  return CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kObjPunch),
+  return CallReplicas(cont, oid, dkey, std::uint32_t(DaosOpcode::kObjPunch),
                       enc)
       .status();
 }
@@ -522,7 +586,7 @@ Result<std::vector<std::string>> DaosClient::ListDkeys(ContainerId cont,
   std::set<std::string> merged;
   bool any_up = false;
   for (std::uint32_t e = 0; e < engines_.size(); ++e) {
-    if (engines_[e].down) continue;
+    if (!map_->readable(e)) continue;
     any_up = true;
     ROS2_ASSIGN_OR_RETURN(
         rpc::RpcReply reply,
@@ -554,6 +618,7 @@ Result<std::uint64_t> DaosClient::ArraySize(ContainerId cont,
   std::uint32_t engine = 0;
   if (epoch != kEpochHead) {
     engine = PrimaryEngine(oid, dkey);
+    ROS2_RETURN_IF_ERROR(RequireUp(engine));
   } else {
     ROS2_ASSIGN_OR_RETURN(engine, ReadableEngine(oid, dkey));
   }
@@ -573,7 +638,7 @@ Status DaosClient::Aggregate(ContainerId cont, const ObjectId& oid,
   rpc::Encoder enc;
   EncodeObjAddr(enc, cont, oid, dkey, akey);
   enc.U64(upto);
-  return CallReplicas(oid, dkey, std::uint32_t(DaosOpcode::kAggregate),
+  return CallReplicas(cont, oid, dkey, std::uint32_t(DaosOpcode::kAggregate),
                       enc)
       .status();
 }

@@ -9,11 +9,17 @@
 // Scale-out (the paper's §5 "broaden device counts" follow-up): the client
 // can connect to SEVERAL engines forming one pool. Dkeys place onto an
 // engine first (then onto a target inside it), and updates optionally
-// replicate onto the next `replicas-1` engines. Fetches fail over to
-// replicas when an engine is marked down (failure injection via
-// SetEngineDown), giving DAOS-style redundancy semantics at HEAD.
-// Epoch stamps are per-engine, so snapshot reads pin to the engine that
-// issued the epoch (documented simplification).
+// replicate onto the next `replicas-1` engines. Engine health comes from
+// the versioned PoolMap (shareable with the control plane and the rebuild
+// task): HEAD reads fail over to the first UP replica; updates degrade
+// gracefully — a copy whose replica is DOWN (or whose send races the
+// down-transition: per-send rejection is authoritative, there is no
+// pre-send check to race) is recorded in the map's resync journal instead
+// of failing the op, and the rebuild task replays the journal later. An
+// update fails only when no replica copy lands at all, or a replica
+// returns a non-UNAVAILABLE error (the Status then reports how many
+// copies landed). Epoch stamps are per-engine, so snapshot reads pin to
+// the engine that issued the epoch (documented simplification).
 //
 // Pipelining: replica updates are issued CONCURRENTLY to every replica
 // engine (CallAsync fan-out, then await) instead of serially, and the
@@ -32,6 +38,7 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "daos/engine.h"
+#include "daos/pool_map.h"
 #include "daos/types.h"
 #include "net/fabric.h"
 #include "rpc/data_rpc.h"
@@ -48,6 +55,16 @@ class DaosClient {
     net::TenantId tenant = net::kSystemTenant;
     /// Copies of every update, placed on consecutive engines (1 = none).
     std::uint32_t replicas = 1;
+    /// Shared pool map (control plane / rebuild task / other clients see
+    /// the same engine states and resync journal). Must outlive the
+    /// client and have engine_count == engines. nullptr: the client owns
+    /// a private map.
+    PoolMap* pool_map = nullptr;
+    /// False: the client's RPC connections get no progress hook — every
+    /// engine must run its own progress thread (StartProgressThread).
+    /// Required when several client threads share an engine: the engine
+    /// poll set is single-consumer, so concurrent pumps would race.
+    bool progress_pump = true;
   };
 
   /// Dials the engine, performs PoolConnect (auth), returns a live client.
@@ -60,12 +77,17 @@ class DaosClient {
       net::Fabric* fabric, std::span<DaosEngine* const> engines,
       const ConnectOptions& options);
 
-  /// Failure injection: a down engine rejects routing; fetches fail over
-  /// to the next replica, updates fail unless every replica is reachable.
+  /// Failure injection shorthand over the pool map: down=true marks the
+  /// engine DOWN (reads fail over, writes degrade + journal), down=false
+  /// marks it UP again. Richer transitions (REBUILDING) go through
+  /// pool_map()->SetState.
   Status SetEngineDown(std::uint32_t engine_index, bool down);
   std::uint32_t engine_count() const {
     return std::uint32_t(engines_.size());
   }
+  /// The engine-health authority this client routes by.
+  PoolMap* pool_map() { return map_; }
+  const PoolMap* pool_map() const { return map_; }
 
   // --- containers --------------------------------------------------------
   Result<ContainerId> ContainerCreate(const std::string& label);
@@ -110,9 +132,11 @@ class DaosClient {
     Epoch epoch = kEpochHead;
   };
 
-  /// Pipelined array writes; returns each op's stamped (primary) epoch.
-  /// Write-all replica semantics per op: fails if any replica is down or
-  /// any copy errors (remaining in-flight ops still drain).
+  /// Pipelined array writes; returns each op's stamped epoch (the first
+  /// replica copy that landed; the primary's when it is up). Degraded
+  /// replica semantics per op — DOWN replicas are journaled, not errors;
+  /// an op fails only when no copy lands or a copy returns a hard error
+  /// (remaining in-flight ops still drain).
   Result<std::vector<Epoch>> UpdateBatch(std::span<const UpdateOp> ops);
 
   /// Pipelined array reads into each op's `out` window (holes as zeros).
@@ -163,7 +187,6 @@ class DaosClient {
  private:
   struct EngineConn {
     std::unique_ptr<rpc::RpcClient> rpc;
-    bool down = false;
   };
 
   DaosClient() = default;
@@ -171,38 +194,47 @@ class DaosClient {
                const std::string& akey, PunchScope scope);
 
   /// Primary engine index for (oid, dkey); replica i lives at
-  /// (primary + i) % engines.
+  /// (primary + i) % engines. Delegates to placement.h's PlaceEngine so
+  /// the rebuild task computes identical replica sets.
   std::uint32_t PrimaryEngine(const ObjectId& oid,
                               const std::string& dkey) const;
   /// The r-th replica engine on the ring starting at `primary`.
   std::uint32_t ReplicaEngine(std::uint32_t primary, std::uint32_t r) const {
     return (primary + r) % std::uint32_t(engines_.size());
   }
-  /// Write-all precondition: UNAVAILABLE if any replica of (oid, dkey)
-  /// is down — checked before anything is sent.
-  Status CheckReplicasUp(const ObjectId& oid, const std::string& dkey) const;
-  /// First reachable replica for reads; error when all are down.
+  /// First UP replica for reads; error when none is.
   Result<std::uint32_t> ReadableEngine(const ObjectId& oid,
                                        const std::string& dkey) const;
+  /// UNAVAILABLE unless `engine` is UP (snapshot reads pin to the
+  /// stamping engine and cannot fail over).
+  Status RequireUp(std::uint32_t engine) const;
+  /// Records a missed replica copy of (cont, oid, dkey) owed to `engine`
+  /// in the pool map's resync journal.
+  void JournalMiss(std::uint32_t engine, ContainerId cont,
+                   const ObjectId& oid, const std::string& dkey);
   /// Unary call against a specific engine. Headers travel as the Encoder
   /// that built them so the RPC layer can refuse overflowed encodes.
   Result<rpc::RpcReply> Call(std::uint32_t engine, std::uint32_t opcode,
                              const rpc::Encoder& header,
                              const rpc::CallOptions& options = {});
-  /// Async form of Call: issues without awaiting (down engines rejected).
+  /// Async form of Call: issues without awaiting (DOWN engines rejected).
   Result<rpc::RpcClient::CallId> CallAsyncEngine(
       std::uint32_t engine, std::uint32_t opcode,
       const rpc::Encoder& header, const rpc::CallOptions& options = {});
-  /// Same call issued CONCURRENTLY to every replica of (oid, dkey) —
-  /// all requests go out before any reply is awaited; the primary's reply
-  /// is returned. Fails if ANY replica is down (write-all semantics,
-  /// checked before anything is sent) or any copy errors.
-  Result<rpc::RpcReply> CallReplicas(const ObjectId& oid,
+  /// Same call issued CONCURRENTLY to every writable replica of
+  /// (oid, dkey) — all requests go out before any reply is awaited; the
+  /// first landed copy's reply is returned (the primary's when it is up).
+  /// DOWN replicas and copies that fail UNAVAILABLE mid-flight degrade
+  /// into journal entries; the call fails only when no copy lands (the
+  /// Status reports "0/N replica copies landed") or a copy returns a
+  /// hard error (annotated with the landed count).
+  Result<rpc::RpcReply> CallReplicas(ContainerId cont, const ObjectId& oid,
                                      const std::string& dkey,
                                      std::uint32_t opcode,
                                      const rpc::Encoder& header,
                                      const rpc::CallOptions& options = {});
-  /// Broadcast to every engine (container/namespace metadata).
+  /// Broadcast to every engine (container/namespace metadata). Strict: a
+  /// DOWN engine fails the broadcast — metadata has no degraded mode.
   Result<rpc::RpcReply> CallAll(std::uint32_t opcode,
                                 const rpc::Encoder& header);
 
@@ -210,6 +242,9 @@ class DaosClient {
   net::Transport transport_ = net::Transport::kRdma;
   std::uint32_t pool_targets_ = 0;
   std::uint32_t replicas_ = 1;
+  /// Shared map (options.pool_map) or owned_map_.get().
+  PoolMap* map_ = nullptr;
+  std::unique_ptr<PoolMap> owned_map_;
 };
 
 }  // namespace ros2::daos

@@ -24,6 +24,9 @@ std::string DaosOpcodeName(std::uint32_t opcode) {
     case DaosOpcode::kArraySize: return "array_size";
     case DaosOpcode::kAggregate: return "aggregate";
     case DaosOpcode::kTelemetryQuery: return "telemetry_query";
+    case DaosOpcode::kObjScan: return "obj_scan";
+    case DaosOpcode::kDkeyExport: return "dkey_export";
+    case DaosOpcode::kDkeyImport: return "dkey_import";
   }
   return "op" + std::to_string(opcode);
 }
@@ -345,6 +348,13 @@ void DaosEngine::RegisterHandlers() {
                      DrainBarrier();
                      return HandleListDkeys(h);
                    });
+  // kObjScan (the rebuild walk) enumerates every target too: same barrier
+  // so the scan observes every already-issued op.
+  server_.Register(std::uint32_t(DaosOpcode::kObjScan),
+                   [this](const Buffer&, rpc::BulkIo&) {
+                     DrainBarrier();
+                     return HandleObjScan();
+                   });
 
   // Target-routed data ops: decode -> defer onto the dkey's xstream.
   auto defer = [this](DaosOpcode op,
@@ -363,6 +373,8 @@ void DaosEngine::RegisterHandlers() {
   defer(DaosOpcode::kListAkeys, &DaosEngine::DeferListAkeys);
   defer(DaosOpcode::kArraySize, &DaosEngine::DeferArraySize);
   defer(DaosOpcode::kAggregate, &DaosEngine::DeferAggregate);
+  defer(DaosOpcode::kDkeyExport, &DaosEngine::DeferDkeyExport);
+  defer(DaosOpcode::kDkeyImport, &DaosEngine::DeferDkeyImport);
 }
 
 Result<DaosEngine::Container*> DaosEngine::FindContainer(ContainerId id) {
@@ -483,6 +495,24 @@ Result<Buffer> DaosEngine::HandleListDkeys(const Buffer& header) {
   }
   enc.U32(std::uint32_t(all.size()));
   for (const auto& dkey : all) enc.Str(dkey);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::HandleObjScan() {
+  // Within one engine a dkey lives on exactly one target, so the
+  // concatenation is already duplicate-free.
+  rpc::Encoder enc;
+  std::uint32_t count = 0;
+  rpc::Encoder entries;
+  for (auto& target : targets_) {
+    for (const ObjectId& oid : target.vos->ListObjects()) {
+      for (const std::string& dkey : target.vos->ListDkeys(oid)) {
+        entries.U64(oid.hi).U64(oid.lo).Str(dkey);
+        ++count;
+      }
+    }
+  }
+  enc.U32(count).Bytes(entries.buffer());
   return enc.Take();
 }
 
@@ -677,6 +707,36 @@ rpc::HandlerVerdict DaosEngine::DeferAggregate(rpc::RpcContextPtr ctx) {
                });
 }
 
+rpc::HandlerVerdict DaosEngine::DeferDkeyExport(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
+  ObjAddr addr;
+  Status s = DecodeObjAddr(dec, &addr);
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), target](rpc::RpcContext&) {
+                 return ExecDkeyExport(addr, target);
+               });
+}
+
+rpc::HandlerVerdict DaosEngine::DeferDkeyImport(rpc::RpcContextPtr ctx) {
+  rpc::Decoder dec(ctx->header());
+  ObjAddr addr;
+  Buffer image;
+  Status s = [&]() -> Status {
+    ROS2_RETURN_IF_ERROR(DecodeObjAddr(dec, &addr));
+    ROS2_ASSIGN_OR_RETURN(image, dec.Bytes());
+    return Status::Ok();
+  }();
+  if (!s.ok()) return CompleteWithError(std::move(ctx), std::move(s));
+  const std::uint32_t target = TargetOf(addr.oid, addr.dkey);
+  return Defer(target, std::move(ctx),
+               [this, addr = std::move(addr), image = std::move(image),
+                target](rpc::RpcContext&) {
+                 return ExecDkeyImport(addr, image, target);
+               });
+}
+
 // ------------------------------------------------- xstream execution
 
 Result<Buffer> DaosEngine::ExecObjUpdate(const ObjAddr& addr,
@@ -737,6 +797,83 @@ Result<Buffer> DaosEngine::ExecSingleFetch(const ObjAddr& addr, Epoch epoch,
   fetches_.Add(1, target);
   rpc::Encoder enc;
   enc.Bytes(value);
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::ExecDkeyExport(const ObjAddr& addr,
+                                          std::uint32_t target) {
+  ROS2_RETURN_IF_ERROR(FindContainer(addr.cont).status());
+  Vos* vos = targets_[target].vos.get();
+  struct Entry {
+    std::string akey;
+    ValueType type;
+    Buffer payload;
+  };
+  std::vector<Entry> entries;
+  for (const Vos::AkeyInfo& info : vos->DescribeDkey(addr.oid, addr.dkey)) {
+    if (info.type == ValueType::kArray) {
+      // The flat HEAD image: holes and punched ranges materialize as
+      // zeros, so the import reproduces fetch-visible bytes exactly.
+      Buffer flat(info.head_size);
+      if (info.head_size > 0) {
+        ROS2_RETURN_IF_ERROR(vos->FetchArray(addr.oid, addr.dkey, info.akey,
+                                             kEpochHead, 0, flat));
+      }
+      entries.push_back({info.akey, info.type, std::move(flat)});
+    } else {
+      auto value = vos->FetchSingle(addr.oid, addr.dkey, info.akey,
+                                    kEpochHead);
+      if (!value.ok()) {
+        // Punched singles have no visible value: omit the akey.
+        if (value.status().code() == ErrorCode::kNotFound) continue;
+        return value.status();
+      }
+      entries.push_back({info.akey, info.type, std::move(*value)});
+    }
+  }
+  fetches_.Add(1, target);
+  rpc::Encoder enc;
+  enc.U32(std::uint32_t(entries.size()));
+  for (const Entry& e : entries) {
+    enc.Str(e.akey).U8(std::uint8_t(e.type)).Bytes(e.payload);
+  }
+  return enc.Take();
+}
+
+Result<Buffer> DaosEngine::ExecDkeyImport(const ObjAddr& addr,
+                                          const Buffer& image,
+                                          std::uint32_t target) {
+  ROS2_ASSIGN_OR_RETURN(Container * cont, FindContainer(addr.cont));
+  Vos* vos = targets_[target].vos.get();
+  // Replace semantics: clear whatever version the replacement holds (a
+  // partial earlier pass, or nothing), then apply the image at fresh
+  // epochs — later than any epoch the survivors stamped, keeping per-akey
+  // epoch monotonicity.
+  Status punched = vos->PunchDkey(addr.oid, addr.dkey, cont->next_epoch++);
+  if (!punched.ok() && punched.code() != ErrorCode::kNotFound) {
+    return punched;
+  }
+  rpc::Decoder dec(image);
+  ROS2_ASSIGN_OR_RETURN(std::uint32_t count, dec.U32());
+  std::uint64_t bytes = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ROS2_ASSIGN_OR_RETURN(std::string akey, dec.Str());
+    ROS2_ASSIGN_OR_RETURN(std::uint8_t type, dec.U8());
+    ROS2_ASSIGN_OR_RETURN(Buffer payload, dec.Bytes());
+    const Epoch epoch = cont->next_epoch++;
+    if (ValueType(type) == ValueType::kArray) {
+      if (payload.empty()) continue;  // zero-length array: nothing to write
+      ROS2_RETURN_IF_ERROR(vos->UpdateArray(addr.oid, addr.dkey, akey, epoch,
+                                            /*offset=*/0, payload));
+    } else {
+      ROS2_RETURN_IF_ERROR(
+          vos->UpdateSingle(addr.oid, addr.dkey, akey, epoch, payload));
+    }
+    bytes += payload.size();
+  }
+  updates_.Add(1, target);
+  rpc::Encoder enc;
+  enc.U64(bytes);
   return enc.Take();
 }
 

@@ -63,6 +63,20 @@ enum class DaosOpcode : std::uint32_t {
   /// Control plane: export a telemetry snapshot (header = flags + path
   /// prefix; reply = wire-encoded TelemetrySnapshot).
   kTelemetryQuery,
+  /// Rebuild scan: every (oid, dkey) resident on this engine, all targets
+  /// (barrier, like kListDkeys). Reply: u32 count, then per entry
+  /// {u64 oid.hi, u64 oid.lo, str dkey}. The container is oid.hi by the
+  /// kOidAlloc convention.
+  kObjScan,
+  /// Rebuild export: materialize one dkey's HEAD state. Header = ObjAddr
+  /// (akey ignored); reply: u32 akey count, then per akey {str name,
+  /// u8 ValueType, bytes payload} — arrays as the flat [0, size) image,
+  /// punched/empty singles omitted. Absent dkey -> count 0.
+  kDkeyExport,
+  /// Rebuild import: replace one dkey with an exported image (punch-then-
+  /// apply at fresh epochs). Header = ObjAddr (akey ignored) + bytes(the
+  /// kDkeyExport reply, verbatim). Reply: u64 payload bytes applied.
+  kDkeyImport,
 };
 
 /// Metric-path name for an opcode ("single_update"); "op<number>" for
@@ -163,6 +177,13 @@ class DaosEngine {
   /// directly — the hot paths only touch atomics, so this is safe while
   /// the engine is serving.
   const telemetry::Telemetry& telemetry() const { return telemetry_; }
+  /// Mutable tree for co-located services (pool map, rebuild manager) to
+  /// register their metrics into, so one kTelemetryQuery serves the whole
+  /// node. nullptr when telemetry is disabled — Attach* helpers no-op on
+  /// nullptr, so callers can pass it straight through.
+  telemetry::Telemetry* mutable_telemetry() {
+    return config_.telemetry ? &telemetry_ : nullptr;
+  }
   /// Recent per-request timing breakdowns (trace_id -> queue/exec/total).
   const telemetry::TraceRing& traces() const { return traces_; }
 
@@ -224,6 +245,8 @@ class DaosEngine {
   rpc::HandlerVerdict DeferListAkeys(rpc::RpcContextPtr ctx);
   rpc::HandlerVerdict DeferArraySize(rpc::RpcContextPtr ctx);
   rpc::HandlerVerdict DeferAggregate(rpc::RpcContextPtr ctx);
+  rpc::HandlerVerdict DeferDkeyExport(rpc::RpcContextPtr ctx);
+  rpc::HandlerVerdict DeferDkeyImport(rpc::RpcContextPtr ctx);
 
   // Execution bodies (run on the target xstream at drain time).
   Result<Buffer> ExecObjUpdate(const ObjAddr& addr, std::uint64_t offset,
@@ -246,6 +269,12 @@ class DaosEngine {
   Result<Buffer> HandleObjectPunch(const ObjAddr& addr);
   Result<Buffer> HandleListDkeys(const Buffer& header);
   Result<Buffer> HandleTelemetryQuery(const Buffer& header);
+  Result<Buffer> HandleObjScan();
+
+  // Rebuild bodies (run on the dkey's target xstream).
+  Result<Buffer> ExecDkeyExport(const ObjAddr& addr, std::uint32_t target);
+  Result<Buffer> ExecDkeyImport(const ObjAddr& addr, const Buffer& image,
+                                std::uint32_t target);
 
   void ProgressThreadMain();
   /// Barrier before ops that must observe every issued op (object punch,

@@ -23,6 +23,22 @@ inline std::uint64_t HashKey(std::string_view key) {
   return h;
 }
 
+/// Level-1 placement: primary engine index in [0, num_engines) for a
+/// (oid, dkey) pair; replica r lives at (primary + r) % num_engines.
+/// Shared by DaosClient routing and the rebuild task's replica-set
+/// filtering — the salt differs from PlaceDkey so the engine level and the
+/// in-engine target level decorrelate.
+inline std::uint32_t PlaceEngine(const ObjectId& oid, std::string_view dkey,
+                                 std::uint32_t num_engines) {
+  if (num_engines <= 1) return 0;
+  std::uint64_t x = oid.lo ^ (oid.hi * 0xD1B54A32D192ED03ull) ^
+                    (HashKey(dkey) * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 31;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 29;
+  return std::uint32_t(x % num_engines);
+}
+
 /// Target index in [0, num_targets) for a (oid, dkey) pair. All akeys under
 /// one dkey colocate (DAOS's unit of distribution is the dkey).
 inline std::uint32_t PlaceDkey(const ObjectId& oid, std::string_view dkey,

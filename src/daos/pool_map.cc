@@ -1,0 +1,89 @@
+#include "daos/pool_map.h"
+
+namespace ros2::daos {
+
+const char* EngineStateName(EngineState state) {
+  switch (state) {
+    case EngineState::kUp: return "up";
+    case EngineState::kDown: return "down";
+    case EngineState::kRebuilding: return "rebuilding";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------- ResyncJournal
+
+ResyncJournal::ResyncJournal(std::uint32_t engines) {
+  engines_.reserve(engines);
+  for (std::uint32_t e = 0; e < engines; ++e) {
+    engines_.push_back(std::make_unique<PerEngine>());
+  }
+}
+
+void ResyncJournal::Record(std::uint32_t engine, ResyncEntry entry) {
+  if (engine >= engines_.size()) return;
+  PerEngine& pe = *engines_[engine];
+  std::lock_guard<std::mutex> lk(pe.mu);
+  if (pe.entries.insert(std::move(entry)).second) recorded_.Add(1);
+}
+
+std::vector<ResyncEntry> ResyncJournal::Drain(std::uint32_t engine) {
+  if (engine >= engines_.size()) return {};
+  PerEngine& pe = *engines_[engine];
+  std::lock_guard<std::mutex> lk(pe.mu);
+  std::vector<ResyncEntry> out(pe.entries.begin(), pe.entries.end());
+  pe.entries.clear();
+  return out;
+}
+
+std::size_t ResyncJournal::depth(std::uint32_t engine) const {
+  if (engine >= engines_.size()) return 0;
+  PerEngine& pe = *engines_[engine];
+  std::lock_guard<std::mutex> lk(pe.mu);
+  return pe.entries.size();
+}
+
+std::size_t ResyncJournal::total_depth() const {
+  std::size_t total = 0;
+  for (std::uint32_t e = 0; e < engines_.size(); ++e) total += depth(e);
+  return total;
+}
+
+// ------------------------------------------------------------- PoolMap
+
+PoolMap::PoolMap(std::uint32_t engines)
+    : states_(engines == 0 ? 1 : engines),
+      journal_(engines == 0 ? 1 : engines) {
+  for (auto& s : states_) {
+    s.store(std::uint8_t(EngineState::kUp), std::memory_order_relaxed);
+  }
+}
+
+Status PoolMap::SetState(std::uint32_t engine, EngineState state) {
+  if (engine >= states_.size()) return InvalidArgument("no such engine");
+  std::lock_guard<std::mutex> lk(mu_);
+  states_[engine].store(std::uint8_t(state), std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  transitions_.Add(1);
+  return Status::Ok();
+}
+
+void PoolMap::AttachTelemetry(telemetry::Telemetry* tree) {
+  if (tree == nullptr) return;
+  tree->RegisterCallback("pool_map/version", [this] {
+    return std::int64_t(version());
+  });
+  tree->LinkCounter("pool_map/transitions", &transitions_);
+  tree->LinkCounter("pool_map/journal_recorded",
+                    &journal_.recorded_counter());
+  tree->RegisterCallback("pool_map/journal_depth", [this] {
+    return std::int64_t(journal_.total_depth());
+  });
+  for (std::uint32_t e = 0; e < engine_count(); ++e) {
+    tree->RegisterCallback(
+        "pool_map/engine/" + std::to_string(e) + "/state",
+        [this, e] { return std::int64_t(state(e)); });
+  }
+}
+
+}  // namespace ros2::daos

@@ -309,6 +309,36 @@ bool Vos::ObjectExists(const ObjectId& oid) const {
   return objects_.contains(oid);
 }
 
+std::vector<ObjectId> Vos::ListObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [oid, _] : objects_) out.push_back(oid);
+  return out;
+}
+
+std::vector<Vos::AkeyInfo> Vos::DescribeDkey(const ObjectId& oid,
+                                             const std::string& dkey) const {
+  std::vector<AkeyInfo> out;
+  auto obj = objects_.find(oid);
+  if (obj == objects_.end()) return out;
+  auto dk = obj->second.find(dkey);
+  if (dk == obj->second.end()) return out;
+  out.reserve(dk->second.size());
+  for (const auto& [akey, value] : dk->second) {
+    AkeyInfo info;
+    info.akey = akey;
+    info.type = value.type;
+    if (value.type == ValueType::kArray) {
+      for (const ArrayRecord& rec : value.records) {
+        if (rec.punch) continue;  // punches do not shrink logical size
+        info.head_size = std::max(info.head_size, rec.extent.end());
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
 // ----------------------------------------------------------- aggregation
 
 Status Vos::AggregateArray(const ObjectId& oid, const std::string& dkey,

@@ -99,6 +99,20 @@ class Vos {
   std::vector<std::string> ListAkeys(const ObjectId& oid,
                                      const std::string& dkey) const;
   bool ObjectExists(const ObjectId& oid) const;
+  /// Every object resident on this target (rebuild scan).
+  std::vector<ObjectId> ListObjects() const;
+
+  /// Export descriptor for one akey under (oid, dkey): the value kind plus
+  /// (for arrays) the HEAD logical size — everything the rebuild exporter
+  /// needs to materialize the akey with FetchArray/FetchSingle.
+  struct AkeyInfo {
+    std::string akey;
+    ValueType type = ValueType::kArray;
+    std::uint64_t head_size = 0;  ///< arrays only: logical size at HEAD
+  };
+  /// Empty when the dkey (or object) does not exist on this target.
+  std::vector<AkeyInfo> DescribeDkey(const ObjectId& oid,
+                                     const std::string& dkey) const;
 
   // --- maintenance -------------------------------------------------------
   /// DAOS aggregation: collapses an array's record log up to `upto` into a

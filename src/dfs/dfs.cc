@@ -18,7 +18,11 @@ const char* const kMagicAkey = "magic";
 constexpr std::uint64_t kDfsMagic = 0x524F53324446531Aull;  // "ROS2DFS\x1a"
 
 std::string ChunkDkey(std::uint64_t chunk_index) {
-  return "c" + std::to_string(chunk_index);
+  // Build via insert-free concatenation: the operator+(const char*,
+  // string&&) form trips a GCC 12 -Wrestrict false positive here.
+  std::string dkey = "c";
+  dkey += std::to_string(chunk_index);
+  return dkey;
 }
 
 Buffer EncodeEntry(const DfsStat& stat) {

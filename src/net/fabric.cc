@@ -52,8 +52,7 @@ Qp::~Qp() {
 
 Status Qp::Send(std::span<const std::byte> payload) {
   if (peer_ == nullptr) return Unavailable("qp not connected");
-  if (send_faults_.load(std::memory_order_relaxed) > 0) {
-    send_faults_.fetch_sub(1, std::memory_order_relaxed);
+  if (fault_plan_.Evaluate(common::FaultPoint::kNetSend).fire) {
     return Unavailable("injected send fault");
   }
   Message msg;
@@ -387,10 +386,7 @@ Result<MemoryRegion> Endpoint::RegisterMemory(PdId pd,
   std::lock_guard<std::mutex> lk(mu_);
   if (!pds_.contains(pd)) return NotFound("unknown protection domain");
   if (region.empty()) return InvalidArgument("empty memory region");
-  if (register_fault_skip_ > 0) {
-    --register_fault_skip_;
-  } else if (register_faults_ > 0) {
-    --register_faults_;
+  if (fault_plan_.Evaluate(common::FaultPoint::kNetRegister).fire) {
     return ResourceExhausted("injected registration fault (MR table full)");
   }
   MemoryRegion mr;

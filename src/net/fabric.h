@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fault.h"
 #include "common/function_ref.h"
 #include "common/status.h"
 #include "perf/types.h"
@@ -124,9 +125,18 @@ class Qp {
   /// Fault injection: the next `count` Send() calls fail with UNAVAILABLE
   /// (a flapping link / blown send queue). Lets tests drive the
   /// send-failed cleanup paths that are unreachable on a healthy fabric.
+  /// Arms this Qp's FaultPlan at kNetSend; richer windows (skip,
+  /// probability) go through fault_plan() directly.
   void InjectSendFaults(int count) {
-    send_faults_.store(count, std::memory_order_relaxed);
+    if (count <= 0) {
+      fault_plan_.Disarm(common::FaultPoint::kNetSend);
+      return;
+    }
+    fault_plan_.Arm(common::FaultPoint::kNetSend,
+                    {0, std::uint64_t(count), 1.0, 0});
   }
+  /// The Qp's fault plan (kNetSend consulted on every Send).
+  common::FaultPlan& fault_plan() { return fault_plan_; }
 
   ~Qp();
 
@@ -147,7 +157,7 @@ class Qp {
   std::deque<Message> rx_queue_;
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> bytes_one_sided_{0};
-  std::atomic<int> send_faults_{0};
+  common::FaultPlan fault_plan_;
   /// Readiness set this Qp reports into. Atomic: Send() reads it from
   /// worker threads while Add/Remove swap it on the control path.
   std::atomic<PollSet*> poll_set_{nullptr};
@@ -314,12 +324,19 @@ class Endpoint {
   /// Fault injection: after `skip` more successful registrations, the
   /// next `count` RegisterMemory calls fail with RESOURCE_EXHAUSTED (MR
   /// table full — a real verbs failure mode). Drives the
-  /// registration-failed cleanup paths in tests.
+  /// registration-failed cleanup paths in tests. Arms the endpoint's
+  /// FaultPlan at kNetRegister; richer windows go through fault_plan().
   void InjectRegisterFaults(int skip, int count) {
-    std::lock_guard<std::mutex> lk(mu_);
-    register_fault_skip_ = skip;
-    register_faults_ = count;
+    if (count <= 0) {
+      fault_plan_.Disarm(common::FaultPoint::kNetRegister);
+      return;
+    }
+    fault_plan_.Arm(common::FaultPoint::kNetRegister,
+                    {std::uint64_t(skip < 0 ? 0 : skip),
+                     std::uint64_t(count), 1.0, 0});
   }
+  /// The endpoint's fault plan (kNetRegister consulted per registration).
+  common::FaultPlan& fault_plan() { return fault_plan_; }
 
  private:
   friend class Fabric;
@@ -335,15 +352,14 @@ class Endpoint {
 
   Fabric* fabric_;
   std::string address_;
-  mutable std::mutex mu_;  // guards pds_, mrs_, pin_counts_, qps_, faults
+  mutable std::mutex mu_;  // guards pds_, mrs_, pin_counts_, qps_
   std::uint32_t next_pd_ = 1;
   std::map<PdId, TenantId> pds_;
   std::unordered_map<RKey, MemoryRegion> mrs_;
   std::unordered_map<std::uintptr_t, std::uint32_t> pin_counts_;
   std::vector<std::unique_ptr<Qp>> qps_;
   PollSet* accept_poll_set_ = nullptr;
-  int register_fault_skip_ = 0;
-  int register_faults_ = 0;
+  common::FaultPlan fault_plan_;
   // Declared last: destroyed first, while mrs_ is still alive to
   // deregister the pooled entries into.
   std::unique_ptr<MrCache> mr_cache_;

@@ -239,6 +239,23 @@ Result<RpcContextPtr> RpcServer::Decode(net::Qp* qp, Buffer frame) {
 }
 
 void RpcServer::Dispatch(RpcContextPtr ctx) {
+  if (fault_plan_ != nullptr) {
+    // Delay first (a slow server still answers), then drop: a dropped
+    // request completes with UNAVAILABLE rather than vanishing, so the
+    // client's pipeline drains deterministically instead of hanging on a
+    // reply that never comes.
+    const common::FaultDecision delay =
+        fault_plan_->Evaluate(common::FaultPoint::kRpcDelay);
+    if (delay.fire && delay.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay.delay_us));
+    }
+    if (fault_plan_->Evaluate(common::FaultPoint::kRpcDrop).fire) {
+      dropped_.Add(1);
+      (void)ctx->Complete(
+          Status(Unavailable("fault injection: request dropped")));
+      return;
+    }
+  }
   auto it = handlers_.find(ctx->opcode());
   if (it == handlers_.end()) {
     unknown_.Add(1);

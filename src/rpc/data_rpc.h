@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fault.h"
 #include "common/status.h"
 #include "net/fabric.h"
 #include "net/mr_cache.h"
@@ -221,6 +222,16 @@ class RpcServer {
   /// Requests whose opcode had no registered handler.
   std::uint64_t unknown_opcodes() const { return unknown_.value(); }
 
+  /// Fault injection: the plan is consulted at the dispatch step —
+  /// kRpcDelay sleeps delay_us before dispatching (a slow server),
+  /// kRpcDrop answers UNAVAILABLE instead of executing (a deterministic
+  /// "lost" request: the client sees an error reply, never a hang, so the
+  /// pipeline stays drainable). nullptr (default) disables both.
+  void set_fault_plan(common::FaultPlan* plan) { fault_plan_ = plan; }
+  common::FaultPlan* fault_plan() const { return fault_plan_; }
+  /// Requests answered UNAVAILABLE by an armed kRpcDrop point.
+  std::uint64_t requests_dropped() const { return dropped_.value(); }
+
  private:
   friend class RpcContext;
 
@@ -243,6 +254,8 @@ class RpcServer {
   telemetry::Counter bulk_in_{1};
   telemetry::Counter bulk_out_{1};
   telemetry::Counter unknown_{1};
+  telemetry::Counter dropped_{1};
+  common::FaultPlan* fault_plan_ = nullptr;
   telemetry::Telemetry* tree_ = nullptr;
   telemetry::TraceRing* trace_ring_ = nullptr;
   OpcodeNamer namer_;

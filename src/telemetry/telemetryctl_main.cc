@@ -9,12 +9,19 @@
 //   ros2_telemetryctl dump  [--targets=N] [--ops=N] [--serial] [--traces]
 //                           [--prefix=P] [--json[=PATH]] [--check]
 //                           [--post-mortem] [--no-telemetry]
+//                           [--engines=N] [--replicas=R] [--rebuild]
 //       One workload pass, one snapshot, rendered as a table (or JSON).
 //       --check validates the end-to-end wiring (non-zero per-opcode
 //       latency histograms, per-target queue-depth gauges, op counters)
 //       and exits 1 on failure — ci.sh runs this as its smoke test.
 //       --post-mortem stops the progress thread first and dumps the
 //       snapshot it published on the way out (the after-Stop() view).
+//       --rebuild runs the self-healing scenario instead (defaults to 3
+//       engines, replicas = engines): healthy pass, kill an engine,
+//       degraded pass (writes journal, reads fail over), rebuild + resync,
+//       healthy pass — then dumps engine 0's tree, where the pool map and
+//       the rebuild manager also register (pool_map/*, rebuild/*).
+//       --check in this mode additionally gates the rebuild metrics.
 //
 //   ros2_telemetryctl watch [--intervals=N] [--targets=N] [--ops=N]
 //                           [--serial] [--prefix=P]
@@ -25,6 +32,7 @@
 //       Compares two --json dumps: scalar deltas and histogram count
 //       drift, table out. Exit 0 even when different (diff informs;
 //       --check gates).
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +46,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "daos/client.h"
+#include "daos/rebuild.h"
 #include "telemetry/snapshot.h"
 
 using namespace ros2;
@@ -49,6 +58,9 @@ struct CliOptions {
   std::uint32_t targets = 4;
   std::uint64_t ops = 96;
   std::uint32_t intervals = 3;
+  std::uint32_t engines = 1;
+  std::uint32_t replicas = 1;
+  bool rebuild = false;
   bool serial = false;
   bool telemetry = true;
   bool traces = false;
@@ -66,7 +78,7 @@ void Usage() {
       "usage: ros2_telemetryctl <dump|watch|diff> [options]\n"
       "  dump   [--targets=N] [--ops=N] [--serial] [--traces]\n"
       "         [--prefix=P] [--json[=PATH]] [--check] [--post-mortem]\n"
-      "         [--no-telemetry]\n"
+      "         [--no-telemetry] [--engines=N] [--replicas=R] [--rebuild]\n"
       "  watch  [--intervals=N] [--targets=N] [--ops=N] [--serial]\n"
       "         [--prefix=P]\n"
       "  diff   <a.json> <b.json>\n");
@@ -91,6 +103,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->intervals = std::uint32_t(std::strtoul(
           value_of("--intervals=").c_str(), nullptr, 10));
       if (out->intervals == 0) return false;
+    } else if (arg.rfind("--engines=", 0) == 0) {
+      out->engines = std::uint32_t(std::strtoul(
+          value_of("--engines=").c_str(), nullptr, 10));
+      if (out->engines == 0) return false;
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      out->replicas = std::uint32_t(std::strtoul(
+          value_of("--replicas=").c_str(), nullptr, 10));
+      if (out->replicas == 0) return false;
+    } else if (arg == "--rebuild") {
+      out->rebuild = true;
     } else if (arg.rfind("--prefix=", 0) == 0) {
       out->prefix = value_of("--prefix=");
     } else if (arg == "--serial") {
@@ -115,45 +137,88 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->positional.push_back(arg);
     }
   }
+  if (out->rebuild) {
+    // Scenario defaults: a fully replicated 3-engine pool unless told
+    // otherwise; killing an engine must leave a survivor for every dkey.
+    if (out->engines == 1) out->engines = 3;
+    if (out->replicas == 1) out->replicas = out->engines;
+    if (out->engines < 2 || out->replicas < 2) return false;
+  }
+  if (out->replicas > out->engines) return false;
   return true;
 }
 
-/// The self-hosted subject: one engine, one client, one container. The
-/// client's progress hook pumps the engine (the standard DaosClient
-/// wiring), so nothing here races the snapshot reads — metric updates
-/// are atomics either way.
+/// Plain += concatenation: the operator+(const char*, std::string&&)
+/// forms trip a GCC 12 -Wrestrict false positive under -Werror.
+std::string Cat(const char* prefix, const std::string& suffix) {
+  std::string out(prefix);
+  out += suffix;
+  return out;
+}
+
+/// The self-hosted subject: one pool of N engines, one client, one
+/// container. The client's progress hook pumps the engines (the standard
+/// DaosClient wiring), so nothing here races the snapshot reads — metric
+/// updates are atomics either way. The pool map (and, in --rebuild mode,
+/// the rebuild manager) registers into engine 0's tree: one
+/// kTelemetryQuery dump shows data-path, health, and rebuild state
+/// together.
 struct Demo {
   net::Fabric fabric;
-  std::unique_ptr<storage::NvmeDevice> device;
-  std::unique_ptr<daos::DaosEngine> engine;
+  std::vector<std::unique_ptr<storage::NvmeDevice>> devices;
+  std::vector<std::unique_ptr<daos::DaosEngine>> engines;
+  std::unique_ptr<daos::PoolMap> pool_map;
   std::unique_ptr<daos::DaosClient> client;
+  std::unique_ptr<daos::RebuildManager> rebuild;
   daos::ContainerId cont = 0;
   daos::ObjectId oid;
 
+  /// The engine the --rebuild scenario kills and re-silvers.
+  static constexpr std::uint32_t kVictim = 1;
+
   static Result<std::unique_ptr<Demo>> Boot(const CliOptions& options) {
     auto demo = std::make_unique<Demo>();
-    storage::NvmeDeviceConfig dev;
-    dev.capacity_bytes = 256 * kMiB;
-    demo->device = std::make_unique<storage::NvmeDevice>(dev);
-    storage::NvmeDevice* raw[] = {demo->device.get()};
-    daos::EngineConfig config;
-    config.address = "fabric://telemetryctl-engine";
-    config.targets = options.targets;
-    config.scm_per_target = 16 * kMiB;
-    config.xstream_workers = !options.serial;
-    config.telemetry = options.telemetry;
-    ROS2_ASSIGN_OR_RETURN(demo->engine,
-                          daos::DaosEngine::Create(&demo->fabric, config,
-                                                   raw));
+    demo->pool_map = std::make_unique<daos::PoolMap>(options.engines);
+    std::vector<daos::DaosEngine*> raw_engines;
+    for (std::uint32_t e = 0; e < options.engines; ++e) {
+      storage::NvmeDeviceConfig dev;
+      dev.capacity_bytes = 256 * kMiB;
+      demo->devices.push_back(std::make_unique<storage::NvmeDevice>(dev));
+      storage::NvmeDevice* raw[] = {demo->devices.back().get()};
+      daos::EngineConfig config;
+      config.address =
+          Cat("fabric://telemetryctl-engine-", std::to_string(e));
+      config.targets = options.targets;
+      config.scm_per_target = 16 * kMiB;
+      config.xstream_workers = !options.serial;
+      config.telemetry = options.telemetry;
+      ROS2_ASSIGN_OR_RETURN(auto engine,
+                            daos::DaosEngine::Create(&demo->fabric, config,
+                                                     raw));
+      demo->engines.push_back(std::move(engine));
+      raw_engines.push_back(demo->engines.back().get());
+    }
+    demo->pool_map->AttachTelemetry(demo->engines[0]->mutable_telemetry());
     daos::DaosClient::ConnectOptions connect;
     connect.client_address = "fabric://telemetryctl-client";
+    connect.replicas = options.replicas;
+    connect.pool_map = demo->pool_map.get();
     ROS2_ASSIGN_OR_RETURN(
         demo->client,
-        daos::DaosClient::Connect(&demo->fabric, demo->engine.get(),
-                                  connect));
+        daos::DaosClient::Connect(&demo->fabric, raw_engines, connect));
     ROS2_ASSIGN_OR_RETURN(demo->cont,
                           demo->client->ContainerCreate("telemetryctl"));
     ROS2_ASSIGN_OR_RETURN(demo->oid, demo->client->AllocOid(demo->cont));
+    if (options.rebuild) {
+      daos::RebuildManager::Options ropt;
+      ropt.address = "fabric://telemetryctl-rebuild";
+      ropt.replicas = options.replicas;
+      ROS2_ASSIGN_OR_RETURN(
+          demo->rebuild,
+          daos::RebuildManager::Create(&demo->fabric, raw_engines,
+                                       demo->pool_map.get(), ropt));
+      demo->rebuild->AttachTelemetry(demo->engines[0]->mutable_telemetry());
+    }
     return demo;
   }
 
@@ -170,7 +235,7 @@ struct Demo {
       daos::DaosClient::UpdateOp op;
       op.cont = cont;
       op.oid = oid;
-      op.dkey = "dkey-" + std::to_string(i);
+      op.dkey = Cat("dkey-", std::to_string(i));
       op.akey = "a";
       op.data = payloads.back();
       updates.push_back(std::move(op));
@@ -184,7 +249,7 @@ struct Demo {
       daos::DaosClient::FetchOp op;
       op.cont = cont;
       op.oid = oid;
-      op.dkey = "dkey-" + std::to_string(i);
+      op.dkey = Cat("dkey-", std::to_string(i));
       op.akey = "a";
       op.out = outs[i];
       fetches.push_back(std::move(op));
@@ -193,13 +258,26 @@ struct Demo {
 
     Buffer small = MakePatternBuffer(64, 7);
     for (int i = 0; i < 4; ++i) {
-      const std::string dkey = "meta-" + std::to_string(i);
+      const std::string dkey = Cat("meta-", std::to_string(i));
       ROS2_RETURN_IF_ERROR(
           client->UpdateSingle(cont, oid, dkey, "a", small).status());
       ROS2_RETURN_IF_ERROR(
           client->FetchSingle(cont, oid, dkey, "a").status());
     }
     return client->ListDkeys(cont, oid).status();
+  }
+
+  /// The self-healing scenario (--rebuild): healthy pass, kill kVictim,
+  /// degraded pass (writes journal, reads fail over), rebuild + straggler
+  /// resync, healthy pass against the re-silvered pool.
+  Status RunRebuildScenario(const CliOptions& options) {
+    ROS2_RETURN_IF_ERROR(RunWorkload(options.ops));
+    ROS2_RETURN_IF_ERROR(
+        pool_map->SetState(kVictim, daos::EngineState::kDown));
+    ROS2_RETURN_IF_ERROR(RunWorkload(options.ops));
+    ROS2_RETURN_IF_ERROR(rebuild->Rebuild(kVictim));
+    ROS2_RETURN_IF_ERROR(rebuild->Resync(kVictim));
+    return RunWorkload(options.ops);
   }
 };
 
@@ -227,7 +305,8 @@ Result<telemetry::TelemetrySnapshot> LoadSnapshotJson(
 /// --check: the acceptance wiring, end to end. Every failure prints; any
 /// failure flips the exit code.
 bool CheckSnapshot(const telemetry::TelemetrySnapshot& snap,
-                   std::uint32_t targets, std::uint64_t ops) {
+                   const CliOptions& options) {
+  const std::uint64_t ops = options.ops;
   bool ok = true;
   auto require = [&ok](bool cond, const std::string& what) {
     if (!cond) {
@@ -235,15 +314,19 @@ bool CheckSnapshot(const telemetry::TelemetrySnapshot& snap,
       ok = false;
     }
   };
-  require(snap.ValueOr("engine/updates", 0) >= ops,
-          "engine/updates >= workload updates");
-  require(snap.ValueOr("engine/fetches", 0) >= ops,
-          "engine/fetches >= workload fetches");
+  // In --rebuild mode ops spread over several engines and only engine 0's
+  // tree is dumped, so the data-path gates relax to "moved"; the rebuild
+  // gates below carry the scenario.
+  const std::uint64_t min_ops = options.rebuild ? 1 : ops;
+  require(snap.ValueOr("engine/updates", 0) >= min_ops,
+          "engine/updates covers the workload");
+  require(snap.ValueOr("engine/fetches", 0) >= min_ops,
+          "engine/fetches covers the workload");
   require(snap.ValueOr("rpc/requests_served", 0) > 0,
           "rpc/requests_served > 0");
   for (const char* op : {"obj_update", "obj_fetch", "single_update",
                          "single_fetch"}) {
-    const std::string base = std::string("rpc/op/") + op;
+    const std::string base = Cat("rpc/op/", op);
     const telemetry::MetricValue* total =
         snap.Find(base + "/latency/total");
     require(total != nullptr &&
@@ -253,17 +336,46 @@ bool CheckSnapshot(const telemetry::TelemetrySnapshot& snap,
     require(snap.ValueOr(base + "/requests", 0) > 0, base + "/requests > 0");
   }
   std::uint64_t executed = 0;
-  for (std::uint32_t t = 0; t < targets; ++t) {
-    const std::string base = "sched/target/" + std::to_string(t) + "/";
+  for (std::uint32_t t = 0; t < options.targets; ++t) {
+    const std::string base = Cat("sched/target/", std::to_string(t)) + "/";
     const telemetry::MetricValue* depth = snap.Find(base + "queue_depth");
     require(depth != nullptr &&
                 depth->kind == telemetry::MetricKind::kGauge,
             base + "queue_depth gauge present");
     executed += snap.ValueOr(base + "executed", 0);
   }
-  require(executed >= 2 * ops, "per-target executed covers the workload");
+  require(executed >= (options.rebuild ? 2 : 2 * ops),
+          "per-target executed covers the workload");
   require(snap.ValueOr("engine/started_at", 0) > 0,
           "engine/started_at stamped");
+
+  if (options.rebuild) {
+    // The self-healing gates: the victim was killed, writes degraded into
+    // the journal, the rebuild re-silvered it and marked it UP, and the
+    // journal drained.
+    const std::string victim = std::to_string(Demo::kVictim);
+    const std::string rb = Cat("rebuild/", victim) + "/";
+    require(snap.ValueOr(rb + "dkeys_scanned", 0) > 0,
+            rb + "dkeys_scanned > 0");
+    require(snap.ValueOr(rb + "bytes_copied", 0) > 0,
+            rb + "bytes_copied > 0");
+    const telemetry::MetricValue* progress = snap.Find(rb + "progress");
+    require(progress != nullptr && progress->gauge == 100,
+            rb + "progress == 100");
+    require(snap.ValueOr("pool_map/journal_recorded", 0) > 0,
+            "pool_map/journal_recorded > 0 (degraded writes journaled)");
+    require(snap.ValueOr("pool_map/journal_depth", 0) == 0 &&
+                snap.Find("pool_map/journal_depth") != nullptr,
+            "pool_map/journal_depth == 0 (resync drained)");
+    // DOWN -> REBUILDING -> UP is at least 3 transitions past the boot
+    // version of 1.
+    require(snap.ValueOr("pool_map/transitions", 0) >= 3,
+            "pool_map/transitions >= 3");
+    const telemetry::MetricValue* state =
+        snap.Find(Cat("pool_map/engine/", victim) + "/state");
+    require(state != nullptr && state->gauge == 0,
+            "victim engine state back to UP");
+  }
   return ok;
 }
 
@@ -274,7 +386,8 @@ int RunDump(const CliOptions& options) {
                  demo.status().ToString().c_str());
     return 2;
   }
-  Status ran = (*demo)->RunWorkload(options.ops);
+  Status ran = options.rebuild ? (*demo)->RunRebuildScenario(options)
+                               : (*demo)->RunWorkload(options.ops);
   if (!ran.ok()) {
     std::fprintf(stderr, "workload failed: %s\n", ran.ToString().c_str());
     return 2;
@@ -284,9 +397,9 @@ int RunDump(const CliOptions& options) {
   if (options.post_mortem) {
     // The progress thread publishes a final snapshot on its way out; a
     // dump after Stop() reads that, not a live query.
-    (*demo)->engine->StartProgressThread();
-    (*demo)->engine->StopProgressThread();
-    auto published = (*demo)->engine->published_snapshot();
+    (*demo)->engines[0]->StartProgressThread();
+    (*demo)->engines[0]->StopProgressThread();
+    auto published = (*demo)->engines[0]->published_snapshot();
     if (!published.ok()) {
       std::fprintf(stderr, "no published snapshot: %s\n",
                    published.status().ToString().c_str());
@@ -313,8 +426,7 @@ int RunDump(const CliOptions& options) {
   } else {
     std::fputs(snap.RenderTable().c_str(), stdout);
   }
-  if (options.check &&
-      !CheckSnapshot(snap, options.targets, options.ops)) {
+  if (options.check && !CheckSnapshot(snap, options)) {
     return 1;
   }
   return 0;
@@ -357,7 +469,7 @@ int RunWatch(const CliOptions& options) {
       if (now == before) continue;
       const std::int64_t delta = std::int64_t(now) - std::int64_t(before);
       table.AddRow({m.path, std::to_string(now),
-                    (delta >= 0 ? "+" : "") + std::to_string(delta)});
+                    Cat(delta >= 0 ? "+" : "", std::to_string(delta))});
     }
     std::printf("--- interval %u/%u\n", interval + 1, options.intervals);
     table.Print();
@@ -387,7 +499,7 @@ int RunDiff(const CliOptions& options) {
     ++differing;
     const std::int64_t delta = std::int64_t(vb) - std::int64_t(va);
     table.AddRow({path, std::to_string(va), std::to_string(vb),
-                  (delta >= 0 ? "+" : "") + std::to_string(delta)});
+                  Cat(delta >= 0 ? "+" : "", std::to_string(delta))});
   };
   // Walk the union of paths (both metric lists are path-ordered).
   std::size_t ia = 0;

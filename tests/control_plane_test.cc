@@ -116,5 +116,41 @@ TEST_F(ControlPlaneTest, ExchangeMrNeedsSession) {
   EXPECT_EQ(control_->SessionMrs(12345), nullptr);
 }
 
+TEST_F(ControlPlaneTest, PoolMapPublishesVersionedEngineStates) {
+  daos::PoolMap map(3);
+  control_->set_pool_map(&map);
+  ASSERT_TRUE(map.SetState(1, daos::EngineState::kRebuilding).ok());
+  auto session = Auth("tenant", "tok");
+  ASSERT_TRUE(session.ok());
+  rpc::Encoder enc;
+  enc.U64(*session);
+  auto reply = channel_->Call("ros2.pool_map", enc.buffer());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  rpc::Decoder dec(*reply);
+  EXPECT_EQ(dec.U64().value(), map.version());
+  ASSERT_EQ(dec.U32().value(), 3u);
+  EXPECT_EQ(dec.U8().value(), std::uint8_t(daos::EngineState::kUp));
+  EXPECT_EQ(dec.U8().value(),
+            std::uint8_t(daos::EngineState::kRebuilding));
+  EXPECT_EQ(dec.U8().value(), std::uint8_t(daos::EngineState::kUp));
+}
+
+TEST_F(ControlPlaneTest, PoolMapNeedsSessionAndAttachment) {
+  // Without an attached map the method reports FAILED_PRECONDITION (but
+  // only to authenticated sessions).
+  auto session = Auth("tenant", "tok");
+  ASSERT_TRUE(session.ok());
+  rpc::Encoder enc;
+  enc.U64(*session);
+  EXPECT_EQ(channel_->Call("ros2.pool_map", enc.buffer()).status().code(),
+            ErrorCode::kFailedPrecondition);
+  daos::PoolMap map(2);
+  control_->set_pool_map(&map);
+  rpc::Encoder bad;
+  bad.U64(999);
+  EXPECT_EQ(channel_->Call("ros2.pool_map", bad.buffer()).status().code(),
+            ErrorCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace ros2::core

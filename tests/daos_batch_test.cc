@@ -1,8 +1,8 @@
 // Pipelined DaosClient batch APIs (UpdateBatch/FetchBatch) and the
-// concurrent replica fan-out: correctness across engines, write-all
-// semantics with down engines, HEAD failover, in-flight-window
-// backpressure on batches larger than the window, and same-dkey ordering
-// inside one batch.
+// concurrent replica fan-out: correctness across engines, degraded-write
+// semantics with down engines (survivors land, misses journal), HEAD
+// failover, in-flight-window backpressure on batches larger than the
+// window, and same-dkey ordering inside one batch.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -12,6 +12,7 @@
 #include "common/bytes.h"
 #include "common/units.h"
 #include "daos/client.h"
+#include "daos/placement.h"
 
 namespace ros2::daos {
 namespace {
@@ -200,7 +201,7 @@ TEST_P(DaosBatchTest, ReplicatedBatchWritesEveryReplicaConcurrently) {
   }
 }
 
-TEST_P(DaosBatchTest, DownEngineFailsWholeUpdateBatchBeforeIssuing) {
+TEST_P(DaosBatchTest, DownEngineDegradesBatchWritesAndJournals) {
   auto client = Connect(2);
   ASSERT_TRUE(client.ok());
   auto cont = (*client)->ContainerCreate("down");
@@ -219,16 +220,39 @@ TEST_P(DaosBatchTest, DownEngineFailsWholeUpdateBatchBeforeIssuing) {
                        payload});
   }
   auto epochs = (*client)->UpdateBatch(updates);
-  EXPECT_EQ(epochs.status().code(), ErrorCode::kUnavailable);
-  // Write-all fail-fast: the reachability check runs before ANY op is
-  // issued, so no engine saw a partial batch.
-  EXPECT_EQ(TotalUpdates(), updates_before);
+  ASSERT_TRUE(epochs.ok()) << epochs.status().ToString();
+  ASSERT_EQ(epochs->size(), updates.size());
+
+  // Degraded-write accounting: copies owed to the DOWN engine are
+  // skipped and journaled; every other copy lands.
+  std::uint64_t expect_landed = 0;
+  std::size_t expect_journaled = 0;
+  for (const auto& op : updates) {
+    const std::uint32_t primary = PlaceEngine(op.oid, op.dkey, kEngines);
+    const bool hits_down =
+        primary == 1 || (primary + 1) % kEngines == 1;
+    expect_landed += hits_down ? 1 : 2;
+    if (hits_down) ++expect_journaled;
+  }
+  EXPECT_GT(expect_journaled, 0u) << "8 dkeys must touch engine 1";
+  EXPECT_EQ(TotalUpdates() - updates_before, expect_landed);
+  EXPECT_EQ((*client)->pool_map()->journal().depth(1), expect_journaled);
+
+  // Every op stays readable at HEAD from its surviving replica.
+  for (const auto& op : updates) {
+    Buffer out(payload.size());
+    ASSERT_TRUE(
+        (*client)->Fetch(*cont, *oid, op.dkey, "a", 0, out).ok());
+    EXPECT_EQ(out, payload);
+  }
 }
 
-TEST_P(DaosBatchTest, SynchronousUpdateStillReplicatesWriteAll) {
-  // The concurrent CallReplicas fan-out keeps the serial path's
-  // write-all + failover contract (multiengine_test covers it broadly;
-  // this pins the post-pipeline behavior on a single op).
+TEST_P(DaosBatchTest, SynchronousUpdateDegradesAroundDownReplica) {
+  // The concurrent CallReplicas fan-out keeps the serial path's degraded
+  // contract (multiengine_test covers it broadly; this pins the
+  // post-pipeline behavior on a single op): a DOWN replica-set member
+  // never fails the write — the survivors land it and the miss is
+  // journaled for rebuild.
   auto client = Connect(2);
   ASSERT_TRUE(client.ok());
   auto cont = (*client)->ContainerCreate("sync-rep");
@@ -241,25 +265,25 @@ TEST_P(DaosBatchTest, SynchronousUpdateStillReplicatesWriteAll) {
   EXPECT_EQ(TotalUpdates(), 2u);
 
   // The dkey's replica set is exactly 2 of the 3 engines: downing a
-  // replica fails the write-all update (Unavailable, no divergence);
-  // downing the third engine leaves the update unaffected. HEAD reads
-  // survive any single down engine via failover.
-  int failing_downs = 0;
+  // replica member degrades the update (it still succeeds, journaling
+  // the miss); downing the third engine leaves the update unaffected.
+  // HEAD reads survive any single down engine via failover.
+  ResyncJournal& journal = (*client)->pool_map()->journal();
+  int journaled_downs = 0;
   for (std::uint32_t e = 0; e < kEngines; ++e) {
     ASSERT_TRUE((*client)->SetEngineDown(e, true).ok());
-    auto st = (*client)->Update(*cont, *oid, "k", "a", 0, payload).status();
-    if (!st.ok()) {
-      EXPECT_EQ(st.code(), ErrorCode::kUnavailable);
-      ++failing_downs;
-    }
+    const std::size_t depth_before = journal.depth(e);
+    ASSERT_TRUE((*client)->Update(*cont, *oid, "k", "a", 0, payload).ok())
+        << "degraded write must succeed with engine " << e << " down";
+    if (journal.depth(e) > depth_before) ++journaled_downs;
     Buffer out(4096);
     ASSERT_TRUE((*client)->Fetch(*cont, *oid, "k", "a", 0, out).ok())
         << "HEAD fetch must fail over around down engine " << e;
     EXPECT_EQ(out, payload);
     ASSERT_TRUE((*client)->SetEngineDown(e, false).ok());
   }
-  EXPECT_EQ(failing_downs, 2) << "write-all must require exactly the "
-                                 "replica set";
+  EXPECT_EQ(journaled_downs, 2) << "exactly the replica-set members must "
+                                   "journal a missed copy";
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, DaosBatchTest,

@@ -129,7 +129,7 @@ TEST_P(MultiEngineTest, UnreplicatedDataUnavailableWhenEngineDown) {
   EXPECT_NE(owner, -1) << "some engine must own the only copy";
 }
 
-TEST_P(MultiEngineTest, WritesRequireAllReplicasUp) {
+TEST_P(MultiEngineTest, DegradedWriteSucceedsAndJournalsMiss) {
   auto client = Connect(/*replicas=*/3, "fabric://c4");
   ASSERT_TRUE(client.ok());
   auto cont = (*client)->ContainerCreate("c");
@@ -137,12 +137,40 @@ TEST_P(MultiEngineTest, WritesRequireAllReplicasUp) {
   auto oid = (*client)->AllocOid(*cont);
   ASSERT_TRUE(oid.ok());
   ASSERT_TRUE((*client)->SetEngineDown(1, true).ok());
+  Buffer data = MakePatternBuffer(128, 11);
+  // With 3-way replication every engine is a replica; the DOWN engine's
+  // copy is skipped, the write lands on the survivors, and the miss is
+  // journaled for the rebuild task.
+  ASSERT_TRUE((*client)->Update(*cont, *oid, "dk", "a", 0, data).ok());
+  PoolMap* map = (*client)->pool_map();
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->journal().depth(1), 1u);
+  EXPECT_GE(map->journal().recorded(), 1u);
+  // Survivors serve the read while engine 1 stays down.
+  Buffer out(data.size());
+  ASSERT_TRUE((*client)->Fetch(*cont, *oid, "dk", "a", 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(MultiEngineTest, WriteFailsWhenNoReplicaWritable) {
+  auto client = Connect(/*replicas=*/3, "fabric://c4b");
+  ASSERT_TRUE(client.ok());
+  auto cont = (*client)->ContainerCreate("c");
+  ASSERT_TRUE(cont.ok());
+  auto oid = (*client)->AllocOid(*cont);
+  ASSERT_TRUE(oid.ok());
+  for (std::uint32_t e = 0; e < kEngines; ++e) {
+    ASSERT_TRUE((*client)->SetEngineDown(e, true).ok());
+  }
   Buffer data(128);
-  // With 3-way replication every engine is a replica; any down engine
-  // fails the write (write-all, no silent divergence).
-  EXPECT_EQ(
-      (*client)->Update(*cont, *oid, "dk", "a", 0, data).status().code(),
-      ErrorCode::kUnavailable);
+  // Zero landed copies is a hard failure — degraded mode needs at least
+  // one survivor.
+  const Status status =
+      (*client)->Update(*cont, *oid, "dk", "a", 0, data).status();
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+  EXPECT_NE(status.message().find("no writable replica"),
+            std::string::npos)
+      << status.ToString();
 }
 
 TEST_P(MultiEngineTest, SnapshotReadsPinToPrimary) {

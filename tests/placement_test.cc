@@ -48,6 +48,21 @@ TEST(PlacementTest, DifferentObjectsSpreadDifferently) {
   EXPECT_LT(same, 16);
 }
 
+TEST(PlacementTest, EngineLevelPlacementDeterministicAndSpread) {
+  // Two-level placement: PlaceEngine picks the primary engine, replicas
+  // live on the consecutive ring slots.
+  const ObjectId oid{5, 21};
+  EXPECT_EQ(PlaceEngine(oid, "dk", 3), PlaceEngine(oid, "dk", 3));
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 96; ++i) {
+    hits[PlaceEngine(oid, "c" + std::to_string(i), 3)]++;
+  }
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_GT(hits[e], 0) << "engine " << e << " never primary";
+  }
+  EXPECT_EQ(PlaceEngine(oid, "dk", 0), 0u);
+}
+
 TEST(PlacementTest, HashKeyMatchesFnvProperties) {
   EXPECT_NE(HashKey("a"), HashKey("b"));
   EXPECT_NE(HashKey("ab"), HashKey("ba"));
