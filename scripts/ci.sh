@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure -> build -> ctest -> bench smoke. Keep the
-# configure/build/ctest sequence byte-for-byte in sync with the one-liner
-# in README.md; .github/workflows/ci.yml just calls this script.
+# Tier-1 gate: lint -> configure -> build -> ctest -> sanitizer matrix ->
+# bench smoke. Keep the configure/build/ctest sequence byte-for-byte in
+# sync with the one-liner in README.md; .github/workflows/ci.yml just
+# calls this script.
 #
 # CI turns -Werror ON (src/ and tests/ are warning-clean and stay that
 # way); local builds default it OFF so an unusual toolchain can't brick
@@ -14,7 +15,11 @@
 #                                     # google-benchmark
 #   scripts/ci.sh --no-bench          # skip the bench smoke stage
 #   scripts/ci.sh --no-tsan           # skip the ThreadSanitizer stage
-#   scripts/ci.sh --tsan-only        # ONLY the ThreadSanitizer stage
+#   scripts/ci.sh --tsan-only         # ONLY the ThreadSanitizer stage
+#   scripts/ci.sh --no-asan           # skip the ASan/UBSan stage
+#   scripts/ci.sh --asan-only         # ONLY the ASan/UBSan stage
+#   scripts/ci.sh --no-lint           # skip the project-invariant lint
+#   scripts/ci.sh --lint-only         # ONLY the project-invariant lint
 #   BUILD_DIR=out scripts/ci.sh       # custom build directory
 set -euo pipefail
 
@@ -25,6 +30,8 @@ CMAKE_ARGS=(-DROS2_WERROR=ON)
 BENCH_ARGS=()
 RUN_BENCH=1
 RUN_TSAN=1
+RUN_ASAN=1
+RUN_LINT=1
 RUN_MAIN=1
 for arg in "$@"; do
   case "$arg" in
@@ -48,6 +55,26 @@ for arg in "$@"; do
     --tsan-only)
       RUN_MAIN=0
       RUN_BENCH=0
+      RUN_ASAN=0
+      RUN_LINT=0
+      ;;
+    --no-asan)
+      RUN_ASAN=0
+      ;;
+    --asan-only)
+      RUN_MAIN=0
+      RUN_BENCH=0
+      RUN_TSAN=0
+      RUN_LINT=0
+      ;;
+    --no-lint)
+      RUN_LINT=0
+      ;;
+    --lint-only)
+      RUN_MAIN=0
+      RUN_BENCH=0
+      RUN_TSAN=0
+      RUN_ASAN=0
       ;;
     *)
       echo "unknown argument: $arg" >&2
@@ -57,6 +84,15 @@ for arg in "$@"; do
 done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "$RUN_LINT" == 1 ]]; then
+  # Project-invariant lint runs FIRST so rule violations fail in seconds,
+  # before any compile. scripts/lint.sh enforces the repo's standing rules
+  # (telemetry-tree registration, annotated mutex wrapper, [[nodiscard]]
+  # factories, include guards, banned functions) and runs the committed
+  # .clang-tidy profile when clang-tidy + compile_commands.json exist.
+  scripts/lint.sh
+fi
 
 if [[ "$RUN_MAIN" == 1 ]]; then
   cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -91,6 +127,24 @@ if [[ "$RUN_TSAN" == 1 ]]; then
       --target ${TSAN_SUITES//|/ }
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$TSAN_DIR" \
       --output-on-failure -j "$JOBS" -R "^(${TSAN_SUITES})\$"
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  # AddressSanitizer + UBSan gate over the FULL suite (TSan's blind spot:
+  # heap misuse, leaks, UB). Unlike the TSan stage this runs everything —
+  # including the vos/dfs/rpc fuzz shards, which feed adversarial bytes
+  # into the decode paths where UB hides. detect_leaks=1 makes any leak a
+  # failure; -fno-sanitize-recover=undefined (wired in CMakeLists.txt when
+  # ROS2_SANITIZE contains "undefined") makes any UB report a hard abort
+  # instead of a printed warning.
+  ASAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_DIR" -S . "${CMAKE_ARGS[@]}" \
+      -DROS2_SANITIZE=address,undefined \
+      -DROS2_BUILD_BENCHES=OFF -DROS2_BUILD_EXAMPLES=OFF
+  cmake --build "$ASAN_DIR" -j "$JOBS"
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+      UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS"
 fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then

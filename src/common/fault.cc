@@ -19,7 +19,7 @@ void FaultPlan::Arm(FaultPoint p, FaultSpec spec) {
     return;
   }
   Point& pt = point(p);
-  std::lock_guard<std::mutex> lk(pt.mu);
+  MutexLock lk(pt.mu);
   pt.spec = spec;
   pt.skipped = 0;
   pt.fires_dealt = 0;
@@ -28,7 +28,7 @@ void FaultPlan::Arm(FaultPoint p, FaultSpec spec) {
 
 void FaultPlan::Disarm(FaultPoint p) {
   Point& pt = point(p);
-  std::lock_guard<std::mutex> lk(pt.mu);
+  MutexLock lk(pt.mu);
   pt.armed.store(false, std::memory_order_release);
 }
 
@@ -40,7 +40,7 @@ FaultDecision FaultPlan::Evaluate(FaultPoint p) {
   Point& pt = point(p);
   pt.arrivals.fetch_add(1, std::memory_order_relaxed);
   if (!pt.armed.load(std::memory_order_acquire)) return {};
-  std::lock_guard<std::mutex> lk(pt.mu);
+  MutexLock lk(pt.mu);
   if (!pt.armed.load(std::memory_order_relaxed)) return {};  // raced Disarm
   if (pt.skipped < pt.spec.skip) {
     ++pt.skipped;
@@ -48,7 +48,7 @@ FaultDecision FaultPlan::Evaluate(FaultPoint p) {
   }
   if (pt.fires_dealt >= pt.spec.count) return {};  // window exhausted
   if (pt.spec.probability < 1.0) {
-    std::lock_guard<std::mutex> rlk(rng_mu_);
+    MutexLock rlk(rng_mu_);
     if (rng_.NextDouble() >= pt.spec.probability) return {};
   }
   ++pt.fires_dealt;

@@ -16,9 +16,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace ros2::common {
 
@@ -75,18 +75,18 @@ class FaultPlan {
     std::atomic<bool> armed{false};
     std::atomic<std::uint64_t> arrivals{0};
     std::atomic<std::uint64_t> fired{0};
-    std::mutex mu;  // guards spec + window position
-    FaultSpec spec;
-    std::uint64_t skipped = 0;
-    std::uint64_t fires_dealt = 0;
+    Mutex mu;  // guards spec + window position
+    FaultSpec spec ROS2_GUARDED_BY(mu);
+    std::uint64_t skipped ROS2_GUARDED_BY(mu) = 0;
+    std::uint64_t fires_dealt ROS2_GUARDED_BY(mu) = 0;
   };
 
   Point& point(FaultPoint p) { return points_[std::size_t(p)]; }
   const Point& point(FaultPoint p) const { return points_[std::size_t(p)]; }
 
   Point points_[kFaultPointCount];
-  std::mutex rng_mu_;  // probability draws (cold: armed windows only)
-  Rng rng_;
+  Mutex rng_mu_;  // probability draws (cold: armed windows only)
+  Rng rng_ ROS2_GUARDED_BY(rng_mu_);
 };
 
 }  // namespace ros2::common

@@ -17,7 +17,9 @@ class LatencyHistogram {
   LatencyHistogram();
 
   void Record(double seconds) {
-    if (seconds <= 0.0) seconds = kUnit;
+    // !(> 0) rather than (<= 0): NaN fails both comparisons, and letting
+    // it through would poison min_/max_/sum_ and hand BucketIndex a NaN.
+    if (!(seconds > 0.0)) seconds = kUnit;
     buckets_[std::size_t(BucketIndex(seconds))]++;
     if (count_ == 0) {
       min_ = max_ = seconds;
@@ -66,7 +68,14 @@ class LatencyHistogram {
     if (exponent < kExponents && units >= tables.round_up_at[exponent]) {
       ++exponent;
     }
-    if (exponent > kExponents - 1) exponent = kExponents - 1;
+    if (exponent > kExponents - 1) {
+      // Overflow binades (huge finite values, +inf, and NaN's 0x7FF
+      // exponent) land in the last bucket directly. Computing `sub` first
+      // and clamping after — the old path — reaches the same bucket for
+      // every value the int cast can represent, but the cast itself is UB
+      // for values past 2^65 units (float-cast-overflow, UBSan-fatal).
+      return kExponents * kSubBuckets - 1;
+    }
     int sub = int((units - tables.base[exponent]) * tables.scale[exponent]);
     sub = std::clamp(sub, 0, kSubBuckets - 1);
     return exponent * kSubBuckets + sub;

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace ros2 {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_emit_mutex;
+common::Mutex g_emit_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -28,7 +29,7 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 namespace detail {
 
 void Emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  common::MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[ros2:%s] %s\n", LevelTag(level), message.c_str());
 }
 

@@ -63,18 +63,18 @@ class [[nodiscard]] Status {
 
 // Constructor helpers, one per code, so call sites read naturally:
 //   return InvalidArgument("block size must be a power of two");
-Status InvalidArgument(std::string msg);
-Status NotFound(std::string msg);
-Status AlreadyExists(std::string msg);
-Status OutOfRange(std::string msg);
-Status PermissionDenied(std::string msg);
-Status ResourceExhausted(std::string msg);
-Status FailedPrecondition(std::string msg);
-Status Unavailable(std::string msg);
-Status DataLoss(std::string msg);
-Status TimedOut(std::string msg);
-Status Unimplemented(std::string msg);
-Status Internal(std::string msg);
+[[nodiscard]] Status InvalidArgument(std::string msg);
+[[nodiscard]] Status NotFound(std::string msg);
+[[nodiscard]] Status AlreadyExists(std::string msg);
+[[nodiscard]] Status OutOfRange(std::string msg);
+[[nodiscard]] Status PermissionDenied(std::string msg);
+[[nodiscard]] Status ResourceExhausted(std::string msg);
+[[nodiscard]] Status FailedPrecondition(std::string msg);
+[[nodiscard]] Status Unavailable(std::string msg);
+[[nodiscard]] Status DataLoss(std::string msg);
+[[nodiscard]] Status TimedOut(std::string msg);
+[[nodiscard]] Status Unimplemented(std::string msg);
+[[nodiscard]] Status Internal(std::string msg);
 
 /// Result<T>: either a value or a non-OK Status.
 template <typename T>

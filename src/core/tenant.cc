@@ -7,7 +7,7 @@
 namespace ros2::core {
 
 Status QosBucket::Acquire(std::uint64_t bytes, double now) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (rate_ <= 0.0) return Status::Ok();
   if (now > last_refill_) {
     tokens_ = std::min(double(burst_), tokens_ + (now - last_refill_) * rate_);

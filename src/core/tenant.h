@@ -5,10 +5,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/chacha20.h"
 #include "net/fabric.h"
 
@@ -36,19 +36,19 @@ class QosBucket {
 
   /// Attempts to spend `bytes` at logical time `now`. Unlimited buckets
   /// (rate 0) always admit.
-  Status Acquire(std::uint64_t bytes, double now);
+  Status Acquire(std::uint64_t bytes, double now) ROS2_EXCLUDES(mu_);
 
-  double tokens() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  double tokens() const ROS2_EXCLUDES(mu_) {
+    common::MutexLock lk(mu_);
     return tokens_;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   double rate_;
   std::uint64_t burst_;
-  double tokens_;
-  double last_refill_ = 0.0;
+  double tokens_ ROS2_GUARDED_BY(mu_);
+  double last_refill_ ROS2_GUARDED_BY(mu_) = 0.0;
 };
 
 struct Tenant {

@@ -310,7 +310,7 @@ void DaosEngine::PublishSnapshot() {
   if (!config_.telemetry) return;
   telemetry::TelemetrySnapshot snap = telemetry_.Snapshot();
   snap.traces = traces_.Snapshot();
-  std::lock_guard<std::mutex> lk(published_mu_);
+  common::MutexLock lk(published_mu_);
   published_ = std::move(snap);
   has_published_ = true;
 }
@@ -319,7 +319,7 @@ Result<telemetry::TelemetrySnapshot> DaosEngine::published_snapshot() const {
   if (!config_.telemetry) {
     return Status(NotFound("telemetry disabled on this engine"));
   }
-  std::lock_guard<std::mutex> lk(published_mu_);
+  common::MutexLock lk(published_mu_);
   if (!has_published_) {
     return Status(FailedPrecondition(
         "no published snapshot: progress thread has not stopped yet"));
@@ -378,7 +378,7 @@ void DaosEngine::RegisterHandlers() {
 }
 
 Result<DaosEngine::Container*> DaosEngine::FindContainer(ContainerId id) {
-  std::lock_guard<std::mutex> lk(containers_mu_);
+  common::MutexLock lk(containers_mu_);
   auto it = containers_.find(id);
   if (it == containers_.end()) return NotFound("unknown container");
   return &it->second;  // node-stable; containers are never erased
@@ -416,7 +416,7 @@ Result<Buffer> DaosEngine::HandlePoolConnect(const Buffer& header) {
 Result<Buffer> DaosEngine::HandleContCreate(const Buffer& header) {
   rpc::Decoder dec(header);
   ROS2_ASSIGN_OR_RETURN(std::string label, dec.Str());
-  std::lock_guard<std::mutex> lk(containers_mu_);
+  common::MutexLock lk(containers_mu_);
   if (containers_by_label_.contains(label)) {
     return Status(AlreadyExists("container label in use: " + label));
   }
@@ -441,7 +441,7 @@ Result<Buffer> DaosEngine::HandleContCreate(const Buffer& header) {
 Result<Buffer> DaosEngine::HandleContOpen(const Buffer& header) {
   rpc::Decoder dec(header);
   ROS2_ASSIGN_OR_RETURN(std::string label, dec.Str());
-  std::lock_guard<std::mutex> lk(containers_mu_);
+  common::MutexLock lk(containers_mu_);
   auto it = containers_by_label_.find(label);
   if (it == containers_by_label_.end()) {
     return Status(NotFound("no container labeled " + label));
@@ -455,7 +455,7 @@ Result<Buffer> DaosEngine::HandleOidAlloc(const Buffer& header) {
   rpc::Decoder dec(header);
   ROS2_ASSIGN_OR_RETURN(ContainerId cont_id, dec.U64());
   // next_oid is plain (not atomic): allocate under the table lock.
-  std::lock_guard<std::mutex> lk(containers_mu_);
+  common::MutexLock lk(containers_mu_);
   auto it = containers_.find(cont_id);
   if (it == containers_.end()) return Status(NotFound("unknown container"));
   rpc::Encoder enc;

@@ -25,13 +25,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "daos/scheduler.h"
 #include "daos/types.h"
 #include "daos/vos.h"
@@ -296,10 +296,12 @@ class DaosEngine {
   /// Guards the container tables (created on the dispatch path, looked up
   /// from worker threads). Map nodes are stable, so a Container* handed
   /// out under the lock stays valid — containers are never erased.
-  mutable std::mutex containers_mu_;
-  std::map<std::string, ContainerId> containers_by_label_;
-  std::map<ContainerId, Container> containers_;
-  ContainerId next_container_id_ = 1;
+  mutable common::Mutex containers_mu_;
+  std::map<std::string, ContainerId> containers_by_label_
+      ROS2_GUARDED_BY(containers_mu_);
+  std::map<ContainerId, Container> containers_
+      ROS2_GUARDED_BY(containers_mu_);
+  ContainerId next_container_id_ ROS2_GUARDED_BY(containers_mu_) = 1;
   /// Sharded per target: each worker ticks its own shard.
   telemetry::Counter updates_;
   telemetry::Counter fetches_;
@@ -311,9 +313,9 @@ class DaosEngine {
   std::atomic<bool> progress_stop_{false};
   /// Satellite: the progress thread's exit publishes a final snapshot so
   /// dumps after Stop() are not all-zero.
-  mutable std::mutex published_mu_;
-  telemetry::TelemetrySnapshot published_;
-  bool has_published_ = false;
+  mutable common::Mutex published_mu_;
+  telemetry::TelemetrySnapshot published_ ROS2_GUARDED_BY(published_mu_);
+  bool has_published_ ROS2_GUARDED_BY(published_mu_) = false;
 };
 
 }  // namespace ros2::daos

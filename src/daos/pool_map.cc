@@ -23,14 +23,14 @@ ResyncJournal::ResyncJournal(std::uint32_t engines) {
 void ResyncJournal::Record(std::uint32_t engine, ResyncEntry entry) {
   if (engine >= engines_.size()) return;
   PerEngine& pe = *engines_[engine];
-  std::lock_guard<std::mutex> lk(pe.mu);
+  common::MutexLock lk(pe.mu);
   if (pe.entries.insert(std::move(entry)).second) recorded_.Add(1);
 }
 
 std::vector<ResyncEntry> ResyncJournal::Drain(std::uint32_t engine) {
   if (engine >= engines_.size()) return {};
   PerEngine& pe = *engines_[engine];
-  std::lock_guard<std::mutex> lk(pe.mu);
+  common::MutexLock lk(pe.mu);
   std::vector<ResyncEntry> out(pe.entries.begin(), pe.entries.end());
   pe.entries.clear();
   return out;
@@ -39,7 +39,7 @@ std::vector<ResyncEntry> ResyncJournal::Drain(std::uint32_t engine) {
 std::size_t ResyncJournal::depth(std::uint32_t engine) const {
   if (engine >= engines_.size()) return 0;
   PerEngine& pe = *engines_[engine];
-  std::lock_guard<std::mutex> lk(pe.mu);
+  common::MutexLock lk(pe.mu);
   return pe.entries.size();
 }
 
@@ -61,7 +61,7 @@ PoolMap::PoolMap(std::uint32_t engines)
 
 Status PoolMap::SetState(std::uint32_t engine, EngineState state) {
   if (engine >= states_.size()) return InvalidArgument("no such engine");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   states_[engine].store(std::uint8_t(state), std::memory_order_release);
   version_.fetch_add(1, std::memory_order_acq_rel);
   transitions_.Add(1);

@@ -25,12 +25,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "daos/types.h"
 #include "telemetry/metrics.h"
 
@@ -75,6 +75,7 @@ class ResyncJournal {
   void Record(std::uint32_t engine, ResyncEntry entry);
   /// Takes (and clears) the engine's pending set.
   std::vector<ResyncEntry> Drain(std::uint32_t engine);
+
   std::size_t depth(std::uint32_t engine) const;
   std::size_t total_depth() const;
 
@@ -85,8 +86,8 @@ class ResyncJournal {
 
  private:
   struct PerEngine {
-    mutable std::mutex mu;
-    std::set<ResyncEntry> entries;
+    mutable common::Mutex mu;
+    std::set<ResyncEntry> entries ROS2_GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<PerEngine>> engines_;
   telemetry::Counter recorded_{1};
@@ -141,7 +142,10 @@ class PoolMap {
   std::vector<std::atomic<std::uint8_t>> states_;
   std::atomic<std::uint64_t> version_{1};
   telemetry::Counter transitions_{1};
-  std::mutex mu_;  // serializes SetState (state+version move together)
+  /// Serializes SetState (state+version move together). Nothing is read
+  /// under it — states_ stays lock-free for the data path — so no member
+  /// is GUARDED_BY it; the capability only orders writers.
+  common::Mutex mu_;
   ResyncJournal journal_;
 };
 

@@ -47,6 +47,14 @@
 
 namespace ros2::daos {
 
+/// Single-owner concurrency contract: exactly one thread drives
+/// Start/Step/Run (the orchestrator), so the worklist and cursors are
+/// deliberately unguarded — no common::Mutex, nothing GUARDED_BY. The
+/// pieces other threads DO observe are the atomic progress counters
+/// (telemetry reads them) and the PoolMap/ResyncJournal, which carry
+/// their own annotated locks. Adding cross-thread mutation here means
+/// adding a common::Mutex and annotations first (scripts/lint.sh rejects
+/// an unannotated raw mutex member).
 class RebuildManager {
  public:
   struct Options {

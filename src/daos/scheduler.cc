@@ -73,7 +73,7 @@ void EngineScheduler::PushCompletion(std::uint32_t target,
                                      std::shared_ptr<rpc::RpcContext> ctx,
                                      Result<Buffer> reply) {
   {
-    std::lock_guard<std::mutex> lk(completions_mu_);
+    common::MutexLock lk(completions_mu_);
     completions_.push_back(
         Completion{std::move(ctx), std::move(reply), target});
   }
@@ -82,17 +82,17 @@ void EngineScheduler::PushCompletion(std::uint32_t target,
 
 std::size_t EngineScheduler::DrainCompletions() {
   std::size_t n = 0;
-  std::unique_lock<std::mutex> lk(completions_mu_);
+  common::MutexLock lk(completions_mu_);
   while (!completions_.empty()) {
     Completion c = std::move(completions_.front());
     completions_.pop_front();
-    lk.unlock();
+    lk.Unlock();
     // A failed Complete (dead QP) is the transport's problem; the op ran.
     (void)c.ctx->Complete(std::move(c.reply));
     executed_.Add(1, c.target);
     queued_total_.fetch_sub(1, std::memory_order_acq_rel);
     ++n;
-    lk.lock();
+    lk.Lock();
   }
   return n;
 }

@@ -32,11 +32,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "daos/xstream.h"
 #include "rpc/data_rpc.h"
 #include "telemetry/metrics.h"
@@ -146,21 +146,24 @@ class EngineScheduler {
   void NoteQueued();
   void PushCompletion(std::uint32_t target,
                       std::shared_ptr<rpc::RpcContext> ctx,
-                      Result<Buffer> reply);
-  std::size_t DrainCompletions();
+                      Result<Buffer> reply) ROS2_EXCLUDES(completions_mu_);
+  std::size_t DrainCompletions() ROS2_EXCLUDES(completions_mu_);
 
   const bool threaded_;
   const std::uint32_t num_targets_;
   const bool time_ops_;
 
-  // Serial mode state (owner: the single progress thread).
+  // Serial mode state (owner: the single progress thread — single-owner
+  // by contract, so unguarded on purpose; threaded mode never touches it).
   std::vector<std::deque<QueuedOp>> queues_;
   std::uint32_t cursor_ = 0;  // rotating start target for fairness
 
-  // Threaded mode state.
+  // Threaded mode state. Workers push onto the completion queue under
+  // completions_mu_; the progress thread drains it (lock dropped around
+  // each Complete so workers keep finishing while replies send).
   std::vector<std::unique_ptr<Xstream>> xstreams_;
-  std::mutex completions_mu_;
-  std::deque<Completion> completions_;
+  common::Mutex completions_mu_;
+  std::deque<Completion> completions_ ROS2_GUARDED_BY(completions_mu_);
   std::function<void()> completion_wakeup_;  // set once, before workers run
   std::atomic<bool> shut_down_{false};
 

@@ -13,52 +13,50 @@ Xstream::~Xstream() { Stop(); }
 
 bool Xstream::Submit(Task task) {
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_space_.wait(lk, [this] {
-      return queue_.size() < capacity_ || stopping_;
-    });
+    common::MutexLock lk(mu_);
+    while (queue_.size() >= capacity_ && !stopping_) cv_space_.Wait(mu_);
     if (stopping_) return false;
     queue_.push_back(std::move(task));
     if (queue_.size() > high_water_) high_water_ = queue_.size();
   }
-  cv_nonempty_.notify_one();
+  cv_nonempty_.NotifyOne();
   return true;
 }
 
 void Xstream::Quiesce() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [this] { return queue_.empty() && !busy_; });
+  common::MutexLock lk(mu_);
+  while (!queue_.empty() || busy_) cv_idle_.Wait(mu_);
 }
 
 void Xstream::Stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     if (stopping_ && !worker_.joinable()) return;
     stopping_ = true;
   }
-  cv_nonempty_.notify_all();
-  cv_space_.notify_all();
+  cv_nonempty_.NotifyAll();
+  cv_space_.NotifyAll();
   if (worker_.joinable()) worker_.join();
 }
 
 std::size_t Xstream::queued() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   return queue_.size();
 }
 
 std::size_t Xstream::max_queue_depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   return high_water_;
 }
 
 void Xstream::Run() {
-  std::unique_lock<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   for (;;) {
     if (queue_.empty() && !stopping_) {
       // Only an actually-parked worker pays the clock reads: a saturated
-      // stream (predicate already true) skips this branch entirely.
+      // stream (condition already true) skips this branch entirely.
       const auto idle_from = std::chrono::steady_clock::now();
-      cv_nonempty_.wait(lk, [this] { return !queue_.empty() || stopping_; });
+      while (queue_.empty() && !stopping_) cv_nonempty_.Wait(mu_);
       idle_ns_.fetch_add(
           std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
                             std::chrono::steady_clock::now() - idle_from)
@@ -69,16 +67,16 @@ void Xstream::Run() {
     Task task = std::move(queue_.front());
     queue_.pop_front();
     busy_ = true;
-    lk.unlock();
-    cv_space_.notify_one();
+    lk.Unlock();
+    cv_space_.NotifyOne();
     task();
     task = nullptr;  // release captures before claiming idle
     executed_.fetch_add(1, std::memory_order_relaxed);
-    lk.lock();
+    lk.Lock();
     busy_ = false;
-    if (queue_.empty()) cv_idle_.notify_all();
+    if (queue_.empty()) cv_idle_.NotifyAll();
   }
-  cv_idle_.notify_all();
+  cv_idle_.NotifyAll();
 }
 
 }  // namespace ros2::daos

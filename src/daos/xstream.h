@@ -20,12 +20,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "common/thread_annotations.h"
 
 namespace ros2::daos {
 
@@ -42,14 +42,14 @@ class Xstream {
 
   /// Enqueues `task` for the worker. Blocks while the queue is at
   /// capacity; returns false (task not accepted) once Stop() began.
-  bool Submit(Task task);
+  bool Submit(Task task) ROS2_EXCLUDES(mu_);
 
   /// Waits until the queue is empty and the worker is between tasks.
-  void Quiesce();
+  void Quiesce() ROS2_EXCLUDES(mu_);
 
   /// Stops accepting tasks, runs everything already queued, joins the
   /// worker. Idempotent.
-  void Stop();
+  void Stop() ROS2_EXCLUDES(mu_);
 
   std::uint64_t executed() const {
     return executed_.load(std::memory_order_relaxed);
@@ -61,22 +61,26 @@ class Xstream {
   std::uint64_t idle_ns() const {
     return idle_ns_.load(std::memory_order_relaxed);
   }
-  std::size_t queued() const;
+  std::size_t queued() const ROS2_EXCLUDES(mu_);
   /// High-water mark of queue depth (backpressure telemetry).
-  std::size_t max_queue_depth() const;
+  std::size_t max_queue_depth() const ROS2_EXCLUDES(mu_);
 
  private:
-  void Run();
+  void Run() ROS2_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_nonempty_;  // worker waits for tasks
-  std::condition_variable cv_space_;     // submitters wait for room
-  std::condition_variable cv_idle_;      // Quiesce waits for drain
-  std::deque<Task> queue_;
-  std::size_t capacity_;
-  std::size_t high_water_ = 0;
-  bool stopping_ = false;
-  bool busy_ = false;  // worker currently inside a task body
+  /// One lock over the MPSC queue and its flags; the three condvars all
+  /// ride it (waits are while-loops so the guarded predicate reads stay
+  /// in the annotated function).
+  mutable common::Mutex mu_;
+  common::CondVar cv_nonempty_;  // worker waits for tasks
+  common::CondVar cv_space_;     // submitters wait for room
+  common::CondVar cv_idle_;      // Quiesce waits for drain
+  std::deque<Task> queue_ ROS2_GUARDED_BY(mu_);
+  std::size_t capacity_;  // immutable after construction
+  std::size_t high_water_ ROS2_GUARDED_BY(mu_) = 0;
+  bool stopping_ ROS2_GUARDED_BY(mu_) = false;
+  /// Worker currently inside a task body.
+  bool busy_ ROS2_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> idle_ns_{0};
   std::thread worker_;

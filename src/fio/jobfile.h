@@ -33,10 +33,11 @@ namespace ros2::fio {
 /// Parses a job file's text. Returns one JobSpec per non-global section,
 /// in file order. Unknown keys and malformed values are errors (a typo'd
 /// workload silently running the wrong experiment is worse than failing).
-Result<std::vector<JobSpec>> ParseJobFile(std::string_view text);
+[[nodiscard]] Result<std::vector<JobSpec>> ParseJobFile(
+    std::string_view text);
 
 /// Parses a single "key=value" pair into `spec` (exposed for tests).
-Status ApplyJobKey(JobSpec* spec, std::string_view key,
+[[nodiscard]] Status ApplyJobKey(JobSpec* spec, std::string_view key,
                    std::string_view value);
 
 }  // namespace ros2::fio

@@ -58,7 +58,7 @@ Status Qp::Send(std::span<const std::byte> payload) {
   Message msg;
   msg.payload.assign(payload.begin(), payload.end());
   {
-    std::lock_guard<std::mutex> lk(peer_->mu_);
+    common::MutexLock lk(peer_->mu_);
     peer_->rx_queue_.push_back(std::move(msg));
   }
   bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
@@ -70,7 +70,7 @@ Status Qp::Send(std::span<const std::byte> payload) {
 }
 
 Result<Message> Qp::Recv() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (rx_queue_.empty()) return NotFound("receive queue empty");
   Message msg = std::move(rx_queue_.front());
   rx_queue_.pop_front();
@@ -145,7 +145,7 @@ PollSet::PollSet() {
 
 PollSet::~PollSet() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     for (Qp* qp : members_) {
       qp->poll_set_.store(nullptr, std::memory_order_release);
       qp->poll_ready_ = false;
@@ -159,7 +159,7 @@ PollSet::~PollSet() {
 
 Status PollSet::Add(Qp* qp) {
   if (qp == nullptr) return InvalidArgument("null qp");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   PollSet* current = qp->poll_set_.load(std::memory_order_acquire);
   if (current == this) return Status::Ok();  // idempotent
   if (current != nullptr) {
@@ -175,7 +175,7 @@ Status PollSet::Add(Qp* qp) {
 
 void PollSet::Remove(Qp* qp) {
   if (qp == nullptr) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (qp->poll_set_.load(std::memory_order_acquire) != this) return;
   qp->poll_set_.store(nullptr, std::memory_order_release);
   qp->poll_ready_ = false;
@@ -212,11 +212,11 @@ void PollSet::MarkReadyLocked(Qp* qp) {
   qp->poll_ready_ = true;
   ready_.push_back(qp);
   RingDoorbell();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void PollSet::MarkReady(Qp* qp) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   // The Qp may have been removed between the sender reading its set
   // pointer and this call; membership is re-checked under the lock.
   if (qp->poll_set_.load(std::memory_order_acquire) != this) return;
@@ -225,11 +225,11 @@ void PollSet::MarkReady(Qp* qp) {
 
 void PollSet::Ring() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     ring_pending_ = true;
     RingDoorbell();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void PollSet::PollChannel() {
@@ -260,7 +260,7 @@ std::size_t PollSet::Drain(FunctionRef<void(Qp*)> fn) {
   // for the next drain (bounded work per call). The callback may Remove
   // QPs (shrinking ready_), so re-check emptiness every iteration. The
   // lock drops around `fn` so handlers can Send/Recv/Remove freely.
-  std::unique_lock<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   const std::size_t bound = ready_.size();
   std::size_t n = 0;
   for (std::size_t i = 0; i < bound && !ready_.empty(); ++i) {
@@ -269,9 +269,9 @@ std::size_t PollSet::Drain(FunctionRef<void(Qp*)> fn) {
     qp->poll_ready_ = false;
     draining_ = qp;
     draining_removed_ = false;
-    lk.unlock();
+    lk.Unlock();
     fn(qp);
-    lk.lock();
+    lk.Lock();
     const bool removed = draining_removed_;
     draining_ = nullptr;
     draining_removed_ = false;
@@ -281,7 +281,7 @@ std::size_t PollSet::Drain(FunctionRef<void(Qp*)> fn) {
     if (!removed && qp->HasMessage()) MarkReadyLocked(qp);
     ++n;
   }
-  lk.unlock();
+  lk.Unlock();
   if (n > 0) {
     // Re-arm/re-check: an edge-triggered channel consumer must look at
     // the event queue again AFTER re-arming notification, or a doorbell
@@ -296,7 +296,7 @@ std::size_t PollSet::Drain(FunctionRef<void(Qp*)> fn) {
 std::size_t PollSet::DrainWait(int timeout_ms, FunctionRef<void(Qp*)> fn) {
   bool must_wait;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     must_wait = ready_.empty() && !ring_pending_;
   }
   if (must_wait) {
@@ -314,14 +314,20 @@ std::size_t PollSet::DrainWait(int timeout_ms, FunctionRef<void(Qp*)> fn) {
     } else
 #endif
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), [this] {
-        return !ready_.empty() || ring_pending_;
-      });
+      // Deadline while-loop instead of a predicate lambda: the guarded
+      // reads stay in this (annotated) function body.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(timeout_ms);
+      common::MutexLock lk(mu_);
+      while (ready_.empty() && !ring_pending_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        (void)cv_.WaitFor(mu_, deadline - now);
+      }
     }
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     ring_pending_ = false;
   }
   return Drain(fn);
@@ -373,7 +379,7 @@ void Endpoint::UnpinRegion(std::uintptr_t addr, std::size_t len) {
 }
 
 PdId Endpoint::AllocPd(TenantId tenant) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   const PdId id = next_pd_++;
   pds_[id] = tenant;
   return id;
@@ -383,7 +389,7 @@ Result<MemoryRegion> Endpoint::RegisterMemory(PdId pd,
                                               std::span<std::byte> region,
                                               std::uint32_t access,
                                               double ttl) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (!pds_.contains(pd)) return NotFound("unknown protection domain");
   if (region.empty()) return InvalidArgument("empty memory region");
   if (fault_plan_.Evaluate(common::FaultPoint::kNetRegister).fire) {
@@ -402,7 +408,7 @@ Result<MemoryRegion> Endpoint::RegisterMemory(PdId pd,
 }
 
 Status Endpoint::RevokeMemory(RKey rkey) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = mrs_.find(rkey);
   if (it == mrs_.end()) return NotFound("unknown rkey");
   it->second.revoked = true;
@@ -410,7 +416,7 @@ Status Endpoint::RevokeMemory(RKey rkey) {
 }
 
 Status Endpoint::DeregisterMemory(RKey rkey) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = mrs_.find(rkey);
   if (it == mrs_.end()) return NotFound("unknown rkey");
   UnpinRegion(it->second.addr, it->second.length);
@@ -419,22 +425,25 @@ Status Endpoint::DeregisterMemory(RKey rkey) {
 }
 
 Result<TenantId> Endpoint::PdTenant(PdId pd) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = pds_.find(pd);
   if (it == pds_.end()) return NotFound("unknown protection domain");
   return it->second;
 }
 
 bool Endpoint::FindMr(RKey rkey, MemoryRegion* out) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = mrs_.find(rkey);
   if (it == mrs_.end()) return false;
   *out = it->second;
   return true;
 }
 
+// Locks two Endpoint instances of the same class via std::lock — a flow
+// the capability analysis cannot express, hence the escape hatch (the
+// deadlock-freedom argument is std::lock's ordering, documented below).
 Result<Qp*> Endpoint::Connect(Endpoint* remote, Transport transport, PdId pd,
-                              PdId remote_pd) {
+                              PdId remote_pd) ROS2_NO_THREAD_SAFETY_ANALYSIS {
   if (remote == nullptr) return InvalidArgument("null remote endpoint");
   auto local_qp = std::unique_ptr<Qp>(new Qp(this, transport, pd));
   auto remote_qp =
@@ -447,8 +456,8 @@ Result<Qp*> Endpoint::Connect(Endpoint* remote, Transport transport, PdId pd,
     // Two endpoints, one lock each; std::lock orders the acquisition so
     // concurrent A->B / B->A connects cannot deadlock. Loopback connects
     // (remote == this) take the single lock once.
-    std::unique_lock<std::mutex> lk_local(mu_, std::defer_lock);
-    std::unique_lock<std::mutex> lk_remote(remote->mu_, std::defer_lock);
+    std::unique_lock<common::Mutex> lk_local(mu_, std::defer_lock);
+    std::unique_lock<common::Mutex> lk_remote(remote->mu_, std::defer_lock);
     if (remote == this) {
       lk_local.lock();
     } else {
@@ -477,7 +486,7 @@ Result<Qp*> Endpoint::Connect(Endpoint* remote, Transport transport, PdId pd,
 
 Endpoint::Traffic Endpoint::TotalTraffic() const {
   Traffic total;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   for (const auto& qp : qps_) {
     total.bytes_sent += qp->bytes_sent();
     total.bytes_one_sided += qp->bytes_one_sided();
@@ -488,7 +497,7 @@ Endpoint::Traffic Endpoint::TotalTraffic() const {
 // --------------------------------------------------------------- Fabric
 
 Result<Endpoint*> Fabric::CreateEndpoint(const std::string& address) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (endpoints_.contains(address)) {
     return AlreadyExists("endpoint address in use: " + address);
   }
@@ -499,7 +508,7 @@ Result<Endpoint*> Fabric::CreateEndpoint(const std::string& address) {
 }
 
 Result<Endpoint*> Fabric::Lookup(const std::string& address) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = endpoints_.find(address);
   if (it == endpoints_.end()) return NotFound("no endpoint at " + address);
   return it->second.get();

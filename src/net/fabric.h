@@ -21,18 +21,20 @@
 // PollSet::MarkReady may be called from any thread. The locking order is
 // MrCache -> Endpoint -> PollSet -> Qp (each level may acquire the ones to
 // its right, never the reverse; PollSet drain callbacks run unlocked).
-// Control-plane setup/teardown (CreateEndpoint, Connect, destroying a Qp
-// or PollSet) must still be quiesced against concurrent data-path use of
-// the object being torn down.
+// The contracts are machine-checked where Clang's capability analysis can
+// express them: every lock is a common::Mutex, guarded state is tagged
+// ROS2_GUARDED_BY, and the Endpoint -> Qp edge is an acquired-after
+// contract on Qp::mu_ (which is why Qp is declared after Endpoint — the
+// attribute needs the complete type). Control-plane setup/teardown
+// (CreateEndpoint, Connect, destroying a Qp or PollSet) must still be
+// quiesced against concurrent data-path use of the object being torn down.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -42,12 +44,16 @@
 #include "common/fault.h"
 #include "common/function_ref.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "perf/types.h"
 
 namespace ros2::net {
 
 class MrCache;
 class PollSet;
+class Qp;
+class Endpoint;
+class Fabric;
 
 using perf::Transport;
 
@@ -79,12 +85,223 @@ struct Message {
   Buffer payload;
 };
 
-class Endpoint;
-class Fabric;
+/// Readiness set over queue pairs — the completion-channel analog of a
+/// CaRT/UCX progress context. A server adds every accepted Qp once;
+/// message arrival marks the Qp ready (edge-triggered), and one Drain()
+/// services exactly the ready QPs, so a progress call costs O(ready), not
+/// O(connections).
+///
+/// Each arm/drain cycle pays the honest event-channel cost: the first
+/// message into an idle set rings a doorbell (one byte written to a
+/// self-pipe, the eventfd a real CQ channel signals) and Drain poll()s the
+/// channel and reads the byte back — the syscalls a real progress loop
+/// pays per wakeup. Pipelined clients amortize that per-wakeup cost over
+/// every request serviced by the wakeup, which is exactly the win
+/// bench_micro_pipeline gates. (Same philosophy as RegisterMemory's page
+/// pinning: the stand-in pays the real mechanism's cost so batching wins
+/// honestly.) On platforms without pipes the set degrades to the pure
+/// in-memory ready ring.
+///
+/// Thread-safety: MarkReady (via Qp::Send) and Ring() may come from any
+/// thread — the ready ring and doorbell arm state are mutex-guarded, and
+/// the armed flag is atomic, so a foreign-thread ring wakes a blocked
+/// DrainWait exactly once per arm cycle. Drain/DrainWait themselves are
+/// single-consumer: exactly one progress thread drains a given set. Lock
+/// order: PollSet::mu_ sits between Endpoint::mu_ and Qp::mu_ (a drain
+/// may probe Qp::HasMessage under mu_; a Qp never calls into the set with
+/// its own lock held).
+class PollSet {
+ public:
+  PollSet();
+  ~PollSet();  // detaches any still-registered QPs
+  PollSet(const PollSet&) = delete;
+  PollSet& operator=(const PollSet&) = delete;
+
+  /// Registers `qp`; messages already queued mark it ready immediately.
+  /// A Qp belongs to at most one set (re-adding is a no-op; adding a Qp
+  /// owned by another set is an error).
+  Status Add(Qp* qp) ROS2_EXCLUDES(mu_);
+  void Remove(Qp* qp) ROS2_EXCLUDES(mu_);
+
+  /// Polls the event channel, then hands each ready Qp to `fn` exactly
+  /// once. A Qp left with queued messages (e.g. a handler bailed early) is
+  /// re-marked ready for the next drain. Returns the number serviced.
+  std::size_t Drain(FunctionRef<void(Qp*)> fn) ROS2_EXCLUDES(mu_);
+
+  /// Blocking Drain for a dedicated progress thread: waits up to
+  /// `timeout_ms` for a doorbell (message arrival or Ring()), then drains.
+  /// May service zero QPs (timeout, or a bare Ring()).
+  std::size_t DrainWait(int timeout_ms, FunctionRef<void(Qp*)> fn)
+      ROS2_EXCLUDES(mu_);
+
+  /// Wakes a blocked DrainWait without marking any Qp ready — the hook
+  /// for foreign-thread events that the progress loop must notice (e.g. a
+  /// worker thread finishing an op whose reply the loop sends).
+  void Ring() ROS2_EXCLUDES(mu_);
+
+  bool has_ready() const ROS2_EXCLUDES(mu_) {
+    common::MutexLock lk(mu_);
+    return !ready_.empty();
+  }
+  std::size_t member_count() const ROS2_EXCLUDES(mu_) {
+    common::MutexLock lk(mu_);
+    return members_.size();
+  }
+  /// Event-channel telemetry: doorbell rings (arm cycles) and drains.
+  std::uint64_t doorbells() const {
+    return doorbells_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t drains() const {
+    return drains_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Qp;
+  void MarkReady(Qp* qp) ROS2_EXCLUDES(mu_);
+  void MarkReadyLocked(Qp* qp) ROS2_REQUIRES(mu_);
+  void RingDoorbell();  // lock-free: atomic armed flag + pipe
+  void PollChannel();   // zero-timeout poll + doorbell byte consumption
+
+  mutable common::Mutex mu_;
+  common::CondVar cv_;  // DrainWait fallback when pipes are absent
+  std::vector<Qp*> members_ ROS2_GUARDED_BY(mu_);
+  std::deque<Qp*> ready_ ROS2_GUARDED_BY(mu_);
+  /// Qp currently inside Drain's callback.
+  Qp* draining_ ROS2_GUARDED_BY(mu_) = nullptr;
+  /// Callback removed/destroyed draining_.
+  bool draining_removed_ ROS2_GUARDED_BY(mu_) = false;
+  /// Ring() since the last DrainWait.
+  bool ring_pending_ ROS2_GUARDED_BY(mu_) = false;
+  int pipe_rd_ = -1;
+  int pipe_wr_ = -1;
+  /// A byte is sitting in the pipe. Atomic so a worker-thread MarkReady
+  /// and the drain loop's consume can't double-ring or lose the wakeup.
+  std::atomic<bool> doorbell_armed_{false};
+  std::atomic<std::uint64_t> doorbells_{0};
+  std::atomic<std::uint64_t> drains_{0};
+};
+
+/// A fabric endpoint (one per node/process): owns PDs, MRs, and QPs.
+/// Registration/lookup paths are thread-safe (one mutex over the PD/MR/QP
+/// tables); MR data is handed out by value so readers never hold a
+/// pointer into the table.
+class Endpoint {
+ public:
+  ~Endpoint();
+
+  const std::string& address() const { return address_; }
+  Fabric* fabric() const { return fabric_; }
+
+  /// Allocates a protection domain owned by `tenant`.
+  PdId AllocPd(TenantId tenant = kSystemTenant) ROS2_EXCLUDES(mu_);
+
+  /// Registers `region` in `pd` with the given access and optional TTL
+  /// (seconds of fabric time; 0 = no expiry). Returns the MR (rkey inside).
+  ///
+  /// Pins the region's pages (best-effort mlock, like ibv_reg_mr's
+  /// get_user_pages) — registration is a genuinely expensive syscall path
+  /// here, exactly the cost the per-endpoint MrCache amortizes.
+  Result<MemoryRegion> RegisterMemory(PdId pd, std::span<std::byte> region,
+                                      std::uint32_t access, double ttl = 0.0)
+      ROS2_EXCLUDES(mu_);
+
+  /// Invalidate an rkey immediately (scoped-capability revocation).
+  Status RevokeMemory(RKey rkey) ROS2_EXCLUDES(mu_);
+  Status DeregisterMemory(RKey rkey) ROS2_EXCLUDES(mu_);
+
+  /// Tenant owning `pd` (NOT_FOUND if the PD does not exist).
+  Result<TenantId> PdTenant(PdId pd) const ROS2_EXCLUDES(mu_);
+
+  /// Copies the MR for `rkey` into `*out`; false if unknown. By-value so
+  /// no caller holds a pointer into the table across the lock.
+  bool FindMr(RKey rkey, MemoryRegion* out) const ROS2_EXCLUDES(mu_);
+
+  /// Connects to `remote`, creating a Qp pair (one here, one there).
+  /// `pd` scopes this side's one-sided operations.
+  Result<Qp*> Connect(Endpoint* remote, Transport transport, PdId pd,
+                      PdId remote_pd);
+
+  std::size_t qp_count() const ROS2_EXCLUDES(mu_) {
+    common::MutexLock lk(mu_);
+    return qps_.size();
+  }
+  std::size_t mr_count() const ROS2_EXCLUDES(mu_) {
+    common::MutexLock lk(mu_);
+    return mrs_.size();
+  }
+
+  /// The endpoint's registered-memory pool (see net/mr_cache.h). Data
+  /// paths acquire leases from here instead of registering per call.
+  MrCache& mr_cache() { return *mr_cache_; }
+
+  /// Byte totals across every Qp this endpoint owns (two-sided sends and
+  /// one-sided RDMA), for telemetry gauges. Takes the endpoint lock; the
+  /// per-Qp counters themselves are relaxed atomics.
+  struct Traffic {
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_one_sided = 0;
+  };
+  Traffic TotalTraffic() const ROS2_EXCLUDES(mu_);
+
+  /// Server-side accept hook: every Qp subsequently accepted by this
+  /// endpoint (the remote half of a peer's Connect) is added to `set`, so
+  /// one progress loop services all connections without per-QP scans.
+  /// Pass nullptr to stop auto-registering.
+  void set_accept_poll_set(PollSet* set) ROS2_EXCLUDES(mu_) {
+    common::MutexLock lk(mu_);
+    accept_poll_set_ = set;
+  }
+
+  /// Fault injection: after `skip` more successful registrations, the
+  /// next `count` RegisterMemory calls fail with RESOURCE_EXHAUSTED (MR
+  /// table full — a real verbs failure mode). Drives the
+  /// registration-failed cleanup paths in tests. Arms the endpoint's
+  /// FaultPlan at kNetRegister; richer windows go through fault_plan().
+  void InjectRegisterFaults(int skip, int count) {
+    if (count <= 0) {
+      fault_plan_.Disarm(common::FaultPoint::kNetRegister);
+      return;
+    }
+    fault_plan_.Arm(common::FaultPoint::kNetRegister,
+                    {std::uint64_t(skip < 0 ? 0 : skip),
+                     std::uint64_t(count), 1.0, 0});
+  }
+  /// The endpoint's fault plan (kNetRegister consulted per registration).
+  common::FaultPlan& fault_plan() { return fault_plan_; }
+
+ private:
+  friend class Fabric;
+  friend class Qp;
+  friend class MrCache;
+  Endpoint(Fabric* fabric, std::string address);
+
+  // Refcounted page pinning (ibv_reg_mr semantics: overlapping MRs each
+  // hold their pages; the last deregistration unpins). Keyed by 4 KiB
+  // page base address.
+  void PinRegion(std::uintptr_t addr, std::size_t len) ROS2_REQUIRES(mu_);
+  void UnpinRegion(std::uintptr_t addr, std::size_t len) ROS2_REQUIRES(mu_);
+
+  Fabric* fabric_;
+  std::string address_;
+  mutable common::Mutex mu_;
+  std::uint32_t next_pd_ ROS2_GUARDED_BY(mu_) = 1;
+  std::map<PdId, TenantId> pds_ ROS2_GUARDED_BY(mu_);
+  std::unordered_map<RKey, MemoryRegion> mrs_ ROS2_GUARDED_BY(mu_);
+  std::unordered_map<std::uintptr_t, std::uint32_t> pin_counts_
+      ROS2_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Qp>> qps_ ROS2_GUARDED_BY(mu_);
+  PollSet* accept_poll_set_ ROS2_GUARDED_BY(mu_) = nullptr;
+  common::FaultPlan fault_plan_;
+  // Declared last: destroyed first, while mrs_ is still alive to
+  // deregister the pooled entries into.
+  std::unique_ptr<MrCache> mr_cache_;
+};
 
 /// A connected queue pair. Obtained via Endpoint::Connect/Accept; always
 /// paired with exactly one remote Qp. Send/Recv/one-sided ops are
 /// thread-safe; destruction must be quiesced against concurrent use.
+/// Declared after Endpoint so mu_'s acquired-after contract can name
+/// Endpoint::mu_ (Qp::mu_ is the innermost lock in the documented order).
 class Qp {
  public:
   Transport transport() const { return transport_; }
@@ -99,9 +316,9 @@ class Qp {
   Status Send(std::span<const std::byte> payload);
 
   /// Polls the receive queue; NOT_FOUND when empty.
-  Result<Message> Recv();
-  bool HasMessage() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  Result<Message> Recv() ROS2_EXCLUDES(mu_);
+  bool HasMessage() const ROS2_EXCLUDES(mu_) {
+    common::MutexLock lk(mu_);
     return !rx_queue_.empty();
   }
 
@@ -153,216 +370,22 @@ class Qp {
   Transport transport_;
   PdId local_pd_;
   Qp* peer_ = nullptr;
-  mutable std::mutex mu_;  // guards rx_queue_ (foreign threads Send here)
-  std::deque<Message> rx_queue_;
+  /// Innermost lock of the documented order — the acquired-after edge to
+  /// the owning Endpoint's table lock is the machine-checked contract.
+  /// (PollSet::mu_ also precedes this lock; the set is reached through an
+  /// atomic pointer, which the analysis cannot name.)
+  mutable common::Mutex mu_ ROS2_ACQUIRED_AFTER(owner_->mu_);
+  /// Foreign threads Send here.
+  std::deque<Message> rx_queue_ ROS2_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> bytes_one_sided_{0};
   common::FaultPlan fault_plan_;
   /// Readiness set this Qp reports into. Atomic: Send() reads it from
   /// worker threads while Add/Remove swap it on the control path.
   std::atomic<PollSet*> poll_set_{nullptr};
-  bool poll_ready_ = false;  // queued in the set's ready ring (set's lock)
-};
-
-/// Readiness set over queue pairs — the completion-channel analog of a
-/// CaRT/UCX progress context. A server adds every accepted Qp once;
-/// message arrival marks the Qp ready (edge-triggered), and one Drain()
-/// services exactly the ready QPs, so a progress call costs O(ready), not
-/// O(connections).
-///
-/// Each arm/drain cycle pays the honest event-channel cost: the first
-/// message into an idle set rings a doorbell (one byte written to a
-/// self-pipe, the eventfd a real CQ channel signals) and Drain poll()s the
-/// channel and reads the byte back — the syscalls a real progress loop
-/// pays per wakeup. Pipelined clients amortize that per-wakeup cost over
-/// every request serviced by the wakeup, which is exactly the win
-/// bench_micro_pipeline gates. (Same philosophy as RegisterMemory's page
-/// pinning: the stand-in pays the real mechanism's cost so batching wins
-/// honestly.) On platforms without pipes the set degrades to the pure
-/// in-memory ready ring.
-///
-/// Thread-safety: MarkReady (via Qp::Send) and Ring() may come from any
-/// thread — the ready ring and doorbell arm state are mutex-guarded, and
-/// the armed flag is atomic, so a foreign-thread ring wakes a blocked
-/// DrainWait exactly once per arm cycle. Drain/DrainWait themselves are
-/// single-consumer: exactly one progress thread drains a given set.
-class PollSet {
- public:
-  PollSet();
-  ~PollSet();  // detaches any still-registered QPs
-  PollSet(const PollSet&) = delete;
-  PollSet& operator=(const PollSet&) = delete;
-
-  /// Registers `qp`; messages already queued mark it ready immediately.
-  /// A Qp belongs to at most one set (re-adding is a no-op; adding a Qp
-  /// owned by another set is an error).
-  Status Add(Qp* qp);
-  void Remove(Qp* qp);
-
-  /// Polls the event channel, then hands each ready Qp to `fn` exactly
-  /// once. A Qp left with queued messages (e.g. a handler bailed early) is
-  /// re-marked ready for the next drain. Returns the number serviced.
-  std::size_t Drain(FunctionRef<void(Qp*)> fn);
-
-  /// Blocking Drain for a dedicated progress thread: waits up to
-  /// `timeout_ms` for a doorbell (message arrival or Ring()), then drains.
-  /// May service zero QPs (timeout, or a bare Ring()).
-  std::size_t DrainWait(int timeout_ms, FunctionRef<void(Qp*)> fn);
-
-  /// Wakes a blocked DrainWait without marking any Qp ready — the hook
-  /// for foreign-thread events that the progress loop must notice (e.g. a
-  /// worker thread finishing an op whose reply the loop sends).
-  void Ring();
-
-  bool has_ready() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return !ready_.empty();
-  }
-  std::size_t member_count() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return members_.size();
-  }
-  /// Event-channel telemetry: doorbell rings (arm cycles) and drains.
-  std::uint64_t doorbells() const {
-    return doorbells_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t drains() const {
-    return drains_.load(std::memory_order_relaxed);
-  }
-
- private:
-  friend class Qp;
-  void MarkReady(Qp* qp);
-  void MarkReadyLocked(Qp* qp);  // requires mu_
-  void RingDoorbell();           // lock-free: atomic armed flag + pipe
-  void PollChannel();  // zero-timeout poll + doorbell byte consumption
-
-  mutable std::mutex mu_;  // guards members_, ready_, flags, ring_pending_
-  std::condition_variable cv_;  // DrainWait fallback when pipes are absent
-  std::vector<Qp*> members_;
-  std::deque<Qp*> ready_;
-  Qp* draining_ = nullptr;        // qp currently inside Drain's callback
-  bool draining_removed_ = false; // callback removed/destroyed draining_
-  bool ring_pending_ = false;     // Ring() since the last DrainWait
-  int pipe_rd_ = -1;
-  int pipe_wr_ = -1;
-  /// A byte is sitting in the pipe. Atomic so a worker-thread MarkReady
-  /// and the drain loop's consume can't double-ring or lose the wakeup.
-  std::atomic<bool> doorbell_armed_{false};
-  std::atomic<std::uint64_t> doorbells_{0};
-  std::atomic<std::uint64_t> drains_{0};
-};
-
-/// A fabric endpoint (one per node/process): owns PDs, MRs, and QPs.
-/// Registration/lookup paths are thread-safe (one mutex over the PD/MR/QP
-/// tables); MR data is handed out by value so readers never hold a
-/// pointer into the table.
-class Endpoint {
- public:
-  ~Endpoint();
-
-  const std::string& address() const { return address_; }
-  Fabric* fabric() const { return fabric_; }
-
-  /// Allocates a protection domain owned by `tenant`.
-  PdId AllocPd(TenantId tenant = kSystemTenant);
-
-  /// Registers `region` in `pd` with the given access and optional TTL
-  /// (seconds of fabric time; 0 = no expiry). Returns the MR (rkey inside).
-  ///
-  /// Pins the region's pages (best-effort mlock, like ibv_reg_mr's
-  /// get_user_pages) — registration is a genuinely expensive syscall path
-  /// here, exactly the cost the per-endpoint MrCache amortizes.
-  Result<MemoryRegion> RegisterMemory(PdId pd, std::span<std::byte> region,
-                                      std::uint32_t access,
-                                      double ttl = 0.0);
-
-  /// Invalidate an rkey immediately (scoped-capability revocation).
-  Status RevokeMemory(RKey rkey);
-  Status DeregisterMemory(RKey rkey);
-
-  /// Tenant owning `pd` (NOT_FOUND if the PD does not exist).
-  Result<TenantId> PdTenant(PdId pd) const;
-
-  /// Copies the MR for `rkey` into `*out`; false if unknown. By-value so
-  /// no caller holds a pointer into the table across the lock.
-  bool FindMr(RKey rkey, MemoryRegion* out) const;
-
-  /// Connects to `remote`, creating a Qp pair (one here, one there).
-  /// `pd` scopes this side's one-sided operations.
-  Result<Qp*> Connect(Endpoint* remote, Transport transport, PdId pd,
-                      PdId remote_pd);
-
-  std::size_t qp_count() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return qps_.size();
-  }
-  std::size_t mr_count() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return mrs_.size();
-  }
-
-  /// The endpoint's registered-memory pool (see net/mr_cache.h). Data
-  /// paths acquire leases from here instead of registering per call.
-  MrCache& mr_cache() { return *mr_cache_; }
-
-  /// Byte totals across every Qp this endpoint owns (two-sided sends and
-  /// one-sided RDMA), for telemetry gauges. Takes the endpoint lock; the
-  /// per-Qp counters themselves are relaxed atomics.
-  struct Traffic {
-    std::uint64_t bytes_sent = 0;
-    std::uint64_t bytes_one_sided = 0;
-  };
-  Traffic TotalTraffic() const;
-
-  /// Server-side accept hook: every Qp subsequently accepted by this
-  /// endpoint (the remote half of a peer's Connect) is added to `set`, so
-  /// one progress loop services all connections without per-QP scans.
-  /// Pass nullptr to stop auto-registering.
-  void set_accept_poll_set(PollSet* set) { accept_poll_set_ = set; }
-
-  /// Fault injection: after `skip` more successful registrations, the
-  /// next `count` RegisterMemory calls fail with RESOURCE_EXHAUSTED (MR
-  /// table full — a real verbs failure mode). Drives the
-  /// registration-failed cleanup paths in tests. Arms the endpoint's
-  /// FaultPlan at kNetRegister; richer windows go through fault_plan().
-  void InjectRegisterFaults(int skip, int count) {
-    if (count <= 0) {
-      fault_plan_.Disarm(common::FaultPoint::kNetRegister);
-      return;
-    }
-    fault_plan_.Arm(common::FaultPoint::kNetRegister,
-                    {std::uint64_t(skip < 0 ? 0 : skip),
-                     std::uint64_t(count), 1.0, 0});
-  }
-  /// The endpoint's fault plan (kNetRegister consulted per registration).
-  common::FaultPlan& fault_plan() { return fault_plan_; }
-
- private:
-  friend class Fabric;
-  friend class Qp;
-  friend class MrCache;
-  Endpoint(Fabric* fabric, std::string address);
-
-  // Refcounted page pinning (ibv_reg_mr semantics: overlapping MRs each
-  // hold their pages; the last deregistration unpins). Keyed by 4 KiB
-  // page base address. Callers hold mu_.
-  void PinRegion(std::uintptr_t addr, std::size_t len);
-  void UnpinRegion(std::uintptr_t addr, std::size_t len);
-
-  Fabric* fabric_;
-  std::string address_;
-  mutable std::mutex mu_;  // guards pds_, mrs_, pin_counts_, qps_
-  std::uint32_t next_pd_ = 1;
-  std::map<PdId, TenantId> pds_;
-  std::unordered_map<RKey, MemoryRegion> mrs_;
-  std::unordered_map<std::uintptr_t, std::uint32_t> pin_counts_;
-  std::vector<std::unique_ptr<Qp>> qps_;
-  PollSet* accept_poll_set_ = nullptr;
-  common::FaultPlan fault_plan_;
-  // Declared last: destroyed first, while mrs_ is still alive to
-  // deregister the pooled entries into.
-  std::unique_ptr<MrCache> mr_cache_;
+  /// Queued in the set's ready ring — guarded by the OWNING SET's mu_
+  /// (not expressible as an attribute through the atomic pointer).
+  bool poll_ready_ = false;
 };
 
 /// The in-process fabric: endpoint registry + logical clock.
@@ -373,8 +396,10 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
 
   /// Creates (or fails on duplicate address) an endpoint.
-  Result<Endpoint*> CreateEndpoint(const std::string& address);
-  Result<Endpoint*> Lookup(const std::string& address) const;
+  Result<Endpoint*> CreateEndpoint(const std::string& address)
+      ROS2_EXCLUDES(mu_);
+  Result<Endpoint*> Lookup(const std::string& address) const
+      ROS2_EXCLUDES(mu_);
 
   /// Logical time driving rkey TTLs. Read from worker threads (TTL
   /// checks), so it is atomic; advancing still belongs to the harness.
@@ -392,8 +417,9 @@ class Fabric {
   }
 
  private:
-  mutable std::mutex mu_;  // guards endpoints_
-  std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Endpoint>> endpoints_
+      ROS2_GUARDED_BY(mu_);
   std::atomic<double> now_{0.0};
   std::atomic<RKey> next_rkey_{0x1000};
 };

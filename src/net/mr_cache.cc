@@ -62,7 +62,7 @@ Result<MrLease> MrCache::Acquire(PdId pd, std::span<std::byte> region,
                                  std::uint32_t access) {
   const MrKey key{pd, reinterpret_cast<std::uintptr_t>(region.data()),
                   region.size(), access};
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     if (StillValid(it->second->mr)) {
@@ -97,7 +97,7 @@ Result<MrLease> MrCache::Acquire(PdId pd, std::span<std::byte> region,
 }
 
 void MrCache::ReleaseEntry(MrCacheEntry* entry) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   if (entry->leases > 0) --entry->leases;
   if (outstanding_.load(std::memory_order_acquire) > 0) {
     outstanding_.fetch_sub(1, std::memory_order_acq_rel);
@@ -128,7 +128,7 @@ void MrCache::EvictDownTo(std::size_t target) {
 }
 
 std::size_t MrCache::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   std::size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->leases > 0) {
@@ -144,7 +144,7 @@ std::size_t MrCache::Clear() {
 }
 
 void MrCache::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   capacity_ = capacity;
   if (lru_.size() > capacity_) EvictDownTo(capacity_);
 }

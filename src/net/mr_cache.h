@@ -29,7 +29,8 @@
 // real xstreams, so Acquire/Release and the LRU bookkeeping are guarded
 // by one cache mutex (lock order: MrCache before Endpoint — the cache
 // calls RegisterMemory/DeregisterMemory while holding its lock; the
-// endpoint never calls back into the cache under its own lock). The
+// endpoint never calls back into the cache under its own lock; the edge
+// is machine-checked as an acquired-before contract on mu_). The
 // hit/miss/eviction counters are atomic so telemetry reads don't block
 // the data path.
 #pragma once
@@ -37,11 +38,11 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/fabric.h"
 #include "telemetry/metrics.h"
 
@@ -141,21 +142,21 @@ class MrCache {
   /// Cache hit: no fabric call at all. Miss: registers, caches, and (if
   /// over capacity) evicts the least-recently-used unleased entry.
   Result<MrLease> Acquire(PdId pd, std::span<std::byte> region,
-                          std::uint32_t access);
+                          std::uint32_t access) ROS2_EXCLUDES(mu_);
 
   /// Drops (and deregisters) every unleased entry. Returns the count
   /// dropped. Leased entries stay.
-  std::size_t Clear();
+  std::size_t Clear() ROS2_EXCLUDES(mu_);
 
   /// Shrinks/grows the bound; evicts down immediately if needed.
-  void set_capacity(std::size_t capacity);
-  std::size_t capacity() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  void set_capacity(std::size_t capacity) ROS2_EXCLUDES(mu_);
+  std::size_t capacity() const ROS2_EXCLUDES(mu_) {
+    common::MutexLock lk(mu_);
     return capacity_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  std::size_t size() const ROS2_EXCLUDES(mu_) {
+    common::MutexLock lk(mu_);
     return lru_.size();
   }
   std::uint64_t hits() const { return hits_.value(); }
@@ -177,10 +178,9 @@ class MrCache {
   friend class MrLease;
   using LruList = std::list<MrCacheEntry>;
 
-  void ReleaseEntry(MrCacheEntry* entry);
+  void ReleaseEntry(MrCacheEntry* entry) ROS2_EXCLUDES(mu_);
   /// Evicts unleased entries from the LRU tail until size() <= target.
-  /// Requires mu_.
-  void EvictDownTo(std::size_t target);
+  void EvictDownTo(std::size_t target) ROS2_REQUIRES(mu_);
   /// True if the cached MR is still usable (registered, not revoked, not
   /// expired).
   bool StillValid(const MemoryRegion& mr) const;
@@ -188,13 +188,16 @@ class MrCache {
   Endpoint* endpoint_;
   /// Guards capacity_, lru_, detached_, index_, and every entry's
   /// leases/detached fields. Entry ADDRESSES are stable (list nodes), so
-  /// leases hold MrCacheEntry* across unlocked regions safely.
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  LruList lru_;  // front = most recently used
+  /// leases hold MrCacheEntry* across unlocked regions safely. Taken
+  /// BEFORE the owning endpoint's table lock (the documented
+  /// MrCache -> Endpoint order, machine-checked).
+  mutable common::Mutex mu_ ROS2_ACQUIRED_BEFORE(endpoint_->mu_);
+  std::size_t capacity_ ROS2_GUARDED_BY(mu_);
+  LruList lru_ ROS2_GUARDED_BY(mu_);  // front = most recently used
   // Stale-but-leased entries parked until their last lease releases.
-  LruList detached_;
-  std::unordered_map<MrKey, LruList::iterator, MrKeyHash> index_;
+  LruList detached_ ROS2_GUARDED_BY(mu_);
+  std::unordered_map<MrKey, LruList::iterator, MrKeyHash> index_
+      ROS2_GUARDED_BY(mu_);
   telemetry::Counter hits_{1};
   telemetry::Counter misses_{1};
   telemetry::Counter evictions_{1};

@@ -485,8 +485,14 @@ void RpcClient::MatchReply(const Buffer& frame) {
                                     "window")));
         return;
       }
-      std::memcpy(call.recv_bulk.data(), inline_out->data(),
-                  inline_out->size());
+      // Skip the copy entirely when the reply carries no inline bulk:
+      // with no recv window both pointers are null, and memcpy's
+      // arguments are declared nonnull even for length 0 (UBSan-fatal;
+      // any zero-bulk TCP unary call reproduces it).
+      if (!inline_out->empty()) {
+        std::memcpy(call.recv_bulk.data(), inline_out->data(),
+                    inline_out->size());
+      }
     }
   }
   auto pushed = dec.U64();

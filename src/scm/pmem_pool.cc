@@ -86,8 +86,12 @@ Status PmemPool::TxSnapshot(PmemHandle handle, std::uint64_t offset,
   rec.handle = handle;
   rec.offset = offset;
   rec.old_bytes.resize(length);
-  std::memcpy(rec.old_bytes.data(),
-              arena_.data() + it->second.first + offset, length);
+  // A zero-length snapshot has a null old_bytes.data(); memcpy's
+  // arguments are nonnull even for length 0.
+  if (length != 0) {
+    std::memcpy(rec.old_bytes.data(),
+                arena_.data() + it->second.first + offset, length);
+  }
   undo_log_.push_back(std::move(rec));
   return Status::Ok();
 }

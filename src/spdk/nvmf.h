@@ -83,7 +83,7 @@ class NvmfInitiator {
 };
 
 /// Dials `target` from a fresh client endpooint and returns an initiator.
-Result<std::unique_ptr<NvmfInitiator>> NvmfConnect(
+[[nodiscard]] Result<std::unique_ptr<NvmfInitiator>> NvmfConnect(
     net::Fabric* fabric, NvmfTarget* target, net::Transport transport,
     const std::string& client_address);
 

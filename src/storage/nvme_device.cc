@@ -40,7 +40,7 @@ NvmeDevice::NvmeDevice(NvmeDeviceConfig config)
     : config_(std::move(config)), store_(config_.capacity_bytes) {}
 
 Result<NvmeQueuePair*> NvmeDevice::CreateQueuePair() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   std::uint32_t live = 0;
   for (const auto& qp : qpairs_) {
     if (qp != nullptr) ++live;
@@ -56,7 +56,7 @@ Result<NvmeQueuePair*> NvmeDevice::CreateQueuePair() {
 }
 
 Status NvmeDevice::DestroyQueuePair(std::uint16_t id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   for (auto& qp : qpairs_) {
     if (qp != nullptr && qp->id() == id) {
       qp.reset();
@@ -80,7 +80,7 @@ Status NvmeDevice::Execute(const NvmeCommand& cmd) {
   // Serialize block-store access: queue pairs on different target threads
   // share one namespace (disjoint partitions, but the store's sparse page
   // table is a single structure).
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   switch (cmd.opcode) {
     case NvmeOpcode::kRead: {
       ROS2_RETURN_IF_ERROR(

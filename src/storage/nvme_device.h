@@ -17,11 +17,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/block_store.h"
 
 namespace ros2::storage {
@@ -113,15 +113,15 @@ class NvmeDevice {
 
  private:
   friend class NvmeQueuePair;
-  Status Execute(const NvmeCommand& cmd);
+  Status Execute(const NvmeCommand& cmd) ROS2_EXCLUDES(mu_);
 
   NvmeDeviceConfig config_;
   /// Guards store_ and qpairs_/next_qpair_id_ (Execute runs on whichever
   /// thread polls a queue pair).
-  std::mutex mu_;
-  BlockStore store_;
-  std::vector<std::unique_ptr<NvmeQueuePair>> qpairs_;
-  std::uint16_t next_qpair_id_ = 0;
+  common::Mutex mu_;
+  BlockStore store_ ROS2_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<NvmeQueuePair>> qpairs_ ROS2_GUARDED_BY(mu_);
+  std::uint16_t next_qpair_id_ ROS2_GUARDED_BY(mu_) = 0;
   std::atomic<std::uint64_t> reads_{0};
   std::atomic<std::uint64_t> writes_{0};
   std::atomic<std::uint64_t> bytes_read_{0};

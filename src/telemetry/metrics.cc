@@ -104,7 +104,7 @@ const char* MetricKindName(MetricKind kind) {
 
 Counter* Telemetry::RegisterCounter(const std::string& path,
                                     std::uint32_t shards) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it != nodes_.end()) {
     if (it->second.kind != MetricKind::kCounter) return nullptr;
@@ -120,7 +120,7 @@ Counter* Telemetry::RegisterCounter(const std::string& path,
 }
 
 Gauge* Telemetry::RegisterGauge(const std::string& path) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it != nodes_.end()) {
     if (it->second.kind != MetricKind::kGauge) return nullptr;
@@ -135,7 +135,7 @@ Gauge* Telemetry::RegisterGauge(const std::string& path) {
 }
 
 Timestamp* Telemetry::RegisterTimestamp(const std::string& path) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it != nodes_.end()) {
     if (it->second.kind != MetricKind::kTimestamp) return nullptr;
@@ -151,7 +151,7 @@ Timestamp* Telemetry::RegisterTimestamp(const std::string& path) {
 
 Histogram* Telemetry::RegisterHistogram(const std::string& path,
                                         std::uint32_t shards) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it != nodes_.end()) {
     if (it->second.kind != MetricKind::kHistogram) return nullptr;
@@ -168,7 +168,7 @@ Histogram* Telemetry::RegisterHistogram(const std::string& path,
 
 bool Telemetry::LinkCounter(const std::string& path, const Counter* counter) {
   if (counter == nullptr) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it != nodes_.end()) {
     return it->second.kind == MetricKind::kCounter &&
@@ -183,7 +183,7 @@ bool Telemetry::LinkCounter(const std::string& path, const Counter* counter) {
 
 bool Telemetry::LinkGauge(const std::string& path, const Gauge* gauge) {
   if (gauge == nullptr) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it != nodes_.end()) {
     return it->second.kind == MetricKind::kGauge &&
@@ -199,7 +199,7 @@ bool Telemetry::LinkGauge(const std::string& path, const Gauge* gauge) {
 bool Telemetry::LinkHistogram(const std::string& path,
                               const Histogram* histogram) {
   if (histogram == nullptr) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it != nodes_.end()) {
     return it->second.kind == MetricKind::kHistogram &&
@@ -215,7 +215,7 @@ bool Telemetry::LinkHistogram(const std::string& path,
 bool Telemetry::RegisterCallback(const std::string& path,
                                  std::function<std::int64_t()> fn) {
   if (!fn) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it != nodes_.end()) return false;  // callbacks are never re-bound
   Node node;
@@ -226,12 +226,12 @@ bool Telemetry::RegisterCallback(const std::string& path,
 }
 
 bool Telemetry::Contains(const std::string& path) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   return nodes_.find(path) != nodes_.end();
 }
 
 Counter* Telemetry::FindCounter(const std::string& path) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end() || it->second.kind != MetricKind::kCounter) {
     return nullptr;
@@ -240,7 +240,7 @@ Counter* Telemetry::FindCounter(const std::string& path) const {
 }
 
 Gauge* Telemetry::FindGauge(const std::string& path) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end() || it->second.kind != MetricKind::kGauge) {
     return nullptr;
@@ -249,7 +249,7 @@ Gauge* Telemetry::FindGauge(const std::string& path) const {
 }
 
 Histogram* Telemetry::FindHistogram(const std::string& path) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end() || it->second.kind != MetricKind::kHistogram) {
     return nullptr;
@@ -258,7 +258,7 @@ Histogram* Telemetry::FindHistogram(const std::string& path) const {
 }
 
 std::size_t Telemetry::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   return nodes_.size();
 }
 

@@ -21,11 +21,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 
 namespace ros2::telemetry {
 
@@ -122,14 +122,14 @@ class Histogram {
 
   void Record(double value, std::uint32_t shard = 0) {
     Shard& s = *shards_[shard < shards_.size() ? shard : 0];
-    std::lock_guard<std::mutex> lk(s.mu);
+    common::MutexLock lk(s.mu);
     s.h.Record(value);
   }
 
   LatencyHistogram Fold() const {
     LatencyHistogram out;
     for (const auto& s : shards_) {
-      std::lock_guard<std::mutex> lk(s->mu);
+      common::MutexLock lk(s->mu);
       out.Merge(s->h);
     }
     return out;
@@ -138,7 +138,7 @@ class Histogram {
   std::uint64_t count() const {
     std::uint64_t total = 0;
     for (const auto& s : shards_) {
-      std::lock_guard<std::mutex> lk(s->mu);
+      common::MutexLock lk(s->mu);
       total += s->h.count();
     }
     return total;
@@ -147,8 +147,8 @@ class Histogram {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    LatencyHistogram h;
+    mutable common::Mutex mu;
+    LatencyHistogram h ROS2_GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<Shard>> shards_;
 };
@@ -269,8 +269,8 @@ class Telemetry {
     std::function<std::int64_t()> callback;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Node> nodes_;
+  mutable common::Mutex mu_;
+  std::map<std::string, Node> nodes_ ROS2_GUARDED_BY(mu_);
   std::uint32_t default_shards_;
 };
 

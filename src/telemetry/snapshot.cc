@@ -298,7 +298,7 @@ std::string TelemetrySnapshot::RenderTable() const {
 
 TelemetrySnapshot Telemetry::Snapshot(const std::string& prefix) const {
   TelemetrySnapshot snap;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(mu_);
   auto it = prefix.empty() ? nodes_.begin() : nodes_.lower_bound(prefix);
   for (; it != nodes_.end(); ++it) {
     if (!prefix.empty() && it->first.compare(0, prefix.size(), prefix) != 0) {

@@ -176,6 +176,38 @@ TEST(HistogramTest, WideDynamicRange) {
   EXPECT_GT(h.Quantile(0.99), 1.0);
 }
 
+// Pinned regression for the first UBSan finding: BucketIndex used to
+// compute `int((units - base) * scale)` even for overflow binades, which
+// is float-cast-overflow UB for values past 2^65 ns (and for the +inf and
+// NaN a caller can feed Record). The fix short-circuits those to the last
+// bucket — the same bucket the old clamp reached whenever the cast
+// happened to be representable, so every previously-defined input maps
+// identically (MergeIsBitExactAgainstSingleRecording above still pins the
+// finite mapping).
+TEST(HistogramTest, NonFiniteAndHugeValuesAreDefined) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const int last = 40 * 32 - 1;  // kExponents * kSubBuckets - 1
+
+  // Overflow binades all land in the last bucket, no UB on the way.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(inf), last);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(nan), last);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1e300), last);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1e30), last);   // 2^~96 units
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1200.0), last);  // finite, > range
+
+  // NaN now takes the non-positive fallback (!(x > 0)) instead of
+  // poisoning min/max/sum; inf records as a plain last-bucket sample.
+  LatencyHistogram h;
+  h.Record(nan);
+  h.Record(inf);
+  h.Record(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 1e-9);  // the NaN fallback value, not NaN
+  EXPECT_GT(h.sum(), 0.0);   // inf-contaminated but not NaN
+  EXPECT_GT(h.p50(), 0.0);
+}
+
 class HistogramAccuracyTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(HistogramAccuracyTest, RelativeErrorBounded) {

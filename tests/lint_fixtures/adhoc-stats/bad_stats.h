@@ -1,0 +1,15 @@
+// Seeded violation: an ad-hoc stat struct outside src/telemetry. The
+// telemetry tree is the one home for runtime stats (ROADMAP standing
+// constraint); this struct must make lint.sh fail with `adhoc-stats`.
+#pragma once
+
+#include <cstdint>
+
+namespace ros2::lintfixture {
+
+struct WidgetStats {
+  std::uint64_t widgets_made = 0;
+  std::uint64_t widgets_dropped = 0;
+};
+
+}  // namespace ros2::lintfixture

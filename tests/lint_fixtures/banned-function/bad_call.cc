@@ -1,0 +1,11 @@
+// Seeded violation: an unbounded C string call. Must make lint.sh fail
+// with `banned-function`.
+#include <cstring>
+
+namespace ros2::lintfixture {
+
+void CopyName(char* dst, const char* src) {
+  strcpy(dst, src);  // the violation
+}
+
+}  // namespace ros2::lintfixture

@@ -1,0 +1,13 @@
+// Violates nothing: the selftest's negative control — lint.sh over this
+// directory must exit 0.
+#pragma once
+
+#include <string>
+
+namespace ros2::lintfixture {
+
+class GoodStatus {};
+
+[[nodiscard]] GoodStatus Frobnicate(const std::string& widget);
+
+}  // namespace ros2::lintfixture

@@ -1,0 +1,8 @@
+// Seeded violation: header without #pragma once. Must make lint.sh fail
+// with `include-guard`.
+
+namespace ros2::lintfixture {
+
+inline int Two() { return 2; }
+
+}  // namespace ros2::lintfixture

@@ -1,0 +1,16 @@
+// Seeded violation: Status/Result factory declarations without
+// [[nodiscard]]. Must make lint.sh fail with `nodiscard`.
+#pragma once
+
+#include <string>
+
+namespace ros2::lintfixture {
+
+class Status {};
+template <typename T>
+class Result {};
+
+Status WidgetJammed(std::string msg);
+Result<int> CountWidgets(const std::string& bin);
+
+}  // namespace ros2::lintfixture

@@ -1,0 +1,21 @@
+// Seeded violation: a raw std::mutex member instead of the annotated
+// common::Mutex wrapper. Must make lint.sh fail with `raw-mutex`.
+#pragma once
+
+#include <mutex>
+
+namespace ros2::lintfixture {
+
+class Widget {
+ public:
+  void Frob() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace ros2::lintfixture

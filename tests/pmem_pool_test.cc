@@ -92,6 +92,19 @@ TEST(PmemPoolTxTest, CommitKeepsChanges) {
   }
 }
 
+// Pinned UBSan regression: a zero-length snapshot used to memcpy from the
+// arena into the null data() of the empty undo record (memcpy arguments
+// are nonnull even for length 0 — fatal under -fno-sanitize-recover).
+TEST(PmemPoolTxTest, ZeroLengthSnapshotIsDefined) {
+  PmemPool pool(4096);
+  auto h = pool.Alloc(16);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(pool.TxBegin().ok());
+  ASSERT_TRUE(pool.TxSnapshot(*h, 0, 0).ok());
+  ASSERT_TRUE(pool.TxSnapshot(*h, 16, 0).ok());  // at-end offset, len 0
+  ASSERT_TRUE(pool.TxCommit().ok());
+}
+
 TEST(PmemPoolTxTest, AbortRollsBackData) {
   PmemPool pool(4096);
   auto h = pool.Alloc(16);
