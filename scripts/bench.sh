@@ -113,6 +113,7 @@ MODEL_BENCHES=(
   bench_micro_sim
   bench_micro_rpc
   bench_micro_pipeline
+  bench_micro_dfs
   bench_micro_mt
   bench_micro_rebuild
   bench_micro_telemetry

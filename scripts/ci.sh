@@ -119,7 +119,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   TSAN_SUITES="engine_scheduler_mt_test|fabric_test|mr_cache_test"
   TSAN_SUITES+="|rpc_pipeline_test|engine_scheduler_test|nvme_device_test"
-  TSAN_SUITES+="|telemetry_test|rebuild_mt_test"
+  TSAN_SUITES+="|telemetry_test|rebuild_mt_test|dfs_mt_test"
   cmake -B "$TSAN_DIR" -S . "${CMAKE_ARGS[@]}" -DROS2_SANITIZE=thread \
       -DROS2_BUILD_BENCHES=OFF -DROS2_BUILD_EXAMPLES=OFF
   # shellcheck disable=SC2086  # the | list is a ctest regex, not words

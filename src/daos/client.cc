@@ -497,6 +497,66 @@ Status DaosClient::FetchBatch(std::span<const FetchOp> ops) {
   return failure;
 }
 
+Result<std::vector<Result<Buffer>>> DaosClient::FetchSingleBatch(
+    std::span<const SingleFetchOp> ops) {
+  struct Issued {
+    std::uint32_t engine = 0;
+    rpc::RpcClient::CallId id = 0;
+    bool issued = false;
+  };
+  std::vector<Issued> issued(ops.size());
+  Status failure = Status::Ok();
+  for (std::size_t i = 0; i < ops.size() && failure.ok(); ++i) {
+    const SingleFetchOp& op = ops[i];
+    std::uint32_t engine = 0;
+    if (op.epoch != kEpochHead) {
+      engine = PrimaryEngine(op.oid, op.dkey);
+      Status up = RequireUp(engine);
+      if (!up.ok()) {
+        failure = std::move(up);
+        break;
+      }
+    } else {
+      auto readable = ReadableEngine(op.oid, op.dkey);
+      if (!readable.ok()) {
+        failure = readable.status();
+        break;
+      }
+      engine = *readable;
+    }
+    rpc::Encoder enc;
+    EncodeObjAddr(enc, op.cont, op.oid, op.dkey, op.akey);
+    enc.U64(op.epoch);
+    auto id = CallAsyncEngine(engine, std::uint32_t(DaosOpcode::kSingleFetch),
+                              enc);
+    if (!id.ok()) {
+      failure = id.status();
+      break;
+    }
+    issued[i] = {engine, *id, true};
+  }
+  // Per-op outcomes: a missing record is data, not a batch failure —
+  // readdir skips punched entries by looking at each op's status. The
+  // whole batch still drains past an issue error so no call is stranded.
+  std::vector<Result<Buffer>> out;
+  out.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!issued[i].issued) {
+      out.push_back(Status(Unavailable("single fetch was never issued")));
+      continue;
+    }
+    auto reply = engines_[issued[i].engine].rpc->Await(issued[i].id);
+    if (!reply.ok()) {
+      out.push_back(reply.status());
+      continue;
+    }
+    rpc::Decoder dec(reply->header);
+    out.push_back(dec.Bytes());
+  }
+  if (!failure.ok()) return failure;
+  return out;
+}
+
 // -------------------------------------------------------------- singles
 
 Result<Epoch> DaosClient::UpdateSingle(ContainerId cont, const ObjectId& oid,
@@ -580,23 +640,48 @@ Status DaosClient::PunchAkey(ContainerId cont, const ObjectId& oid,
 
 Result<std::vector<std::string>> DaosClient::ListDkeys(ContainerId cont,
                                                        const ObjectId& oid) {
-  // Dkeys spread across engines; merge and dedupe (replicas duplicate).
+  ROS2_ASSIGN_OR_RETURN(DkeyPage page, ListDkeysPage(cont, oid, "", 0));
+  return std::move(page.dkeys);
+}
+
+Result<DaosClient::DkeyPage> DaosClient::ListDkeysPage(ContainerId cont,
+                                                       const ObjectId& oid,
+                                                       const std::string& marker,
+                                                       std::uint32_t limit) {
+  // Dkeys spread across engines; each engine pre-filters (> marker) and
+  // pre-truncates to `limit`, so the client merge set holds at most
+  // engines * limit entries, never the whole directory.
   rpc::Encoder enc;
-  enc.U64(cont).U64(oid.hi).U64(oid.lo);
+  enc.U64(cont).U64(oid.hi).U64(oid.lo).Str(marker).U32(limit);
   std::set<std::string> merged;
   bool any_up = false;
+  bool more = false;
   for (std::uint32_t e = 0; e < engines_.size(); ++e) {
     if (!map_->readable(e)) continue;
     any_up = true;
     ROS2_ASSIGN_OR_RETURN(
         rpc::RpcReply reply,
         Call(e, std::uint32_t(DaosOpcode::kListDkeys), enc));
-    ROS2_ASSIGN_OR_RETURN(std::vector<std::string> dkeys,
-                          DecodeStringList(reply.header));
-    merged.insert(dkeys.begin(), dkeys.end());
+    rpc::Decoder dec(reply.header);
+    ROS2_ASSIGN_OR_RETURN(std::uint32_t count, dec.U32());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ROS2_ASSIGN_OR_RETURN(std::string dkey, dec.Str());
+      merged.insert(std::move(dkey));
+    }
+    ROS2_ASSIGN_OR_RETURN(std::uint8_t engine_more, dec.U8());
+    more = more || engine_more != 0;
   }
   if (!any_up) return Status(Unavailable("all engines are down"));
-  return std::vector<std::string>(merged.begin(), merged.end());
+  DkeyPage page;
+  page.dkeys.assign(merged.begin(), merged.end());
+  if (limit != 0 && page.dkeys.size() > limit) {
+    // The merge across engines can overshoot: dkeys past the cut are
+    // still pending even if every engine said "done".
+    page.dkeys.resize(limit);
+    more = true;
+  }
+  page.more = more;
+  return page;
 }
 
 Result<std::vector<std::string>> DaosClient::ListAkeys(

@@ -144,6 +144,25 @@ class DaosClient {
   /// draining the whole batch.
   Status FetchBatch(std::span<const FetchOp> ops);
 
+  /// One single-value read in a pipelined batch (kSingleFetch is a
+  /// header-reply op, so there is no caller-owned out window to pin).
+  struct SingleFetchOp {
+    ContainerId cont = 0;
+    ObjectId oid;
+    std::string dkey;
+    std::string akey;
+    Epoch epoch = kEpochHead;
+  };
+
+  /// Pipelined single-value reads: every request is in flight before any
+  /// reply is awaited (DFS readdir uses this to fetch a page of entry
+  /// records in one window). Per-op outcomes are independent — a missing
+  /// record is that op's NOT_FOUND, not the batch's — so the call itself
+  /// only fails on issue-path errors (down engines, encode failures),
+  /// after draining whatever was issued.
+  Result<std::vector<Result<Buffer>>> FetchSingleBatch(
+      std::span<const SingleFetchOp> ops);
+
   Result<Epoch> UpdateSingle(ContainerId cont, const ObjectId& oid,
                              const std::string& dkey, const std::string& akey,
                              std::span<const std::byte> value);
@@ -159,6 +178,21 @@ class DaosClient {
 
   Result<std::vector<std::string>> ListDkeys(ContainerId cont,
                                              const ObjectId& oid);
+
+  /// One page of an object's dkey enumeration, sorted ascending.
+  struct DkeyPage {
+    std::vector<std::string> dkeys;
+    /// True when dkeys past this page remain; resume with
+    /// marker = dkeys.back().
+    bool more = false;
+  };
+
+  /// Server-side paged enumeration: every engine filters `> marker`,
+  /// sorts, and truncates to `limit` before replying, so a million-entry
+  /// directory never materializes whole on either side (limit 0 = all).
+  Result<DkeyPage> ListDkeysPage(ContainerId cont, const ObjectId& oid,
+                                 const std::string& marker,
+                                 std::uint32_t limit);
   Result<std::vector<std::string>> ListAkeys(ContainerId cont,
                                              const ObjectId& oid,
                                              const std::string& dkey);

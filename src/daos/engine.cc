@@ -1,5 +1,6 @@
 #include "daos/engine.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -169,7 +170,17 @@ void DaosEngine::ProgressThreadMain() {
     // service both directions of the pipeline.
     poll_set_.DrainWait(/*timeout_ms=*/10,
                         [&](net::Qp* qp) { (void)server_.Progress(qp); });
-    scheduler_.ProgressOnce();
+    // Drain the run queue completely before blocking again: ops parked by
+    // the dispatch above do NOT ring the doorbell, and ProgressOnce runs
+    // at most one op per target per pass — sleeping with a non-empty
+    // queue would stall every pipelined multi-chunk batch by the full
+    // wait timeout. Interleave a non-blocking drain so requests arriving
+    // mid-pass are decoded into this same pass.
+    while (scheduler_.ProgressOnce() > 0 &&
+           !progress_stop_.load(std::memory_order_acquire)) {
+      (void)poll_set_.Drain(
+          [&](net::Qp* qp) { (void)server_.Progress(qp); });
+    }
   }
   // Final sweep: everything decoded before stop was requested still gets
   // its reply (tests rely on a clean drain, not dropped contexts).
@@ -485,16 +496,29 @@ Result<Buffer> DaosEngine::HandleListDkeys(const Buffer& header) {
   ObjectId oid;
   ROS2_ASSIGN_OR_RETURN(oid.hi, dec.U64());
   ROS2_ASSIGN_OR_RETURN(oid.lo, dec.U64());
+  ROS2_ASSIGN_OR_RETURN(std::string marker, dec.Str());
+  ROS2_ASSIGN_OR_RETURN(std::uint32_t limit, dec.U32());
   ROS2_RETURN_IF_ERROR(FindContainer(cont_id).status());
-  rpc::Encoder enc;
+  // Paged enumeration (limit 0 = everything): filter strictly past the
+  // marker, sort, and truncate server-side so a million-entry directory
+  // ships one page per round trip, not the whole namespace.
   std::vector<std::string> all;
   for (auto& target : targets_) {
     for (auto& dkey : target.vos->ListDkeys(oid)) {
+      if (!marker.empty() && dkey <= marker) continue;
       all.push_back(std::move(dkey));
     }
   }
+  std::sort(all.begin(), all.end());
+  bool more = false;
+  if (limit != 0 && all.size() > limit) {
+    all.resize(limit);
+    more = true;
+  }
+  rpc::Encoder enc;
   enc.U32(std::uint32_t(all.size()));
   for (const auto& dkey : all) enc.Str(dkey);
+  enc.U8(more ? 1 : 0);
   return enc.Take();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "rpc/wire.h"
 
@@ -17,12 +18,26 @@ const char* const kSizeAkey = "size";
 const char* const kMagicAkey = "magic";
 constexpr std::uint64_t kDfsMagic = 0x524F53324446531Aull;  // "ROS2DFS\x1a"
 
+/// Every reserved dkey starts with '\x01' and every legal entry name with
+/// a byte >= 0x20, so listing from this marker skips the reserved records
+/// server-side without a client-side filter pass.
+const char* const kFirstEntryMarker = "\x02";
+
 std::string ChunkDkey(std::uint64_t chunk_index) {
   // Build via insert-free concatenation: the operator+(const char*,
   // string&&) form trips a GCC 12 -Wrestrict false positive here.
   std::string dkey = "c";
   dkey += std::to_string(chunk_index);
   return dkey;
+}
+
+std::string CacheKey(const daos::ObjectId& dir, const std::string& name) {
+  std::string key = std::to_string(dir.hi);
+  key += '.';
+  key += std::to_string(dir.lo);
+  key += '/';
+  key += name;
+  return key;
 }
 
 Buffer EncodeEntry(const DfsStat& stat) {
@@ -84,6 +99,11 @@ Result<std::unique_ptr<Dfs>> Dfs::Mount(daos::DaosClient* client,
   if (config.chunk_size == 0) {
     return Status(InvalidArgument("chunk size must be > 0"));
   }
+  if (config.readahead_chunks == 0 || config.write_coalesce_chunks == 0) {
+    return Status(
+        InvalidArgument("stream windows must be >= 1 chunk (use the "
+                        "readahead/batch_io switches to disable)"));
+  }
   auto dfs = std::unique_ptr<Dfs>(new Dfs(client, cont, config));
   if (create) {
     ROS2_ASSIGN_OR_RETURN(dfs->root_, client->AllocOid(cont));
@@ -111,6 +131,67 @@ Result<std::unique_ptr<Dfs>> Dfs::Mount(daos::DaosClient* client,
   return dfs;
 }
 
+void Dfs::AttachTelemetry(telemetry::Telemetry* tree) {
+  if (tree == nullptr) return;
+  tree->LinkCounter("dfs/lookup_cache/hits", &lookup_hits_);
+  tree->LinkCounter("dfs/lookup_cache/misses", &lookup_misses_);
+  tree->LinkCounter("dfs/lookup_cache/evictions", &lookup_evictions_);
+  tree->RegisterCallback("dfs/lookup_cache/entries", [this] {
+    common::MutexLock lock(mu_);
+    return std::int64_t(cache_index_.size());
+  });
+  tree->LinkCounter("dfs/io/chunk_fetches", &chunk_fetches_);
+  tree->LinkCounter("dfs/io/chunk_updates", &chunk_updates_);
+  tree->LinkCounter("dfs/io/read_batches", &read_batches_);
+  tree->LinkCounter("dfs/io/write_batches", &write_batches_);
+  tree->LinkCounter("dfs/readdir/pages", &readdir_pages_);
+  tree->LinkCounter("dfs/readdir/entries", &readdir_entries_);
+  tree->LinkCounter("dfs/stream/readahead_refills", &readahead_refills_);
+  tree->LinkCounter("dfs/stream/coalesced_flushes", &coalesced_flushes_);
+  tree->RegisterCallback("dfs/open_files", [this] {
+    common::MutexLock lock(mu_);
+    return std::int64_t(open_files_.size());
+  });
+}
+
+// --------------------------------------------------------- lookup cache
+
+void Dfs::CacheInsert(const daos::ObjectId& dir, const std::string& name,
+                      const DfsStat& stat) {
+  if (!config_.lookup_cache || config_.lookup_cache_entries == 0) return;
+  // Size is a live quantity (shared FileState / loaded on demand); the
+  // cache pins only the immutable record {type, oid, mode}.
+  DfsStat entry = stat;
+  entry.size = 0;
+  std::string key = CacheKey(dir, name);
+  common::MutexLock lock(mu_);
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    it->second->second = entry;
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.emplace_front(std::move(key), entry);
+  cache_index_[cache_lru_.front().first] = cache_lru_.begin();
+  while (cache_index_.size() > config_.lookup_cache_entries) {
+    cache_index_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+    lookup_evictions_.Add(1);
+  }
+}
+
+void Dfs::CacheErase(const daos::ObjectId& dir, const std::string& name) {
+  if (!config_.lookup_cache) return;
+  const std::string key = CacheKey(dir, name);
+  common::MutexLock lock(mu_);
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) return;
+  cache_lru_.erase(it->second);
+  cache_index_.erase(it);
+}
+
+// ------------------------------------------------------------- namespace
+
 Status Dfs::ResolveParent(const std::string& path, daos::ObjectId* parent,
                           std::string* leaf) {
   ROS2_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
@@ -131,9 +212,22 @@ Status Dfs::ResolveParent(const std::string& path, daos::ObjectId* parent,
 
 Result<DfsStat> Dfs::LookupEntry(const daos::ObjectId& dir,
                                  const std::string& name) {
+  if (config_.lookup_cache) {
+    const std::string key = CacheKey(dir, name);
+    common::MutexLock lock(mu_);
+    auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      lookup_hits_.Add(1);
+      return it->second->second;
+    }
+    lookup_misses_.Add(1);
+  }
   auto raw = client_->FetchSingle(cont_, dir, name, kEntryAkey);
   if (!raw.ok()) return Status(NotFound("no such entry: " + name));
-  return DecodeEntry(*raw);
+  ROS2_ASSIGN_OR_RETURN(DfsStat stat, DecodeEntry(*raw));
+  CacheInsert(dir, name, stat);
+  return stat;
 }
 
 Status Dfs::WriteEntry(const daos::ObjectId& dir, const std::string& name,
@@ -157,6 +251,15 @@ Status Dfs::StoreFileSize(const daos::ObjectId& oid, std::uint64_t size) {
       .status();
 }
 
+Result<std::shared_ptr<Dfs::FileState>> Dfs::FindState(Fd fd) const {
+  common::MutexLock lock(mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    return Status(NotFound("bad file descriptor"));
+  }
+  return it->second;
+}
+
 Status Dfs::Mkdir(const std::string& path, std::uint32_t mode) {
   daos::ObjectId parent;
   std::string leaf;
@@ -169,7 +272,9 @@ Status Dfs::Mkdir(const std::string& path, std::uint32_t mode) {
   stat.type = InodeType::kDirectory;
   stat.oid = oid;
   stat.mode = mode;
-  return WriteEntry(parent, leaf, stat);
+  ROS2_RETURN_IF_ERROR(WriteEntry(parent, leaf, stat));
+  CacheInsert(parent, leaf, stat);
+  return Status::Ok();
 }
 
 Result<Fd> Dfs::Open(const std::string& path, OpenFlags flags,
@@ -178,7 +283,8 @@ Result<Fd> Dfs::Open(const std::string& path, OpenFlags flags,
   std::string leaf;
   ROS2_RETURN_IF_ERROR(ResolveParent(path, &parent, &leaf));
   auto existing = LookupEntry(parent, leaf);
-  OpenFile file;
+  daos::ObjectId oid;
+  bool fresh = false;
   if (existing.ok()) {
     if (existing->type != InodeType::kFile) {
       return Status(InvalidArgument("not a file: " + path));
@@ -186,32 +292,62 @@ Result<Fd> Dfs::Open(const std::string& path, OpenFlags flags,
     if (flags.create && flags.exclusive) {
       return Status(AlreadyExists("O_EXCL: file exists: " + path));
     }
-    file.oid = existing->oid;
+    oid = existing->oid;
     if (flags.truncate) {
-      ROS2_RETURN_IF_ERROR(client_->PunchObject(cont_, file.oid));
-      ROS2_RETURN_IF_ERROR(StoreFileSize(file.oid, 0));
-      file.size = 0;
-    } else {
-      ROS2_ASSIGN_OR_RETURN(file.size, LoadFileSize(file.oid));
+      ROS2_RETURN_IF_ERROR(client_->PunchObject(cont_, oid));
+      ROS2_RETURN_IF_ERROR(StoreFileSize(oid, 0));
     }
   } else {
     if (!flags.create) return Status(NotFound("no such file: " + path));
-    ROS2_ASSIGN_OR_RETURN(file.oid, client_->AllocOid(cont_));
+    ROS2_ASSIGN_OR_RETURN(oid, client_->AllocOid(cont_));
     DfsStat stat;
     stat.type = InodeType::kFile;
-    stat.oid = file.oid;
+    stat.oid = oid;
     stat.mode = mode;
     ROS2_RETURN_IF_ERROR(WriteEntry(parent, leaf, stat));
-    ROS2_RETURN_IF_ERROR(StoreFileSize(file.oid, 0));
-    file.size = 0;
+    ROS2_RETURN_IF_ERROR(StoreFileSize(oid, 0));
+    CacheInsert(parent, leaf, stat);
+    fresh = true;
   }
+  // Bind the fd to the oid's SHARED state so truncates/extends through any
+  // fd are visible to all of them; the size RPC only runs when no other fd
+  // already tracks this file.
+  std::shared_ptr<FileState> state;
+  {
+    common::MutexLock lock(mu_);
+    auto it = states_by_oid_.find(oid);
+    if (it != states_by_oid_.end()) state = it->second.lock();
+  }
+  if (state == nullptr) {
+    std::uint64_t size = 0;
+    if (!fresh && !flags.truncate) {
+      ROS2_ASSIGN_OR_RETURN(size, LoadFileSize(oid));
+    }
+    auto created = std::make_shared<FileState>();
+    created->oid = oid;
+    created->size = size;
+    common::MutexLock lock(mu_);
+    auto it = states_by_oid_.find(oid);
+    if (it != states_by_oid_.end()) state = it->second.lock();
+    if (state == nullptr) state = std::move(created);
+    states_by_oid_[oid] = state;
+  }
+  common::MutexLock lock(mu_);
+  if (flags.truncate) state->size = 0;
   const Fd fd = next_fd_++;
-  open_files_[fd] = file;
+  open_files_[fd] = std::move(state);
   return fd;
 }
 
 Status Dfs::Close(Fd fd) {
-  if (open_files_.erase(fd) == 0) return NotFound("bad file descriptor");
+  common::MutexLock lock(mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return NotFound("bad file descriptor");
+  std::shared_ptr<FileState> state = std::move(it->second);
+  open_files_.erase(it);
+  // Last fd on the file: drop the by-oid anchor (the weak_ptr would
+  // linger forever on one-shot open/close workloads otherwise).
+  if (state.use_count() == 1) states_by_oid_.erase(state->oid);
   return Status::Ok();
 }
 
@@ -229,27 +365,67 @@ Result<DfsStat> Dfs::Stat(const std::string& path) {
   ROS2_RETURN_IF_ERROR(ResolveParent(path, &parent, &leaf));
   ROS2_ASSIGN_OR_RETURN(DfsStat stat, LookupEntry(parent, leaf));
   if (stat.type == InodeType::kFile) {
-    ROS2_ASSIGN_OR_RETURN(stat.size, LoadFileSize(stat.oid));
+    // An open fd's in-memory size beats the stored record (extends and
+    // truncates through a live fd land there first).
+    bool live = false;
+    {
+      common::MutexLock lock(mu_);
+      auto it = states_by_oid_.find(stat.oid);
+      if (it != states_by_oid_.end()) {
+        if (std::shared_ptr<FileState> state = it->second.lock()) {
+          stat.size = state->size;
+          live = true;
+        }
+      }
+    }
+    if (!live) {
+      ROS2_ASSIGN_OR_RETURN(stat.size, LoadFileSize(stat.oid));
+    }
   }
   return stat;
 }
 
 Result<std::vector<DirEntry>> Dfs::Readdir(const std::string& path) {
+  ROS2_ASSIGN_OR_RETURN(ReaddirResult page, Readdir(path, ReaddirPage{}));
+  return std::move(page.entries);
+}
+
+Result<ReaddirResult> Dfs::Readdir(const std::string& path,
+                                   const ReaddirPage& page) {
   ROS2_ASSIGN_OR_RETURN(DfsStat stat, Stat(path));
   if (stat.type != InodeType::kDirectory) {
     return Status(InvalidArgument("not a directory: " + path));
   }
-  ROS2_ASSIGN_OR_RETURN(std::vector<std::string> dkeys,
-                        client_->ListDkeys(cont_, stat.oid));
-  std::vector<DirEntry> out;
-  for (auto& name : dkeys) {
-    if (!name.empty() && name.front() == '\x01') continue;  // reserved
-    auto entry = LookupEntry(stat.oid, name);
-    if (!entry.ok()) continue;  // punched entry
-    out.push_back({std::move(name), entry->type});
+  const std::string marker =
+      page.marker.empty() ? std::string(kFirstEntryMarker) : page.marker;
+  ROS2_ASSIGN_OR_RETURN(
+      daos::DaosClient::DkeyPage dkeys,
+      client_->ListDkeysPage(cont_, stat.oid, marker, page.limit));
+  readdir_pages_.Add(1);
+  // One pipelined batch for every entry record on the page — the old
+  // N+1 loop cost one blocking round trip per entry.
+  std::vector<daos::DaosClient::SingleFetchOp> ops;
+  ops.reserve(dkeys.dkeys.size());
+  for (const std::string& name : dkeys.dkeys) {
+    daos::DaosClient::SingleFetchOp op;
+    op.cont = cont_;
+    op.oid = stat.oid;
+    op.dkey = name;
+    op.akey = kEntryAkey;
+    ops.push_back(std::move(op));
   }
-  std::sort(out.begin(), out.end(),
-            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
+  ROS2_ASSIGN_OR_RETURN(auto raws, client_->FetchSingleBatch(ops));
+  ReaddirResult out;
+  out.entries.reserve(raws.size());
+  for (std::size_t i = 0; i < raws.size(); ++i) {
+    if (!raws[i].ok()) continue;  // entry punched mid-listing
+    ROS2_ASSIGN_OR_RETURN(DfsStat entry, DecodeEntry(*raws[i]));
+    CacheInsert(stat.oid, dkeys.dkeys[i], entry);
+    out.entries.push_back({dkeys.dkeys[i], entry.type});
+  }
+  readdir_entries_.Add(out.entries.size());
+  out.more = dkeys.more;
+  if (out.more && !dkeys.dkeys.empty()) out.next_marker = dkeys.dkeys.back();
   return out;
 }
 
@@ -267,6 +443,7 @@ Status Dfs::Unlink(const std::string& path) {
   // Remove the name first, then reclaim the object (crash between the two
   // leaks space but never dangles a name).
   ROS2_RETURN_IF_ERROR(client_->PunchDkey(cont_, parent, leaf));
+  CacheErase(parent, leaf);
   (void)client_->PunchObject(cont_, stat.oid);  // may hold no records yet
   return Status::Ok();
 }
@@ -287,17 +464,27 @@ Status Dfs::Rename(const std::string& from, const std::string& to) {
     ROS2_RETURN_IF_ERROR(Unlink(to));
   }
   ROS2_RETURN_IF_ERROR(WriteEntry(to_parent, to_leaf, stat));
-  return client_->PunchDkey(cont_, from_parent, from_leaf);
+  CacheInsert(to_parent, to_leaf, stat);
+  ROS2_RETURN_IF_ERROR(client_->PunchDkey(cont_, from_parent, from_leaf));
+  CacheErase(from_parent, from_leaf);
+  return Status::Ok();
 }
+
+// -------------------------------------------------------------- file I/O
 
 Result<std::uint64_t> Dfs::Read(Fd fd, std::uint64_t offset,
                                 std::span<std::byte> out) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return Status(NotFound("bad file descriptor"));
-  const OpenFile& file = it->second;
-  if (offset >= file.size || out.empty()) return std::uint64_t(0);
-  const std::uint64_t n = std::min<std::uint64_t>(out.size(),
-                                                  file.size - offset);
+  ROS2_ASSIGN_OR_RETURN(std::shared_ptr<FileState> state, FindState(fd));
+  std::uint64_t size = 0;
+  {
+    common::MutexLock lock(mu_);
+    size = state->size;
+  }
+  if (offset >= size || out.empty()) return std::uint64_t(0);
+  const std::uint64_t n = std::min<std::uint64_t>(out.size(), size - offset);
+  // Assemble the whole chunk plan up front; never-written chunks inside
+  // [0, size) are holes and fetch as zeros either way.
+  std::vector<daos::DaosClient::FetchOp> ops;
   std::uint64_t done = 0;
   while (done < n) {
     const std::uint64_t pos = offset + done;
@@ -305,20 +492,36 @@ Result<std::uint64_t> Dfs::Read(Fd fd, std::uint64_t offset,
     const std::uint64_t within = pos % config_.chunk_size;
     const std::uint64_t take =
         std::min(n - done, config_.chunk_size - within);
-    ROS2_RETURN_IF_ERROR(client_->Fetch(cont_, file.oid, ChunkDkey(chunk),
-                                        "d", within,
-                                        out.subspan(done, take)));
+    daos::DaosClient::FetchOp op;
+    op.cont = cont_;
+    op.oid = state->oid;
+    op.dkey = ChunkDkey(chunk);
+    op.akey = "d";
+    op.offset = within;
+    op.out = out.subspan(done, take);
+    ops.push_back(std::move(op));
     done += take;
   }
+  if (config_.batch_io) {
+    // Pipelined: every chunk RPC (across targets) is in flight before any
+    // reply is awaited.
+    ROS2_RETURN_IF_ERROR(client_->FetchBatch(ops));
+    read_batches_.Add(1);
+  } else {
+    for (const daos::DaosClient::FetchOp& op : ops) {
+      ROS2_RETURN_IF_ERROR(client_->Fetch(op.cont, op.oid, op.dkey, op.akey,
+                                          op.offset, op.out));
+    }
+  }
+  chunk_fetches_.Add(ops.size());
   return n;
 }
 
 Status Dfs::Write(Fd fd, std::uint64_t offset,
                   std::span<const std::byte> data) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return NotFound("bad file descriptor");
-  OpenFile& file = it->second;
+  ROS2_ASSIGN_OR_RETURN(std::shared_ptr<FileState> state, FindState(fd));
   if (data.empty()) return Status::Ok();
+  std::vector<daos::DaosClient::UpdateOp> ops;
   std::uint64_t done = 0;
   while (done < data.size()) {
     const std::uint64_t pos = offset + done;
@@ -327,54 +530,96 @@ Status Dfs::Write(Fd fd, std::uint64_t offset,
     const std::uint64_t take =
         std::min<std::uint64_t>(data.size() - done,
                                 config_.chunk_size - within);
-    ROS2_RETURN_IF_ERROR(client_
-                             ->Update(cont_, file.oid, ChunkDkey(chunk), "d",
-                                      within, data.subspan(done, take))
-                             .status());
+    daos::DaosClient::UpdateOp op;
+    op.cont = cont_;
+    op.oid = state->oid;
+    op.dkey = ChunkDkey(chunk);
+    op.akey = "d";
+    op.offset = within;
+    op.data = data.subspan(done, take);
+    ops.push_back(std::move(op));
     done += take;
   }
+  if (config_.batch_io) {
+    ROS2_RETURN_IF_ERROR(client_->UpdateBatch(ops).status());
+    write_batches_.Add(1);
+  } else {
+    for (const daos::DaosClient::UpdateOp& op : ops) {
+      ROS2_RETURN_IF_ERROR(client_
+                               ->Update(op.cont, op.oid, op.dkey, op.akey,
+                                        op.offset, op.data)
+                               .status());
+    }
+  }
+  chunk_updates_.Add(ops.size());
   const std::uint64_t end = offset + data.size();
-  if (end > file.size) {
-    ROS2_RETURN_IF_ERROR(StoreFileSize(file.oid, end));
-    file.size = end;
+  std::uint64_t current = 0;
+  {
+    common::MutexLock lock(mu_);
+    current = state->size;
+  }
+  if (end > current) {
+    ROS2_RETURN_IF_ERROR(StoreFileSize(state->oid, end));
+    common::MutexLock lock(mu_);
+    if (end > state->size) state->size = end;
   }
   return Status::Ok();
 }
 
 Result<daos::ObjectId> Dfs::Oid(Fd fd) const {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return Status(NotFound("bad file descriptor"));
-  return it->second.oid;
+  ROS2_ASSIGN_OR_RETURN(std::shared_ptr<FileState> state, FindState(fd));
+  return state->oid;
 }
 
 Result<std::uint64_t> Dfs::Size(Fd fd) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return Status(NotFound("bad file descriptor"));
-  return it->second.size;
+  ROS2_ASSIGN_OR_RETURN(std::shared_ptr<FileState> state, FindState(fd));
+  common::MutexLock lock(mu_);
+  return state->size;
 }
 
 Status Dfs::Truncate(Fd fd, std::uint64_t new_size) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return NotFound("bad file descriptor");
-  OpenFile& file = it->second;
-  if (new_size == 0 && file.size > 0) {
-    // Reclaim all chunk data; metadata object survives.
-    const std::uint64_t chunks =
-        (file.size + config_.chunk_size - 1) / config_.chunk_size;
-    for (std::uint64_t c = 0; c < chunks; ++c) {
-      (void)client_->PunchDkey(cont_, file.oid, ChunkDkey(c));
+  ROS2_ASSIGN_OR_RETURN(std::shared_ptr<FileState> state, FindState(fd));
+  std::uint64_t old_size = 0;
+  {
+    common::MutexLock lock(mu_);
+    old_size = state->size;
+  }
+  if (new_size < old_size) {
+    const std::uint64_t cs = config_.chunk_size;
+    // Punch every chunk wholly past the new end. A chunk that was never
+    // written punches NOT_FOUND — that's a hole, not an error.
+    const std::uint64_t first_dead = (new_size + cs - 1) / cs;
+    const std::uint64_t old_chunks = (old_size + cs - 1) / cs;
+    for (std::uint64_t c = first_dead; c < old_chunks; ++c) {
+      Status punched = client_->PunchDkey(cont_, state->oid, ChunkDkey(c));
+      if (!punched.ok() && punched.code() != ErrorCode::kNotFound) {
+        return punched;
+      }
+    }
+    // Zero the stale tail of the partial boundary chunk: a later write
+    // that re-extends the file must expose zeros there, not old bytes.
+    if (new_size % cs != 0) {
+      const std::uint64_t chunk = new_size / cs;
+      const std::uint64_t tail_end = std::min(old_size, (chunk + 1) * cs);
+      if (tail_end > new_size) {
+        Buffer zeros(tail_end - new_size);
+        ROS2_RETURN_IF_ERROR(client_
+                                 ->Update(cont_, state->oid, ChunkDkey(chunk),
+                                          "d", new_size % cs, zeros)
+                                 .status());
+      }
     }
   }
-  // Extension is implicit (holes read as zeros); shrink-to-middle keeps
-  // stale extents but masks them with the logical size.
-  ROS2_RETURN_IF_ERROR(StoreFileSize(file.oid, new_size));
-  file.size = new_size;
+  // Extension stays implicit: chunks past the old end are holes and read
+  // as zeros.
+  ROS2_RETURN_IF_ERROR(StoreFileSize(state->oid, new_size));
+  common::MutexLock lock(mu_);
+  state->size = new_size;
   return Status::Ok();
 }
 
 Status Dfs::Fsync(Fd fd) {
-  if (!open_files_.contains(fd)) return NotFound("bad file descriptor");
-  return Status::Ok();
+  return FindState(fd).status();
 }
 
 }  // namespace ros2::dfs

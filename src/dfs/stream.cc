@@ -8,8 +8,10 @@ namespace ros2::dfs {
 DfsOutputStream::DfsOutputStream(Dfs* dfs, Fd fd, std::size_t buffer_size)
     : dfs_(dfs),
       fd_(fd),
-      buffer_(buffer_size == 0 ? std::size_t(dfs->chunk_size())
-                               : buffer_size) {}
+      buffer_(buffer_size == 0
+                  ? std::size_t(dfs->config().write_coalesce_chunks *
+                                dfs->chunk_size())
+                  : buffer_size) {}
 
 DfsOutputStream::~DfsOutputStream() {
   // Best-effort: the destructor has nowhere to surface a Status. Writers
@@ -48,6 +50,7 @@ Status DfsOutputStream::Flush() {
   buffered_at_ += fill_;
   fill_ = 0;
   ++flushes_;
+  dfs_->coalesced_flushes_.Add(1);
   return Status::Ok();
 }
 
@@ -61,16 +64,26 @@ Status DfsOutputStream::Close() {
 DfsInputStream::DfsInputStream(Dfs* dfs, Fd fd, std::size_t readahead)
     : dfs_(dfs),
       fd_(fd),
-      window_(readahead == 0 ? std::size_t(dfs->chunk_size()) : readahead) {}
+      window_(readahead == 0
+                  ? std::size_t(dfs->config().readahead_chunks *
+                                dfs->chunk_size())
+                  : readahead) {}
 
 Status DfsInputStream::Refill() {
   window_at_ = offset_;
   ROS2_ASSIGN_OR_RETURN(window_len_, dfs_->Read(fd_, window_at_, window_));
   ++refills_;
+  dfs_->readahead_refills_.Add(1);
   return Status::Ok();
 }
 
 Result<std::uint64_t> DfsInputStream::Read(std::span<std::byte> out) {
+  if (!dfs_->config().readahead) {
+    // Kill switch: no speculative window, one exact-size read per call.
+    ROS2_ASSIGN_OR_RETURN(std::uint64_t n, dfs_->Read(fd_, offset_, out));
+    offset_ += n;
+    return n;
+  }
   std::uint64_t done = 0;
   while (done < out.size()) {
     const bool in_window =

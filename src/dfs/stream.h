@@ -25,8 +25,9 @@ namespace ros2::dfs {
 /// writer that never calls Close() can lose a write error silently.
 class DfsOutputStream {
  public:
-  /// Buffers up to `buffer_size` bytes (default: the mount's chunk size,
-  /// which makes each flushed update a single-chunk extent).
+  /// Buffers up to `buffer_size` bytes (default: the mount's
+  /// write_coalesce_chunks * chunk_size, so each flush is one pipelined
+  /// multi-chunk batch rather than one RPC per Append).
   DfsOutputStream(Dfs* dfs, Fd fd, std::size_t buffer_size = 0);
   ~DfsOutputStream();  ///< best-effort Close(); call Close() to check errors
 
@@ -66,6 +67,12 @@ class DfsOutputStream {
 };
 
 /// Sequential buffered reader with readahead.
+///
+/// Each window miss refills readahead bytes ahead of the cursor in one
+/// pipelined multi-chunk read (default window: the mount's
+/// readahead_chunks * chunk_size). With DfsConfig::readahead off the
+/// stream is a pass-through: every Read goes straight to Dfs::Read for
+/// exactly the bytes asked, nothing speculative.
 class DfsInputStream {
  public:
   DfsInputStream(Dfs* dfs, Fd fd, std::size_t readahead = 0);

@@ -47,6 +47,7 @@
 #include "common/units.h"
 #include "daos/client.h"
 #include "daos/rebuild.h"
+#include "dfs/dfs.h"
 #include "telemetry/snapshot.h"
 
 using namespace ros2;
@@ -170,6 +171,8 @@ struct Demo {
   std::unique_ptr<daos::PoolMap> pool_map;
   std::unique_ptr<daos::DaosClient> client;
   std::unique_ptr<daos::RebuildManager> rebuild;
+  std::unique_ptr<dfs::Dfs> dfs;
+  std::uint64_t dfs_pass_ = 0;
   daos::ContainerId cont = 0;
   daos::ObjectId oid;
 
@@ -209,6 +212,18 @@ struct Demo {
     ROS2_ASSIGN_OR_RETURN(demo->cont,
                           demo->client->ContainerCreate("telemetryctl"));
     ROS2_ASSIGN_OR_RETURN(demo->oid, demo->client->AllocOid(demo->cont));
+    // A DFS mount in its own container: the dfs/* subtree (chunk batches,
+    // lookup cache, readdir pages) registers alongside the engine metrics.
+    ROS2_ASSIGN_OR_RETURN(
+        daos::ContainerId dfs_cont,
+        demo->client->ContainerCreate("telemetryctl-dfs"));
+    dfs::DfsConfig dfs_config;
+    dfs_config.chunk_size = 64 * kKiB;  // multi-chunk I/O with small files
+    ROS2_ASSIGN_OR_RETURN(
+        demo->dfs,
+        dfs::Dfs::Mount(demo->client.get(), dfs_cont, /*create=*/true,
+                        dfs_config));
+    demo->dfs->AttachTelemetry(demo->engines[0]->mutable_telemetry());
     if (options.rebuild) {
       daos::RebuildManager::Options ropt;
       ropt.address = "fabric://telemetryctl-rebuild";
@@ -264,7 +279,35 @@ struct Demo {
       ROS2_RETURN_IF_ERROR(
           client->FetchSingle(cont, oid, dkey, "a").status());
     }
-    return client->ListDkeys(cont, oid).status();
+    ROS2_RETURN_IF_ERROR(client->ListDkeys(cont, oid).status());
+    return RunDfsPass();
+  }
+
+  /// The DFS slice of the pass: a handful of multi-chunk files written,
+  /// read back, re-stat'd (cache hits), and listed — every dfs/* counter
+  /// moves. Fresh names per pass: object punch (O_TRUNC on an existing
+  /// file) deliberately fails loudly while an engine is down, which the
+  /// --rebuild degraded pass would trip.
+  Status RunDfsPass() {
+    Status made = dfs->Mkdir("/data");
+    if (!made.ok() && made.code() != ErrorCode::kAlreadyExists) return made;
+    const std::uint64_t pass = dfs_pass_++;
+    Buffer block = MakePatternBuffer(96 * kKiB, 11);  // 2 chunks at 64 KiB
+    Buffer back(block.size());
+    for (int i = 0; i < 8; ++i) {
+      std::string path = Cat("/data/file-", std::to_string(pass));
+      path += '-';
+      path += std::to_string(i);
+      dfs::OpenFlags flags;
+      flags.create = true;
+      ROS2_ASSIGN_OR_RETURN(dfs::Fd fd, dfs->Open(path, flags));
+      ROS2_RETURN_IF_ERROR(dfs->Write(fd, 0, block));
+      ROS2_ASSIGN_OR_RETURN(std::uint64_t n, dfs->Read(fd, 0, back));
+      if (n != back.size()) return DataLoss("short DFS read-back");
+      ROS2_RETURN_IF_ERROR(dfs->Close(fd));
+      ROS2_RETURN_IF_ERROR(dfs->Stat(path).status());  // warm-cache walk
+    }
+    return dfs->Readdir("/data").status();
   }
 
   /// The self-healing scenario (--rebuild): healthy pass, kill kVictim,
@@ -348,6 +391,30 @@ bool CheckSnapshot(const telemetry::TelemetrySnapshot& snap,
           "per-target executed covers the workload");
   require(snap.ValueOr("engine/started_at", 0) > 0,
           "engine/started_at stamped");
+
+  // The DFS pass: pipelined chunk batches moved data, the lookup cache
+  // served the warm re-stats, readdir paged. All under dfs/*.
+  require(snap.ValueOr("dfs/io/chunk_updates", 0) > 0,
+          "dfs/io/chunk_updates > 0 (pipelined writes)");
+  require(snap.ValueOr("dfs/io/chunk_fetches", 0) > 0,
+          "dfs/io/chunk_fetches > 0 (pipelined reads)");
+  require(snap.ValueOr("dfs/io/write_batches", 0) > 0,
+          "dfs/io/write_batches > 0");
+  require(snap.ValueOr("dfs/io/read_batches", 0) > 0,
+          "dfs/io/read_batches > 0");
+  require(snap.ValueOr("dfs/io/chunk_updates", 0) >
+              snap.ValueOr("dfs/io/write_batches", 0),
+          "dfs chunk updates batch (> 1 chunk per write batch)");
+  require(snap.ValueOr("dfs/lookup_cache/hits", 0) > 0,
+          "dfs/lookup_cache/hits > 0 (warm path walks)");
+  require(snap.ValueOr("dfs/lookup_cache/misses", 0) > 0,
+          "dfs/lookup_cache/misses > 0 (cold path walks)");
+  require(snap.ValueOr("dfs/readdir/pages", 0) > 0,
+          "dfs/readdir/pages > 0");
+  require(snap.ValueOr("dfs/readdir/entries", 0) > 0,
+          "dfs/readdir/entries > 0");
+  require(snap.Find("dfs/open_files") != nullptr,
+          "dfs/open_files gauge present");
 
   if (options.rebuild) {
     // The self-healing gates: the victim was killed, writes degraded into

@@ -131,13 +131,15 @@ TEST_P(DfsFuzzTest, RandomOpsMatchReferenceFs) {
       ref[to] = std::move(ref[path]);
       ref.erase(path);
     } else if (exists) {
-      // Truncate to zero then re-verify emptiness (shrink-to-middle is a
-      // documented simplification; zero is exact).
+      // Truncate to a RANDOM size: shrink to mid-chunk (trailing chunks
+      // punched, partial tail zero-filled), extend (hole reads as
+      // zeros), or no-op — all must match POSIX resize semantics.
       auto fd = dfs_->Open(path, OpenFlags{});
       ASSERT_TRUE(fd.ok());
-      ASSERT_TRUE(dfs_->Truncate(*fd, 0).ok());
+      const std::uint64_t new_size = rng.Below(kMaxFile + 1000);
+      ASSERT_TRUE(dfs_->Truncate(*fd, new_size).ok()) << path;
       ASSERT_TRUE(dfs_->Close(*fd).ok());
-      ref[path].clear();
+      ref[path].resize(new_size, std::byte(0));
     }
   }
 

@@ -288,6 +288,99 @@ TEST_P(DfsTest, PathValidation) {
   EXPECT_EQ(dfs_->Stat("").status().code(), ErrorCode::kInvalidArgument);
 }
 
+TEST_P(DfsTest, TruncateMidChunkZeroFillsStaleTail) {
+  // Regression: shrinking to a mid-chunk size used to only update the
+  // size record, leaving the old chunk bytes materialized — growing the
+  // file again (truncate-extend or a later write) exposed the STALE data
+  // instead of zeros.
+  OpenFlags create;
+  create.create = true;
+  auto fd = dfs_->Open("/stale-tail", create);
+  ASSERT_TRUE(fd.ok());
+  const std::uint64_t total = 2 * kMiB + 500 * kKiB;  // spans 3 chunks
+  Buffer data = MakePatternBuffer(total, 9);
+  ASSERT_TRUE(dfs_->Write(*fd, 0, data).ok());
+
+  const std::uint64_t cut = kMiB + 300 * kKiB + 7;  // mid chunk 1
+  ASSERT_TRUE(dfs_->Truncate(*fd, cut).ok());
+  ASSERT_TRUE(dfs_->Truncate(*fd, total).ok());  // grow back over the cut
+  EXPECT_EQ(dfs_->Size(*fd).value(), total);
+
+  Buffer out(total);
+  auto n = dfs_->Read(*fd, 0, out);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, total);
+  // Bytes below the cut survive; everything above reads as zeros even
+  // where the old chunks used to hold data.
+  for (std::uint64_t i = 0; i < cut; ++i) {
+    ASSERT_EQ(out[i], data[i]) << "byte " << i;
+  }
+  for (std::uint64_t i = cut; i < total; ++i) {
+    ASSERT_EQ(out[i], std::byte(0)) << "stale byte " << i;
+  }
+}
+
+TEST_P(DfsTest, ReadSpanningHoleMixesDataAndZeros) {
+  // One read crossing data -> hole -> data: the hole bytes come back as
+  // zeros in place, not as a short read or an error.
+  OpenFlags create;
+  create.create = true;
+  auto fd = dfs_->Open("/hole-span", create);
+  ASSERT_TRUE(fd.ok());
+  Buffer head = MakePatternBuffer(100 * kKiB, 5);
+  Buffer tail = MakePatternBuffer(100 * kKiB, 6);
+  const std::uint64_t tail_at = 4 * kMiB;  // chunks 1..3 never written
+  ASSERT_TRUE(dfs_->Write(*fd, 0, head).ok());
+  ASSERT_TRUE(dfs_->Write(*fd, tail_at, tail).ok());
+
+  Buffer out(tail_at + tail.size());
+  auto n = dfs_->Read(*fd, 0, out);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, out.size());
+  for (std::uint64_t i = 0; i < head.size(); ++i) {
+    ASSERT_EQ(out[i], head[i]) << "head byte " << i;
+  }
+  for (std::uint64_t i = head.size(); i < tail_at; ++i) {
+    ASSERT_EQ(out[i], std::byte(0)) << "hole byte " << i;
+  }
+  for (std::uint64_t i = 0; i < tail.size(); ++i) {
+    ASSERT_EQ(out[tail_at + i], tail[i]) << "tail byte " << i;
+  }
+}
+
+TEST_P(DfsTest, SizeCoherentAcrossFds) {
+  // Two fds on the same file share size state: an extending write or a
+  // truncate through one is immediately visible through the other (each
+  // fd used to carry a private stale copy loaded at open).
+  OpenFlags create;
+  create.create = true;
+  auto fd1 = dfs_->Open("/shared", create);
+  ASSERT_TRUE(fd1.ok());
+  auto fd2 = dfs_->Open("/shared", OpenFlags{});
+  ASSERT_TRUE(fd2.ok());
+
+  Buffer data = MakePatternBuffer(3000, 2);
+  ASSERT_TRUE(dfs_->Write(*fd1, 0, data).ok());
+  EXPECT_EQ(dfs_->Size(*fd2).value(), 3000u);
+
+  ASSERT_TRUE(dfs_->Truncate(*fd2, 1000).ok());
+  Buffer out(3000);
+  auto n = dfs_->Read(*fd1, 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1000u);  // fd1 sees fd2's shrink at once
+
+  ASSERT_TRUE(dfs_->Write(*fd2, 4000, MakePatternBuffer(500, 3)).ok());
+  EXPECT_EQ(dfs_->Size(*fd1).value(), 4500u);
+
+  // The shared state expires with the last close: a fresh open reloads
+  // from the stored size record, which every path above kept current.
+  ASSERT_TRUE(dfs_->Close(*fd1).ok());
+  ASSERT_TRUE(dfs_->Close(*fd2).ok());
+  auto fd3 = dfs_->Open("/shared", OpenFlags{});
+  ASSERT_TRUE(fd3.ok());
+  EXPECT_EQ(dfs_->Size(*fd3).value(), 4500u);
+}
+
 TEST_P(DfsTest, BadFdRejected) {
   Buffer out(10);
   EXPECT_EQ(dfs_->Read(999, 0, out).status().code(), ErrorCode::kNotFound);

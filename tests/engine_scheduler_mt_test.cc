@@ -340,8 +340,9 @@ TEST_F(ThreadedEngineTest, ProgressThreadServesClientsWithoutAPump) {
   EXPECT_EQ(engine_->stats().updates, std::uint64_t(kOps));
 
   // Barrier op (dkey enumeration) answered by the progress thread too.
+  // Wire format: obj addr + paging marker/limit ("" + 0 = everything).
   rpc::Encoder list;
-  list.U64(*cont).U64(oid.hi).U64(oid.lo);
+  list.U64(*cont).U64(oid.hi).U64(oid.lo).Str("").U32(0);
   auto listed = client->Call(std::uint32_t(DaosOpcode::kListDkeys), list);
   ASSERT_TRUE(listed.ok()) << listed.status().ToString();
   rpc::Decoder dec(listed->header);
